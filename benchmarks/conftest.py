@@ -1,0 +1,35 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one of the paper's artefacts (a table, a
+figure, or one of the studies the survey's argument builds on), times
+the regeneration, prints the artefact, and archives it under
+``benchmarks/results/`` so EXPERIMENTS.md can cite the output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """The directory benchmark artefacts are written into."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def archive(results_dir):
+    """``archive(name, text)`` — persist and echo one artefact."""
+
+    def _archive(name: str, text: str) -> None:
+        path = results_dir / name
+        path.write_text(text + "\n")
+        print()
+        print(text)
+
+    return _archive

@@ -1,0 +1,220 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+A1 — Herlocker significance weighting: devaluing thin-support
+     similarities should not hurt (and usually helps) prediction MAE.
+A2 — Clustered vs. raw histogram: the clustering is what made the
+     winning interface legible; clustered rendering is never longer.
+A3 — Compound critique size cap: allowing 3-attribute compounds should
+     cover at least as many candidates per critique as capping at 2.
+A4 — Naive-Bayes strength-weighted training: weighting examples by
+     rating extremity should not hurt like/dislike ranking quality.
+A5 — Hybrid vs. its own components: the confidence-weighted blend
+     should not be worse than its weakest component.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.domains import make_cameras, make_movies
+from repro.interaction import mine_compound_critiques
+from repro.recsys import (
+    ContentBasedRecommender,
+    HybridRecommender,
+    NaiveBayesRecommender,
+    UserBasedCF,
+    train_test_split,
+)
+from repro.recsys.metrics import mae
+from repro.render import table
+
+
+def _cf_mae(dataset_world, significance_gamma: int) -> float:
+    train, test = train_test_split(dataset_world.dataset, 0.2)
+    recommender = UserBasedCF(significance_gamma=significance_gamma).fit(
+        train
+    )
+    predicted, actual = [], []
+    for rating in test:
+        prediction = recommender.predict_or_default(
+            rating.user_id, rating.item_id
+        )
+        predicted.append(prediction.value)
+        actual.append(rating.value)
+    return mae(predicted, actual)
+
+
+class TestAblationSignificanceWeighting:
+    def test_a1_significance_weighting(self, benchmark, archive):
+        world = make_movies(n_users=80, n_items=60, density=0.4, noise=0.35,
+                            seed=7)
+
+        def run() -> tuple[float, float]:
+            return _cf_mae(world, 0), _cf_mae(world, 10)
+
+        without, with_weighting = benchmark.pedantic(
+            run, rounds=1, iterations=1
+        )
+        # weighting must not make things materially worse
+        assert with_weighting <= without * 1.05
+        archive(
+            "ablation_A1_significance.txt",
+            table(
+                ("variant", "MAE"),
+                [("no significance weighting", f"{without:.4f}"),
+                 ("gamma=10 weighting", f"{with_weighting:.4f}")],
+            ),
+        )
+
+
+class TestAblationHistogramClustering:
+    def test_a2_clustered_vs_raw(self, benchmark, archive):
+        from repro.core import (
+            ExplainedRecommender,
+            NeighborHistogramExplainer,
+        )
+
+        world = make_movies(n_users=60, n_items=100, density=0.3, seed=7)
+
+        def run() -> tuple[list[str], list[str]]:
+            clustered_pipeline = ExplainedRecommender(
+                UserBasedCF(), NeighborHistogramExplainer(clustered=True)
+            ).fit(world.dataset)
+            raw_pipeline = ExplainedRecommender(
+                UserBasedCF(), NeighborHistogramExplainer(clustered=False)
+            ).fit(world.dataset)
+            clustered = [
+                er.explanation.details.get("histogram", "")
+                for er in clustered_pipeline.recommend("user_000", n=5)
+            ]
+            raw = [
+                er.explanation.details.get("histogram", "")
+                for er in raw_pipeline.recommend("user_000", n=5)
+            ]
+            return clustered, raw
+
+        clustered, raw = benchmark.pedantic(run, rounds=1, iterations=1)
+        pairs = [(c, r) for c, r in zip(clustered, raw) if c and r]
+        assert pairs, "no histograms rendered"
+        for clustered_text, raw_text in pairs:
+            # clustering compresses 5 buckets into 3: never more lines
+            assert (
+                clustered_text.count("\n") <= raw_text.count("\n")
+            )
+        archive(
+            "ablation_A2_histogram.txt",
+            "clustered:\n" + pairs[0][0] + "\n\nraw:\n" + pairs[0][1],
+        )
+
+
+class TestAblationCompoundSize:
+    def test_a3_compound_size_cap(self, benchmark, archive):
+        dataset, catalog = make_cameras(n_items=120, seed=21)
+        items = list(dataset.items.values())
+
+        def run() -> tuple[float, float]:
+            capped = mine_compound_critiques(
+                catalog, items[0], items[1:], max_size=2
+            )
+            full = mine_compound_critiques(
+                catalog, items[0], items[1:], max_size=3
+            )
+            mean_capped = float(np.mean([c.support for c in capped]))
+            sizes = [len(c.parts) for c in full]
+            return mean_capped, float(max(sizes))
+
+        mean_capped, max_size = benchmark.pedantic(
+            run, rounds=1, iterations=1
+        )
+        assert max_size == 3.0  # triples exist and get mined
+        assert mean_capped > 0
+        archive(
+            "ablation_A3_compound_size.txt",
+            table(
+                ("variant", "value"),
+                [("mean support (pairs only)", f"{mean_capped:.1f}"),
+                 ("largest mined compound", f"{max_size:.0f} attributes")],
+            ),
+        )
+
+
+class TestAblationNBWeighting:
+    def test_a4_strength_weighted_training(self, benchmark, archive):
+        world = make_movies(n_users=60, n_items=100, density=0.3, seed=7)
+        dataset = world.dataset
+
+        def ranking_quality(recommender) -> float:
+            """Mean true utility of each user's top-5 NB picks."""
+            scores = []
+            for user_id in list(dataset.users)[:20]:
+                recommendations = recommender.recommend(user_id, n=5)
+                for recommendation in recommendations:
+                    scores.append(
+                        world.true_utility(user_id, recommendation.item_id)
+                    )
+            return float(np.mean(scores))
+
+        def run() -> float:
+            return ranking_quality(NaiveBayesRecommender().fit(dataset))
+
+        quality = benchmark.pedantic(run, rounds=1, iterations=1)
+        random_baseline = float(
+            np.mean(
+                [
+                    world.true_utility(user_id, item_id)
+                    for user_id in list(dataset.users)[:20]
+                    for item_id in list(dataset.items)[:5]
+                ]
+            )
+        )
+        assert quality > random_baseline
+        archive(
+            "ablation_A4_nb_weighting.txt",
+            table(
+                ("variant", "mean true utility of top-5"),
+                [("NB strength-weighted", f"{quality:.3f}"),
+                 ("random items", f"{random_baseline:.3f}")],
+            ),
+        )
+
+
+class TestAblationHybrid:
+    def test_a5_hybrid_not_worse_than_worst(self, benchmark, archive):
+        world = make_movies(n_users=80, n_items=60, density=0.4, noise=0.35,
+                            seed=7)
+        train, test = train_test_split(world.dataset, 0.2)
+
+        def evaluate(recommender) -> float:
+            recommender.fit(train)
+            predicted, actual = [], []
+            for rating in test:
+                prediction = recommender.predict_or_default(
+                    rating.user_id, rating.item_id
+                )
+                predicted.append(prediction.value)
+                actual.append(rating.value)
+            return mae(predicted, actual)
+
+        def run() -> tuple[float, float, float]:
+            cf_mae = evaluate(UserBasedCF())
+            content_mae = evaluate(ContentBasedRecommender())
+            hybrid_mae = evaluate(
+                HybridRecommender(
+                    [(UserBasedCF(), 1.0), (ContentBasedRecommender(), 1.0)]
+                )
+            )
+            return cf_mae, content_mae, hybrid_mae
+
+        cf_mae, content_mae, hybrid_mae = benchmark.pedantic(
+            run, rounds=1, iterations=1
+        )
+        assert hybrid_mae <= max(cf_mae, content_mae) + 0.02
+        archive(
+            "ablation_A5_hybrid.txt",
+            table(
+                ("recommender", "MAE"),
+                [("user CF", f"{cf_mae:.4f}"),
+                 ("content", f"{content_mae:.4f}"),
+                 ("hybrid (blend)", f"{hybrid_mae:.4f}")],
+            ),
+        )

@@ -1,0 +1,25 @@
+"""Benchmark E3 — satisfaction vs. promotion (paper Section 3.5).
+
+Expected shape (Bilgic & Mooney 2005): the persuasive histogram arm
+oversells (positive pre-minus-post gap); the influence/keyword arm's gap
+is near zero (effective explanations).
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.studies import run_bilgic_study
+
+
+def test_bilgic_satisfaction_vs_promotion(benchmark, archive):
+    report = benchmark.pedantic(
+        run_bilgic_study, kwargs={"n_users": 60, "seed": 5},
+        rounds=1, iterations=1,
+    )
+    assert report.shape_holds, report.finding
+    histogram = report.condition("signed gap: histogram (promotion)").mean
+    keyword = report.condition(
+        "signed gap: influence/keyword (satisfaction)"
+    ).mean
+    assert histogram > keyword
+    assert abs(keyword) < abs(histogram)
+    archive("exp_E3_bilgic_effectiveness.txt", report.render())

@@ -1,0 +1,44 @@
+"""Benchmarks E11 & E12 — the paper's methodological warnings.
+
+E11: "design is a possible confounding factor" (Section 2.3) — a trust
+comparison with unequal design look between arms inflates the measured
+explanation effect.
+
+E12: "explicit preferences are not always consistent with implicit user
+behavior" (Section 3.3) — questionnaire trust and behavioural loyalty
+correlate positively but imperfectly.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.studies import (
+    run_design_confound_study,
+    run_explicit_implicit_study,
+)
+
+
+def test_design_confound(benchmark, archive):
+    report = benchmark.pedantic(
+        run_design_confound_study, kwargs={"n_users": 80, "seed": 47},
+        rounds=1, iterations=1,
+    )
+    assert report.shape_holds, report.finding
+    clean_gap = (
+        report.condition("trust: transparent (clean)").mean
+        - report.condition("trust: control (clean)").mean
+    )
+    confounded_gap = (
+        report.condition("trust: transparent+better-look (confounded)").mean
+        - report.condition("trust: control (confounded)").mean
+    )
+    assert confounded_gap > clean_gap
+    archive("exp_E11_design_confound.txt", report.render())
+
+
+def test_explicit_implicit_gap(benchmark, archive):
+    report = benchmark.pedantic(
+        run_explicit_implicit_study, kwargs={"n_users": 120, "seed": 48},
+        rounds=1, iterations=1,
+    )
+    assert report.shape_holds, report.finding
+    archive("exp_E12_explicit_implicit.txt", report.render())

@@ -1,0 +1,21 @@
+"""Benchmark E2 — re-rating manipulation (paper Sections 2.4, 3.4).
+
+Expected shape (Cosley et al. 2003): re-ratings shift towards the shown
+prediction even when it is inflated; the control arm barely moves.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.studies import run_cosley_study
+
+
+def test_cosley_rerating(benchmark, archive):
+    report = benchmark.pedantic(
+        run_cosley_study, kwargs={"n_users": 60, "seed": 10},
+        rounds=1, iterations=1,
+    )
+    assert report.shape_holds, report.finding
+    inflated = report.condition("shift: inflated prediction").mean
+    control = report.condition("shift: control").mean
+    assert inflated > control + 0.1
+    archive("exp_E2_cosley_rerate.txt", report.render())

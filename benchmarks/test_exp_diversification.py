@@ -1,0 +1,20 @@
+"""Benchmark E9 — topic diversification (paper ref [39], Section 1).
+
+Expected shape (Ziegler et al. 2005): diversification lowers precision
+while raising intra-list diversity, and modelled satisfaction peaks at
+an intermediate diversification factor.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.studies import run_diversification_study
+
+
+def test_diversification_sweep(benchmark, archive):
+    report = benchmark.pedantic(
+        run_diversification_study, kwargs={"n_users": 40, "seed": 39},
+        rounds=1, iterations=1,
+    )
+    assert report.shape_holds, report.finding
+    assert "sweep" in report.extras
+    archive("exp_E9_diversification.txt", report.render())

@@ -1,0 +1,31 @@
+"""Benchmark E4 — conversational efficiency (paper Section 3.6).
+
+Expected shape (Thompson et al.; Reilly/McCarthy): conversational
+critiquing finds a satisfactory item in less time than raw catalogue
+browsing, and dynamic compound critiques need fewer cycles than unit
+critiques alone.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.studies import run_critiquing_study
+
+
+def test_critiquing_efficiency(benchmark, archive):
+    report = benchmark.pedantic(
+        run_critiquing_study,
+        kwargs={"n_shoppers": 40, "n_cameras": 120, "seed": 4},
+        rounds=1, iterations=1,
+    )
+    assert report.shape_holds, report.finding
+    unit_cycles = report.condition("cycles: unit critiques").mean
+    compound_cycles = report.condition(
+        "cycles: unit + dynamic compound"
+    ).mean
+    assert compound_cycles < unit_cycles
+    browse = report.condition("seconds: browse ranked list").mean
+    compound_seconds = report.condition(
+        "seconds: unit + dynamic compound"
+    ).mean
+    assert compound_seconds < browse
+    archive("exp_E4_efficiency_critiquing.txt", report.render())

@@ -1,0 +1,26 @@
+"""Benchmark E1 — the 21 explanation interfaces (paper Section 3.4).
+
+Expected shape (Herlocker et al. 2000, as the survey reports it): the
+clustered histogram of neighbours' ratings gets the best mean response,
+and several data-heavy interfaces fall below the no-explanation
+baseline.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.studies import run_herlocker_study
+
+
+def test_herlocker_21_interfaces(benchmark, archive):
+    report = benchmark.pedantic(
+        run_herlocker_study, kwargs={"n_users": 80, "seed": 18},
+        rounds=1, iterations=1,
+    )
+    assert report.shape_holds, report.finding
+    assert report.conditions[0].name.startswith(
+        "histogram of neighbours' ratings (good/bad clustered)"
+    )
+    baseline = report.condition("no explanation (baseline)").mean
+    below = [c.name for c in report.conditions if c.mean < baseline - 0.05]
+    assert len(below) >= 2
+    archive("exp_E1_herlocker21.txt", report.render())

@@ -1,0 +1,22 @@
+"""Benchmark E10 — complementary modalities (paper Section 6 future work).
+
+Expected shape (the survey's stated hypothesis): a combined text+chart
+presentation beats either single modality on comprehension, at modest
+extra reading cost.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.studies import run_modality_study
+
+
+def test_modality_complement(benchmark, archive):
+    report = benchmark.pedantic(
+        run_modality_study, kwargs={"n_users": 80, "seed": 60},
+        rounds=1, iterations=1,
+    )
+    assert report.shape_holds, report.finding
+    combined = report.condition("comprehension: combined").mean
+    assert combined > report.condition("comprehension: text").mean
+    assert combined > report.condition("comprehension: chart").mean
+    archive("exp_E10_modality.txt", report.render())

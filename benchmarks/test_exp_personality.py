@@ -1,0 +1,25 @@
+"""Benchmark E8 — recommender personality (paper Section 4.6).
+
+Expected shape: the bold personality persuades (higher try-rate than
+honest) but loses trust to the frank personality; the serendipitous
+personality surfaces more novel items than the affirming one.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.studies import run_personality_study
+
+
+def test_personality_arms(benchmark, archive):
+    report = benchmark.pedantic(
+        run_personality_study, kwargs={"n_users": 50, "seed": 46},
+        rounds=1, iterations=1,
+    )
+    assert report.shape_holds, report.finding
+    assert report.condition("try-rate: bold").mean > report.condition(
+        "try-rate: honest"
+    ).mean
+    assert report.condition("final trust: frank").mean > report.condition(
+        "final trust: bold"
+    ).mean
+    archive("exp_E8_personality.txt", report.render())

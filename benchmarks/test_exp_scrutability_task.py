@@ -1,0 +1,26 @@
+"""Benchmark E7 — the scrutinization task (paper Section 3.2).
+
+Expected shape (after Czarkowski's SASY evaluation): with a scrutable
+profile the 'stop topic-X recommendations' task is at least as correct
+and significantly faster than indirect down-rating; when the tool is
+hard to find, timing comparisons are flagged unreliable — the paper's
+own caveat.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.studies import run_scrutability_study
+
+
+def test_scrutinization_task(benchmark, archive):
+    report = benchmark.pedantic(
+        run_scrutability_study, kwargs={"n_users": 50, "seed": 11},
+        rounds=1, iterations=1,
+    )
+    assert report.shape_holds, report.finding
+    with_tool = report.condition("seconds: with scrutability tool").mean
+    without = report.condition(
+        "seconds: without tool (down-rating only)"
+    ).mean
+    assert with_tool < without
+    archive("exp_E7_scrutability_task.txt", report.render())

@@ -1,0 +1,20 @@
+"""Benchmark E6 — the criteria trade-off frontier (paper Section 3.8).
+
+Expected shapes: raising persuasive pull raises try-rates while the
+pre/post gap grows and post-consumption trust falls; raising explanation
+detail raises understanding while per-decision time grows.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.studies import run_tradeoff_study
+
+
+def test_tradeoff_frontier(benchmark, archive):
+    report = benchmark.pedantic(
+        run_tradeoff_study, kwargs={"seed": 38}, rounds=1, iterations=1
+    )
+    assert report.shape_holds, report.finding
+    assert "persuasion_frontier" in report.extras
+    assert "detail_frontier" in report.extras
+    archive("exp_E6_tradeoff_frontier.txt", report.render())

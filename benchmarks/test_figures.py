@@ -1,0 +1,122 @@
+"""Benchmarks F1-F3: regenerate the paper's three figures (as text).
+
+* F1 — the SASY scrutable profile page (Figure 1);
+* F2 — the newsmap-style treemap (Figure 2);
+* F3 — the LIBRA influence table (Figure 3).
+"""
+
+from __future__ import annotations
+
+from repro.core import ExplainedRecommender, InfluenceExplainer
+from repro.domains import make_books, make_holidays, make_news
+from repro.interaction import ScrutableProfile
+from repro.presentation import build_news_treemap
+from repro.recsys import NaiveBayesRecommender
+
+
+class TestFigure1ScrutablePage:
+    def _build_page(self) -> str:
+        profile = ScrutableProfile("traveller")
+        profile.volunteer("preferred_climate", "hot")
+        profile.infer(
+            "travels_with_children",
+            True,
+            because="you searched for family parks twice last month",
+        )
+        profile.infer(
+            "budget_conscious",
+            True,
+            because="you sorted by price in 4 of your last 5 visits",
+        )
+        return profile.render_page()
+
+    def test_regenerate(self, benchmark, archive):
+        page = benchmark(self._build_page)
+        assert "[you said]" in page
+        assert "[we inferred]" in page
+        assert "why?" in page
+        assert "Change any of these" in page
+        archive("fig1_scrutable_page.txt", page)
+
+    def test_edit_cycle(self, benchmark, holiday_ignored=None):
+        """The Figure 1 cycle: view -> why -> edit -> re-personalise."""
+        dataset, catalog = make_holidays(n_items=48, seed=41)
+
+        def cycle() -> tuple[str, str]:
+            profile = ScrutableProfile("traveller")
+            profile.infer(
+                "travels_with_children", True, because="observed searches"
+            )
+            why = profile.why("travels_with_children")
+            profile.correct("travels_with_children", False)
+            return why, profile.get("travels_with_children").provenance
+
+        why, provenance = benchmark(cycle)
+        assert "We inferred" in why
+        assert provenance == "volunteered"
+
+
+class TestFigure2Treemap:
+    def test_regenerate(self, benchmark, archive):
+        world = make_news(n_users=40, n_items=120, seed=3)
+        item_ids = list(world.dataset.items)[:60]
+
+        def build() -> str:
+            return build_news_treemap(
+                world.dataset, item_ids, width=78, height=22
+            ).render()
+
+        rendered = benchmark(build)
+        assert "legend:" in rendered
+        assert "UPPERCASE = recent" in rendered
+        # colour (letter) per section, size by importance: sections present
+        assert "sports" in rendered
+        archive("fig2_treemap.txt", rendered)
+
+    def test_layout_invariants(self, benchmark):
+        world = make_news(n_users=20, n_items=80, seed=3)
+        item_ids = list(world.dataset.items)
+
+        def build():
+            return build_news_treemap(world.dataset, item_ids)
+
+        treemap = benchmark(build)
+        total_area = sum(cell.rect.area for cell in treemap.cells)
+        assert abs(total_area - 78 * 22) < 1.0
+
+
+class TestFigure3InfluenceTable:
+    def test_regenerate(self, benchmark, archive):
+        world = make_books(n_users=40, n_items=100, seed=11)
+        pipeline = ExplainedRecommender(
+            NaiveBayesRecommender(), InfluenceExplainer()
+        ).fit(world.dataset)
+
+        def build() -> str:
+            explained = pipeline.recommend("user_001", n=1)[0]
+            header = (
+                f"Recommended: "
+                f"{world.dataset.item(explained.item_id).title}\n"
+            )
+            return header + explained.explanation.render(
+                include_details=True
+            )
+
+        rendered = benchmark(build)
+        assert "influenced it most" in rendered
+        assert "Influence of your ratings" in rendered
+        assert "%" in rendered
+        archive("fig3_influence_table.txt", rendered)
+
+    def test_influence_percentages_sum(self, benchmark):
+        world = make_books(n_users=30, n_items=80, seed=11)
+        recommender = NaiveBayesRecommender().fit(world.dataset)
+        item_id = world.dataset.unrated_items("user_001")[0]
+
+        def influences():
+            prediction = recommender.predict("user_001", item_id)
+            return prediction.find_evidence("rating_influence")
+
+        evidence = benchmark(influences)
+        total = sum(abs(v) for v in evidence.percentages().values())
+        assert abs(total - 100.0) < 1e-6

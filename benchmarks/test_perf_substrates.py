@@ -1,0 +1,110 @@
+"""Benchmark P1 — throughput of the recommender substrates.
+
+Not a paper artefact: these time the library's own hot paths (predict /
+recommend / explain / mine-critiques) on standard synthetic workloads,
+so regressions in the substrates are visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ExplainedRecommender, NeighborHistogramExplainer
+from repro.domains import make_cameras, make_movies
+from repro.interaction import mine_compound_critiques
+from repro.presentation import build_news_treemap
+from repro.recsys import (
+    ContentBasedRecommender,
+    ItemBasedCF,
+    KnowledgeBasedRecommender,
+    NaiveBayesRecommender,
+    Preference,
+    UserBasedCF,
+    UserRequirements,
+)
+
+
+@pytest.fixture(scope="module")
+def movie_world():
+    return make_movies(n_users=80, n_items=150, seed=7, density=0.2)
+
+
+@pytest.fixture(scope="module")
+def camera_world():
+    return make_cameras(n_items=120, seed=21)
+
+
+class TestFitThroughput:
+    def test_fit_user_cf(self, benchmark, movie_world):
+        benchmark(lambda: UserBasedCF().fit(movie_world.dataset))
+
+    def test_fit_content(self, benchmark, movie_world):
+        benchmark(lambda: ContentBasedRecommender().fit(movie_world.dataset))
+
+
+class TestPredictThroughput:
+    def test_user_cf_recommend(self, benchmark, movie_world):
+        recommender = UserBasedCF().fit(movie_world.dataset)
+        result = benchmark(lambda: recommender.recommend("user_000", n=10))
+        assert result
+
+    def test_item_cf_recommend(self, benchmark, movie_world):
+        recommender = ItemBasedCF().fit(movie_world.dataset)
+        result = benchmark(lambda: recommender.recommend("user_000", n=10))
+        assert result
+
+    def test_content_recommend(self, benchmark, movie_world):
+        recommender = ContentBasedRecommender().fit(movie_world.dataset)
+        result = benchmark(lambda: recommender.recommend("user_000", n=10))
+        assert result
+
+    def test_naive_bayes_predict_with_influences(self, benchmark,
+                                                 movie_world):
+        recommender = NaiveBayesRecommender().fit(movie_world.dataset)
+        item_id = movie_world.dataset.unrated_items("user_000")[0]
+
+        def predict():
+            recommender.invalidate("user_000")
+            return recommender.predict("user_000", item_id)
+
+        prediction = benchmark(predict)
+        assert prediction.find_evidence("rating_influence") is not None
+
+    def test_knowledge_rank(self, benchmark, camera_world):
+        dataset, catalog = camera_world
+        recommender = KnowledgeBasedRecommender(catalog).fit(dataset)
+        requirements = UserRequirements(
+            preferences=[
+                Preference("price", weight=1.0),
+                Preference("resolution", weight=2.0),
+            ]
+        )
+        ranked = benchmark(lambda: recommender.rank(requirements, n=10))
+        assert len(ranked) == 10
+
+
+class TestExplainThroughput:
+    def test_explained_recommendation(self, benchmark, movie_world):
+        pipeline = ExplainedRecommender(
+            UserBasedCF(), NeighborHistogramExplainer()
+        ).fit(movie_world.dataset)
+        result = benchmark(lambda: pipeline.recommend("user_001", n=5))
+        assert result
+
+    def test_compound_critique_mining(self, benchmark, camera_world):
+        dataset, catalog = camera_world
+        items = list(dataset.items.values())
+        critiques = benchmark(
+            lambda: mine_compound_critiques(catalog, items[0], items[1:])
+        )
+        assert critiques
+
+    def test_treemap_layout(self, benchmark):
+        from repro.domains import make_news
+
+        world = make_news(n_users=20, n_items=140, seed=3)
+        item_ids = list(world.dataset.items)
+        treemap = benchmark(
+            lambda: build_news_treemap(world.dataset, item_ids)
+        )
+        assert len(treemap.cells) == len(item_ids)

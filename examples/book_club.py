@@ -1,0 +1,100 @@
+"""Book club: LIBRA-style influence explanations + effectiveness study.
+
+Demonstrates:
+
+* the naive-Bayes book recommender with exact leave-one-out influence
+  attribution (Figure 3);
+* the "You might also like... Oliver Twist" same-author effect (4.3);
+* a miniature Bilgic & Mooney effectiveness study — influence
+  explanations help users predict their own post-reading opinion (3.5).
+
+Run:  python examples/book_club.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ExplainedRecommender, InfluenceExplainer
+from repro.domains import make_books
+from repro.evaluation.criteria.effectiveness import double_rating_trial
+from repro.evaluation.users import ExplanationStimulus, make_population
+from repro.recsys import ItemBasedCF, NaiveBayesRecommender
+
+
+def main() -> None:
+    world = make_books(n_users=50, n_items=120, seed=11)
+    dataset = world.dataset
+    user_id = "user_001"
+
+    print("=" * 70)
+    print("INFLUENCE OF YOUR RATINGS ON THIS RECOMMENDATION (Figure 3)")
+    print("=" * 70)
+    pipeline = ExplainedRecommender(
+        NaiveBayesRecommender(), InfluenceExplainer()
+    ).fit(dataset)
+    best = pipeline.recommend(user_id, n=1)[0]
+    print(f"Recommended: {dataset.item(best.item_id).title} "
+          f"(predicted {best.score:.1f})")
+    print()
+    print(best.explanation.render(include_details=True))
+
+    print()
+    print("=" * 70)
+    print("SAME-AUTHOR SIMILARITY (Section 4.3)")
+    print("=" * 70)
+    item_cf = ItemBasedCF().fit(dataset)
+    anchor_id, anchor = next(
+        (item_id, item)
+        for item_id, item in dataset.items.items()
+        if dataset.ratings_for(item_id)
+    )
+    print(f"Because you liked {anchor.title} "
+          f"(by {anchor.attributes['author']}):")
+    for similar_id, similarity in item_cf.similar_items(anchor_id, n=3):
+        similar = dataset.item(similar_id)
+        print(f"  You might also like... {similar.title} "
+              f"(by {similar.attributes['author']}, match {similarity:.0%})")
+
+    print()
+    print("=" * 70)
+    print("MINI EFFECTIVENESS STUDY (Bilgic & Mooney, Section 3.5)")
+    print("=" * 70)
+    users = make_population(
+        list(dataset.users)[:30],
+        true_utility_for=lambda uid: (
+            lambda item_id: world.true_utility(uid, item_id)
+        ),
+        scale=dataset.scale,
+        seed=2,
+    )
+    stimuli = {
+        "influence explanation": ExplanationStimulus(
+            fidelity=0.85, persuasive_pull=0.2
+        ),
+        "hype-only histogram": ExplanationStimulus(
+            fidelity=0.15, persuasive_pull=0.9
+        ),
+    }
+    item_ids = list(dataset.items)[:4]
+    for label, base in stimuli.items():
+        gaps = []
+        for user in users:
+            for item_id in item_ids:
+                shown = dataset.scale.clip(
+                    world.true_utility(user.user_id, item_id) + 0.8
+                )
+                stimulus = ExplanationStimulus(
+                    fidelity=base.fidelity,
+                    persuasive_pull=base.persuasive_pull,
+                    shown_prediction=shown,
+                )
+                gaps.append(double_rating_trial(user, item_id, stimulus).gap)
+        print(f"{label:>24}: mean (pre - post) rating gap "
+              f"{np.mean(gaps):+.2f}")
+    print("A gap near zero means the explanation helped the reader judge "
+          "the book correctly before reading it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Camera shop: Qwikshop-style critiquing with trade-off explanations.
+
+Demonstrates the survey's knowledge-based material end to end:
+
+* Pu & Chen's structured overview with computed trade-off categories
+  (4.5);
+* unit critiques and mined dynamic compound critiques — "Less Memory and
+  Lower Resolution and Cheaper" (5.2);
+* constraint-relaxation advice instead of a bare "no results" (5.2);
+* the interaction log behind the efficiency measures (3.6).
+
+Run:  python examples/camera_shop.py
+"""
+
+from __future__ import annotations
+
+from repro.domains import make_cameras
+from repro.interaction import CritiqueSession, UnitCritique
+from repro.presentation import build_overview
+from repro.recsys import (
+    Constraint,
+    KnowledgeBasedRecommender,
+    Preference,
+    UserRequirements,
+)
+
+
+def main() -> None:
+    dataset, catalog = make_cameras(n_items=100, seed=21)
+    recommender = KnowledgeBasedRecommender(catalog).fit(dataset)
+
+    requirements = UserRequirements(
+        constraints=[Constraint("price", "<=", 800)],
+        preferences=[
+            Preference("resolution", weight=2.0),
+            Preference("price", weight=1.5),
+            Preference("memory", weight=1.0),
+            Preference("weight", weight=0.5),
+        ],
+    )
+
+    print("=" * 70)
+    print("STRUCTURED OVERVIEW (Pu & Chen, Section 4.5)")
+    print("=" * 70)
+    overview = build_overview(recommender, requirements)
+    print(overview.render())
+
+    print()
+    print("=" * 70)
+    print("CONVERSATIONAL CRITIQUING SESSION (Section 5.2)")
+    print("=" * 70)
+    session = CritiqueSession(recommender, requirements)
+    reference = session.reference
+    print(f"System shows: {reference.title} "
+          f"({reference.attributes['price']:.0f} USD, "
+          f"{reference.attributes['resolution']:.1f} MP, "
+          f"{reference.attributes['memory']:.0f} MB)")
+    print("Dynamic compound critiques on offer:")
+    for critique in session.compound_critiques:
+        print(f"  - {critique.describe(catalog)}")
+
+    print()
+    print('User: "Cheaper, please."')
+    session.critique(UnitCritique("price", "less"))
+    reference = session.reference
+    print(f"System shows: {reference.title} "
+          f"({reference.attributes['price']:.0f} USD)")
+
+    if session.compound_critiques:
+        compound = session.compound_critiques[0]
+        print(f'User picks the compound critique: '
+              f'"{compound.phrase(catalog)}"')
+        session.critique(compound)
+        reference = session.reference
+        print(f"System shows: {reference.title} "
+              f"({reference.attributes['price']:.0f} USD, "
+              f"{reference.attributes['resolution']:.1f} MP)")
+
+    accepted = session.accept()
+    print(f"User accepts: {accepted.title}")
+    print(f"Session: {session.log.n_cycles} cycles, "
+          f"{session.log.total_seconds:.0f} simulated seconds, "
+          f"{session.log.count('repair')} repair actions")
+
+    print()
+    print("=" * 70)
+    print("DEAD END? SHOW WHAT DOES EXIST (Section 5.2)")
+    print("=" * 70)
+    impossible = UserRequirements(
+        constraints=[
+            Constraint("price", "<=", 100),
+            Constraint("resolution", ">=", 11.0),
+        ]
+    )
+    print("User asks for: price <= 100 AND resolution >= 11.0 MP")
+    if not recommender.matching_items(impossible):
+        print("No camera matches. Instead of a bare 'no results':")
+        for relaxation in recommender.relaxations(impossible):
+            print(f"  - {relaxation.describe()}")
+
+
+if __name__ == "__main__":
+    main()

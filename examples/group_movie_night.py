@@ -1,0 +1,44 @@
+"""Group movie night: aggregation strategies with group explanations.
+
+INTRIGUE (paper ref [2]) recommends to *groups* of tourists; Masthoff's
+aggregation strategies make the group choice explainable member by
+member.  Three friends with different tastes pick a movie under four
+strategies; each choice comes with an explanation showing whose
+predictions drove it.
+
+Run:  python examples/group_movie_night.py
+"""
+
+from __future__ import annotations
+
+from repro.domains import make_movies
+from repro.recsys import STRATEGIES, GroupRecommender, UserBasedCF
+
+
+def main() -> None:
+    world = make_movies(n_users=60, n_items=120, seed=7, density=0.25)
+    dataset = world.dataset
+    recommender = UserBasedCF().fit(dataset)
+    members = ["user_000", "user_001", "user_002"]
+
+    print("Movie night for:", ", ".join(members))
+    for member in members:
+        favorite = dataset.user(member).attributes["favorite_genre"]
+        print(f"  {member} mostly watches {favorite}")
+    print()
+
+    for strategy in STRATEGIES:
+        group = GroupRecommender(recommender, strategy=strategy)
+        recommendations = group.recommend(members, n=1)
+        if not recommendations:
+            print(f"[{strategy}] nothing satisfies this strategy")
+            continue
+        top = recommendations[0]
+        title = dataset.item(top.item_id).title
+        print(f"[{strategy}] {title} (group score {top.score:.2f})")
+        print(f"    {group.explain(top)}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""Movie night: the MovieLens-style collaborative experience.
+
+Demonstrates the survey's collaborative-filtering material end to end:
+
+* top-N recommendations with per-item and joint explanations (4.2);
+* the Herlocker histogram — the most persuasive of the 21 interfaces
+  (3.4);
+* recommender personalities: honest vs. bold vs. frank (4.6);
+* a Cosley-style re-rating showing the persuasion effect (2.4).
+
+Run:  python examples/movie_night.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ExplainedRecommender, NeighborHistogramExplainer
+from repro.domains import make_movies
+from repro.evaluation.users import ExplanationStimulus, make_population
+from repro.presentation import (
+    BOLD,
+    FRANK,
+    PersonalityRecommender,
+    TopItemPresenter,
+    TopNPresenter,
+)
+from repro.recsys import UserBasedCF
+
+
+def main() -> None:
+    world = make_movies(n_users=80, n_items=150, seed=7, density=0.25)
+    dataset = world.dataset
+    user_id = "user_004"
+
+    pipeline = ExplainedRecommender(
+        UserBasedCF(), NeighborHistogramExplainer()
+    ).fit(dataset)
+
+    print("=" * 70)
+    print("TOP PICK WITH THE HERLOCKER HISTOGRAM")
+    print("=" * 70)
+    recommendations = pipeline.recommend(user_id, n=5)
+    print(TopItemPresenter(dataset, recommendations[0]).render())
+
+    print()
+    print("=" * 70)
+    print("TONIGHT'S TOP-5")
+    print("=" * 70)
+    print(
+        TopNPresenter(
+            dataset, recommendations, show_item_explanations=False
+        ).render()
+    )
+
+    print()
+    print("=" * 70)
+    print("PERSONALITIES: SAME ENGINE, DIFFERENT VOICE (Section 4.6)")
+    print("=" * 70)
+    for personality in (BOLD, FRANK):
+        wrapped = PersonalityRecommender(pipeline, personality)
+        best = wrapped.recommend(user_id, n=1)[0]
+        title = dataset.item(best.item_id).title
+        print(f"[{personality.name}] {title} shown as {best.score:.1f}")
+        if best.explanation.text:
+            print(f"    {best.explanation.text}")
+
+    print()
+    print("=" * 70)
+    print("IS SEEING BELIEVING? A 30-SECOND COSLEY RE-RATING DEMO")
+    print("=" * 70)
+    users = make_population(
+        list(dataset.users)[:30],
+        true_utility_for=lambda uid: (
+            lambda item_id: world.true_utility(uid, item_id)
+        ),
+        scale=dataset.scale,
+        seed=1,
+    )
+    shifts_control, shifts_inflated = [], []
+    for user in users:
+        rated = list(dataset.ratings_by(user.user_id).items())[:2]
+        for index, (item_id, rating) in enumerate(rated):
+            if index % 2 == 0:
+                stimulus = ExplanationStimulus()
+                target = shifts_control
+            else:
+                stimulus = ExplanationStimulus(
+                    persuasive_pull=0.8,
+                    shown_prediction=dataset.scale.clip(rating.value + 1.0),
+                )
+                target = shifts_inflated
+            rerated = user.anticipated_rating(item_id, stimulus)
+            if stimulus.shown_prediction is None:
+                rerated = dataset.scale.clip(
+                    rating.value + user.rng.normal(0, user.rating_noise)
+                )
+            target.append(rerated - rating.value)
+    print(f"mean re-rating shift, no prediction shown: "
+          f"{np.mean(shifts_control):+.2f}")
+    print(f"mean re-rating shift, prediction shown one star high: "
+          f"{np.mean(shifts_inflated):+.2f}")
+    print("Users drift toward what the interface tells them — whether or "
+          "not it is accurate.")
+
+
+if __name__ == "__main__":
+    main()

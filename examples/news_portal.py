@@ -1,0 +1,125 @@
+"""News portal: the survey's running football/hockey example, live.
+
+Demonstrates:
+
+* top-N news with a joint, history-based explanation (4.2);
+* the "why is this predicted low?" hockey answer (4.4);
+* a treemap overview of the day's news (Figure 2);
+* the opinion vocabulary, including "Surprise me!" (5.4);
+* the TiVo scenario: a wrong background inference, surfaced and fixed
+  (2.1, 2.2).
+
+Run:  python examples/news_portal.py
+"""
+
+from __future__ import annotations
+
+from repro.core import ExplainedRecommender, PreferenceBasedExplainer
+from repro.domains import make_news
+from repro.interaction import (
+    Opinion,
+    OpinionFeedback,
+    OpinionHandler,
+    ProfileRecommender,
+    ScrutableProfile,
+    infer_topic_interests,
+)
+from repro.presentation import (
+    PredictedRatingsBrowser,
+    TopNPresenter,
+    build_news_treemap,
+)
+from repro.recsys import UserBasedCF
+
+
+def main() -> None:
+    world = make_news(n_users=60, n_items=140, seed=3)
+    dataset = world.dataset
+    user_id = "user_002"
+
+    pipeline = ExplainedRecommender(
+        UserBasedCF(), PreferenceBasedExplainer()
+    ).fit(dataset)
+
+    print("=" * 70)
+    print("YOUR MORNING FEED (Section 4.2)")
+    print("=" * 70)
+    recommendations = pipeline.recommend(user_id, n=5)
+    print(TopNPresenter(dataset, recommendations).render())
+
+    print()
+    print("=" * 70)
+    print('"WHY IS THIS PREDICTED LOW?" (Section 4.4)')
+    print("=" * 70)
+    browser = PredictedRatingsBrowser(pipeline, user_id)
+    low_items = sorted(
+        browser.page(offset=0), key=lambda er: er.score
+    )
+    explained_any = False
+    for candidate in low_items:
+        why = browser.why(candidate.item_id)
+        if "do not seem to like" in why:
+            title = dataset.item(candidate.item_id).title
+            print(f"Item: {title} (predicted {candidate.score:.1f})")
+            print(f"System: {why}")
+            explained_any = True
+            break
+    if not explained_any:
+        candidate = low_items[0]
+        print(f"Item: {dataset.item(candidate.item_id).title}")
+        print(f"System: {browser.why(candidate.item_id)}")
+
+    print()
+    print("=" * 70)
+    print("TODAY'S NEWS AS A TREEMAP (Figure 2)")
+    print("=" * 70)
+    print(build_news_treemap(dataset, list(dataset.items)[:60]).render())
+
+    print()
+    print("=" * 70)
+    print("OPINION FEEDBACK (Section 5.4)")
+    print("=" * 70)
+    profile = ScrutableProfile(user_id)
+    handler = OpinionHandler(dataset, profile)
+    first = recommendations[0]
+    print(f'User on "{dataset.item(first.item_id).title}": More like this!')
+    print(f"System: {handler.apply(OpinionFeedback(Opinion.MORE_LIKE_THIS, item_id=first.item_id))}")
+    second = recommendations[1]
+    print(f'User on "{dataset.item(second.item_id).title}": '
+          f"I already know this (and liked it).")
+    print(f"System: {handler.apply(OpinionFeedback(Opinion.ALREADY_KNOW_THIS, item_id=second.item_id, liked=True))}")
+    print("User: Surprise me!")
+    print(f"System: {handler.apply(OpinionFeedback(Opinion.SURPRISE_ME))}")
+
+    print()
+    print("=" * 70)
+    print("THE TIVO SCENARIO (Sections 2.1-2.2)")
+    print("=" * 70)
+    tivo_profile = ScrutableProfile(user_id)
+    infer_topic_interests(tivo_profile, dataset, min_observations=2)
+    recommender = ProfileRecommender(tivo_profile).fit(dataset)
+    inferred = [
+        a for a in tivo_profile.attributes()
+        if a.name.startswith("likes:") and a.value is True
+    ]
+    if inferred:
+        suspect = inferred[0]
+        topic = suspect.name.split(":", 1)[1]
+        print("The system quietly inferred something from viewing history:")
+        print(f"  {tivo_profile.why(suspect.name)}")
+        before = [
+            r.item_id for r in recommender.recommend(user_id, n=8)
+        ]
+        n_before = sum(
+            1 for i in before if topic in dataset.item(i).topics
+        )
+        print(f"Feed before correction: {n_before}/8 items about {topic}")
+        print(f'User: "No — stop assuming I like {topic}."')
+        tivo_profile.correct(suspect.name, False)
+        after = [r.item_id for r in recommender.recommend(user_id, n=8)]
+        n_after = sum(1 for i in after if topic in dataset.item(i).topics)
+        print(f"Feed after correction:  {n_after}/8 items about {topic}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Quickstart: one dataset, three explanation styles.
+
+Builds a synthetic movie world, trains three recommender substrates, and
+prints the same recommendation explained in each of the paper's three
+styles (content-based, collaborative-based, preference-based).
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    CollaborativeExplainer,
+    ContentBasedExplainer,
+    ExplainedRecommender,
+    PreferenceBasedExplainer,
+)
+from repro.domains import make_movies
+from repro.recsys import ContentBasedRecommender, ItemBasedCF, UserBasedCF
+
+
+def main() -> None:
+    world = make_movies(n_users=60, n_items=120, seed=7)
+    user_id = "user_000"
+    print(f"Dataset: {world.dataset}")
+    print(f"Explaining recommendations for {user_id}\n")
+
+    pipelines = {
+        "collaborative-based (user kNN)": ExplainedRecommender(
+            UserBasedCF(), CollaborativeExplainer()
+        ),
+        "content-based (item kNN evidence)": ExplainedRecommender(
+            ItemBasedCF(), ContentBasedExplainer()
+        ),
+        "preference-based (TF-IDF profile)": ExplainedRecommender(
+            ContentBasedRecommender(), PreferenceBasedExplainer()
+        ),
+    }
+
+    for label, pipeline in pipelines.items():
+        pipeline.fit(world.dataset)
+        print(f"--- {label} ---")
+        for explained in pipeline.recommend(user_id, n=2):
+            title = world.dataset.item(explained.item_id).title
+            print(f"  {title}  (predicted {explained.score:.1f})")
+            print(f"    {explained.explanation.text}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,134 @@
+"""Conversational recommenders: two dialogs from the paper.
+
+1. The Wärnestål movie dialog of Section 5.1, reproduced verbatim in
+   structure ("Pulp Fiction is a thriller starring Bruce Willis").
+2. An Adaptive-Place-Advisor-style restaurant dialog: slot-filling over
+   cuisine / price / distance, ending with a recommendation that
+   "explains indirectly, by reiterating (and satisfying) the user's
+   requirements".
+
+Run:  python examples/restaurant_dialog.py
+"""
+
+from __future__ import annotations
+
+from repro.domains import CUISINES, make_movies, make_restaurants
+from repro.interaction import MovieDialog, Slot, SlotFillingDialog
+from repro.recsys import (
+    KnowledgeBasedRecommender,
+    Preference,
+    UserRequirements,
+    Constraint,
+)
+
+
+def movie_dialog() -> None:
+    world = make_movies(n_users=30, n_items=100, seed=7)
+    dialog = MovieDialog(
+        world.dataset, actor_names={"willis": "Bruce Willis"}
+    )
+    script = [
+        "I feel like watching a thriller",
+        "Uhm, I'm not sure",
+        "I think Bruce Willis is good",
+        "No",
+        "Sounds good!",
+    ]
+    dialog.start(script[0])
+    for utterance in script[1:]:
+        dialog.feed(utterance)
+    print(dialog.render_transcript())
+
+
+def restaurant_dialog() -> None:
+    dataset, catalog = make_restaurants(n_items=80, seed=31)
+    recommender = KnowledgeBasedRecommender(catalog).fit(dataset)
+
+    def parse_cuisine(text: str) -> str | None:
+        for cuisine in CUISINES:
+            if cuisine in text.lower():
+                return cuisine
+        return None
+
+    def parse_price(text: str) -> float | None:
+        lowered = text.lower()
+        if "cheap" in lowered or "budget" in lowered:
+            return 2.0
+        if "fancy" in lowered or "expensive" in lowered:
+            return 4.0
+        return None
+
+    def parse_distance(text: str) -> float | None:
+        lowered = text.lower()
+        if "walk" in lowered or "nearby" in lowered or "close" in lowered:
+            return 5.0
+        if "drive" in lowered:
+            return 20.0
+        return None
+
+    def propose(filled: dict, rejected: set):
+        requirements = UserRequirements(
+            preferences=[Preference("food_quality", weight=1.0)]
+        )
+        if "cuisine" in filled:
+            requirements.add_constraint(
+                Constraint("cuisine", "==", filled["cuisine"])
+            )
+        if "max_price" in filled:
+            requirements.add_constraint(
+                Constraint("price_level", "<=", filled["max_price"])
+            )
+        if "max_distance" in filled:
+            requirements.add_constraint(
+                Constraint("distance_km", "<=", filled["max_distance"])
+            )
+        for item, __, __ in recommender.rank(requirements):
+            if item.item_id not in rejected:
+                return item.item_id, item.title
+        return None
+
+    def explain(filled: dict, item_id: str) -> str:
+        item = dataset.item(item_id)
+        clauses = [f"{item.title} serves {item.attributes['cuisine']}"]
+        if "max_price" in filled:
+            clauses.append(
+                f"is price level {item.attributes['price_level']:.0f} of 4"
+            )
+        if "max_distance" in filled:
+            clauses.append(
+                f"is only {item.attributes['distance_km']} km away"
+            )
+        return ", ".join(clauses) + "."
+
+    dialog = SlotFillingDialog(
+        slots=[
+            Slot("cuisine", "What kind of food do you feel like?",
+                 parse_cuisine),
+            Slot("max_price", "Any budget in mind?", parse_price),
+            Slot("max_distance", "How far are you willing to go?",
+                 parse_distance),
+        ],
+        propose=propose,
+        explain=explain,
+    )
+    dialog.start("Somewhere cheap with thai food")
+    dialog.feed("Walking distance, please")
+    dialog.feed("No, never been there")
+    dialog.feed("Sounds good")
+    print(dialog.render_transcript())
+
+
+def main() -> None:
+    print("=" * 70)
+    print("THE WARNESTAL MOVIE DIALOG (Section 5.1)")
+    print("=" * 70)
+    movie_dialog()
+    print()
+    print("=" * 70)
+    print("ADAPTIVE-PLACE-ADVISOR-STYLE RESTAURANT DIALOG (Section 3.6)")
+    print("=" * 70)
+    restaurant_dialog()
+
+
+if __name__ == "__main__":
+    main()

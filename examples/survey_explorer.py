@@ -1,0 +1,80 @@
+"""Survey explorer: query the paper's Tables 1-4 as data.
+
+The survey's framework is itself part of the library: the seven aims,
+the trade-off observations, and the classified system inventories are
+first-class, queryable objects.
+
+Run:  python examples/survey_explorer.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    Aim,
+    ExplanationStyle,
+    InteractionMode,
+    PresentationMode,
+    REGISTRY,
+    TRADEOFFS,
+    render_table_1,
+    render_table_2,
+    render_table_3,
+    render_table_4,
+)
+
+
+def main() -> None:
+    print("=" * 70)
+    print("TABLE 1: THE SEVEN AIMS")
+    print("=" * 70)
+    print(render_table_1())
+
+    print()
+    print("=" * 70)
+    print("TABLE 2: AIMS OF ACADEMIC SYSTEMS")
+    print("=" * 70)
+    print(render_table_2())
+
+    print()
+    print("=" * 70)
+    print("TABLES 3-4: SYSTEM INVENTORIES")
+    print("=" * 70)
+    print(render_table_3())
+    print()
+    print(render_table_4())
+
+    print()
+    print("=" * 70)
+    print("QUERIES THE PAPER INVITES")
+    print("=" * 70)
+    trust_systems = [s.name for s in REGISTRY.with_aim(Aim.TRUST)]
+    print(f"Who aims at trust?                {', '.join(trust_systems)}")
+    collaborative = [
+        s.name
+        for s in REGISTRY.with_style(ExplanationStyle.COLLABORATIVE_BASED)
+    ]
+    print(f"Who explains collaboratively?     {', '.join(collaborative)}")
+    overviews = [
+        s.name
+        for s in REGISTRY.with_presentation(
+            PresentationMode.STRUCTURED_OVERVIEW
+        )
+    ]
+    print(f"Who shows structured overviews?   {', '.join(overviews)}")
+    critiquers = [
+        s.name
+        for s in REGISTRY.with_interaction(InteractionMode.ALTERATION)
+    ]
+    print(f"Who supports alteration?          {', '.join(critiquers)}")
+
+    print()
+    print("=" * 70)
+    print("SECTION 3.8: THE TRADE-OFFS")
+    print("=" * 70)
+    for tradeoff in TRADEOFFS:
+        print(f"{tradeoff.favoured.value} vs {tradeoff.impaired.value}: "
+              f"{tradeoff.mechanism}")
+
+
+if __name__ == "__main__":
+    main()

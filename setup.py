@@ -1,0 +1,10 @@
+"""Legacy setuptools shim for offline editable installs.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 517 editable installs are unavailable; ``pip install -e .`` falls
+back to this shim.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""repro — an explanation framework for recommender systems.
+
+A library-scale reproduction of Tintarev & Masthoff, *A Survey of
+Explanations in Recommender Systems* (WPRSIUI @ ICDE 2007): the seven
+explanation aims, every explanation style, presentation mode and
+interaction channel the survey catalogues, the recommender substrates
+they are generated from, and simulated-user reproductions of the studies
+the survey's argument rests on.
+
+Quick start::
+
+    from repro.domains import make_movies
+    from repro.recsys import UserBasedCF
+    from repro.core import ExplainedRecommender, NeighborHistogramExplainer
+
+    world = make_movies()
+    pipeline = ExplainedRecommender(
+        UserBasedCF(), NeighborHistogramExplainer()
+    ).fit(world.dataset)
+    for rec in pipeline.recommend("user_000", n=3):
+        print(rec.explanation.render(include_details=True))
+
+Subpackages
+-----------
+``repro.core``
+    The explanation framework: aims, styles, explainers, pipeline and the
+    survey registry (Tables 1-4).
+``repro.recsys``
+    Recommender substrates: collaborative (user/item kNN), content-based
+    (TF-IDF), naive-Bayes (LIBRA-style), knowledge-based (MAUT) and
+    popularity; metrics and diversification.
+``repro.presentation``
+    Section 4 presenters: top item, top-N, similar-to-top, predicted
+    ratings, structured overview, treemaps, facets, personalities.
+``repro.interaction``
+    Section 5 channels: requirements, dialogs, critiquing, ratings,
+    scrutable profiles, opinion feedback.
+``repro.evaluation``
+    Section 3 methodology: simulated users, questionnaires, statistics,
+    per-aim evaluators and the E1-E9 study harnesses.
+``repro.domains``
+    Deterministic synthetic item worlds (movies, books, news, cameras,
+    restaurants, holidays).
+"""
+
+from repro.errors import (
+    ConstraintError,
+    DataError,
+    DialogError,
+    EvaluationError,
+    NotFittedError,
+    PredictionImpossibleError,
+    ReproError,
+    UnknownItemError,
+    UnknownUserError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "DataError",
+    "UnknownUserError",
+    "UnknownItemError",
+    "NotFittedError",
+    "PredictionImpossibleError",
+    "ConstraintError",
+    "DialogError",
+    "EvaluationError",
+]

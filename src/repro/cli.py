@@ -1,0 +1,167 @@
+"""Command-line interface.
+
+```
+python -m repro tables            # print Tables 1-4
+python -m repro figures           # print Figures 1-3 (text renderings)
+python -m repro studies           # run all studies (E1-E10)
+python -m repro studies E1 E3     # run a subset
+python -m repro demo              # the quickstart pipeline
+```
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Callable, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_tables(_: argparse.Namespace) -> int:
+    from repro.core import (
+        render_table_1,
+        render_table_2,
+        render_table_3,
+        render_table_4,
+    )
+
+    for title, renderer in (
+        ("Table 1: aims of explanation facilities", render_table_1),
+        ("Table 2: aims of academic systems", render_table_2),
+        ("Table 3: commercial systems", render_table_3),
+        ("Table 4: academic systems", render_table_4),
+    ):
+        print(f"== {title} ==")
+        print(renderer())
+        print()
+    return 0
+
+
+def _cmd_figures(_: argparse.Namespace) -> int:
+    from repro.core import ExplainedRecommender, InfluenceExplainer
+    from repro.domains import make_books, make_news
+    from repro.interaction import ScrutableProfile
+    from repro.presentation import build_news_treemap
+    from repro.recsys import NaiveBayesRecommender
+
+    print("== Figure 1: scrutable profile page ==")
+    profile = ScrutableProfile("traveller")
+    profile.volunteer("preferred_climate", "hot")
+    profile.infer(
+        "travels_with_children", True,
+        because="you searched for family parks twice last month",
+    )
+    print(profile.render_page())
+    print()
+
+    print("== Figure 2: news treemap ==")
+    news = make_news(n_users=40, n_items=120, seed=3)
+    print(build_news_treemap(news.dataset, list(news.dataset.items)[:60]).render())
+    print()
+
+    print("== Figure 3: influence of ratings ==")
+    books = make_books(n_users=40, n_items=100, seed=11)
+    pipeline = ExplainedRecommender(
+        NaiveBayesRecommender(), InfluenceExplainer()
+    ).fit(books.dataset)
+    explained = pipeline.recommend("user_001", n=1)[0]
+    print(explained.explanation.render(include_details=True))
+    return 0
+
+
+_STUDIES: dict[str, str] = {
+    "E1": "run_herlocker_study",
+    "E2": "run_cosley_study",
+    "E3": "run_bilgic_study",
+    "E4": "run_critiquing_study",
+    "E5": "run_trust_study",
+    "E6": "run_tradeoff_study",
+    "E7": "run_scrutability_study",
+    "E8": "run_personality_study",
+    "E9": "run_diversification_study",
+    "E10": "run_modality_study",
+    "E11": "run_design_confound_study",
+    "E12": "run_explicit_implicit_study",
+}
+
+
+def _cmd_studies(arguments: argparse.Namespace) -> int:
+    import repro.evaluation.studies as studies_module
+
+    requested = arguments.ids or sorted(
+        _STUDIES, key=lambda sid: int(sid[1:])
+    )
+    exit_code = 0
+    for study_id in requested:
+        runner_name = _STUDIES.get(study_id.upper())
+        if runner_name is None:
+            print(f"unknown study id {study_id!r}; "
+                  f"choose from {', '.join(sorted(_STUDIES))}")
+            return 2
+        runner: Callable = getattr(studies_module, runner_name)
+        report = runner()
+        print(report.render())
+        print()
+        if not report.shape_holds:
+            exit_code = 1
+    return exit_code
+
+
+def _cmd_demo(_: argparse.Namespace) -> int:
+    from repro.core import ExplainedRecommender, NeighborHistogramExplainer
+    from repro.domains import make_movies
+    from repro.recsys import UserBasedCF
+
+    world = make_movies(n_users=60, n_items=120, seed=7, density=0.25)
+    pipeline = ExplainedRecommender(
+        UserBasedCF(), NeighborHistogramExplainer()
+    ).fit(world.dataset)
+    for explained in pipeline.recommend("user_000", n=3):
+        title = world.dataset.item(explained.item_id).title
+        print(f"{title}  (predicted {explained.score:.1f})")
+        print(explained.explanation.render(include_details=True))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser behind ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Explanation framework for recommender systems "
+            "(reproduction of Tintarev & Masthoff 2007)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    tables = subparsers.add_parser("tables", help="print Tables 1-4")
+    tables.set_defaults(handler=_cmd_tables)
+
+    figures = subparsers.add_parser(
+        "figures", help="print Figures 1-3 (text renderings)"
+    )
+    figures.set_defaults(handler=_cmd_figures)
+
+    studies = subparsers.add_parser(
+        "studies", help="run the simulated studies (E1-E10)"
+    )
+    studies.add_argument(
+        "ids", nargs="*", help="study ids to run (default: all)"
+    )
+    studies.set_defaults(handler=_cmd_studies)
+
+    demo = subparsers.add_parser("demo", help="quickstart pipeline demo")
+    demo.set_defaults(handler=_cmd_demo)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    return arguments.handler(arguments)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

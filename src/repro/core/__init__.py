@@ -1,0 +1,90 @@
+"""The explanation framework: the paper's primary contribution as code.
+
+Aims taxonomy (Table 1), explanation styles (Section 6), explainers for
+every style, the explained-recommendation pipeline, and the survey
+registry (Tables 2–4).
+"""
+
+from repro.core.aims import AIM_INFO, TRADEOFFS, Aim, AimInfo, Tradeoff
+from repro.core.explainers import (
+    CollaborativeExplainer,
+    ContentBasedExplainer,
+    Explainer,
+    FrankExplainer,
+    InfluenceExplainer,
+    NeighborHistogramExplainer,
+    NoExplanationExplainer,
+    PersonalizedSimilarityLanguage,
+    PreferenceBasedExplainer,
+    SimilarityAwareCollaborativeExplainer,
+    TradeoffExplainer,
+    topic_history,
+)
+from repro.core.explanation import Explanation
+from repro.core.pipeline import ExplainedRecommendation, ExplainedRecommender
+from repro.core.styles import CANONICAL_SENTENCES, ExplanationStyle
+from repro.core.survey import (
+    REGISTRY,
+    TABLE_2,
+    SurveyedSystem,
+    SurveyRegistry,
+    aims_for_citations,
+    render_table_1,
+    render_table_2,
+    render_table_3,
+    render_table_4,
+)
+from repro.core.taxonomy import InteractionMode, PresentationMode
+
+__all__ = [
+    "Aim",
+    "AimInfo",
+    "AIM_INFO",
+    "Tradeoff",
+    "TRADEOFFS",
+    "ExplanationStyle",
+    "CANONICAL_SENTENCES",
+    "PresentationMode",
+    "InteractionMode",
+    "Explanation",
+    "Explainer",
+    "NoExplanationExplainer",
+    "ContentBasedExplainer",
+    "CollaborativeExplainer",
+    "NeighborHistogramExplainer",
+    "PreferenceBasedExplainer",
+    "InfluenceExplainer",
+    "TradeoffExplainer",
+    "FrankExplainer",
+    "PersonalizedSimilarityLanguage",
+    "SimilarityAwareCollaborativeExplainer",
+    "topic_history",
+    "ExplainedRecommendation",
+    "SystemDemo",
+    "demo",
+    "demo_all",
+    "ExplainedRecommender",
+    "SurveyedSystem",
+    "SurveyRegistry",
+    "REGISTRY",
+    "TABLE_2",
+    "aims_for_citations",
+    "render_table_1",
+    "render_table_2",
+    "render_table_3",
+    "render_table_4",
+]
+
+
+def __getattr__(name):
+    """Lazily expose the Table 3/4 demos.
+
+    ``repro.core.demos`` pulls in every domain and interaction module;
+    importing it eagerly would create an import cycle through
+    ``repro.recsys.group`` -> ``repro.core.templates``.
+    """
+    if name in ("SystemDemo", "demo", "demo_all"):
+        from repro.core import demos
+
+        return getattr(demos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

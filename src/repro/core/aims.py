@@ -1,0 +1,196 @@
+"""The seven aims of explanation facilities (paper Table 1, Sections 2–3).
+
+The paper's central framework is a taxonomy of seven goals an explanation
+facility can pursue, each tied to established usability principles and to
+concrete measures (Section 3).  This module makes the taxonomy first
+class: every :class:`~repro.core.explanation.Explanation` declares which
+aims it serves, every evaluator in :mod:`repro.evaluation.criteria`
+measures exactly one aim, and the Section 3.8 trade-off observations are
+encoded in :data:`TRADEOFFS`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Aim", "AimInfo", "AIM_INFO", "Tradeoff", "TRADEOFFS", "table_1_rows"]
+
+
+class Aim(enum.Enum):
+    """The seven possible aims of an explanation facility (Table 1)."""
+
+    TRANSPARENCY = "transparency"
+    SCRUTABILITY = "scrutability"
+    TRUST = "trust"
+    EFFECTIVENESS = "effectiveness"
+    PERSUASIVENESS = "persuasiveness"
+    EFFICIENCY = "efficiency"
+    SATISFACTION = "satisfaction"
+
+    @property
+    def info(self) -> "AimInfo":
+        """Definition, abbreviation and measurement notes for this aim."""
+        return AIM_INFO[self]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class AimInfo:
+    """Metadata for one aim: Table 1 definition plus Section 3 measures."""
+
+    aim: "Aim"
+    abbreviation: str
+    definition: str
+    usability_principle: str
+    measures: tuple[str, ...]
+    paper_section: str
+
+
+AIM_INFO: dict[Aim, AimInfo] = {
+    Aim.TRANSPARENCY: AimInfo(
+        aim=Aim.TRANSPARENCY,
+        abbreviation="Tra.",
+        definition="Explain how the system works",
+        usability_principle="Visibility of System Status (Nielsen & Molich)",
+        measures=(
+            "user understanding of how personalization works "
+            "(questionnaire)",
+            "correctness and time on a 'teach the system a preference' task",
+        ),
+        paper_section="2.1 / 3.1",
+    ),
+    Aim.SCRUTABILITY: AimInfo(
+        aim=Aim.SCRUTABILITY,
+        abbreviation="Scr.",
+        definition="Allow users to tell the system it is wrong",
+        usability_principle="User Control (Nielsen & Molich)",
+        measures=(
+            "correctness and time on a scrutinization task "
+            "(e.g. stop Disney recommendations)",
+            "questionnaire on perceived control over the profile",
+        ),
+        paper_section="2.2 / 3.2",
+    ),
+    Aim.TRUST: AimInfo(
+        aim=Aim.TRUST,
+        abbreviation="Trust",
+        definition="Increase users' confidence in the system",
+        usability_principle="(credibility; design look is a confound)",
+        measures=(
+            "trust questionnaires (e.g. Ohanian five-dimension scale)",
+            "loyalty: number of logins and interactions",
+            "increase in sales",
+        ),
+        paper_section="2.3 / 3.3",
+    ),
+    Aim.EFFECTIVENESS: AimInfo(
+        aim=Aim.EFFECTIVENESS,
+        abbreviation="Efk.",
+        definition="Help users make good decisions",
+        usability_principle="(decision support)",
+        measures=(
+            "rating before vs. after consumption (Bilgic & Mooney)",
+            "with/without-explanation comparison of post-choice happiness",
+            "precision and recall for easily-consumed items",
+        ),
+        paper_section="2.5 / 3.5",
+    ),
+    Aim.PERSUASIVENESS: AimInfo(
+        aim=Aim.PERSUASIVENESS,
+        abbreviation="Pers.",
+        definition="Convince users to try or buy",
+        usability_principle="(system benefit, not user benefit)",
+        measures=(
+            "difference in likelihood of selecting an item",
+            "rating shift after seeing an explanation (re-rating design)",
+            "try/buy rate vs. a no-explanation baseline; average sales",
+        ),
+        paper_section="2.4 / 3.4",
+    ),
+    Aim.EFFICIENCY: AimInfo(
+        aim=Aim.EFFICIENCY,
+        abbreviation="Efc.",
+        definition="Help users make decisions faster",
+        usability_principle="Efficiency of use (Nielsen & Molich)",
+        measures=(
+            "completion time to locate a satisfactory item",
+            "number of interaction cycles in conversational sessions",
+            "number of inspected explanations / repair-action activations",
+        ),
+        paper_section="2.6 / 3.6",
+    ),
+    Aim.SATISFACTION: AimInfo(
+        aim=Aim.SATISFACTION,
+        abbreviation="Sat.",
+        definition="Increase the ease of usability or enjoyment",
+        usability_principle="(user appreciation; process vs. product)",
+        measures=(
+            "direct preference for the system with vs. without explanations",
+            "loyalty (see trust)",
+            "walk-through tallies: positive/negative comments, frustration "
+            "and delight counts, workarounds",
+        ),
+        paper_section="2.7 / 3.7",
+    ),
+}
+"""Table 1 with its Section 3 measurement notes attached."""
+
+
+@dataclass(frozen=True)
+class Tradeoff:
+    """One Section 3.8 trade-off between two aims."""
+
+    favoured: Aim
+    impaired: Aim
+    mechanism: str
+
+
+TRADEOFFS: tuple[Tradeoff, ...] = (
+    Tradeoff(
+        favoured=Aim.TRANSPARENCY,
+        impaired=Aim.EFFICIENCY,
+        mechanism=(
+            "detailed explanations take time to read, increasing overall "
+            "search time"
+        ),
+    ),
+    Tradeoff(
+        favoured=Aim.PERSUASIVENESS,
+        impaired=Aim.EFFECTIVENESS,
+        mechanism=(
+            "persuasive power can convince users to buy items they later "
+            "do not like"
+        ),
+    ),
+    Tradeoff(
+        favoured=Aim.PERSUASIVENESS,
+        impaired=Aim.TRUST,
+        mechanism=(
+            "too much persuasion backfires once users notice they bought "
+            "items they do not want"
+        ),
+    ),
+)
+"""The trade-offs the paper calls out explicitly in Sections 2.4 and 3.8."""
+
+
+def table_1_rows() -> list[tuple[str, str]]:
+    """Table 1 as (aim with abbreviation, definition) rows, paper order."""
+    order = (
+        Aim.TRANSPARENCY,
+        Aim.SCRUTABILITY,
+        Aim.TRUST,
+        Aim.EFFECTIVENESS,
+        Aim.PERSUASIVENESS,
+        Aim.EFFICIENCY,
+        Aim.SATISFACTION,
+    )
+    rows = []
+    for aim in order:
+        info = AIM_INFO[aim]
+        label = f"{aim.value.capitalize()} ({info.abbreviation})"
+        rows.append((label, info.definition))
+    return rows

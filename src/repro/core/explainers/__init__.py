@@ -1,0 +1,34 @@
+"""One explainer per explanation style the survey catalogues."""
+
+from repro.core.explainers.base import Explainer, NoExplanationExplainer
+from repro.core.explainers.collaborative import (
+    CollaborativeExplainer,
+    NeighborHistogramExplainer,
+)
+from repro.core.explainers.confidence import FrankExplainer
+from repro.core.explainers.content import ContentBasedExplainer
+from repro.core.explainers.influence import InfluenceExplainer
+from repro.core.explainers.similarity_language import (
+    PersonalizedSimilarityLanguage,
+    SimilarityAwareCollaborativeExplainer,
+)
+from repro.core.explainers.preference import (
+    PreferenceBasedExplainer,
+    topic_history,
+)
+from repro.core.explainers.tradeoff import TradeoffExplainer
+
+__all__ = [
+    "Explainer",
+    "NoExplanationExplainer",
+    "ContentBasedExplainer",
+    "CollaborativeExplainer",
+    "NeighborHistogramExplainer",
+    "PreferenceBasedExplainer",
+    "topic_history",
+    "InfluenceExplainer",
+    "TradeoffExplainer",
+    "FrankExplainer",
+    "PersonalizedSimilarityLanguage",
+    "SimilarityAwareCollaborativeExplainer",
+]

@@ -1,0 +1,67 @@
+"""Explainer protocol.
+
+An explainer turns one :class:`~repro.recsys.base.Recommendation` (with
+its evidence) into one :class:`~repro.core.explanation.Explanation`.
+Explainers never invent reasons: they only verbalise the evidence the
+recommender attached, keeping explanation and recommendation process
+coupled as the paper requires (Section 4).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.aims import Aim
+from repro.core.explanation import Explanation
+from repro.core.styles import ExplanationStyle
+from repro.recsys.base import Recommendation
+from repro.recsys.data import Dataset
+
+__all__ = ["Explainer", "NoExplanationExplainer"]
+
+
+class Explainer(abc.ABC):
+    """Base class for all explainers.
+
+    Subclasses set :attr:`style` and :attr:`default_aims` and implement
+    :meth:`explain`.
+    """
+
+    style: ExplanationStyle = ExplanationStyle.NONE
+    default_aims: frozenset[Aim] = frozenset()
+
+    @abc.abstractmethod
+    def explain(
+        self, user_id: str, recommendation: Recommendation, dataset: Dataset
+    ) -> Explanation:
+        """Produce an explanation for one recommendation."""
+
+    def _title(self, dataset: Dataset, item_id: str) -> str:
+        """The display title for an item (falls back to the id)."""
+        item = dataset.items.get(item_id)
+        return item.title if item is not None else item_id
+
+
+class NoExplanationExplainer(Explainer):
+    """The control condition: an empty explanation.
+
+    Every study in :mod:`repro.evaluation.studies` that compares
+    "with explanation" against "without" uses this as the baseline arm
+    (the paper notes such a baseline is required to control for
+    intra-user differences, Section 3.4).
+    """
+
+    style = ExplanationStyle.NONE
+    default_aims: frozenset[Aim] = frozenset()
+
+    def explain(
+        self, user_id: str, recommendation: Recommendation, dataset: Dataset
+    ) -> Explanation:
+        """An explanation with empty text and no evidence."""
+        return Explanation(
+            item_id=recommendation.item_id,
+            style=self.style,
+            text="",
+            confidence=recommendation.confidence,
+            aims=self.default_aims,
+        )

@@ -1,0 +1,126 @@
+"""Collaborative explanations: "People like you liked X".
+
+Verbalises :class:`~repro.recsys.base.NeighborRatingsEvidence`.  Two
+variants:
+
+* :class:`CollaborativeExplainer` — the one-sentence summary;
+* :class:`NeighborHistogramExplainer` — additionally renders the
+  Herlocker et al. histogram of neighbour ratings with "good" and "bad"
+  ratings clustered, the best-performing of the 21 interfaces in the
+  study the paper describes in Section 3.4.
+"""
+
+from __future__ import annotations
+
+from repro.core.aims import Aim
+from repro.core.explanation import Explanation
+from repro.core.explainers.base import Explainer
+from repro.core.styles import ExplanationStyle
+from repro.core.templates import people_like_you_liked
+from repro.recsys.base import NeighborRatingsEvidence, Recommendation
+from repro.recsys.data import Dataset
+from repro.render import histogram_lines
+
+__all__ = ["CollaborativeExplainer", "NeighborHistogramExplainer"]
+
+
+class CollaborativeExplainer(Explainer):
+    """One-sentence neighbour summary explanation."""
+
+    style = ExplanationStyle.COLLABORATIVE_BASED
+    default_aims = frozenset({Aim.PERSUASIVENESS, Aim.TRANSPARENCY})
+
+    def explain(
+        self, user_id: str, recommendation: Recommendation, dataset: Dataset
+    ) -> Explanation:
+        """Summarise how many similar users liked the item."""
+        title = self._title(dataset, recommendation.item_id)
+        evidence = recommendation.prediction.find_evidence("neighbor_ratings")
+        if not isinstance(evidence, NeighborRatingsEvidence):
+            text = people_like_you_liked(title)
+            return Explanation(
+                item_id=recommendation.item_id,
+                style=self.style,
+                text=text,
+                evidence=recommendation.prediction.evidence,
+                confidence=recommendation.confidence,
+                aims=self.default_aims,
+            )
+
+        scale = dataset.scale
+        total = len(evidence.neighbors)
+        positive = sum(
+            1
+            for neighbor in evidence.neighbors
+            if scale.is_positive(neighbor.rating)
+        )
+        text = (
+            f"{people_like_you_liked(title)} {positive} of your {total} "
+            f"most similar users rated it "
+            f"{scale.like_threshold:g} or higher."
+        )
+        return Explanation(
+            item_id=recommendation.item_id,
+            style=self.style,
+            text=text,
+            evidence=recommendation.prediction.evidence,
+            confidence=recommendation.confidence,
+            aims=self.default_aims,
+        )
+
+
+class NeighborHistogramExplainer(CollaborativeExplainer):
+    """Summary sentence plus the Herlocker rating histogram.
+
+    The histogram clusters the "good" ratings together and the "bad"
+    ratings together (the study's winning variant grouped 1–2 as bad,
+    3 as neutral, 4–5 as good).
+    """
+
+    def __init__(self, clustered: bool = True) -> None:
+        self.clustered = clustered
+
+    def explain(
+        self, user_id: str, recommendation: Recommendation, dataset: Dataset
+    ) -> Explanation:
+        """Attach a ``histogram`` detail block to the summary sentence."""
+        explanation = super().explain(user_id, recommendation, dataset)
+        evidence = recommendation.prediction.find_evidence("neighbor_ratings")
+        if not isinstance(evidence, NeighborRatingsEvidence):
+            return explanation
+        scale = dataset.scale
+        counts = evidence.histogram(
+            scale_min=int(scale.minimum), scale_max=int(scale.maximum)
+        )
+        if self.clustered:
+            rendered = self._clustered_histogram(counts, dataset)
+        else:
+            rendered = "\n".join(histogram_lines(counts))
+        details = dict(explanation.details)
+        details["histogram"] = (
+            "Your neighbours' ratings of this item:\n" + rendered
+        )
+        return Explanation(
+            item_id=explanation.item_id,
+            style=explanation.style,
+            text=explanation.text,
+            evidence=explanation.evidence,
+            confidence=explanation.confidence,
+            aims=explanation.aims,
+            details=details,
+        )
+
+    def _clustered_histogram(
+        self, counts: dict[int, int], dataset: Dataset
+    ) -> str:
+        scale = dataset.scale
+        clustered = {2: 0, 1: 0, 0: 0}  # good / neutral / bad
+        for bucket, count in counts.items():
+            if scale.is_positive(bucket):
+                clustered[2] += count
+            elif bucket <= scale.midpoint - 1:
+                clustered[0] += count
+            else:
+                clustered[1] += count
+        labels = {2: "good (4-5)", 1: "neutral (3)", 0: "bad (1-2)"}
+        return "\n".join(histogram_lines(clustered, labels=labels))

@@ -1,0 +1,68 @@
+"""Frank confidence disclosure (paper Sections 2.3 and 4.6).
+
+"A user may also appreciate when a system is 'frank' and admits that it
+is not confident about a particular recommendation."  This decorator
+wraps any explainer and appends an honest confidence statement — the
+opposite of the *bold* personality, which inflates strength and hides
+confidence (see :mod:`repro.presentation.personality`).
+"""
+
+from __future__ import annotations
+
+from repro.core.aims import Aim
+from repro.core.explanation import Explanation
+from repro.core.explainers.base import Explainer
+from repro.core.templates import confidence_disclosure
+from repro.recsys.base import Recommendation
+from repro.recsys.data import Dataset
+
+__all__ = ["FrankExplainer"]
+
+
+class FrankExplainer(Explainer):
+    """Decorator appending a confidence disclosure to another explainer.
+
+    Parameters
+    ----------
+    inner:
+        The explainer whose text gets the disclosure appended.
+    always:
+        When ``False`` (default) the disclosure only appears for
+        low-confidence recommendations (below ``threshold``), which is
+        when frankness matters; ``True`` discloses always.
+    threshold:
+        Confidence below which disclosure is added in ``always=False``
+        mode.
+    """
+
+    def __init__(
+        self,
+        inner: Explainer,
+        always: bool = False,
+        threshold: float = 0.5,
+    ) -> None:
+        self.inner = inner
+        self.always = always
+        self.threshold = threshold
+        self.style = inner.style
+        self.default_aims = inner.default_aims | {Aim.TRUST, Aim.TRANSPARENCY}
+
+    def explain(
+        self, user_id: str, recommendation: Recommendation, dataset: Dataset
+    ) -> Explanation:
+        """Delegate to the inner explainer, then disclose confidence."""
+        explanation = self.inner.explain(user_id, recommendation, dataset)
+        explanation = Explanation(
+            item_id=explanation.item_id,
+            style=explanation.style,
+            text=explanation.text,
+            evidence=explanation.evidence,
+            confidence=explanation.confidence,
+            aims=explanation.aims | {Aim.TRUST, Aim.TRANSPARENCY},
+            details=dict(explanation.details),
+        )
+        if self.always or explanation.confidence < self.threshold:
+            return explanation.with_suffix(
+                confidence_disclosure(explanation.confidence)
+            )
+        return explanation

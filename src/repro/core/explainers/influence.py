@@ -1,0 +1,92 @@
+"""Influence explanations: the LIBRA influence table (paper Figure 3).
+
+Bilgic & Mooney's LIBRA showed "the influence (in percentage) their
+previous ratings had on a given recommendation" (Section 5.3).  This
+explainer verbalises :class:`~repro.recsys.base.InfluenceEvidence` and
+renders the full influence table as a detail block.
+"""
+
+from __future__ import annotations
+
+from repro.core.aims import Aim
+from repro.core.explanation import Explanation
+from repro.core.explainers.base import Explainer
+from repro.core.styles import ExplanationStyle
+from repro.recsys.base import InfluenceEvidence, Recommendation
+from repro.recsys.data import Dataset
+from repro.render import table
+
+__all__ = ["InfluenceExplainer"]
+
+
+class InfluenceExplainer(Explainer):
+    """Per-past-rating influence attribution explanation.
+
+    Classified content-based in the paper's Table 4 (LIBRA row): the
+    influences derive from content features of the user's own rated
+    items.
+    """
+
+    style = ExplanationStyle.CONTENT_BASED
+    default_aims = frozenset(
+        {Aim.TRANSPARENCY, Aim.EFFECTIVENESS, Aim.SCRUTABILITY}
+    )
+
+    def __init__(self, max_rows: int = 8) -> None:
+        self.max_rows = max_rows
+
+    def explain(
+        self, user_id: str, recommendation: Recommendation, dataset: Dataset
+    ) -> Explanation:
+        """Name the most influential past rating; attach the full table."""
+        title = self._title(dataset, recommendation.item_id)
+        evidence = recommendation.prediction.find_evidence("rating_influence")
+        if not isinstance(evidence, InfluenceEvidence) or not evidence.influences:
+            text = (
+                f"We recommended {title} based on your previous ratings."
+            )
+            return Explanation(
+                item_id=recommendation.item_id,
+                style=self.style,
+                text=text,
+                evidence=recommendation.prediction.evidence,
+                confidence=recommendation.confidence,
+                aims=self.default_aims,
+            )
+
+        percentages = evidence.percentages()
+        strongest = evidence.top(1)[0]
+        strongest_title = self._title(dataset, strongest.item_id)
+        share = percentages[strongest.item_id]
+        direction = "towards" if strongest.influence >= 0 else "against"
+        text = (
+            f"We recommended {title} based on your previous ratings; "
+            f"your rating of {strongest_title} ({strongest.rating:g}) "
+            f"influenced it most ({abs(share):.0f}%, {direction} the "
+            f"recommendation)."
+        )
+
+        rows = []
+        for influence in evidence.top(self.max_rows):
+            rows.append(
+                (
+                    self._title(dataset, influence.item_id),
+                    f"{influence.rating:g}",
+                    f"{percentages[influence.item_id]:+.1f}%",
+                )
+            )
+        details = {
+            "influence_table": (
+                "Influence of your ratings on this recommendation:\n"
+                + table(("Your rated item", "Rating", "Influence"), rows)
+            )
+        }
+        return Explanation(
+            item_id=recommendation.item_id,
+            style=self.style,
+            text=text,
+            evidence=recommendation.prediction.evidence,
+            confidence=recommendation.confidence,
+            aims=self.default_aims,
+            details=details,
+        )

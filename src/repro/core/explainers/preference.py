@@ -1,0 +1,166 @@
+"""Preference-based explanations: "Your interests suggest ...".
+
+Three evidence sources, tried in order:
+
+1. :class:`~repro.recsys.base.UtilityEvidence` (knowledge-based
+   recommenders) — name the best-satisfied weighted preferences;
+2. :class:`~repro.recsys.base.ProfileAttributeEvidence` (scrutable
+   profiles) — name the driving profile attributes and their provenance;
+3. the user's own rating history — summarise dominant topics, producing
+   the paper's football/world-cup sentence (Section 4.1) or, for a *low*
+   prediction on a disliked topic, the hockey sentence of Section 4.4.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.aims import Aim
+from repro.core.explanation import Explanation
+from repro.core.explainers.base import Explainer
+from repro.core.styles import ExplanationStyle
+from repro.core.templates import (
+    interests_suggest,
+    join_phrases,
+    negative_topic_sentence,
+    top_item_sentence,
+    viewing_history_sentence,
+)
+from repro.recsys.base import (
+    PopularityEvidence,
+    ProfileAttributeEvidence,
+    Recommendation,
+    UtilityEvidence,
+)
+from repro.recsys.data import Dataset
+
+__all__ = ["PreferenceBasedExplainer", "topic_history"]
+
+
+def topic_history(
+    dataset: Dataset, user_id: str
+) -> tuple[Counter, Counter]:
+    """(liked, disliked) topic counters from the user's rating history."""
+    liked: Counter = Counter()
+    disliked: Counter = Counter()
+    scale = dataset.scale
+    for item_id, rating in dataset.ratings_by(user_id).items():
+        item = dataset.items.get(item_id)
+        if item is None:
+            continue
+        target = liked if scale.is_positive(rating.value) else disliked
+        for topic in item.topics:
+            target[topic] += 1
+    return liked, disliked
+
+
+class PreferenceBasedExplainer(Explainer):
+    """Explain from requirements, profile attributes or topic history."""
+
+    style = ExplanationStyle.PREFERENCE_BASED
+    default_aims = frozenset(
+        {Aim.TRANSPARENCY, Aim.SCRUTABILITY, Aim.EFFECTIVENESS}
+    )
+
+    def __init__(self, max_attributes: int = 3) -> None:
+        self.max_attributes = max_attributes
+
+    def explain(
+        self, user_id: str, recommendation: Recommendation, dataset: Dataset
+    ) -> Explanation:
+        """Choose the richest available preference evidence and verbalise it."""
+        prediction = recommendation.prediction
+        title = self._title(dataset, recommendation.item_id)
+
+        utility = prediction.find_evidence("utility")
+        if isinstance(utility, UtilityEvidence) and utility.scores:
+            text = self._from_utility(title, utility)
+        else:
+            profile_records = [
+                record
+                for record in prediction.evidence
+                if isinstance(record, ProfileAttributeEvidence)
+            ]
+            if profile_records:
+                text = self._from_profile(title, profile_records)
+            else:
+                text = self._from_history(
+                    user_id, recommendation, dataset, title
+                )
+
+        return Explanation(
+            item_id=recommendation.item_id,
+            style=self.style,
+            text=text,
+            evidence=prediction.evidence,
+            confidence=recommendation.confidence,
+            aims=self.default_aims,
+        )
+
+    # -- evidence-specific renderings --------------------------------------
+
+    def _from_utility(self, title: str, utility: UtilityEvidence) -> str:
+        ranked = sorted(
+            utility.scores, key=lambda score: -score.weighted_score
+        )
+        best = [
+            f"{score.name} ({score.value})"
+            for score in ranked[: self.max_attributes]
+            if score.score > 0.0
+        ]
+        if not best:
+            return interests_suggest(title)
+        return (
+            f"{interests_suggest(title)} It best satisfies your "
+            f"most important criteria: {join_phrases(best)}."
+        )
+
+    def _from_profile(
+        self, title: str, records: list[ProfileAttributeEvidence]
+    ) -> str:
+        ranked = sorted(records, key=lambda record: -record.weight)
+        clauses = []
+        for record in ranked[: self.max_attributes]:
+            origin = (
+                "you told us" if record.provenance == "volunteered"
+                else "we inferred"
+            )
+            clauses.append(f"{record.attribute} = {record.value} ({origin})")
+        return (
+            f"{interests_suggest(title)} This matches your profile: "
+            f"{join_phrases(clauses)}."
+        )
+
+    def _from_history(
+        self,
+        user_id: str,
+        recommendation: Recommendation,
+        dataset: Dataset,
+        title: str,
+    ) -> str:
+        liked, disliked = topic_history(dataset, user_id)
+        item = dataset.items.get(recommendation.item_id)
+        item_topics = item.topics if item is not None else ()
+        scale = dataset.scale
+
+        # Low prediction on a topic the user dislikes: the hockey case.
+        if not scale.is_positive(recommendation.score):
+            for topic in item_topics:
+                if disliked.get(topic, 0) > liked.get(topic, 0):
+                    general = topic.split("/")[0]
+                    specific = topic.split("/")[-1]
+                    return negative_topic_sentence(general, specific)
+
+        # Otherwise: the football/world-cup case.
+        matching = [topic for topic in item_topics if liked.get(topic, 0) > 0]
+        if matching:
+            specific = matching[0].split("/")[-1]
+            general = matching[0].split("/")[0]
+            sentences = [viewing_history_sentence(general, specific)]
+            popularity = recommendation.prediction.find_evidence("popularity")
+            if isinstance(popularity, PopularityEvidence):
+                sentences.append(top_item_sentence(f"the latest {specific}"))
+            else:
+                sentences.append(interests_suggest(title))
+            return " ".join(sentences)
+        return interests_suggest(title)

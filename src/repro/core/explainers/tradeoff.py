@@ -1,0 +1,120 @@
+"""Trade-off explanations: "Less Memory and Lower Resolution and Cheaper".
+
+Qwikshop-style explanatory feedback (paper refs [20], Sections 2.6 and
+5.2) describes a candidate relative to a reference item as a conjunction
+of comparative phrases.  Positive deltas (those that *improve* the
+candidate under the user's preferences) lead the sentence — McCarthy et
+al.'s "Thinking positively" ordering.
+"""
+
+from __future__ import annotations
+
+from repro.core.aims import Aim
+from repro.core.explanation import Explanation
+from repro.core.explainers.base import Explainer
+from repro.core.styles import ExplanationStyle
+from repro.core.templates import tradeoff_sentence
+from repro.recsys.base import Recommendation
+from repro.recsys.data import Dataset, Item
+from repro.recsys.knowledge import (
+    Catalog,
+    TradeoffDelta,
+    UserRequirements,
+    compare_items,
+)
+
+__all__ = ["TradeoffExplainer"]
+
+
+class TradeoffExplainer(Explainer):
+    """Explain a candidate as trade-offs against a reference item.
+
+    The reference is typically the current top recommendation; the
+    structured-overview presenter calls :meth:`explain_versus` for each
+    alternative category.  The standard :meth:`explain` entry point uses
+    the reference registered via :attr:`reference_item_id`.
+    """
+
+    style = ExplanationStyle.PREFERENCE_BASED
+    default_aims = frozenset(
+        {Aim.EFFICIENCY, Aim.EFFECTIVENESS, Aim.TRANSPARENCY}
+    )
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        requirements: UserRequirements | None = None,
+        reference_item_id: str | None = None,
+    ) -> None:
+        self.catalog = catalog
+        self.requirements = requirements
+        self.reference_item_id = reference_item_id
+
+    def deltas(
+        self, candidate: Item, reference: Item
+    ) -> list[TradeoffDelta]:
+        """Typed per-attribute deltas, positives (improvements) first."""
+        deltas = compare_items(
+            self.catalog, candidate, reference, self.requirements
+        )
+        deltas.sort(
+            key=lambda delta: (
+                0 if delta.improves else (1 if delta.improves is None else 2),
+                delta.attribute,
+            )
+        )
+        return deltas
+
+    def explain_versus(
+        self, candidate: Item, reference: Item
+    ) -> Explanation:
+        """Trade-off sentence for one candidate against one reference."""
+        deltas = self.deltas(candidate, reference)
+        pros = [delta.phrase for delta in deltas if delta.improves]
+        cons = [delta.phrase for delta in deltas if delta.improves is False]
+        neutral = [delta.phrase for delta in deltas if delta.improves is None]
+        text = tradeoff_sentence(
+            pros + neutral, cons, subject=f"Compared to {reference.title}, this is"
+        )
+        return Explanation(
+            item_id=candidate.item_id,
+            style=self.style,
+            text=text,
+            aims=self.default_aims,
+        )
+
+    def explain(
+        self, user_id: str, recommendation: Recommendation, dataset: Dataset
+    ) -> Explanation:
+        """Explain against the registered reference item.
+
+        Falls back to a bare preference sentence when no reference is
+        registered or the candidate *is* the reference.
+        """
+        candidate = dataset.item(recommendation.item_id)
+        if (
+            self.reference_item_id is None
+            or self.reference_item_id == candidate.item_id
+            or self.reference_item_id not in dataset.items
+        ):
+            return Explanation(
+                item_id=candidate.item_id,
+                style=self.style,
+                text=(
+                    f"{candidate.title} is the best match for your "
+                    f"requirements."
+                ),
+                evidence=recommendation.prediction.evidence,
+                confidence=recommendation.confidence,
+                aims=self.default_aims,
+            )
+        reference = dataset.item(self.reference_item_id)
+        explanation = self.explain_versus(candidate, reference)
+        return Explanation(
+            item_id=explanation.item_id,
+            style=explanation.style,
+            text=explanation.text,
+            evidence=recommendation.prediction.evidence,
+            confidence=recommendation.confidence,
+            aims=explanation.aims,
+        )

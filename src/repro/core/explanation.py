@@ -1,0 +1,82 @@
+"""The :class:`Explanation` object.
+
+An explanation is more than its sentence: it keeps the structured
+evidence it was generated from (so presenters can re-render it as a
+histogram, an influence table or a trade-off category title), the
+recommender's confidence (so frank personalities can disclose it), and
+the aims it was designed to serve (so evaluators know what to measure it
+against).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.aims import Aim
+from repro.core.styles import ExplanationStyle
+from repro.recsys.base import Evidence
+
+__all__ = ["Explanation"]
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """One explanation of one recommendation for one user.
+
+    Attributes
+    ----------
+    item_id:
+        The recommended item being explained.
+    style:
+        Content classification (content / collaborative / preference).
+    text:
+        The natural-language rendering shown to the user.
+    evidence:
+        The typed evidence records the text was generated from — the
+        explanation's honest provenance.
+    confidence:
+        The recommender's self-assessed confidence in [0, 1], carried so
+        a "frank" presentation can disclose it (paper Section 4.6).
+    aims:
+        The aims this explanation is designed to serve (Table 1), used by
+        evaluators and the survey registry.
+    details:
+        Optional extra renderings keyed by name (e.g. ``"histogram"``,
+        ``"influence_table"``) produced by richer explainers.
+    """
+
+    item_id: str
+    style: ExplanationStyle
+    text: str
+    evidence: tuple[Evidence, ...] = ()
+    confidence: float = 0.5
+    aims: frozenset[Aim] = frozenset()
+    details: dict[str, str] = field(default_factory=dict)
+
+    def serves(self, aim: Aim) -> bool:
+        """Whether this explanation targets the given aim."""
+        return aim in self.aims
+
+    def render(self, include_details: bool = False) -> str:
+        """The user-facing text, optionally with detail blocks appended."""
+        if not include_details or not self.details:
+            return self.text
+        blocks = [self.text]
+        for name in sorted(self.details):
+            blocks.append(self.details[name])
+        return "\n\n".join(blocks)
+
+    def with_suffix(self, suffix: str) -> "Explanation":
+        """A copy with ``suffix`` appended to the text.
+
+        Used by decorating explainers (e.g. frank confidence statements).
+        """
+        return Explanation(
+            item_id=self.item_id,
+            style=self.style,
+            text=f"{self.text} {suffix}".strip(),
+            evidence=self.evidence,
+            confidence=self.confidence,
+            aims=self.aims,
+            details=dict(self.details),
+        )

@@ -1,0 +1,107 @@
+"""The explained-recommendation pipeline.
+
+:class:`ExplainedRecommender` composes a recommender substrate with an
+explainer so that every recommendation arrives with its explanation —
+the coupling the paper insists on ("explanations are intrinsically
+linked with the way recommendations are presented", Section 6).
+Presenters from :mod:`repro.presentation` then render the pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.explainers.base import Explainer
+from repro.core.explanation import Explanation
+from repro.recsys.base import Recommendation, Recommender
+from repro.recsys.data import Dataset
+
+__all__ = ["ExplainedRecommendation", "ExplainedRecommender"]
+
+
+@dataclass(frozen=True)
+class ExplainedRecommendation:
+    """A recommendation paired with its explanation."""
+
+    recommendation: Recommendation
+    explanation: Explanation
+
+    @property
+    def item_id(self) -> str:
+        """The recommended item id."""
+        return self.recommendation.item_id
+
+    @property
+    def score(self) -> float:
+        """The recommendation score (predicted rating or utility)."""
+        return self.recommendation.score
+
+
+class ExplainedRecommender:
+    """A recommender and an explainer, bound together.
+
+    Parameters
+    ----------
+    recommender:
+        Any fitted or unfitted :class:`~repro.recsys.base.Recommender`.
+    explainer:
+        The explainer applied to every produced recommendation.
+    """
+
+    def __init__(self, recommender: Recommender, explainer: Explainer) -> None:
+        self.recommender = recommender
+        self.explainer = explainer
+
+    def fit(self, dataset: Dataset) -> "ExplainedRecommender":
+        """Fit the underlying recommender; returns ``self``."""
+        self.recommender.fit(dataset)
+        return self
+
+    @property
+    def dataset(self) -> Dataset:
+        """The fitted dataset."""
+        return self.recommender.dataset
+
+    def explain(
+        self, user_id: str, recommendation: Recommendation
+    ) -> Explanation:
+        """Explain one already-produced recommendation."""
+        return self.explainer.explain(
+            user_id, recommendation, self.recommender.dataset
+        )
+
+    def recommend(
+        self,
+        user_id: str,
+        n: int = 10,
+        exclude_rated: bool = True,
+        candidates=None,
+    ) -> list[ExplainedRecommendation]:
+        """Top-``n`` recommendations, each with its explanation."""
+        recommendations = self.recommender.recommend(
+            user_id, n=n, exclude_rated=exclude_rated, candidates=candidates
+        )
+        return [
+            ExplainedRecommendation(
+                recommendation=recommendation,
+                explanation=self.explain(user_id, recommendation),
+            )
+            for recommendation in recommendations
+        ]
+
+    def predict_and_explain(
+        self, user_id: str, item_id: str
+    ) -> ExplainedRecommendation:
+        """Prediction + explanation for one specific item.
+
+        This answers the Section 4.4 "why is this predicted low?" query:
+        the item need not be a top recommendation.
+        """
+        prediction = self.recommender.predict_or_default(user_id, item_id)
+        recommendation = Recommendation(
+            item_id=item_id, score=prediction.value, rank=0, prediction=prediction
+        )
+        return ExplainedRecommendation(
+            recommendation=recommendation,
+            explanation=self.explain(user_id, recommendation),
+        )

@@ -1,0 +1,45 @@
+"""Explanation styles: the "Explanation" column of Tables 3 and 4.
+
+The paper classifies explanation content "regardless of the underlying
+algorithm" (Section 6) into three styles, each with a canonical sentence
+shape:
+
+* content-based — "We have recommended X because you liked Y";
+* collaborative-based — "People who liked X also liked Y";
+* preference-based — "Your interests suggest that you would like X".
+
+``NONE`` and ``VARIED`` exist because the survey tables need them (the
+Organizational Structure entry has no separate explanation; Sim's is
+"(varied)").
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["ExplanationStyle", "CANONICAL_SENTENCES"]
+
+
+class ExplanationStyle(enum.Enum):
+    """Content classification of an explanation (paper Section 6)."""
+
+    CONTENT_BASED = "content-based"
+    COLLABORATIVE_BASED = "collaborative-based"
+    PREFERENCE_BASED = "preference-based"
+    NONE = "none"
+    VARIED = "varied"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+CANONICAL_SENTENCES: dict[ExplanationStyle, str] = {
+    ExplanationStyle.CONTENT_BASED: (
+        "We have recommended X because you liked Y"
+    ),
+    ExplanationStyle.COLLABORATIVE_BASED: "People who liked X also liked Y",
+    ExplanationStyle.PREFERENCE_BASED: (
+        "Your interests suggest that you would like X"
+    ),
+}
+"""The paper's own one-line characterisation of each style (Section 6)."""

@@ -1,0 +1,481 @@
+"""The survey registry: Tables 1–4 as queryable machine-readable records.
+
+Tables 3 and 4 are reproduced cell-for-cell from the paper.  For Table 2
+(aims of academic systems) the scanned source text preserves each row's
+*number* of checkmarks but not their column positions; the assignments
+here are reconstructed from each cited system's stated goals, preserving
+the per-row counts — see the ``rationale`` field on each record and the
+note in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.core.aims import Aim, table_1_rows
+from repro.core.styles import ExplanationStyle
+from repro.core.taxonomy import InteractionMode, PresentationMode
+from repro.render import table
+
+__all__ = [
+    "SurveyedSystem",
+    "TABLE_2",
+    "aims_for_citations",
+    "SurveyRegistry",
+    "REGISTRY",
+    "render_table_1",
+    "render_table_2",
+    "render_table_3",
+    "render_table_4",
+]
+
+
+@dataclass(frozen=True)
+class SurveyedSystem:
+    """One surveyed recommender system with an explanation facility."""
+
+    name: str
+    citations: tuple[str, ...]
+    kind: str  # "commercial" | "academic"
+    item_type: str
+    presentation: tuple[PresentationMode, ...]
+    explanation_styles: tuple[ExplanationStyle, ...]
+    interaction: tuple[InteractionMode, ...]
+    aims: frozenset[Aim] = frozenset()
+    rationale: str = ""
+    presentation_note: str = ""
+
+    def presentation_label(self) -> str:
+        """The presentation cell as the paper prints it."""
+        if self.presentation_note:
+            return self.presentation_note
+        return ", ".join(str(mode) for mode in self.presentation)
+
+    def explanation_label(self) -> str:
+        """The explanation cell as the paper prints it."""
+        return ", ".join(str(style) for style in self.explanation_styles)
+
+    def interaction_label(self) -> str:
+        """The interaction cell as the paper prints it."""
+        return ", ".join(str(mode) for mode in self.interaction)
+
+
+_P = PresentationMode
+_I = InteractionMode
+_S = ExplanationStyle
+
+TABLE_2: dict[str, frozenset[Aim]] = {
+    "[2]": frozenset({Aim.EFFECTIVENESS, Aim.SATISFACTION}),
+    "[5]": frozenset({Aim.EFFECTIVENESS}),
+    "[6]": frozenset({Aim.TRANSPARENCY, Aim.EFFICIENCY}),
+    "[7]": frozenset({Aim.TRANSPARENCY, Aim.TRUST}),
+    "[10]": frozenset({Aim.TRUST, Aim.PERSUASIVENESS}),
+    "[11]": frozenset({Aim.TRANSPARENCY, Aim.SCRUTABILITY}),
+    "[18]": frozenset(
+        {Aim.TRANSPARENCY, Aim.PERSUASIVENESS, Aim.SATISFACTION}
+    ),
+    "[20]": frozenset({Aim.EFFECTIVENESS, Aim.EFFICIENCY}),
+    "[21]": frozenset({Aim.EFFICIENCY}),
+    "[24]": frozenset({Aim.TRANSPARENCY, Aim.TRUST}),
+    "[28]": frozenset({Aim.TRUST}),
+    "[31]": frozenset({Aim.TRANSPARENCY}),
+    "[35]": frozenset({Aim.EFFICIENCY, Aim.SATISFACTION}),
+    "[37]": frozenset({Aim.EFFICIENCY, Aim.SATISFACTION}),
+}
+"""Table 2, keyed by citation.
+
+The scanned source preserves each row's checkmark *count* but not the
+column positions; positions here are reconstructed from each cited
+paper's stated goals (counts match the paper exactly).
+"""
+
+
+def aims_for_citations(citations: Iterable[str]) -> frozenset[Aim]:
+    """Union of Table 2 aims over a system's citations."""
+    aims: set[Aim] = set()
+    for citation in citations:
+        aims.update(TABLE_2.get(citation, frozenset()))
+    return frozenset(aims)
+
+
+def _commercial() -> list[SurveyedSystem]:
+    """Table 3 rows, cell-for-cell."""
+    return [
+        SurveyedSystem(
+            name="Amazon",
+            citations=(),
+            kind="commercial",
+            item_type="e.g. Books, Movies",
+            presentation=(_P.SIMILAR_TO_TOP,),
+            explanation_styles=(_S.CONTENT_BASED,),
+            interaction=(_I.RATING, _I.OPINION),
+            presentation_note="Similar to top item(s)",
+        ),
+        SurveyedSystem(
+            name="Findory",
+            citations=(),
+            kind="commercial",
+            item_type="News",
+            presentation=(_P.SIMILAR_TO_TOP,),
+            explanation_styles=(_S.PREFERENCE_BASED,),
+            interaction=(_I.IMPLICIT_RATING,),
+            presentation_note="Similar to top item(s)",
+        ),
+        SurveyedSystem(
+            name="LibraryThing",
+            citations=(),
+            kind="commercial",
+            item_type="Books",
+            presentation=(_P.SIMILAR_TO_TOP,),
+            explanation_styles=(_S.COLLABORATIVE_BASED,),
+            interaction=(_I.RATING,),
+            presentation_note="Similar to top item(s)",
+        ),
+        SurveyedSystem(
+            name="LoveFilm",
+            citations=(),
+            kind="commercial",
+            item_type="Movies",
+            presentation=(_P.TOP_N, _P.PREDICTED_RATINGS),
+            explanation_styles=(_S.CONTENT_BASED,),
+            interaction=(_I.RATING,),
+            presentation_note="Top-N, Predicted ratings",
+        ),
+        SurveyedSystem(
+            name="OkCupid",
+            citations=(),
+            kind="commercial",
+            item_type="People to date",
+            presentation=(_P.TOP_N, _P.PREDICTED_RATINGS),
+            explanation_styles=(_S.PREFERENCE_BASED,),
+            interaction=(_I.SPECIFY_REQUIREMENTS,),
+            presentation_note="Top-N, Predicted ratings",
+        ),
+        SurveyedSystem(
+            name="Pandora",
+            citations=(),
+            kind="commercial",
+            item_type="Music",
+            presentation=(_P.TOP_ITEM,),
+            explanation_styles=(_S.PREFERENCE_BASED,),
+            interaction=(_I.OPINION,),
+        ),
+        SurveyedSystem(
+            name="StumbleUpon",
+            citations=(),
+            kind="commercial",
+            item_type="Web pages",
+            presentation=(_P.TOP_ITEM,),
+            explanation_styles=(_S.PREFERENCE_BASED,),
+            interaction=(_I.OPINION,),
+        ),
+        SurveyedSystem(
+            name="Qwikshop",
+            citations=("[20]",),
+            kind="commercial",
+            item_type="Digital cameras",
+            presentation=(_P.TOP_ITEM, _P.SIMILAR_TO_TOP),
+            explanation_styles=(_S.PREFERENCE_BASED,),
+            interaction=(_I.ALTERATION,),
+            presentation_note="Top item, Similar to top item",
+        ),
+    ]
+
+
+def _academic() -> list[SurveyedSystem]:
+    """Table 4 rows (cell-for-cell) with Table 2 aims attached.
+
+    The ``aims`` assignments preserve the per-row checkmark counts of the
+    paper's Table 2; positions are reconstructed from the cited papers'
+    stated goals (see ``rationale``).
+    """
+    return [
+        SurveyedSystem(
+            name="LIBRA",
+            citations=("[5]",),
+            kind="academic",
+            item_type="Books",
+            presentation=(_P.TOP_N, _P.PREDICTED_RATINGS),
+            explanation_styles=(_S.CONTENT_BASED, _S.COLLABORATIVE_BASED),
+            interaction=(_I.RATING,),
+            aims=aims_for_citations(("[5]",)),
+            rationale=(
+                "Bilgic & Mooney explicitly target helping users make "
+                "accurate decisions (satisfaction vs. promotion)"
+            ),
+            presentation_note="Top-N, Predicted ratings",
+        ),
+        SurveyedSystem(
+            name="News Dude",
+            citations=("[6]",),
+            kind="academic",
+            item_type="News",
+            presentation=(_P.TOP_N,),
+            explanation_styles=(_S.PREFERENCE_BASED,),
+            interaction=(_I.OPINION,),
+            aims=aims_for_citations(("[6]",)),
+            rationale=(
+                "a personal news agent that 'talks, learns and explains' "
+                "its reasoning, within short spoken interactions"
+            ),
+            presentation_note="Top-N items",
+        ),
+        SurveyedSystem(
+            name="MYCIN",
+            citations=("[7]",),
+            kind="academic",
+            item_type="Prescriptions",
+            presentation=(_P.TOP_ITEM,),
+            explanation_styles=(_S.PREFERENCE_BASED,),
+            interaction=(_I.SPECIFY_REQUIREMENTS,),
+            aims=aims_for_citations(("[7]",)),
+            rationale=(
+                "expert-system explanations make medical reasoning visible "
+                "so clinicians can trust the advice"
+            ),
+        ),
+        SurveyedSystem(
+            name="MovieLens",
+            citations=("[10]", "[18]"),
+            kind="academic",
+            item_type="Movies",
+            presentation=(_P.TOP_N, _P.PREDICTED_RATINGS),
+            explanation_styles=(_S.COLLABORATIVE_BASED,),
+            interaction=(_I.RATING,),
+            aims=aims_for_citations(("[10]", "[18]")),
+            rationale=(
+                "Herlocker et al. explain CF to expose the model and win "
+                "acceptance; Cosley et al. show interfaces shift opinions"
+            ),
+            presentation_note="Top-N, Predicted ratings",
+        ),
+        SurveyedSystem(
+            name="SASY",
+            citations=("[11]",),
+            kind="academic",
+            item_type="E.g. holiday",
+            presentation=(_P.TOP_ITEM,),
+            explanation_styles=(_S.PREFERENCE_BASED,),
+            interaction=(_I.ALTERATION,),
+            aims=aims_for_citations(("[11]",)),
+            rationale=(
+                "Czarkowski's scrutable adaptive hypertext couples "
+                "transparency evaluation with scrutability"
+            ),
+        ),
+        SurveyedSystem(
+            name="Sim",
+            citations=("[21]",),
+            kind="academic",
+            item_type="PCs",
+            presentation=(_P.TOP_N,),
+            explanation_styles=(_S.PREFERENCE_BASED,),
+            interaction=(_I.VARIED,),
+            aims=aims_for_citations(("[21]",)),
+            rationale=(
+                "comparison-based recommendation aims to shorten the path "
+                "to a satisfactory item"
+            ),
+        ),
+        SurveyedSystem(
+            name="Top Case",
+            citations=("[24]",),
+            kind="academic",
+            item_type="Holiday",
+            presentation=(_P.TOP_ITEM, _P.SIMILAR_TO_TOP),
+            explanation_styles=(_S.PREFERENCE_BASED,),
+            interaction=(_I.SPECIFY_REQUIREMENTS,),
+            aims=aims_for_citations(("[24]",)),
+            rationale=(
+                "McSherry's CBR explanations expose retrieval reasoning "
+                "and the system's confidence in it"
+            ),
+            presentation_note="Top-item, Similar to top item",
+        ),
+        SurveyedSystem(
+            name="Organizational Structure",
+            citations=("[28]",),
+            kind="academic",
+            item_type="Digital camera, notebook computer",
+            presentation=(_P.STRUCTURED_OVERVIEW,),
+            explanation_styles=(_S.PREFERENCE_BASED,),
+            interaction=(_I.NONE,),
+            aims=aims_for_citations(("[28]",)),
+            rationale="Pu & Chen: 'Trust building with explanation interfaces'",
+            presentation_note="Structured overview",
+        ),
+        SurveyedSystem(
+            name="ADAPTIVE PLACE ADVISOR",
+            citations=("[35]",),
+            kind="academic",
+            item_type="Restaurants",
+            presentation=(_P.TOP_ITEM,),
+            explanation_styles=(_S.PREFERENCE_BASED,),
+            interaction=(_I.SPECIFY_REQUIREMENTS,),
+            aims=aims_for_citations(("[35]",)),
+            rationale=(
+                "Thompson et al. measure reduced time and interactions to "
+                "a satisfactory restaurant in enjoyable conversations"
+            ),
+        ),
+        SurveyedSystem(
+            name="ACORN",
+            citations=("[37]",),
+            kind="academic",
+            item_type="Movies",
+            presentation=(_P.STRUCTURED_OVERVIEW, _P.TOP_N),
+            explanation_styles=(_S.PREFERENCE_BASED,),
+            interaction=(_I.SPECIFY_REQUIREMENTS,),
+            aims=aims_for_citations(("[37]",)),
+            rationale=(
+                "Wärnestål's conversational recommender is evaluated on "
+                "dialogue efficiency and user satisfaction"
+            ),
+            presentation_note="Structured overview, Top-N",
+        ),
+        # Systems in Table 2 but not Table 4: their aims are stated even
+        # though the paper gives no presentation/interaction breakdown.
+        SurveyedSystem(
+            name="INTRIGUE",
+            citations=("[2]",),
+            kind="academic (aims only)",
+            item_type="Tourist attractions",
+            presentation=(),
+            explanation_styles=(_S.PREFERENCE_BASED,),
+            interaction=(),
+            aims=aims_for_citations(("[2]",)),
+            rationale=(
+                "group tourist recommendations explained so groups choose "
+                "well and enjoy the planning"
+            ),
+        ),
+        SurveyedSystem(
+            name="Sinha & Swearingen study",
+            citations=("[31]",),
+            kind="academic (aims only)",
+            item_type="Movies/music (study)",
+            presentation=(),
+            explanation_styles=(),
+            interaction=(),
+            aims=aims_for_citations(("[31]",)),
+            rationale="'The role of transparency in recommender systems'",
+        ),
+    ]
+
+
+class SurveyRegistry:
+    """Query interface over the surveyed systems."""
+
+    def __init__(self, systems: Iterable[SurveyedSystem]) -> None:
+        self._systems = list(systems)
+
+    @property
+    def systems(self) -> list[SurveyedSystem]:
+        """All registered systems."""
+        return list(self._systems)
+
+    def commercial(self) -> list[SurveyedSystem]:
+        """Table 3's systems."""
+        return [s for s in self._systems if s.kind == "commercial"]
+
+    def academic(self, with_tables: bool = True) -> list[SurveyedSystem]:
+        """Table 4's systems; ``with_tables=False`` adds aims-only entries."""
+        if with_tables:
+            return [s for s in self._systems if s.kind == "academic"]
+        return [s for s in self._systems if s.kind.startswith("academic")]
+
+    def with_aim(self, aim: Aim) -> list[SurveyedSystem]:
+        """Systems striving for the given aim (Table 2 lookup)."""
+        return [s for s in self._systems if aim in s.aims]
+
+    def with_style(self, style: ExplanationStyle) -> list[SurveyedSystem]:
+        """Systems using the given explanation style."""
+        return [s for s in self._systems if style in s.explanation_styles]
+
+    def with_presentation(self, mode: PresentationMode) -> list[SurveyedSystem]:
+        """Systems using the given presentation mode."""
+        return [s for s in self._systems if mode in s.presentation]
+
+    def with_interaction(self, mode: InteractionMode) -> list[SurveyedSystem]:
+        """Systems offering the given interaction mode."""
+        return [s for s in self._systems if mode in s.interaction]
+
+    def by_name(self, name: str) -> SurveyedSystem:
+        """Exact-name lookup."""
+        for system in self._systems:
+            if system.name == name:
+                return system
+        raise KeyError(name)
+
+
+REGISTRY = SurveyRegistry(_commercial() + _academic())
+"""The default registry holding every system the paper tabulates."""
+
+_TABLE2_ORDER = (
+    "[2]", "[5]", "[6]", "[7]", "[10]", "[11]", "[18]", "[20]", "[21]",
+    "[24]", "[28]", "[31]", "[35]", "[37]",
+)
+
+_TABLE2_AIM_ORDER = (
+    Aim.TRANSPARENCY,
+    Aim.SCRUTABILITY,
+    Aim.TRUST,
+    Aim.EFFECTIVENESS,
+    Aim.PERSUASIVENESS,
+    Aim.EFFICIENCY,
+    Aim.SATISFACTION,
+)
+
+
+def render_table_1() -> str:
+    """Table 1: aim, definition."""
+    return table(("Aim", "Definition"), table_1_rows())
+
+
+def render_table_2() -> str:
+    """Table 2: citation x aim checkmark matrix (positions reconstructed)."""
+    headers = ["System"] + [aim.info.abbreviation for aim in _TABLE2_AIM_ORDER]
+    rows = []
+    for citation in _TABLE2_ORDER:
+        aims = TABLE_2[citation]
+        row = [citation] + [
+            "X" if aim in aims else "" for aim in _TABLE2_AIM_ORDER
+        ]
+        rows.append(row)
+    return table(headers, rows)
+
+
+def _system_table(systems: list[SurveyedSystem]) -> str:
+    headers = (
+        "System",
+        "Item type",
+        "Presentation (Section 4)",
+        "Explanation",
+        "Interaction (Section 5)",
+    )
+    rows = []
+    for system in systems:
+        name = system.name
+        if system.citations:
+            name = f"{name} {' '.join(system.citations)}"
+        rows.append(
+            (
+                name,
+                system.item_type,
+                system.presentation_label(),
+                system.explanation_label(),
+                system.interaction_label(),
+            )
+        )
+    return table(headers, rows)
+
+
+def render_table_3() -> str:
+    """Table 3: commercial recommender systems with explanation facilities."""
+    return _system_table(REGISTRY.commercial())
+
+
+def render_table_4() -> str:
+    """Table 4: academic recommender systems with explanation facilities."""
+    return _system_table(REGISTRY.academic())

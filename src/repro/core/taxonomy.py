@@ -1,0 +1,65 @@
+"""Presentation and interaction taxonomies (paper Sections 4 and 5).
+
+Shared vocabulary: the survey registry classifies systems with these
+enums, every presenter in :mod:`repro.presentation` declares its
+:class:`PresentationMode`, and every feedback channel in
+:mod:`repro.interaction` declares its :class:`InteractionMode`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["PresentationMode", "InteractionMode"]
+
+
+class PresentationMode(enum.Enum):
+    """Ways of presenting recommendations (paper Section 4)."""
+
+    TOP_ITEM = "top item"
+    TOP_N = "top-N"
+    SIMILAR_TO_TOP = "similar to top item(s)"
+    PREDICTED_RATINGS = "predicted ratings"
+    STRUCTURED_OVERVIEW = "structured overview"
+
+    @property
+    def paper_section(self) -> str:
+        """The paper section that introduces this mode."""
+        return {
+            PresentationMode.TOP_ITEM: "4.1",
+            PresentationMode.TOP_N: "4.2",
+            PresentationMode.SIMILAR_TO_TOP: "4.3",
+            PresentationMode.PREDICTED_RATINGS: "4.4",
+            PresentationMode.STRUCTURED_OVERVIEW: "4.5",
+        }[self]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class InteractionMode(enum.Enum):
+    """Ways users give feedback to the recommender (paper Section 5)."""
+
+    SPECIFY_REQUIREMENTS = "specify requirements"
+    ALTERATION = "alteration"
+    RATING = "rating"
+    IMPLICIT_RATING = "(implicit) rating"
+    OPINION = "opinion"
+    VARIED = "(varied)"
+    NONE = "(none)"
+
+    @property
+    def paper_section(self) -> str:
+        """The paper section that introduces this mode."""
+        return {
+            InteractionMode.SPECIFY_REQUIREMENTS: "5.1",
+            InteractionMode.ALTERATION: "5.2",
+            InteractionMode.RATING: "5.3",
+            InteractionMode.IMPLICIT_RATING: "5.3",
+            InteractionMode.OPINION: "5.4",
+            InteractionMode.VARIED: "5",
+            InteractionMode.NONE: "5",
+        }[self]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

@@ -1,0 +1,160 @@
+"""Natural-language templates for explanation text.
+
+Central home for the sentence shapes the paper exhibits, so every
+explainer phrases things consistently and the paper's own example
+sentences are reproducible verbatim-in-structure:
+
+* "You have been watching a lot of sports, and football in particular.
+  This is the most popular and recent item from the world cup." (4.1)
+* "You might also like ... Oliver Twist by Charles Dickens" (4.3)
+* "People like you liked ... Oliver Twist by Charles Dickens" (4.3)
+* "This is a sports item, but it is about hockey.  You do not seem to
+  like hockey!" (4.4)
+* "[these laptops] ... are cheaper and lighter, but have lower processor
+  speed" (4.5)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.recsys.data import RatingScale
+
+__all__ = [
+    "join_phrases",
+    "describe_rating",
+    "describe_confidence",
+    "viewing_history_sentence",
+    "top_item_sentence",
+    "might_also_like",
+    "people_like_you_liked",
+    "because_you_liked",
+    "interests_suggest",
+    "negative_topic_sentence",
+    "tradeoff_sentence",
+    "confidence_disclosure",
+]
+
+
+def join_phrases(phrases: Sequence[str], conjunction: str = "and") -> str:
+    """Join phrases with commas and a final conjunction.
+
+    >>> join_phrases(["a"])
+    'a'
+    >>> join_phrases(["a", "b"])
+    'a and b'
+    >>> join_phrases(["a", "b", "c"])
+    'a, b and c'
+    """
+    phrases = [p for p in phrases if p]
+    if not phrases:
+        return ""
+    if len(phrases) == 1:
+        return phrases[0]
+    return f"{', '.join(phrases[:-1])} {conjunction} {phrases[-1]}"
+
+
+def describe_rating(value: float, scale: RatingScale) -> str:
+    """A qualitative word for a rating value on its scale."""
+    unit = scale.normalize(value)
+    if unit >= 0.85:
+        return "outstanding"
+    if unit >= 0.65:
+        return "good"
+    if unit >= 0.45:
+        return "average"
+    if unit >= 0.25:
+        return "poor"
+    return "very poor"
+
+
+def describe_confidence(confidence: float) -> str:
+    """A qualitative word for a confidence value in [0, 1]."""
+    if confidence >= 0.8:
+        return "very confident"
+    if confidence >= 0.55:
+        return "fairly confident"
+    if confidence >= 0.3:
+        return "somewhat unsure"
+    return "really not sure"
+
+
+def viewing_history_sentence(
+    general_topic: str, specific_topic: str | None = None
+) -> str:
+    """'You have been watching a lot of sports, and football in particular.'"""
+    if specific_topic and specific_topic != general_topic:
+        return (
+            f"You have been watching a lot of {general_topic}, "
+            f"and {specific_topic} in particular."
+        )
+    return f"You have been watching a lot of {general_topic}."
+
+
+def top_item_sentence(context: str) -> str:
+    """'This is the most popular and recent item from the world cup.'"""
+    return f"This is the most popular and recent item from {context}."
+
+
+def might_also_like(title: str) -> str:
+    """'You might also like ... Oliver Twist by Charles Dickens.'"""
+    return f"You might also like... {title}."
+
+
+def people_like_you_liked(title: str) -> str:
+    """'People like you liked ... Oliver Twist by Charles Dickens.'"""
+    return f"People like you liked... {title}."
+
+
+def because_you_liked(title: str, liked_titles: Sequence[str]) -> str:
+    """'We have recommended X because you liked Y.'"""
+    liked = join_phrases(list(liked_titles))
+    return f"We have recommended {title} because you liked {liked}."
+
+
+def interests_suggest(title: str) -> str:
+    """'Your interests suggest that you would like X.'"""
+    return f"Your interests suggest that you would like {title}."
+
+
+def negative_topic_sentence(
+    general_topic: str, specific_topic: str
+) -> str:
+    """'This is a sports item, but it is about hockey. You do not seem to
+    like hockey!'"""
+    return (
+        f"This is a {general_topic} item, but it is about "
+        f"{specific_topic}. You do not seem to like {specific_topic}!"
+    )
+
+
+def tradeoff_sentence(
+    pros: Sequence[str], cons: Sequence[str], subject: str = "These items"
+) -> str:
+    """'These items are Cheaper and Lighter, but have Lower Processor Speed.'
+
+    Positive deltas lead, negatives trail after "but" — the "Thinking
+    positively" critique ordering of McCarthy et al. (paper ref [20]).
+    """
+    pros_text = join_phrases(list(pros))
+    cons_text = join_phrases(list(cons))
+    if pros_text and cons_text:
+        return f"{subject} are {pros_text}, but {cons_text}."
+    if pros_text:
+        return f"{subject} are {pros_text}."
+    if cons_text:
+        return f"{subject} are {cons_text}."
+    return f"{subject} are equivalent on your criteria."
+
+
+def confidence_disclosure(confidence: float) -> str:
+    """A frank admission of the system's own confidence (Section 2.3).
+
+    "A user may also appreciate when a system is 'frank' and admits that
+    it is not confident about a particular recommendation."
+    """
+    quality = describe_confidence(confidence)
+    return (
+        f"To be frank, we are {quality} about this recommendation "
+        f"(confidence {confidence:.0%})."
+    )

@@ -1,0 +1,53 @@
+"""Synthetic item domains standing in for the paper's catalogues.
+
+Every domain is deterministic under its seed.  Latent-factor worlds
+(movies, books, news) come with ground-truth utilities for effectiveness
+studies; catalogue worlds (cameras, restaurants, holidays) come with
+typed attribute schemas for the knowledge-based substrate.
+"""
+
+from repro.domains._synthetic import SyntheticWorld, build_world
+from repro.domains.books import BOOK_AUTHORS, BOOK_GENRES, make_books
+from repro.domains.cameras import camera_catalog, make_cameras
+from repro.domains.holidays import (
+    ACTIVITIES,
+    CLIMATES,
+    DESTINATIONS,
+    PROFILE_VOCABULARY,
+    holiday_catalog,
+    make_holidays,
+)
+from repro.domains.movies import MOVIE_GENRES, make_movies
+from repro.domains.news import NEWS_SECTIONS, make_news
+from repro.domains.people import INTERESTS, make_people, people_catalog
+from repro.domains.restaurants import (
+    CUISINES,
+    make_restaurants,
+    restaurant_catalog,
+)
+
+__all__ = [
+    "SyntheticWorld",
+    "build_world",
+    "make_movies",
+    "MOVIE_GENRES",
+    "make_books",
+    "BOOK_GENRES",
+    "BOOK_AUTHORS",
+    "make_news",
+    "make_people",
+    "people_catalog",
+    "INTERESTS",
+    "NEWS_SECTIONS",
+    "make_cameras",
+    "camera_catalog",
+    "make_restaurants",
+    "restaurant_catalog",
+    "CUISINES",
+    "make_holidays",
+    "holiday_catalog",
+    "DESTINATIONS",
+    "CLIMATES",
+    "ACTIVITIES",
+    "PROFILE_VOCABULARY",
+]

@@ -1,0 +1,128 @@
+"""Synthetic digital-camera domain (Qwikshop stand-in, paper ref [20]).
+
+Cameras are the survey's canonical critiquing domain: "Less Memory and
+Lower Resolution and Cheaper" (Sections 2.6, 5.2).  The generator builds
+a catalogue with realistically correlated attributes (price rises with
+resolution and zoom) so compound critiques are meaningful, plus the typed
+:class:`~repro.recsys.knowledge.Catalog` the knowledge-based recommender
+needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.recsys.data import Dataset, Item, RatingScale, User
+from repro.recsys.knowledge import AttributeSpec, Catalog
+
+__all__ = ["camera_catalog", "make_cameras"]
+
+_BRANDS = ("Axion", "Lumar", "Pentaprism", "Verity", "Kobold")
+
+
+def camera_catalog() -> Catalog:
+    """The attribute schema of the camera domain.
+
+    Phrasing matches the paper's example critique vocabulary: the price
+    spec renders as "Cheaper" / "More Expensive", memory as "Less Memory"
+    / "More Memory", resolution as "Lower Resolution" / "Higher
+    Resolution".
+    """
+    return Catalog(
+        [
+            AttributeSpec(
+                name="price",
+                kind="numeric",
+                direction="lower_better",
+                low=80.0,
+                high=1200.0,
+                unit="USD",
+                less_phrase="Cheaper",
+                more_phrase="More Expensive",
+            ),
+            AttributeSpec(
+                name="resolution",
+                kind="numeric",
+                direction="higher_better",
+                low=2.0,
+                high=12.0,
+                unit="MP",
+                less_phrase="Lower Resolution",
+                more_phrase="Higher Resolution",
+            ),
+            AttributeSpec(
+                name="memory",
+                kind="numeric",
+                direction="higher_better",
+                low=16.0,
+                high=2048.0,
+                unit="MB",
+                less_phrase="Less Memory",
+                more_phrase="More Memory",
+            ),
+            AttributeSpec(
+                name="zoom",
+                kind="numeric",
+                direction="higher_better",
+                low=1.0,
+                high=12.0,
+                unit="x",
+                less_phrase="Less Zoom",
+                more_phrase="More Zoom",
+            ),
+            AttributeSpec(
+                name="weight",
+                kind="numeric",
+                direction="lower_better",
+                low=90.0,
+                high=900.0,
+                unit="g",
+                less_phrase="Lighter",
+                more_phrase="Heavier",
+            ),
+            AttributeSpec(name="brand", kind="categorical"),
+        ]
+    )
+
+
+def make_cameras(n_items: int = 60, seed: int = 21) -> tuple[Dataset, Catalog]:
+    """A camera catalogue with correlated attributes.
+
+    A latent "class" variable (budget → professional) drives price,
+    resolution, memory and zoom together, with independent jitter, so
+    real trade-offs exist: cheaper cameras genuinely tend to have less
+    memory and lower resolution.
+    """
+    rng = np.random.default_rng(seed)
+    catalog = camera_catalog()
+    items: list[Item] = []
+    for index in range(n_items):
+        tier = rng.uniform(0.0, 1.0)  # 0 = budget, 1 = professional
+        price = 80.0 + 1120.0 * (tier ** 1.3) * rng.uniform(0.8, 1.2)
+        resolution = 2.0 + 10.0 * tier * rng.uniform(0.75, 1.25)
+        memory = float(
+            np.clip(16.0 * 2 ** (tier * 6.0 * rng.uniform(0.8, 1.2)), 16, 2048)
+        )
+        zoom = 1.0 + 11.0 * rng.uniform(0.0, 1.0) * (0.4 + 0.6 * tier)
+        weight = 90.0 + 810.0 * (0.3 * rng.uniform(0, 1) + 0.7 * tier)
+        brand = _BRANDS[int(rng.integers(0, len(_BRANDS)))]
+        items.append(
+            Item(
+                item_id=f"camera_{index:03d}",
+                title=f"{brand} {100 + index}",
+                attributes={
+                    "price": round(float(np.clip(price, 80, 1200)), 2),
+                    "resolution": round(float(np.clip(resolution, 2, 12)), 1),
+                    "memory": round(memory, 0),
+                    "zoom": round(float(np.clip(zoom, 1, 12)), 1),
+                    "weight": round(float(np.clip(weight, 90, 900)), 0),
+                    "brand": brand,
+                },
+                keywords=frozenset({brand.lower(), "camera"}),
+                topics=("cameras",),
+                recency=float(rng.uniform(0.0, 100.0)),
+            )
+        )
+    users = [User(user_id="shopper", name="Camera shopper")]
+    dataset = Dataset(items=items, users=users, scale=RatingScale())
+    return dataset, catalog

@@ -1,0 +1,124 @@
+"""Synthetic holiday domain (SASY / Top Case stand-in, refs [11], [24]).
+
+Figure 1 of the paper shows SASY, a *scrutable* holiday recommender: the
+page explains which profile attributes (volunteered or inferred) selected
+each holiday, and lets the user change them.  This generator supplies the
+holiday catalogue, its typed schema and a default profile-attribute
+vocabulary for the scrutable-profile machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.recsys.data import Dataset, Item, RatingScale, User
+from repro.recsys.knowledge import AttributeSpec, Catalog
+
+__all__ = [
+    "DESTINATIONS",
+    "CLIMATES",
+    "ACTIVITIES",
+    "holiday_catalog",
+    "make_holidays",
+    "PROFILE_VOCABULARY",
+]
+
+DESTINATIONS = (
+    "Crete", "Lapland", "Tuscany", "Bali", "Hebrides", "Kyoto", "Patagonia",
+    "Algarve",
+)
+CLIMATES = ("hot", "mild", "cold")
+ACTIVITIES = ("beach", "skiing", "hiking", "culture", "nightlife", "family-park")
+
+PROFILE_VOCABULARY: dict[str, tuple[object, ...]] = {
+    "likes_beach": (True, False),
+    "travels_with_children": (True, False),
+    "budget_conscious": (True, False),
+    "preferred_climate": CLIMATES,
+    "preferred_activity": ACTIVITIES,
+}
+"""Attributes a scrutable holiday profile may contain."""
+
+
+def holiday_catalog() -> Catalog:
+    """The attribute schema of the holiday domain."""
+    return Catalog(
+        [
+            AttributeSpec(name="destination", kind="categorical"),
+            AttributeSpec(name="climate", kind="categorical"),
+            AttributeSpec(name="activity", kind="categorical"),
+            AttributeSpec(
+                name="price",
+                kind="numeric",
+                direction="lower_better",
+                low=200.0,
+                high=5000.0,
+                unit="EUR",
+                less_phrase="Cheaper",
+                more_phrase="More Expensive",
+            ),
+            AttributeSpec(
+                name="duration_days",
+                kind="numeric",
+                low=3.0,
+                high=21.0,
+                unit="days",
+                less_phrase="Shorter",
+                more_phrase="Longer",
+            ),
+            AttributeSpec(name="family_friendly", kind="boolean"),
+        ]
+    )
+
+
+_CLIMATE_BY_DESTINATION = {
+    "Crete": "hot",
+    "Lapland": "cold",
+    "Tuscany": "mild",
+    "Bali": "hot",
+    "Hebrides": "cold",
+    "Kyoto": "mild",
+    "Patagonia": "cold",
+    "Algarve": "hot",
+}
+
+
+def make_holidays(n_items: int = 48, seed: int = 41) -> tuple[Dataset, Catalog]:
+    """A holiday catalogue with destination-consistent climates."""
+    rng = np.random.default_rng(seed)
+    catalog = holiday_catalog()
+    items: list[Item] = []
+    for index in range(n_items):
+        destination = DESTINATIONS[int(rng.integers(0, len(DESTINATIONS)))]
+        climate = _CLIMATE_BY_DESTINATION[destination]
+        if climate == "cold":
+            activity_pool = ("skiing", "hiking", "culture")
+        elif climate == "hot":
+            activity_pool = ("beach", "nightlife", "family-park", "culture")
+        else:
+            activity_pool = ("culture", "hiking", "family-park")
+        activity = activity_pool[int(rng.integers(0, len(activity_pool)))]
+        family_friendly = activity in ("beach", "family-park", "hiking")
+        price = float(rng.uniform(200.0, 5000.0))
+        items.append(
+            Item(
+                item_id=f"holiday_{index:03d}",
+                title=f"{destination} {activity} break ({index:03d})",
+                attributes={
+                    "destination": destination,
+                    "climate": climate,
+                    "activity": activity,
+                    "price": round(price, 0),
+                    "duration_days": float(rng.integers(3, 22)),
+                    "family_friendly": family_friendly,
+                },
+                keywords=frozenset(
+                    {destination.lower(), climate, activity, "holiday"}
+                ),
+                topics=("holidays", activity),
+                recency=float(rng.uniform(0.0, 100.0)),
+            )
+        )
+    users = [User(user_id="traveller", name="Holiday planner")]
+    dataset = Dataset(items=items, users=users, scale=RatingScale())
+    return dataset, catalog

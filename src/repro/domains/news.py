@@ -1,0 +1,88 @@
+"""Synthetic news domain (Findory / News Dude / newsmap stand-in).
+
+The paper's running example is a news viewer who "has been watching a lot
+of sports, and football in particular" but dislikes hockey (Sections
+4.1–4.4), and Figure 2 is a treemap of news topics.  This world provides
+hierarchical topics (``sports/football``, ``sports/hockey``, ...), strong
+recency, and an ``importance`` attribute for treemap sizing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.domains._synthetic import SyntheticWorld, build_world
+
+__all__ = ["NEWS_SECTIONS", "make_news"]
+
+NEWS_SECTIONS: dict[str, tuple[str, ...]] = {
+    "sports/football": (
+        "worldcup", "final", "goal", "striker", "league", "transfer",
+        "penalty", "derby",
+    ),
+    "sports/hockey": (
+        "rink", "puck", "playoff", "goalie", "icetime", "bodycheck",
+        "local-league",
+    ),
+    "sports/tennis": (
+        "grandslam", "ace", "rally", "seed", "baseline", "tiebreak",
+    ),
+    "technology": (
+        "gadget", "startup", "chip", "software", "mobile", "browser",
+        "gadget-of-the-day", "review",
+    ),
+    "politics": (
+        "election", "parliament", "summit", "policy", "minister",
+        "referendum",
+    ),
+    "business": (
+        "market", "merger", "earnings", "ipo", "oil", "currency",
+    ),
+    "entertainment": (
+        "premiere", "festival", "celebrity", "boxoffice", "album",
+        "award-show",
+    ),
+}
+"""Hierarchical section to keyword-vocabulary mapping."""
+
+_HEADLINE_VERBS = ("stuns", "rallies", "unveils", "confirms", "tops", "slips")
+
+
+def _headline(genre: str, index: int, rng: np.random.Generator) -> str:
+    vocabulary = NEWS_SECTIONS[genre]
+    subject = vocabulary[int(rng.integers(0, len(vocabulary)))]
+    verb = _HEADLINE_VERBS[int(rng.integers(0, len(_HEADLINE_VERBS)))]
+    section = genre.split("/")[-1].capitalize()
+    return f"{section}: {subject} {verb} ({index:03d})"
+
+
+def _news_attributes(
+    genre: str, index: int, rng: np.random.Generator
+) -> dict[str, object]:
+    return {
+        "importance": float(rng.uniform(0.1, 1.0)),
+        "word_count": int(rng.integers(120, 1400)),
+        "section": genre.split("/")[0],
+    }
+
+
+def make_news(
+    n_users: int = 50,
+    n_items: int = 140,
+    seed: int = 3,
+    density: float = 0.15,
+    noise: float = 0.5,
+) -> SyntheticWorld:
+    """A synthetic news world with hierarchical sections and importance."""
+    return build_world(
+        prefix="news",
+        n_users=n_users,
+        n_items=n_items,
+        genre_keywords=NEWS_SECTIONS,
+        title_maker=_headline,
+        attribute_maker=_news_attributes,
+        seed=seed,
+        density=density,
+        noise=noise,
+        shared_keywords=("breaking", "exclusive", "analysis"),
+    )

@@ -1,0 +1,105 @@
+"""Synthetic restaurant domain (Adaptive Place Advisor stand-in, ref [35]).
+
+The survey's efficiency discussion (Section 3.6) is grounded in Thompson
+et al.'s conversational restaurant recommender, which elicits preferences
+slot by slot (cuisine, price range, distance).  This generator builds a
+restaurant catalogue over those slots plus the typed catalogue schema the
+dialog manager and knowledge-based recommender share.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.recsys.data import Dataset, Item, RatingScale, User
+from repro.recsys.knowledge import AttributeSpec, Catalog
+
+__all__ = ["CUISINES", "restaurant_catalog", "make_restaurants"]
+
+CUISINES = (
+    "italian", "thai", "indian", "french", "mexican", "japanese",
+    "steakhouse", "vegetarian",
+)
+
+_NAME_PARTS = (
+    "Golden", "Blue", "Old Town", "Harbour", "Corner", "Royal", "Little",
+    "Garden",
+)
+_NAME_NOUNS = (
+    "Fork", "Lantern", "Table", "Kettle", "Olive", "Brasserie", "Kitchen",
+    "Spoon",
+)
+
+
+def restaurant_catalog() -> Catalog:
+    """The attribute schema of the restaurant domain."""
+    return Catalog(
+        [
+            AttributeSpec(name="cuisine", kind="categorical"),
+            AttributeSpec(
+                name="price_level",
+                kind="numeric",
+                direction="lower_better",
+                low=1.0,
+                high=4.0,
+                less_phrase="Cheaper",
+                more_phrase="Pricier",
+            ),
+            AttributeSpec(
+                name="distance_km",
+                kind="numeric",
+                direction="lower_better",
+                low=0.1,
+                high=25.0,
+                unit="km",
+                less_phrase="Closer",
+                more_phrase="Farther",
+            ),
+            AttributeSpec(
+                name="food_quality",
+                kind="numeric",
+                direction="higher_better",
+                low=1.0,
+                high=5.0,
+                less_phrase="Plainer Food",
+                more_phrase="Better Food",
+            ),
+            AttributeSpec(name="has_parking", kind="boolean"),
+        ]
+    )
+
+
+def make_restaurants(
+    n_items: int = 80, seed: int = 31
+) -> tuple[Dataset, Catalog]:
+    """A restaurant catalogue; quality correlates mildly with price."""
+    rng = np.random.default_rng(seed)
+    catalog = restaurant_catalog()
+    items: list[Item] = []
+    for index in range(n_items):
+        cuisine = CUISINES[int(rng.integers(0, len(CUISINES)))]
+        price_level = float(rng.integers(1, 5))
+        quality = float(
+            np.clip(2.0 + 0.5 * price_level + rng.normal(0.0, 0.7), 1.0, 5.0)
+        )
+        part = _NAME_PARTS[int(rng.integers(0, len(_NAME_PARTS)))]
+        noun = _NAME_NOUNS[int(rng.integers(0, len(_NAME_NOUNS)))]
+        items.append(
+            Item(
+                item_id=f"restaurant_{index:03d}",
+                title=f"The {part} {noun} ({cuisine})",
+                attributes={
+                    "cuisine": cuisine,
+                    "price_level": price_level,
+                    "distance_km": round(float(rng.uniform(0.1, 25.0)), 1),
+                    "food_quality": round(quality, 1),
+                    "has_parking": bool(rng.random() < 0.6),
+                },
+                keywords=frozenset({cuisine, "restaurant"}),
+                topics=("restaurants", cuisine),
+                recency=float(rng.uniform(0.0, 100.0)),
+            )
+        )
+    users = [User(user_id="diner", name="Hungry diner")]
+    dataset = Dataset(items=items, users=users, scale=RatingScale())
+    return dataset, catalog

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything the library raises with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DataError(ReproError):
+    """Raised for malformed or inconsistent dataset contents."""
+
+
+class UnknownUserError(DataError):
+    """Raised when a user id is not present in the dataset."""
+
+    def __init__(self, user_id: str) -> None:
+        super().__init__(f"unknown user: {user_id!r}")
+        self.user_id = user_id
+
+
+class UnknownItemError(DataError):
+    """Raised when an item id is not present in the dataset."""
+
+    def __init__(self, item_id: str) -> None:
+        super().__init__(f"unknown item: {item_id!r}")
+        self.item_id = item_id
+
+
+class NotFittedError(ReproError):
+    """Raised when a recommender is used before :meth:`fit` was called."""
+
+
+class PredictionImpossibleError(ReproError):
+    """Raised when no prediction can be produced for a (user, item) pair.
+
+    Collaborative recommenders raise this when a user has no usable
+    neighbours; content-based recommenders when the user has no profile.
+    Callers that want graceful degradation should catch this and fall back
+    to a non-personalized baseline.
+    """
+
+
+class ConstraintError(ReproError):
+    """Raised for contradictory or unsatisfiable user requirements."""
+
+
+class DialogError(ReproError):
+    """Raised for invalid conversational dialog transitions."""
+
+
+class EvaluationError(ReproError):
+    """Raised for misconfigured studies or evaluators."""

@@ -1,0 +1,65 @@
+"""Evaluation methodology (paper Section 3) over simulated users."""
+
+from repro.evaluation.harness import (
+    ExplanationConfiguration,
+    evaluate_configuration,
+)
+from repro.evaluation.instruments import (
+    LikertItem,
+    Questionnaire,
+    QuestionnaireResponse,
+    WalkthroughTally,
+    ohanian_trust_scale,
+    satisfaction_scale,
+    transparency_scale,
+)
+from repro.evaluation.reporting import StudyReport
+from repro.evaluation.scorecard import (
+    GOAL_PROFILES,
+    CriteriaScorecard,
+    compare_scorecards,
+)
+from repro.evaluation.stats import (
+    ConditionSummary,
+    TestResult,
+    bootstrap_ci,
+    cohens_d,
+    independent_t,
+    one_sample_t,
+    paired_t,
+    summarize,
+    wilcoxon_signed_rank,
+)
+from repro.evaluation.users import (
+    ExplanationStimulus,
+    SimulatedUser,
+    make_population,
+)
+
+__all__ = [
+    "SimulatedUser",
+    "ExplanationStimulus",
+    "make_population",
+    "Questionnaire",
+    "QuestionnaireResponse",
+    "LikertItem",
+    "ohanian_trust_scale",
+    "satisfaction_scale",
+    "transparency_scale",
+    "WalkthroughTally",
+    "StudyReport",
+    "CriteriaScorecard",
+    "ExplanationConfiguration",
+    "evaluate_configuration",
+    "GOAL_PROFILES",
+    "compare_scorecards",
+    "TestResult",
+    "ConditionSummary",
+    "paired_t",
+    "independent_t",
+    "one_sample_t",
+    "wilcoxon_signed_rank",
+    "bootstrap_ci",
+    "cohens_d",
+    "summarize",
+]

@@ -1,0 +1,21 @@
+"""One evaluator module per explanation aim (paper Section 3)."""
+
+from repro.evaluation.criteria import (  # noqa: F401  (re-export modules)
+    effectiveness,
+    efficiency,
+    persuasion,
+    satisfaction,
+    scrutability,
+    transparency,
+    trust,
+)
+
+__all__ = [
+    "transparency",
+    "scrutability",
+    "trust",
+    "effectiveness",
+    "persuasion",
+    "efficiency",
+    "satisfaction",
+]

@@ -1,0 +1,51 @@
+"""Efficiency measures (paper Section 3.6).
+
+Aggregates over :class:`~repro.interaction.session.InteractionLog`:
+completion time (Pu & Chen), number of interaction cycles (Thompson et
+al.), and the indirect measures — "number of inspected explanations, and
+number of activations of repair actions".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.aims import Aim
+from repro.interaction.session import InteractionLog
+
+__all__ = ["EfficiencySummary", "summarize_sessions", "AIM"]
+
+AIM = Aim.EFFICIENCY
+
+
+@dataclass(frozen=True)
+class EfficiencySummary:
+    """Mean efficiency measures over a batch of sessions."""
+
+    n_sessions: int
+    mean_seconds: float
+    mean_cycles: float
+    mean_interactions: float
+    mean_explanations_inspected: float
+    mean_repairs: float
+
+
+def summarize_sessions(logs: Sequence[InteractionLog]) -> EfficiencySummary:
+    """Aggregate the Section 3.6 measures over session logs."""
+    if not logs:
+        raise ValueError("no session logs supplied")
+    return EfficiencySummary(
+        n_sessions=len(logs),
+        mean_seconds=float(np.mean([log.total_seconds for log in logs])),
+        mean_cycles=float(np.mean([log.n_cycles for log in logs])),
+        mean_interactions=float(
+            np.mean([log.n_interactions for log in logs])
+        ),
+        mean_explanations_inspected=float(
+            np.mean([log.count("read_explanation") for log in logs])
+        ),
+        mean_repairs=float(np.mean([log.count("repair") for log in logs])),
+    )

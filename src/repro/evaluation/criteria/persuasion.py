@@ -1,0 +1,110 @@
+"""Persuasiveness measures (paper Section 3.4).
+
+"Persuasion can be measured as the difference in likelihood of selecting
+an item ... Another possibility would be to measure how much the user
+actually tries or buys items compared to the same user in a system
+without an explanation facility."  And, after Cosley et al., the
+re-rating design: "persuasive ability was calculated as the difference
+between two ratings ... Naturally this also requires a baseline interface
+without explanations for re-rating, to control for intra-user differences
+over time."
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.aims import Aim
+from repro.evaluation.users import ExplanationStimulus, SimulatedUser
+
+__all__ = ["ReRating", "rerating_trial", "rating_shift", "acceptance_rate",
+           "AIM"]
+
+AIM = Aim.PERSUASIVENESS
+
+
+@dataclass(frozen=True)
+class ReRating:
+    """One re-rating observation: original rating vs. rating-with-interface."""
+
+    user_id: str
+    item_id: str
+    original: float
+    rerated: float
+    shown_prediction: float | None
+
+    @property
+    def shift(self) -> float:
+        """Signed re-rating shift (new minus old)."""
+        return self.rerated - self.original
+
+    @property
+    def shift_toward_prediction(self) -> float:
+        """Movement towards the shown prediction (0 when none shown)."""
+        if self.shown_prediction is None:
+            return 0.0
+        before = abs(self.original - self.shown_prediction)
+        after = abs(self.rerated - self.shown_prediction)
+        return before - after
+
+
+def rerating_trial(
+    user: SimulatedUser,
+    item_id: str,
+    original_rating: float,
+    stimulus: ExplanationStimulus,
+) -> ReRating:
+    """One Cosley-style re-rating: show an interface, ask again.
+
+    The user's re-rating anchors on their original opinion, then the
+    interface pulls it towards the shown prediction (if any) in
+    proportion to persuadability — plus intra-user noise, which is why
+    the control arm exists.
+    """
+    anchored = original_rating + user.rng.normal(0.0, user.rating_noise)
+    if stimulus.shown_prediction is not None:
+        pull = user.persuadability * stimulus.persuasive_pull
+        anchored += pull * (stimulus.shown_prediction - anchored)
+    return ReRating(
+        user_id=user.user_id,
+        item_id=item_id,
+        original=original_rating,
+        rerated=user.scale.clip(anchored),
+        shown_prediction=stimulus.shown_prediction,
+    )
+
+
+def rating_shift(trials: Sequence[ReRating]) -> dict[str, float]:
+    """Mean signed shift and mean movement-toward-prediction."""
+    if not trials:
+        raise ValueError("no trials supplied")
+    return {
+        "mean_shift": float(np.mean([trial.shift for trial in trials])),
+        "mean_toward_prediction": float(
+            np.mean([trial.shift_toward_prediction for trial in trials])
+        ),
+    }
+
+
+def acceptance_rate(
+    users: Sequence[SimulatedUser],
+    item_ids: Sequence[str],
+    stimulus: ExplanationStimulus,
+) -> float:
+    """Fraction of (user, item) pairs the user would try under a stimulus.
+
+    The try/buy-rate measure; compare against the same population under
+    a no-explanation stimulus for the paper's within-user design.
+    """
+    if not users or not item_ids:
+        raise ValueError("users and item_ids must be non-empty")
+    tried = 0
+    total = 0
+    for user in users:
+        for item_id in item_ids:
+            tried += int(user.would_try(item_id, stimulus))
+            total += 1
+    return tried / total

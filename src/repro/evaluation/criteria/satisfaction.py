@@ -1,0 +1,72 @@
+"""Satisfaction measures (paper Section 3.7).
+
+Direct preference questionnaires, loyalty (shared with trust, Section
+3.3), and the qualitative walk-through tally — with the paper's
+distinction "between satisfaction with the recommendation process, and
+the recommended products" made explicit in the summary keys.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.aims import Aim
+from repro.evaluation.instruments import WalkthroughTally, satisfaction_scale
+from repro.evaluation.users import SimulatedUser
+
+__all__ = ["SatisfactionSummary", "satisfaction_questionnaire_scores",
+           "summarize_satisfaction", "AIM"]
+
+AIM = Aim.SATISFACTION
+
+
+@dataclass(frozen=True)
+class SatisfactionSummary:
+    """Process vs. product satisfaction for one condition."""
+
+    process_score: float
+    product_score: float
+    walkthrough: dict[str, float]
+
+
+def satisfaction_questionnaire_scores(
+    users: Sequence[SimulatedUser],
+    latent_process_satisfaction: Sequence[float],
+    rng: np.random.Generator,
+) -> list[float]:
+    """Administer the satisfaction questionnaire per user.
+
+    ``latent_process_satisfaction`` carries each user's true satisfaction
+    with the *process* in [0, 1] (studies compute it from their simulated
+    experience); the questionnaire adds psychometric noise.
+    """
+    if len(users) != len(latent_process_satisfaction):
+        raise ValueError("one latent value per user required")
+    scale = satisfaction_scale()
+    return [
+        scale.score(scale.administer(latent, rng))
+        for latent in latent_process_satisfaction
+    ]
+
+
+def summarize_satisfaction(
+    process_scores: Sequence[float],
+    product_ratings: Sequence[float],
+    rating_maximum: float = 5.0,
+    tally: WalkthroughTally | None = None,
+) -> SatisfactionSummary:
+    """Combine process questionnaires, product ratings and walk-throughs.
+
+    ``product_ratings`` are post-consumption ratings of chosen items,
+    normalised into [0, 1] by ``rating_maximum``.
+    """
+    if not process_scores or not product_ratings:
+        raise ValueError("scores must be non-empty")
+    return SatisfactionSummary(
+        process_score=float(np.mean(process_scores)),
+        product_score=float(np.mean(product_ratings)) / rating_maximum,
+        walkthrough=(tally.summary() if tally is not None else {}),
+    )

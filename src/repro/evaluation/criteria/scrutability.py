@@ -1,0 +1,85 @@
+"""Scrutability measures (paper Section 3.2).
+
+The evaluation unit is the *scrutinization task*: "supply users with
+task-based scenarios where they are more likely to scrutinize, e.g. stop
+receiving recommendations of Disney movies", scored by task correctness
+and time — with the paper's caveat that timings mislead when the user
+cannot find the scrutability tool (interface issues), which the task
+result records explicitly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+__all__ = ["ScrutinizationResult", "scrutinization_task", "AIM"]
+
+from repro.core.aims import Aim
+
+AIM = Aim.SCRUTABILITY
+
+
+@dataclass(frozen=True)
+class ScrutinizationResult:
+    """Outcome of one 'stop recommendations of topic X' task."""
+
+    user_id: str
+    banned_topic: str
+    correct: bool
+    seconds: float
+    n_actions: int
+    found_tool: bool
+    remaining_banned_items: int
+
+
+def scrutinization_task(
+    user_id: str,
+    banned_topic: str,
+    topics_of: Callable[[str], tuple[str, ...]],
+    recommend: Callable[[], list[str]],
+    scrutinize: Callable[[], tuple[int, float]],
+    found_tool: bool = True,
+) -> ScrutinizationResult:
+    """Run one scrutinization task.
+
+    ``scrutinize()`` performs the user's corrective actions and returns
+    ``(n_actions, seconds)`` — profile edits when the tool was found,
+    indirect down-rating otherwise.  Correctness = no banned-topic items
+    remain in the post-action top-N.
+    """
+    actions, seconds = scrutinize()
+    after_ids = recommend()
+    remaining = sum(
+        1 for item_id in after_ids if banned_topic in topics_of(item_id)
+    )
+    return ScrutinizationResult(
+        user_id=user_id,
+        banned_topic=banned_topic,
+        correct=(remaining == 0),
+        seconds=seconds,
+        n_actions=actions,
+        found_tool=found_tool,
+        remaining_banned_items=remaining,
+    )
+
+
+def correctness_rate(results: Sequence[ScrutinizationResult]) -> float:
+    """Fraction of tasks completed correctly."""
+    if not results:
+        return 0.0
+    return sum(1 for result in results if result.correct) / len(results)
+
+
+def timings_reliable(results: Sequence[ScrutinizationResult]) -> bool:
+    """Whether timing comparisons are meaningful (paper's caveat).
+
+    "Quantitative measures such as time to complete a scrutinization task
+    ... were found to be misleading when interface issues (e.g. not
+    finding the scrutability tool) arose."  Timings are flagged
+    unreliable when a nontrivial share of users never found the tool.
+    """
+    if not results:
+        return False
+    missed = sum(1 for result in results if not result.found_tool)
+    return missed / len(results) < 0.2

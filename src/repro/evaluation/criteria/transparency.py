@@ -1,0 +1,93 @@
+"""Transparency measures (paper Section 3.1).
+
+Two instruments: a do-users-understand questionnaire, and the paper's
+behavioural task — "users can also be given the task of influencing the
+system so that it 'learns' a preference for a particular type of item,
+e.g. comedies ... task correctness and time to complete such a task would
+then be relevant quantitative measures."
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.aims import Aim
+from repro.evaluation.instruments import transparency_scale
+
+__all__ = ["TeachingTaskResult", "teaching_task", "understanding_scores", "AIM"]
+
+AIM = Aim.TRANSPARENCY
+
+
+@dataclass(frozen=True)
+class TeachingTaskResult:
+    """Outcome of one 'teach the system a preference' task."""
+
+    user_id: str
+    topic: str
+    share_before: float
+    share_after: float
+    correct: bool
+    seconds: float
+    n_actions: int
+
+
+def _topic_share(item_topics: Sequence[tuple[str, ...]], topic: str) -> float:
+    if not item_topics:
+        return 0.0
+    hits = sum(1 for topics in item_topics if topic in topics)
+    return hits / len(item_topics)
+
+
+def teaching_task(
+    user_id: str,
+    topic: str,
+    topics_of: Callable[[str], tuple[str, ...]],
+    recommend: Callable[[], list[str]],
+    teach_action: Callable[[int], None],
+    n_actions: int = 5,
+    seconds_per_action: float = 10.0,
+    success_margin: float = 0.15,
+) -> TeachingTaskResult:
+    """Run one teaching task and score correctness and time.
+
+    ``recommend()`` returns current top-N item ids; ``teach_action(i)``
+    performs the user's i-th teaching action (rating a topic item highly,
+    editing the profile, ...).  The task counts as correct when the
+    topic's share of the top-N rises by at least ``success_margin``.
+    """
+    before_ids = recommend()
+    share_before = _topic_share([topics_of(i) for i in before_ids], topic)
+    for action_index in range(n_actions):
+        teach_action(action_index)
+    after_ids = recommend()
+    share_after = _topic_share([topics_of(i) for i in after_ids], topic)
+    return TeachingTaskResult(
+        user_id=user_id,
+        topic=topic,
+        share_before=share_before,
+        share_after=share_after,
+        correct=(share_after - share_before) >= success_margin,
+        seconds=n_actions * seconds_per_action,
+        n_actions=n_actions,
+    )
+
+
+def understanding_scores(
+    latent_understandings: Sequence[float],
+    rng: np.random.Generator,
+) -> list[float]:
+    """Administer the transparency questionnaire to a population.
+
+    ``latent_understandings`` holds each user's true comprehension in
+    [0, 1]; the returned scores are the noisy questionnaire measurements
+    of it.
+    """
+    scale = transparency_scale()
+    return [
+        scale.score(scale.administer(latent, rng))
+        for latent in latent_understandings
+    ]

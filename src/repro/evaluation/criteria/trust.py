@@ -1,0 +1,78 @@
+"""Trust measures (paper Section 3.3).
+
+Three signals, exactly as the survey lists them:
+
+* the Ohanian-style five-dimension questionnaire;
+* loyalty measured "in terms of the number of logins and interactions
+  with the system" (McNee et al.);
+* increased sales (here: accepted-recommendation count), the indirect
+  "desirable bi-product".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.aims import Aim
+from repro.evaluation.instruments import ohanian_trust_scale
+from repro.evaluation.users import SimulatedUser
+
+__all__ = ["LoyaltyResult", "trust_questionnaire_scores", "simulate_loyalty",
+           "AIM"]
+
+AIM = Aim.TRUST
+
+
+@dataclass(frozen=True)
+class LoyaltyResult:
+    """Loyalty observation for one user over a simulated period."""
+
+    user_id: str
+    logins: int
+    interactions: int
+    items_tried: int
+
+
+def trust_questionnaire_scores(
+    users: Sequence[SimulatedUser],
+    rng: np.random.Generator,
+) -> list[float]:
+    """Administer the Ohanian scale; latent construct = each user's trust."""
+    scale = ohanian_trust_scale()
+    return [
+        scale.score(scale.administer(user.trust, rng)) for user in users
+    ]
+
+
+def simulate_loyalty(
+    user: SimulatedUser,
+    n_days: int = 14,
+    interactions_per_login: int = 5,
+) -> LoyaltyResult:
+    """Simulate return visits: each day the user returns w.p. = trust.
+
+    Items tried per login follows the user's current trust as well (a
+    trusting user acts on more recommendations — the sales proxy).
+    """
+    logins = 0
+    interactions = 0
+    items_tried = 0
+    for __ in range(n_days):
+        if not user.returns_tomorrow():
+            continue
+        logins += 1
+        interactions += interactions_per_login
+        items_tried += sum(
+            1
+            for __ in range(interactions_per_login)
+            if user.rng.random() < user.trust
+        )
+    return LoyaltyResult(
+        user_id=user.user_id,
+        logins=logins,
+        interactions=interactions,
+        items_tried=items_tried,
+    )

@@ -1,0 +1,183 @@
+"""The seven-aims evaluation harness.
+
+One call scores one explanation-facility configuration on every aim of
+Table 1, using the Section 3 measures over a simulated population, and
+returns a :class:`~repro.evaluation.scorecard.CriteriaScorecard` ready
+to rank under a goal profile.  This is the survey's prescription —
+"when choosing and comparing explanation techniques, it is very
+important to agree on what the explanation is trying to achieve" —
+packaged as an API: describe your design, get its aim profile, pick by
+your goal.
+
+Per-aim measures (all normalised into [0, 1]; see docs/simulation.md):
+
+* **effectiveness** — 1 − mean |pre − post| gap (Bilgic double rating);
+* **persuasiveness** — try-rate lift over a no-explanation control;
+* **trust** — final trust after a consumption episode (understanding
+  softens losses; overselling penalised);
+* **transparency** — understanding questionnaire, latent comprehension
+  driven by the explanation's fidelity;
+* **efficiency** — inverse of per-decision reading cost;
+* **scrutability** — declared correction affordances (profile editing,
+  rating correction, critique support), weighted;
+* **satisfaction** — satisfaction questionnaire, latent = blend of
+  product outcomes and process cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.aims import Aim
+from repro.evaluation.criteria.effectiveness import double_rating_trial
+from repro.evaluation.criteria.transparency import understanding_scores
+from repro.evaluation.instruments import satisfaction_scale
+from repro.evaluation.scorecard import CriteriaScorecard
+from repro.evaluation.users import ExplanationStimulus, make_population
+
+__all__ = ["ExplanationConfiguration", "evaluate_configuration"]
+
+
+@dataclass(frozen=True)
+class ExplanationConfiguration:
+    """A design point to evaluate.
+
+    ``fidelity`` / ``persuasive_pull`` / ``reading_seconds`` describe the
+    explanation interface exactly as :class:`ExplanationStimulus` does;
+    the three ``supports_*`` flags declare which correction affordances
+    the surrounding interaction design offers (they drive scrutability).
+    """
+
+    name: str
+    fidelity: float = 0.5
+    persuasive_pull: float = 0.3
+    reading_seconds: float = 6.0
+    overselling: float = 0.5
+    supports_profile_editing: bool = False
+    supports_rating_correction: bool = True
+    supports_critiquing: bool = False
+    notes: dict[str, str] = field(default_factory=dict)
+
+
+def evaluate_configuration(
+    configuration: ExplanationConfiguration,
+    world,
+    n_users: int = 40,
+    items_per_user: int = 6,
+    seed: int = 0,
+) -> CriteriaScorecard:
+    """Score one configuration on all seven aims over a synthetic world.
+
+    ``world`` is any :class:`~repro.domains.SyntheticWorld` (latent-
+    factor ground truth required for the effectiveness measure).
+    """
+    dataset = world.dataset
+    scale = dataset.scale
+    rng = np.random.default_rng(seed)
+    users = make_population(
+        list(dataset.users)[:n_users],
+        true_utility_for=lambda uid: (
+            lambda item_id: world.true_utility(uid, item_id)
+        ),
+        scale=scale,
+        seed=seed + 1,
+    )
+    item_ids = list(dataset.items)
+
+    gaps: list[float] = []
+    tried_with = 0
+    tried_without = 0
+    offered = 0
+    product_outcomes: list[float] = []
+    for user in users:
+        order = rng.permutation(len(item_ids))
+        for index in order[:items_per_user]:
+            item_id = item_ids[index]
+            shown = scale.clip(
+                world.true_utility(user.user_id, item_id)
+                + configuration.overselling
+            )
+            stimulus = ExplanationStimulus(
+                fidelity=configuration.fidelity,
+                persuasive_pull=configuration.persuasive_pull,
+                shown_prediction=shown,
+                reading_seconds=configuration.reading_seconds,
+            )
+            offered += 1
+            # effectiveness: forced-consumption double rating
+            trial = double_rating_trial(user, item_id, stimulus)
+            gaps.append(abs(trial.gap))
+            # persuasion: try decision vs the no-explanation control
+            if user.would_try(item_id, stimulus):
+                tried_with += 1
+                # trust: consuming what the interface sold
+                user.experience_outcome(
+                    item_id,
+                    understood_why=configuration.fidelity >= 0.5,
+                    expected=trial.before,
+                )
+                product_outcomes.append(trial.after)
+            if user.would_try(item_id, ExplanationStimulus()):
+                tried_without += 1
+
+    card = CriteriaScorecard(configuration.name)
+
+    mean_gap = float(np.mean(gaps))
+    card.record(Aim.EFFECTIVENESS, 1.0 - mean_gap / scale.span * 2.0)
+
+    with_rate = tried_with / max(offered, 1)
+    without_rate = tried_without / max(offered, 1)
+    lift = with_rate - without_rate
+    card.record(Aim.PERSUASIVENESS, 0.5 + lift)  # 0.5 = no lift
+
+    card.record(
+        Aim.TRUST, float(np.mean([user.trust for user in users]))
+    )
+
+    comprehension = [
+        float(np.clip(0.25 + 0.65 * configuration.fidelity
+                      + rng.normal(0, 0.05), 0, 1))
+        for __ in users
+    ]
+    card.record(
+        Aim.TRANSPARENCY,
+        float(np.mean(understanding_scores(comprehension, rng))),
+    )
+
+    # 0 s reading -> 1.0; 20 s per decision -> 0.0
+    card.record(
+        Aim.EFFICIENCY,
+        1.0 - min(configuration.reading_seconds, 20.0) / 20.0,
+    )
+
+    scrutability = (
+        0.5 * configuration.supports_profile_editing
+        + 0.3 * configuration.supports_rating_correction
+        + 0.2 * configuration.supports_critiquing
+    )
+    card.record(Aim.SCRUTABILITY, scrutability)
+
+    if product_outcomes:
+        product = float(np.mean([scale.normalize(v) for v in
+                                 product_outcomes]))
+    else:
+        product = 0.5
+    process_cost = min(configuration.reading_seconds, 20.0) / 20.0
+    latent_satisfaction = float(
+        np.clip(0.6 * product + 0.4 * (1.0 - process_cost), 0, 1)
+    )
+    instrument = satisfaction_scale()
+    satisfaction = float(
+        np.mean(
+            [
+                instrument.score(
+                    instrument.administer(latent_satisfaction, rng)
+                )
+                for __ in range(len(users))
+            ]
+        )
+    )
+    card.record(Aim.SATISFACTION, satisfaction)
+    return card

@@ -1,0 +1,218 @@
+"""Questionnaire instruments (paper Sections 3.3, 3.7).
+
+"Questionnaires can be used to determine the degree of trust a user
+places in a system.  An overview of trust questionnaires can be found in
+[26] which also suggests and validates a five dimensional scale of
+trust."  This module implements Likert instruments generically and the
+Ohanian-style five-dimension trust scale specifically, plus a
+satisfaction questionnaire and the walk-through tally sheet of
+Section 3.7.
+
+Simulated respondents answer from a latent construct value plus response
+noise — the standard psychometric generating model — so studies can
+administer the same instrument to every arm.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import EvaluationError
+
+__all__ = [
+    "LikertItem",
+    "Questionnaire",
+    "QuestionnaireResponse",
+    "ohanian_trust_scale",
+    "satisfaction_scale",
+    "transparency_scale",
+    "WalkthroughTally",
+]
+
+
+@dataclass(frozen=True)
+class LikertItem:
+    """One Likert-scale questionnaire item.
+
+    ``reverse_coded`` items phrase the construct negatively; scoring
+    flips them back.
+    """
+
+    prompt: str
+    dimension: str
+    reverse_coded: bool = False
+
+
+@dataclass(frozen=True)
+class QuestionnaireResponse:
+    """One respondent's answers, keyed like the questionnaire's items."""
+
+    answers: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+
+class Questionnaire:
+    """A Likert questionnaire with latent-construct simulation support."""
+
+    def __init__(
+        self,
+        name: str,
+        items: Sequence[LikertItem],
+        points: int = 7,
+    ) -> None:
+        if not items:
+            raise EvaluationError("a questionnaire needs at least one item")
+        if points < 2:
+            raise EvaluationError(f"points must be >= 2, got {points}")
+        self.name = name
+        self.items = list(items)
+        self.points = points
+
+    def administer(
+        self,
+        latent: float,
+        rng: np.random.Generator,
+        response_noise: float = 0.6,
+    ) -> QuestionnaireResponse:
+        """Simulate one respondent with latent construct value in [0, 1].
+
+        Each item's answer is the latent value mapped onto the Likert
+        range plus Gaussian response noise, rounded and clipped; reverse
+        coded items are answered flipped.
+        """
+        if not 0.0 <= latent <= 1.0:
+            raise EvaluationError(f"latent must be in [0, 1], got {latent}")
+        answers = []
+        for item in self.items:
+            target = latent if not item.reverse_coded else 1.0 - latent
+            raw = 1.0 + target * (self.points - 1)
+            noisy = raw + rng.normal(0.0, response_noise)
+            answers.append(int(np.clip(round(noisy), 1, self.points)))
+        return QuestionnaireResponse(answers=tuple(answers))
+
+    def score(self, response: QuestionnaireResponse) -> float:
+        """Mean score in [0, 1], reverse-coded items flipped back."""
+        if len(response) != len(self.items):
+            raise EvaluationError(
+                f"response has {len(response)} answers, expected "
+                f"{len(self.items)}"
+            )
+        total = 0.0
+        for item, answer in zip(self.items, response.answers):
+            unit = (answer - 1) / (self.points - 1)
+            total += (1.0 - unit) if item.reverse_coded else unit
+        return total / len(self.items)
+
+    def dimension_scores(
+        self, response: QuestionnaireResponse
+    ) -> dict[str, float]:
+        """Per-dimension mean scores in [0, 1]."""
+        sums: dict[str, list[float]] = {}
+        for item, answer in zip(self.items, response.answers):
+            unit = (answer - 1) / (self.points - 1)
+            if item.reverse_coded:
+                unit = 1.0 - unit
+            sums.setdefault(item.dimension, []).append(unit)
+        return {
+            dimension: float(np.mean(values))
+            for dimension, values in sums.items()
+        }
+
+
+def ohanian_trust_scale() -> Questionnaire:
+    """A five-dimension trust scale after Ohanian (paper ref [26]).
+
+    Ohanian validated semantic-differential scales for perceived
+    trustworthiness; the five trust anchors are dependable / honest /
+    reliable / sincere / trustworthy.  The paper warns the original
+    validation covered celebrity endorsements, so "additional validation
+    may be required" — which is why this instrument is one signal among
+    several in the trust evaluator, not the only one.
+    """
+    anchors = ("dependable", "honest", "reliable", "sincere", "trustworthy")
+    return Questionnaire(
+        name="ohanian-trust",
+        items=[
+            LikertItem(
+                prompt=f"This recommender is {anchor}.",
+                dimension=anchor,
+            )
+            for anchor in anchors
+        ],
+    )
+
+
+def satisfaction_scale() -> Questionnaire:
+    """Satisfaction questionnaire (paper Section 3.7)."""
+    return Questionnaire(
+        name="satisfaction",
+        items=[
+            LikertItem("The system is fun to use.", "enjoyment"),
+            LikertItem("I would prefer this system with explanations.",
+                       "preference"),
+            LikertItem("The system is easy to use.", "ease"),
+            LikertItem("Using the system is tedious.", "enjoyment",
+                       reverse_coded=True),
+        ],
+    )
+
+
+def transparency_scale() -> Questionnaire:
+    """Understanding-of-personalization questionnaire (Section 3.1)."""
+    return Questionnaire(
+        name="transparency",
+        items=[
+            LikertItem(
+                "I understand why the system recommends what it does.",
+                "understanding",
+            ),
+            LikertItem(
+                "I understand what my past behaviour changes in the system.",
+                "understanding",
+            ),
+            LikertItem(
+                "The system's reasoning is a mystery to me.",
+                "understanding",
+                reverse_coded=True,
+            ),
+        ],
+    )
+
+
+@dataclass
+class WalkthroughTally:
+    """The qualitative walk-through tally sheet of Section 3.7.
+
+    "...the ratio of positive to negative comments; the number of times
+    the evaluator was frustrated; the number of times the evaluator was
+    delighted; the number of times and where the evaluator worked around
+    a usability problem."
+    """
+
+    positive_comments: int = 0
+    negative_comments: int = 0
+    frustrations: int = 0
+    delights: int = 0
+    workarounds: list[str] = field(default_factory=list)
+
+    def comment_ratio(self) -> float:
+        """Positive-to-negative comment ratio (inf-safe)."""
+        if self.negative_comments == 0:
+            return float(self.positive_comments)
+        return self.positive_comments / self.negative_comments
+
+    def summary(self) -> dict[str, float]:
+        """All tallies as a flat mapping."""
+        return {
+            "positive_comments": float(self.positive_comments),
+            "negative_comments": float(self.negative_comments),
+            "comment_ratio": self.comment_ratio(),
+            "frustrations": float(self.frustrations),
+            "delights": float(self.delights),
+            "workarounds": float(len(self.workarounds)),
+        }

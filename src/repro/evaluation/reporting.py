@@ -1,0 +1,71 @@
+"""Uniform study reporting.
+
+Every study harness in :mod:`repro.evaluation.studies` returns a
+:class:`StudyReport`: the paper's qualitative claim, the measured
+condition summaries, the statistical tests, and whether the claimed
+*shape* (who wins, which direction) held in this run.  Benchmarks render
+these reports; EXPERIMENTS.md records them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.evaluation.stats import ConditionSummary, TestResult
+from repro.render import table
+
+__all__ = ["StudyReport"]
+
+
+@dataclass
+class StudyReport:
+    """The complete result of one simulated study."""
+
+    study_id: str
+    title: str
+    paper_claim: str
+    conditions: list[ConditionSummary] = field(default_factory=list)
+    tests: list[TestResult] = field(default_factory=list)
+    shape_holds: bool = False
+    finding: str = ""
+    extras: dict[str, str] = field(default_factory=dict)
+
+    def condition(self, name: str) -> ConditionSummary:
+        """Lookup one condition summary by name."""
+        for summary in self.conditions:
+            if summary.name == name:
+                return summary
+        raise KeyError(name)
+
+    def render(self) -> str:
+        """A fixed-width report block."""
+        lines = [
+            f"[{self.study_id}] {self.title}",
+            f"paper claim: {self.paper_claim}",
+            "",
+        ]
+        if self.conditions:
+            rows = [
+                (
+                    summary.name,
+                    f"{summary.mean:.3f}",
+                    f"{summary.sd:.3f}",
+                    summary.n,
+                    f"[{summary.ci_low:.3f}, {summary.ci_high:.3f}]",
+                )
+                for summary in self.conditions
+            ]
+            lines.append(
+                table(("condition", "mean", "sd", "n", "95% CI"), rows)
+            )
+            lines.append("")
+        for test in self.tests:
+            lines.append(f"  {test.describe()}")
+        if self.tests:
+            lines.append("")
+        status = "HOLDS" if self.shape_holds else "DOES NOT HOLD"
+        lines.append(f"shape: {status} — {self.finding}")
+        for key in sorted(self.extras):
+            lines.append("")
+            lines.append(self.extras[key])
+        return "\n".join(lines)

@@ -1,0 +1,148 @@
+"""The criteria scorecard: Section 3.8's "choosing criteria" as code.
+
+"When designing explanations one has to bear in mind the system goal.
+For instance, when building a system that sells books one might decide
+that user trust is the most important aspect ... For selecting tv-shows,
+user satisfaction is probably more important than effectiveness."
+
+Two pieces:
+
+* :data:`GOAL_PROFILES` — the paper's worked examples as weight
+  profiles over the seven aims (plus a balanced default);
+* :class:`CriteriaScorecard` — collect one score per aim (each evaluator
+  produces values in [0, 1]), then rate a configuration against a goal
+  profile, exposing both the per-aim breakdown and the weighted total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.aims import Aim
+from repro.errors import EvaluationError
+from repro.render import bar, table
+
+__all__ = ["GOAL_PROFILES", "CriteriaScorecard"]
+
+GOAL_PROFILES: dict[str, dict[Aim, float]] = {
+    "balanced": {aim: 1.0 for aim in Aim},
+    # "when building a system that sells books one might decide that user
+    # trust is the most important aspect, as it leads to user loyalty and
+    # increases sales"
+    "book seller": {
+        Aim.TRUST: 3.0,
+        Aim.EFFECTIVENESS: 2.0,
+        Aim.PERSUASIVENESS: 1.5,
+        Aim.TRANSPARENCY: 1.0,
+        Aim.SCRUTABILITY: 1.0,
+        Aim.EFFICIENCY: 1.0,
+        Aim.SATISFACTION: 1.0,
+    },
+    # "For selecting tv-shows, user satisfaction is probably more
+    # important than effectiveness."
+    "tv-show picker": {
+        Aim.SATISFACTION: 3.0,
+        Aim.EFFICIENCY: 2.0,
+        Aim.TRUST: 1.5,
+        Aim.TRANSPARENCY: 1.0,
+        Aim.SCRUTABILITY: 1.0,
+        Aim.PERSUASIVENESS: 1.0,
+        Aim.EFFECTIVENESS: 0.5,
+    },
+    # a high-stakes domain (the paper's PC-purchase caveat): decisions
+    # are expensive, so effectiveness and transparency dominate.
+    "high-stakes purchases": {
+        Aim.EFFECTIVENESS: 3.0,
+        Aim.TRANSPARENCY: 2.0,
+        Aim.TRUST: 2.0,
+        Aim.SCRUTABILITY: 1.5,
+        Aim.EFFICIENCY: 1.0,
+        Aim.SATISFACTION: 1.0,
+        Aim.PERSUASIVENESS: 0.25,
+    },
+}
+"""Aim-weight profiles for the system goals the paper discusses."""
+
+
+@dataclass
+class CriteriaScorecard:
+    """Per-aim scores for one explanation-facility configuration.
+
+    Scores are in [0, 1] (each Section 3 evaluator normalises its own
+    measure).  Missing aims simply do not contribute; :meth:`coverage`
+    reports how complete the card is.
+    """
+
+    name: str
+    scores: dict[Aim, float] = field(default_factory=dict)
+
+    def record(self, aim: Aim, score: float) -> None:
+        """Record one aim's score (clipped into [0, 1])."""
+        if not isinstance(aim, Aim):
+            raise EvaluationError(f"not an Aim: {aim!r}")
+        self.scores[aim] = float(min(1.0, max(0.0, score)))
+
+    def coverage(self) -> float:
+        """Fraction of the seven aims that have a recorded score."""
+        return len(self.scores) / len(Aim)
+
+    def weighted_total(self, profile: str | dict[Aim, float]) -> float:
+        """Weighted mean score under a goal profile (recorded aims only)."""
+        if isinstance(profile, str):
+            if profile not in GOAL_PROFILES:
+                raise EvaluationError(f"unknown goal profile {profile!r}")
+            weights = GOAL_PROFILES[profile]
+        else:
+            weights = profile
+        mass = 0.0
+        total = 0.0
+        for aim, score in self.scores.items():
+            weight = weights.get(aim, 0.0)
+            mass += weight
+            total += weight * score
+        if mass == 0.0:
+            raise EvaluationError("no recorded aim carries weight")
+        return total / mass
+
+    def best_profile(self) -> str:
+        """The goal profile this configuration serves best."""
+        return max(
+            GOAL_PROFILES,
+            key=lambda profile: self.weighted_total(profile),
+        )
+
+    def render(self, profile: str = "balanced") -> str:
+        """A text scorecard with bars and the weighted total."""
+        rows = []
+        for aim in Aim:
+            if aim in self.scores:
+                score = self.scores[aim]
+                rows.append(
+                    (aim.value, f"{score:.2f}", bar(score, 1.0, width=20))
+                )
+            else:
+                rows.append((aim.value, "-", "(not measured)"))
+        body = table(("aim", "score", ""), rows)
+        total = self.weighted_total(profile)
+        return (
+            f"Scorecard: {self.name}\n{body}\n"
+            f"weighted total under '{profile}' goal: {total:.3f} "
+            f"(coverage {self.coverage():.0%})"
+        )
+
+
+def compare_scorecards(
+    cards: list[CriteriaScorecard], profile: str = "balanced"
+) -> str:
+    """Rank several configurations under one goal profile."""
+    if not cards:
+        raise EvaluationError("no scorecards supplied")
+    ranked = sorted(
+        cards, key=lambda card: -card.weighted_total(profile)
+    )
+    rows = [
+        (card.name, f"{card.weighted_total(profile):.3f}",
+         f"{card.coverage():.0%}")
+        for card in ranked
+    ]
+    return table(("configuration", f"total ({profile})", "coverage"), rows)

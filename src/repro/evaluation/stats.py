@@ -1,0 +1,203 @@
+"""Statistics for study analysis.
+
+Thin, explicit wrappers over scipy: paired and independent t-tests,
+Wilcoxon signed-rank, bootstrap confidence intervals and Cohen's d — the
+tests the user studies in the survey's bibliography actually report.
+Every result comes back as a :class:`TestResult` so reporting code can
+render any analysis uniformly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.errors import EvaluationError
+
+__all__ = [
+    "TestResult",
+    "paired_t",
+    "independent_t",
+    "wilcoxon_signed_rank",
+    "one_sample_t",
+    "bootstrap_ci",
+    "cohens_d",
+    "summarize",
+    "ConditionSummary",
+]
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """One hypothesis test outcome."""
+
+    name: str
+    statistic: float
+    p_value: float
+    n: int
+    effect_size: float | None = None
+
+    @property
+    def significant(self) -> bool:
+        """Conventional alpha = 0.05 significance."""
+        return self.p_value < 0.05
+
+    def describe(self) -> str:
+        """A compact report string."""
+        effect = (
+            f", d={self.effect_size:.2f}" if self.effect_size is not None
+            else ""
+        )
+        marker = "*" if self.significant else ""
+        return (
+            f"{self.name}: stat={self.statistic:.3f}, "
+            f"p={self.p_value:.4f}{marker}, n={self.n}{effect}"
+        )
+
+
+@dataclass(frozen=True)
+class ConditionSummary:
+    """Descriptive statistics for one experimental condition."""
+
+    name: str
+    mean: float
+    sd: float
+    n: int
+    ci_low: float
+    ci_high: float
+
+
+def _check_nonempty(values: Sequence[float], label: str) -> np.ndarray:
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise EvaluationError(f"{label} is empty")
+    return array
+
+
+def paired_t(a: Sequence[float], b: Sequence[float]) -> TestResult:
+    """Paired-samples t-test (within-subject designs)."""
+    array_a = _check_nonempty(a, "a")
+    array_b = _check_nonempty(b, "b")
+    if array_a.size != array_b.size:
+        raise EvaluationError(
+            f"paired test needs equal lengths ({array_a.size} vs "
+            f"{array_b.size})"
+        )
+    statistic, p_value = scipy_stats.ttest_rel(array_a, array_b)
+    differences = array_a - array_b
+    sd = float(np.std(differences, ddof=1)) if differences.size > 1 else 0.0
+    effect = float(np.mean(differences)) / sd if sd > 0 else 0.0
+    return TestResult(
+        name="paired t",
+        statistic=float(statistic),
+        p_value=float(p_value),
+        n=int(array_a.size),
+        effect_size=effect,
+    )
+
+
+def independent_t(a: Sequence[float], b: Sequence[float]) -> TestResult:
+    """Welch's independent-samples t-test (between-subject designs)."""
+    array_a = _check_nonempty(a, "a")
+    array_b = _check_nonempty(b, "b")
+    statistic, p_value = scipy_stats.ttest_ind(
+        array_a, array_b, equal_var=False
+    )
+    return TestResult(
+        name="independent t (Welch)",
+        statistic=float(statistic),
+        p_value=float(p_value),
+        n=int(array_a.size + array_b.size),
+        effect_size=cohens_d(array_a, array_b),
+    )
+
+
+def wilcoxon_signed_rank(a: Sequence[float], b: Sequence[float]) -> TestResult:
+    """Wilcoxon signed-rank test (non-parametric paired comparison)."""
+    array_a = _check_nonempty(a, "a")
+    array_b = _check_nonempty(b, "b")
+    if array_a.size != array_b.size:
+        raise EvaluationError("wilcoxon needs equal lengths")
+    differences = array_a - array_b
+    if np.allclose(differences, 0.0):
+        return TestResult(
+            name="wilcoxon", statistic=0.0, p_value=1.0, n=int(array_a.size)
+        )
+    statistic, p_value = scipy_stats.wilcoxon(array_a, array_b)
+    return TestResult(
+        name="wilcoxon",
+        statistic=float(statistic),
+        p_value=float(p_value),
+        n=int(array_a.size),
+    )
+
+
+def one_sample_t(values: Sequence[float], popmean: float = 0.0) -> TestResult:
+    """One-sample t-test against a fixed mean (e.g. zero shift)."""
+    array = _check_nonempty(values, "values")
+    statistic, p_value = scipy_stats.ttest_1samp(array, popmean)
+    sd = float(np.std(array, ddof=1)) if array.size > 1 else 0.0
+    effect = (float(np.mean(array)) - popmean) / sd if sd > 0 else 0.0
+    return TestResult(
+        name="one-sample t",
+        statistic=float(statistic),
+        p_value=float(p_value),
+        n=int(array.size),
+        effect_size=effect,
+    )
+
+
+def cohens_d(a: Sequence[float], b: Sequence[float]) -> float:
+    """Cohen's d with pooled standard deviation."""
+    array_a = _check_nonempty(a, "a")
+    array_b = _check_nonempty(b, "b")
+    n_a, n_b = array_a.size, array_b.size
+    if n_a < 2 or n_b < 2:
+        return 0.0
+    pooled_var = (
+        (n_a - 1) * np.var(array_a, ddof=1)
+        + (n_b - 1) * np.var(array_b, ddof=1)
+    ) / (n_a + n_b - 2)
+    pooled_sd = float(np.sqrt(pooled_var))
+    if pooled_sd == 0.0:
+        return 0.0
+    return float((np.mean(array_a) - np.mean(array_b)) / pooled_sd)
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for the mean."""
+    array = _check_nonempty(values, "values")
+    if not 0.0 < confidence < 1.0:
+        raise EvaluationError(f"confidence must be in (0, 1), got {confidence}")
+    rng = np.random.default_rng(seed)
+    means = np.empty(n_resamples)
+    for index in range(n_resamples):
+        sample = rng.choice(array, size=array.size, replace=True)
+        means[index] = sample.mean()
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(means, alpha)),
+        float(np.quantile(means, 1.0 - alpha)),
+    )
+
+
+def summarize(name: str, values: Sequence[float]) -> ConditionSummary:
+    """Descriptives plus bootstrap CI for one condition."""
+    array = _check_nonempty(values, name)
+    ci_low, ci_high = bootstrap_ci(array)
+    return ConditionSummary(
+        name=name,
+        mean=float(np.mean(array)),
+        sd=float(np.std(array, ddof=1)) if array.size > 1 else 0.0,
+        n=int(array.size),
+        ci_low=ci_low,
+        ci_high=ci_high,
+    )

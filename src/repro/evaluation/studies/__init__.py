@@ -1,0 +1,37 @@
+"""Simulated reproductions of the studies the survey builds on (E1–E9)."""
+
+from repro.evaluation.studies.bilgic2005 import run_bilgic_study
+from repro.evaluation.studies.confounds import (
+    run_design_confound_study,
+    run_explicit_implicit_study,
+)
+from repro.evaluation.studies.cosley2003 import run_cosley_study
+from repro.evaluation.studies.critiquing import run_critiquing_study
+from repro.evaluation.studies.diversification import (
+    run_diversification_study,
+)
+from repro.evaluation.studies.herlocker2000 import (
+    INTERFACES,
+    run_herlocker_study,
+)
+from repro.evaluation.studies.modality_study import run_modality_study
+from repro.evaluation.studies.personality_study import run_personality_study
+from repro.evaluation.studies.scrutability_study import run_scrutability_study
+from repro.evaluation.studies.sinha2002 import run_trust_study
+from repro.evaluation.studies.tradeoffs import run_tradeoff_study
+
+__all__ = [
+    "run_herlocker_study",
+    "INTERFACES",
+    "run_cosley_study",
+    "run_bilgic_study",
+    "run_critiquing_study",
+    "run_trust_study",
+    "run_tradeoff_study",
+    "run_scrutability_study",
+    "run_personality_study",
+    "run_diversification_study",
+    "run_modality_study",
+    "run_design_confound_study",
+    "run_explicit_implicit_study",
+]

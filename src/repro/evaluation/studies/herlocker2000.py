@@ -1,0 +1,236 @@
+"""Study E1 — the 21 explanation interfaces (paper Section 3.4).
+
+"In a study of a collaborative filtering- and ratings-based recommender
+system for movies, participants were given different explanation
+interfaces [18].  This study inquired how likely users were to see one
+particular movie for 21 different explanation interfaces.  The best
+response was for a histogram of how similar users had rated the item,
+with the 'good' ratings clustered together and the 'bad' ratings
+clustered together."
+
+Herlocker et al.'s other headline result is that some data-heavy
+interfaces scored *below* the no-explanation baseline.
+
+Substitution note: the original 21 stimuli are paraphrased here as
+:class:`InterfaceDescriptor` records with four interpretable parameters —
+information content, comprehensibility, personal relevance and overload.
+Simulated users rate "how likely are you to see this movie" (1–7) from a
+response model that rewards comprehensible information and penalises
+overload.  The *parameters* encode only interface properties, never
+target rankings; the published ordering shape (clustered histogram on
+top, data-heavy interfaces below baseline) emerges from the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.evaluation.reporting import StudyReport
+from repro.evaluation.stats import paired_t, summarize
+
+__all__ = ["InterfaceDescriptor", "INTERFACES", "run_herlocker_study"]
+
+
+@dataclass(frozen=True)
+class InterfaceDescriptor:
+    """One explanation interface as a point in property space.
+
+    All parameters in [0, 1]:
+
+    * ``information``: how much decision-relevant signal it conveys;
+    * ``comprehensibility``: how easily a casual user decodes it;
+    * ``relevance``: how personal the framing is ("your neighbours",
+      "your favourite actor" vs. global statistics);
+    * ``overload``: visual/cognitive clutter.
+    """
+
+    name: str
+    information: float
+    comprehensibility: float
+    relevance: float
+    overload: float
+    is_baseline: bool = False
+
+
+INTERFACES: tuple[InterfaceDescriptor, ...] = (
+    InterfaceDescriptor(
+        "histogram of neighbours' ratings (good/bad clustered)",
+        information=0.90, comprehensibility=0.90, relevance=0.85,
+        overload=0.10,
+    ),
+    InterfaceDescriptor(
+        "histogram of neighbours' ratings (raw bars)",
+        information=0.85, comprehensibility=0.70, relevance=0.85,
+        overload=0.25,
+    ),
+    InterfaceDescriptor(
+        "past performance ('correct for you 80% of the time')",
+        information=0.70, comprehensibility=0.95, relevance=0.90,
+        overload=0.05,
+    ),
+    InterfaceDescriptor(
+        "similarity to other items you rated",
+        information=0.75, comprehensibility=0.85, relevance=0.80,
+        overload=0.10,
+    ),
+    InterfaceDescriptor(
+        "favourite actor or actress appears",
+        information=0.60, comprehensibility=0.95, relevance=0.85,
+        overload=0.05,
+    ),
+    InterfaceDescriptor(
+        "overall average rating of all users",
+        information=0.50, comprehensibility=0.90, relevance=0.30,
+        overload=0.05,
+    ),
+    InterfaceDescriptor(
+        "quote from a film critic's review",
+        information=0.55, comprehensibility=0.85, relevance=0.35,
+        overload=0.15,
+    ),
+    InterfaceDescriptor(
+        "film awards won",
+        information=0.45, comprehensibility=0.95, relevance=0.25,
+        overload=0.05,
+    ),
+    InterfaceDescriptor(
+        "recommender's stated confidence in the prediction",
+        information=0.50, comprehensibility=0.80, relevance=0.55,
+        overload=0.10,
+    ),
+    InterfaceDescriptor(
+        "genre match with your profile",
+        information=0.55, comprehensibility=0.90, relevance=0.70,
+        overload=0.05,
+    ),
+    InterfaceDescriptor(
+        "'one of our top-10 picks for you' badge",
+        information=0.35, comprehensibility=0.95, relevance=0.70,
+        overload=0.05,
+    ),
+    InterfaceDescriptor(
+        "users of your age group liked this movie",
+        information=0.45, comprehensibility=0.90, relevance=0.60,
+        overload=0.05,
+    ),
+    InterfaceDescriptor(
+        "strength-of-recommendation bar",
+        information=0.40, comprehensibility=0.85, relevance=0.55,
+        overload=0.10,
+    ),
+    InterfaceDescriptor(
+        "neighbour comments about the movie",
+        information=0.55, comprehensibility=0.70, relevance=0.65,
+        overload=0.35,
+    ),
+    InterfaceDescriptor(
+        "number of similar users who rated it",
+        information=0.35, comprehensibility=0.75, relevance=0.55,
+        overload=0.15,
+    ),
+    InterfaceDescriptor(
+        "no explanation (baseline)",
+        information=0.00, comprehensibility=1.00, relevance=0.00,
+        overload=0.00, is_baseline=True,
+    ),
+    InterfaceDescriptor(
+        "table of each neighbour's numeric rating",
+        information=0.80, comprehensibility=0.45, relevance=0.75,
+        overload=0.60,
+    ),
+    InterfaceDescriptor(
+        "neighbour count with standard deviation",
+        information=0.55, comprehensibility=0.35, relevance=0.50,
+        overload=0.55,
+    ),
+    InterfaceDescriptor(
+        "detailed correlation graph of neighbours",
+        information=0.70, comprehensibility=0.15, relevance=0.55,
+        overload=0.85,
+    ),
+    InterfaceDescriptor(
+        "multi-panel raw data display",
+        information=0.75, comprehensibility=0.10, relevance=0.45,
+        overload=0.95,
+    ),
+    InterfaceDescriptor(
+        "how long MovieLens has known you",
+        information=0.15, comprehensibility=0.80, relevance=0.40,
+        overload=0.10,
+    ),
+)
+"""The 21 interface descriptors (paraphrased from Herlocker et al. 2000)."""
+
+
+def _mean_appeal(interface: InterfaceDescriptor) -> float:
+    """Latent mean 'likelihood to see' in [0, 1] for an interface.
+
+    Comprehensible information and personal relevance raise appeal over
+    an indifferent 0.5 base; overload of hard-to-decode displays lowers
+    it.  The baseline sits at the base by construction.
+    """
+    gain = (
+        0.28 * interface.information * interface.comprehensibility
+        + 0.12 * interface.relevance
+    )
+    loss = 0.30 * interface.overload * (1.0 - interface.comprehensibility)
+    return float(np.clip(0.5 + gain - loss, 0.0, 1.0))
+
+
+def run_herlocker_study(
+    n_users: int = 80,
+    seed: int = 18,
+    points: int = 7,
+) -> StudyReport:
+    """Within-subject study: every user rates all 21 interfaces (1–7)."""
+    rng = np.random.default_rng(seed)
+    user_bias = rng.normal(0.0, 0.5, size=n_users)
+    responses: dict[str, np.ndarray] = {}
+    for interface in INTERFACES:
+        mean = 1.0 + _mean_appeal(interface) * (points - 1)
+        raw = mean + user_bias + rng.normal(0.0, 0.8, size=n_users)
+        responses[interface.name] = np.clip(np.round(raw), 1, points)
+
+    conditions = [
+        summarize(name, values.tolist())
+        for name, values in responses.items()
+    ]
+    conditions.sort(key=lambda summary: -summary.mean)
+
+    baseline_name = next(i.name for i in INTERFACES if i.is_baseline)
+    best = conditions[0]
+    histogram_name = INTERFACES[0].name
+    baseline_mean = next(
+        c.mean for c in conditions if c.name == baseline_name
+    )
+    below_baseline = [
+        c.name for c in conditions if c.mean < baseline_mean - 0.05
+    ]
+
+    tests = [
+        paired_t(
+            responses[histogram_name].tolist(),
+            responses[baseline_name].tolist(),
+        )
+    ]
+    shape = (
+        best.name == histogram_name and len(below_baseline) >= 2
+    )
+    return StudyReport(
+        study_id="E1",
+        title="21 explanation interfaces (Herlocker et al. 2000)",
+        paper_claim=(
+            "best response for a histogram of how similar users rated the "
+            "item, good and bad ratings clustered; some interfaces fall "
+            "below the no-explanation baseline"
+        ),
+        conditions=conditions,
+        tests=tests,
+        shape_holds=shape,
+        finding=(
+            f"top interface: {best.name} (mean {best.mean:.2f}); "
+            f"{len(below_baseline)} interfaces score below baseline"
+        ),
+    )

@@ -1,0 +1,133 @@
+"""Study E5 — transparency → trust → loyalty (paper Sections 2.3, 3.3).
+
+"Previous studies indicate that transparency and the possibility of
+interaction with recommender systems increases user trust [14, 31]", and
+"users intend to return to recommender systems which they find
+trustworthy [9]"; loyalty is measured "in terms of the number of logins
+and interactions with the system [22]".
+
+Design (between-subject): users live with a recommender for a simulated
+period, consuming its recommendations.  Arms differ only in the
+interface:
+
+* **opaque** — no explanations: bad recommendations are unexplained;
+* **transparent** — explanations reveal why each item was recommended,
+  which (a) softens the trust loss on bad outcomes (the user is "more
+  forgiving ... if they understand why a bad recommendation has been
+  made") and (b) helps the user skip some bad items before consuming.
+
+Measured: Ohanian trust questionnaire, then loyalty (logins over a
+follow-up period).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.domains import make_movies
+from repro.evaluation.criteria.trust import (
+    simulate_loyalty,
+    trust_questionnaire_scores,
+)
+from repro.evaluation.reporting import StudyReport
+from repro.evaluation.stats import independent_t, summarize
+from repro.evaluation.users import ExplanationStimulus, make_population
+from repro.recsys.cf_user import UserBasedCF
+
+__all__ = ["run_trust_study"]
+
+
+def run_trust_study(
+    n_users: int = 100,
+    n_consumptions: int = 18,
+    seed: int = 31,
+) -> StudyReport:
+    """Run the two-arm trust/loyalty experiment on the movie world."""
+    world = make_movies(n_users=n_users, n_items=150, seed=seed)
+    dataset = world.dataset
+    recommender = UserBasedCF().fit(dataset)
+    population = make_population(
+        list(dataset.users),
+        true_utility_for=lambda uid: (
+            lambda item_id: world.true_utility(uid, item_id)
+        ),
+        scale=dataset.scale,
+        seed=seed + 1,
+    )
+    rng = np.random.default_rng(seed + 2)
+    order = rng.permutation(len(population))
+    half = len(population) // 2
+    arms = {
+        "opaque": [population[index] for index in order[:half]],
+        "transparent": [population[index] for index in order[half:]],
+    }
+    transparent_stimulus = ExplanationStimulus(fidelity=0.7)
+
+    for arm, users in arms.items():
+        for user in users:
+            recommendations = recommender.recommend(
+                user.user_id, n=n_consumptions * 2
+            )
+            consumed = 0
+            for recommendation in recommendations:
+                if consumed >= n_consumptions:
+                    break
+                if arm == "transparent":
+                    # The explanation lets the user pre-screen: clearly
+                    # unappealing items (anticipated below midpoint) are
+                    # skipped instead of consumed.
+                    anticipated = user.anticipated_rating(
+                        recommendation.item_id, transparent_stimulus
+                    )
+                    if anticipated < dataset.scale.midpoint - 0.5:
+                        continue
+                user.experience_outcome(
+                    recommendation.item_id,
+                    understood_why=(arm == "transparent"),
+                )
+                consumed += 1
+
+    questionnaire_rng = np.random.default_rng(seed + 3)
+    trust_scores = {
+        arm: trust_questionnaire_scores(users, questionnaire_rng)
+        for arm, users in arms.items()
+    }
+    loyalty = {
+        arm: [float(simulate_loyalty(user).logins) for user in users]
+        for arm, users in arms.items()
+    }
+
+    conditions = [
+        summarize("trust questionnaire: opaque", trust_scores["opaque"]),
+        summarize(
+            "trust questionnaire: transparent", trust_scores["transparent"]
+        ),
+        summarize("logins (14 days): opaque", loyalty["opaque"]),
+        summarize("logins (14 days): transparent", loyalty["transparent"]),
+    ]
+    tests = [
+        independent_t(trust_scores["transparent"], trust_scores["opaque"]),
+        independent_t(loyalty["transparent"], loyalty["opaque"]),
+    ]
+    trust_gap = float(
+        np.mean(trust_scores["transparent"]) - np.mean(trust_scores["opaque"])
+    )
+    loyalty_gap = float(
+        np.mean(loyalty["transparent"]) - np.mean(loyalty["opaque"])
+    )
+    shape = trust_gap > 0.0 and loyalty_gap > 0.0 and tests[0].significant
+    return StudyReport(
+        study_id="E5",
+        title="Transparency raises trust and loyalty",
+        paper_claim=(
+            "transparency increases user trust; trustworthy systems see "
+            "users return (loyalty: logins and interactions)"
+        ),
+        conditions=conditions,
+        tests=tests,
+        shape_holds=shape,
+        finding=(
+            f"trust gap {trust_gap:+.3f} (questionnaire units), loyalty "
+            f"gap {loyalty_gap:+.1f} logins over 14 days"
+        ),
+    )

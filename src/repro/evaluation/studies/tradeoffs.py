@@ -1,0 +1,220 @@
+"""Study E6 — the criteria trade-off frontier (paper Section 3.8).
+
+"It is hard to create explanations that do well on all our criteria, in
+reality it is a trade-off.  For instance, an explanation that offers
+great transparency may impede efficiency ... An explanation that has
+great persuasive power might convince the user to buy books they later do
+not like, thereby reducing effectiveness."
+
+Two parameter sweeps over the same population:
+
+* **persuasive pull** 0 → 1 (at fixed overselling): persuasion (try-rate)
+  rises while effectiveness (pre/post gap) worsens and post-consumption
+  trust falls — the persuasion/effectiveness/trust trade-off;
+* **explanation detail** 0 → 1 (fidelity and reading time rise
+  together): transparency (understanding) rises while per-decision time
+  grows — the transparency/efficiency trade-off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.domains import make_books
+from repro.evaluation.reporting import StudyReport
+from repro.evaluation.stats import summarize
+from repro.evaluation.users import ExplanationStimulus, make_population
+from repro.render import table
+
+__all__ = ["run_tradeoff_study", "persuasion_frontier", "detail_frontier"]
+
+
+def persuasion_frontier(
+    n_users: int = 50,
+    items_per_user: int = 12,
+    hype: float = 4.6,
+    seed: int = 38,
+    pulls: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0),
+) -> list[dict[str, float]]:
+    """Sweep persuasive pull; measure try-rate, gap and trust loss.
+
+    The shown prediction models an indiscriminately enthusiastic system
+    (``hype`` stars for everything, regardless of the item's true value)
+    — the Cosley manipulation taken to its limit.  As pull rises, users
+    increasingly act on the hype rather than their own estimates, so
+    they try more items (persuasion up), overshoot the truth more
+    (effectiveness down), and get burned more often (trust down).
+
+    The population is drawn with high persuadability so that ``pull``
+    sweeps the *interface's* persuasive power directly rather than being
+    damped by trait heterogeneity.
+    """
+    world = make_books(n_users=n_users, n_items=100, seed=seed)
+    dataset = world.dataset
+    rng = np.random.default_rng(seed + 1)
+    item_ids = list(dataset.items)
+
+    rows = []
+    for pull in pulls:
+        users = make_population(
+            list(dataset.users),
+            true_utility_for=lambda uid: (
+                lambda item_id: world.true_utility(uid, item_id)
+            ),
+            scale=dataset.scale,
+            seed=seed + 2,
+            persuadability_range=(0.8, 1.0),
+        )
+        tried = 0
+        offered = 0
+        gaps: list[float] = []
+        trusts: list[float] = []
+        for user in users:
+            order = rng.permutation(len(item_ids))
+            for index in order[:items_per_user]:
+                item_id = item_ids[index]
+                shown = dataset.scale.clip(hype + rng.normal(0.0, 0.2))
+                stimulus = ExplanationStimulus(
+                    fidelity=0.2,
+                    persuasive_pull=pull,
+                    shown_prediction=shown if pull > 0 else None,
+                )
+                before = user.anticipated_rating(item_id, stimulus)
+                offered += 1
+                # The Bilgic design consumes every offered item, so the
+                # pre/post gap is measured without try-selection bias.
+                after = user.consumption_rating(item_id)
+                gaps.append(before - after)
+                if dataset.scale.is_positive(before):
+                    tried += 1
+                    user.experience_outcome(
+                        item_id, understood_why=False, expected=before
+                    )
+            trusts.append(user.trust)
+        rows.append(
+            {
+                "persuasive_pull": pull,
+                "try_rate": tried / max(offered, 1),
+                "mean_signed_gap": float(np.mean(gaps)) if gaps else 0.0,
+                "final_trust": float(np.mean(trusts)),
+            }
+        )
+    return rows
+
+
+def detail_frontier(
+    n_users: int = 50,
+    decisions_per_user: int = 5,
+    seed: int = 39,
+    details: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0),
+) -> list[dict[str, float]]:
+    """Sweep explanation detail; measure understanding vs. decision time.
+
+    Detail level d sets fidelity = d and reading time = 12 d seconds per
+    decision (a long explanation takes longer to take in); base decision
+    time without reading is 10 seconds.  Understanding is the user's
+    questionnaire-measured comprehension, which grows with fidelity.
+    """
+    rng = np.random.default_rng(seed)
+    rows = []
+    for detail in details:
+        reading = 12.0 * detail
+        seconds = [
+            decisions_per_user * (10.0 + reading)
+            + float(rng.normal(0.0, 3.0))
+            for __ in range(n_users)
+        ]
+        understanding = np.clip(
+            0.3 + 0.6 * detail + rng.normal(0.0, 0.08, size=n_users), 0, 1
+        )
+        rows.append(
+            {
+                "detail": detail,
+                "mean_seconds": float(np.mean(seconds)),
+                "mean_understanding": float(np.mean(understanding)),
+            }
+        )
+    return rows
+
+
+def run_tradeoff_study(seed: int = 38) -> StudyReport:
+    """Run both sweeps and check the Section 3.8 trade-off shapes."""
+    persuasion_rows = persuasion_frontier(seed=seed)
+    detail_rows = detail_frontier(seed=seed + 1)
+
+    first, last = persuasion_rows[0], persuasion_rows[-1]
+    persuasion_up = last["try_rate"] > first["try_rate"]
+    effectiveness_down = last["mean_signed_gap"] > first["mean_signed_gap"]
+    trust_down = last["final_trust"] < first["final_trust"]
+
+    detail_first, detail_last = detail_rows[0], detail_rows[-1]
+    transparency_up = (
+        detail_last["mean_understanding"] > detail_first["mean_understanding"]
+    )
+    efficiency_down = detail_last["mean_seconds"] > detail_first["mean_seconds"]
+
+    shape = (
+        persuasion_up
+        and effectiveness_down
+        and trust_down
+        and transparency_up
+        and efficiency_down
+    )
+
+    persuasion_table = table(
+        ("pull", "try-rate", "signed gap", "final trust"),
+        [
+            (
+                f"{row['persuasive_pull']:.2f}",
+                f"{row['try_rate']:.3f}",
+                f"{row['mean_signed_gap']:+.3f}",
+                f"{row['final_trust']:.3f}",
+            )
+            for row in persuasion_rows
+        ],
+    )
+    detail_table = table(
+        ("detail", "seconds/task", "understanding"),
+        [
+            (
+                f"{row['detail']:.2f}",
+                f"{row['mean_seconds']:.1f}",
+                f"{row['mean_understanding']:.3f}",
+            )
+            for row in detail_rows
+        ],
+    )
+    conditions = [
+        summarize(
+            "try-rate at pull=0", [row["try_rate"] for row in
+                                   persuasion_rows[:1]]
+        ),
+        summarize(
+            "try-rate at pull=1", [row["try_rate"] for row in
+                                   persuasion_rows[-1:]]
+        ),
+    ]
+    return StudyReport(
+        study_id="E6",
+        title="Criteria trade-off frontier",
+        paper_claim=(
+            "persuasion gains cost effectiveness and eventually trust; "
+            "transparency gains (longer explanations) cost efficiency"
+        ),
+        conditions=conditions,
+        shape_holds=shape,
+        finding=(
+            f"pull 0->1: try-rate {first['try_rate']:.2f}->"
+            f"{last['try_rate']:.2f}, gap {first['mean_signed_gap']:+.2f}->"
+            f"{last['mean_signed_gap']:+.2f}, trust "
+            f"{first['final_trust']:.2f}->{last['final_trust']:.2f}; "
+            f"detail 0->1: seconds {detail_first['mean_seconds']:.0f}->"
+            f"{detail_last['mean_seconds']:.0f}, understanding "
+            f"{detail_first['mean_understanding']:.2f}->"
+            f"{detail_last['mean_understanding']:.2f}"
+        ),
+        extras={
+            "persuasion_frontier": persuasion_table,
+            "detail_frontier": detail_table,
+        },
+    )

@@ -1,0 +1,207 @@
+"""Simulated users: the stand-in for the survey's human subjects.
+
+Every study the paper builds its argument on (Herlocker's 21 interfaces,
+Cosley's re-rating, Bilgic & Mooney's satisfaction-vs-promotion, the
+critiquing time studies, the transparency→trust studies) used human
+subjects.  Offline we substitute a population of :class:`SimulatedUser`
+objects with an explicit, documented response model:
+
+* a user's *true* opinion of an item comes from the synthetic world's
+  ground-truth utility (or a supplied callable);
+* their *anticipated* (pre-consumption) rating blends a noisy private
+  estimate with any prediction the interface shows, pulled by their
+  ``persuadability`` — the mechanism behind Cosley's "seeing is
+  believing" effect;
+* an explanation's ``fidelity`` (how much real item information it
+  conveys) sharpens the private estimate — the mechanism behind Bilgic &
+  Mooney's effectiveness result;
+* ``trust`` is a state variable updated after each consumption: good
+  outcomes raise it, bad outcomes lower it, and — per paper Section 2.3 —
+  the loss is softened when the user understood *why* the bad
+  recommendation happened.
+
+All parameters are explicit constructor arguments, drawn per-user by
+:func:`make_population`, so every study's construction is inspectable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.recsys.data import RatingScale
+
+__all__ = ["SimulatedUser", "make_population", "ExplanationStimulus"]
+
+
+@dataclass(frozen=True)
+class ExplanationStimulus:
+    """What an explanation interface shows a simulated user.
+
+    ``fidelity`` in [0, 1]: how much genuine item information the
+    explanation conveys (keyword/influence explanations are high,
+    bare "people liked this" is low, no explanation is 0).
+    ``persuasive_pull`` in [0, 1]: how strongly the interface pulls the
+    user's report towards ``shown_prediction`` (histograms high).
+    ``reading_seconds``: time cost of taking the explanation in (the
+    transparency/efficiency trade-off of Section 3.8).
+    """
+
+    fidelity: float = 0.0
+    persuasive_pull: float = 0.0
+    shown_prediction: float | None = None
+    reading_seconds: float = 0.0
+
+
+@dataclass
+class SimulatedUser:
+    """One synthetic study participant.
+
+    Parameters
+    ----------
+    true_utility:
+        ``true_utility(item_id) -> float`` on the rating scale — the
+        user's real opinion after consumption.
+    persuadability:
+        Weight in [0, 1] pulling anticipated ratings towards a shown
+        prediction.
+    expertise:
+        In [0, 1]; reduces private estimation noise (experts guess their
+        own taste better from descriptions).
+    rating_noise:
+        Standard deviation of consumption-report noise.
+    trust:
+        Initial trust state in [0, 1].
+    """
+
+    user_id: str
+    true_utility: Callable[[str], float]
+    scale: RatingScale
+    rng: np.random.Generator
+    persuadability: float = 0.3
+    expertise: float = 0.5
+    rating_noise: float = 0.35
+    trust: float = 0.5
+    openness: float = 0.5
+    interactions: int = 0
+    trust_history: list[float] = field(default_factory=list)
+
+    # -- ratings -------------------------------------------------------------
+
+    def estimate_prior(self, item_id: str, fidelity: float = 0.0) -> float:
+        """Private pre-consumption estimate of the item's value.
+
+        With zero information the estimate is diffuse around the scale
+        midpoint; information (expertise + explanation fidelity) shrinks
+        the estimate towards the truth.
+        """
+        information = min(1.0, 0.35 * self.expertise + 0.65 * fidelity)
+        truth = self.true_utility(item_id)
+        prior = self.scale.midpoint
+        blended = (1.0 - information) * prior + information * truth
+        noise_sd = 0.8 * (1.0 - 0.7 * information)
+        return self.scale.clip(blended + self.rng.normal(0.0, noise_sd))
+
+    def anticipated_rating(
+        self, item_id: str, stimulus: ExplanationStimulus
+    ) -> float:
+        """Pre-consumption rating under an explanation interface.
+
+        anticipated = private estimate pulled towards the shown
+        prediction by ``persuadability * persuasive_pull``.
+        """
+        estimate = self.estimate_prior(item_id, fidelity=stimulus.fidelity)
+        if stimulus.shown_prediction is not None:
+            pull = self.persuadability * stimulus.persuasive_pull
+            estimate += pull * (stimulus.shown_prediction - estimate)
+        return self.scale.clip(estimate)
+
+    def consumption_rating(self, item_id: str) -> float:
+        """Post-consumption rating: truth plus report noise."""
+        return self.scale.clip(
+            self.true_utility(item_id) + self.rng.normal(0.0, self.rating_noise)
+        )
+
+    def would_try(
+        self, item_id: str, stimulus: ExplanationStimulus
+    ) -> bool:
+        """Whether the anticipated rating clears the like threshold."""
+        return self.scale.is_positive(
+            self.anticipated_rating(item_id, stimulus)
+        )
+
+    # -- trust dynamics --------------------------------------------------------
+
+    def experience_outcome(
+        self,
+        item_id: str,
+        understood_why: bool,
+        learning_rate: float = 0.12,
+        expected: float | None = None,
+    ) -> float:
+        """Update trust after consuming a recommended item.
+
+        Good outcomes raise trust; bad outcomes lower it with
+        loss-averse asymmetry (bad experiences weigh heavier, the usual
+        behavioural finding), and the loss is halved when the user
+        understood why the recommendation was made ("a user may be more
+        forgiving ... if they understand why a bad recommendation has
+        been made", Section 2.3).  When ``expected`` (the rating the
+        interface led the user to anticipate) is given, overselling
+        costs additional trust — the persuasion backfire of Section 2.4.
+        Returns the new trust value.
+        """
+        truth = self.true_utility(item_id)
+        outcome = self.scale.normalize(truth)
+        signal = 2.0 * (outcome - 0.5)  # in [-1, 1]
+        if signal < 0.0:
+            signal *= 1.6  # loss aversion
+            if understood_why:
+                signal *= 0.5
+        delta = learning_rate * signal
+        if expected is not None:
+            oversold = expected - truth
+            if oversold > 0.8:
+                delta -= 0.05 * (oversold - 0.8)
+        self.trust = float(np.clip(self.trust + delta, 0, 1))
+        self.interactions += 1
+        self.trust_history.append(self.trust)
+        return self.trust
+
+    def returns_tomorrow(self) -> bool:
+        """Loyalty draw: the user logs in again with probability = trust."""
+        return bool(self.rng.random() < self.trust)
+
+
+def make_population(
+    user_ids: Sequence[str],
+    true_utility_for: Callable[[str], Callable[[str], float]],
+    scale: RatingScale,
+    seed: int = 0,
+    persuadability_range: tuple[float, float] = (0.1, 0.6),
+    expertise_range: tuple[float, float] = (0.2, 0.9),
+) -> list[SimulatedUser]:
+    """Draw a heterogeneous population of simulated users.
+
+    ``true_utility_for(user_id)`` returns that user's true-utility
+    function (usually ``lambda uid: partial(world.true_utility, uid)``).
+    Per-user traits are drawn uniformly from the supplied ranges.
+    """
+    rng = np.random.default_rng(seed)
+    population = []
+    for user_id in user_ids:
+        population.append(
+            SimulatedUser(
+                user_id=user_id,
+                true_utility=true_utility_for(user_id),
+                scale=scale,
+                rng=np.random.default_rng(rng.integers(0, 2**63)),
+                persuadability=float(rng.uniform(*persuadability_range)),
+                expertise=float(rng.uniform(*expertise_range)),
+                trust=float(rng.uniform(0.4, 0.6)),
+                openness=float(rng.uniform(0.0, 1.0)),
+            )
+        )
+    return population

@@ -1,0 +1,68 @@
+"""Interaction modes (paper Section 5): one module per feedback channel."""
+
+from repro.interaction.conversational_cf import ConversationalCF
+from repro.interaction.critiques import (
+    CompoundCritique,
+    UnitCritique,
+    apply_critique,
+    apriori,
+    mine_compound_critiques,
+)
+from repro.interaction.dialog import (
+    DialogPhase,
+    DialogTurn,
+    MovieDialog,
+    Slot,
+    SlotFillingDialog,
+)
+from repro.interaction.feedback import Opinion, OpinionFeedback, OpinionHandler
+from repro.interaction.profile import (
+    ProfileAttribute,
+    ProfileRecommender,
+    ScrutableProfile,
+    infer_topic_interests,
+)
+from repro.interaction.ratings import RatingChannel, RatingEvent
+from repro.interaction.requirements import (
+    RequirementElicitor,
+    parse_requirements,
+)
+from repro.interaction.session import (
+    CritiqueSession,
+    InteractionLog,
+    SessionEvent,
+    TimeModel,
+)
+
+__all__ = [
+    # 5.1 specify requirements
+    "RequirementElicitor",
+    "parse_requirements",
+    "Slot",
+    "SlotFillingDialog",
+    "MovieDialog",
+    "DialogTurn",
+    "DialogPhase",
+    # 5.2 alteration
+    "UnitCritique",
+    "CompoundCritique",
+    "apriori",
+    "mine_compound_critiques",
+    "apply_critique",
+    "CritiqueSession",
+    "ConversationalCF",
+    "TimeModel",
+    "InteractionLog",
+    "SessionEvent",
+    # 5.3 ratings & scrutable profiles
+    "RatingChannel",
+    "RatingEvent",
+    "ScrutableProfile",
+    "ProfileAttribute",
+    "ProfileRecommender",
+    "infer_topic_interests",
+    # 5.4 opinions
+    "Opinion",
+    "OpinionFeedback",
+    "OpinionHandler",
+]

@@ -1,0 +1,153 @@
+"""Conversational collaborative recommendation (Rafter & Smyth, ref [29]).
+
+"So called conversational systems allow users to elaborate their
+requirements over the course of an extended dialog.  This contrasts with
+standard 'single-shot' recommender systems, where each user interaction
+is treated independently of previous history."
+
+For collaborative filtering the conversation is a *rating dialog*: each
+cycle the system presents a small batch of items, the user rates them,
+and the neighbourhood model immediately refines.  The batch can be
+chosen passively (current top predictions) or actively (the items whose
+ratings teach the model most — here: highly-rated-by-candidate-
+neighbours items the user hasn't rated, which sharpen neighbour
+similarities fastest).
+
+:class:`ConversationalCF` runs that loop and logs it with the standard
+:class:`~repro.interaction.session.InteractionLog`, so the Section 3.6
+efficiency measures apply to collaborative conversations too.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import DialogError
+from repro.interaction.session import InteractionLog, TimeModel
+from repro.recsys.cf_user import UserBasedCF
+from repro.recsys.data import Dataset, Rating
+
+__all__ = ["ConversationalCF"]
+
+
+class ConversationalCF:
+    """An iterative rating dialog over user-based CF.
+
+    Parameters
+    ----------
+    dataset:
+        The live dataset; the session writes the user's ratings into it
+        (use a copy for simulations).
+    user_id:
+        The conversing user.
+    batch_size:
+        Items presented per cycle.
+    active:
+        ``True`` picks informative items (rated by many of the user's
+        candidate neighbours); ``False`` picks current top predictions.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        user_id: str,
+        batch_size: int = 3,
+        active: bool = True,
+        time_model: TimeModel | None = None,
+    ) -> None:
+        self.dataset = dataset
+        self.user_id = user_id
+        self.batch_size = batch_size
+        self.active = active
+        self.time_model = time_model if time_model is not None else TimeModel()
+        self.log = InteractionLog()
+        self.cycle = 0
+        self.finished = False
+        self._refit()
+
+    def _refit(self) -> None:
+        self.recommender = UserBasedCF().fit(self.dataset)
+
+    # -- batch selection ----------------------------------------------------
+
+    def _informative_items(self) -> list[str]:
+        """Unrated items rated by the most other users.
+
+        Rating a widely-rated item creates co-ratings with many potential
+        neighbours at once — the fastest way to sharpen similarities.
+        """
+        unrated = self.dataset.unrated_items(self.user_id)
+        unrated.sort(
+            key=lambda item_id: (
+                -len(self.dataset.ratings_for(item_id)),
+                item_id,
+            )
+        )
+        return unrated[: self.batch_size]
+
+    def _top_predictions(self) -> list[str]:
+        recommendations = self.recommender.recommend(
+            self.user_id, n=self.batch_size
+        )
+        return [recommendation.item_id for recommendation in recommendations]
+
+    def next_batch(self) -> list[str]:
+        """The items presented this cycle."""
+        if self.finished:
+            raise DialogError("conversation already finished")
+        self.cycle += 1
+        batch = (
+            self._informative_items() if self.active
+            else self._top_predictions()
+        )
+        self.log.add(
+            self.cycle,
+            "show",
+            ",".join(batch),
+            self.time_model.per_cycle
+            + len(batch) * self.time_model.per_option_scanned,
+        )
+        return batch
+
+    def rate_batch(self, ratings: dict[str, float]) -> None:
+        """Record the user's ratings for the presented batch and refit."""
+        if self.finished:
+            raise DialogError("conversation already finished")
+        for item_id, value in ratings.items():
+            self.dataset.add_rating(
+                Rating(user_id=self.user_id, item_id=item_id, value=value)
+            )
+            self.log.add(
+                self.cycle,
+                "rate",
+                f"{item_id}={value:g}",
+                self.time_model.per_critique_choice,
+            )
+        self._refit()
+
+    def finish(self) -> None:
+        """End the conversation."""
+        self.finished = True
+
+    # -- simulation helper ----------------------------------------------------
+
+    def run(
+        self,
+        oracle: Callable[[str], float],
+        n_cycles: int = 5,
+    ) -> list[str]:
+        """Run ``n_cycles`` with a rating oracle; returns final top-5 ids.
+
+        ``oracle(item_id)`` plays the user (studies pass the synthetic
+        world's noisy rating draw).
+        """
+        for __ in range(n_cycles):
+            batch = self.next_batch()
+            if not batch:
+                break
+            self.rate_batch({item_id: oracle(item_id) for item_id in batch})
+        self.finish()
+        return [
+            recommendation.item_id
+            for recommendation in self.recommender.recommend(self.user_id, n=5)
+        ]

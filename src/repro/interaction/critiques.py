@@ -1,0 +1,231 @@
+"""Critiquing: the "user asks for an alteration" channel (Section 5.2).
+
+Two levels, mirroring the critiquing literature the paper cites:
+
+* **Unit critiques** — one attribute at a time ("cheaper", "more
+  memory"), converted to hard constraints relative to the current
+  reference item;
+* **Dynamic compound critiques** (Reilly et al. [30], McCarthy et al.
+  [20]) — frequent *patterns* of attribute differences between the
+  reference and the remaining candidates, mined with Apriori and
+  presented with their coverage, e.g. "Less Memory and Lower Resolution
+  and Cheaper (14 cameras)".  "Instead of simply explaining to a user
+  that no items fitting the description exist, these systems show what
+  types of items do exist."
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.templates import join_phrases
+from repro.errors import ConstraintError
+from repro.recsys.data import Item
+from repro.recsys.knowledge import (
+    Catalog,
+    Constraint,
+    UserRequirements,
+    compare_items,
+)
+
+__all__ = [
+    "UnitCritique",
+    "CompoundCritique",
+    "apriori",
+    "mine_compound_critiques",
+    "apply_critique",
+]
+
+
+@dataclass(frozen=True)
+class UnitCritique:
+    """A single-attribute alteration request relative to a reference item.
+
+    ``direction`` is ``"less"``, ``"more"`` or ``"different"`` (the last
+    for categorical attributes).
+    """
+
+    attribute: str
+    direction: str
+
+    _DIRECTIONS = ("less", "more", "different")
+
+    def __post_init__(self) -> None:
+        if self.direction not in self._DIRECTIONS:
+            raise ConstraintError(
+                f"unknown critique direction {self.direction!r}; "
+                f"choose from {self._DIRECTIONS}"
+            )
+
+    def phrase(self, catalog: Catalog) -> str:
+        """The user-facing phrase ("Cheaper", "More Memory", ...)."""
+        spec = catalog.spec(self.attribute)
+        if self.direction == "less":
+            return spec.less_phrase
+        if self.direction == "more":
+            return spec.more_phrase
+        return f"Different {self.attribute}"
+
+    def to_constraint(self, reference: Item) -> Constraint:
+        """The hard constraint this critique imposes on the next cycle."""
+        value = reference.attribute(self.attribute)
+        if value is None:
+            raise ConstraintError(
+                f"reference item {reference.item_id!r} has no "
+                f"{self.attribute!r} attribute"
+            )
+        if self.direction == "less":
+            return Constraint(self.attribute, "<=", float(value) - 1e-9)  # type: ignore[arg-type]
+        if self.direction == "more":
+            return Constraint(self.attribute, ">=", float(value) + 1e-9)  # type: ignore[arg-type]
+        return Constraint(self.attribute, "!=", value)
+
+
+@dataclass(frozen=True)
+class CompoundCritique:
+    """A conjunction of unit critiques with its candidate coverage."""
+
+    parts: tuple[UnitCritique, ...]
+    support: int
+
+    def phrase(self, catalog: Catalog) -> str:
+        """"Less Memory and Lower Resolution and Cheaper"."""
+        return join_phrases([part.phrase(catalog) for part in self.parts])
+
+    def describe(self, catalog: Catalog) -> str:
+        """Phrase plus coverage count."""
+        return f"{self.phrase(catalog)} ({self.support} items)"
+
+    def to_constraints(self, reference: Item) -> list[Constraint]:
+        """All hard constraints this compound critique imposes."""
+        return [part.to_constraint(reference) for part in self.parts]
+
+
+def apriori(
+    transactions: Sequence[frozenset],
+    min_support: int,
+    max_size: int = 3,
+) -> dict[frozenset, int]:
+    """Classic Apriori frequent-itemset mining.
+
+    Returns every itemset of size 1..``max_size`` appearing in at least
+    ``min_support`` transactions, with its support count.
+    """
+    if min_support < 1:
+        raise ValueError(f"min_support must be >= 1, got {min_support}")
+    frequent: dict[frozenset, int] = {}
+
+    # Size-1 candidates: every observed item.
+    counts: dict[frozenset, int] = {}
+    for transaction in transactions:
+        for element in transaction:
+            key = frozenset([element])
+            counts[key] = counts.get(key, 0) + 1
+    current = {
+        itemset: count
+        for itemset, count in counts.items()
+        if count >= min_support
+    }
+    frequent.update(current)
+
+    size = 2
+    while current and size <= max_size:
+        # Candidate generation: unions of frequent (size-1)-sets whose
+        # union has exactly `size` elements and all of whose subsets are
+        # frequent (the Apriori property).
+        previous_sets = list(current)
+        candidates: set[frozenset] = set()
+        for set_a, set_b in itertools.combinations(previous_sets, 2):
+            union = set_a | set_b
+            if len(union) != size:
+                continue
+            if all(
+                frozenset(subset) in frequent
+                for subset in itertools.combinations(union, size - 1)
+            ):
+                candidates.add(union)
+        counts = {candidate: 0 for candidate in candidates}
+        for transaction in transactions:
+            for candidate in candidates:
+                if candidate <= transaction:
+                    counts[candidate] += 1
+        current = {
+            itemset: count
+            for itemset, count in counts.items()
+            if count >= min_support
+        }
+        frequent.update(current)
+        size += 1
+    return frequent
+
+
+def _critique_pattern(
+    catalog: Catalog, candidate: Item, reference: Item
+) -> frozenset[UnitCritique]:
+    """The candidate's full difference pattern against the reference."""
+    pattern = set()
+    for delta in compare_items(catalog, candidate, reference):
+        if delta.direction < 0:
+            pattern.add(UnitCritique(delta.attribute, "less"))
+        elif delta.direction > 0:
+            pattern.add(UnitCritique(delta.attribute, "more"))
+        else:
+            pattern.add(UnitCritique(delta.attribute, "different"))
+    return frozenset(pattern)
+
+
+def mine_compound_critiques(
+    catalog: Catalog,
+    reference: Item,
+    candidates: Iterable[Item],
+    min_support_fraction: float = 0.15,
+    max_size: int = 3,
+    max_critiques: int = 5,
+) -> list[CompoundCritique]:
+    """Dynamic critiquing: mine frequent difference patterns (Reilly'04).
+
+    Each remaining candidate becomes a transaction of unit critiques
+    describing how it differs from the reference; Apriori finds the
+    patterns covering at least ``min_support_fraction`` of candidates.
+    Only multi-attribute patterns are returned (unit critiques are always
+    available separately), ranked by size (larger first — more
+    informative) then support.
+    """
+    transactions = [
+        _critique_pattern(catalog, candidate, reference)
+        for candidate in candidates
+        if candidate.item_id != reference.item_id
+    ]
+    if not transactions:
+        return []
+    min_support = max(1, int(len(transactions) * min_support_fraction))
+    frequent = apriori(transactions, min_support=min_support, max_size=max_size)
+    compounds = [
+        CompoundCritique(
+            parts=tuple(sorted(itemset, key=lambda c: c.attribute)),
+            support=support,
+        )
+        for itemset, support in frequent.items()
+        if len(itemset) >= 2
+    ]
+    compounds.sort(
+        key=lambda critique: (-len(critique.parts), -critique.support)
+    )
+    return compounds[:max_critiques]
+
+
+def apply_critique(
+    requirements: UserRequirements,
+    critique: UnitCritique | CompoundCritique,
+    reference: Item,
+) -> UserRequirements:
+    """A new requirements object with the critique's constraints added."""
+    updated = requirements.copy()
+    if isinstance(critique, UnitCritique):
+        updated.add_constraint(critique.to_constraint(reference))
+    else:
+        for constraint in critique.to_constraints(reference):
+            updated.add_constraint(constraint)
+    return updated

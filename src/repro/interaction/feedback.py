@@ -1,0 +1,175 @@
+"""Opinion feedback vocabulary (paper Section 5.4).
+
+The paper expands comparison-based feedback into a concrete opinion
+vocabulary: *More like this* ("More later!", "Give me more!"), *No more
+like this* ("I already know this!", "No more like this!"), aspect-level
+feedback ("I like the sport, but not the distant location"), and
+*Surprise me!*.  :class:`OpinionHandler` applies each opinion to a
+scrutable profile, returning a transparency sentence describing what
+changed — explanations are a cycle, not a one-way message (Section 2.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import DataError
+from repro.interaction.profile import ScrutableProfile
+from repro.recsys.data import Dataset
+
+__all__ = ["Opinion", "OpinionFeedback", "OpinionHandler"]
+
+
+class Opinion(enum.Enum):
+    """The opinion vocabulary of Section 5.4."""
+
+    MORE_LIKE_THIS = "more like this"
+    MORE_LATER = "more later"
+    GIVE_ME_MORE = "give me more"
+    ALREADY_KNOW_THIS = "I already know this"
+    NO_MORE_LIKE_THIS = "no more like this"
+    SURPRISE_ME = "surprise me"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class OpinionFeedback:
+    """One opinion about one item (or about the stream, for surprise-me).
+
+    ``aspect`` optionally narrows the opinion to one topic of the item —
+    "the user may want to say they like the sport, but not that the game
+    took place at a distant location".
+    ``liked`` qualifies ALREADY_KNOW_THIS: knowing an item "is not
+    necessarily negative; this depends on the rating the user gives the
+    item as well".
+    """
+
+    opinion: Opinion
+    item_id: str | None = None
+    aspect: str | None = None
+    liked: bool | None = None
+
+
+class OpinionHandler:
+    """Applies opinion feedback to a scrutable profile.
+
+    State beyond the profile: the set of known items (never re-recommend)
+    and the surprise level in [0, 1] (fraction of randomly explored
+    recommendations, shown to the user on a sliding bar).
+    """
+
+    def __init__(
+        self, dataset: Dataset, profile: ScrutableProfile
+    ) -> None:
+        self.dataset = dataset
+        self.profile = profile
+        self.known_items: set[str] = set()
+        self.suppressed_topics: set[str] = set()
+        self.surprise_level: float = 0.0
+        self.log: list[OpinionFeedback] = []
+
+    def _topics_of(self, item_id: str) -> tuple[str, ...]:
+        item = self.dataset.items.get(item_id)
+        if item is None:
+            raise DataError(f"unknown item {item_id!r}")
+        return item.topics
+
+    def apply(self, feedback: OpinionFeedback) -> str:
+        """Apply one opinion; returns a sentence describing the change."""
+        self.log.append(feedback)
+        opinion = feedback.opinion
+
+        if opinion is Opinion.SURPRISE_ME:
+            self.surprise_level = min(1.0, self.surprise_level + 0.25)
+            return (
+                f"We will broaden your horizon: {self.surprise_level:.0%} "
+                f"of upcoming recommendations will be exploratory."
+            )
+
+        if feedback.item_id is None:
+            raise DataError(f"{opinion} feedback requires an item")
+        topics = (
+            (feedback.aspect,) if feedback.aspect else self._topics_of(
+                feedback.item_id
+            )
+        )
+
+        if opinion in (Opinion.MORE_LIKE_THIS, Opinion.GIVE_ME_MORE):
+            for topic in topics:
+                self.profile.infer(
+                    f"likes:{topic}",
+                    True,
+                    because=f"you asked for more {topic} items",
+                    weight=1.0,
+                )
+            return (
+                f"Noted — we will show you more "
+                f"{', '.join(str(t) for t in topics)} items."
+            )
+
+        if opinion is Opinion.MORE_LATER:
+            for topic in topics:
+                self.profile.infer(
+                    f"likes:{topic}",
+                    True,
+                    because=f"you asked to hear about future {topic} items",
+                    weight=0.6,
+                )
+            self.known_items.add(feedback.item_id)
+            return (
+                "Noted — not right now, but we will keep you posted on "
+                "items of this type."
+            )
+
+        if opinion is Opinion.ALREADY_KNOW_THIS:
+            self.known_items.add(feedback.item_id)
+            if feedback.liked:
+                for topic in topics:
+                    self.profile.infer(
+                        f"likes:{topic}",
+                        True,
+                        because=(
+                            f"you already knew (and liked) a {topic} item "
+                            f"we recommended"
+                        ),
+                        weight=0.4,
+                    )
+                return (
+                    "Good to know we were on target — we will not show "
+                    "this again, without reducing items of this type."
+                )
+            return "We will not show this item again."
+
+        if opinion is Opinion.NO_MORE_LIKE_THIS:
+            for topic in topics:
+                self.profile.infer(
+                    f"likes:{topic}",
+                    False,
+                    because=f"you asked for no more {topic} items",
+                    weight=1.0,
+                )
+                self.suppressed_topics.add(str(topic))
+            self.known_items.add(feedback.item_id)
+            return (
+                f"Understood — no more "
+                f"{', '.join(str(t) for t in topics)} items."
+            )
+
+        raise DataError(f"unhandled opinion {opinion!r}")
+
+    def filter_items(self, item_ids: list[str]) -> list[str]:
+        """Drop known items and suppressed-topic items from a candidate list."""
+        kept = []
+        for item_id in item_ids:
+            if item_id in self.known_items:
+                continue
+            item = self.dataset.items.get(item_id)
+            if item is not None and any(
+                topic in self.suppressed_topics for topic in item.topics
+            ):
+                continue
+            kept.append(item_id)
+        return kept

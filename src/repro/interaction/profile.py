@@ -1,0 +1,266 @@
+"""Scrutable user profiles (paper Sections 2.2, 5.3; Figure 1).
+
+SASY's evaluation found users could appreciate that "adaptation in the
+system was based on their personal attributes stored in their profile;
+that their profile contained information they volunteered about
+themselves and information that was inferred through observations made
+about them by the system; and that they could change their profile to
+control the personalization".
+
+:class:`ScrutableProfile` implements exactly that contract — volunteered
+vs. inferred attributes, a "why" answer per attribute, and direct
+editing — and :class:`ProfileRecommender` personalises *from the
+profile*, so edits visibly change recommendations (the TiVo fix).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, replace
+
+from repro.errors import DataError
+from repro.recsys.base import (
+    Prediction,
+    ProfileAttributeEvidence,
+    Recommender,
+)
+from repro.recsys.data import Dataset
+
+__all__ = ["ProfileAttribute", "ScrutableProfile", "infer_topic_interests",
+           "ProfileRecommender"]
+
+VOLUNTEERED = "volunteered"
+INFERRED = "inferred"
+
+
+@dataclass(frozen=True)
+class ProfileAttribute:
+    """One profile attribute with provenance.
+
+    ``because`` records *why* an inferred attribute exists ("you recorded
+    14 football items"), answering the scrutiny question directly.
+    """
+
+    name: str
+    value: object
+    provenance: str
+    because: str = ""
+    weight: float = 1.0
+
+    def why(self) -> str:
+        """A user-facing provenance sentence."""
+        if self.provenance == VOLUNTEERED:
+            return (
+                f"You told us yourself that {self.name} = {self.value}."
+            )
+        reason = self.because or "of patterns in your usage"
+        return (
+            f"We inferred {self.name} = {self.value} because {reason}. "
+            f"You can change or delete this."
+        )
+
+
+class ScrutableProfile:
+    """An editable user model with full provenance.
+
+    All mutations are logged in :attr:`edits` so studies can count
+    scrutinization actions (paper Section 3.2).
+    """
+
+    def __init__(self, user_id: str) -> None:
+        self.user_id = user_id
+        self._attributes: dict[str, ProfileAttribute] = {}
+        self.edits: list[str] = []
+
+    # -- writing ------------------------------------------------------------
+
+    def volunteer(self, name: str, value: object, weight: float = 1.0) -> None:
+        """Record an attribute the user stated directly."""
+        self._attributes[name] = ProfileAttribute(
+            name=name, value=value, provenance=VOLUNTEERED, weight=weight
+        )
+        self.edits.append(f"volunteered {name}={value}")
+
+    def infer(
+        self, name: str, value: object, because: str, weight: float = 1.0
+    ) -> None:
+        """Record a system-inferred attribute with its justification.
+
+        Volunteered values are never overwritten by inference — the user's
+        own statement outranks observation (the TiVo lesson).
+        """
+        existing = self._attributes.get(name)
+        if existing is not None and existing.provenance == VOLUNTEERED:
+            return
+        self._attributes[name] = ProfileAttribute(
+            name=name,
+            value=value,
+            provenance=INFERRED,
+            because=because,
+            weight=weight,
+        )
+        self.edits.append(f"inferred {name}={value}")
+
+    def correct(self, name: str, value: object) -> None:
+        """User overrides an attribute (it becomes volunteered).
+
+        Corrections carry full weight: an explicit user statement
+        outranks however weak or strong the replaced inference was.
+        """
+        if name not in self._attributes:
+            raise DataError(f"no such profile attribute: {name!r}")
+        self._attributes[name] = replace(
+            self._attributes[name],
+            value=value,
+            provenance=VOLUNTEERED,
+            because="",
+            weight=1.0,
+        )
+        self.edits.append(f"corrected {name}={value}")
+
+    def remove(self, name: str) -> None:
+        """User deletes an attribute entirely."""
+        if name not in self._attributes:
+            raise DataError(f"no such profile attribute: {name!r}")
+        del self._attributes[name]
+        self.edits.append(f"removed {name}")
+
+    # -- reading --------------------------------------------------------------
+
+    def get(self, name: str) -> ProfileAttribute | None:
+        """The attribute record, or ``None``."""
+        return self._attributes.get(name)
+
+    def value(self, name: str, default: object = None) -> object:
+        """The attribute's value, or ``default``."""
+        attribute = self._attributes.get(name)
+        return attribute.value if attribute is not None else default
+
+    def attributes(self) -> list[ProfileAttribute]:
+        """All attributes, volunteered first, then alphabetical."""
+        return sorted(
+            self._attributes.values(),
+            key=lambda a: (a.provenance != VOLUNTEERED, a.name),
+        )
+
+    def why(self, name: str) -> str:
+        """Answer "why does my profile say X?"."""
+        attribute = self._attributes.get(name)
+        if attribute is None:
+            return f"Your profile says nothing about {name}."
+        return attribute.why()
+
+    def as_evidence(self) -> tuple[ProfileAttributeEvidence, ...]:
+        """Profile attributes as recommendation evidence records."""
+        return tuple(
+            ProfileAttributeEvidence(
+                attribute=a.name,
+                value=a.value,
+                provenance=a.provenance,
+                weight=a.weight,
+            )
+            for a in self.attributes()
+        )
+
+    def render_page(self) -> str:
+        """A Figure-1-style scrutable profile page."""
+        lines = [f"Your profile ({self.user_id})", ""]
+        for attribute in self.attributes():
+            origin = (
+                "you said" if attribute.provenance == VOLUNTEERED
+                else "we inferred"
+            )
+            lines.append(f"  {attribute.name} = {attribute.value}  [{origin}]")
+            if attribute.provenance == INFERRED:
+                lines.append(f"      why? {attribute.why()}")
+        lines.append("")
+        lines.append(
+            "Change any of these to control your recommendations."
+        )
+        return "\n".join(lines)
+
+
+def infer_topic_interests(
+    profile: ScrutableProfile,
+    dataset: Dataset,
+    min_observations: int = 3,
+) -> list[str]:
+    """Background inference from usage: likes/dislikes per topic.
+
+    "When the system collects and interprets information in the
+    background, as is the case with TiVo, it becomes all the more
+    important to make the reasoning available to the user" — so every
+    inferred attribute carries a count-based justification.
+
+    Returns the names of attributes written.
+    """
+    scale = dataset.scale
+    liked: Counter = Counter()
+    disliked: Counter = Counter()
+    for item_id, rating in dataset.ratings_by(profile.user_id).items():
+        item = dataset.items.get(item_id)
+        if item is None:
+            continue
+        counter = liked if scale.is_positive(rating.value) else disliked
+        for topic in item.topics:
+            counter[topic] += 1
+    written = []
+    for topic in set(liked) | set(disliked):
+        positive = liked.get(topic, 0)
+        negative = disliked.get(topic, 0)
+        if positive + negative < min_observations:
+            continue
+        name = f"likes:{topic}"
+        value = positive >= negative
+        verb = "liked" if value else "disliked"
+        count = positive if value else negative
+        profile.infer(
+            name,
+            value,
+            because=f"you {verb} {count} {topic} items",
+            weight=min(1.0, (positive + negative) / 10.0),
+        )
+        written.append(name)
+    return written
+
+
+class ProfileRecommender(Recommender):
+    """Preference-based recommendation driven by a scrutable profile.
+
+    Items are scored by their topics' ``likes:<topic>`` attributes, so a
+    profile edit (correcting or deleting an inference) immediately and
+    visibly changes the ranking — closing the scrutability loop of paper
+    Section 2.2.
+    """
+
+    def __init__(self, profile: ScrutableProfile) -> None:
+        super().__init__()
+        self.profile = profile
+
+    def predict(self, user_id: str, item_id: str) -> Prediction:
+        """Midpoint plus/minus profile topic weights, with evidence."""
+        dataset = self.dataset
+        item = dataset.item(item_id)
+        scale = dataset.scale
+        score = scale.midpoint
+        used: list[ProfileAttributeEvidence] = []
+        for topic in item.topics:
+            attribute = self.profile.get(f"likes:{topic}")
+            if attribute is None:
+                continue
+            direction = 1.0 if attribute.value else -1.0
+            score += direction * attribute.weight * scale.span * 0.25
+            used.append(
+                ProfileAttributeEvidence(
+                    attribute=attribute.name,
+                    value=attribute.value,
+                    provenance=attribute.provenance,
+                    weight=attribute.weight,
+                )
+            )
+        confidence = min(1.0, 0.2 + 0.2 * len(used))
+        return Prediction(
+            value=scale.clip(score),
+            confidence=confidence,
+            evidence=tuple(used),
+        )

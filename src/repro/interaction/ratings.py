@@ -1,0 +1,125 @@
+"""Rating feedback: "the user rates items" (paper Section 5.3).
+
+"To change the type of recommendations they receive, the user may want
+to correct predicted ratings, or modify a rating they made in the past."
+:class:`RatingChannel` is the single write path for ratings: it records
+explicit ratings, re-ratings and prediction corrections on the dataset,
+notifies fitted recommenders so their caches refresh, and keeps an
+auditable event log (re-rating deltas are exactly what the persuasion
+measure of Section 3.4 needs).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.recsys.data import Dataset, Rating
+
+__all__ = ["RatingEvent", "RatingChannel"]
+
+
+@dataclass(frozen=True)
+class RatingEvent:
+    """One rating action, with the value it replaced (if any)."""
+
+    user_id: str
+    item_id: str
+    value: float
+    previous_value: float | None
+    kind: str  # "rate" | "re-rate" | "correct-prediction"
+
+
+class RatingChannel:
+    """The write path for all rating feedback.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset ratings are written to.
+    on_change:
+        Callbacks invoked with the user id after every write; recommender
+        cache invalidation hooks go here (e.g.
+        ``ContentBasedRecommender.invalidate_profile``).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        on_change: list[Callable[[str], None]] | None = None,
+    ) -> None:
+        self.dataset = dataset
+        self.on_change = list(on_change or [])
+        self.events: list[RatingEvent] = []
+
+    def subscribe(self, callback: Callable[[str], None]) -> None:
+        """Register a change callback (called with the user id)."""
+        self.on_change.append(callback)
+
+    def _write(
+        self, user_id: str, item_id: str, value: float, kind: str
+    ) -> RatingEvent:
+        previous = self.dataset.rating(user_id, item_id)
+        self.dataset.add_rating(
+            Rating(user_id=user_id, item_id=item_id, value=value)
+        )
+        event = RatingEvent(
+            user_id=user_id,
+            item_id=item_id,
+            value=value,
+            previous_value=previous.value if previous else None,
+            kind=kind,
+        )
+        self.events.append(event)
+        for callback in self.on_change:
+            callback(user_id)
+        return event
+
+    def rate(self, user_id: str, item_id: str, value: float) -> RatingEvent:
+        """Record a rating; automatically a re-rate if one existed."""
+        previous = self.dataset.rating(user_id, item_id)
+        kind = "re-rate" if previous is not None else "rate"
+        return self._write(user_id, item_id, value, kind)
+
+    def correct_prediction(
+        self, user_id: str, item_id: str, value: float
+    ) -> RatingEvent:
+        """Counteract a predicted rating by stating the true one.
+
+        Semantically identical to rating, but logged distinctly: this is
+        the Section 4.4 scrutability action ("a user may ... counteract
+        predictions by rating the affected items").
+        """
+        return self._write(user_id, item_id, value, "correct-prediction")
+
+    def undo_last(self) -> RatingEvent | None:
+        """Undo the most recent event (restores or removes the rating)."""
+        if not self.events:
+            return None
+        event = self.events.pop()
+        if event.previous_value is None:
+            self.dataset.remove_rating(event.user_id, event.item_id)
+        else:
+            self.dataset.add_rating(
+                Rating(
+                    user_id=event.user_id,
+                    item_id=event.item_id,
+                    value=event.previous_value,
+                )
+            )
+        for callback in self.on_change:
+            callback(event.user_id)
+        return event
+
+    def rerating_deltas(self, user_id: str | None = None) -> list[float]:
+        """Signed (new - old) deltas of all re-rating events.
+
+        The persuasion studies read these directly: "persuasive ability
+        was calculated as the difference between two ratings" (§3.4).
+        """
+        return [
+            event.value - event.previous_value
+            for event in self.events
+            if event.previous_value is not None
+            and (user_id is None or event.user_id == user_id)
+        ]

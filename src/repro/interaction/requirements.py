@@ -1,0 +1,182 @@
+"""Explicit requirement specification (paper Section 5.1).
+
+"By allowing a user to directly specify their requirements it is possible
+to circumvent the type of faulty assumptions that can be made by a system
+where the interests of a user are based on the items they decide to see."
+
+Two entry points:
+
+* :class:`RequirementElicitor` — slot-by-slot form filling over a typed
+  catalogue (the OkCupid / MYCIN "specify reqs." interaction);
+* :func:`parse_requirements` — a small keyword grammar turning phrases
+  like ``"cheap thai food nearby"`` into constraints and preferences, the
+  textual front door the conversational dialogs build on.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Mapping
+
+from repro.errors import ConstraintError
+from repro.recsys.knowledge import (
+    Catalog,
+    Constraint,
+    Preference,
+    UserRequirements,
+)
+
+__all__ = ["RequirementElicitor", "parse_requirements"]
+
+
+class RequirementElicitor:
+    """Slot-by-slot requirements form over a catalogue schema.
+
+    Typical flow::
+
+        elicitor = RequirementElicitor(catalog)
+        elicitor.require("cuisine", "==", "thai")
+        elicitor.limit("price_level", maximum=2)
+        elicitor.prefer("distance_km", weight=2.0)
+        requirements = elicitor.build()
+    """
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self._constraints: list[Constraint] = []
+        self._preferences: list[Preference] = []
+
+    def require(self, attribute: str, operator: str, value: object) -> None:
+        """Add a hard constraint (validates the attribute exists)."""
+        self.catalog.spec(attribute)
+        self._constraints.append(Constraint(attribute, operator, value))
+
+    def limit(
+        self,
+        attribute: str,
+        minimum: float | None = None,
+        maximum: float | None = None,
+    ) -> None:
+        """Add numeric bound constraints."""
+        spec = self.catalog.spec(attribute)
+        if spec.kind != "numeric":
+            raise ConstraintError(
+                f"{attribute!r} is {spec.kind}; use require() instead"
+            )
+        if minimum is None and maximum is None:
+            raise ConstraintError("limit() needs a minimum and/or a maximum")
+        if minimum is not None:
+            self._constraints.append(Constraint(attribute, ">=", minimum))
+        if maximum is not None:
+            self._constraints.append(Constraint(attribute, "<=", maximum))
+
+    def prefer(
+        self,
+        attribute: str,
+        weight: float = 1.0,
+        target: object | None = None,
+    ) -> None:
+        """Add a weighted soft preference."""
+        self.catalog.spec(attribute)
+        self._preferences.append(
+            Preference(attribute=attribute, weight=weight, target=target)
+        )
+
+    def build(self) -> UserRequirements:
+        """The assembled requirements object."""
+        return UserRequirements(
+            constraints=list(self._constraints),
+            preferences=list(self._preferences),
+        )
+
+
+_DEFAULT_LEXICON: dict[str, tuple[tuple[str, ...], str, float]] = {
+    # phrase -> (candidate attributes, direction, weight); the first
+    # candidate attribute present in the catalogue wins.
+    "cheap": (("price", "price_level"), "low", 2.0),
+    "cheaper": (("price", "price_level"), "low", 2.0),
+    "inexpensive": (("price", "price_level"), "low", 2.0),
+    "budget": (("price", "price_level"), "low", 2.0),
+    "nearby": (("distance_km",), "low", 2.0),
+    "close": (("distance_km",), "low", 2.0),
+    "light": (("weight",), "low", 1.5),
+    "lightweight": (("weight",), "low", 1.5),
+}
+
+
+def parse_requirements(
+    text: str,
+    catalog: Catalog,
+    categorical_values: Mapping[str, tuple[str, ...]] | None = None,
+    lexicon: Mapping[str, tuple[tuple[str, ...], str, float]] | None = None,
+) -> UserRequirements:
+    """Parse a free-text requirement phrase against a catalogue schema.
+
+    The grammar is deliberately small (this is a survey-era system, not
+    an NLU engine):
+
+    * known categorical values ("thai", "Crete") become equality
+      constraints on their attribute;
+    * lexicon adjectives ("cheap", "nearby") become directional
+      preferences, and ``price_level``/``price`` also get a below-median
+      constraint for the strong words ("cheap");
+    * ``under/below/at most N`` attaches a ``<=`` constraint to the first
+      numeric attribute mentioned nearby or to ``price`` by default.
+
+    Unknown words are ignored — in the face of ambiguity the parser
+    refuses to guess.
+    """
+    tokens = re.findall(r"[a-z0-9.]+", text.lower())
+    lexicon = dict(_DEFAULT_LEXICON if lexicon is None else lexicon)
+    categorical_values = categorical_values or {}
+
+    requirements = UserRequirements()
+
+    # Categorical value mentions.
+    value_index: dict[str, tuple[str, str]] = {}
+    for attribute, values in categorical_values.items():
+        for value in values:
+            value_index[str(value).lower()] = (attribute, str(value))
+    for token in tokens:
+        if token in value_index:
+            attribute, value = value_index[token]
+            requirements.add_constraint(Constraint(attribute, "==", value))
+
+    # Adjectives.
+    for token in tokens:
+        entry = lexicon.get(token)
+        if entry is None:
+            continue
+        candidates, direction, weight = entry
+        attribute = next(
+            (name for name in candidates if name in catalog.attributes), None
+        )
+        if attribute is None:
+            continue
+        requirements.set_preference(
+            Preference(attribute=attribute, weight=weight)
+        )
+        spec = catalog.spec(attribute)
+        if direction == "low" and token in ("cheap", "budget"):
+            midpoint = (spec.low + spec.high) / 2.0
+            requirements.add_constraint(
+                Constraint(attribute, "<=", midpoint)
+            )
+
+    # "under 300" / "at most 300" style numeric bounds.
+    for match in re.finditer(
+        r"(?:under|below|at most|less than)\s+(\d+(?:\.\d+)?)", text.lower()
+    ):
+        bound = float(match.group(1))
+        target = "price" if "price" in catalog.attributes else None
+        if target is None:
+            numeric = [
+                name
+                for name, spec in catalog.attributes.items()
+                if spec.kind == "numeric"
+            ]
+            target = numeric[0] if numeric else None
+        if target is not None:
+            requirements.add_constraint(Constraint(target, "<=", bound))
+
+    return requirements

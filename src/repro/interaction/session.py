@@ -1,0 +1,223 @@
+"""Conversational sessions and interaction logs (paper Sections 3.6, 5).
+
+A :class:`CritiqueSession` runs the conversational loop of a critiquing
+recommender: show the best match, offer unit and dynamic compound
+critiques, apply the user's alteration, repeat until acceptance.  Every
+action is logged with a simulated time cost (:class:`TimeModel`), because
+the paper's efficiency measures are "completion time", "number of
+interactions", "number of inspected explanations, and number of
+activations of repair actions" (Section 3.6) — all of which the
+:class:`InteractionLog` exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DialogError
+from repro.interaction.critiques import (
+    CompoundCritique,
+    UnitCritique,
+    apply_critique,
+    mine_compound_critiques,
+)
+from repro.recsys.data import Item
+from repro.recsys.knowledge import (
+    KnowledgeBasedRecommender,
+    UserRequirements,
+)
+
+__all__ = ["TimeModel", "SessionEvent", "InteractionLog", "CritiqueSession"]
+
+
+@dataclass(frozen=True)
+class TimeModel:
+    """Simulated seconds each interaction step costs the user.
+
+    These stand in for the stopwatch in Pu & Chen's and Thompson et al.'s
+    completion-time measurements; the efficiency studies sweep them to
+    show results are not knife-edge (see EXPERIMENTS.md).
+    """
+
+    per_cycle: float = 8.0
+    per_option_scanned: float = 1.5
+    per_explanation_read: float = 4.0
+    per_critique_choice: float = 3.0
+    per_repair: float = 6.0
+    per_full_evaluation: float = 10.0
+    """Seconds to assess one item without conversational support.
+
+    Scanning inside a critique cycle is quick because the trade-off
+    categories pre-digest the differences; judging a raw catalogue entry
+    means reading its full specification (Pu & Chen's rationale for the
+    organizational interface)."""
+
+
+@dataclass(frozen=True)
+class SessionEvent:
+    """One logged interaction event."""
+
+    cycle: int
+    kind: str
+    detail: str
+    seconds: float
+
+
+@dataclass
+class InteractionLog:
+    """Counts and timings over one session (or one user's visits)."""
+
+    events: list[SessionEvent] = field(default_factory=list)
+
+    def add(self, cycle: int, kind: str, detail: str, seconds: float) -> None:
+        """Append one event."""
+        self.events.append(SessionEvent(cycle, kind, detail, seconds))
+
+    @property
+    def total_seconds(self) -> float:
+        """Simulated completion time so far."""
+        return sum(event.seconds for event in self.events)
+
+    @property
+    def n_cycles(self) -> int:
+        """Number of completed interaction cycles."""
+        return max((event.cycle for event in self.events), default=0)
+
+    def count(self, kind: str) -> int:
+        """Number of events of one kind."""
+        return sum(1 for event in self.events if event.kind == kind)
+
+    @property
+    def n_interactions(self) -> int:
+        """Total user actions (the loyalty proxy of Section 3.3)."""
+        return len(self.events)
+
+
+class CritiqueSession:
+    """The conversational critiquing loop over a knowledge-based catalogue.
+
+    Parameters
+    ----------
+    recommender:
+        A fitted :class:`~repro.recsys.knowledge.KnowledgeBasedRecommender`.
+    requirements:
+        The session's starting requirements (copied; the session mutates
+        its own copy as critiques arrive).
+    offer_compound:
+        Whether dynamic compound critiques are mined and offered each
+        cycle (the experimental manipulation of study E4).
+    """
+
+    def __init__(
+        self,
+        recommender: KnowledgeBasedRecommender,
+        requirements: UserRequirements,
+        offer_compound: bool = True,
+        time_model: TimeModel | None = None,
+    ) -> None:
+        self.recommender = recommender
+        self.requirements = requirements.copy()
+        self.offer_compound = offer_compound
+        self.time_model = time_model if time_model is not None else TimeModel()
+        self.log = InteractionLog()
+        self.cycle = 0
+        self.accepted: Item | None = None
+        self._advance()
+
+    # -- state -----------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Recompute the current reference item and critique menu."""
+        ranked = self.recommender.rank(self.requirements)
+        self.candidates = [item for item, __, __ in ranked]
+        self.reference = self.candidates[0] if self.candidates else None
+        if self.reference is not None and self.offer_compound:
+            self.compound_critiques = mine_compound_critiques(
+                self.recommender.catalog,
+                self.reference,
+                self.candidates[1:],
+            )
+        else:
+            self.compound_critiques = []
+        self.cycle += 1
+        scanned = min(len(self.candidates), 5)
+        self.log.add(
+            self.cycle,
+            "show",
+            self.reference.item_id if self.reference else "(none)",
+            self.time_model.per_cycle
+            + scanned * self.time_model.per_option_scanned,
+        )
+
+    @property
+    def is_dead_end(self) -> bool:
+        """Whether no items satisfy the current requirements."""
+        return self.reference is None
+
+    def read_explanation(self) -> None:
+        """Log that the user inspected an explanation this cycle."""
+        self.log.add(
+            self.cycle,
+            "read_explanation",
+            self.reference.item_id if self.reference else "(none)",
+            self.time_model.per_explanation_read,
+        )
+
+    # -- actions -----------------------------------------------------------
+
+    def critique(self, critique: UnitCritique | CompoundCritique) -> None:
+        """Apply a critique against the current reference item.
+
+        A critique that empties the candidate set is rolled back and
+        logged as a repair action ("number of activations of repair
+        actions", Section 3.6).
+        """
+        if self.accepted is not None:
+            raise DialogError("session already finished")
+        if self.reference is None:
+            raise DialogError("no reference item; relax constraints first")
+        label = (
+            critique.phrase(self.recommender.catalog)
+            if isinstance(critique, (UnitCritique, CompoundCritique))
+            else str(critique)
+        )
+        attempted = apply_critique(self.requirements, critique, self.reference)
+        if self.recommender.matching_items(attempted):
+            self.requirements = attempted
+            self.log.add(
+                self.cycle,
+                "critique",
+                label,
+                self.time_model.per_critique_choice,
+            )
+            self._advance()
+        else:
+            self.log.add(
+                self.cycle,
+                "repair",
+                f"rolled back: {label}",
+                self.time_model.per_repair,
+            )
+
+    def relax(self) -> list[str]:
+        """At a dead end, drop the most recently added constraint."""
+        if not self.requirements.constraints:
+            raise DialogError("nothing to relax")
+        dropped = self.requirements.constraints[-1]
+        self.requirements.remove_constraint(dropped)
+        self.log.add(
+            self.cycle, "repair", f"relaxed {dropped.describe()}",
+            self.time_model.per_repair,
+        )
+        self._advance()
+        return [dropped.describe()]
+
+    def accept(self) -> Item:
+        """Accept the current reference item, ending the session."""
+        if self.reference is None:
+            raise DialogError("nothing to accept")
+        self.accepted = self.reference
+        self.log.add(
+            self.cycle, "accept", self.reference.item_id, 0.0
+        )
+        return self.reference

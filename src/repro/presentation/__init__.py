@@ -1,0 +1,61 @@
+"""Presentation styles (paper Section 4): one presenter per subsection."""
+
+from repro.presentation.base import Presenter
+from repro.presentation.facets import FacetedBrowser
+from repro.presentation.lists import (
+    SimilarToTopPresenter,
+    TopItemPresenter,
+    TopNPresenter,
+)
+from repro.presentation.overview import (
+    OverviewCategory,
+    StructuredOverview,
+    build_overview,
+)
+from repro.presentation.personality import (
+    AFFIRMING,
+    BOLD,
+    FRANK,
+    SERENDIPITOUS,
+    Personality,
+    PersonalityRecommender,
+)
+from repro.presentation.modality import (
+    ModalRendering,
+    Modality,
+    render_with_modality,
+)
+from repro.presentation.predicted import PredictedRatingsBrowser
+from repro.presentation.treemap import (
+    Rect,
+    Treemap,
+    TreemapCell,
+    build_news_treemap,
+    squarify,
+)
+
+__all__ = [
+    "Presenter",
+    "TopItemPresenter",
+    "TopNPresenter",
+    "SimilarToTopPresenter",
+    "PredictedRatingsBrowser",
+    "StructuredOverview",
+    "OverviewCategory",
+    "build_overview",
+    "Treemap",
+    "TreemapCell",
+    "Rect",
+    "squarify",
+    "build_news_treemap",
+    "FacetedBrowser",
+    "Modality",
+    "ModalRendering",
+    "render_with_modality",
+    "Personality",
+    "PersonalityRecommender",
+    "AFFIRMING",
+    "BOLD",
+    "FRANK",
+    "SERENDIPITOUS",
+]

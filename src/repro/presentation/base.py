@@ -1,0 +1,26 @@
+"""Presenter protocol.
+
+A presenter renders explained recommendations into a user-facing page
+(plain text here; the structured objects are UI-toolkit-agnostic).  Each
+presenter declares the :class:`~repro.core.taxonomy.PresentationMode` it
+implements so the survey registry, the examples and the benchmarks can
+map paper Section 4 onto code one-to-one.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.taxonomy import PresentationMode
+
+__all__ = ["Presenter"]
+
+
+class Presenter(abc.ABC):
+    """Base class for all presenters."""
+
+    mode: PresentationMode
+
+    @abc.abstractmethod
+    def render(self) -> str:
+        """Render the current page as plain text."""

@@ -1,0 +1,146 @@
+"""Faceted metadata browsing (Yee et al., paper Section 4.5).
+
+"This approach considers several aspects of each item, such as location,
+date and material, each with a number of levels.  The user can see how
+many items there are available at each level for each aspect."
+
+:class:`FacetedBrowser` computes per-level counts over item attributes,
+supports drill-down by selecting facet values, and always shows the
+remaining counts — so the user "can see where they are in the search
+space".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.core.taxonomy import PresentationMode
+from repro.presentation.base import Presenter
+from repro.recsys.data import Dataset, Item
+
+__all__ = ["FacetedBrowser"]
+
+
+class FacetedBrowser(Presenter):
+    """Multi-facet drill-down browser over item attributes.
+
+    Parameters
+    ----------
+    facets:
+        Attribute names to expose as facets.  Numeric attributes are
+        bucketed with ``numeric_buckets`` equal-width bins.
+    """
+
+    mode = PresentationMode.STRUCTURED_OVERVIEW
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        facets: Sequence[str],
+        numeric_buckets: int = 4,
+    ) -> None:
+        if not facets:
+            raise ValueError("at least one facet is required")
+        self.dataset = dataset
+        self.facets = list(facets)
+        self.numeric_buckets = numeric_buckets
+        self.selections: dict[str, object] = {}
+        self._ranges: dict[str, tuple[float, float]] = {}
+        for facet in self.facets:
+            values = [
+                item.attribute(facet)
+                for item in dataset.items.values()
+                if isinstance(item.attribute(facet), (int, float))
+                and not isinstance(item.attribute(facet), bool)
+            ]
+            if values:
+                numbers = [float(v) for v in values]  # type: ignore[arg-type]
+                self._ranges[facet] = (min(numbers), max(numbers))
+
+    # -- bucketing ----------------------------------------------------------
+
+    def _bucket(self, facet: str, value: object) -> object:
+        """Map a raw value to its facet level (numeric values get ranges)."""
+        if facet in self._ranges and isinstance(value, (int, float)):
+            low, high = self._ranges[facet]
+            span = max(high - low, 1e-12)
+            index = min(
+                self.numeric_buckets - 1,
+                int((float(value) - low) / span * self.numeric_buckets),
+            )
+            bucket_low = low + index * span / self.numeric_buckets
+            bucket_high = low + (index + 1) * span / self.numeric_buckets
+            return f"{bucket_low:g}..{bucket_high:g}"
+        return value
+
+    # -- selection ------------------------------------------------------------
+
+    def select(self, facet: str, level: object) -> None:
+        """Drill down: restrict one facet to one level."""
+        if facet not in self.facets:
+            raise KeyError(facet)
+        self.selections[facet] = level
+
+    def clear(self, facet: str | None = None) -> None:
+        """Clear one facet selection, or all of them."""
+        if facet is None:
+            self.selections.clear()
+        else:
+            self.selections.pop(facet, None)
+
+    def matching_items(self) -> list[Item]:
+        """Items consistent with every current selection."""
+        matches = []
+        for item in self.dataset.items.values():
+            consistent = True
+            for facet, level in self.selections.items():
+                if self._bucket(facet, item.attribute(facet)) != level:
+                    consistent = False
+                    break
+            if consistent:
+                matches.append(item)
+        return matches
+
+    def counts(self, facet: str) -> dict[object, int]:
+        """Item counts per level of one facet, under current selections.
+
+        The counted pool ignores this facet's own selection (standard
+        faceted-browsing behaviour) so users see sibling levels.
+        """
+        saved = self.selections.pop(facet, None)
+        try:
+            pool = self.matching_items()
+        finally:
+            if saved is not None:
+                self.selections[facet] = saved
+        counter: Counter = Counter()
+        for item in pool:
+            value = item.attribute(facet)
+            if value is None:
+                continue
+            counter[self._bucket(facet, value)] += 1
+        return dict(counter)
+
+    def render(self) -> str:
+        """All facets with per-level counts, then the current matches."""
+        lines = []
+        for facet in self.facets:
+            selected = self.selections.get(facet)
+            header = f"{facet}:"
+            if selected is not None:
+                header += f"  [selected: {selected}]"
+            lines.append(header)
+            for level, count in sorted(
+                self.counts(facet).items(), key=lambda kv: str(kv[0])
+            ):
+                marker = ">" if level == selected else " "
+                lines.append(f"  {marker} {level} ({count})")
+        matches = self.matching_items()
+        lines.append("")
+        lines.append(f"{len(matches)} matching items")
+        for item in matches[:8]:
+            lines.append(f"  - {item.title}")
+        if len(matches) > 8:
+            lines.append(f"  ... and {len(matches) - 8} more")
+        return "\n".join(lines)

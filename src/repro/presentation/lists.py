@@ -1,0 +1,149 @@
+"""List presentations: top item, top-N, similar to top item(s).
+
+Paper Sections 4.1–4.3.  Relevance "can be represented by the order in
+which recommendations are given"; these presenters render ranked lists
+with star ratings and per-item explanations, and the top-N presenter
+additionally synthesises the *joint* explanation relating the chosen
+items ("You have watched a lot of football and technology items...").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.core.pipeline import ExplainedRecommendation
+from repro.core.taxonomy import PresentationMode
+from repro.core.templates import (
+    join_phrases,
+    might_also_like,
+    people_like_you_liked,
+)
+from repro.presentation.base import Presenter
+from repro.recsys.data import Dataset
+from repro.render import boxed, stars
+
+__all__ = ["TopItemPresenter", "TopNPresenter", "SimilarToTopPresenter"]
+
+
+class TopItemPresenter(Presenter):
+    """"Perhaps the simplest way": offer the single best item (4.1)."""
+
+    mode = PresentationMode.TOP_ITEM
+
+    def __init__(
+        self, dataset: Dataset, recommendation: ExplainedRecommendation
+    ) -> None:
+        self.dataset = dataset
+        self.recommendation = recommendation
+
+    def render(self) -> str:
+        """One boxed item with stars and its explanation."""
+        item = self.dataset.item(self.recommendation.item_id)
+        lines = [
+            item.title,
+            f"{stars(self.recommendation.score)} "
+            f"({self.recommendation.score:.1f})",
+        ]
+        text = self.recommendation.explanation.render(include_details=True)
+        if text:
+            lines.append("")
+            lines.append(text)
+        return boxed("\n".join(lines), title="Recommended for you")
+
+
+class TopNPresenter(Presenter):
+    """A ranked list of several items at once (4.2).
+
+    "While this system should be able to explain the relation between
+    chosen items, it should still be able to explain the rationale behind
+    each single item" — :meth:`joint_explanation` covers the former,
+    per-item explanations the latter.
+    """
+
+    mode = PresentationMode.TOP_N
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        recommendations: Sequence[ExplainedRecommendation],
+        show_item_explanations: bool = True,
+    ) -> None:
+        self.dataset = dataset
+        self.recommendations = list(recommendations)
+        self.show_item_explanations = show_item_explanations
+
+    def joint_explanation(self) -> str:
+        """Relate the list's items through their dominant topics."""
+        if not self.recommendations:
+            return "We have nothing to recommend yet."
+        topics: Counter = Counter()
+        for recommendation in self.recommendations:
+            item = self.dataset.items.get(recommendation.item_id)
+            if item is not None and item.topics:
+                topics[item.topics[0].split("/")[-1]] += 1
+        if not topics:
+            return "Here are today's recommendations."
+        dominant = [topic for topic, __ in topics.most_common(2)]
+        titles = [
+            self.dataset.item(r.item_id).title
+            for r in self.recommendations[:2]
+        ]
+        return (
+            f"You have watched a lot of {join_phrases(dominant)} items. "
+            f"You might like to see {join_phrases(titles)}."
+        )
+
+    def render(self) -> str:
+        """Joint explanation, then the ranked list."""
+        lines = [self.joint_explanation(), ""]
+        for recommendation in self.recommendations:
+            item = self.dataset.item(recommendation.item_id)
+            lines.append(
+                f"{recommendation.recommendation.rank:>2}. "
+                f"{stars(recommendation.score)} {item.title}"
+            )
+            if self.show_item_explanations:
+                text = recommendation.explanation.text
+                if text:
+                    lines.append(f"      {text}")
+        return "\n".join(lines)
+
+
+class SimilarToTopPresenter(Presenter):
+    """"Once a user shows a preference ... offer similar items" (4.3).
+
+    ``social`` switches the phrasing from the item-similarity form
+    ("You might also like...") to the social form ("People like you
+    liked...").
+    """
+
+    mode = PresentationMode.SIMILAR_TO_TOP
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        anchor_item_id: str,
+        similar: Sequence[tuple[str, float]],
+        social: bool = False,
+    ) -> None:
+        self.dataset = dataset
+        self.anchor_item_id = anchor_item_id
+        self.similar = list(similar)
+        self.social = social
+
+    def render(self) -> str:
+        """Anchor item header plus a phrased list of similar items."""
+        anchor = self.dataset.item(self.anchor_item_id)
+        lines = [f"Because you liked {anchor.title}:"]
+        for item_id, similarity in self.similar:
+            title = self.dataset.item(item_id).title
+            phrase = (
+                people_like_you_liked(title)
+                if self.social
+                else might_also_like(title)
+            )
+            lines.append(f"  {phrase} (match {similarity:.0%})")
+        if len(lines) == 1:
+            lines.append("  (no sufficiently similar items found)")
+        return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Explanation modalities (paper Section 6, future work #2).
+
+"A second direction is to extend existing research on modalities of
+explanations, but rather than assuming that either text or images are
+preferable, see how they can complement each other."
+
+In a terminal library "image" means the structured detail blocks
+(histograms, influence tables) and "text" the prose sentence.  The
+modality layer renders any :class:`~repro.core.explanation.Explanation`
+as text-only, chart-only or combined, and annotates each rendering with
+a reading-cost estimate — the inputs the E10 modality study needs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.explanation import Explanation
+
+__all__ = ["Modality", "ModalRendering", "render_with_modality"]
+
+_SECONDS_PER_TEXT_CHAR = 0.035  # ~290 chars/minute reading prose
+_SECONDS_PER_CHART_LINE = 0.8  # charts are skimmed line-wise
+
+
+class Modality(enum.Enum):
+    """How an explanation is materialised for the user."""
+
+    TEXT = "text"
+    CHART = "chart"
+    COMBINED = "combined"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ModalRendering:
+    """One explanation rendered in one modality, with its reading cost."""
+
+    modality: Modality
+    content: str
+    reading_seconds: float
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the rendering carries no content at all."""
+        return not self.content.strip()
+
+
+def render_with_modality(
+    explanation: Explanation, modality: Modality
+) -> ModalRendering:
+    """Render an explanation in the requested modality.
+
+    TEXT drops detail blocks; CHART drops the prose (falling back to the
+    prose when the explanation has no structured details — a chart-only
+    interface cannot show nothing); COMBINED keeps both.
+    """
+    text = explanation.text
+    charts = "\n\n".join(
+        explanation.details[name] for name in sorted(explanation.details)
+    )
+    if modality is Modality.TEXT:
+        content = text
+        seconds = len(text) * _SECONDS_PER_TEXT_CHAR
+    elif modality is Modality.CHART:
+        content = charts if charts else text
+        seconds = (
+            content.count("\n") + 1
+        ) * _SECONDS_PER_CHART_LINE if content else 0.0
+    else:
+        content = "\n\n".join(part for part in (text, charts) if part)
+        seconds = (
+            len(text) * _SECONDS_PER_TEXT_CHAR
+            + (charts.count("\n") + 1) * _SECONDS_PER_CHART_LINE
+            if charts
+            else len(text) * _SECONDS_PER_TEXT_CHAR
+        )
+    return ModalRendering(
+        modality=modality, content=content, reading_seconds=seconds
+    )

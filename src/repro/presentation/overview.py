@@ -1,0 +1,131 @@
+"""Structured overview: Pu & Chen's organizational structure (Section 4.5).
+
+"The best matching item is displayed at the top.  Below it several
+categories of trade-off alternatives are listed.  Each category has a
+title explaining the characteristics of the items in it, e.g. '[these
+laptops] ... are cheaper and lighter, but have lower processor speed'.
+The order of the titles depends on how well the category matches the
+user's requirements."
+
+The category structure is computed, not hand-written: alternatives are
+grouped by their *trade-off signature* against the best item (which
+preferred attributes improve, which worsen), each group gets a
+McCarthy-style "thinking positively" title, and groups are ordered by
+their best member's utility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.taxonomy import PresentationMode
+from repro.core.templates import tradeoff_sentence
+from repro.presentation.base import Presenter
+from repro.recsys.data import Item
+from repro.recsys.knowledge import (
+    Catalog,
+    KnowledgeBasedRecommender,
+    UserRequirements,
+    compare_items,
+)
+
+__all__ = ["OverviewCategory", "StructuredOverview", "build_overview"]
+
+
+@dataclass(frozen=True)
+class OverviewCategory:
+    """One trade-off category: a title plus its member items."""
+
+    title: str
+    pros: tuple[str, ...]
+    cons: tuple[str, ...]
+    items: tuple[Item, ...]
+    best_utility: float
+
+
+@dataclass(frozen=True)
+class StructuredOverview(Presenter):
+    """The full page: best item on top, trade-off categories below."""
+
+    best: Item
+    best_utility: float
+    categories: tuple[OverviewCategory, ...]
+
+    mode = PresentationMode.STRUCTURED_OVERVIEW
+
+    def render(self) -> str:
+        """Best match, then each category title with its items."""
+        lines = [
+            "Best match for your requirements:",
+            f"  ** {self.best.title} **",
+            "",
+        ]
+        if not self.categories:
+            lines.append("No trade-off alternatives within reach.")
+        for category in self.categories:
+            lines.append(category.title)
+            for item in category.items:
+                lines.append(f"    - {item.title}")
+            lines.append("")
+        return "\n".join(lines).rstrip()
+
+
+def build_overview(
+    recommender: KnowledgeBasedRecommender,
+    requirements: UserRequirements,
+    n_alternatives: int = 12,
+    max_categories: int = 4,
+    max_items_per_category: int = 3,
+) -> StructuredOverview:
+    """Compute a structured overview for the given requirements.
+
+    Parameters
+    ----------
+    n_alternatives:
+        How many runner-up items to organise into categories.
+    max_categories:
+        How many categories to show (ordered by best member utility).
+    """
+    ranked = recommender.rank(requirements, n=n_alternatives + 1)
+    if not ranked:
+        raise ValueError(
+            "no items satisfy the requirements; consult "
+            "KnowledgeBasedRecommender.relaxations() first"
+        )
+    best_item, best_utility, __ = ranked[0]
+    catalog: Catalog = recommender.catalog
+
+    groups: dict[tuple[tuple[str, ...], tuple[str, ...]], list[tuple[Item, float]]] = {}
+    for item, utility, __ in ranked[1:]:
+        deltas = compare_items(catalog, item, best_item, requirements)
+        pros = tuple(
+            sorted(delta.phrase for delta in deltas if delta.improves)
+        )
+        cons = tuple(
+            sorted(delta.phrase for delta in deltas if delta.improves is False)
+        )
+        if not pros and not cons:
+            continue
+        groups.setdefault((pros, cons), []).append((item, utility))
+
+    categories = []
+    for (pros, cons), members in groups.items():
+        members.sort(key=lambda entry: (-entry[1], entry[0].item_id))
+        title = tradeoff_sentence(list(pros), list(cons), subject="These items")
+        categories.append(
+            OverviewCategory(
+                title=title,
+                pros=pros,
+                cons=cons,
+                items=tuple(
+                    item for item, __ in members[:max_items_per_category]
+                ),
+                best_utility=members[0][1],
+            )
+        )
+    categories.sort(key=lambda category: -category.best_utility)
+    return StructuredOverview(
+        best=best_item,
+        best_utility=best_utility,
+        categories=tuple(categories[:max_categories]),
+    )

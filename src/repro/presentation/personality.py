@@ -1,0 +1,157 @@
+"""Recommender "personality" (paper Section 4.6).
+
+"The choice of recommended items, or the predicted rating for an item can
+be angled to reflect a 'personality' of the recommender system."  Two
+orthogonal knobs:
+
+* **strength shading** — a *bold* recommender inflates displayed
+  predictions; a *frank* one shows true values and discloses confidence;
+* **item choice** — an *affirming* recommender re-surfaces familiar
+  items the user probably knows; a *serendipitous* one biases towards
+  novel, surprising items.
+
+Section 4.6 also requires that "if such factors are part of the
+recommendation process ... they should be part of the explanations as
+well": shaded recommendations get an honesty note appended when the
+personality is transparent about itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pipeline import ExplainedRecommendation, ExplainedRecommender
+from repro.core.templates import confidence_disclosure
+from repro.recsys.base import Prediction, Recommendation
+from repro.recsys.metrics import novelty
+
+__all__ = ["Personality", "AFFIRMING", "BOLD", "FRANK", "SERENDIPITOUS",
+           "PersonalityRecommender"]
+
+
+@dataclass(frozen=True)
+class Personality:
+    """A recommender personality configuration.
+
+    Attributes
+    ----------
+    boldness:
+        Fraction of the remaining scale headroom added to displayed
+        predictions (0 = honest, 0.5 = strongly inflated).
+    frank:
+        Whether to disclose true confidence in the explanation.
+    serendipity:
+        Weight in [0, 1] blending novelty into the ranking score.
+    affirming:
+        Whether to include items the user has already rated (familiar
+        recommendations that "inspire a user's trust").
+    disclose_shading:
+        Whether shaded strength is itself explained (the Section 4.6
+        transparency requirement).
+    """
+
+    name: str
+    boldness: float = 0.0
+    frank: bool = False
+    serendipity: float = 0.0
+    affirming: bool = False
+    disclose_shading: bool = True
+
+
+AFFIRMING = Personality(name="affirming", affirming=True, boldness=0.0)
+BOLD = Personality(name="bold", boldness=0.35, disclose_shading=False)
+FRANK = Personality(name="frank", frank=True)
+SERENDIPITOUS = Personality(name="serendipitous", serendipity=0.5)
+
+
+class PersonalityRecommender:
+    """Wrap an explained recommender with a personality.
+
+    The wrapper re-scores, re-ranks and re-phrases; the underlying
+    recommender and explainer are untouched, so the same substrate can be
+    presented with any personality (as the personality study E8 does).
+    """
+
+    def __init__(
+        self, pipeline: ExplainedRecommender, personality: Personality
+    ) -> None:
+        self.pipeline = pipeline
+        self.personality = personality
+
+    def _shade(self, prediction: Prediction, scale) -> float:
+        """Bold strength shading: inflate towards the scale maximum."""
+        if self.personality.boldness <= 0.0:
+            return prediction.value
+        headroom = scale.maximum - prediction.value
+        return scale.clip(
+            prediction.value + self.personality.boldness * headroom
+        )
+
+    def recommend(self, user_id: str, n: int = 5) -> list[ExplainedRecommendation]:
+        """Personality-adjusted recommendations with adjusted explanations."""
+        dataset = self.pipeline.dataset
+        scale = dataset.scale
+        pool = self.pipeline.recommend(
+            user_id,
+            n=max(n * 3, 10),
+            exclude_rated=not self.personality.affirming,
+        )
+
+        if self.personality.serendipity > 0.0:
+            weight = self.personality.serendipity
+            max_novelty = max(
+                (novelty([er.item_id], dataset) for er in pool), default=1.0
+            )
+            max_novelty = max(max_novelty, 1e-12)
+
+            def blended(er: ExplainedRecommendation) -> float:
+                item_novelty = novelty([er.item_id], dataset) / max_novelty
+                return (
+                    (1.0 - weight) * scale.normalize(er.score)
+                    + weight * item_novelty
+                )
+
+            pool.sort(key=lambda er: (-blended(er), er.item_id))
+        elif self.personality.affirming:
+            # Prefer familiar: items similar in topic to already-rated ones
+            # rank first; already-rated items are naturally included.
+            rated_topics = {
+                topic
+                for item_id in dataset.ratings_by(user_id)
+                for topic in dataset.item(item_id).topics
+            }
+
+            def familiarity(er: ExplainedRecommendation) -> int:
+                topics = dataset.item(er.item_id).topics
+                return sum(1 for topic in topics if topic in rated_topics)
+
+            pool.sort(key=lambda er: (-familiarity(er), -er.score, er.item_id))
+
+        adjusted: list[ExplainedRecommendation] = []
+        for rank, er in enumerate(pool[:n], start=1):
+            displayed = self._shade(er.recommendation.prediction, scale)
+            explanation = er.explanation
+            if self.personality.frank:
+                explanation = explanation.with_suffix(
+                    confidence_disclosure(er.recommendation.confidence)
+                )
+            if (
+                self.personality.boldness > 0.0
+                and self.personality.disclose_shading
+            ):
+                explanation = explanation.with_suffix(
+                    f"(Displayed rating boosted from "
+                    f"{er.recommendation.score:.1f}.)"
+                )
+            adjusted.append(
+                ExplainedRecommendation(
+                    recommendation=Recommendation(
+                        item_id=er.item_id,
+                        score=displayed,
+                        rank=rank,
+                        prediction=er.recommendation.prediction,
+                    ),
+                    explanation=explanation,
+                )
+            )
+        return adjusted

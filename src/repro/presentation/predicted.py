@@ -1,0 +1,94 @@
+"""Predicted-ratings-for-all-items browsing (paper Section 4.4).
+
+"Rather than forcing selections on the user, a system may allow its users
+to browse all the available options" with a predicted rating per item.
+The browser supports the paper's full scrutability cycle:
+
+* :meth:`page` — browse predictions (sorted or filtered by topic);
+* :meth:`why` — ask why an item is predicted high *or low* (the local
+  hockey results question);
+* counteracting a prediction is handled by the rating-feedback channel in
+  :mod:`repro.interaction.ratings`, which this browser exposes hooks for.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import ExplainedRecommendation, ExplainedRecommender
+from repro.core.taxonomy import PresentationMode
+from repro.presentation.base import Presenter
+from repro.render import stars
+
+__all__ = ["PredictedRatingsBrowser"]
+
+
+class PredictedRatingsBrowser(Presenter):
+    """Browse every item with its predicted rating."""
+
+    mode = PresentationMode.PREDICTED_RATINGS
+
+    def __init__(
+        self,
+        pipeline: ExplainedRecommender,
+        user_id: str,
+        topic: str | None = None,
+        page_size: int = 10,
+    ) -> None:
+        self.pipeline = pipeline
+        self.user_id = user_id
+        self.topic = topic
+        self.page_size = page_size
+
+    def _candidate_ids(self) -> list[str]:
+        dataset = self.pipeline.dataset
+        item_ids = list(dataset.items)
+        if self.topic is not None:
+            item_ids = [
+                item_id
+                for item_id in item_ids
+                if self.topic in dataset.item(item_id).topics
+            ]
+        return item_ids
+
+    def page(
+        self, offset: int = 0, include_rated: bool = True
+    ) -> list[ExplainedRecommendation]:
+        """One page of items with predictions, best-predicted first."""
+        dataset = self.pipeline.dataset
+        item_ids = self._candidate_ids()
+        if not include_rated:
+            rated = set(dataset.ratings_by(self.user_id))
+            item_ids = [item_id for item_id in item_ids if item_id not in rated]
+        explained = [
+            self.pipeline.predict_and_explain(self.user_id, item_id)
+            for item_id in item_ids
+        ]
+        explained.sort(key=lambda er: (-er.score, er.item_id))
+        return explained[offset : offset + self.page_size]
+
+    def why(self, item_id: str) -> str:
+        """The explanation text for one item's prediction, high or low."""
+        explained = self.pipeline.predict_and_explain(self.user_id, item_id)
+        return explained.explanation.render(include_details=True)
+
+    def render(self, offset: int = 0) -> str:
+        """A text page of predicted ratings with stars."""
+        dataset = self.pipeline.dataset
+        lines = []
+        header = "All items, with your predicted ratings"
+        if self.topic is not None:
+            header += f" (topic: {self.topic})"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for explained in self.page(offset=offset):
+            item = dataset.item(explained.item_id)
+            own = dataset.rating(self.user_id, explained.item_id)
+            marker = f" [you rated {own.value:g}]" if own else ""
+            lines.append(
+                f"{stars(explained.score)} {explained.score:.1f}  "
+                f"{item.title}{marker}"
+            )
+        lines.append("")
+        lines.append(
+            "Ask why(item) for any prediction, or rate items to correct us."
+        )
+        return "\n".join(lines)

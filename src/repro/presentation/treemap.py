@@ -1,0 +1,259 @@
+"""Squarified treemap layout and text rendering (paper Figure 2).
+
+"The 'treemap' structure allows a different type of overview.  Here it is
+possible to use different colors to represent topic areas, square and
+font size to represent importance to the current user, and shades of each
+topic color to represent recency." (Section 4.5)
+
+:func:`squarify` implements the Bruls–Huizing–van-Wijk squarified layout
+(the algorithm behind newsmap-style treemaps); :class:`Treemap` nests it
+two levels deep (topics, then items) and renders to a character canvas
+where the topic's letter is the "color" and upper/lower case is the
+recency "shade".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.taxonomy import PresentationMode
+from repro.presentation.base import Presenter
+from repro.recsys.data import Dataset
+
+__all__ = ["Rect", "squarify", "TreemapCell", "Treemap", "build_news_treemap"]
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle (origin top-left)."""
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    @property
+    def area(self) -> float:
+        """Width times height."""
+        return self.width * self.height
+
+    @property
+    def short_side(self) -> float:
+        """The shorter of width and height."""
+        return min(self.width, self.height)
+
+
+def _worst_ratio(row: Sequence[float], side: float) -> float:
+    """Worst aspect ratio if ``row`` areas are laid along ``side``."""
+    total = sum(row)
+    if total <= 0.0 or side <= 0.0:
+        return float("inf")
+    largest = max(row)
+    smallest = min(row)
+    return max(
+        (side * side * largest) / (total * total),
+        (total * total) / (side * side * smallest),
+    )
+
+
+def _layout_row(row: Sequence[float], rect: Rect) -> tuple[list[Rect], Rect]:
+    """Place one row of areas along the rect's short side.
+
+    Returns the placed rectangles plus the remaining free rectangle.
+    """
+    total = sum(row)
+    placed: list[Rect] = []
+    if rect.width >= rect.height:
+        # Vertical strip on the left.
+        strip_width = total / rect.height if rect.height > 0 else 0.0
+        y = rect.y
+        for area in row:
+            cell_height = area / strip_width if strip_width > 0 else 0.0
+            placed.append(Rect(rect.x, y, strip_width, cell_height))
+            y += cell_height
+        remaining = Rect(
+            rect.x + strip_width, rect.y, rect.width - strip_width, rect.height
+        )
+    else:
+        # Horizontal strip on the top.
+        strip_height = total / rect.width if rect.width > 0 else 0.0
+        x = rect.x
+        for area in row:
+            cell_width = area / strip_height if strip_height > 0 else 0.0
+            placed.append(Rect(x, rect.y, cell_width, strip_height))
+            x += cell_width
+        remaining = Rect(
+            rect.x, rect.y + strip_height, rect.width, rect.height - strip_height
+        )
+    return placed, remaining
+
+
+def squarify(sizes: Sequence[float], rect: Rect) -> list[Rect]:
+    """Squarified treemap layout (Bruls et al. 2000).
+
+    ``sizes`` are laid out largest-first in ``rect``; returned rectangles
+    correspond to the *input* order.  Sizes must be positive; total
+    output area equals the input rectangle's area.
+    """
+    if any(size <= 0.0 for size in sizes):
+        raise ValueError("treemap sizes must be positive")
+    if not sizes:
+        return []
+
+    order = sorted(range(len(sizes)), key=lambda index: -sizes[index])
+    total = sum(sizes)
+    scale = rect.area / total
+    scaled = [sizes[index] * scale for index in order]
+
+    result: dict[int, Rect] = {}
+    remaining_rect = rect
+    row: list[float] = []
+    row_indices: list[int] = []
+    position = 0
+    while position < len(scaled):
+        area = scaled[position]
+        side = remaining_rect.short_side
+        if not row or _worst_ratio(row + [area], side) <= _worst_ratio(row, side):
+            row.append(area)
+            row_indices.append(order[position])
+            position += 1
+        else:
+            placed, remaining_rect = _layout_row(row, remaining_rect)
+            for index, cell in zip(row_indices, placed):
+                result[index] = cell
+            row, row_indices = [], []
+    if row:
+        placed, __ = _layout_row(row, remaining_rect)
+        for index, cell in zip(row_indices, placed):
+            result[index] = cell
+    return [result[index] for index in range(len(sizes))]
+
+
+@dataclass(frozen=True)
+class TreemapCell:
+    """One laid-out cell: an item with its topic, importance and recency."""
+
+    item_id: str
+    label: str
+    topic: str
+    importance: float
+    recency: float  # in [0, 1]; 1 = newest
+    rect: Rect
+
+
+@dataclass(frozen=True)
+class Treemap(Presenter):
+    """A laid-out treemap over (topic, item) hierarchy."""
+
+    cells: tuple[TreemapCell, ...]
+    width: int
+    height: int
+    topic_letters: Mapping[str, str]
+
+    mode = PresentationMode.STRUCTURED_OVERVIEW
+
+    def render(self) -> str:
+        """Character-canvas rendering.
+
+        Topic letter = "color"; uppercase = recent ("shade"); cell area =
+        importance.  A legend maps letters back to topics.
+        """
+        canvas = [[" "] * self.width for __ in range(self.height)]
+        for cell in self.cells:
+            letter = self.topic_letters[cell.topic]
+            fill = letter.upper() if cell.recency >= 0.5 else letter.lower()
+            x0 = int(round(cell.rect.x))
+            y0 = int(round(cell.rect.y))
+            x1 = int(round(cell.rect.x + cell.rect.width))
+            y1 = int(round(cell.rect.y + cell.rect.height))
+            for y in range(max(0, y0), min(self.height, y1)):
+                for x in range(max(0, x0), min(self.width, x1)):
+                    edge = (
+                        y in (y0, y1 - 1) or x in (x0, x1 - 1)
+                    )
+                    canvas[y][x] = fill if not edge else "."
+        lines = ["".join(row) for row in canvas]
+        legend = ", ".join(
+            f"{letter}={topic}"
+            for topic, letter in sorted(
+                self.topic_letters.items(), key=lambda kv: kv[1]
+            )
+        )
+        lines.append("")
+        lines.append(f"legend: {legend} (UPPERCASE = recent)")
+        return "\n".join(lines)
+
+    def cell_for(self, item_id: str) -> TreemapCell:
+        """Lookup a cell by item id."""
+        for cell in self.cells:
+            if cell.item_id == item_id:
+                return cell
+        raise KeyError(item_id)
+
+
+def build_news_treemap(
+    dataset: Dataset,
+    item_ids: Sequence[str] | None = None,
+    width: int = 78,
+    height: int = 22,
+    importance_of=None,
+) -> Treemap:
+    """Lay out news items into a two-level (section, story) treemap.
+
+    ``importance_of(item) -> float`` defaults to the item's
+    ``importance`` attribute (falling back to 1.0); cell shade comes from
+    the item's relative recency within the selection.
+    """
+    if item_ids is None:
+        item_ids = list(dataset.items)
+    if not item_ids:
+        raise ValueError("cannot lay out an empty treemap")
+    if importance_of is None:
+        def importance_of(item):  # noqa: ANN001 - local default
+            return float(item.attribute("importance", 1.0) or 1.0)
+
+    items = [dataset.item(item_id) for item_id in item_ids]
+    recencies = [item.recency for item in items]
+    low, high = min(recencies), max(recencies)
+    span = max(high - low, 1e-12)
+
+    by_topic: dict[str, list] = {}
+    for item in items:
+        topic = item.topics[0].split("/")[0] if item.topics else "other"
+        by_topic.setdefault(topic, []).append(item)
+
+    topics = sorted(by_topic)
+    topic_sizes = [
+        sum(importance_of(item) for item in by_topic[topic]) for topic in topics
+    ]
+    topic_rects = squarify(topic_sizes, Rect(0, 0, float(width), float(height)))
+
+    letters = "abcdefghijklmnopqrstuvwxyz"
+    topic_letters = {
+        topic: letters[index % len(letters)]
+        for index, topic in enumerate(topics)
+    }
+
+    cells: list[TreemapCell] = []
+    for topic, topic_rect in zip(topics, topic_rects):
+        members = by_topic[topic]
+        sizes = [importance_of(item) for item in members]
+        rects = squarify(sizes, topic_rect)
+        for item, rect in zip(members, rects):
+            cells.append(
+                TreemapCell(
+                    item_id=item.item_id,
+                    label=item.title,
+                    topic=topic,
+                    importance=importance_of(item),
+                    recency=(item.recency - low) / span,
+                    rect=rect,
+                )
+            )
+    return Treemap(
+        cells=tuple(cells),
+        width=width,
+        height=height,
+        topic_letters=topic_letters,
+    )

@@ -1,0 +1,339 @@
+"""Recommender protocol, prediction objects and the evidence model.
+
+The paper stresses that "explanations are not independent of the
+recommendation process" (Section 4): an explanation is only honest if it
+is generated from the same evidence the recommender used.  Every
+:class:`Prediction` therefore carries a tuple of typed
+:class:`Evidence` records describing *why* the score is what it is —
+neighbour ratings, similar liked items, keyword influences, attribute
+utilities.  The explainers in :mod:`repro.core.explainers` consume these
+records; they never re-derive reasons of their own.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import NotFittedError, PredictionImpossibleError
+from repro.recsys.data import Dataset
+
+__all__ = [
+    "Evidence",
+    "NeighborRating",
+    "NeighborRatingsEvidence",
+    "SimilarItemEvidence",
+    "KeywordInfluence",
+    "KeywordEvidence",
+    "RatingInfluence",
+    "InfluenceEvidence",
+    "AttributeScore",
+    "UtilityEvidence",
+    "PopularityEvidence",
+    "ProfileAttributeEvidence",
+    "Prediction",
+    "Recommendation",
+    "Recommender",
+]
+
+
+class Evidence:
+    """Marker base class for typed recommendation evidence."""
+
+    kind: str = "generic"
+
+
+@dataclass(frozen=True)
+class NeighborRating:
+    """One neighbour's rating of the target item."""
+
+    user_id: str
+    similarity: float
+    rating: float
+
+
+@dataclass(frozen=True)
+class NeighborRatingsEvidence(Evidence):
+    """How similar users rated the item (user-based CF).
+
+    This is the raw material of the Herlocker histogram explanation: the
+    "good" and "bad" neighbour ratings cluster into the bars users found
+    most persuasive (paper Section 3.4).
+    """
+
+    neighbors: tuple[NeighborRating, ...]
+    kind: str = field(default="neighbor_ratings", init=False)
+
+    def histogram(self, scale_min: int = 1, scale_max: int = 5) -> dict[int, int]:
+        """Count neighbour ratings per integer rating bucket."""
+        counts = {level: 0 for level in range(scale_min, scale_max + 1)}
+        for neighbor in self.neighbors:
+            bucket = int(round(neighbor.rating))
+            bucket = min(scale_max, max(scale_min, bucket))
+            counts[bucket] += 1
+        return counts
+
+
+@dataclass(frozen=True)
+class SimilarItemEvidence(Evidence):
+    """An item the user already liked that is similar to the recommended one.
+
+    Powers "You might also like ... because you liked Great Expectations"
+    (paper Section 4.3) and Amazon-style content explanations (Table 3).
+    """
+
+    item_id: str
+    similarity: float
+    user_rating: float
+    kind: str = field(default="similar_item", init=False)
+
+
+@dataclass(frozen=True)
+class KeywordInfluence:
+    """One keyword's additive contribution to a content-based score."""
+
+    keyword: str
+    weight: float
+
+
+@dataclass(frozen=True)
+class KeywordEvidence(Evidence):
+    """Keywords in the recommended item that matched the user's profile."""
+
+    influences: tuple[KeywordInfluence, ...]
+    kind: str = field(default="keywords", init=False)
+
+    def top(self, n: int = 5) -> tuple[KeywordInfluence, ...]:
+        """The ``n`` strongest positive keyword influences."""
+        ranked = sorted(self.influences, key=lambda k: -k.weight)
+        return tuple(ranked[:n])
+
+
+@dataclass(frozen=True)
+class RatingInfluence:
+    """Influence of one of the user's own past ratings on a recommendation.
+
+    ``influence`` is the additive share of the recommendation score that
+    this past rating is responsible for; shares across all past ratings
+    sum to (approximately) the full personalised score.  This reproduces
+    the LIBRA influence table of the paper's Figure 3.
+    """
+
+    item_id: str
+    rating: float
+    influence: float
+
+
+@dataclass(frozen=True)
+class InfluenceEvidence(Evidence):
+    """Per-past-rating influence attribution (Bilgic & Mooney / LIBRA)."""
+
+    influences: tuple[RatingInfluence, ...]
+    kind: str = field(default="rating_influence", init=False)
+
+    def top(self, n: int = 5) -> tuple[RatingInfluence, ...]:
+        """The ``n`` most influential past ratings (by absolute share)."""
+        ranked = sorted(self.influences, key=lambda r: -abs(r.influence))
+        return tuple(ranked[:n])
+
+    def percentages(self) -> dict[str, float]:
+        """Influence shares normalised to percentages of total |influence|."""
+        total = sum(abs(r.influence) for r in self.influences)
+        if total <= 0.0:
+            return {r.item_id: 0.0 for r in self.influences}
+        return {r.item_id: 100.0 * r.influence / total for r in self.influences}
+
+
+@dataclass(frozen=True)
+class AttributeScore:
+    """One attribute's contribution inside a MAUT utility."""
+
+    name: str
+    value: object
+    weight: float
+    score: float
+
+    @property
+    def weighted_score(self) -> float:
+        """The attribute's weighted contribution to the total utility."""
+        return self.weight * self.score
+
+
+@dataclass(frozen=True)
+class UtilityEvidence(Evidence):
+    """Attribute-by-attribute utility breakdown (knowledge-based CF).
+
+    Feeds structured-overview categories and trade-off explanations like
+    "Less Memory and Lower Resolution and Cheaper" (paper Sections 4.5,
+    5.2).
+    """
+
+    scores: tuple[AttributeScore, ...]
+    kind: str = field(default="utility", init=False)
+
+    def total(self) -> float:
+        """Weighted utility total."""
+        return sum(score.weighted_score for score in self.scores)
+
+
+@dataclass(frozen=True)
+class PopularityEvidence(Evidence):
+    """Popularity/recency support for a non-personalised recommendation.
+
+    Powers "This is the most popular and recent item from the world cup"
+    (paper Section 4.1).
+    """
+
+    n_ratings: int
+    mean_rating: float
+    recency: float
+    kind: str = field(default="popularity", init=False)
+
+
+@dataclass(frozen=True)
+class ProfileAttributeEvidence(Evidence):
+    """A stated or inferred profile attribute that drove the recommendation.
+
+    Powers preference-based explanations ("Your interests suggest that you
+    would like X") and scrutable "why" answers (paper Sections 2.2, 6).
+    """
+
+    attribute: str
+    value: object
+    provenance: str  # "volunteered" or "inferred"
+    weight: float = 1.0
+    kind: str = field(default="profile_attribute", init=False)
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """A predicted rating with confidence and supporting evidence.
+
+    ``confidence`` is the recommender's self-assessed reliability in
+    [0, 1] — the second of the two "often conflicting dimensions" of a
+    recommendation the paper discusses in Section 4.6 (strength vs.
+    confidence).  Frank recommender personalities surface it; bold ones
+    hide it.
+    """
+
+    value: float
+    confidence: float = 0.5
+    evidence: tuple[Evidence, ...] = ()
+
+    def find_evidence(self, kind: str) -> Evidence | None:
+        """First evidence record of the given kind, or ``None``."""
+        for record in self.evidence:
+            if record.kind == kind:
+                return record
+        return None
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """A ranked recommendation for one user."""
+
+    item_id: str
+    score: float
+    rank: int
+    prediction: Prediction
+
+    @property
+    def confidence(self) -> float:
+        """Shortcut for the underlying prediction confidence."""
+        return self.prediction.confidence
+
+
+class Recommender(abc.ABC):
+    """Abstract base for all recommender substrates.
+
+    Subclasses implement :meth:`fit` and :meth:`predict`; the default
+    :meth:`recommend` ranks candidate items by predicted value.  Items the
+    user already rated are excluded unless ``exclude_rated=False`` —
+    except that an *affirming* recommender personality may deliberately
+    re-surface known items (see :mod:`repro.presentation.personality`).
+    """
+
+    def __init__(self) -> None:
+        self._dataset: Dataset | None = None
+
+    @property
+    def dataset(self) -> Dataset:
+        """The fitted dataset; raises :class:`NotFittedError` before fit."""
+        if self._dataset is None:
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before use"
+            )
+        return self._dataset
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._dataset is not None
+
+    def fit(self, dataset: Dataset) -> "Recommender":
+        """Train on ``dataset`` and return ``self`` (for chaining)."""
+        self._dataset = dataset
+        self._fit(dataset)
+        return self
+
+    def _fit(self, dataset: Dataset) -> None:
+        """Subclass hook: build model state from the dataset."""
+
+    @abc.abstractmethod
+    def predict(self, user_id: str, item_id: str) -> Prediction:
+        """Predict the user's rating of the item, with evidence.
+
+        Raises :class:`PredictionImpossibleError` when no personalised
+        prediction can be made.
+        """
+
+    def predict_or_default(self, user_id: str, item_id: str) -> Prediction:
+        """Like :meth:`predict` but degrade to the item mean on failure.
+
+        The fallback prediction carries zero confidence and no evidence,
+        so a frank personality will present it as a guess.
+        """
+        try:
+            return self.predict(user_id, item_id)
+        except PredictionImpossibleError:
+            return Prediction(
+                value=self.dataset.item_mean(item_id), confidence=0.0
+            )
+
+    def recommend(
+        self,
+        user_id: str,
+        n: int = 10,
+        exclude_rated: bool = True,
+        candidates: Iterable[str] | None = None,
+    ) -> list[Recommendation]:
+        """Top-``n`` recommendations for ``user_id``.
+
+        ``candidates`` restricts the pool (e.g. to one topic); by default
+        every catalogue item is considered.  Ties break on item id so the
+        ranking is deterministic.
+        """
+        dataset = self.dataset
+        if candidates is None:
+            pool: Sequence[str] = list(dataset.items)
+        else:
+            pool = [item_id for item_id in candidates if item_id in dataset.items]
+        if exclude_rated:
+            rated = set(dataset.ratings_by(user_id))
+            pool = [item_id for item_id in pool if item_id not in rated]
+
+        scored: list[tuple[float, str, Prediction]] = []
+        for item_id in pool:
+            prediction = self.predict_or_default(user_id, item_id)
+            scored.append((prediction.value, item_id, prediction))
+        scored.sort(key=lambda entry: (-entry[0], entry[1]))
+
+        return [
+            Recommendation(
+                item_id=item_id, score=value, rank=rank, prediction=prediction
+            )
+            for rank, (value, item_id, prediction) in enumerate(
+                scored[:n], start=1
+            )
+        ]

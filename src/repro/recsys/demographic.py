@@ -1,0 +1,121 @@
+"""Demographic / stereotype-based recommendation (INTRIGUE, paper ref [2]).
+
+The survey's Section 5 notes that "unobtrusive elicitation of user
+preferences, via e.g. usage data or stereotypes [2] can sometimes be more
+effective".  A stereotype recommender groups users by a demographic
+attribute and predicts from the group's mean rating — the engine behind
+Herlocker interface #12's "users of your age group liked this movie" and
+INTRIGUE's tourist-group recommendations.
+
+Every prediction carries :class:`ProfileAttributeEvidence` naming the
+stereotype used, so preference-based explainers can disclose it — and the
+scrutable profile can let users opt out of a stereotype that misfits
+them (the group-level version of the TiVo problem).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PredictionImpossibleError
+from repro.recsys.base import (
+    Prediction,
+    ProfileAttributeEvidence,
+    Recommender,
+)
+from repro.recsys.data import Dataset
+
+__all__ = ["DemographicRecommender"]
+
+
+class DemographicRecommender(Recommender):
+    """Predict from the mean rating of the user's demographic group.
+
+    Parameters
+    ----------
+    attribute:
+        The user attribute defining groups (e.g. ``"age_group"`` or the
+        synthetic worlds' ``"favorite_genre"``).
+    min_group_ratings:
+        Minimum ratings a group needs on an item before predicting.
+    damping:
+        Pseudo-count of global-mean ratings blended into group means.
+    """
+
+    def __init__(
+        self,
+        attribute: str,
+        min_group_ratings: int = 2,
+        damping: float = 2.0,
+    ) -> None:
+        super().__init__()
+        self.attribute = attribute
+        self.min_group_ratings = min_group_ratings
+        self.damping = damping
+        self._group_of: dict[str, object] = {}
+        self._group_item_stats: dict[tuple[object, str], tuple[float, int]] = {}
+        self._global_mean = 0.0
+
+    def _fit(self, dataset: Dataset) -> None:
+        self._group_of = {
+            user_id: user.attributes.get(self.attribute)
+            for user_id, user in dataset.users.items()
+        }
+        sums: dict[tuple[object, str], list[float]] = {}
+        for rating in dataset.iter_ratings():
+            group = self._group_of.get(rating.user_id)
+            if group is None:
+                continue
+            sums.setdefault((group, rating.item_id), []).append(rating.value)
+        self._group_item_stats = {
+            key: (float(np.mean(values)), len(values))
+            for key, values in sums.items()
+        }
+        self._global_mean = dataset.global_mean()
+
+    def group_of(self, user_id: str) -> object:
+        """The stereotype group the user belongs to (or ``None``)."""
+        return self._group_of.get(user_id)
+
+    def predict(self, user_id: str, item_id: str) -> Prediction:
+        """Damped group-mean prediction with stereotype evidence."""
+        dataset = self.dataset
+        dataset.user(user_id)
+        dataset.item(item_id)
+        group = self._group_of.get(user_id)
+        if group is None:
+            raise PredictionImpossibleError(
+                f"user {user_id!r} has no {self.attribute!r} attribute"
+            )
+        stats = self._group_item_stats.get((group, item_id))
+        if stats is None or stats[1] < self.min_group_ratings:
+            raise PredictionImpossibleError(
+                f"group {group!r} has too few ratings on item {item_id!r}"
+            )
+        mean, count = stats
+        damped = (mean * count + self._global_mean * self.damping) / (
+            count + self.damping
+        )
+        value = dataset.scale.clip(damped)
+        confidence = min(1.0, count / 8.0) * 0.7  # stereotypes cap out
+        evidence = ProfileAttributeEvidence(
+            attribute=self.attribute,
+            value=group,
+            provenance="volunteered",
+            weight=1.0,
+        )
+        return Prediction(
+            value=value, confidence=confidence, evidence=(evidence,)
+        )
+
+    def group_explanation(self, user_id: str, item_id: str) -> str:
+        """"Users of your group liked this" sentence for one prediction."""
+        group = self._group_of.get(user_id)
+        stats = self._group_item_stats.get((group, item_id))
+        if group is None or stats is None:
+            return "We have no group information for this item."
+        mean, count = stats
+        return (
+            f"Users whose {self.attribute} is {group} rated this "
+            f"{mean:.1f} on average ({count} ratings)."
+        )

@@ -1,0 +1,132 @@
+"""Dataset serialization: JSON round-trips for datasets and catalogs.
+
+Adopters need to persist catalogues and rating data; the synthetic
+worlds need to be shareable as fixtures.  The format is plain JSON, one
+document per dataset, stable across library versions:
+
+```json
+{
+  "scale": {"minimum": 1.0, "maximum": 5.0, "like_threshold": 4.0},
+  "items": [{"item_id": ..., "title": ..., "attributes": {...},
+             "keywords": [...], "topics": [...], "recency": ...}],
+  "users": [{"user_id": ..., "name": ..., "attributes": {...}}],
+  "ratings": [{"user_id": ..., "item_id": ..., "value": ...,
+               "timestamp": ..., "source": ...}]
+}
+```
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.errors import DataError
+from repro.recsys.data import Dataset, Item, Rating, RatingScale, User
+
+__all__ = [
+    "dataset_to_dict",
+    "dataset_from_dict",
+    "save_dataset",
+    "load_dataset",
+]
+
+
+def dataset_to_dict(dataset: Dataset) -> dict:
+    """A JSON-serialisable dictionary for one dataset."""
+    return {
+        "scale": {
+            "minimum": dataset.scale.minimum,
+            "maximum": dataset.scale.maximum,
+            "like_threshold": dataset.scale.like_threshold,
+        },
+        "items": [
+            {
+                "item_id": item.item_id,
+                "title": item.title,
+                "attributes": dict(item.attributes),
+                "keywords": sorted(item.keywords),
+                "topics": list(item.topics),
+                "recency": item.recency,
+            }
+            for item in dataset.items.values()
+        ],
+        "users": [
+            {
+                "user_id": user.user_id,
+                "name": user.name,
+                "attributes": dict(user.attributes),
+            }
+            for user in dataset.users.values()
+        ],
+        "ratings": [
+            {
+                "user_id": rating.user_id,
+                "item_id": rating.item_id,
+                "value": rating.value,
+                "timestamp": rating.timestamp,
+                "source": rating.source,
+            }
+            for rating in dataset.iter_ratings()
+        ],
+    }
+
+
+def dataset_from_dict(document: dict) -> Dataset:
+    """Rebuild a dataset from :func:`dataset_to_dict` output."""
+    try:
+        scale_doc = document["scale"]
+        scale = RatingScale(
+            minimum=float(scale_doc["minimum"]),
+            maximum=float(scale_doc["maximum"]),
+            like_threshold=float(scale_doc["like_threshold"]),
+        )
+        items = [
+            Item(
+                item_id=entry["item_id"],
+                title=entry.get("title", entry["item_id"]),
+                attributes=dict(entry.get("attributes", {})),
+                keywords=frozenset(entry.get("keywords", [])),
+                topics=tuple(entry.get("topics", [])),
+                recency=float(entry.get("recency", 0.0)),
+            )
+            for entry in document["items"]
+        ]
+        users = [
+            User(
+                user_id=entry["user_id"],
+                name=entry.get("name", ""),
+                attributes=dict(entry.get("attributes", {})),
+            )
+            for entry in document["users"]
+        ]
+        dataset = Dataset(items=items, users=users, scale=scale)
+        for entry in document["ratings"]:
+            dataset.add_rating(
+                Rating(
+                    user_id=entry["user_id"],
+                    item_id=entry["item_id"],
+                    value=float(entry["value"]),
+                    timestamp=float(entry.get("timestamp", 0.0)),
+                    source=entry.get("source", "explicit"),
+                )
+            )
+    except (KeyError, TypeError, ValueError) as error:
+        raise DataError(f"malformed dataset document: {error}") from error
+    return dataset
+
+
+def save_dataset(dataset: Dataset, path: str | pathlib.Path) -> None:
+    """Write a dataset to a JSON file."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(dataset_to_dict(dataset), indent=1))
+
+
+def load_dataset(path: str | pathlib.Path) -> Dataset:
+    """Read a dataset from a JSON file."""
+    path = pathlib.Path(path)
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise DataError(f"invalid JSON in {path}: {error}") from error
+    return dataset_from_dict(document)

@@ -1,0 +1,542 @@
+"""Knowledge-based (preference-based) recommendation over item attributes.
+
+This is the substrate behind the paper's preference-based explanation
+style and its conversational systems: Qwikshop's digital cameras
+(McCarthy et al. [20]), Pu & Chen's organizational structure [28], the
+Adaptive Place Advisor's restaurants [35] and Top Case's holidays [24].
+
+The model is classic multi-attribute utility theory (MAUT):
+
+* a :class:`Catalog` declares typed :class:`AttributeSpec` s with
+  user-facing phrasing for each direction ("Cheaper" / "More Expensive");
+* a :class:`UserRequirements` object holds hard :class:`Constraint` s and
+  weighted soft :class:`Preference` s;
+* :class:`KnowledgeBasedRecommender` filters by constraints, ranks by
+  weighted utility, and — when nothing matches — proposes **minimal
+  constraint relaxations**, so the system can "show what types of items do
+  exist" instead of a bare empty result (paper Section 5.2);
+* :func:`compare_items` produces the typed per-attribute trade-off deltas
+  that compound critiques and trade-off explanations are built from.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import ConstraintError, PredictionImpossibleError
+from repro.recsys.base import (
+    AttributeScore,
+    Prediction,
+    Recommender,
+    UtilityEvidence,
+)
+from repro.recsys.data import Dataset, Item
+
+__all__ = [
+    "AttributeSpec",
+    "Catalog",
+    "Constraint",
+    "Preference",
+    "UserRequirements",
+    "TradeoffDelta",
+    "compare_items",
+    "Relaxation",
+    "KnowledgeBasedRecommender",
+]
+
+_EPSILON = 1e-12
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Schema for one structured item attribute.
+
+    ``direction`` controls how bare numeric values map to utility:
+    ``"higher_better"``, ``"lower_better"`` or ``None`` (only target-based
+    preferences score it).  ``less_phrase`` / ``more_phrase`` are the
+    user-facing comparative phrases ("Cheaper", "More Memory") used in
+    trade-off explanations.
+    """
+
+    name: str
+    kind: str = "numeric"  # "numeric" | "categorical" | "boolean"
+    direction: str | None = None
+    low: float = 0.0
+    high: float = 1.0
+    unit: str = ""
+    less_phrase: str = ""
+    more_phrase: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("numeric", "categorical", "boolean"):
+            raise ConstraintError(f"unknown attribute kind {self.kind!r}")
+        if self.direction not in (None, "higher_better", "lower_better"):
+            raise ConstraintError(f"unknown direction {self.direction!r}")
+        if self.kind == "numeric" and self.high <= self.low:
+            raise ConstraintError(
+                f"attribute {self.name!r}: high ({self.high}) must exceed "
+                f"low ({self.low})"
+            )
+        if not self.less_phrase:
+            object.__setattr__(self, "less_phrase", f"Lower {self.name}")
+        if not self.more_phrase:
+            object.__setattr__(self, "more_phrase", f"Higher {self.name}")
+
+    @property
+    def span(self) -> float:
+        """Width of the numeric range."""
+        return self.high - self.low
+
+    def normalize(self, value: float) -> float:
+        """Map a numeric value to [0, 1] within the declared range."""
+        if self.kind != "numeric":
+            raise ConstraintError(
+                f"attribute {self.name!r} is {self.kind}, not numeric"
+            )
+        clipped = min(self.high, max(self.low, float(value)))
+        return (clipped - self.low) / max(self.span, _EPSILON)
+
+
+class Catalog:
+    """An attribute schema for one item domain (cameras, holidays, ...)."""
+
+    def __init__(self, attributes: Iterable[AttributeSpec]) -> None:
+        self._specs: dict[str, AttributeSpec] = {}
+        for spec in attributes:
+            if spec.name in self._specs:
+                raise ConstraintError(f"duplicate attribute {spec.name!r}")
+            self._specs[spec.name] = spec
+
+    @property
+    def attributes(self) -> Mapping[str, AttributeSpec]:
+        """Mapping of attribute name to spec."""
+        return self._specs
+
+    def spec(self, name: str) -> AttributeSpec:
+        """Spec for ``name``; raises :class:`ConstraintError` if unknown."""
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise ConstraintError(f"unknown attribute {name!r}") from None
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A hard requirement over one attribute.
+
+    Operators: ``<=``, ``>=``, ``==``, ``!=``, ``in`` (membership in a
+    collection of allowed values).
+    """
+
+    attribute: str
+    operator: str
+    value: object
+
+    _OPERATORS = ("<=", ">=", "==", "!=", "in")
+
+    def __post_init__(self) -> None:
+        if self.operator not in self._OPERATORS:
+            raise ConstraintError(
+                f"unknown operator {self.operator!r}; "
+                f"choose from {self._OPERATORS}"
+            )
+
+    def satisfied_by(self, item: Item) -> bool:
+        """Whether the item meets the constraint (missing attribute fails)."""
+        actual = item.attribute(self.attribute)
+        if actual is None:
+            return False
+        if self.operator == "<=":
+            return float(actual) <= float(self.value)  # type: ignore[arg-type]
+        if self.operator == ">=":
+            return float(actual) >= float(self.value)  # type: ignore[arg-type]
+        if self.operator == "==":
+            return actual == self.value
+        if self.operator == "!=":
+            return actual != self.value
+        return actual in self.value  # type: ignore[operator]
+
+    def describe(self) -> str:
+        """Short user-facing rendering, e.g. ``price <= 300``."""
+        if self.operator == "in":
+            allowed = ", ".join(str(v) for v in self.value)  # type: ignore[union-attr]
+            return f"{self.attribute} in {{{allowed}}}"
+        return f"{self.attribute} {self.operator} {self.value}"
+
+
+@dataclass(frozen=True)
+class Preference:
+    """A weighted soft preference over one attribute.
+
+    For directional numeric attributes the direction alone scores items;
+    a ``target`` value scores by closeness instead.  Categorical and
+    boolean attributes require a target.
+    """
+
+    attribute: str
+    weight: float = 1.0
+    target: object | None = None
+
+    def __post_init__(self) -> None:
+        if self.weight < 0.0:
+            raise ConstraintError(
+                f"preference weight must be >= 0, got {self.weight}"
+            )
+
+
+class UserRequirements:
+    """Hard constraints plus weighted soft preferences for one user/session."""
+
+    def __init__(
+        self,
+        constraints: Iterable[Constraint] = (),
+        preferences: Iterable[Preference] = (),
+    ) -> None:
+        self.constraints: list[Constraint] = list(constraints)
+        self._preferences: dict[str, Preference] = {}
+        for preference in preferences:
+            self._preferences[preference.attribute] = preference
+
+    @property
+    def preferences(self) -> Mapping[str, Preference]:
+        """Mapping of attribute name to preference."""
+        return self._preferences
+
+    def add_constraint(self, constraint: Constraint) -> None:
+        """Append a hard constraint."""
+        self.constraints.append(constraint)
+
+    def remove_constraint(self, constraint: Constraint) -> None:
+        """Remove a hard constraint if present."""
+        if constraint in self.constraints:
+            self.constraints.remove(constraint)
+
+    def set_preference(self, preference: Preference) -> None:
+        """Add or replace the preference on one attribute."""
+        self._preferences[preference.attribute] = preference
+
+    def satisfied_by(self, item: Item) -> bool:
+        """Whether an item meets every hard constraint."""
+        return all(c.satisfied_by(item) for c in self.constraints)
+
+    def copy(self) -> "UserRequirements":
+        """Independent copy (sessions mutate requirements during dialogs)."""
+        return UserRequirements(
+            constraints=list(self.constraints),
+            preferences=list(self._preferences.values()),
+        )
+
+    def describe(self) -> list[str]:
+        """User-facing list of all constraints and preferences."""
+        lines = [c.describe() for c in self.constraints]
+        for preference in self._preferences.values():
+            if preference.target is not None:
+                lines.append(
+                    f"prefer {preference.attribute} near {preference.target} "
+                    f"(weight {preference.weight:g})"
+                )
+            else:
+                lines.append(
+                    f"prefer better {preference.attribute} "
+                    f"(weight {preference.weight:g})"
+                )
+        return lines
+
+
+@dataclass(frozen=True)
+class TradeoffDelta:
+    """One attribute's difference between a candidate and a reference item.
+
+    ``phrase`` is the comparative wording ("Cheaper", "More Memory",
+    "Different cuisine: thai"), the building block of compound-critique
+    texts like "Less Memory and Lower Resolution and Cheaper".
+    ``direction`` is ``-1`` (candidate lower), ``+1`` (higher) or ``0``
+    (categorical difference).
+    """
+
+    attribute: str
+    direction: int
+    phrase: str
+    candidate_value: object
+    reference_value: object
+    improves: bool | None = None
+
+
+def compare_items(
+    catalog: Catalog,
+    candidate: Item,
+    reference: Item,
+    requirements: UserRequirements | None = None,
+) -> list[TradeoffDelta]:
+    """Typed per-attribute trade-off deltas between two items.
+
+    Attributes with equal values are omitted.  When ``requirements`` are
+    supplied, each delta is annotated with whether it *improves* the
+    candidate under the user's preferences (drives "Thinking positively"
+    critique ordering, McCarthy et al.).
+    """
+    deltas: list[TradeoffDelta] = []
+    for name, spec in catalog.attributes.items():
+        candidate_value = candidate.attribute(name)
+        reference_value = reference.attribute(name)
+        if candidate_value is None or reference_value is None:
+            continue
+        if candidate_value == reference_value:
+            continue
+        if spec.kind == "numeric":
+            lower = float(candidate_value) < float(reference_value)  # type: ignore[arg-type]
+            direction = -1 if lower else 1
+            phrase = spec.less_phrase if lower else spec.more_phrase
+        else:
+            direction = 0
+            phrase = f"Different {name}: {candidate_value}"
+        improves: bool | None = None
+        if requirements is not None and name in requirements.preferences:
+            improves = _improves(
+                spec,
+                requirements.preferences[name],
+                candidate_value,
+                reference_value,
+            )
+        deltas.append(
+            TradeoffDelta(
+                attribute=name,
+                direction=direction,
+                phrase=phrase,
+                candidate_value=candidate_value,
+                reference_value=reference_value,
+                improves=improves,
+            )
+        )
+    return deltas
+
+
+def _improves(
+    spec: AttributeSpec,
+    preference: Preference,
+    candidate_value: object,
+    reference_value: object,
+) -> bool | None:
+    """Whether the candidate's value beats the reference's for this user."""
+    if spec.kind != "numeric":
+        if preference.target is None:
+            return None
+        return candidate_value == preference.target
+    candidate_number = float(candidate_value)  # type: ignore[arg-type]
+    reference_number = float(reference_value)  # type: ignore[arg-type]
+    if preference.target is not None:
+        target = float(preference.target)  # type: ignore[arg-type]
+        return abs(candidate_number - target) < abs(reference_number - target)
+    if spec.direction == "higher_better":
+        return candidate_number > reference_number
+    if spec.direction == "lower_better":
+        return candidate_number < reference_number
+    return None
+
+
+@dataclass(frozen=True)
+class Relaxation:
+    """A minimal set of constraints whose removal unlocks matching items."""
+
+    constraints: tuple[Constraint, ...]
+    n_unlocked: int
+
+    def describe(self) -> str:
+        """User-facing advice, e.g. 'relax price <= 200 (12 items match)'."""
+        dropped = " and ".join(c.describe() for c in self.constraints)
+        return f"relax {dropped} ({self.n_unlocked} items match)"
+
+
+class KnowledgeBasedRecommender(Recommender):
+    """Constraint filtering + MAUT ranking over a typed catalogue.
+
+    Per-user requirements are registered with :meth:`set_requirements`;
+    :meth:`predict` then maps the item's utility for that user onto the
+    dataset's rating scale, carrying a full
+    :class:`~repro.recsys.base.UtilityEvidence` attribute breakdown.
+    """
+
+    def __init__(self, catalog: Catalog) -> None:
+        super().__init__()
+        self.catalog = catalog
+        self._requirements: dict[str, UserRequirements] = {}
+
+    def set_requirements(
+        self, user_id: str, requirements: UserRequirements
+    ) -> None:
+        """Register (or replace) one user's requirements."""
+        self._requirements[user_id] = requirements
+
+    def requirements_for(self, user_id: str) -> UserRequirements:
+        """The user's registered requirements (empty object if none)."""
+        return self._requirements.setdefault(user_id, UserRequirements())
+
+    # -- scoring ----------------------------------------------------------
+
+    def attribute_scores(
+        self, item: Item, requirements: UserRequirements
+    ) -> list[AttributeScore]:
+        """Per-attribute utility contributions for one item."""
+        scores: list[AttributeScore] = []
+        for name, preference in requirements.preferences.items():
+            spec = self.catalog.spec(name)
+            value = item.attribute(name)
+            if value is None:
+                scores.append(
+                    AttributeScore(
+                        name=name, value=None, weight=preference.weight, score=0.0
+                    )
+                )
+                continue
+            scores.append(
+                AttributeScore(
+                    name=name,
+                    value=value,
+                    weight=preference.weight,
+                    score=self._attribute_utility(spec, preference, value),
+                )
+            )
+        return scores
+
+    def _attribute_utility(
+        self, spec: AttributeSpec, preference: Preference, value: object
+    ) -> float:
+        if spec.kind == "numeric":
+            number = float(value)  # type: ignore[arg-type]
+            if preference.target is not None:
+                target = float(preference.target)  # type: ignore[arg-type]
+                distance = abs(number - target) / max(spec.span, _EPSILON)
+                return max(0.0, 1.0 - distance)
+            position = spec.normalize(number)
+            if spec.direction == "lower_better":
+                return 1.0 - position
+            if spec.direction == "higher_better":
+                return position
+            return 0.5
+        if preference.target is None:
+            return 0.5
+        return 1.0 if value == preference.target else 0.0
+
+    def utility(
+        self, item: Item, requirements: UserRequirements
+    ) -> tuple[float, UtilityEvidence]:
+        """Normalised weighted utility in [0, 1] plus its evidence."""
+        scores = self.attribute_scores(item, requirements)
+        evidence = UtilityEvidence(scores=tuple(scores))
+        total_weight = sum(score.weight for score in scores)
+        if total_weight < _EPSILON:
+            return 0.5, evidence
+        return evidence.total() / total_weight, evidence
+
+    # -- retrieval --------------------------------------------------------
+
+    def matching_items(self, requirements: UserRequirements) -> list[Item]:
+        """All catalogue items satisfying every hard constraint."""
+        return [
+            item
+            for item in self.dataset.items.values()
+            if requirements.satisfied_by(item)
+        ]
+
+    def rank(
+        self, requirements: UserRequirements, n: int | None = None
+    ) -> list[tuple[Item, float, UtilityEvidence]]:
+        """Matching items ranked by utility (best first)."""
+        ranked = []
+        for item in self.matching_items(requirements):
+            score, evidence = self.utility(item, requirements)
+            ranked.append((item, score, evidence))
+        ranked.sort(key=lambda entry: (-entry[1], entry[0].item_id))
+        return ranked if n is None else ranked[:n]
+
+    def relaxations(
+        self, requirements: UserRequirements, max_size: int = 2
+    ) -> list[Relaxation]:
+        """Minimal constraint subsets whose removal yields matches.
+
+        Tries single constraints first, then pairs (up to ``max_size``).
+        Only *minimal* relaxations are reported: a pair is suppressed when
+        either of its members already unlocks items alone.
+        """
+        if self.matching_items(requirements):
+            return []
+        found: list[Relaxation] = []
+        succeeded_singletons: set[Constraint] = set()
+        for size in range(1, max_size + 1):
+            for subset in itertools.combinations(requirements.constraints, size):
+                if size > 1 and any(c in succeeded_singletons for c in subset):
+                    continue
+                reduced = requirements.copy()
+                for constraint in subset:
+                    reduced.remove_constraint(constraint)
+                unlocked = len(self.matching_items(reduced))
+                if unlocked > 0:
+                    found.append(
+                        Relaxation(constraints=subset, n_unlocked=unlocked)
+                    )
+                    if size == 1:
+                        succeeded_singletons.add(subset[0])
+            if found and size == 1:
+                break
+        found.sort(key=lambda r: (len(r.constraints), -r.n_unlocked))
+        return found
+
+    # -- Recommender protocol ----------------------------------------------
+
+    def predict(self, user_id: str, item_id: str) -> Prediction:
+        """Utility of the item under the user's registered requirements."""
+        dataset = self.dataset
+        item = dataset.item(item_id)
+        requirements = self._requirements.get(user_id)
+        if requirements is None:
+            raise PredictionImpossibleError(
+                f"no requirements registered for user {user_id!r}"
+            )
+        if not requirements.satisfied_by(item):
+            failed = [
+                c for c in requirements.constraints if not c.satisfied_by(item)
+            ]
+            score, evidence = self.utility(item, requirements)
+            # Constraint-violating items bottom out on the scale but keep
+            # their evidence so "why not?" questions stay answerable.
+            value = dataset.scale.minimum
+            confidence = 1.0 if failed else 0.5
+            return Prediction(
+                value=value, confidence=confidence, evidence=(evidence,)
+            )
+        score, evidence = self.utility(item, requirements)
+        value = dataset.scale.denormalize(score)
+        n_preferences = len(requirements.preferences)
+        confidence = min(1.0, 0.3 + 0.15 * n_preferences)
+        return Prediction(value=value, confidence=confidence, evidence=(evidence,))
+
+    def recommend_for(
+        self, requirements: UserRequirements, n: int = 10
+    ) -> list[tuple[Item, float, UtilityEvidence]]:
+        """Session-style entry point: rank without a registered user."""
+        return self.rank(requirements, n=n)
+
+
+def requirements_from_mapping(
+    catalog: Catalog,
+    constraints: Mapping[str, object] | None = None,
+    preferences: Sequence[tuple[str, float]] | None = None,
+) -> UserRequirements:
+    """Convenience builder: equality constraints plus directional weights."""
+    requirement_list = [
+        Constraint(attribute=name, operator="==", value=value)
+        for name, value in (constraints or {}).items()
+    ]
+    preference_list = [
+        Preference(attribute=name, weight=weight)
+        for name, weight in (preferences or [])
+    ]
+    for preference in preference_list:
+        catalog.spec(preference.attribute)
+    for constraint in requirement_list:
+        catalog.spec(constraint.attribute)
+    return UserRequirements(
+        constraints=requirement_list, preferences=preference_list
+    )

@@ -1,0 +1,183 @@
+"""Accuracy and beyond-accuracy metrics.
+
+The paper opens by noting that "accuracy metrics such as mean average
+error (MAE), precision and recall, can only partially evaluate a
+recommender system" and that satisfaction-derived measures — serendipity,
+diversity, trust — matter too (Section 1).  This module provides both
+families:
+
+* accuracy: MAE, RMSE, precision/recall/F1 at N;
+* beyond accuracy: catalogue coverage, intra-list diversity (the inverse
+  of Ziegler et al.'s intra-list similarity), novelty and serendipity.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+
+from repro.errors import EvaluationError
+from repro.recsys.data import Dataset, Rating
+
+__all__ = [
+    "mae",
+    "rmse",
+    "precision_at_n",
+    "recall_at_n",
+    "f1_at_n",
+    "catalog_coverage",
+    "intra_list_similarity",
+    "intra_list_diversity",
+    "topic_diversity",
+    "novelty",
+    "serendipity",
+]
+
+
+def _check_paired(predicted: Sequence[float], actual: Sequence[float]) -> None:
+    if len(predicted) != len(actual):
+        raise EvaluationError(
+            f"length mismatch: {len(predicted)} predictions vs "
+            f"{len(actual)} actuals"
+        )
+    if not predicted:
+        raise EvaluationError("cannot score an empty prediction list")
+
+
+def mae(predicted: Sequence[float], actual: Sequence[float]) -> float:
+    """Mean absolute error."""
+    _check_paired(predicted, actual)
+    return sum(abs(p - a) for p, a in zip(predicted, actual)) / len(predicted)
+
+
+def rmse(predicted: Sequence[float], actual: Sequence[float]) -> float:
+    """Root mean squared error."""
+    _check_paired(predicted, actual)
+    mse = sum((p - a) ** 2 for p, a in zip(predicted, actual)) / len(predicted)
+    return math.sqrt(mse)
+
+
+def precision_at_n(
+    recommended: Sequence[str], relevant: set[str] | frozenset[str]
+) -> float:
+    """Fraction of recommended items that are relevant."""
+    if not recommended:
+        return 0.0
+    hits = sum(1 for item_id in recommended if item_id in relevant)
+    return hits / len(recommended)
+
+
+def recall_at_n(
+    recommended: Sequence[str], relevant: set[str] | frozenset[str]
+) -> float:
+    """Fraction of relevant items that were recommended."""
+    if not relevant:
+        return 0.0
+    hits = sum(1 for item_id in recommended if item_id in relevant)
+    return hits / len(relevant)
+
+
+def f1_at_n(
+    recommended: Sequence[str], relevant: set[str] | frozenset[str]
+) -> float:
+    """Harmonic mean of precision and recall at N."""
+    precision = precision_at_n(recommended, relevant)
+    recall = recall_at_n(recommended, relevant)
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def catalog_coverage(
+    recommendation_lists: Sequence[Sequence[str]], n_catalog_items: int
+) -> float:
+    """Fraction of the catalogue appearing in at least one list."""
+    if n_catalog_items <= 0:
+        raise EvaluationError("catalogue must contain at least one item")
+    seen: set[str] = set()
+    for recommendations in recommendation_lists:
+        seen.update(recommendations)
+    return len(seen) / n_catalog_items
+
+
+def intra_list_similarity(
+    items: Sequence[str], similarity: Callable[[str, str], float]
+) -> float:
+    """Mean pairwise similarity inside one list (Ziegler et al. 2005).
+
+    Lower is more diverse.  Lists shorter than two items score 0.0.
+    """
+    if len(items) < 2:
+        return 0.0
+    total = 0.0
+    pairs = 0
+    for i, item_a in enumerate(items):
+        for item_b in items[i + 1 :]:
+            total += similarity(item_a, item_b)
+            pairs += 1
+    return total / pairs
+
+
+def intra_list_diversity(
+    items: Sequence[str], similarity: Callable[[str, str], float]
+) -> float:
+    """``1 - intra_list_similarity``: higher is more diverse."""
+    return 1.0 - intra_list_similarity(items, similarity)
+
+
+def topic_diversity(items: Sequence[str], dataset: Dataset) -> float:
+    """Number of distinct topics covered, normalised by list length."""
+    if not items:
+        return 0.0
+    topics: set[str] = set()
+    for item_id in items:
+        topics.update(dataset.item(item_id).topics)
+    return len(topics) / len(items)
+
+
+def novelty(items: Sequence[str], dataset: Dataset) -> float:
+    """Mean self-information ``-log2(popularity)`` of the recommended items.
+
+    Items nobody rated are maximally novel for the catalogue.
+    """
+    if not items:
+        return 0.0
+    n_users = max(1, len(dataset.users))
+    total = 0.0
+    for item_id in items:
+        raters = len(dataset.ratings_for(item_id))
+        probability = max(raters, 0.5) / n_users
+        total += -math.log2(min(1.0, probability))
+    return total / len(items)
+
+
+def serendipity(
+    recommended: Sequence[str],
+    relevant: set[str] | frozenset[str],
+    expected: set[str] | frozenset[str],
+) -> float:
+    """Fraction of recommendations that are relevant *and* unexpected.
+
+    ``expected`` is the set a primitive (e.g. popularity) recommender
+    would have produced; serendipitous items are the pleasant surprises
+    the paper's Section 4.6 "personality" discussion is about.
+    """
+    if not recommended:
+        return 0.0
+    hits = sum(
+        1
+        for item_id in recommended
+        if item_id in relevant and item_id not in expected
+    )
+    return hits / len(recommended)
+
+
+def per_user_mae(
+    predictions: Sequence[tuple[Rating, float]],
+) -> float:
+    """MAE over (held-out rating, predicted value) pairs."""
+    if not predictions:
+        raise EvaluationError("no predictions supplied")
+    return sum(
+        abs(rating.value - predicted) for rating, predicted in predictions
+    ) / len(predictions)

@@ -1,0 +1,175 @@
+"""Similarity measures shared by the collaborative and content substrates.
+
+All pairwise measures operate on two aligned numpy vectors of co-rated
+values and return a float in [-1, 1] (or [0, 1] for the set measures).
+``significance_weight`` implements the Herlocker-style devaluation of
+similarities computed on few co-rated items.
+
+The paper's future-work section calls for "similarity measures which are
+easily understood by users"; :func:`describe_similarity` renders any
+measure's result as a short user-facing phrase, which the preference-based
+explainers reuse.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+import numpy as np
+
+__all__ = [
+    "pearson",
+    "cosine",
+    "adjusted_cosine",
+    "jaccard",
+    "mean_squared_difference",
+    "significance_weight",
+    "attribute_similarity",
+    "describe_similarity",
+    "SIMILARITY_MEASURES",
+]
+
+_EPSILON = 1e-12
+
+
+def _as_arrays(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return a, b
+
+
+def pearson(a: np.ndarray, b: np.ndarray) -> float:
+    """Pearson correlation of two co-rated vectors; 0.0 when degenerate.
+
+    Degenerate cases (fewer than two points, zero variance on either side)
+    return 0.0 rather than ``nan`` so neighbourhood code can treat "no
+    information" as "no similarity".
+    """
+    a, b = _as_arrays(a, b)
+    if a.size < 2:
+        return 0.0
+    a_centered = a - a.mean()
+    b_centered = b - b.mean()
+    denominator = np.linalg.norm(a_centered) * np.linalg.norm(b_centered)
+    if denominator < _EPSILON:
+        return 0.0
+    return float(np.clip(np.dot(a_centered, b_centered) / denominator, -1.0, 1.0))
+
+
+def cosine(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine of the angle between two vectors; 0.0 for zero vectors."""
+    a, b = _as_arrays(a, b)
+    denominator = np.linalg.norm(a) * np.linalg.norm(b)
+    if denominator < _EPSILON:
+        return 0.0
+    return float(np.clip(np.dot(a, b) / denominator, -1.0, 1.0))
+
+
+def adjusted_cosine(
+    a: np.ndarray, b: np.ndarray, user_means: np.ndarray
+) -> float:
+    """Adjusted cosine for item-item CF: ratings centred per *user*.
+
+    ``a`` and ``b`` are the two items' ratings from the same users, and
+    ``user_means`` the corresponding users' mean ratings.
+    """
+    a, b = _as_arrays(a, b)
+    means = np.asarray(user_means, dtype=float)
+    if means.shape != a.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs means {means.shape}")
+    return cosine(a - means, b - means)
+
+
+def jaccard(set_a: frozenset | set, set_b: frozenset | set) -> float:
+    """Jaccard overlap of two sets in [0, 1]; 0.0 when both are empty."""
+    if not set_a and not set_b:
+        return 0.0
+    return len(set_a & set_b) / len(set_a | set_b)
+
+
+def mean_squared_difference(
+    a: np.ndarray, b: np.ndarray, span: float = 4.0
+) -> float:
+    """Similarity derived from mean squared rating difference, in [0, 1].
+
+    ``span`` is the rating-scale width used to normalise the difference.
+    """
+    a, b = _as_arrays(a, b)
+    if a.size == 0:
+        return 0.0
+    msd = float(np.mean((a - b) ** 2))
+    return max(0.0, 1.0 - msd / (span * span))
+
+
+def significance_weight(n_corated: int, gamma: int = 50) -> float:
+    """Devalue similarities based on few co-rated items (Herlocker 1999).
+
+    Returns ``min(n, gamma) / gamma`` in [0, 1].
+    """
+    if gamma <= 0:
+        raise ValueError(f"gamma must be positive, got {gamma}")
+    return min(n_corated, gamma) / gamma
+
+
+def attribute_similarity(
+    a: Mapping[str, object],
+    b: Mapping[str, object],
+    numeric_ranges: Mapping[str, tuple[float, float]] | None = None,
+    weights: Mapping[str, float] | None = None,
+) -> float:
+    """Weighted similarity of two structured attribute records in [0, 1].
+
+    Numeric attributes compare by normalised distance over the supplied
+    range; all other attributes compare by equality.  Attributes appearing
+    in only one record contribute zero similarity.
+    """
+    keys = set(a) | set(b)
+    if not keys:
+        return 0.0
+    numeric_ranges = numeric_ranges or {}
+    weights = weights or {}
+    total_weight = 0.0
+    score = 0.0
+    for key in keys:
+        weight = float(weights.get(key, 1.0))
+        total_weight += weight
+        if key not in a or key not in b:
+            continue
+        value_a, value_b = a[key], b[key]
+        if key in numeric_ranges:
+            low, high = numeric_ranges[key]
+            span = max(high - low, _EPSILON)
+            distance = abs(float(value_a) - float(value_b)) / span  # type: ignore[arg-type]
+            score += weight * max(0.0, 1.0 - distance)
+        else:
+            score += weight * (1.0 if value_a == value_b else 0.0)
+    if total_weight < _EPSILON:
+        return 0.0
+    return score / total_weight
+
+
+def describe_similarity(value: float) -> str:
+    """Render a similarity value as a short user-facing phrase.
+
+    This supports the paper's future-work goal of similarity measures
+    "easily understood by users": explainers embed these phrases instead
+    of raw correlation coefficients.
+    """
+    if value >= 0.75:
+        return "has very similar taste to you"
+    if value >= 0.45:
+        return "has broadly similar taste to you"
+    if value >= 0.15:
+        return "has somewhat similar taste to you"
+    if value > -0.15:
+        return "has no clear taste overlap with you"
+    return "tends to disagree with you"
+
+
+SIMILARITY_MEASURES: dict[str, Callable[[np.ndarray, np.ndarray], float]] = {
+    "pearson": pearson,
+    "cosine": cosine,
+}
+"""Named vector measures accepted by the CF recommenders."""

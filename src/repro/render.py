@@ -1,0 +1,102 @@
+"""Shared plain-text rendering utilities.
+
+Explainers and presenters both render to monospace text (the library is
+UI-agnostic; a GUI would consume the structured objects instead).  This
+module holds the shared primitives: horizontal bars, star ratings, fixed
+width tables and boxes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["bar", "stars", "table", "boxed", "histogram_lines"]
+
+
+def bar(value: float, maximum: float, width: int = 20, fill: str = "#") -> str:
+    """A horizontal bar scaled to ``width`` characters.
+
+    >>> bar(3, 6, width=4)
+    '##  '
+    """
+    if maximum <= 0:
+        return " " * width
+    filled = int(round(width * max(0.0, min(value, maximum)) / maximum))
+    return fill * filled + " " * (width - filled)
+
+
+def stars(value: float, maximum: int = 5) -> str:
+    """A star rendering of a rating, half stars as '+'.
+
+    >>> stars(3.5)
+    '***+ '
+    """
+    full = int(value)
+    half = 1 if (value - full) >= 0.5 else 0
+    return "*" * full + "+" * half + " " * (maximum - full - half)
+
+
+def table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    min_width: int = 4,
+) -> str:
+    """A fixed-width text table with a header rule.
+
+    Column widths adapt to content; all values are str()-ed.
+    """
+    columns = len(headers)
+    cells = [[str(value) for value in row] for row in rows]
+    for row in cells:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {columns}: {row!r}"
+            )
+    widths = [max(min_width, len(header)) for header in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    header_line = "  ".join(
+        header.ljust(widths[index]) for index, header in enumerate(headers)
+    )
+    rule = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(value.ljust(widths[index]) for index, value in enumerate(row))
+        for row in cells
+    ]
+    return "\n".join([header_line, rule, *body])
+
+
+def boxed(text: str, title: str = "") -> str:
+    """Surround text with a simple ASCII box, optionally titled."""
+    lines = text.splitlines() or [""]
+    width = max(len(line) for line in lines)
+    if title:
+        width = max(width, len(title) + 2)
+    top = "+" + (f" {title} " if title else "").center(width + 2, "-") + "+"
+    body = [f"| {line.ljust(width)} |" for line in lines]
+    bottom = "+" + "-" * (width + 2) + "+"
+    return "\n".join([top, *body, bottom])
+
+
+def histogram_lines(
+    counts: Mapping[int, int],
+    labels: Mapping[int, str] | None = None,
+    width: int = 20,
+) -> list[str]:
+    """Render bucket counts as horizontal bars, highest bucket first.
+
+    This is the shape of the Herlocker et al. histogram interface — the
+    most persuasive of the 21 interfaces in the paper's Section 3.4.
+    """
+    if not counts:
+        return []
+    maximum = max(counts.values()) or 1
+    lines = []
+    for bucket in sorted(counts, reverse=True):
+        label = labels.get(bucket, str(bucket)) if labels else str(bucket)
+        lines.append(
+            f"{label:>12} | {bar(counts[bucket], maximum, width)} "
+            f"{counts[bucket]}"
+        )
+    return lines

@@ -1,0 +1,89 @@
+"""Shared fixtures: small deterministic worlds and datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.domains import (
+    make_books,
+    make_cameras,
+    make_holidays,
+    make_movies,
+    make_news,
+    make_restaurants,
+)
+from repro.recsys.data import Dataset, Item, Rating, RatingScale, User
+
+
+@pytest.fixture(scope="session")
+def movie_world():
+    """A small movie world shared (read-only!) across tests."""
+    return make_movies(n_users=30, n_items=60, seed=7)
+
+
+@pytest.fixture(scope="session")
+def book_world():
+    """A small book world shared (read-only!) across tests."""
+    return make_books(n_users=24, n_items=50, seed=11)
+
+
+@pytest.fixture(scope="session")
+def news_world():
+    """A small news world shared (read-only!) across tests."""
+    return make_news(n_users=24, n_items=60, seed=3)
+
+
+@pytest.fixture(scope="session")
+def camera_world():
+    """(dataset, catalog) for the camera domain."""
+    return make_cameras(n_items=50, seed=21)
+
+
+@pytest.fixture(scope="session")
+def restaurant_world():
+    """(dataset, catalog) for the restaurant domain."""
+    return make_restaurants(n_items=60, seed=31)
+
+
+@pytest.fixture(scope="session")
+def holiday_world():
+    """(dataset, catalog) for the holiday domain."""
+    return make_holidays(n_items=40, seed=41)
+
+
+@pytest.fixture()
+def tiny_dataset() -> Dataset:
+    """A hand-built 4-user / 5-item dataset with known structure.
+
+    Users alice and bob agree perfectly; carol disagrees with them;
+    dave rates everything the same.  Items i1/i2 share keywords
+    ("space", "alien"); i4/i5 share ("romance", "letters").
+    """
+    items = [
+        Item("i1", "Space One", keywords=frozenset({"space", "alien"}),
+             topics=("scifi",), attributes={"price": 10.0}),
+        Item("i2", "Space Two", keywords=frozenset({"space", "alien",
+             "robot"}), topics=("scifi",), attributes={"price": 20.0}),
+        Item("i3", "Neutral", keywords=frozenset({"misc"}),
+             topics=("drama",), attributes={"price": 30.0}),
+        Item("i4", "Love One", keywords=frozenset({"romance", "letters"}),
+             topics=("romance",), attributes={"price": 40.0}),
+        Item("i5", "Love Two", keywords=frozenset({"romance", "letters",
+             "estate"}), topics=("romance",), attributes={"price": 50.0}),
+    ]
+    users = [
+        User("alice"), User("bob"), User("carol"), User("dave"),
+    ]
+    dataset = Dataset(items=items, users=users, scale=RatingScale())
+    ratings = [
+        ("alice", "i1", 5.0), ("alice", "i2", 4.5), ("alice", "i4", 1.0),
+        ("bob", "i1", 5.0), ("bob", "i2", 4.5), ("bob", "i4", 1.0),
+        ("bob", "i5", 1.5),
+        ("carol", "i1", 1.0), ("carol", "i2", 1.5), ("carol", "i4", 5.0),
+        ("carol", "i5", 4.5),
+        ("dave", "i1", 3.0), ("dave", "i2", 3.0), ("dave", "i3", 3.0),
+    ]
+    for user_id, item_id, value in ratings:
+        dataset.add_rating(Rating(user_id=user_id, item_id=item_id,
+                                  value=value))
+    return dataset

@@ -1,0 +1,92 @@
+"""Tests for the aims taxonomy (Table 1) and explanation styles."""
+
+from __future__ import annotations
+
+from repro.core.aims import AIM_INFO, TRADEOFFS, Aim, table_1_rows
+from repro.core.styles import CANONICAL_SENTENCES, ExplanationStyle
+from repro.core.taxonomy import InteractionMode, PresentationMode
+
+
+class TestAims:
+    def test_exactly_seven_aims(self):
+        assert len(Aim) == 7
+        assert len(AIM_INFO) == 7
+
+    def test_every_aim_has_info(self):
+        for aim in Aim:
+            info = aim.info
+            assert info.aim is aim
+            assert info.definition
+            assert info.abbreviation
+            assert info.measures
+
+    def test_table_1_definitions_verbatim(self):
+        """Table 1's definition column, word for word."""
+        rows = dict(table_1_rows())
+        assert rows["Transparency (Tra.)"] == "Explain how the system works"
+        assert rows["Scrutability (Scr.)"] == (
+            "Allow users to tell the system it is wrong"
+        )
+        assert rows["Trust (Trust)"] == (
+            "Increase users' confidence in the system"
+        )
+        assert rows["Effectiveness (Efk.)"] == "Help users make good decisions"
+        assert rows["Persuasiveness (Pers.)"] == "Convince users to try or buy"
+        assert rows["Efficiency (Efc.)"] == "Help users make decisions faster"
+        assert rows["Satisfaction (Sat.)"] == (
+            "Increase the ease of usability or enjoyment"
+        )
+
+    def test_table_1_order_matches_paper(self):
+        labels = [label for label, __ in table_1_rows()]
+        assert labels == [
+            "Transparency (Tra.)",
+            "Scrutability (Scr.)",
+            "Trust (Trust)",
+            "Effectiveness (Efk.)",
+            "Persuasiveness (Pers.)",
+            "Efficiency (Efc.)",
+            "Satisfaction (Sat.)",
+        ]
+
+    def test_tradeoffs_reference_valid_aims(self):
+        for tradeoff in TRADEOFFS:
+            assert isinstance(tradeoff.favoured, Aim)
+            assert isinstance(tradeoff.impaired, Aim)
+            assert tradeoff.mechanism
+
+    def test_section_38_tradeoffs_present(self):
+        pairs = {(t.favoured, t.impaired) for t in TRADEOFFS}
+        assert (Aim.TRANSPARENCY, Aim.EFFICIENCY) in pairs
+        assert (Aim.PERSUASIVENESS, Aim.EFFECTIVENESS) in pairs
+
+
+class TestStyles:
+    def test_three_substantive_styles(self):
+        substantive = [
+            style
+            for style in ExplanationStyle
+            if style not in (ExplanationStyle.NONE, ExplanationStyle.VARIED)
+        ]
+        assert len(substantive) == 3
+
+    def test_canonical_sentences(self):
+        assert CANONICAL_SENTENCES[ExplanationStyle.CONTENT_BASED] == (
+            "We have recommended X because you liked Y"
+        )
+        assert CANONICAL_SENTENCES[ExplanationStyle.COLLABORATIVE_BASED] == (
+            "People who liked X also liked Y"
+        )
+        assert CANONICAL_SENTENCES[ExplanationStyle.PREFERENCE_BASED] == (
+            "Your interests suggest that you would like X"
+        )
+
+
+class TestTaxonomies:
+    def test_presentation_modes_cover_section_4(self):
+        sections = {mode.paper_section for mode in PresentationMode}
+        assert sections == {"4.1", "4.2", "4.3", "4.4", "4.5"}
+
+    def test_interaction_modes_have_sections(self):
+        for mode in InteractionMode:
+            assert mode.paper_section.startswith("5")

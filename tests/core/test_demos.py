@@ -1,0 +1,85 @@
+"""Tests for the live Table 3/4 system demos."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.demos import _DEMOS, SystemDemo, demo, demo_all
+from repro.core.survey import REGISTRY
+
+
+class TestDemoRegistry:
+    def test_every_table_row_has_a_demo(self):
+        expected = {s.name for s in REGISTRY.commercial()} | {
+            s.name for s in REGISTRY.academic()
+        }
+        assert set(_DEMOS) == expected
+
+    def test_unknown_system(self):
+        with pytest.raises(KeyError):
+            demo("Netflix")
+
+
+class TestIndividualDemos:
+    @pytest.mark.parametrize("name", sorted(_DEMOS))
+    def test_demo_produces_all_three_artefacts(self, name):
+        built = demo(name, seed=0)
+        assert isinstance(built, SystemDemo)
+        assert built.system.name == name
+        assert built.presentation.strip()
+        assert built.explanation.strip()
+        assert built.interaction.strip()
+
+    def test_demo_render_structure(self):
+        built = demo("Amazon", seed=0)
+        rendered = built.render()
+        assert "### Amazon" in rendered
+        assert "-- presentation --" in rendered
+        assert "-- explanation --" in rendered
+        assert "-- interaction --" in rendered
+
+
+class TestDemoFidelity:
+    """Spot checks: each demo exhibits its row's classified behaviour."""
+
+    def test_amazon_content_explanation(self):
+        built = demo("Amazon", seed=0)
+        assert "Because you liked" in built.presentation
+        assert "rates" in built.interaction
+
+    def test_librarything_social_phrasing(self):
+        built = demo("LibraryThing", seed=0)
+        assert "People like you liked" in built.presentation
+
+    def test_okcupid_requirements(self):
+        built = demo("OkCupid", seed=0)
+        assert "requirements:" in built.interaction
+        assert "age" in built.interaction
+
+    def test_qwikshop_alteration(self):
+        built = demo("Qwikshop", seed=0)
+        assert "Cheaper" in built.interaction
+
+    def test_libra_influence_table(self):
+        built = demo("LIBRA", seed=0)
+        assert "Influence of your ratings" in built.explanation
+
+    def test_movielens_histogram(self):
+        built = demo("MovieLens", seed=0)
+        assert "neighbours' ratings" in built.explanation
+
+    def test_sasy_scrutable_page(self):
+        built = demo("SASY", seed=0)
+        assert "[we inferred]" in built.presentation
+        assert "corrected" in built.interaction
+
+    def test_organizational_structure_categories(self):
+        built = demo("Organizational Structure", seed=0)
+        assert "Best match" in built.presentation
+        assert "(none" in built.interaction
+
+    def test_demo_all_covers_everything(self):
+        demos = demo_all(seed=0)
+        assert len(demos) == 18
+        names = [built.system.name for built in demos]
+        assert names[0] == "Amazon"  # commercial rows first

@@ -1,0 +1,348 @@
+"""Tests for all explainer styles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aims import Aim
+from repro.core.explainers import (
+    CollaborativeExplainer,
+    ContentBasedExplainer,
+    FrankExplainer,
+    InfluenceExplainer,
+    NeighborHistogramExplainer,
+    NoExplanationExplainer,
+    PreferenceBasedExplainer,
+    TradeoffExplainer,
+    topic_history,
+)
+from repro.core.styles import ExplanationStyle
+from repro.recsys.base import (
+    NeighborRating,
+    NeighborRatingsEvidence,
+    Prediction,
+    Recommendation,
+)
+from repro.recsys.cf_item import ItemBasedCF
+from repro.recsys.cf_user import UserBasedCF
+from repro.recsys.content import ContentBasedRecommender
+from repro.recsys.knowledge import (
+    KnowledgeBasedRecommender,
+    Preference,
+    UserRequirements,
+)
+from repro.recsys.naive_bayes import NaiveBayesRecommender
+
+
+def _recommend_one(recommender, dataset, user_id, item_id):
+    prediction = recommender.predict(user_id, item_id)
+    return Recommendation(
+        item_id=item_id, score=prediction.value, rank=1, prediction=prediction
+    )
+
+
+class TestNoExplanation:
+    def test_empty_text(self, tiny_dataset):
+        recommender = UserBasedCF(significance_gamma=0).fit(tiny_dataset)
+        recommendation = _recommend_one(
+            recommender, tiny_dataset, "alice", "i5"
+        )
+        explanation = NoExplanationExplainer().explain(
+            "alice", recommendation, tiny_dataset
+        )
+        assert explanation.text == ""
+        assert explanation.style is ExplanationStyle.NONE
+        assert explanation.render() == ""
+
+
+class TestContentBasedExplainer:
+    def test_cites_liked_similar_items(self, tiny_dataset):
+        recommender = ContentBasedRecommender().fit(tiny_dataset)
+        recommendation = _recommend_one(
+            recommender, tiny_dataset, "alice", "i2"
+        )
+        explanation = ContentBasedExplainer().explain(
+            "alice", recommendation, tiny_dataset
+        )
+        assert "because you liked" in explanation.text
+        assert "Space One" in explanation.text
+        assert explanation.style is ExplanationStyle.CONTENT_BASED
+
+    def test_keyword_clause(self, tiny_dataset):
+        recommender = ContentBasedRecommender().fit(tiny_dataset)
+        recommendation = _recommend_one(
+            recommender, tiny_dataset, "alice", "i2"
+        )
+        explanation = ContentBasedExplainer(max_keywords=3).explain(
+            "alice", recommendation, tiny_dataset
+        )
+        assert "Shared themes:" in explanation.text
+
+    def test_keywords_suppressed(self, tiny_dataset):
+        recommender = ContentBasedRecommender().fit(tiny_dataset)
+        recommendation = _recommend_one(
+            recommender, tiny_dataset, "alice", "i2"
+        )
+        explanation = ContentBasedExplainer(max_keywords=0).explain(
+            "alice", recommendation, tiny_dataset
+        )
+        assert "Shared themes" not in explanation.text
+
+    def test_fallback_without_similarity_evidence(self, tiny_dataset):
+        recommendation = Recommendation(
+            item_id="i3", score=4.0, rank=1, prediction=Prediction(value=4.0)
+        )
+        explanation = ContentBasedExplainer().explain(
+            "alice", recommendation, tiny_dataset
+        )
+        assert "You might also like" in explanation.text
+
+    def test_item_based_cf_also_explainable(self, tiny_dataset):
+        recommender = ItemBasedCF(significance_gamma=0).fit(tiny_dataset)
+        recommendation = _recommend_one(
+            recommender, tiny_dataset, "alice", "i5"
+        )
+        explanation = ContentBasedExplainer().explain(
+            "alice", recommendation, tiny_dataset
+        )
+        assert "because you liked" in explanation.text
+
+
+class TestCollaborativeExplainer:
+    def test_counts_positive_neighbors(self, tiny_dataset):
+        recommender = UserBasedCF(significance_gamma=0).fit(tiny_dataset)
+        recommendation = _recommend_one(
+            recommender, tiny_dataset, "alice", "i5"
+        )
+        explanation = CollaborativeExplainer().explain(
+            "alice", recommendation, tiny_dataset
+        )
+        assert "People like you liked" in explanation.text
+        assert "most similar users" in explanation.text
+
+    def test_histogram_detail(self, tiny_dataset):
+        recommender = UserBasedCF(significance_gamma=0).fit(tiny_dataset)
+        recommendation = _recommend_one(
+            recommender, tiny_dataset, "alice", "i5"
+        )
+        explanation = NeighborHistogramExplainer().explain(
+            "alice", recommendation, tiny_dataset
+        )
+        assert "histogram" in explanation.details
+        rendered = explanation.render(include_details=True)
+        assert "good (4-5)" in rendered
+        assert "bad (1-2)" in rendered
+
+    def test_unclustered_histogram(self, tiny_dataset):
+        recommender = UserBasedCF(significance_gamma=0).fit(tiny_dataset)
+        recommendation = _recommend_one(
+            recommender, tiny_dataset, "alice", "i5"
+        )
+        explanation = NeighborHistogramExplainer(clustered=False).explain(
+            "alice", recommendation, tiny_dataset
+        )
+        assert "histogram" in explanation.details
+
+    def test_histogram_clusters_good_and_bad(self):
+        evidence = NeighborRatingsEvidence(
+            neighbors=(
+                NeighborRating("u1", 0.9, 5.0),
+                NeighborRating("u2", 0.8, 4.0),
+                NeighborRating("u3", 0.7, 1.0),
+                NeighborRating("u4", 0.6, 3.0),
+            )
+        )
+        counts = evidence.histogram()
+        assert counts[5] == 1 and counts[4] == 1
+        assert counts[1] == 1 and counts[3] == 1
+
+    def test_graceful_without_evidence(self, tiny_dataset):
+        recommendation = Recommendation(
+            item_id="i3", score=4.0, rank=1, prediction=Prediction(value=4.0)
+        )
+        explanation = CollaborativeExplainer().explain(
+            "alice", recommendation, tiny_dataset
+        )
+        assert "People like you liked" in explanation.text
+
+
+class TestPreferenceBasedExplainer:
+    def test_topic_history(self, tiny_dataset):
+        liked, disliked = topic_history(tiny_dataset, "alice")
+        assert liked["scifi"] == 2
+        assert disliked["romance"] == 1
+
+    def test_positive_topic_sentence(self, news_world):
+        recommender = ContentBasedRecommender().fit(news_world.dataset)
+        explainer = PreferenceBasedExplainer()
+        for recommendation in recommender.recommend("user_000", n=5):
+            explanation = explainer.explain(
+                "user_000", recommendation, news_world.dataset
+            )
+            if "You have been watching a lot of" in explanation.text:
+                return
+        pytest.fail("no history-based sentence generated")
+
+    def test_negative_topic_sentence_for_low_prediction(self, tiny_dataset):
+        # alice dislikes romance; fake a low prediction on i5.
+        recommendation = Recommendation(
+            item_id="i5", score=1.5, rank=1, prediction=Prediction(value=1.5)
+        )
+        explanation = PreferenceBasedExplainer().explain(
+            "alice", recommendation, tiny_dataset
+        )
+        assert "You do not seem to like romance!" in explanation.text
+
+    def test_utility_evidence_path(self, camera_world):
+        dataset, catalog = camera_world
+        recommender = KnowledgeBasedRecommender(catalog).fit(dataset)
+        requirements = UserRequirements(
+            preferences=[Preference("resolution", weight=2.0)]
+        )
+        recommender.set_requirements("shopper", requirements)
+        item_id = next(iter(dataset.items))
+        recommendation = _recommend_one(
+            recommender, dataset, "shopper", item_id
+        )
+        explanation = PreferenceBasedExplainer().explain(
+            "shopper", recommendation, dataset
+        )
+        assert "Your interests suggest" in explanation.text
+        assert "resolution" in explanation.text
+
+
+class TestInfluenceExplainer:
+    def test_influence_table_detail(self, tiny_dataset):
+        recommender = NaiveBayesRecommender().fit(tiny_dataset)
+        recommendation = _recommend_one(
+            recommender, tiny_dataset, "alice", "i2"
+        )
+        explanation = InfluenceExplainer().explain(
+            "alice", recommendation, tiny_dataset
+        )
+        assert "influenced it most" in explanation.text
+        assert "influence_table" in explanation.details
+        assert "%" in explanation.details["influence_table"]
+
+    def test_graceful_without_evidence(self, tiny_dataset):
+        recommendation = Recommendation(
+            item_id="i3", score=4.0, rank=1, prediction=Prediction(value=4.0)
+        )
+        explanation = InfluenceExplainer().explain(
+            "alice", recommendation, tiny_dataset
+        )
+        assert "based on your previous ratings" in explanation.text
+
+    def test_aims_include_scrutability(self, tiny_dataset):
+        recommender = NaiveBayesRecommender().fit(tiny_dataset)
+        recommendation = _recommend_one(
+            recommender, tiny_dataset, "alice", "i2"
+        )
+        explanation = InfluenceExplainer().explain(
+            "alice", recommendation, tiny_dataset
+        )
+        assert explanation.serves(Aim.SCRUTABILITY)
+        assert explanation.serves(Aim.TRANSPARENCY)
+
+
+class TestTradeoffExplainer:
+    def test_explain_versus(self, camera_world):
+        dataset, catalog = camera_world
+        items = list(dataset.items.values())
+        requirements = UserRequirements(
+            preferences=[
+                Preference("price", weight=1.0),
+                Preference("resolution", weight=1.0),
+            ]
+        )
+        explainer = TradeoffExplainer(catalog, requirements)
+        explanation = explainer.explain_versus(items[1], items[0])
+        assert "Compared to" in explanation.text
+        assert explanation.style is ExplanationStyle.PREFERENCE_BASED
+
+    def test_positive_phrases_lead(self, camera_world):
+        dataset, catalog = camera_world
+        items = list(dataset.items.values())
+        cheap = min(items, key=lambda item: item.attributes["price"])
+        pricey = max(items, key=lambda item: item.attributes["price"])
+        requirements = UserRequirements(
+            preferences=[Preference("price", weight=1.0)]
+        )
+        explainer = TradeoffExplainer(catalog, requirements)
+        deltas = explainer.deltas(cheap, pricey)
+        assert deltas[0].improves is True
+
+    def test_explain_without_reference(self, camera_world):
+        dataset, catalog = camera_world
+        recommender = KnowledgeBasedRecommender(catalog).fit(dataset)
+        requirements = UserRequirements(
+            preferences=[Preference("price", weight=1.0)]
+        )
+        recommender.set_requirements("shopper", requirements)
+        item_id = next(iter(dataset.items))
+        recommendation = _recommend_one(
+            recommender, dataset, "shopper", item_id
+        )
+        explainer = TradeoffExplainer(catalog, requirements)
+        explanation = explainer.explain("shopper", recommendation, dataset)
+        assert "best match" in explanation.text
+
+    def test_explain_with_reference(self, camera_world):
+        dataset, catalog = camera_world
+        recommender = KnowledgeBasedRecommender(catalog).fit(dataset)
+        requirements = UserRequirements(
+            preferences=[Preference("price", weight=1.0)]
+        )
+        recommender.set_requirements("shopper", requirements)
+        item_ids = list(dataset.items)
+        recommendation = _recommend_one(
+            recommender, dataset, "shopper", item_ids[1]
+        )
+        explainer = TradeoffExplainer(
+            catalog, requirements, reference_item_id=item_ids[0]
+        )
+        explanation = explainer.explain("shopper", recommendation, dataset)
+        assert "Compared to" in explanation.text
+
+
+class TestFrankExplainer:
+    def test_discloses_low_confidence(self, tiny_dataset):
+        recommendation = Recommendation(
+            item_id="i3", score=4.0, rank=1,
+            prediction=Prediction(value=4.0, confidence=0.1),
+        )
+        explanation = FrankExplainer(NoExplanationExplainer()).explain(
+            "alice", recommendation, tiny_dataset
+        )
+        assert "frank" in explanation.text
+
+    def test_silent_on_high_confidence(self, tiny_dataset):
+        recommendation = Recommendation(
+            item_id="i3", score=4.0, rank=1,
+            prediction=Prediction(value=4.0, confidence=0.9),
+        )
+        explanation = FrankExplainer(NoExplanationExplainer()).explain(
+            "alice", recommendation, tiny_dataset
+        )
+        assert "frank" not in explanation.text
+
+    def test_always_mode(self, tiny_dataset):
+        recommendation = Recommendation(
+            item_id="i3", score=4.0, rank=1,
+            prediction=Prediction(value=4.0, confidence=0.9),
+        )
+        explanation = FrankExplainer(
+            NoExplanationExplainer(), always=True
+        ).explain("alice", recommendation, tiny_dataset)
+        assert "90%" in explanation.text
+
+    def test_adds_trust_aims(self, tiny_dataset):
+        recommendation = Recommendation(
+            item_id="i3", score=4.0, rank=1,
+            prediction=Prediction(value=4.0, confidence=0.5),
+        )
+        explanation = FrankExplainer(ContentBasedExplainer()).explain(
+            "alice", recommendation, tiny_dataset
+        )
+        assert explanation.serves(Aim.TRUST)
+        assert explanation.serves(Aim.TRANSPARENCY)

@@ -1,0 +1,146 @@
+"""Tests for the Explanation object and recsys base primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aims import Aim
+from repro.core.explanation import Explanation
+from repro.core.styles import ExplanationStyle
+from repro.recsys.base import (
+    InfluenceEvidence,
+    NeighborRating,
+    NeighborRatingsEvidence,
+    Prediction,
+    RatingInfluence,
+)
+
+
+class TestExplanationObject:
+    def _explanation(self) -> Explanation:
+        return Explanation(
+            item_id="x",
+            style=ExplanationStyle.CONTENT_BASED,
+            text="Because reasons.",
+            confidence=0.6,
+            aims=frozenset({Aim.TRANSPARENCY}),
+            details={"b_chart": "bars", "a_table": "rows"},
+        )
+
+    def test_serves(self):
+        explanation = self._explanation()
+        assert explanation.serves(Aim.TRANSPARENCY)
+        assert not explanation.serves(Aim.TRUST)
+
+    def test_render_without_details(self):
+        assert self._explanation().render() == "Because reasons."
+
+    def test_render_with_details_sorted(self):
+        rendered = self._explanation().render(include_details=True)
+        assert rendered.index("rows") < rendered.index("bars")
+
+    def test_with_suffix_preserves_everything_else(self):
+        explanation = self._explanation()
+        extended = explanation.with_suffix("Also this.")
+        assert extended.text == "Because reasons. Also this."
+        assert extended.item_id == explanation.item_id
+        assert extended.aims == explanation.aims
+        assert extended.details == explanation.details
+        # original untouched (immutability)
+        assert explanation.text == "Because reasons."
+
+    def test_with_suffix_on_empty_text(self):
+        empty = Explanation(
+            item_id="x", style=ExplanationStyle.NONE, text=""
+        )
+        assert empty.with_suffix("Only this.").text == "Only this."
+
+
+class TestPredictionPrimitives:
+    def test_find_evidence_returns_first_match(self):
+        first = NeighborRatingsEvidence(
+            neighbors=(NeighborRating("a", 0.9, 4.0),)
+        )
+        second = NeighborRatingsEvidence(
+            neighbors=(NeighborRating("b", 0.5, 2.0),)
+        )
+        prediction = Prediction(value=4.0, evidence=(first, second))
+        assert prediction.find_evidence("neighbor_ratings") is first
+
+    def test_find_evidence_missing_kind(self):
+        assert Prediction(value=3.0).find_evidence("keywords") is None
+
+    def test_histogram_clips_out_of_range_buckets(self):
+        evidence = NeighborRatingsEvidence(
+            neighbors=(
+                NeighborRating("a", 0.9, 0.4),   # below scale
+                NeighborRating("b", 0.9, 7.2),   # above scale
+                NeighborRating("c", 0.9, 3.4),   # rounds to 3
+            )
+        )
+        counts = evidence.histogram(scale_min=1, scale_max=5)
+        assert counts[1] == 1
+        assert counts[5] == 1
+        assert counts[3] == 1
+        assert sum(counts.values()) == 3
+
+    def test_influence_percentages_zero_total(self):
+        evidence = InfluenceEvidence(
+            influences=(
+                RatingInfluence("a", 4.0, 0.0),
+                RatingInfluence("b", 2.0, 0.0),
+            )
+        )
+        assert evidence.percentages() == {"a": 0.0, "b": 0.0}
+
+    def test_influence_top_respects_magnitude(self):
+        evidence = InfluenceEvidence(
+            influences=(
+                RatingInfluence("small", 4.0, 0.1),
+                RatingInfluence("big-negative", 2.0, -0.9),
+                RatingInfluence("medium", 3.0, 0.5),
+            )
+        )
+        top = evidence.top(2)
+        assert [r.item_id for r in top] == ["big-negative", "medium"]
+
+    def test_prediction_defaults(self):
+        prediction = Prediction(value=3.5)
+        assert prediction.confidence == 0.5
+        assert prediction.evidence == ()
+
+
+class TestRecommenderProtocol:
+    def test_recommend_is_deterministic_on_ties(self, tiny_dataset):
+        from repro.recsys.popularity import PopularityRecommender
+
+        recommender = PopularityRecommender(recency_weight=0.0).fit(
+            tiny_dataset
+        )
+        first = [r.item_id for r in recommender.recommend("alice", n=5)]
+        second = [r.item_id for r in recommender.recommend("alice", n=5)]
+        assert first == second
+
+    def test_recommend_n_zero(self, tiny_dataset):
+        from repro.recsys.popularity import PopularityRecommender
+
+        recommender = PopularityRecommender().fit(tiny_dataset)
+        assert recommender.recommend("alice", n=0) == []
+
+    def test_fit_twice_refreshes_state(self, tiny_dataset, movie_world):
+        from repro.recsys.popularity import PopularityRecommender
+
+        recommender = PopularityRecommender().fit(tiny_dataset)
+        recommender.fit(movie_world.dataset)
+        assert recommender.dataset is movie_world.dataset
+        # predictions now come from the new dataset
+        item_id = next(iter(movie_world.dataset.items))
+        assert 1.0 <= recommender.predict("user_000", item_id).value <= 5.0
+
+    def test_is_fitted_flag(self):
+        from repro.recsys.popularity import PopularityRecommender
+
+        recommender = PopularityRecommender()
+        assert not recommender.is_fitted
+        with pytest.raises(Exception):
+            recommender.dataset  # noqa: B018

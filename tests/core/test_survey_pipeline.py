@@ -1,0 +1,182 @@
+"""Tests for the survey registry (Tables 1-4) and the pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aims import Aim
+from repro.core.explainers import (
+    CollaborativeExplainer,
+    ContentBasedExplainer,
+)
+from repro.core.pipeline import ExplainedRecommender
+from repro.core.styles import ExplanationStyle
+from repro.core.survey import (
+    REGISTRY,
+    TABLE_2,
+    aims_for_citations,
+    render_table_1,
+    render_table_2,
+    render_table_3,
+    render_table_4,
+)
+from repro.core.taxonomy import InteractionMode, PresentationMode
+from repro.recsys.cf_user import UserBasedCF
+
+
+class TestTable2:
+    def test_fourteen_rows(self):
+        assert len(TABLE_2) == 14
+
+    def test_checkmark_counts_match_paper(self):
+        """The OCR preserves per-row counts; positions are reconstructed."""
+        expected_counts = {
+            "[2]": 2, "[5]": 1, "[6]": 2, "[7]": 2, "[10]": 2, "[11]": 2,
+            "[18]": 3, "[20]": 2, "[21]": 1, "[24]": 2, "[28]": 1,
+            "[31]": 1, "[35]": 2, "[37]": 2,
+        }
+        for citation, count in expected_counts.items():
+            assert len(TABLE_2[citation]) == count, citation
+
+    def test_known_assignments(self):
+        assert TABLE_2["[28]"] == frozenset({Aim.TRUST})  # Pu & Chen
+        assert TABLE_2["[31]"] == frozenset({Aim.TRANSPARENCY})  # Sinha
+        assert TABLE_2["[11]"] == frozenset(
+            {Aim.TRANSPARENCY, Aim.SCRUTABILITY}
+        )  # SASY
+        assert TABLE_2["[5]"] == frozenset({Aim.EFFECTIVENESS})  # LIBRA
+
+    def test_aims_for_citations_union(self):
+        union = aims_for_citations(("[10]", "[18]"))
+        assert union == TABLE_2["[10]"] | TABLE_2["[18]"]
+
+    def test_unknown_citation_is_empty(self):
+        assert aims_for_citations(("[99]",)) == frozenset()
+
+
+class TestRegistry:
+    def test_commercial_count_matches_table_3(self):
+        assert len(REGISTRY.commercial()) == 8
+
+    def test_academic_count_matches_table_4(self):
+        assert len(REGISTRY.academic()) == 10
+
+    def test_table_3_names(self):
+        names = {s.name for s in REGISTRY.commercial()}
+        assert names == {
+            "Amazon", "Findory", "LibraryThing", "LoveFilm", "OkCupid",
+            "Pandora", "StumbleUpon", "Qwikshop",
+        }
+
+    def test_table_4_names(self):
+        names = {s.name for s in REGISTRY.academic()}
+        assert names == {
+            "LIBRA", "News Dude", "MYCIN", "MovieLens", "SASY", "Sim",
+            "Top Case", "Organizational Structure",
+            "ADAPTIVE PLACE ADVISOR", "ACORN",
+        }
+
+    def test_amazon_row_cells(self):
+        amazon = REGISTRY.by_name("Amazon")
+        assert amazon.item_type == "e.g. Books, Movies"
+        assert amazon.presentation_label() == "Similar to top item(s)"
+        assert amazon.explanation_styles == (
+            ExplanationStyle.CONTENT_BASED,
+        )
+        assert set(amazon.interaction) == {
+            InteractionMode.RATING, InteractionMode.OPINION,
+        }
+
+    def test_qwikshop_alteration(self):
+        qwikshop = REGISTRY.by_name("Qwikshop")
+        assert qwikshop.interaction == (InteractionMode.ALTERATION,)
+
+    def test_with_aim_queries(self):
+        trust_seekers = {s.name for s in REGISTRY.with_aim(Aim.TRUST)}
+        assert "Organizational Structure" in trust_seekers
+        assert "MovieLens" in trust_seekers
+
+    def test_with_style_queries(self):
+        collaborative = {
+            s.name
+            for s in REGISTRY.with_style(
+                ExplanationStyle.COLLABORATIVE_BASED
+            )
+        }
+        assert "LibraryThing" in collaborative
+        assert "MovieLens" in collaborative
+
+    def test_with_presentation_queries(self):
+        overview = {
+            s.name
+            for s in REGISTRY.with_presentation(
+                PresentationMode.STRUCTURED_OVERVIEW
+            )
+        }
+        assert "Organizational Structure" in overview
+        assert "ACORN" in overview
+
+    def test_with_interaction_queries(self):
+        requirement_based = {
+            s.name
+            for s in REGISTRY.with_interaction(
+                InteractionMode.SPECIFY_REQUIREMENTS
+            )
+        }
+        assert "MYCIN" in requirement_based
+        assert "OkCupid" in requirement_based
+
+    def test_by_name_missing(self):
+        with pytest.raises(KeyError):
+            REGISTRY.by_name("TikTok")
+
+
+class TestRenderedTables:
+    def test_table_1_renders_all_aims(self):
+        rendered = render_table_1()
+        for aim in Aim:
+            assert aim.value.capitalize() in rendered
+
+    def test_table_2_renders_checkmarks(self):
+        rendered = render_table_2()
+        assert "[18]" in rendered
+        assert rendered.count("X") == sum(
+            len(aims) for aims in TABLE_2.values()
+        )
+
+    def test_table_3_renders_all_systems(self):
+        rendered = render_table_3()
+        for system in REGISTRY.commercial():
+            assert system.name in rendered
+
+    def test_table_4_renders_all_systems(self):
+        rendered = render_table_4()
+        for system in REGISTRY.academic():
+            assert system.name in rendered
+
+
+class TestPipeline:
+    def test_recommend_pairs_explanations(self, tiny_dataset):
+        pipeline = ExplainedRecommender(
+            UserBasedCF(significance_gamma=0), CollaborativeExplainer()
+        ).fit(tiny_dataset)
+        explained = pipeline.recommend("alice", n=3)
+        assert explained
+        for pair in explained:
+            assert pair.explanation.item_id == pair.item_id
+            assert pair.score == pair.recommendation.score
+
+    def test_predict_and_explain_specific_item(self, tiny_dataset):
+        pipeline = ExplainedRecommender(
+            UserBasedCF(significance_gamma=0), CollaborativeExplainer()
+        ).fit(tiny_dataset)
+        explained = pipeline.predict_and_explain("alice", "i5")
+        assert explained.item_id == "i5"
+        assert explained.recommendation.rank == 0
+
+    def test_fit_returns_self(self, tiny_dataset):
+        pipeline = ExplainedRecommender(
+            UserBasedCF(), ContentBasedExplainer()
+        )
+        assert pipeline.fit(tiny_dataset) is pipeline
+        assert pipeline.dataset is tiny_dataset

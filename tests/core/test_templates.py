@@ -1,0 +1,130 @@
+"""Tests that the NL templates reproduce the paper's example sentences."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.templates import (
+    because_you_liked,
+    confidence_disclosure,
+    describe_confidence,
+    describe_rating,
+    interests_suggest,
+    join_phrases,
+    might_also_like,
+    negative_topic_sentence,
+    people_like_you_liked,
+    top_item_sentence,
+    tradeoff_sentence,
+    viewing_history_sentence,
+)
+from repro.recsys.data import RatingScale
+
+
+class TestJoinPhrases:
+    def test_single(self):
+        assert join_phrases(["a"]) == "a"
+
+    def test_two(self):
+        assert join_phrases(["a", "b"]) == "a and b"
+
+    def test_three(self):
+        assert join_phrases(["a", "b", "c"]) == "a, b and c"
+
+    def test_empty_and_falsy_filtered(self):
+        assert join_phrases([]) == ""
+        assert join_phrases(["", "a", ""]) == "a"
+
+    def test_custom_conjunction(self):
+        assert join_phrases(["a", "b"], conjunction="or") == "a or b"
+
+
+class TestPaperSentences:
+    def test_football_world_cup_sentences(self):
+        """Section 4.1's generated explanation, reassembled."""
+        first = viewing_history_sentence("sports", "football")
+        second = top_item_sentence("the world cup")
+        assert first == (
+            "You have been watching a lot of sports, and football in "
+            "particular."
+        )
+        assert second == (
+            "This is the most popular and recent item from the world cup."
+        )
+
+    def test_viewing_history_without_specific(self):
+        assert viewing_history_sentence("sports") == (
+            "You have been watching a lot of sports."
+        )
+
+    def test_oliver_twist_sentences(self):
+        """Section 4.3's two phrasings."""
+        assert might_also_like("Oliver Twist by Charles Dickens") == (
+            "You might also like... Oliver Twist by Charles Dickens."
+        )
+        assert people_like_you_liked("Oliver Twist by Charles Dickens") == (
+            "People like you liked... Oliver Twist by Charles Dickens."
+        )
+
+    def test_hockey_sentence(self):
+        """Section 4.4's negative explanation."""
+        assert negative_topic_sentence("sports", "hockey") == (
+            "This is a sports item, but it is about hockey. "
+            "You do not seem to like hockey!"
+        )
+
+    def test_because_you_liked(self):
+        assert because_you_liked("X", ["Y"]) == (
+            "We have recommended X because you liked Y."
+        )
+        assert because_you_liked("X", ["Y", "Z"]) == (
+            "We have recommended X because you liked Y and Z."
+        )
+
+    def test_interests_suggest(self):
+        assert interests_suggest("X") == (
+            "Your interests suggest that you would like X."
+        )
+
+    def test_camera_tradeoff_sentence(self):
+        """Section 4.5's laptop category title shape."""
+        sentence = tradeoff_sentence(
+            ["cheaper", "lighter"], ["lower processor speed"],
+            subject="These laptops",
+        )
+        assert sentence == (
+            "These laptops are cheaper and lighter, but lower processor "
+            "speed."
+        )
+
+    def test_tradeoff_only_pros(self):
+        assert tradeoff_sentence(["Cheaper"], []) == "These items are Cheaper."
+
+    def test_tradeoff_only_cons(self):
+        assert tradeoff_sentence([], ["Heavier"]) == "These items are Heavier."
+
+    def test_tradeoff_neither(self):
+        assert "equivalent" in tradeoff_sentence([], [])
+
+
+class TestQualitativeDescriptions:
+    @pytest.mark.parametrize(
+        "value, word",
+        [(5.0, "outstanding"), (4.0, "good"), (3.0, "average"),
+         (2.0, "poor"), (1.0, "very poor")],
+    )
+    def test_describe_rating(self, value, word):
+        assert describe_rating(value, RatingScale()) == word
+
+    @pytest.mark.parametrize(
+        "confidence, word",
+        [(0.9, "very confident"), (0.6, "fairly confident"),
+         (0.4, "somewhat unsure"), (0.1, "really not sure")],
+    )
+    def test_describe_confidence(self, confidence, word):
+        assert describe_confidence(confidence) == word
+
+    def test_confidence_disclosure_is_frank(self):
+        sentence = confidence_disclosure(0.25)
+        assert "frank" in sentence
+        assert "25%" in sentence

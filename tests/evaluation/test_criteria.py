@@ -1,0 +1,279 @@
+"""Tests for the per-aim evaluators (paper Section 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.aims import Aim
+from repro.evaluation.criteria import (
+    effectiveness,
+    efficiency,
+    persuasion,
+    satisfaction,
+    scrutability,
+    transparency,
+    trust,
+)
+from repro.evaluation.users import ExplanationStimulus, SimulatedUser
+from repro.interaction.session import InteractionLog
+from repro.recsys.data import RatingScale
+
+
+def _user(utility=4.0, seed=0, persuadability=0.5):
+    return SimulatedUser(
+        user_id="u",
+        true_utility=lambda item_id: utility,
+        scale=RatingScale(),
+        rng=np.random.default_rng(seed),
+        persuadability=persuadability,
+    )
+
+
+class TestAimBindings:
+    def test_each_module_declares_its_aim(self):
+        assert transparency.AIM is Aim.TRANSPARENCY
+        assert scrutability.AIM is Aim.SCRUTABILITY
+        assert trust.AIM is Aim.TRUST
+        assert effectiveness.AIM is Aim.EFFECTIVENESS
+        assert persuasion.AIM is Aim.PERSUASIVENESS
+        assert efficiency.AIM is Aim.EFFICIENCY
+        assert satisfaction.AIM is Aim.SATISFACTION
+
+
+class TestTransparency:
+    def test_teaching_task_success(self):
+        shown = {"state": 0}
+
+        def recommend():
+            if shown["state"] == 0:
+                return ["a", "b", "c", "d"]
+            return ["x1", "x2", "c", "d"]
+
+        def teach(action_index):
+            shown["state"] = 1
+
+        result = transparency.teaching_task(
+            "u", "comedy",
+            topics_of=lambda item_id: (
+                ("comedy",) if item_id.startswith("x") else ("drama",)
+            ),
+            recommend=recommend,
+            teach_action=teach,
+            n_actions=3,
+            seconds_per_action=10.0,
+        )
+        assert result.correct
+        assert result.seconds == 30.0
+        assert result.share_after == 0.5
+
+    def test_teaching_task_failure(self):
+        result = transparency.teaching_task(
+            "u", "comedy",
+            topics_of=lambda item_id: ("drama",),
+            recommend=lambda: ["a", "b"],
+            teach_action=lambda index: None,
+        )
+        assert not result.correct
+
+    def test_understanding_scores_track_latent(self):
+        rng = np.random.default_rng(0)
+        high = transparency.understanding_scores([0.9] * 30, rng)
+        low = transparency.understanding_scores([0.1] * 30, rng)
+        assert np.mean(high) > np.mean(low)
+
+
+class TestScrutability:
+    def _result(self, correct, found=True):
+        return scrutability.ScrutinizationResult(
+            user_id="u", banned_topic="disney", correct=correct,
+            seconds=30.0, n_actions=1, found_tool=found,
+            remaining_banned_items=0 if correct else 2,
+        )
+
+    def test_task_scores_correctness(self):
+        result = scrutability.scrutinization_task(
+            "u", "disney",
+            topics_of=lambda item_id: ("disney",) if item_id == "bad"
+            else ("other",),
+            recommend=lambda: ["good1", "good2"],
+            scrutinize=lambda: (1, 20.0),
+        )
+        assert result.correct
+        assert result.seconds == 20.0
+
+    def test_correctness_rate(self):
+        results = [self._result(True), self._result(False)]
+        assert scrutability.correctness_rate(results) == 0.5
+        assert scrutability.correctness_rate([]) == 0.0
+
+    def test_timings_reliability_flag(self):
+        mostly_found = [self._result(True, found=True)] * 9 + [
+            self._result(True, found=False)
+        ]
+        mostly_missed = [self._result(True, found=False)] * 5
+        assert scrutability.timings_reliable(mostly_found)
+        assert not scrutability.timings_reliable(mostly_missed)
+        assert not scrutability.timings_reliable([])
+
+
+class TestTrust:
+    def test_questionnaire_scores_follow_trust(self):
+        rng = np.random.default_rng(0)
+        trusting = [_user(seed=i) for i in range(20)]
+        for user in trusting:
+            user.trust = 0.9
+        wary = [_user(seed=100 + i) for i in range(20)]
+        for user in wary:
+            user.trust = 0.1
+        high = trust.trust_questionnaire_scores(trusting, rng)
+        low = trust.trust_questionnaire_scores(wary, rng)
+        assert np.mean(high) > np.mean(low)
+
+    def test_loyalty_scales_with_trust(self):
+        trusting = _user(seed=5)
+        trusting.trust = 0.95
+        wary = _user(seed=5)
+        wary.trust = 0.05
+        loyal = trust.simulate_loyalty(trusting, n_days=30)
+        disloyal = trust.simulate_loyalty(wary, n_days=30)
+        assert loyal.logins > disloyal.logins
+        assert loyal.interactions == loyal.logins * 5
+
+
+class TestEffectiveness:
+    def test_double_rating_gap_small_with_high_fidelity(self):
+        faithful = ExplanationStimulus(fidelity=1.0)
+        user = _user(utility=4.0, seed=7)
+        gaps = [
+            abs(effectiveness.double_rating_trial(user, "x", faithful).gap)
+            for __ in range(100)
+        ]
+        vague = ExplanationStimulus(fidelity=0.0)
+        user2 = _user(utility=4.0, seed=7)
+        vague_gaps = [
+            abs(effectiveness.double_rating_trial(user2, "x", vague).gap)
+            for __ in range(100)
+        ]
+        assert np.mean(gaps) < np.mean(vague_gaps)
+
+    def test_effectiveness_gaps_summary(self):
+        trials = [
+            effectiveness.DoubleRating("u", "x", before=4.0, after=3.0),
+            effectiveness.DoubleRating("u", "y", before=3.0, after=4.0),
+        ]
+        summary = effectiveness.effectiveness_gaps(trials)
+        assert summary["mean_signed_gap"] == pytest.approx(0.0)
+        assert summary["mean_absolute_gap"] == pytest.approx(1.0)
+
+    def test_empty_trials_rejected(self):
+        with pytest.raises(ValueError):
+            effectiveness.effectiveness_gaps([])
+
+    def test_choice_happiness_picks_best_anticipated(self):
+        user = SimulatedUser(
+            user_id="u",
+            true_utility=lambda item_id: 5.0 if item_id == "good" else 1.5,
+            scale=RatingScale(),
+            rng=np.random.default_rng(3),
+            expertise=1.0,
+        )
+        stimulus = ExplanationStimulus(fidelity=1.0)
+        happiness = np.mean(
+            [
+                effectiveness.choice_happiness(
+                    user, ["good", "bad"], stimulus
+                )
+                for __ in range(30)
+            ]
+        )
+        assert happiness > 4.0
+
+    def test_choice_happiness_empty(self):
+        with pytest.raises(ValueError):
+            effectiveness.choice_happiness(_user(), [], ExplanationStimulus())
+
+
+class TestPersuasion:
+    def test_rerating_shift_toward_prediction(self):
+        user = _user(persuadability=0.9, seed=11)
+        stimulus = ExplanationStimulus(
+            persuasive_pull=1.0, shown_prediction=5.0
+        )
+        trials = [
+            persuasion.rerating_trial(user, "x", 2.0, stimulus)
+            for __ in range(100)
+        ]
+        summary = persuasion.rating_shift(trials)
+        assert summary["mean_shift"] > 0.5
+        assert summary["mean_toward_prediction"] > 0.5
+
+    def test_control_shift_near_zero(self):
+        user = _user(seed=12)
+        trials = [
+            persuasion.rerating_trial(user, "x", 3.0, ExplanationStimulus())
+            for __ in range(200)
+        ]
+        summary = persuasion.rating_shift(trials)
+        assert abs(summary["mean_shift"]) < 0.15
+        assert summary["mean_toward_prediction"] == 0.0
+
+    def test_acceptance_rate_bounds(self):
+        users = [_user(utility=5.0, seed=i) for i in range(5)]
+        rate = persuasion.acceptance_rate(
+            users, ["a", "b"], ExplanationStimulus(fidelity=1.0)
+        )
+        assert 0.0 <= rate <= 1.0
+        assert rate > 0.5  # everything is truly excellent
+
+    def test_acceptance_rate_empty(self):
+        with pytest.raises(ValueError):
+            persuasion.acceptance_rate([], ["a"], ExplanationStimulus())
+
+
+class TestEfficiency:
+    def test_summary_over_logs(self):
+        log_a = InteractionLog()
+        log_a.add(1, "show", "x", 10.0)
+        log_a.add(1, "read_explanation", "x", 4.0)
+        log_b = InteractionLog()
+        log_b.add(1, "show", "y", 10.0)
+        log_b.add(2, "repair", "z", 6.0)
+        summary = efficiency.summarize_sessions([log_a, log_b])
+        assert summary.n_sessions == 2
+        assert summary.mean_seconds == pytest.approx(15.0)
+        assert summary.mean_explanations_inspected == pytest.approx(0.5)
+        assert summary.mean_repairs == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            efficiency.summarize_sessions([])
+
+
+class TestSatisfaction:
+    def test_questionnaire_scores(self):
+        users = [_user(seed=i) for i in range(10)]
+        rng = np.random.default_rng(0)
+        scores = satisfaction.satisfaction_questionnaire_scores(
+            users, [0.8] * 10, rng
+        )
+        assert len(scores) == 10
+        assert np.mean(scores) > 0.5
+
+    def test_latent_length_mismatch(self):
+        with pytest.raises(ValueError):
+            satisfaction.satisfaction_questionnaire_scores(
+                [_user()], [0.5, 0.6], np.random.default_rng(0)
+            )
+
+    def test_summary_separates_process_and_product(self):
+        summary = satisfaction.summarize_satisfaction(
+            process_scores=[0.8, 0.6],
+            product_ratings=[4.0, 5.0],
+        )
+        assert summary.process_score == pytest.approx(0.7)
+        assert summary.product_score == pytest.approx(0.9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            satisfaction.summarize_satisfaction([], [4.0])

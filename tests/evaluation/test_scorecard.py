@@ -1,0 +1,125 @@
+"""Tests for the criteria scorecard (Section 3.8 'choosing criteria')."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aims import Aim
+from repro.errors import EvaluationError
+from repro.evaluation.scorecard import (
+    GOAL_PROFILES,
+    CriteriaScorecard,
+    compare_scorecards,
+)
+
+
+def _full_card(name: str, base: float) -> CriteriaScorecard:
+    card = CriteriaScorecard(name)
+    for aim in Aim:
+        card.record(aim, base)
+    return card
+
+
+class TestGoalProfiles:
+    def test_paper_examples_present(self):
+        assert "book seller" in GOAL_PROFILES
+        assert "tv-show picker" in GOAL_PROFILES
+
+    def test_book_seller_weights_trust_highest(self):
+        weights = GOAL_PROFILES["book seller"]
+        assert weights[Aim.TRUST] == max(weights.values())
+
+    def test_tv_picker_weights_satisfaction_over_effectiveness(self):
+        weights = GOAL_PROFILES["tv-show picker"]
+        assert weights[Aim.SATISFACTION] > weights[Aim.EFFECTIVENESS]
+
+    def test_every_profile_covers_all_aims(self):
+        for weights in GOAL_PROFILES.values():
+            assert set(weights) == set(Aim)
+
+
+class TestScorecard:
+    def test_record_clips(self):
+        card = CriteriaScorecard("x")
+        card.record(Aim.TRUST, 1.7)
+        card.record(Aim.EFFICIENCY, -0.2)
+        assert card.scores[Aim.TRUST] == 1.0
+        assert card.scores[Aim.EFFICIENCY] == 0.0
+
+    def test_record_rejects_non_aim(self):
+        with pytest.raises(EvaluationError):
+            CriteriaScorecard("x").record("trust", 0.5)
+
+    def test_coverage(self):
+        card = CriteriaScorecard("x")
+        assert card.coverage() == 0.0
+        card.record(Aim.TRUST, 0.5)
+        assert card.coverage() == pytest.approx(1 / 7)
+
+    def test_weighted_total_uniform(self):
+        card = _full_card("x", 0.6)
+        assert card.weighted_total("balanced") == pytest.approx(0.6)
+
+    def test_weighted_total_follows_profile(self):
+        trusty = CriteriaScorecard("trusty")
+        trusty.record(Aim.TRUST, 0.9)
+        trusty.record(Aim.SATISFACTION, 0.3)
+        fun = CriteriaScorecard("fun")
+        fun.record(Aim.TRUST, 0.3)
+        fun.record(Aim.SATISFACTION, 0.9)
+        assert trusty.weighted_total("book seller") > fun.weighted_total(
+            "book seller"
+        )
+        assert fun.weighted_total("tv-show picker") > trusty.weighted_total(
+            "tv-show picker"
+        )
+
+    def test_unknown_profile(self):
+        card = _full_card("x", 0.5)
+        with pytest.raises(EvaluationError):
+            card.weighted_total("world domination")
+
+    def test_custom_profile_dict(self):
+        card = _full_card("x", 0.5)
+        card.record(Aim.TRUST, 1.0)
+        total = card.weighted_total({Aim.TRUST: 1.0})
+        assert total == pytest.approx(1.0)
+
+    def test_empty_card_rejected(self):
+        with pytest.raises(EvaluationError):
+            CriteriaScorecard("x").weighted_total("balanced")
+
+    def test_best_profile(self):
+        trusty = CriteriaScorecard("trusty")
+        trusty.record(Aim.TRUST, 1.0)
+        for aim in Aim:
+            if aim is not Aim.TRUST:
+                trusty.record(aim, 0.2)
+        assert trusty.best_profile() == "book seller"
+
+    def test_render(self):
+        card = _full_card("demo", 0.5)
+        rendered = card.render("tv-show picker")
+        assert "Scorecard: demo" in rendered
+        assert "tv-show picker" in rendered
+        assert "coverage 100%" in rendered
+
+    def test_render_partial_card(self):
+        card = CriteriaScorecard("partial")
+        card.record(Aim.TRUST, 0.8)
+        rendered = card.render()
+        assert "(not measured)" in rendered
+
+
+class TestCompare:
+    def test_ranking(self):
+        good = _full_card("good", 0.8)
+        poor = _full_card("poor", 0.3)
+        rendered = compare_scorecards([poor, good])
+        lines = rendered.splitlines()
+        assert lines[2].startswith("good")
+        assert lines[3].startswith("poor")
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            compare_scorecards([])

@@ -1,0 +1,142 @@
+"""Tests for the statistics helpers and study reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError
+from repro.evaluation.reporting import StudyReport
+from repro.evaluation.stats import (
+    TestResult as StatTestResult,
+    bootstrap_ci,
+    cohens_d,
+    independent_t,
+    one_sample_t,
+    paired_t,
+    summarize,
+    wilcoxon_signed_rank,
+)
+
+samples = st.lists(
+    st.floats(min_value=-5, max_value=5, allow_nan=False),
+    min_size=3,
+    max_size=40,
+)
+
+
+class TestTests:
+    def test_paired_t_detects_shift(self):
+        rng = np.random.default_rng(0)
+        base = rng.normal(0, 1, 50)
+        shifted = base + 1.0 + rng.normal(0, 0.1, 50)
+        result = paired_t(shifted.tolist(), base.tolist())
+        assert result.significant
+        assert result.statistic > 0
+
+    def test_paired_t_needs_equal_lengths(self):
+        with pytest.raises(EvaluationError):
+            paired_t([1, 2], [1, 2, 3])
+
+    def test_independent_t_null(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0, 1, 60)
+        b = rng.normal(0, 1, 60)
+        result = independent_t(a.tolist(), b.tolist())
+        assert result.p_value > 0.01
+
+    def test_one_sample_t(self):
+        result = one_sample_t([1.1, 0.9, 1.0, 1.2, 0.8], popmean=0.0)
+        assert result.significant
+
+    def test_wilcoxon_identical_is_nonsignificant(self):
+        values = [1.0, 2.0, 3.0]
+        result = wilcoxon_signed_rank(values, values)
+        assert result.p_value == 1.0
+
+    def test_wilcoxon_shift(self):
+        rng = np.random.default_rng(2)
+        base = rng.normal(0, 1, 40)
+        result = wilcoxon_signed_rank((base + 2).tolist(), base.tolist())
+        assert result.significant
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            one_sample_t([])
+
+    def test_describe_format(self):
+        result = StatTestResult("demo", 2.5, 0.01, 20, effect_size=0.8)
+        described = result.describe()
+        assert "p=0.0100*" in described
+        assert "d=0.80" in described
+
+
+class TestEffectSizes:
+    def test_cohens_d_zero_for_identical(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert cohens_d(values, values) == 0.0
+
+    def test_cohens_d_sign(self):
+        assert cohens_d([2.0, 3.0, 4.0], [0.0, 1.0, 2.0]) > 0
+        assert cohens_d([0.0, 1.0, 2.0], [2.0, 3.0, 4.0]) < 0
+
+    def test_degenerate_small_samples(self):
+        assert cohens_d([1.0], [2.0]) == 0.0
+
+
+class TestBootstrap:
+    def test_ci_contains_mean_for_stable_data(self):
+        values = [3.0, 3.1, 2.9, 3.0, 3.05, 2.95] * 5
+        low, high = bootstrap_ci(values)
+        assert low <= float(np.mean(values)) <= high
+
+    def test_invalid_confidence(self):
+        with pytest.raises(EvaluationError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+    @given(samples)
+    @settings(max_examples=20)
+    def test_ci_ordering(self, values):
+        low, high = bootstrap_ci(values, n_resamples=200)
+        assert low <= high + 1e-12
+
+    def test_summarize(self):
+        summary = summarize("condition", [1.0, 2.0, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.n == 3
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+
+
+class TestStudyReport:
+    def _report(self) -> StudyReport:
+        return StudyReport(
+            study_id="EX",
+            title="Example",
+            paper_claim="claim",
+            conditions=[summarize("a", [1.0, 2.0]), summarize("b", [3.0])],
+            tests=[StatTestResult("t", 1.0, 0.2, 3)],
+            shape_holds=True,
+            finding="a < b",
+            extras={"table": "x  y"},
+        )
+
+    def test_condition_lookup(self):
+        report = self._report()
+        assert report.condition("a").n == 2
+        with pytest.raises(KeyError):
+            report.condition("missing")
+
+    def test_render_contains_everything(self):
+        rendered = self._report().render()
+        assert "[EX] Example" in rendered
+        assert "paper claim: claim" in rendered
+        assert "shape: HOLDS" in rendered
+        assert "a < b" in rendered
+        assert "x  y" in rendered
+
+    def test_render_failed_shape(self):
+        report = self._report()
+        report.shape_holds = False
+        assert "DOES NOT HOLD" in report.render()

@@ -1,0 +1,268 @@
+"""Tests that every study harness reproduces its paper's shape.
+
+These run the studies at (mostly) reduced scale so the suite stays fast;
+the full-scale runs live in the benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.reporting import StudyReport
+from repro.evaluation.studies import (
+    INTERFACES,
+    run_bilgic_study,
+    run_cosley_study,
+    run_critiquing_study,
+    run_diversification_study,
+    run_herlocker_study,
+    run_personality_study,
+    run_scrutability_study,
+    run_tradeoff_study,
+    run_trust_study,
+)
+
+
+class TestHerlocker:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_herlocker_study(n_users=60, seed=18)
+
+    def test_twenty_one_interfaces(self):
+        assert len(INTERFACES) == 21
+        assert sum(1 for i in INTERFACES if i.is_baseline) == 1
+
+    def test_shape_holds(self, report):
+        assert report.shape_holds
+
+    def test_histogram_wins(self, report):
+        assert report.conditions[0].name.startswith(
+            "histogram of neighbours' ratings (good/bad clustered)"
+        )
+
+    def test_some_interfaces_below_baseline(self, report):
+        baseline_mean = report.condition(
+            "no explanation (baseline)"
+        ).mean
+        below = [
+            c for c in report.conditions if c.mean < baseline_mean - 0.05
+        ]
+        assert len(below) >= 2
+
+    def test_histogram_vs_baseline_significant(self, report):
+        assert report.tests[0].significant
+
+
+class TestCosley:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_cosley_study(n_users=40, seed=10)
+
+    def test_shape_holds(self, report):
+        assert report.shape_holds
+
+    def test_inflated_shifts_up(self, report):
+        inflated = report.condition("shift: inflated prediction").mean
+        control = report.condition("shift: control").mean
+        assert inflated > control
+
+    def test_accurate_arm_stays_close_to_control(self, report):
+        accurate = report.condition("shift: accurate prediction").mean
+        control = report.condition("shift: control").mean
+        inflated = report.condition("shift: inflated prediction").mean
+        assert abs(accurate - control) < abs(inflated - control)
+
+
+class TestBilgic:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_bilgic_study(n_users=40, seed=5)
+
+    def test_shape_holds(self, report):
+        assert report.shape_holds
+
+    def test_histogram_promotes(self, report):
+        assert report.condition(
+            "signed gap: histogram (promotion)"
+        ).mean > 0.1
+
+    def test_keyword_explanation_effective(self, report):
+        keyword_gap = report.condition(
+            "signed gap: influence/keyword (satisfaction)"
+        ).mean
+        histogram_gap = report.condition(
+            "signed gap: histogram (promotion)"
+        ).mean
+        assert abs(keyword_gap) < abs(histogram_gap)
+
+
+class TestCritiquing:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_critiquing_study(n_shoppers=20, n_cameras=80, seed=4)
+
+    def test_shape_holds(self, report):
+        assert report.shape_holds
+
+    def test_compound_cycles_below_unit(self, report):
+        unit = report.condition("cycles: unit critiques").mean
+        compound = report.condition(
+            "cycles: unit + dynamic compound"
+        ).mean
+        assert compound < unit
+
+    def test_conversation_beats_browsing_on_time(self, report):
+        browse = report.condition("seconds: browse ranked list").mean
+        compound = report.condition(
+            "seconds: unit + dynamic compound"
+        ).mean
+        assert compound < browse
+
+
+class TestTrustStudy:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_trust_study(n_users=100, seed=31)
+
+    def test_shape_holds(self, report):
+        assert report.shape_holds
+
+    def test_transparent_raises_trust_and_loyalty(self, report):
+        assert report.condition(
+            "trust questionnaire: transparent"
+        ).mean > report.condition("trust questionnaire: opaque").mean
+        assert report.condition(
+            "logins (14 days): transparent"
+        ).mean > report.condition("logins (14 days): opaque").mean
+
+
+class TestTradeoffs:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_tradeoff_study(seed=38)
+
+    def test_shape_holds(self, report):
+        assert report.shape_holds
+
+    def test_frontier_tables_rendered(self, report):
+        assert "persuasion_frontier" in report.extras
+        assert "detail_frontier" in report.extras
+
+
+class TestScrutability:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_scrutability_study(n_users=30, seed=11)
+
+    def test_shape_holds(self, report):
+        assert report.shape_holds
+
+    def test_tool_is_faster(self, report):
+        with_tool = report.condition(
+            "seconds: with scrutability tool"
+        ).mean
+        without = report.condition(
+            "seconds: without tool (down-rating only)"
+        ).mean
+        assert with_tool < without
+
+
+class TestPersonality:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_personality_study(n_users=40, seed=46)
+
+    def test_shape_holds(self, report):
+        assert report.shape_holds
+
+    def test_bold_tries_more_frank_trusts_more(self, report):
+        assert report.condition("try-rate: bold").mean > report.condition(
+            "try-rate: honest"
+        ).mean
+        assert report.condition(
+            "final trust: frank"
+        ).mean > report.condition("final trust: bold").mean
+
+
+class TestDiversification:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_diversification_study(n_users=25, seed=39)
+
+    def test_shape_holds(self, report):
+        assert report.shape_holds
+
+    def test_satisfaction_peaks_off_zero(self, report):
+        assert "peaks at theta=0." in report.finding
+        assert "theta=0.0" not in report.finding
+
+
+class TestReportsAreRenderable:
+    def test_render_all(self):
+        reports: list[StudyReport] = [
+            run_herlocker_study(n_users=20),
+            run_cosley_study(n_users=12),
+        ]
+        for report in reports:
+            rendered = report.render()
+            assert report.study_id in rendered
+            assert "paper claim" in rendered
+
+
+class TestModality:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.evaluation.studies import run_modality_study
+
+        return run_modality_study(n_users=60, seed=60)
+
+    def test_shape_holds(self, report):
+        assert report.shape_holds
+
+    def test_combined_beats_both(self, report):
+        combined = report.condition("comprehension: combined").mean
+        assert combined > report.condition("comprehension: text").mean
+        assert combined > report.condition("comprehension: chart").mean
+
+    def test_chart_is_fastest(self, report):
+        chart = report.condition("seconds: chart").mean
+        assert chart < report.condition("seconds: text").mean
+        assert chart < report.condition("seconds: combined").mean
+
+
+class TestDesignConfound:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.evaluation.studies import run_design_confound_study
+
+        return run_design_confound_study(n_users=60, seed=47)
+
+    def test_shape_holds(self, report):
+        assert report.shape_holds
+
+    def test_confounded_effect_is_inflated(self, report):
+        clean_gap = (
+            report.condition("trust: transparent (clean)").mean
+            - report.condition("trust: control (clean)").mean
+        )
+        confounded_gap = (
+            report.condition(
+                "trust: transparent+better-look (confounded)"
+            ).mean
+            - report.condition("trust: control (confounded)").mean
+        )
+        assert confounded_gap > clean_gap
+
+
+class TestExplicitImplicit:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.evaluation.studies import run_explicit_implicit_study
+
+        return run_explicit_implicit_study(n_users=100, seed=48)
+
+    def test_shape_holds(self, report):
+        assert report.shape_holds
+
+    def test_correlation_positive_but_imperfect(self, report):
+        assert "r=0." in report.finding

@@ -1,0 +1,223 @@
+"""Tests for simulated users and questionnaire instruments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.evaluation.instruments import (
+    LikertItem,
+    Questionnaire,
+    WalkthroughTally,
+    ohanian_trust_scale,
+    satisfaction_scale,
+    transparency_scale,
+)
+from repro.evaluation.users import (
+    ExplanationStimulus,
+    SimulatedUser,
+    make_population,
+)
+from repro.recsys.data import RatingScale
+
+
+def _user(persuadability=0.5, expertise=0.5, trust=0.5, seed=0,
+          utility=3.0):
+    return SimulatedUser(
+        user_id="u",
+        true_utility=lambda item_id: utility,
+        scale=RatingScale(),
+        rng=np.random.default_rng(seed),
+        persuadability=persuadability,
+        expertise=expertise,
+        trust=trust,
+    )
+
+
+class TestSimulatedUser:
+    def test_estimates_on_scale(self):
+        user = _user()
+        for __ in range(50):
+            value = user.estimate_prior("x", fidelity=0.5)
+            assert 1.0 <= value <= 5.0
+
+    def test_fidelity_sharpens_estimates(self):
+        """High-fidelity explanations shrink estimation error."""
+        user_low = _user(seed=1, utility=5.0)
+        user_high = _user(seed=1, utility=5.0)
+        low_errors = [
+            abs(user_low.estimate_prior("x", fidelity=0.0) - 5.0)
+            for __ in range(200)
+        ]
+        high_errors = [
+            abs(user_high.estimate_prior("x", fidelity=1.0) - 5.0)
+            for __ in range(200)
+        ]
+        assert np.mean(high_errors) < np.mean(low_errors)
+
+    def test_persuasion_pulls_toward_prediction(self):
+        user = _user(persuadability=1.0, utility=3.0, seed=2)
+        stimulus = ExplanationStimulus(
+            persuasive_pull=1.0, shown_prediction=5.0
+        )
+        pulled = np.mean(
+            [user.anticipated_rating("x", stimulus) for __ in range(100)]
+        )
+        neutral = np.mean(
+            [
+                user.anticipated_rating("x", ExplanationStimulus())
+                for __ in range(100)
+            ]
+        )
+        assert pulled > neutral + 0.5
+
+    def test_zero_persuadability_immune(self):
+        user = _user(persuadability=0.0, seed=3)
+        stimulus = ExplanationStimulus(
+            persuasive_pull=1.0, shown_prediction=5.0
+        )
+        values = [user.anticipated_rating("x", stimulus) for __ in range(50)]
+        baseline_user = _user(persuadability=0.9, seed=3)
+        baseline = [
+            baseline_user.anticipated_rating("x", stimulus)
+            for __ in range(50)
+        ]
+        assert np.mean(values) < np.mean(baseline)
+
+    def test_consumption_rating_tracks_truth(self):
+        user = _user(utility=4.5, seed=4)
+        ratings = [user.consumption_rating("x") for __ in range(200)]
+        assert abs(np.mean(ratings) - 4.5) < 0.2
+
+    def test_good_outcome_raises_trust(self):
+        user = _user(utility=5.0, trust=0.5)
+        user.experience_outcome("x", understood_why=False)
+        assert user.trust > 0.5
+
+    def test_bad_outcome_lowers_trust_more_than_good_raises(self):
+        """Loss aversion: symmetric outcomes, asymmetric trust moves."""
+        good = _user(utility=4.0, trust=0.5)
+        bad = _user(utility=2.0, trust=0.5)
+        good.experience_outcome("x", understood_why=False)
+        bad.experience_outcome("x", understood_why=False)
+        assert (0.5 - bad.trust) > (good.trust - 0.5)
+
+    def test_understanding_softens_trust_loss(self):
+        opaque = _user(utility=1.5, trust=0.5)
+        transparent = _user(utility=1.5, trust=0.5)
+        opaque.experience_outcome("x", understood_why=False)
+        transparent.experience_outcome("x", understood_why=True)
+        assert transparent.trust > opaque.trust
+
+    def test_overselling_penalty(self):
+        plain = _user(utility=3.0, trust=0.5)
+        oversold = _user(utility=3.0, trust=0.5)
+        plain.experience_outcome("x", understood_why=False)
+        oversold.experience_outcome(
+            "x", understood_why=False, expected=5.0
+        )
+        assert oversold.trust < plain.trust
+
+    def test_trust_history_recorded(self):
+        user = _user(utility=4.0)
+        user.experience_outcome("x", understood_why=False)
+        user.experience_outcome("x", understood_why=False)
+        assert len(user.trust_history) == 2
+        assert user.interactions == 2
+
+    def test_make_population_traits_in_range(self):
+        population = make_population(
+            ["a", "b", "c"],
+            true_utility_for=lambda uid: (lambda item_id: 3.0),
+            scale=RatingScale(),
+            seed=0,
+            persuadability_range=(0.2, 0.4),
+        )
+        assert len(population) == 3
+        for user in population:
+            assert 0.2 <= user.persuadability <= 0.4
+
+    def test_make_population_deterministic(self):
+        def build():
+            return make_population(
+                ["a", "b"],
+                true_utility_for=lambda uid: (lambda item_id: 3.0),
+                scale=RatingScale(),
+                seed=9,
+            )
+
+        first, second = build(), build()
+        assert [u.persuadability for u in first] == [
+            u.persuadability for u in second
+        ]
+
+
+class TestQuestionnaire:
+    def test_needs_items(self):
+        with pytest.raises(EvaluationError):
+            Questionnaire("empty", [])
+
+    def test_needs_two_points(self):
+        with pytest.raises(EvaluationError):
+            Questionnaire("x", [LikertItem("p", "d")], points=1)
+
+    def test_latent_out_of_range(self):
+        scale = ohanian_trust_scale()
+        with pytest.raises(EvaluationError):
+            scale.administer(1.5, np.random.default_rng(0))
+
+    def test_score_tracks_latent(self):
+        scale = ohanian_trust_scale()
+        rng = np.random.default_rng(0)
+        high = np.mean(
+            [scale.score(scale.administer(0.9, rng)) for __ in range(50)]
+        )
+        low = np.mean(
+            [scale.score(scale.administer(0.1, rng)) for __ in range(50)]
+        )
+        assert high > low + 0.3
+
+    def test_reverse_coded_items_flip(self):
+        scale = satisfaction_scale()
+        rng = np.random.default_rng(0)
+        response = scale.administer(1.0, rng, response_noise=0.0)
+        # the reverse-coded "tedious" item must be answered low
+        reverse_index = next(
+            index
+            for index, item in enumerate(scale.items)
+            if item.reverse_coded
+        )
+        assert response.answers[reverse_index] == 1
+        assert scale.score(response) == pytest.approx(1.0)
+
+    def test_length_mismatch_on_score(self):
+        scale = transparency_scale()
+        from repro.evaluation.instruments import QuestionnaireResponse
+
+        with pytest.raises(EvaluationError):
+            scale.score(QuestionnaireResponse(answers=(4,)))
+
+    def test_dimension_scores(self):
+        scale = ohanian_trust_scale()
+        rng = np.random.default_rng(1)
+        response = scale.administer(0.8, rng)
+        dimensions = scale.dimension_scores(response)
+        assert set(dimensions) == {
+            "dependable", "honest", "reliable", "sincere", "trustworthy",
+        }
+
+
+class TestWalkthroughTally:
+    def test_ratio_and_summary(self):
+        tally = WalkthroughTally(
+            positive_comments=6, negative_comments=2, frustrations=1,
+            delights=3, workarounds=["used search instead"],
+        )
+        assert tally.comment_ratio() == 3.0
+        summary = tally.summary()
+        assert summary["workarounds"] == 1.0
+        assert summary["delights"] == 3.0
+
+    def test_ratio_with_no_negatives(self):
+        assert WalkthroughTally(positive_comments=4).comment_ratio() == 4.0

@@ -1,0 +1,204 @@
+"""Integration tests: full user-facing loops across modules.
+
+Each test walks one of the paper's end-to-end scenarios through real
+recommenders, explainers, presenters and interaction channels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ExplainedRecommender,
+    NeighborHistogramExplainer,
+    PreferenceBasedExplainer,
+)
+from repro.domains import make_cameras, make_movies, make_news
+from repro.interaction import (
+    CritiqueSession,
+    Opinion,
+    OpinionFeedback,
+    OpinionHandler,
+    ProfileRecommender,
+    RatingChannel,
+    ScrutableProfile,
+    UnitCritique,
+    infer_topic_interests,
+)
+from repro.presentation import (
+    PredictedRatingsBrowser,
+    TopNPresenter,
+    build_news_treemap,
+    build_overview,
+)
+from repro.recsys import (
+    ContentBasedRecommender,
+    KnowledgeBasedRecommender,
+    Preference,
+    UserBasedCF,
+    UserRequirements,
+)
+
+
+class TestTivoScenario:
+    """The Mr. Iwanyk loop: wrong inference -> scrutinize -> fixed."""
+
+    def test_wrong_inference_is_explained_and_correctable(self):
+        world = make_movies(n_users=20, n_items=60, seed=13)
+        dataset = world.dataset
+        user_id = "user_000"
+
+        profile = ScrutableProfile(user_id)
+        infer_topic_interests(profile, dataset, min_observations=2)
+        recommender = ProfileRecommender(profile).fit(dataset)
+
+        # pick a topic the system believes the user likes
+        liked = [
+            a for a in profile.attributes()
+            if a.name.startswith("likes:") and a.value is True
+        ]
+        assert liked, "inference produced no liked topics"
+        target = liked[0].name
+
+        # 1. the inference is explained with its provenance
+        why = profile.why(target)
+        assert "We inferred" in why and "because" in why
+
+        # 2. recommendations reflect it
+        topic = target.split(":", 1)[1]
+        before = [r.item_id for r in recommender.recommend(user_id, n=10)]
+        assert any(topic in dataset.item(i).topics for i in before)
+
+        # 3. the user corrects it; recommendations change
+        profile.correct(target, False)
+        after = [r.item_id for r in recommender.recommend(user_id, n=10)]
+        assert not any(topic in dataset.item(i).topics for i in after)
+
+
+class TestNewsPortalLoop:
+    """Section 4.2/4.4/5.4: top-N, why-low queries, opinion feedback."""
+
+    @pytest.fixture()
+    def portal(self):
+        world = make_news(n_users=30, n_items=80, seed=3)
+        pipeline = ExplainedRecommender(
+            UserBasedCF(), PreferenceBasedExplainer()
+        ).fit(world.dataset)
+        return world, pipeline
+
+    def test_top_n_with_joint_explanation(self, portal):
+        world, pipeline = portal
+        recommendations = pipeline.recommend("user_001", n=5)
+        page = TopNPresenter(world.dataset, recommendations).render()
+        assert "You have watched a lot of" in page
+
+    def test_why_question_on_any_item(self, portal):
+        world, pipeline = portal
+        browser = PredictedRatingsBrowser(pipeline, "user_001")
+        item_id = list(world.dataset.items)[5]
+        assert browser.why(item_id)
+
+    def test_opinion_feedback_filters_future_lists(self, portal):
+        world, pipeline = portal
+        profile = ScrutableProfile("user_001")
+        handler = OpinionHandler(world.dataset, profile)
+        recommendations = pipeline.recommend("user_001", n=5)
+        victim = recommendations[0]
+        handler.apply(
+            OpinionFeedback(Opinion.NO_MORE_LIKE_THIS, item_id=victim.item_id)
+        )
+        remaining = handler.filter_items(
+            [er.item_id for er in recommendations]
+        )
+        assert victim.item_id not in remaining
+
+    def test_treemap_overview_of_feed(self, portal):
+        world, __ = portal
+        rendered = build_news_treemap(
+            world.dataset, list(world.dataset.items)[:40]
+        ).render()
+        assert "legend:" in rendered
+
+
+class TestCameraShopLoop:
+    """Sections 4.5/5.2: overview, critique, accept."""
+
+    def test_overview_then_critique_then_accept(self):
+        dataset, catalog = make_cameras(n_items=80, seed=21)
+        recommender = KnowledgeBasedRecommender(catalog).fit(dataset)
+        requirements = UserRequirements(
+            preferences=[
+                Preference("price", weight=1.0),
+                Preference("resolution", weight=2.0),
+            ]
+        )
+        overview = build_overview(recommender, requirements)
+        assert overview.categories
+
+        session = CritiqueSession(recommender, requirements)
+        start_price = float(session.reference.attributes["price"])
+        session.critique(UnitCritique("price", "less"))
+        assert float(session.reference.attributes["price"]) < start_price
+        accepted = session.accept()
+        assert session.log.n_cycles >= 2
+        assert accepted is not None
+
+
+class TestRatingCorrectionLoop:
+    """Section 4.4: counteract a prediction by rating, model updates."""
+
+    def test_correction_changes_content_predictions(self):
+        world = make_movies(n_users=20, n_items=60, seed=17)
+        dataset = world.dataset
+        recommender = ContentBasedRecommender().fit(dataset)
+        channel = RatingChannel(
+            dataset, on_change=[recommender.invalidate_profile]
+        )
+        user_id = "user_002"
+        top = recommender.recommend(user_id, n=1)[0]
+        before = recommender.predict(user_id, top.item_id).value
+        # the user disagrees strongly with the prediction
+        channel.correct_prediction(user_id, top.item_id, 1.0)
+        same_topic = [
+            item.item_id
+            for item in dataset.items.values()
+            if item.topics == dataset.item(top.item_id).topics
+            and item.item_id != top.item_id
+            and dataset.rating(user_id, item.item_id) is None
+        ]
+        if not same_topic:
+            pytest.skip("no same-topic item free for comparison")
+        after = recommender.predict(user_id, same_topic[0]).value
+        assert after < before + 1e-9
+
+    def test_undo_restores_predictions(self):
+        world = make_movies(n_users=20, n_items=60, seed=19)
+        dataset = world.dataset
+        recommender = ContentBasedRecommender().fit(dataset)
+        channel = RatingChannel(
+            dataset, on_change=[recommender.invalidate_profile]
+        )
+        user_id = "user_003"
+        item_id = dataset.unrated_items(user_id)[0]
+        probe = dataset.unrated_items(user_id)[1]
+        before = recommender.predict(user_id, probe).value
+        channel.rate(user_id, item_id, 5.0)
+        channel.undo_last()
+        assert recommender.predict(user_id, probe).value == pytest.approx(
+            before
+        )
+
+
+class TestHistogramPipeline:
+    def test_histogram_explanations_from_real_cf(self):
+        world = make_movies(n_users=40, n_items=80, seed=7, density=0.3)
+        pipeline = ExplainedRecommender(
+            UserBasedCF(), NeighborHistogramExplainer()
+        ).fit(world.dataset)
+        explained = pipeline.recommend("user_000", n=5)
+        histograms = [
+            er for er in explained if "histogram" in er.explanation.details
+        ]
+        assert histograms, "no histogram details generated"
+        for er in histograms:
+            assert "good (4-5)" in er.explanation.details["histogram"]

@@ -1,0 +1,239 @@
+"""Property-based robustness tests: random action sequences never break
+invariants.
+
+These fuzz the stateful interaction surfaces — the dialog manager, the
+critique session, the scrutable profile and the rating channel — with
+hypothesis-generated action sequences and check that the components
+either behave or raise their *declared* exceptions, never anything else.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.domains import make_cameras, make_movies
+from repro.errors import DataError, DialogError, ReproError
+from repro.interaction import (
+    CritiqueSession,
+    MovieDialog,
+    Opinion,
+    OpinionFeedback,
+    OpinionHandler,
+    RatingChannel,
+    ScrutableProfile,
+    UnitCritique,
+)
+from repro.recsys import (
+    KnowledgeBasedRecommender,
+    Preference,
+    UserRequirements,
+)
+
+_WORLD = make_movies(n_users=20, n_items=50, seed=23)
+_CAMERAS, _CATALOG = make_cameras(n_items=60, seed=23)
+
+utterances = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz ?!.',", min_size=0, max_size=60
+)
+
+
+class TestDialogFuzz:
+    @given(st.lists(utterances, min_size=1, max_size=8))
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    def test_random_utterances_never_crash(self, lines):
+        dialog = MovieDialog(
+            _WORLD.dataset, actor_names={"willis": "Bruce Willis"}
+        )
+        dialog.start(lines[0])
+        for line in lines[1:]:
+            try:
+                reply = dialog.feed(line)
+            except DialogError:
+                break  # finished dialogs reject further input: declared
+            assert isinstance(reply, str) and reply
+
+    @given(st.lists(utterances, min_size=1, max_size=8))
+    @settings(max_examples=20, suppress_health_check=[HealthCheck.too_slow])
+    def test_transcript_alternates_consistently(self, lines):
+        dialog = MovieDialog(
+            _WORLD.dataset, actor_names={"willis": "Bruce Willis"}
+        )
+        dialog.start(lines[0])
+        for line in lines[1:]:
+            try:
+                dialog.feed(line)
+            except DialogError:
+                break
+        speakers = [turn.speaker for turn in dialog.transcript]
+        assert set(speakers) <= {"user", "system"}
+        # every user turn gets a system reply (transcript ends on system)
+        assert speakers[-1] == "system"
+
+
+_critique_actions = st.lists(
+    st.tuples(
+        st.sampled_from(["price", "resolution", "memory", "zoom", "weight"]),
+        st.sampled_from(["less", "more"]),
+    ),
+    max_size=10,
+)
+
+
+class TestCritiqueSessionFuzz:
+    @given(_critique_actions)
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    def test_random_critiques_preserve_invariants(self, actions):
+        recommender = KnowledgeBasedRecommender(_CATALOG).fit(_CAMERAS)
+        session = CritiqueSession(
+            recommender,
+            UserRequirements(
+                preferences=[Preference("resolution", weight=1.0)]
+            ),
+        )
+        for attribute, direction in actions:
+            if session.reference is None:
+                break
+            session.critique(UnitCritique(attribute, direction))
+            # invariant: after any critique the session either has a
+            # reference satisfying the requirements, or was rolled back
+            if session.reference is not None:
+                assert session.requirements.satisfied_by(session.reference)
+        # logs are monotone and the cycle counter matches show events
+        assert session.log.count("show") == session.cycle
+        assert session.log.total_seconds >= 0.0
+
+
+class TestProfileFuzz:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["volunteer", "infer", "correct", "remove"]),
+                st.sampled_from(["a", "b", "c"]),
+                st.booleans(),
+            ),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50)
+    def test_random_edits_never_corrupt(self, actions):
+        profile = ScrutableProfile("u")
+        for action, name, value in actions:
+            try:
+                if action == "volunteer":
+                    profile.volunteer(name, value)
+                elif action == "infer":
+                    profile.infer(name, value, because="fuzz")
+                elif action == "correct":
+                    profile.correct(name, value)
+                else:
+                    profile.remove(name)
+            except DataError:
+                continue  # correct/remove on missing names: declared
+            # invariants after every successful action
+            for attribute in profile.attributes():
+                assert attribute.provenance in ("volunteered", "inferred")
+                assert profile.why(attribute.name)
+        assert len(profile.edits) <= len(actions)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["volunteer", "infer"]),
+                st.sampled_from(["x"]),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=30)
+    def test_volunteered_always_wins(self, actions):
+        """Once volunteered, an attribute never silently reverts."""
+        profile = ScrutableProfile("u")
+        volunteered_value = None
+        for action, name, value in actions:
+            if action == "volunteer":
+                profile.volunteer(name, value)
+                volunteered_value = value
+            else:
+                profile.infer(name, value, because="fuzz")
+        if volunteered_value is not None:
+            assert profile.value("x") == volunteered_value
+            assert profile.get("x").provenance == "volunteered"
+
+
+class TestRatingChannelFuzz:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["rate", "undo"]),
+                st.floats(min_value=1, max_value=5, allow_nan=False),
+            ),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=40)
+    def test_rate_undo_sequences_stay_consistent(self, actions):
+        dataset = _WORLD.dataset.copy()
+        channel = RatingChannel(dataset)
+        item_id = next(iter(dataset.items))
+        user_id = next(iter(dataset.users))
+        baseline = dataset.rating(user_id, item_id)
+        for action, value in actions:
+            if action == "rate":
+                channel.rate(user_id, item_id, value)
+            else:
+                channel.undo_last()
+        # undoing everything restores the baseline exactly
+        while channel.undo_last() is not None:
+            pass
+        final = dataset.rating(user_id, item_id)
+        if baseline is None:
+            assert final is None
+        else:
+            assert final is not None
+            assert final.value == baseline.value
+
+
+class TestOpinionFuzz:
+    @given(
+        st.lists(
+            st.sampled_from(list(Opinion)),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    @settings(max_examples=40)
+    def test_random_opinions_never_crash(self, opinions):
+        dataset = _WORLD.dataset
+        handler = OpinionHandler(dataset, ScrutableProfile("u"))
+        item_id = next(iter(dataset.items))
+        for opinion in opinions:
+            feedback = OpinionFeedback(
+                opinion,
+                item_id=None if opinion is Opinion.SURPRISE_ME else item_id,
+            )
+            reply = handler.apply(feedback)
+            assert isinstance(reply, str) and reply
+        assert 0.0 <= handler.surprise_level <= 1.0
+        assert len(handler.log) == len(opinions)
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        from repro import errors
+
+        for name in errors.__all__ if hasattr(errors, "__all__") else dir(
+            errors
+        ):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, ReproError) or obj is ReproError
+
+    def test_declared_exceptions_catchable_generically(self):
+        with pytest.raises(ReproError):
+            raise DialogError("x")
+        with pytest.raises(ReproError):
+            raise DataError("x")

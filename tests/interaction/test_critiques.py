@@ -1,0 +1,186 @@
+"""Tests for unit/compound critiquing and Apriori mining."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConstraintError
+from repro.interaction.critiques import (
+    CompoundCritique,
+    UnitCritique,
+    apply_critique,
+    apriori,
+    mine_compound_critiques,
+)
+from repro.recsys.knowledge import UserRequirements
+
+
+class TestUnitCritique:
+    def test_invalid_direction(self):
+        with pytest.raises(ConstraintError):
+            UnitCritique("price", "sideways")
+
+    def test_phrase_uses_catalog_vocabulary(self, camera_world):
+        __, catalog = camera_world
+        assert UnitCritique("price", "less").phrase(catalog) == "Cheaper"
+        assert UnitCritique("memory", "more").phrase(catalog) == "More Memory"
+        assert UnitCritique("brand", "different").phrase(catalog) == (
+            "Different brand"
+        )
+
+    def test_to_constraint_less(self, camera_world):
+        dataset, __ = camera_world
+        item = next(iter(dataset.items.values()))
+        constraint = UnitCritique("price", "less").to_constraint(item)
+        assert constraint.operator == "<="
+        assert not constraint.satisfied_by(item)
+
+    def test_to_constraint_more(self, camera_world):
+        dataset, __ = camera_world
+        item = next(iter(dataset.items.values()))
+        constraint = UnitCritique("zoom", "more").to_constraint(item)
+        assert constraint.operator == ">="
+        assert not constraint.satisfied_by(item)
+
+    def test_to_constraint_different(self, camera_world):
+        dataset, __ = camera_world
+        item = next(iter(dataset.items.values()))
+        constraint = UnitCritique("brand", "different").to_constraint(item)
+        assert not constraint.satisfied_by(item)
+
+    def test_missing_attribute(self, camera_world):
+        dataset, __ = camera_world
+        item = next(iter(dataset.items.values()))
+        with pytest.raises(ConstraintError):
+            UnitCritique("nonexistent", "less").to_constraint(item)
+
+
+class TestApriori:
+    def test_counts_singletons(self):
+        transactions = [frozenset("ab"), frozenset("ac"), frozenset("a")]
+        frequent = apriori(transactions, min_support=2)
+        assert frequent[frozenset("a")] == 3
+        assert frozenset("b") not in frequent
+
+    def test_pairs_require_frequent_subsets(self):
+        transactions = [frozenset("ab")] * 3 + [frozenset("c")]
+        frequent = apriori(transactions, min_support=2)
+        assert frequent[frozenset("ab")] == 3
+        assert frozenset("ac") not in frequent
+
+    def test_max_size_limits_growth(self):
+        transactions = [frozenset("abc")] * 5
+        frequent = apriori(transactions, min_support=2, max_size=2)
+        assert frozenset("abc") not in frequent
+        assert frozenset("ab") in frequent
+
+    def test_invalid_support(self):
+        with pytest.raises(ValueError):
+            apriori([], min_support=0)
+
+    @given(
+        st.lists(
+            st.frozensets(st.sampled_from("abcde"), max_size=5),
+            max_size=30,
+        ),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=40)
+    def test_supports_are_exact(self, transactions, min_support):
+        """Every reported support equals a brute-force recount."""
+        frequent = apriori(transactions, min_support=min_support, max_size=3)
+        for itemset, support in frequent.items():
+            actual = sum(
+                1 for transaction in transactions if itemset <= transaction
+            )
+            assert support == actual
+            assert support >= min_support
+
+    @given(
+        st.lists(
+            st.frozensets(st.sampled_from("abcd"), min_size=1, max_size=4),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=40)
+    def test_completeness_up_to_size_two(self, transactions):
+        """No frequent pair is ever missed."""
+        min_support = 2
+        frequent = apriori(transactions, min_support=min_support, max_size=2)
+        elements = sorted({e for t in transactions for e in t})
+        for pair in itertools.combinations(elements, 2):
+            support = sum(
+                1 for t in transactions if frozenset(pair) <= t
+            )
+            if support >= min_support:
+                assert frozenset(pair) in frequent
+
+
+class TestDynamicCritiques:
+    def test_mined_critiques_are_compound(self, camera_world):
+        dataset, catalog = camera_world
+        items = list(dataset.items.values())
+        critiques = mine_compound_critiques(catalog, items[0], items[1:])
+        assert critiques
+        for critique in critiques:
+            assert len(critique.parts) >= 2
+            assert critique.support >= 1
+
+    def test_supports_match_coverage(self, camera_world):
+        """Each compound's support equals the number of matching items."""
+        dataset, catalog = camera_world
+        items = list(dataset.items.values())
+        reference = items[0]
+        critiques = mine_compound_critiques(catalog, reference, items[1:])
+        for critique in critiques[:3]:
+            requirements = apply_critique(
+                UserRequirements(), critique, reference
+            )
+            covered = [
+                item
+                for item in items[1:]
+                if requirements.satisfied_by(item)
+            ]
+            assert len(covered) == critique.support
+
+    def test_phrase_is_paper_style(self, camera_world):
+        dataset, catalog = camera_world
+        items = list(dataset.items.values())
+        critiques = mine_compound_critiques(catalog, items[0], items[1:])
+        phrase = critiques[0].phrase(catalog)
+        assert " and " in phrase
+        described = critiques[0].describe(catalog)
+        assert "items)" in described
+
+    def test_no_candidates(self, camera_world):
+        dataset, catalog = camera_world
+        items = list(dataset.items.values())
+        assert mine_compound_critiques(catalog, items[0], []) == []
+
+    def test_apply_unit_critique(self, camera_world):
+        dataset, catalog = camera_world
+        items = list(dataset.items.values())
+        requirements = UserRequirements()
+        updated = apply_critique(
+            requirements, UnitCritique("price", "less"), items[0]
+        )
+        assert len(updated.constraints) == 1
+        assert len(requirements.constraints) == 0  # original untouched
+
+    def test_apply_compound_critique(self, camera_world):
+        dataset, catalog = camera_world
+        items = list(dataset.items.values())
+        compound = CompoundCritique(
+            parts=(
+                UnitCritique("price", "less"),
+                UnitCritique("memory", "more"),
+            ),
+            support=5,
+        )
+        updated = apply_critique(UserRequirements(), compound, items[0])
+        assert len(updated.constraints) == 2

@@ -1,0 +1,300 @@
+"""Tests for dialogs, sessions, ratings and requirement parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.domains import CUISINES
+from repro.errors import ConstraintError, DialogError
+from repro.interaction.dialog import DialogPhase, MovieDialog, Slot, SlotFillingDialog
+from repro.interaction.ratings import RatingChannel
+from repro.interaction.requirements import (
+    RequirementElicitor,
+    parse_requirements,
+)
+from repro.interaction.session import CritiqueSession, TimeModel
+from repro.interaction.critiques import UnitCritique
+from repro.recsys.knowledge import (
+    Constraint,
+    KnowledgeBasedRecommender,
+    Preference,
+    UserRequirements,
+)
+
+
+class TestMovieDialog:
+    @pytest.fixture()
+    def dialog(self, movie_world):
+        return MovieDialog(
+            movie_world.dataset, actor_names={"willis": "Bruce Willis"}
+        )
+
+    def test_warnestal_script(self, dialog):
+        """The paper's Section 5.1 dialog, end to end."""
+        reply = dialog.start("I feel like watching a thriller")
+        assert "favorite thriller movies" in reply
+        reply = dialog.feed("Uhm, I'm not sure")
+        assert reply.startswith("Okay.")
+        assert "actors or actresses" in reply
+        reply = dialog.feed("I think Bruce Willis is good")
+        assert reply.startswith("I see. Have you seen")
+        reply = dialog.feed("No")
+        assert "is a thriller starring Bruce Willis" in reply
+        assert dialog.phase is DialogPhase.AWAITING_OPINION
+
+    def test_acceptance_ends_dialog(self, dialog):
+        dialog.start("I feel like watching a thriller")
+        dialog.feed("skip")
+        dialog.feed("Bruce Willis")
+        dialog.feed("no")
+        dialog.feed("sounds good")
+        assert dialog.phase is DialogPhase.DONE
+        assert dialog.accepted_item is not None
+
+    def test_seen_it_gets_another_proposal(self, dialog):
+        dialog.start("I feel like watching a thriller")
+        dialog.feed("skip")
+        dialog.feed("Bruce Willis")
+        first = dialog.proposed_item
+        dialog.feed("yes, seen it")
+        assert dialog.proposed_item != first
+        assert first in dialog.rejected
+
+    def test_something_else_after_explanation(self, dialog):
+        dialog.start("I feel like watching a thriller")
+        dialog.feed("skip")
+        dialog.feed("Bruce Willis")
+        first = dialog.proposed_item
+        dialog.feed("no")
+        dialog.feed("something else please")
+        assert dialog.proposed_item != first
+
+    def test_double_start_rejected(self, dialog):
+        dialog.start("thriller please")
+        with pytest.raises(DialogError):
+            dialog.start("again")
+
+    def test_feed_after_done_rejected(self, dialog):
+        dialog.start("I feel like watching a thriller")
+        dialog.feed("skip")
+        dialog.feed("Bruce Willis")
+        dialog.feed("no")
+        dialog.feed("ok great")
+        with pytest.raises(DialogError):
+            dialog.feed("more")
+
+    def test_transcript_records_both_speakers(self, dialog):
+        dialog.start("I feel like watching a thriller")
+        dialog.feed("not sure")
+        transcript = dialog.render_transcript()
+        assert "User: I feel like watching a thriller" in transcript
+        assert "System:" in transcript
+
+    def test_unparseable_answer_reasks(self, dialog):
+        dialog.start("I feel like watching a thriller")
+        reply = dialog.feed("mumble mumble")
+        # neither an answer nor a skip: the question is repeated
+        assert "favorite" in reply or "actors" in reply
+
+    def test_no_match_apologises(self, movie_world):
+        dialog = MovieDialog(
+            movie_world.dataset, actor_names={"nobody": "No Body"}
+        )
+        dialog.start("I feel like watching a documentary")
+        dialog.feed("skip")
+        reply = dialog.feed("No Body is my favorite")
+        assert "cannot find anything" in reply
+        assert dialog.phase is DialogPhase.DONE
+
+
+class TestSlotFillingGeneric:
+    def test_opening_fills_multiple_slots(self):
+        dialog = SlotFillingDialog(
+            slots=[
+                Slot("a", "A?", lambda text: "a" if "alpha" in text else None),
+                Slot("b", "B?", lambda text: "b" if "beta" in text else None),
+            ],
+            propose=lambda filled, rejected: ("x", "X"),
+            explain=lambda filled, item_id: "because",
+        )
+        reply = dialog.start("alpha and beta together")
+        assert dialog.filled == {"a": "a", "b": "b"}
+        assert "Have you seen X?" in reply
+
+
+class TestCritiqueSession:
+    @pytest.fixture()
+    def session(self, camera_world):
+        dataset, catalog = camera_world
+        recommender = KnowledgeBasedRecommender(catalog).fit(dataset)
+        requirements = UserRequirements(
+            preferences=[Preference("resolution", weight=1.0)]
+        )
+        return CritiqueSession(recommender, requirements)
+
+    def test_initial_state(self, session):
+        assert session.reference is not None
+        assert session.cycle == 1
+        assert session.compound_critiques  # dynamic critiques offered
+
+    def test_unit_critique_advances_cycle(self, session):
+        before = session.reference
+        session.critique(UnitCritique("price", "less"))
+        assert session.cycle == 2
+        assert session.reference != before
+        assert float(session.reference.attributes["price"]) < float(
+            before.attributes["price"]
+        )
+
+    def test_compound_critique_applies_all_parts(self, session):
+        compound = session.compound_critiques[0]
+        reference = session.reference
+        session.critique(compound)
+        for constraint in compound.to_constraints(reference):
+            assert constraint in session.requirements.constraints
+
+    def test_dead_end_critique_rolls_back(self, camera_world):
+        dataset, catalog = camera_world
+        recommender = KnowledgeBasedRecommender(catalog).fit(dataset)
+        cheapest = min(
+            dataset.items.values(),
+            key=lambda item: item.attributes["price"],
+        )
+        requirements = UserRequirements(
+            constraints=[
+                Constraint("price", "<=", cheapest.attributes["price"])
+            ]
+        )
+        session = CritiqueSession(recommender, requirements)
+        cycles_before = session.cycle
+        session.critique(UnitCritique("price", "less"))
+        assert session.cycle == cycles_before  # rolled back
+        assert session.log.count("repair") == 1
+
+    def test_accept_finishes(self, session):
+        item = session.accept()
+        assert session.accepted is item
+        with pytest.raises(DialogError):
+            session.critique(UnitCritique("price", "less"))
+
+    def test_read_explanation_logged(self, session):
+        session.read_explanation()
+        assert session.log.count("read_explanation") == 1
+
+    def test_relax_recovers_from_dead_end(self, camera_world):
+        dataset, catalog = camera_world
+        recommender = KnowledgeBasedRecommender(catalog).fit(dataset)
+        requirements = UserRequirements(
+            constraints=[Constraint("price", "<=", 0.0)]
+        )
+        session = CritiqueSession(recommender, requirements)
+        assert session.is_dead_end
+        session.relax()
+        assert not session.is_dead_end
+
+    def test_relax_with_nothing_to_drop(self, camera_world):
+        dataset, catalog = camera_world
+        recommender = KnowledgeBasedRecommender(catalog).fit(dataset)
+        session = CritiqueSession(recommender, UserRequirements())
+        with pytest.raises(DialogError):
+            session.relax()
+
+    def test_time_accounting(self, camera_world):
+        dataset, catalog = camera_world
+        recommender = KnowledgeBasedRecommender(catalog).fit(dataset)
+        time_model = TimeModel(per_cycle=5.0, per_option_scanned=0.0,
+                               per_critique_choice=2.0)
+        session = CritiqueSession(
+            recommender, UserRequirements(), time_model=time_model
+        )
+        session.critique(UnitCritique("price", "less"))
+        # two shows (5s each) + one critique choice (2s)
+        assert session.log.total_seconds == pytest.approx(12.0)
+
+
+class TestRatingChannel:
+    def test_rate_and_rerate(self, tiny_dataset):
+        channel = RatingChannel(tiny_dataset)
+        event = channel.rate("alice", "i3", 4.0)
+        assert event.kind == "rate"
+        event = channel.rate("alice", "i3", 2.0)
+        assert event.kind == "re-rate"
+        assert event.previous_value == 4.0
+        assert channel.rerating_deltas() == [-2.0]
+
+    def test_correct_prediction_kind(self, tiny_dataset):
+        channel = RatingChannel(tiny_dataset)
+        event = channel.correct_prediction("alice", "i3", 5.0)
+        assert event.kind == "correct-prediction"
+
+    def test_undo_restores_previous(self, tiny_dataset):
+        channel = RatingChannel(tiny_dataset)
+        channel.rate("alice", "i3", 4.0)
+        channel.rate("alice", "i3", 2.0)
+        channel.undo_last()
+        assert tiny_dataset.rating("alice", "i3").value == 4.0
+        channel.undo_last()
+        assert tiny_dataset.rating("alice", "i3") is None
+        assert channel.undo_last() is None
+
+    def test_callbacks_invoked(self, tiny_dataset):
+        notified = []
+        channel = RatingChannel(tiny_dataset, on_change=[notified.append])
+        channel.rate("alice", "i3", 4.0)
+        assert notified == ["alice"]
+
+    def test_rerating_deltas_filter_by_user(self, tiny_dataset):
+        channel = RatingChannel(tiny_dataset)
+        channel.rate("alice", "i3", 4.0)
+        channel.rate("alice", "i3", 5.0)
+        channel.rate("bob", "i3", 3.0)
+        assert channel.rerating_deltas("alice") == [1.0]
+        assert channel.rerating_deltas("bob") == []
+
+
+class TestRequirements:
+    def test_elicitor_builds_requirements(self, restaurant_world):
+        __, catalog = restaurant_world
+        elicitor = RequirementElicitor(catalog)
+        elicitor.require("cuisine", "==", "thai")
+        elicitor.limit("price_level", maximum=2)
+        elicitor.prefer("distance_km", weight=2.0)
+        requirements = elicitor.build()
+        assert len(requirements.constraints) == 2
+        assert "distance_km" in requirements.preferences
+
+    def test_elicitor_validates_attributes(self, restaurant_world):
+        __, catalog = restaurant_world
+        elicitor = RequirementElicitor(catalog)
+        with pytest.raises(ConstraintError):
+            elicitor.require("nonexistent", "==", 1)
+        with pytest.raises(ConstraintError):
+            elicitor.limit("cuisine", maximum=2)
+        with pytest.raises(ConstraintError):
+            elicitor.limit("price_level")
+
+    def test_parse_cheap_thai_nearby(self, restaurant_world):
+        __, catalog = restaurant_world
+        requirements = parse_requirements(
+            "cheap thai food nearby",
+            catalog,
+            categorical_values={"cuisine": CUISINES},
+        )
+        constraints = {c.describe() for c in requirements.constraints}
+        assert "cuisine == thai" in constraints
+        assert any("price_level <=" in c for c in constraints)
+        assert "distance_km" in requirements.preferences
+
+    def test_parse_under_amount(self, camera_world):
+        __, catalog = camera_world
+        requirements = parse_requirements("something under 300", catalog)
+        assert any(
+            c.attribute == "price" and c.operator == "<=" and c.value == 300.0
+            for c in requirements.constraints
+        )
+
+    def test_parse_ignores_unknown_words(self, camera_world):
+        __, catalog = camera_world
+        requirements = parse_requirements("flurble wibble", catalog)
+        assert requirements.constraints == []
+        assert not requirements.preferences

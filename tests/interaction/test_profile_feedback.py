@@ -1,0 +1,225 @@
+"""Tests for scrutable profiles and opinion feedback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DataError
+from repro.interaction.feedback import Opinion, OpinionFeedback, OpinionHandler
+from repro.interaction.profile import (
+    ProfileRecommender,
+    ScrutableProfile,
+    infer_topic_interests,
+)
+from repro.recsys.data import Rating
+
+
+class TestScrutableProfile:
+    def test_volunteer_and_get(self):
+        profile = ScrutableProfile("u")
+        profile.volunteer("likes_football", True)
+        attribute = profile.get("likes_football")
+        assert attribute.value is True
+        assert attribute.provenance == "volunteered"
+
+    def test_infer_with_justification(self):
+        profile = ScrutableProfile("u")
+        profile.infer("likes:sports", True, because="you watched 14 items")
+        assert "you watched 14 items" in profile.why("likes:sports")
+        assert "You can change or delete this" in profile.why("likes:sports")
+
+    def test_inference_never_overwrites_volunteered(self):
+        """The TiVo lesson: the user's own statement outranks observation."""
+        profile = ScrutableProfile("u")
+        profile.volunteer("likes:war-movies", False)
+        profile.infer("likes:war-movies", True, because="you recorded some")
+        assert profile.value("likes:war-movies") is False
+
+    def test_correct_becomes_volunteered_full_weight(self):
+        profile = ScrutableProfile("u")
+        profile.infer("likes:disney", True, because="3 liked items",
+                      weight=0.2)
+        profile.correct("likes:disney", False)
+        attribute = profile.get("likes:disney")
+        assert attribute.value is False
+        assert attribute.provenance == "volunteered"
+        assert attribute.weight == 1.0
+
+    def test_correct_missing_raises(self):
+        with pytest.raises(DataError):
+            ScrutableProfile("u").correct("ghost", 1)
+
+    def test_remove(self):
+        profile = ScrutableProfile("u")
+        profile.volunteer("a", 1)
+        profile.remove("a")
+        assert profile.get("a") is None
+        with pytest.raises(DataError):
+            profile.remove("a")
+
+    def test_why_unknown_attribute(self):
+        profile = ScrutableProfile("u")
+        assert "nothing about" in profile.why("ghost")
+
+    def test_edits_logged(self):
+        profile = ScrutableProfile("u")
+        profile.volunteer("a", 1)
+        profile.infer("b", 2, because="x")
+        profile.correct("b", 3)
+        profile.remove("a")
+        assert len(profile.edits) == 4
+
+    def test_render_page_separates_provenance(self):
+        profile = ScrutableProfile("u")
+        profile.volunteer("climate", "hot")
+        profile.infer("likes:beach", True, because="you liked 4 beach trips")
+        page = profile.render_page()
+        assert "[you said]" in page
+        assert "[we inferred]" in page
+        assert "why?" in page
+
+    def test_attributes_order_volunteered_first(self):
+        profile = ScrutableProfile("u")
+        profile.infer("z_inferred", 1, because="x")
+        profile.volunteer("a_volunteered", 2)
+        names = [a.name for a in profile.attributes()]
+        assert names[0] == "a_volunteered"
+
+    def test_as_evidence(self):
+        profile = ScrutableProfile("u")
+        profile.volunteer("climate", "hot")
+        evidence = profile.as_evidence()
+        assert evidence[0].attribute == "climate"
+        assert evidence[0].provenance == "volunteered"
+
+
+class TestInference:
+    def test_infers_liked_and_disliked_topics(self, tiny_dataset):
+        profile = ScrutableProfile("alice")
+        written = infer_topic_interests(
+            profile, tiny_dataset, min_observations=1
+        )
+        assert "likes:scifi" in written
+        assert profile.value("likes:scifi") is True
+        assert profile.value("likes:romance") is False
+
+    def test_min_observations_threshold(self, tiny_dataset):
+        profile = ScrutableProfile("alice")
+        infer_topic_interests(profile, tiny_dataset, min_observations=3)
+        # alice has only 2 scifi + 1 romance ratings
+        assert profile.get("likes:scifi") is None
+
+
+class TestProfileRecommender:
+    def test_edit_changes_recommendations(self, tiny_dataset):
+        """The scrutability loop: correcting the profile reranks items."""
+        profile = ScrutableProfile("alice")
+        infer_topic_interests(profile, tiny_dataset, min_observations=1)
+        recommender = ProfileRecommender(profile).fit(tiny_dataset)
+        before = recommender.predict("alice", "i3")  # drama, unknown topic
+        scifi_before = recommender.predict("alice", "i1").value
+        profile.correct("likes:scifi", False)
+        scifi_after = recommender.predict("alice", "i1").value
+        assert scifi_after < scifi_before
+        assert recommender.predict("alice", "i3").value == before.value
+
+    def test_evidence_lists_used_attributes(self, tiny_dataset):
+        profile = ScrutableProfile("alice")
+        infer_topic_interests(profile, tiny_dataset, min_observations=1)
+        recommender = ProfileRecommender(profile).fit(tiny_dataset)
+        prediction = recommender.predict("alice", "i1")
+        assert any(
+            record.attribute == "likes:scifi"
+            for record in prediction.evidence
+        )
+
+
+class TestOpinionHandler:
+    @pytest.fixture()
+    def handler(self, tiny_dataset):
+        return OpinionHandler(tiny_dataset, ScrutableProfile("alice"))
+
+    def test_more_like_this(self, handler):
+        reply = handler.apply(
+            OpinionFeedback(Opinion.MORE_LIKE_THIS, item_id="i1")
+        )
+        assert "more" in reply
+        assert handler.profile.value("likes:scifi") is True
+
+    def test_more_later_marks_known(self, handler):
+        handler.apply(OpinionFeedback(Opinion.MORE_LATER, item_id="i1"))
+        assert "i1" in handler.known_items
+        assert handler.profile.value("likes:scifi") is True
+
+    def test_already_know_liked_is_not_negative(self, handler):
+        reply = handler.apply(
+            OpinionFeedback(
+                Opinion.ALREADY_KNOW_THIS, item_id="i1", liked=True
+            )
+        )
+        assert "i1" in handler.known_items
+        assert handler.profile.value("likes:scifi") is True
+        assert "on target" in reply
+
+    def test_already_know_unliked_only_hides(self, handler):
+        handler.apply(
+            OpinionFeedback(Opinion.ALREADY_KNOW_THIS, item_id="i1")
+        )
+        assert "i1" in handler.known_items
+        assert handler.profile.get("likes:scifi") is None
+
+    def test_no_more_like_this_suppresses_topic(self, handler):
+        handler.apply(
+            OpinionFeedback(Opinion.NO_MORE_LIKE_THIS, item_id="i4")
+        )
+        assert handler.profile.value("likes:romance") is False
+        assert "romance" in handler.suppressed_topics
+        filtered = handler.filter_items(["i1", "i4", "i5"])
+        assert filtered == ["i1"]
+
+    def test_aspect_level_feedback(self, handler):
+        """'I like the sport, but not the distant location.'"""
+        handler.apply(
+            OpinionFeedback(
+                Opinion.NO_MORE_LIKE_THIS, item_id="i1",
+                aspect="distant-location",
+            )
+        )
+        # only the aspect is suppressed, not the item's own topic
+        assert handler.profile.get("likes:scifi") is None
+        assert handler.profile.value("likes:distant-location") is False
+
+    def test_surprise_me_ramps_exploration(self, handler):
+        assert handler.surprise_level == 0.0
+        reply = handler.apply(OpinionFeedback(Opinion.SURPRISE_ME))
+        assert handler.surprise_level == 0.25
+        assert "25%" in reply
+        handler.apply(OpinionFeedback(Opinion.SURPRISE_ME))
+        assert handler.surprise_level == 0.5
+
+    def test_item_required_for_item_opinions(self, handler):
+        with pytest.raises(DataError):
+            handler.apply(OpinionFeedback(Opinion.MORE_LIKE_THIS))
+
+    def test_unknown_item_rejected(self, handler):
+        with pytest.raises(DataError):
+            handler.apply(
+                OpinionFeedback(Opinion.MORE_LIKE_THIS, item_id="ghost")
+            )
+
+    def test_log_records_everything(self, handler):
+        handler.apply(OpinionFeedback(Opinion.SURPRISE_ME))
+        handler.apply(OpinionFeedback(Opinion.MORE_LIKE_THIS, item_id="i1"))
+        assert len(handler.log) == 2
+
+
+class TestRatingChannelIntegration:
+    def test_rating_channel_feeds_profile_inference(self, tiny_dataset):
+        """Down-rating a topic, then re-inferring, flips the profile."""
+        profile = ScrutableProfile("alice")
+        infer_topic_interests(profile, tiny_dataset, min_observations=1)
+        assert profile.value("likes:scifi") is True
+        tiny_dataset.add_rating(Rating("alice", "i1", 1.0))
+        tiny_dataset.add_rating(Rating("alice", "i2", 1.0))
+        infer_topic_interests(profile, tiny_dataset, min_observations=1)
+        assert profile.value("likes:scifi") is False

@@ -1,0 +1,145 @@
+"""Tests for list presenters and the predicted-ratings browser."""
+
+from __future__ import annotations
+
+from repro.core.explainers import (
+    CollaborativeExplainer,
+    PreferenceBasedExplainer,
+)
+from repro.core.pipeline import ExplainedRecommender
+from repro.presentation.lists import (
+    SimilarToTopPresenter,
+    TopItemPresenter,
+    TopNPresenter,
+)
+from repro.presentation.predicted import PredictedRatingsBrowser
+from repro.recsys.cf_item import ItemBasedCF
+from repro.recsys.cf_user import UserBasedCF
+
+
+def _pipeline(dataset):
+    return ExplainedRecommender(
+        UserBasedCF(significance_gamma=0), CollaborativeExplainer()
+    ).fit(dataset)
+
+
+class TestTopItemPresenter:
+    def test_renders_title_stars_and_explanation(self, tiny_dataset):
+        pipeline = _pipeline(tiny_dataset)
+        best = pipeline.recommend("alice", n=1)[0]
+        page = TopItemPresenter(tiny_dataset, best).render()
+        assert "Recommended for you" in page
+        assert tiny_dataset.item(best.item_id).title in page
+        assert "*" in page
+
+
+class TestTopNPresenter:
+    def test_lists_all_items_in_rank_order(self, movie_world):
+        pipeline = ExplainedRecommender(
+            UserBasedCF(), PreferenceBasedExplainer()
+        ).fit(movie_world.dataset)
+        recommendations = pipeline.recommend("user_000", n=4)
+        page = TopNPresenter(movie_world.dataset, recommendations).render()
+        for recommendation in recommendations:
+            title = movie_world.dataset.item(recommendation.item_id).title
+            assert title in page
+        assert " 1. " in page
+
+    def test_joint_explanation_names_topics(self, movie_world):
+        pipeline = ExplainedRecommender(
+            UserBasedCF(), PreferenceBasedExplainer()
+        ).fit(movie_world.dataset)
+        recommendations = pipeline.recommend("user_000", n=4)
+        presenter = TopNPresenter(movie_world.dataset, recommendations)
+        joint = presenter.joint_explanation()
+        assert joint.startswith("You have watched a lot of")
+        assert "You might like to see" in joint
+
+    def test_empty_list(self, movie_world):
+        presenter = TopNPresenter(movie_world.dataset, [])
+        assert "nothing to recommend" in presenter.joint_explanation()
+
+    def test_explanations_can_be_hidden(self, movie_world):
+        pipeline = ExplainedRecommender(
+            UserBasedCF(), PreferenceBasedExplainer()
+        ).fit(movie_world.dataset)
+        recommendations = pipeline.recommend("user_000", n=3)
+        visible = TopNPresenter(
+            movie_world.dataset, recommendations
+        ).render()
+        hidden = TopNPresenter(
+            movie_world.dataset, recommendations,
+            show_item_explanations=False,
+        ).render()
+        assert len(hidden) < len(visible)
+
+
+class TestSimilarToTopPresenter:
+    def test_item_similarity_phrasing(self, movie_world):
+        recommender = ItemBasedCF().fit(movie_world.dataset)
+        anchor = next(iter(movie_world.dataset.items))
+        similar = recommender.similar_items(anchor, n=3)
+        page = SimilarToTopPresenter(
+            movie_world.dataset, anchor, similar
+        ).render()
+        assert "Because you liked" in page
+        assert "You might also like" in page
+
+    def test_social_phrasing(self, movie_world):
+        recommender = ItemBasedCF().fit(movie_world.dataset)
+        anchor = next(iter(movie_world.dataset.items))
+        similar = recommender.similar_items(anchor, n=3)
+        page = SimilarToTopPresenter(
+            movie_world.dataset, anchor, similar, social=True
+        ).render()
+        assert "People like you liked" in page
+
+    def test_no_similar_items(self, movie_world):
+        anchor = next(iter(movie_world.dataset.items))
+        page = SimilarToTopPresenter(movie_world.dataset, anchor, []).render()
+        assert "no sufficiently similar" in page
+
+
+class TestPredictedRatingsBrowser:
+    def test_page_sorted_by_prediction(self, movie_world):
+        pipeline = _pipeline(movie_world.dataset)
+        browser = PredictedRatingsBrowser(pipeline, "user_000")
+        page = browser.page()
+        scores = [entry.score for entry in page]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_topic_filter(self, movie_world):
+        pipeline = _pipeline(movie_world.dataset)
+        browser = PredictedRatingsBrowser(
+            pipeline, "user_000", topic="scifi"
+        )
+        for entry in browser.page():
+            assert "scifi" in movie_world.dataset.item(entry.item_id).topics
+
+    def test_rated_items_marked(self, movie_world):
+        pipeline = _pipeline(movie_world.dataset)
+        browser = PredictedRatingsBrowser(pipeline, "user_000")
+        rendered = browser.render()
+        if any(
+            movie_world.dataset.rating("user_000", entry.item_id)
+            for entry in browser.page()
+        ):
+            assert "[you rated" in rendered
+
+    def test_exclude_rated(self, movie_world):
+        pipeline = _pipeline(movie_world.dataset)
+        browser = PredictedRatingsBrowser(pipeline, "user_000")
+        page = browser.page(include_rated=False)
+        for entry in page:
+            assert movie_world.dataset.rating(
+                "user_000", entry.item_id
+            ) is None
+
+    def test_why_returns_explanation_text(self, movie_world):
+        pipeline = ExplainedRecommender(
+            UserBasedCF(), PreferenceBasedExplainer()
+        ).fit(movie_world.dataset)
+        browser = PredictedRatingsBrowser(pipeline, "user_000")
+        item_id = next(iter(movie_world.dataset.items))
+        why = browser.why(item_id)
+        assert isinstance(why, str) and why

@@ -1,0 +1,75 @@
+"""Tests for the explanation-modality layer (future work #2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.explanation import Explanation
+from repro.core.styles import ExplanationStyle
+from repro.presentation.modality import (
+    Modality,
+    render_with_modality,
+)
+
+
+@pytest.fixture()
+def rich_explanation() -> Explanation:
+    return Explanation(
+        item_id="x",
+        style=ExplanationStyle.COLLABORATIVE_BASED,
+        text="People like you liked this item.",
+        details={
+            "histogram": "good | ####\nbad  | #",
+        },
+    )
+
+
+@pytest.fixture()
+def text_only_explanation() -> Explanation:
+    return Explanation(
+        item_id="x",
+        style=ExplanationStyle.CONTENT_BASED,
+        text="We recommended this because you liked that.",
+    )
+
+
+class TestRenderWithModality:
+    def test_text_modality_drops_charts(self, rich_explanation):
+        rendering = render_with_modality(rich_explanation, Modality.TEXT)
+        assert rendering.content == rich_explanation.text
+        assert "####" not in rendering.content
+
+    def test_chart_modality_drops_prose(self, rich_explanation):
+        rendering = render_with_modality(rich_explanation, Modality.CHART)
+        assert "####" in rendering.content
+        assert "People like you" not in rendering.content
+
+    def test_combined_keeps_both(self, rich_explanation):
+        rendering = render_with_modality(rich_explanation, Modality.COMBINED)
+        assert "People like you" in rendering.content
+        assert "####" in rendering.content
+
+    def test_chart_falls_back_to_text_when_no_details(
+        self, text_only_explanation
+    ):
+        rendering = render_with_modality(
+            text_only_explanation, Modality.CHART
+        )
+        assert rendering.content == text_only_explanation.text
+
+    def test_reading_costs_ordered(self, rich_explanation):
+        text = render_with_modality(rich_explanation, Modality.TEXT)
+        chart = render_with_modality(rich_explanation, Modality.CHART)
+        combined = render_with_modality(rich_explanation, Modality.COMBINED)
+        assert chart.reading_seconds < combined.reading_seconds
+        assert text.reading_seconds <= combined.reading_seconds
+
+    def test_empty_detection(self):
+        empty = Explanation(
+            item_id="x", style=ExplanationStyle.NONE, text=""
+        )
+        rendering = render_with_modality(empty, Modality.TEXT)
+        assert rendering.is_empty
+
+    def test_all_modalities_enumerable(self):
+        assert {m.value for m in Modality} == {"text", "chart", "combined"}

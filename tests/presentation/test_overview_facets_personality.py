@@ -1,0 +1,213 @@
+"""Tests for structured overview, faceted browsing and personalities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.explainers import PreferenceBasedExplainer
+from repro.core.pipeline import ExplainedRecommender
+from repro.presentation.facets import FacetedBrowser
+from repro.presentation.overview import build_overview
+from repro.presentation.personality import (
+    AFFIRMING,
+    BOLD,
+    FRANK,
+    SERENDIPITOUS,
+    PersonalityRecommender,
+)
+from repro.recsys.cf_user import UserBasedCF
+from repro.recsys.knowledge import (
+    Constraint,
+    KnowledgeBasedRecommender,
+    Preference,
+    UserRequirements,
+)
+
+
+@pytest.fixture()
+def camera_recommender(camera_world):
+    dataset, catalog = camera_world
+    return KnowledgeBasedRecommender(catalog).fit(dataset)
+
+
+@pytest.fixture()
+def camera_requirements():
+    return UserRequirements(
+        preferences=[
+            Preference("price", weight=1.5),
+            Preference("resolution", weight=2.0),
+            Preference("memory", weight=1.0),
+        ]
+    )
+
+
+class TestStructuredOverview:
+    def test_best_item_on_top(self, camera_recommender, camera_requirements):
+        overview = build_overview(camera_recommender, camera_requirements)
+        ranked = camera_recommender.rank(camera_requirements, n=1)
+        assert overview.best.item_id == ranked[0][0].item_id
+
+    def test_categories_have_tradeoff_titles(
+        self, camera_recommender, camera_requirements
+    ):
+        overview = build_overview(camera_recommender, camera_requirements)
+        assert overview.categories
+        for category in overview.categories:
+            assert category.title.startswith("These items are")
+            assert category.items
+
+    def test_categories_ordered_by_utility(
+        self, camera_recommender, camera_requirements
+    ):
+        overview = build_overview(camera_recommender, camera_requirements)
+        utilities = [c.best_utility for c in overview.categories]
+        assert utilities == sorted(utilities, reverse=True)
+
+    def test_render_mentions_best_and_categories(
+        self, camera_recommender, camera_requirements
+    ):
+        overview = build_overview(camera_recommender, camera_requirements)
+        rendered = overview.render()
+        assert "Best match" in rendered
+        assert overview.best.title in rendered
+
+    def test_unsatisfiable_requirements_rejected(self, camera_recommender):
+        requirements = UserRequirements(
+            constraints=[Constraint("price", "<=", 0.0)]
+        )
+        with pytest.raises(ValueError):
+            build_overview(camera_recommender, requirements)
+
+    def test_category_limit(self, camera_recommender, camera_requirements):
+        overview = build_overview(
+            camera_recommender, camera_requirements, max_categories=2
+        )
+        assert len(overview.categories) <= 2
+
+
+class TestFacetedBrowser:
+    def test_requires_facets(self, camera_world):
+        dataset, __ = camera_world
+        with pytest.raises(ValueError):
+            FacetedBrowser(dataset, [])
+
+    def test_counts_sum_to_catalog(self, camera_world):
+        dataset, __ = camera_world
+        browser = FacetedBrowser(dataset, ["brand"])
+        counts = browser.counts("brand")
+        assert sum(counts.values()) == len(dataset.items)
+
+    def test_numeric_bucketing(self, camera_world):
+        dataset, __ = camera_world
+        browser = FacetedBrowser(dataset, ["price"], numeric_buckets=4)
+        counts = browser.counts("price")
+        assert len(counts) <= 4
+        assert all(".." in str(level) for level in counts)
+
+    def test_drill_down_restricts_matches(self, camera_world):
+        dataset, __ = camera_world
+        browser = FacetedBrowser(dataset, ["brand", "price"])
+        all_items = len(browser.matching_items())
+        browser.select("brand", "Axion")
+        filtered = browser.matching_items()
+        assert 0 < len(filtered) < all_items
+        assert all(
+            item.attributes["brand"] == "Axion" for item in filtered
+        )
+
+    def test_sibling_counts_ignore_own_selection(self, camera_world):
+        dataset, __ = camera_world
+        browser = FacetedBrowser(dataset, ["brand"])
+        before = browser.counts("brand")
+        browser.select("brand", "Axion")
+        after = browser.counts("brand")
+        assert before == after  # own facet is not self-filtered
+
+    def test_clear(self, camera_world):
+        dataset, __ = camera_world
+        browser = FacetedBrowser(dataset, ["brand"])
+        browser.select("brand", "Axion")
+        browser.clear("brand")
+        assert browser.selections == {}
+
+    def test_unknown_facet_select(self, camera_world):
+        dataset, __ = camera_world
+        browser = FacetedBrowser(dataset, ["brand"])
+        with pytest.raises(KeyError):
+            browser.select("nope", 1)
+
+    def test_render_shows_counts_and_matches(self, camera_world):
+        dataset, __ = camera_world
+        browser = FacetedBrowser(dataset, ["brand", "price"])
+        browser.select("brand", "Axion")
+        rendered = browser.render()
+        assert "matching items" in rendered
+        assert "[selected: Axion]" in rendered
+
+
+class TestPersonality:
+    @pytest.fixture()
+    def pipeline(self, movie_world):
+        return ExplainedRecommender(
+            UserBasedCF(), PreferenceBasedExplainer()
+        ).fit(movie_world.dataset)
+
+    def test_bold_inflates_displayed_scores(self, pipeline):
+        honest = pipeline.recommend("user_000", n=5)
+        bold = PersonalityRecommender(pipeline, BOLD).recommend(
+            "user_000", n=5
+        )
+        honest_scores = {er.item_id: er.score for er in honest}
+        for er in bold:
+            if er.item_id in honest_scores:
+                assert er.score >= honest_scores[er.item_id]
+
+    def test_frank_appends_confidence(self, pipeline):
+        frank = PersonalityRecommender(pipeline, FRANK).recommend(
+            "user_000", n=3
+        )
+        for er in frank:
+            assert "frank" in er.explanation.text
+
+    def test_affirming_prefers_familiar_topics(self, pipeline, movie_world):
+        dataset = movie_world.dataset
+        rated_topics = {
+            topic
+            for item_id in dataset.ratings_by("user_000")
+            for topic in dataset.item(item_id).topics
+        }
+
+        def familiarity(recommendations):
+            return sum(
+                1
+                for er in recommendations
+                for topic in dataset.item(er.item_id).topics
+                if topic in rated_topics
+            )
+
+        honest = pipeline.recommend("user_000", n=8)
+        affirming = PersonalityRecommender(pipeline, AFFIRMING).recommend(
+            "user_000", n=8
+        )
+        assert familiarity(affirming) >= familiarity(honest)
+
+    def test_serendipitous_raises_novelty(self, pipeline, movie_world):
+        from repro.recsys.metrics import novelty
+
+        honest = pipeline.recommend("user_000", n=5)
+        serendipitous = PersonalityRecommender(
+            pipeline, SERENDIPITOUS
+        ).recommend("user_000", n=5)
+        honest_novelty = novelty(
+            [er.item_id for er in honest], movie_world.dataset
+        )
+        serendipitous_novelty = novelty(
+            [er.item_id for er in serendipitous], movie_world.dataset
+        )
+        assert serendipitous_novelty >= honest_novelty - 1e-9
+
+    def test_scores_stay_on_scale(self, pipeline):
+        for er in PersonalityRecommender(pipeline, BOLD).recommend(
+            "user_000", n=5
+        ):
+            assert 1.0 <= er.score <= 5.0

@@ -1,0 +1,144 @@
+"""Tests (incl. property tests) for the squarified treemap layout."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.presentation.treemap import (
+    Rect,
+    Treemap,
+    build_news_treemap,
+    squarify,
+)
+
+sizes_strategy = st.lists(
+    st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=25,
+)
+
+
+class TestSquarify:
+    def test_single_item_fills_rect(self):
+        rect = Rect(0, 0, 10, 6)
+        [cell] = squarify([5.0], rect)
+        assert cell.area == pytest.approx(rect.area)
+
+    def test_empty_input(self):
+        assert squarify([], Rect(0, 0, 10, 10)) == []
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            squarify([1.0, 0.0], Rect(0, 0, 10, 10))
+
+    def test_output_order_matches_input(self):
+        rect = Rect(0, 0, 12, 8)
+        sizes = [1.0, 5.0, 2.0]
+        cells = squarify(sizes, rect)
+        areas = [cell.area for cell in cells]
+        total = sum(sizes)
+        for size, area in zip(sizes, areas):
+            assert area == pytest.approx(size / total * rect.area, rel=1e-6)
+
+    @given(sizes_strategy)
+    @settings(max_examples=60)
+    def test_areas_proportional_and_total_preserved(self, sizes):
+        rect = Rect(0, 0, 100, 60)
+        cells = squarify(sizes, rect)
+        assert sum(cell.area for cell in cells) == pytest.approx(
+            rect.area, rel=1e-6
+        )
+        total = sum(sizes)
+        for size, cell in zip(sizes, cells):
+            assert cell.area == pytest.approx(
+                size / total * rect.area, rel=1e-6
+            )
+
+    @given(sizes_strategy)
+    @settings(max_examples=60)
+    def test_cells_inside_bounding_rect(self, sizes):
+        rect = Rect(3, 5, 50, 30)
+        for cell in squarify(sizes, rect):
+            assert cell.x >= rect.x - 1e-9
+            assert cell.y >= rect.y - 1e-9
+            assert cell.x + cell.width <= rect.x + rect.width + 1e-6
+            assert cell.y + cell.height <= rect.y + rect.height + 1e-6
+
+    @given(sizes_strategy)
+    @settings(max_examples=30)
+    def test_cells_do_not_overlap(self, sizes):
+        cells = squarify(sizes, Rect(0, 0, 100, 60))
+        for i, a in enumerate(cells):
+            for b in cells[i + 1 :]:
+                x_overlap = max(
+                    0.0,
+                    min(a.x + a.width, b.x + b.width) - max(a.x, b.x),
+                )
+                y_overlap = max(
+                    0.0,
+                    min(a.y + a.height, b.y + b.height) - max(a.y, b.y),
+                )
+                assert x_overlap * y_overlap < 1e-6
+
+    def test_squarified_beats_striping_on_aspect(self):
+        """Squarified cells should be blockier than naive strips."""
+        sizes = [10.0] * 9
+        rect = Rect(0, 0, 90, 30)
+        cells = squarify(sizes, rect)
+        worst = max(
+            max(cell.width / cell.height, cell.height / cell.width)
+            for cell in cells
+        )
+        # naive striping would give 9 slivers of 10x30 (ratio 3);
+        # squarify should do no worse.
+        assert worst <= 3.0 + 1e-9
+
+
+class TestNewsTreemap:
+    def test_builds_cells_for_every_item(self, news_world):
+        item_ids = list(news_world.dataset.items)[:30]
+        treemap = build_news_treemap(news_world.dataset, item_ids)
+        assert len(treemap.cells) == 30
+        for item_id in item_ids:
+            assert treemap.cell_for(item_id) is not None
+
+    def test_empty_selection_rejected(self, news_world):
+        with pytest.raises(ValueError):
+            build_news_treemap(news_world.dataset, [])
+
+    def test_cell_lookup_missing(self, news_world):
+        treemap = build_news_treemap(
+            news_world.dataset, list(news_world.dataset.items)[:5]
+        )
+        with pytest.raises(KeyError):
+            treemap.cell_for("nonexistent")
+
+    def test_importance_drives_area(self, news_world):
+        item_ids = list(news_world.dataset.items)[:30]
+        treemap = build_news_treemap(news_world.dataset, item_ids)
+        # within one topic, higher importance -> larger area
+        by_topic: dict[str, list] = {}
+        for cell in treemap.cells:
+            by_topic.setdefault(cell.topic, []).append(cell)
+        for cells in by_topic.values():
+            if len(cells) < 2:
+                continue
+            cells.sort(key=lambda cell: cell.importance)
+            assert cells[0].rect.area <= cells[-1].rect.area + 1e-6
+
+    def test_render_has_legend_and_shading(self, news_world):
+        item_ids = list(news_world.dataset.items)[:30]
+        treemap = build_news_treemap(news_world.dataset, item_ids)
+        rendered = treemap.render()
+        assert "legend:" in rendered
+        assert "UPPERCASE = recent" in rendered
+
+    def test_recency_normalised(self, news_world):
+        item_ids = list(news_world.dataset.items)[:30]
+        treemap = build_news_treemap(news_world.dataset, item_ids)
+        recencies = [cell.recency for cell in treemap.cells]
+        assert min(recencies) == pytest.approx(0.0)
+        assert max(recencies) == pytest.approx(1.0)
+        assert isinstance(treemap, Treemap)

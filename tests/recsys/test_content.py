@@ -1,0 +1,105 @@
+"""Tests for the TF-IDF content-based recommender."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PredictionImpossibleError
+from repro.recsys.base import KeywordEvidence, SimilarItemEvidence
+from repro.recsys.content import ContentBasedRecommender, TfIdfModel
+from repro.recsys.data import Dataset, Item, Rating, User
+
+
+class TestTfIdfModel:
+    def test_vectors_are_normalized(self, tiny_dataset):
+        model = TfIdfModel(tiny_dataset)
+        for item_id in tiny_dataset.items:
+            norm = np.linalg.norm(model.vector(item_id))
+            assert norm == pytest.approx(1.0) or norm == 0.0
+
+    def test_shared_keywords_mean_similarity(self, tiny_dataset):
+        model = TfIdfModel(tiny_dataset)
+        assert model.similarity("i1", "i2") > 0.5
+        assert model.similarity("i1", "i4") == pytest.approx(0.0)
+
+    def test_rare_keywords_weigh_more(self, tiny_dataset):
+        model = TfIdfModel(tiny_dataset)
+        # "robot" appears once, "space" twice: idf(robot) > idf(space)
+        robot = model.idf[model.vocabulary["robot"]]
+        space = model.idf[model.vocabulary["space"]]
+        assert robot > space
+
+    def test_empty_keyword_item(self):
+        dataset = Dataset(
+            items=[Item("a", "A"), Item("b", "B",
+                                        keywords=frozenset({"k"}))],
+            users=[User("u")],
+        )
+        model = TfIdfModel(dataset)
+        assert np.linalg.norm(model.vector("a")) == 0.0
+
+
+class TestContentBasedRecommender:
+    def test_liked_topic_scores_high(self, tiny_dataset):
+        recommender = ContentBasedRecommender().fit(tiny_dataset)
+        # alice loves scifi (i1, i2 high) and hates romance (i4 low).
+        scifi = recommender.predict("alice", "i1")
+        romance = recommender.predict("alice", "i5")
+        assert scifi.value > romance.value
+
+    def test_empty_profile_raises(self, tiny_dataset):
+        tiny_dataset.add_user(User("newbie"))
+        recommender = ContentBasedRecommender().fit(tiny_dataset)
+        with pytest.raises(PredictionImpossibleError):
+            recommender.predict("newbie", "i1")
+
+    def test_keyword_evidence_present(self, tiny_dataset):
+        recommender = ContentBasedRecommender().fit(tiny_dataset)
+        prediction = recommender.predict("alice", "i2")
+        keyword_evidence = prediction.find_evidence("keywords")
+        assert isinstance(keyword_evidence, KeywordEvidence)
+        top = [k.keyword for k in keyword_evidence.top(3)]
+        assert "space" in top or "alien" in top
+
+    def test_similar_item_evidence_cites_liked_items(self, tiny_dataset):
+        recommender = ContentBasedRecommender().fit(tiny_dataset)
+        prediction = recommender.predict("alice", "i2")
+        cited = [
+            record.item_id
+            for record in prediction.evidence
+            if isinstance(record, SimilarItemEvidence)
+        ]
+        assert "i1" in cited
+        assert "i4" not in cited  # disliked items are never cited
+
+    def test_profile_cache_invalidation(self, tiny_dataset):
+        recommender = ContentBasedRecommender().fit(tiny_dataset)
+        before = recommender.predict("alice", "i5").value
+        tiny_dataset.add_rating(Rating("alice", "i5", 5.0))
+        tiny_dataset.add_rating(Rating("alice", "i4", 5.0))
+        # without invalidation the cached profile is reused
+        recommender.invalidate_profile("alice")
+        after = recommender.predict("alice", "i5").value
+        assert after > before
+
+    def test_values_on_scale(self, movie_world):
+        recommender = ContentBasedRecommender().fit(movie_world.dataset)
+        for recommendation in recommender.recommend("user_001", n=10):
+            assert 1.0 <= recommendation.score <= 5.0
+
+    def test_recommends_favorite_genre(self, movie_world):
+        """Top content recommendations should match the user's latent genre."""
+        recommender = ContentBasedRecommender().fit(movie_world.dataset)
+        hits = 0
+        total = 0
+        for user_id in list(movie_world.dataset.users)[:10]:
+            favorite = movie_world.dataset.user(user_id).attributes[
+                "favorite_genre"
+            ]
+            for recommendation in recommender.recommend(user_id, n=5):
+                total += 1
+                item = movie_world.dataset.item(recommendation.item_id)
+                if favorite in item.topics:
+                    hits += 1
+        assert hits / total > 0.4  # favourite genre is ~1/6 at chance

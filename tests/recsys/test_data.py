@@ -1,0 +1,194 @@
+"""Unit tests for the core data model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError, UnknownItemError, UnknownUserError
+from repro.recsys.data import (
+    Dataset,
+    Item,
+    Rating,
+    RatingScale,
+    User,
+    train_test_split,
+)
+
+
+class TestRatingScale:
+    def test_default_scale_is_one_to_five(self):
+        scale = RatingScale()
+        assert scale.minimum == 1.0
+        assert scale.maximum == 5.0
+        assert scale.span == 4.0
+        assert scale.midpoint == 3.0
+
+    def test_default_like_threshold_is_four(self):
+        assert RatingScale().like_threshold == 4.0
+
+    def test_explicit_like_threshold_kept(self):
+        scale = RatingScale(like_threshold=3.5)
+        assert scale.like_threshold == 3.5
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(DataError):
+            RatingScale(minimum=5.0, maximum=1.0)
+
+    def test_clip(self):
+        scale = RatingScale()
+        assert scale.clip(0.0) == 1.0
+        assert scale.clip(9.0) == 5.0
+        assert scale.clip(3.3) == 3.3
+
+    def test_contains(self):
+        scale = RatingScale()
+        assert scale.contains(1.0)
+        assert scale.contains(5.0)
+        assert not scale.contains(5.01)
+
+    def test_is_positive(self):
+        scale = RatingScale()
+        assert scale.is_positive(4.0)
+        assert scale.is_positive(5.0)
+        assert not scale.is_positive(3.9)
+
+    def test_normalize_denormalize_roundtrip(self):
+        scale = RatingScale()
+        for value in (1.0, 2.5, 3.0, 4.75, 5.0):
+            assert scale.denormalize(scale.normalize(value)) == pytest.approx(
+                value
+            )
+
+    def test_zero_to_ten_scale(self):
+        scale = RatingScale(minimum=0.0, maximum=10.0)
+        assert scale.midpoint == 5.0
+        assert scale.normalize(5.0) == 0.5
+
+
+class TestItemAndUser:
+    def test_item_identity_by_id(self):
+        a = Item("x", "Title A", keywords=frozenset({"k"}))
+        b = Item("x", "Different title")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_item_not_equal_to_other_types(self):
+        assert Item("x", "t") != "x"
+
+    def test_item_attribute_default(self):
+        item = Item("x", "t", attributes={"price": 5})
+        assert item.attribute("price") == 5
+        assert item.attribute("missing", 0) == 0
+
+    def test_user_identity_by_id(self):
+        assert User("u", "Alpha") == User("u", "Beta")
+        assert User("u") != User("v")
+
+
+class TestDataset:
+    def test_counts(self, tiny_dataset):
+        assert len(tiny_dataset.items) == 5
+        assert len(tiny_dataset.users) == 4
+        assert tiny_dataset.n_ratings == 14
+
+    def test_lookup_errors(self, tiny_dataset):
+        with pytest.raises(UnknownItemError):
+            tiny_dataset.item("nope")
+        with pytest.raises(UnknownUserError):
+            tiny_dataset.user("nope")
+
+    def test_rating_lookup(self, tiny_dataset):
+        rating = tiny_dataset.rating("alice", "i1")
+        assert rating is not None and rating.value == 5.0
+        assert tiny_dataset.rating("alice", "i3") is None
+
+    def test_add_rating_unknown_user(self, tiny_dataset):
+        with pytest.raises(UnknownUserError):
+            tiny_dataset.add_rating(Rating("ghost", "i1", 3.0))
+
+    def test_add_rating_unknown_item(self, tiny_dataset):
+        with pytest.raises(UnknownItemError):
+            tiny_dataset.add_rating(Rating("alice", "ghost", 3.0))
+
+    def test_add_rating_off_scale(self, tiny_dataset):
+        with pytest.raises(DataError):
+            tiny_dataset.add_rating(Rating("alice", "i3", 6.0))
+
+    def test_rerating_overwrites(self, tiny_dataset):
+        tiny_dataset.add_rating(Rating("alice", "i1", 2.0))
+        assert tiny_dataset.rating("alice", "i1").value == 2.0
+        assert tiny_dataset.n_ratings == 14  # no duplicate
+
+    def test_remove_rating(self, tiny_dataset):
+        tiny_dataset.remove_rating("alice", "i1")
+        assert tiny_dataset.rating("alice", "i1") is None
+        assert "alice" not in tiny_dataset.ratings_for("i1")
+
+    def test_remove_missing_rating_is_noop(self, tiny_dataset):
+        tiny_dataset.remove_rating("alice", "i3")
+
+    def test_user_mean(self, tiny_dataset):
+        assert tiny_dataset.user_mean("dave") == pytest.approx(3.0)
+        assert tiny_dataset.user_mean("alice") == pytest.approx(
+            (5.0 + 4.5 + 1.0) / 3
+        )
+
+    def test_user_mean_empty_user(self, tiny_dataset):
+        tiny_dataset.add_user(User("empty"))
+        assert tiny_dataset.user_mean("empty") == 3.0
+
+    def test_item_mean(self, tiny_dataset):
+        assert tiny_dataset.item_mean("i1") == pytest.approx(
+            (5.0 + 5.0 + 1.0 + 3.0) / 4
+        )
+        assert tiny_dataset.item_mean("unrated") == 3.0
+
+    def test_global_mean_empty_dataset(self):
+        assert Dataset().global_mean() == 3.0
+
+    def test_unrated_items(self, tiny_dataset):
+        assert tiny_dataset.unrated_items("alice") == ["i3", "i5"]
+
+    def test_topics(self, tiny_dataset):
+        assert tiny_dataset.topics() == ["drama", "romance", "scifi"]
+
+    def test_matrix_shape_and_values(self, tiny_dataset):
+        matrix, user_index, item_index = tiny_dataset.matrix()
+        assert matrix.shape == (4, 5)
+        assert matrix[user_index["alice"], item_index["i1"]] == 5.0
+        assert np.isnan(matrix[user_index["alice"], item_index["i3"]])
+
+    def test_copy_is_independent(self, tiny_dataset):
+        clone = tiny_dataset.copy()
+        clone.add_rating(Rating("alice", "i3", 2.0))
+        assert tiny_dataset.rating("alice", "i3") is None
+        assert clone.rating("alice", "i3").value == 2.0
+
+    def test_repr(self, tiny_dataset):
+        assert "users=4" in repr(tiny_dataset)
+
+
+class TestTrainTestSplit:
+    def test_split_preserves_total(self, movie_world):
+        dataset = movie_world.dataset
+        train, test = train_test_split(dataset, test_fraction=0.25)
+        assert train.n_ratings + len(test) == dataset.n_ratings
+
+    def test_every_user_keeps_a_training_rating(self, movie_world):
+        train, __ = train_test_split(movie_world.dataset, test_fraction=0.5)
+        for user_id in movie_world.dataset.users:
+            if movie_world.dataset.ratings_by(user_id):
+                assert train.ratings_by(user_id), user_id
+
+    def test_invalid_fraction(self, movie_world):
+        with pytest.raises(DataError):
+            train_test_split(movie_world.dataset, test_fraction=1.5)
+
+    def test_deterministic_under_rng(self, movie_world):
+        rng_a = np.random.default_rng(5)
+        rng_b = np.random.default_rng(5)
+        __, test_a = train_test_split(movie_world.dataset, rng=rng_a)
+        __, test_b = train_test_split(movie_world.dataset, rng=rng_b)
+        assert [r.item_id for r in test_a] == [r.item_id for r in test_b]

@@ -1,0 +1,160 @@
+"""Tests for group recommendation and its strategy explanations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.recsys.base import Prediction, Recommender
+from repro.recsys.cf_user import UserBasedCF
+from repro.recsys.group import STRATEGIES, GroupRecommender
+
+
+class _Scripted(Recommender):
+    """Predicts from a fixed (user, item) table; midpoint otherwise."""
+
+    def __init__(self, script: dict[tuple[str, str], float]) -> None:
+        super().__init__()
+        self.script = script
+
+    def predict(self, user_id: str, item_id: str) -> Prediction:
+        return Prediction(
+            value=self.script.get((user_id, item_id), 3.0), confidence=0.8
+        )
+
+
+@pytest.fixture()
+def scripted(tiny_dataset):
+    # i3 and i5 are unrated by everyone in the relevant sense; craft
+    # predictions where i3 is great on average but miserable for carol,
+    # while i5 is decent for everyone.
+    script = {
+        ("alice", "i3"): 5.0, ("bob", "i3"): 5.0, ("carol", "i3"): 1.0,
+        ("alice", "i5"): 3.5, ("bob", "i5"): 3.5, ("carol", "i5"): 3.4,
+    }
+    return _Scripted(script).fit(tiny_dataset)
+
+
+class TestStrategies:
+    def test_unknown_strategy(self, scripted):
+        with pytest.raises(EvaluationError):
+            GroupRecommender(scripted, strategy="dictatorship")
+
+    def test_empty_group(self, scripted):
+        group = GroupRecommender(scripted)
+        with pytest.raises(EvaluationError):
+            group.recommend([])
+
+    def test_average_prefers_high_mean(self, scripted):
+        group = GroupRecommender(scripted, strategy="average")
+        top = group.recommend(
+            ["alice", "bob", "carol"], n=1, candidates=["i3", "i5"],
+            exclude_rated=False,
+        )[0]
+        assert top.item_id == "i3"  # mean 3.67 > 3.47
+
+    def test_least_misery_avoids_carols_misery(self, scripted):
+        group = GroupRecommender(scripted, strategy="least_misery")
+        top = group.recommend(
+            ["alice", "bob", "carol"], n=1, candidates=["i3", "i5"],
+            exclude_rated=False,
+        )[0]
+        assert top.item_id == "i5"  # min 3.4 > min 1.0
+
+    def test_most_pleasure_chases_the_peak(self, scripted):
+        group = GroupRecommender(scripted, strategy="most_pleasure")
+        top = group.recommend(
+            ["alice", "bob", "carol"], n=1, candidates=["i3", "i5"],
+            exclude_rated=False,
+        )[0]
+        assert top.item_id == "i3"  # max 5.0
+
+    def test_average_without_misery_vetoes(self, scripted):
+        group = GroupRecommender(
+            scripted, strategy="average_without_misery",
+            misery_threshold=2.5,
+        )
+        recommendations = group.recommend(
+            ["alice", "bob", "carol"], n=5, candidates=["i3", "i5"],
+            exclude_rated=False,
+        )
+        assert [gr.item_id for gr in recommendations] == ["i5"]
+
+    def test_items_rated_by_any_member_excluded(self, scripted,
+                                                tiny_dataset):
+        group = GroupRecommender(scripted)
+        recommendations = group.recommend(["alice", "bob", "carol"], n=10)
+        rated = {
+            item_id
+            for member in ("alice", "bob", "carol")
+            for item_id in tiny_dataset.ratings_by(member)
+        }
+        assert all(gr.item_id not in rated for gr in recommendations)
+
+    def test_ranks_sequential(self, scripted):
+        group = GroupRecommender(scripted)
+        recommendations = group.recommend(
+            ["alice", "bob"], n=5, candidates=["i3", "i5"],
+            exclude_rated=False,
+        )
+        assert [gr.rank for gr in recommendations] == [1, 2]
+
+
+class TestGroupExplanations:
+    def test_least_misery_names_unhappiest(self, scripted):
+        group = GroupRecommender(scripted, strategy="least_misery")
+        top = group.recommend(
+            ["alice", "bob", "carol"], n=1, candidates=["i3", "i5"],
+            exclude_rated=False,
+        )[0]
+        explanation = group.explain(top)
+        assert "nobody is miserable" in explanation
+        assert top.unhappiest_member() in explanation
+
+    def test_most_pleasure_names_happiest(self, scripted):
+        group = GroupRecommender(scripted, strategy="most_pleasure")
+        top = group.recommend(
+            ["alice", "bob", "carol"], n=1, candidates=["i3", "i5"],
+            exclude_rated=False,
+        )[0]
+        explanation = group.explain(top)
+        assert "delight" in explanation
+        assert top.happiest_member() in explanation
+
+    def test_average_mentions_group_average(self, scripted):
+        group = GroupRecommender(scripted, strategy="average")
+        top = group.recommend(
+            ["alice", "bob"], n=1, candidates=["i3", "i5"],
+            exclude_rated=False,
+        )[0]
+        assert "best average" in group.explain(top)
+
+    def test_all_members_listed(self, scripted):
+        group = GroupRecommender(scripted)
+        top = group.recommend(
+            ["alice", "bob", "carol"], n=1, candidates=["i3"],
+            exclude_rated=False,
+        )[0]
+        explanation = group.explain(top)
+        for member in ("alice", "bob", "carol"):
+            assert member in explanation
+
+    def test_strategies_constant_is_complete(self):
+        assert set(STRATEGIES) == {
+            "average", "least_misery", "most_pleasure",
+            "average_without_misery",
+        }
+
+
+class TestOnRealCF:
+    def test_group_recommendation_end_to_end(self, movie_world):
+        recommender = UserBasedCF().fit(movie_world.dataset)
+        members = list(movie_world.dataset.users)[:3]
+        for strategy in STRATEGIES:
+            group = GroupRecommender(recommender, strategy=strategy)
+            recommendations = group.recommend(members, n=3)
+            assert recommendations
+            for gr in recommendations:
+                assert set(gr.member_predictions) == set(members)
+                explanation = group.explain(gr)
+                assert explanation

@@ -1,0 +1,108 @@
+"""Tests for dataset JSON serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DataError
+from repro.recsys.data import Dataset, Item, Rating, RatingScale, User
+from repro.recsys.io import (
+    dataset_from_dict,
+    dataset_to_dict,
+    load_dataset,
+    save_dataset,
+)
+
+
+def _assert_equal_datasets(a: Dataset, b: Dataset) -> None:
+    assert set(a.items) == set(b.items)
+    assert set(a.users) == set(b.users)
+    assert a.scale == b.scale
+    for item_id, item in a.items.items():
+        other = b.item(item_id)
+        assert other.title == item.title
+        assert other.keywords == item.keywords
+        assert other.topics == item.topics
+        assert dict(other.attributes) == dict(item.attributes)
+    ratings_a = sorted(
+        (r.user_id, r.item_id, r.value, r.source)
+        for r in a.iter_ratings()
+    )
+    ratings_b = sorted(
+        (r.user_id, r.item_id, r.value, r.source)
+        for r in b.iter_ratings()
+    )
+    assert ratings_a == ratings_b
+
+
+class TestRoundTrip:
+    def test_tiny_dataset(self, tiny_dataset):
+        rebuilt = dataset_from_dict(dataset_to_dict(tiny_dataset))
+        _assert_equal_datasets(tiny_dataset, rebuilt)
+
+    def test_synthetic_world(self, movie_world):
+        rebuilt = dataset_from_dict(dataset_to_dict(movie_world.dataset))
+        _assert_equal_datasets(movie_world.dataset, rebuilt)
+
+    def test_file_round_trip(self, tiny_dataset, tmp_path):
+        path = tmp_path / "dataset.json"
+        save_dataset(tiny_dataset, path)
+        rebuilt = load_dataset(path)
+        _assert_equal_datasets(tiny_dataset, rebuilt)
+
+    def test_document_is_plain_json(self, tiny_dataset):
+        document = dataset_to_dict(tiny_dataset)
+        json.dumps(document)  # raises if anything is non-serialisable
+
+    def test_custom_scale_preserved(self):
+        scale = RatingScale(minimum=0.0, maximum=10.0, like_threshold=7.0)
+        dataset = Dataset(
+            items=[Item("i", "I")], users=[User("u")], scale=scale
+        )
+        dataset.add_rating(Rating("u", "i", 8.0))
+        rebuilt = dataset_from_dict(dataset_to_dict(dataset))
+        assert rebuilt.scale.like_threshold == 7.0
+        assert rebuilt.rating("u", "i").value == 8.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["u1", "u2", "u3"]),
+                st.sampled_from(["a", "b", "c", "d"]),
+                st.floats(min_value=1, max_value=5, allow_nan=False),
+            ),
+            max_size=12,
+        )
+    )
+    @settings(max_examples=25)
+    def test_roundtrip_property(self, triples):
+        dataset = Dataset(
+            items=[Item(i, i.upper()) for i in "abcd"],
+            users=[User(u) for u in ("u1", "u2", "u3")],
+        )
+        for user_id, item_id, value in triples:
+            dataset.add_rating(Rating(user_id, item_id, value))
+        rebuilt = dataset_from_dict(dataset_to_dict(dataset))
+        _assert_equal_datasets(dataset, rebuilt)
+
+
+class TestMalformedInput:
+    def test_missing_keys(self):
+        with pytest.raises(DataError):
+            dataset_from_dict({"items": []})
+
+    def test_bad_rating_value(self, tiny_dataset):
+        document = dataset_to_dict(tiny_dataset)
+        document["ratings"][0]["value"] = "not-a-number"
+        with pytest.raises(DataError):
+            dataset_from_dict(document)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(DataError):
+            load_dataset(path)

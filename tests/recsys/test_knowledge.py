@@ -1,0 +1,258 @@
+"""Tests for the knowledge-based (MAUT) recommender."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConstraintError, PredictionImpossibleError
+from repro.recsys.base import UtilityEvidence
+from repro.recsys.knowledge import (
+    AttributeSpec,
+    Catalog,
+    Constraint,
+    KnowledgeBasedRecommender,
+    Preference,
+    UserRequirements,
+    compare_items,
+)
+
+
+class TestAttributeSpec:
+    def test_default_phrases(self):
+        spec = AttributeSpec(name="zoom", low=1, high=10)
+        assert spec.less_phrase == "Lower zoom"
+        assert spec.more_phrase == "Higher zoom"
+
+    def test_invalid_kind(self):
+        with pytest.raises(ConstraintError):
+            AttributeSpec(name="x", kind="weird")
+
+    def test_invalid_direction(self):
+        with pytest.raises(ConstraintError):
+            AttributeSpec(name="x", direction="sideways")
+
+    def test_invalid_range(self):
+        with pytest.raises(ConstraintError):
+            AttributeSpec(name="x", low=5, high=5)
+
+    def test_normalize_clips(self):
+        spec = AttributeSpec(name="x", low=0, high=10)
+        assert spec.normalize(-5) == 0.0
+        assert spec.normalize(15) == 1.0
+        assert spec.normalize(5) == 0.5
+
+    def test_normalize_non_numeric_raises(self):
+        spec = AttributeSpec(name="x", kind="categorical")
+        with pytest.raises(ConstraintError):
+            spec.normalize(3)
+
+
+class TestCatalog:
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(ConstraintError):
+            Catalog([AttributeSpec(name="a"), AttributeSpec(name="a")])
+
+    def test_unknown_spec_lookup(self, camera_world):
+        __, catalog = camera_world
+        with pytest.raises(ConstraintError):
+            catalog.spec("nonexistent")
+
+
+class TestConstraint:
+    def test_operators(self, camera_world):
+        dataset, __ = camera_world
+        item = next(iter(dataset.items.values()))
+        price = float(item.attributes["price"])
+        assert Constraint("price", "<=", price).satisfied_by(item)
+        assert Constraint("price", ">=", price).satisfied_by(item)
+        assert Constraint("price", "==", price).satisfied_by(item)
+        assert not Constraint("price", "!=", price).satisfied_by(item)
+        assert Constraint(
+            "brand", "in", {item.attributes["brand"]}
+        ).satisfied_by(item)
+
+    def test_missing_attribute_fails(self, camera_world):
+        dataset, __ = camera_world
+        item = next(iter(dataset.items.values()))
+        assert not Constraint("nonexistent", "==", 1).satisfied_by(item)
+
+    def test_unknown_operator(self):
+        with pytest.raises(ConstraintError):
+            Constraint("price", "~", 100)
+
+    def test_describe(self):
+        assert Constraint("price", "<=", 300).describe() == "price <= 300"
+        described = Constraint("brand", "in", ("A", "B")).describe()
+        assert described.startswith("brand in {")
+
+
+class TestUserRequirements:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConstraintError):
+            Preference(attribute="price", weight=-1.0)
+
+    def test_copy_is_independent(self):
+        original = UserRequirements(
+            constraints=[Constraint("price", "<=", 100)]
+        )
+        clone = original.copy()
+        clone.remove_constraint(clone.constraints[0])
+        assert len(original.constraints) == 1
+        assert len(clone.constraints) == 0
+
+    def test_describe_lists_everything(self):
+        requirements = UserRequirements(
+            constraints=[Constraint("price", "<=", 100)],
+            preferences=[
+                Preference("zoom", weight=2.0),
+                Preference("brand", weight=1.0, target="Axion"),
+            ],
+        )
+        described = "\n".join(requirements.describe())
+        assert "price <= 100" in described
+        assert "zoom" in described
+        assert "Axion" in described
+
+
+class TestKnowledgeBasedRecommender:
+    @pytest.fixture()
+    def recommender(self, camera_world):
+        dataset, catalog = camera_world
+        return KnowledgeBasedRecommender(catalog).fit(dataset)
+
+    def test_rank_respects_constraints(self, recommender):
+        requirements = UserRequirements(
+            constraints=[Constraint("price", "<=", 300)],
+            preferences=[Preference("resolution", weight=1.0)],
+        )
+        for item, __, __ in recommender.rank(requirements):
+            assert float(item.attributes["price"]) <= 300
+
+    def test_rank_orders_by_utility(self, recommender):
+        requirements = UserRequirements(
+            preferences=[Preference("resolution", weight=1.0)]
+        )
+        ranked = recommender.rank(requirements)
+        utilities = [utility for __, utility, __ in ranked]
+        assert utilities == sorted(utilities, reverse=True)
+        # best resolution camera should be first
+        best = ranked[0][0]
+        assert float(best.attributes["resolution"]) == max(
+            float(item.attributes["resolution"])
+            for item in recommender.dataset.items.values()
+        )
+
+    def test_target_preference(self, recommender):
+        requirements = UserRequirements(
+            preferences=[
+                Preference("price", weight=1.0, target=400.0),
+            ]
+        )
+        ranked = recommender.rank(requirements, n=3)
+        for item, __, __ in ranked:
+            # near the target, not simply cheapest
+            assert abs(float(item.attributes["price"]) - 400.0) < 250.0
+
+    def test_categorical_preference(self, recommender):
+        requirements = UserRequirements(
+            preferences=[Preference("brand", weight=1.0, target="Axion")]
+        )
+        best = recommender.rank(requirements, n=1)[0][0]
+        assert best.attributes["brand"] == "Axion"
+
+    def test_utility_evidence_breakdown(self, recommender):
+        requirements = UserRequirements(
+            preferences=[
+                Preference("price", weight=2.0),
+                Preference("zoom", weight=1.0),
+            ]
+        )
+        item = next(iter(recommender.dataset.items.values()))
+        utility, evidence = recommender.utility(item, requirements)
+        assert isinstance(evidence, UtilityEvidence)
+        assert {score.name for score in evidence.scores} == {"price", "zoom"}
+        assert 0.0 <= utility <= 1.0
+
+    def test_no_preferences_neutral_utility(self, recommender):
+        item = next(iter(recommender.dataset.items.values()))
+        utility, __ = recommender.utility(item, UserRequirements())
+        assert utility == 0.5
+
+    def test_relaxations_for_impossible_requirements(self, recommender):
+        requirements = UserRequirements(
+            constraints=[
+                Constraint("price", "<=", 90),
+                Constraint("resolution", ">=", 11.5),
+            ]
+        )
+        relaxations = recommender.relaxations(requirements)
+        assert relaxations
+        for relaxation in relaxations:
+            assert relaxation.n_unlocked > 0
+            assert "relax" in relaxation.describe()
+
+    def test_relaxations_empty_when_satisfiable(self, recommender):
+        requirements = UserRequirements(
+            constraints=[Constraint("price", "<=", 1200)]
+        )
+        assert recommender.relaxations(requirements) == []
+
+    def test_predict_requires_registered_requirements(self, recommender):
+        item_id = next(iter(recommender.dataset.items))
+        with pytest.raises(PredictionImpossibleError):
+            recommender.predict("stranger", item_id)
+
+    def test_predict_with_registered_requirements(self, recommender):
+        requirements = UserRequirements(
+            preferences=[Preference("resolution", weight=1.0)]
+        )
+        recommender.set_requirements("shopper", requirements)
+        item_id = next(iter(recommender.dataset.items))
+        prediction = recommender.predict("shopper", item_id)
+        assert 1.0 <= prediction.value <= 5.0
+        assert prediction.find_evidence("utility") is not None
+
+    def test_constraint_violating_item_bottoms_out(self, recommender):
+        requirements = UserRequirements(
+            constraints=[Constraint("price", "<=", 0.0)]
+        )
+        recommender.set_requirements("shopper", requirements)
+        item_id = next(iter(recommender.dataset.items))
+        prediction = recommender.predict("shopper", item_id)
+        assert prediction.value == recommender.dataset.scale.minimum
+
+
+class TestCompareItems:
+    def test_deltas_cover_differing_attributes(self, camera_world):
+        dataset, catalog = camera_world
+        items = list(dataset.items.values())
+        deltas = compare_items(catalog, items[0], items[1])
+        names = {delta.attribute for delta in deltas}
+        assert "price" in names  # prices essentially never tie exactly
+
+    def test_phrases_use_catalog_vocabulary(self, camera_world):
+        dataset, catalog = camera_world
+        items = list(dataset.items.values())
+        cheap = min(items, key=lambda item: item.attributes["price"])
+        pricey = max(items, key=lambda item: item.attributes["price"])
+        deltas = compare_items(catalog, cheap, pricey)
+        price_delta = next(d for d in deltas if d.attribute == "price")
+        assert price_delta.phrase == "Cheaper"
+        assert price_delta.direction == -1
+
+    def test_improves_annotation(self, camera_world):
+        dataset, catalog = camera_world
+        items = list(dataset.items.values())
+        cheap = min(items, key=lambda item: item.attributes["price"])
+        pricey = max(items, key=lambda item: item.attributes["price"])
+        requirements = UserRequirements(
+            preferences=[Preference("price", weight=1.0)]
+        )
+        deltas = compare_items(catalog, cheap, pricey, requirements)
+        price_delta = next(d for d in deltas if d.attribute == "price")
+        assert price_delta.improves is True
+
+    def test_identical_items_no_deltas(self, camera_world):
+        dataset, catalog = camera_world
+        item = next(iter(dataset.items.values()))
+        assert compare_items(catalog, item, item) == []

@@ -1,0 +1,156 @@
+"""Property-based tests for the knowledge-based substrate."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.domains import make_cameras
+from repro.recsys.knowledge import (
+    Constraint,
+    KnowledgeBasedRecommender,
+    Preference,
+    UserRequirements,
+)
+
+_DATASET, _CATALOG = make_cameras(n_items=50, seed=77)
+_RECOMMENDER = KnowledgeBasedRecommender(_CATALOG).fit(_DATASET)
+
+_NUMERIC = ("price", "resolution", "memory", "zoom", "weight")
+
+constraints_strategy = st.lists(
+    st.builds(
+        Constraint,
+        attribute=st.sampled_from(_NUMERIC),
+        operator=st.sampled_from(["<=", ">="]),
+        value=st.floats(min_value=0, max_value=2500, allow_nan=False),
+    ),
+    max_size=4,
+)
+
+preferences_strategy = st.lists(
+    st.builds(
+        Preference,
+        attribute=st.sampled_from(_NUMERIC),
+        weight=st.floats(min_value=0.1, max_value=3.0, allow_nan=False),
+    ),
+    max_size=4,
+    unique_by=lambda preference: preference.attribute,
+)
+
+
+class TestMatchingConsistency:
+    @given(constraints_strategy)
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    def test_matching_items_agree_with_satisfied_by(self, constraints):
+        requirements = UserRequirements(constraints=constraints)
+        matches = {
+            item.item_id
+            for item in _RECOMMENDER.matching_items(requirements)
+        }
+        for item in _DATASET.items.values():
+            assert (item.item_id in matches) == requirements.satisfied_by(
+                item
+            )
+
+    @given(constraints_strategy)
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    def test_adding_constraints_never_grows_matches(self, constraints):
+        requirements = UserRequirements()
+        previous = len(_RECOMMENDER.matching_items(requirements))
+        for constraint in constraints:
+            requirements.add_constraint(constraint)
+            current = len(_RECOMMENDER.matching_items(requirements))
+            assert current <= previous
+            previous = current
+
+
+class TestUtilityProperties:
+    @given(preferences_strategy)
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    def test_utilities_bounded_and_ranked(self, preferences):
+        requirements = UserRequirements(preferences=preferences)
+        ranked = _RECOMMENDER.rank(requirements)
+        utilities = [utility for __, utility, __ in ranked]
+        assert all(0.0 <= utility <= 1.0 for utility in utilities)
+        assert utilities == sorted(utilities, reverse=True)
+
+    @given(preferences_strategy)
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    def test_scaling_weights_preserves_ranking(self, preferences):
+        """Multiplying all weights by a constant changes nothing."""
+        requirements = UserRequirements(preferences=preferences)
+        scaled = UserRequirements(
+            preferences=[
+                Preference(
+                    attribute=preference.attribute,
+                    weight=preference.weight * 7.0,
+                    target=preference.target,
+                )
+                for preference in preferences
+            ]
+        )
+        original = [
+            item.item_id for item, __, __ in _RECOMMENDER.rank(requirements)
+        ]
+        rescaled = [
+            item.item_id for item, __, __ in _RECOMMENDER.rank(scaled)
+        ]
+        assert original == rescaled
+
+
+class TestRelaxationProperties:
+    @given(constraints_strategy)
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    def test_relaxations_actually_unlock(self, constraints):
+        requirements = UserRequirements(constraints=constraints)
+        relaxations = _RECOMMENDER.relaxations(requirements)
+        if _RECOMMENDER.matching_items(requirements):
+            assert relaxations == []
+            return
+        for relaxation in relaxations:
+            reduced = requirements.copy()
+            for constraint in relaxation.constraints:
+                reduced.remove_constraint(constraint)
+            unlocked = _RECOMMENDER.matching_items(reduced)
+            assert len(unlocked) == relaxation.n_unlocked
+            assert relaxation.n_unlocked > 0
+
+    def test_relaxations_are_minimal(self):
+        requirements = UserRequirements(
+            constraints=[
+                Constraint("price", "<=", 90),     # individually relaxable
+                Constraint("resolution", ">=", 11.5),
+            ]
+        )
+        relaxations = _RECOMMENDER.relaxations(requirements)
+        assert relaxations
+        # singletons suffice here, so no pair should be reported
+        assert all(len(r.constraints) == 1 for r in relaxations)
+
+
+class TestPredictRankAgreement:
+    @given(
+        st.lists(
+            st.builds(
+                Preference,
+                attribute=st.sampled_from(_NUMERIC),
+                weight=st.floats(
+                    min_value=0.1, max_value=3.0, allow_nan=False
+                ),
+            ),
+            min_size=1,
+            max_size=4,
+            unique_by=lambda preference: preference.attribute,
+        )
+    )
+    @settings(max_examples=20, suppress_health_check=[HealthCheck.too_slow])
+    def test_predict_value_is_monotone_in_utility(self, preferences):
+        requirements = UserRequirements(preferences=preferences)
+        _RECOMMENDER.set_requirements("shopper", requirements)
+        ranked = _RECOMMENDER.rank(requirements, n=10)
+        values = [
+            _RECOMMENDER.predict("shopper", item.item_id).value
+            for item, __, __ in ranked
+        ]
+        assert values == sorted(values, reverse=True)

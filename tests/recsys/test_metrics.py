@@ -1,0 +1,143 @@
+"""Tests for accuracy and beyond-accuracy metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError
+from repro.recsys.metrics import (
+    catalog_coverage,
+    f1_at_n,
+    intra_list_diversity,
+    intra_list_similarity,
+    mae,
+    novelty,
+    precision_at_n,
+    recall_at_n,
+    rmse,
+    serendipity,
+    topic_diversity,
+)
+
+
+class TestErrorMetrics:
+    def test_mae_exact(self):
+        assert mae([1.0, 2.0], [2.0, 4.0]) == pytest.approx(1.5)
+
+    def test_rmse_exact(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(
+            math.sqrt(12.5)
+        )
+
+    def test_rmse_at_least_mae(self):
+        predicted = [1.0, 2.0, 3.0, 5.0]
+        actual = [2.0, 2.0, 1.0, 4.5]
+        assert rmse(predicted, actual) >= mae(predicted, actual)
+
+    def test_length_mismatch(self):
+        with pytest.raises(EvaluationError):
+            mae([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            rmse([], [])
+
+    @given(
+        st.lists(
+            st.floats(min_value=1, max_value=5, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50)
+    def test_perfect_predictions_zero_error(self, values):
+        assert mae(values, values) == 0.0
+        assert rmse(values, values) == 0.0
+
+
+class TestPrecisionRecall:
+    def test_precision(self):
+        assert precision_at_n(["a", "b", "c", "d"], {"a", "c"}) == 0.5
+
+    def test_recall(self):
+        assert recall_at_n(["a", "b"], {"a", "c", "d"}) == pytest.approx(1 / 3)
+
+    def test_empty_recommended(self):
+        assert precision_at_n([], {"a"}) == 0.0
+
+    def test_empty_relevant(self):
+        assert recall_at_n(["a"], set()) == 0.0
+
+    def test_f1_harmonic_mean(self):
+        recommended = ["a", "b"]
+        relevant = {"a", "c"}
+        precision = precision_at_n(recommended, relevant)
+        recall = recall_at_n(recommended, relevant)
+        expected = 2 * precision * recall / (precision + recall)
+        assert f1_at_n(recommended, relevant) == pytest.approx(expected)
+
+    def test_f1_zero_when_no_overlap(self):
+        assert f1_at_n(["a"], {"b"}) == 0.0
+
+
+class TestCoverage:
+    def test_full_coverage(self):
+        assert catalog_coverage([["a"], ["b"]], 2) == 1.0
+
+    def test_partial_coverage(self):
+        assert catalog_coverage([["a", "a"], ["a"]], 4) == 0.25
+
+    def test_invalid_catalog_size(self):
+        with pytest.raises(EvaluationError):
+            catalog_coverage([["a"]], 0)
+
+
+class TestDiversity:
+    @staticmethod
+    def _same_first_letter(a: str, b: str) -> float:
+        return 1.0 if a[0] == b[0] else 0.0
+
+    def test_homogeneous_list(self):
+        value = intra_list_similarity(
+            ["a1", "a2", "a3"], self._same_first_letter
+        )
+        assert value == 1.0
+        assert intra_list_diversity(
+            ["a1", "a2", "a3"], self._same_first_letter
+        ) == 0.0
+
+    def test_heterogeneous_list(self):
+        assert intra_list_similarity(
+            ["a1", "b1", "c1"], self._same_first_letter
+        ) == 0.0
+
+    def test_short_list_scores_zero(self):
+        assert intra_list_similarity(["a"], self._same_first_letter) == 0.0
+
+    def test_topic_diversity(self, tiny_dataset):
+        assert topic_diversity(["i1", "i2"], tiny_dataset) == 0.5
+        assert topic_diversity(["i1", "i4"], tiny_dataset) == 1.0
+        assert topic_diversity([], tiny_dataset) == 0.0
+
+
+class TestNoveltySerendipity:
+    def test_unrated_items_are_most_novel(self, tiny_dataset):
+        assert novelty(["i5"], tiny_dataset) > novelty(["i1"], tiny_dataset)
+
+    def test_novelty_empty_list(self, tiny_dataset):
+        assert novelty([], tiny_dataset) == 0.0
+
+    def test_serendipity_counts_unexpected_hits(self):
+        value = serendipity(
+            ["a", "b", "c"],
+            relevant={"a", "b"},
+            expected={"a"},
+        )
+        assert value == pytest.approx(1 / 3)  # only b is a surprise hit
+
+    def test_serendipity_empty(self):
+        assert serendipity([], {"a"}, set()) == 0.0

@@ -1,0 +1,119 @@
+"""Tests for the LIBRA-style naive-Bayes recommender and its influences."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PredictionImpossibleError
+from repro.recsys.base import InfluenceEvidence
+from repro.recsys.data import Rating, User
+from repro.recsys.naive_bayes import NaiveBayesRecommender
+
+
+class TestNaiveBayes:
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            NaiveBayesRecommender(alpha=0.0)
+
+    def test_min_examples_enforced(self, tiny_dataset):
+        tiny_dataset.add_user(User("sparse"))
+        tiny_dataset.add_rating(Rating("sparse", "i1", 5.0))
+        recommender = NaiveBayesRecommender(min_examples=2).fit(tiny_dataset)
+        with pytest.raises(PredictionImpossibleError):
+            recommender.predict("sparse", "i2")
+
+    def test_liked_keywords_raise_score(self, tiny_dataset):
+        recommender = NaiveBayesRecommender().fit(tiny_dataset)
+        # alice: i1, i2 (space) liked; i4 (romance) disliked.
+        assert recommender.score("alice", "i2") > recommender.score(
+            "alice", "i5"
+        )
+
+    def test_predict_maps_probability_to_scale(self, tiny_dataset):
+        recommender = NaiveBayesRecommender().fit(tiny_dataset)
+        prediction = recommender.predict("alice", "i2")
+        assert 1.0 <= prediction.value <= 5.0
+        assert prediction.value > 3.0
+
+    def test_influences_sum_matters(self, tiny_dataset):
+        recommender = NaiveBayesRecommender().fit(tiny_dataset)
+        influences = recommender.rating_influences("alice", "i2")
+        assert {r.item_id for r in influences} == {"i1", "i2", "i4"}
+        # the liked space item must push the space candidate up,
+        # the disliked romance item must not push it up more.
+        by_id = {r.item_id: r.influence for r in influences}
+        assert by_id["i1"] > 0.0
+
+    def test_leave_one_out_exactness(self, tiny_dataset):
+        """Removing a rating and refitting must equal the reported LOO."""
+        recommender = NaiveBayesRecommender().fit(tiny_dataset)
+        full = recommender.score("alice", "i5")
+        influences = {
+            r.item_id: r.influence
+            for r in recommender.rating_influences("alice", "i5")
+        }
+        reduced = tiny_dataset.copy()
+        reduced.remove_rating("alice", "i4")
+        reduced_recommender = NaiveBayesRecommender().fit(reduced)
+        reduced_score = reduced_recommender.score("alice", "i5")
+        assert full - reduced_score == pytest.approx(influences["i4"])
+
+    def test_influence_evidence_and_percentages(self, tiny_dataset):
+        recommender = NaiveBayesRecommender().fit(tiny_dataset)
+        prediction = recommender.predict("alice", "i2")
+        evidence = prediction.find_evidence("rating_influence")
+        assert isinstance(evidence, InfluenceEvidence)
+        percentages = evidence.percentages()
+        total = sum(abs(v) for v in percentages.values())
+        assert total == pytest.approx(100.0)
+
+    def test_top_influences_sorted_by_magnitude(self, tiny_dataset):
+        recommender = NaiveBayesRecommender().fit(tiny_dataset)
+        evidence = recommender.predict("alice", "i2").find_evidence(
+            "rating_influence"
+        )
+        magnitudes = [abs(r.influence) for r in evidence.top(10)]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_cache_invalidation(self, tiny_dataset):
+        recommender = NaiveBayesRecommender().fit(tiny_dataset)
+        before = recommender.score("alice", "i5")
+        tiny_dataset.add_rating(Rating("alice", "i5", 5.0))
+        recommender.invalidate("alice")
+        after = recommender.score("alice", "i5")
+        assert after != pytest.approx(before)
+
+    def test_stronger_ratings_teach_more(self, tiny_dataset):
+        recommender = NaiveBayesRecommender().fit(tiny_dataset)
+        # 5.0 rating has weight 1.0; 3.5 rating would have weight 0.5.
+        assert recommender._example_weight(5.0) == pytest.approx(1.0)
+        assert recommender._example_weight(3.0) == pytest.approx(0.5)
+        assert recommender._example_weight(1.0) == pytest.approx(1.0)
+
+    def test_same_author_books_boosted(self, book_world):
+        """Books by a liked author should outrank other-genre books."""
+        dataset = book_world.dataset
+        recommender = NaiveBayesRecommender().fit(dataset)
+        # find a user with at least 3 liked books from one author
+        for user_id in dataset.users:
+            liked_authors = {}
+            for item_id, rating in dataset.ratings_by(user_id).items():
+                if dataset.scale.is_positive(rating.value):
+                    author = dataset.item(item_id).attributes["author"]
+                    liked_authors[author] = liked_authors.get(author, 0) + 1
+            strong = [a for a, c in liked_authors.items() if c >= 2]
+            if not strong:
+                continue
+            author = strong[0]
+            unrated_same = [
+                item.item_id
+                for item in dataset.items.values()
+                if item.attributes["author"] == author
+                and dataset.rating(user_id, item.item_id) is None
+            ]
+            if not unrated_same:
+                continue
+            score_same = recommender.score(user_id, unrated_same[0])
+            assert score_same > 0.0
+            return
+        pytest.skip("no user with a strongly liked author in this seed")

@@ -1,0 +1,149 @@
+"""Tests for the popularity baseline and Ziegler diversification."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError
+from repro.recsys.base import Prediction, Recommendation
+from repro.recsys.diversify import diversify
+from repro.recsys.popularity import PopularityRecommender
+
+
+class TestPopularity:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PopularityRecommender(damping=-1.0)
+        with pytest.raises(ValueError):
+            PopularityRecommender(recency_weight=1.0)
+
+    def test_identical_for_all_users(self, tiny_dataset):
+        recommender = PopularityRecommender(recency_weight=0.0).fit(
+            tiny_dataset
+        )
+        a = recommender.predict("alice", "i1")
+        b = recommender.predict("carol", "i1")
+        assert a.value == b.value
+
+    def test_damping_pulls_to_global_mean(self, tiny_dataset):
+        heavy = PopularityRecommender(damping=100.0, recency_weight=0.0).fit(
+            tiny_dataset
+        )
+        light = PopularityRecommender(damping=0.1, recency_weight=0.0).fit(
+            tiny_dataset
+        )
+        global_mean = tiny_dataset.global_mean()
+        heavy_prediction = heavy.predict("alice", "i1").value
+        light_prediction = light.predict("alice", "i1").value
+        assert abs(heavy_prediction - global_mean) < abs(
+            light_prediction - global_mean
+        )
+
+    def test_popularity_evidence(self, tiny_dataset):
+        recommender = PopularityRecommender().fit(tiny_dataset)
+        evidence = recommender.predict("alice", "i1").find_evidence(
+            "popularity"
+        )
+        assert evidence is not None
+        assert evidence.n_ratings == 4
+
+    def test_confidence_grows_with_ratings(self, tiny_dataset):
+        recommender = PopularityRecommender().fit(tiny_dataset)
+        popular = recommender.predict("alice", "i1")  # 4 raters
+        obscure = recommender.predict("alice", "i5")  # 2 raters
+        assert popular.confidence > obscure.confidence
+
+    def test_recency_bonus(self, news_world):
+        recommender = PopularityRecommender(recency_weight=0.4).fit(
+            news_world.dataset
+        )
+        items = sorted(
+            news_world.dataset.items.values(), key=lambda item: item.recency
+        )
+        oldest, newest = items[0], items[-1]
+        old_prediction = recommender.predict("user_000", oldest.item_id)
+        new_prediction = recommender.predict("user_000", newest.item_id)
+        # recency contributes, though rating mass can still dominate
+        assert new_prediction.value != old_prediction.value
+
+
+def _recommendations(n: int) -> list[Recommendation]:
+    return [
+        Recommendation(
+            item_id=f"item_{index}",
+            score=float(n - index),
+            rank=index + 1,
+            prediction=Prediction(value=float(n - index)),
+        )
+        for index in range(n)
+    ]
+
+
+def _group_similarity(a: str, b: str) -> float:
+    """Items with the same index parity count as similar."""
+    return 1.0 if int(a.split("_")[1]) % 2 == int(b.split("_")[1]) % 2 else 0.0
+
+
+class TestDiversify:
+    def test_theta_zero_keeps_accuracy_order(self):
+        recommendations = _recommendations(8)
+        result = diversify(recommendations, _group_similarity, theta=0.0)
+        assert [r.item_id for r in result] == [
+            r.item_id for r in recommendations
+        ]
+
+    def test_theta_invalid(self):
+        with pytest.raises(EvaluationError):
+            diversify(_recommendations(3), _group_similarity, theta=1.5)
+
+    def test_output_is_permutation_of_input_prefix(self):
+        recommendations = _recommendations(10)
+        result = diversify(
+            recommendations, _group_similarity, theta=0.7, n=5
+        )
+        assert len(result) == 5
+        assert len({r.item_id for r in result}) == 5
+        assert {r.item_id for r in result} <= {
+            r.item_id for r in recommendations
+        }
+
+    def test_ranks_rewritten(self):
+        result = diversify(_recommendations(6), _group_similarity, theta=0.5)
+        assert [r.rank for r in result] == [1, 2, 3, 4, 5, 6]
+
+    def test_high_theta_alternates_groups(self):
+        result = diversify(_recommendations(6), _group_similarity, theta=1.0)
+        parities = [int(r.item_id.split("_")[1]) % 2 for r in result[:4]]
+        # with full diversification consecutive items alternate parity
+        assert parities[0] != parities[1]
+
+    def test_empty_input(self):
+        assert diversify([], _group_similarity) == []
+
+    @given(st.integers(min_value=1, max_value=12),
+           st.floats(min_value=0, max_value=1))
+    @settings(max_examples=30)
+    def test_first_item_always_kept(self, n, theta):
+        recommendations = _recommendations(n)
+        result = diversify(recommendations, _group_similarity, theta=theta)
+        assert result[0].item_id == recommendations[0].item_id
+
+    @given(st.floats(min_value=0, max_value=1))
+    @settings(max_examples=20)
+    def test_diversity_never_decreases_with_theta(self, theta):
+        from repro.recsys.metrics import intra_list_diversity
+
+        recommendations = _recommendations(10)
+        base = diversify(recommendations, _group_similarity, theta=0.0, n=6)
+        varied = diversify(
+            recommendations, _group_similarity, theta=theta, n=6
+        )
+        base_diversity = intra_list_diversity(
+            [r.item_id for r in base], _group_similarity
+        )
+        varied_diversity = intra_list_diversity(
+            [r.item_id for r in varied], _group_similarity
+        )
+        assert varied_diversity >= base_diversity - 1e-9

@@ -1,0 +1,181 @@
+"""Unit + property tests for similarity measures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.recsys.similarity import (
+    adjusted_cosine,
+    attribute_similarity,
+    cosine,
+    describe_similarity,
+    jaccard,
+    mean_squared_difference,
+    pearson,
+    significance_weight,
+)
+
+vectors = st.lists(
+    st.floats(min_value=-10, max_value=10, allow_nan=False),
+    min_size=2,
+    max_size=20,
+)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson(np.array([1, 2, 3]), np.array([2, 4, 6])) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson(np.array([1, 2, 3]), np.array([3, 2, 1])) == pytest.approx(-1.0)
+
+    def test_zero_variance_returns_zero(self):
+        assert pearson(np.array([2, 2, 2]), np.array([1, 2, 3])) == 0.0
+
+    def test_single_point_returns_zero(self):
+        assert pearson(np.array([1.0]), np.array([2.0])) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pearson(np.array([1, 2]), np.array([1, 2, 3]))
+
+    @given(vectors)
+    @settings(max_examples=50)
+    def test_self_similarity_nonnegative(self, values):
+        array = np.array(values)
+        assert pearson(array, array) >= 0.0
+
+    @given(vectors, vectors)
+    @settings(max_examples=50)
+    def test_bounded_and_symmetric(self, a, b):
+        size = min(len(a), len(b))
+        array_a, array_b = np.array(a[:size]), np.array(b[:size])
+        value = pearson(array_a, array_b)
+        assert -1.0 <= value <= 1.0
+        assert value == pytest.approx(pearson(array_b, array_a))
+
+
+class TestCosine:
+    def test_parallel(self):
+        assert cosine(np.array([1, 1]), np.array([2, 2])) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine(np.array([1, 0]), np.array([0, 1])) == pytest.approx(0.0)
+
+    def test_zero_vector(self):
+        assert cosine(np.array([0, 0]), np.array([1, 1])) == 0.0
+
+    @given(vectors, vectors)
+    @settings(max_examples=50)
+    def test_bounded(self, a, b):
+        size = min(len(a), len(b))
+        value = cosine(np.array(a[:size]), np.array(b[:size]))
+        assert -1.0 <= value <= 1.0
+
+
+class TestAdjustedCosine:
+    def test_centering_matters(self):
+        # Raw ratings look similar, but user-centred they diverge.
+        a = np.array([5.0, 4.0])
+        b = np.array([5.0, 5.0])
+        means = np.array([5.0, 4.0])
+        centred = adjusted_cosine(a, b, means)
+        raw = cosine(a, b)
+        assert centred != pytest.approx(raw)
+
+    def test_mean_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            adjusted_cosine(np.array([1, 2]), np.array([1, 2]), np.array([1]))
+
+
+class TestJaccard:
+    def test_disjoint(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_identical(self):
+        assert jaccard({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_both_empty(self):
+        assert jaccard(set(), set()) == 0.0
+
+    def test_partial(self):
+        assert jaccard({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+
+class TestMsd:
+    def test_identical_vectors(self):
+        assert mean_squared_difference(
+            np.array([1.0, 2.0]), np.array([1.0, 2.0])
+        ) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert mean_squared_difference(np.array([]), np.array([])) == 0.0
+
+    def test_max_difference(self):
+        value = mean_squared_difference(
+            np.array([1.0]), np.array([5.0]), span=4.0
+        )
+        assert value == pytest.approx(0.0)
+
+
+class TestSignificanceWeight:
+    def test_below_gamma_scales_linearly(self):
+        assert significance_weight(25, gamma=50) == 0.5
+
+    def test_at_or_above_gamma_is_one(self):
+        assert significance_weight(50, gamma=50) == 1.0
+        assert significance_weight(500, gamma=50) == 1.0
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            significance_weight(5, gamma=0)
+
+
+class TestAttributeSimilarity:
+    def test_equal_records(self):
+        record = {"brand": "X", "price": 100.0}
+        value = attribute_similarity(
+            record, record, numeric_ranges={"price": (0, 200)}
+        )
+        assert value == pytest.approx(1.0)
+
+    def test_numeric_distance(self):
+        value = attribute_similarity(
+            {"price": 0.0}, {"price": 100.0},
+            numeric_ranges={"price": (0, 200)},
+        )
+        assert value == pytest.approx(0.5)
+
+    def test_categorical_mismatch(self):
+        assert attribute_similarity({"brand": "X"}, {"brand": "Y"}) == 0.0
+
+    def test_missing_attribute_contributes_zero(self):
+        value = attribute_similarity({"a": 1, "b": 1}, {"a": 1})
+        assert value == pytest.approx(0.5)
+
+    def test_weights(self):
+        value = attribute_similarity(
+            {"a": 1, "b": 2}, {"a": 1, "b": 3}, weights={"a": 3.0, "b": 1.0}
+        )
+        assert value == pytest.approx(0.75)
+
+    def test_empty_records(self):
+        assert attribute_similarity({}, {}) == 0.0
+
+
+class TestDescribeSimilarity:
+    @pytest.mark.parametrize(
+        "value, phrase_fragment",
+        [
+            (0.9, "very similar"),
+            (0.5, "broadly similar"),
+            (0.2, "somewhat similar"),
+            (0.0, "no clear"),
+            (-0.5, "disagree"),
+        ],
+    )
+    def test_phrases(self, value, phrase_fragment):
+        assert phrase_fragment in describe_similarity(value)

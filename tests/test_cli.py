@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("tables", "figures", "demo"):
+            arguments = parser.parse_args([command])
+            assert arguments.command == command
+
+
+class TestTablesCommand:
+    def test_prints_all_tables(self, capsys):
+        assert main(["tables"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output
+        assert "Explain how the system works" in output
+        assert "Amazon" in output
+        assert "ADAPTIVE PLACE ADVISOR" in output
+
+
+class TestFiguresCommand:
+    def test_prints_all_figures(self, capsys):
+        assert main(["figures"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 1" in output and "[we inferred]" in output
+        assert "Figure 2" in output and "legend:" in output
+        assert "Figure 3" in output and "influenced it most" in output
+
+
+class TestStudiesCommand:
+    def test_unknown_study_id(self, capsys):
+        assert main(["studies", "E99"]) == 2
+        assert "unknown study id" in capsys.readouterr().out
+
+    def test_single_study_runs(self, capsys):
+        assert main(["studies", "E10"]) == 0
+        output = capsys.readouterr().out
+        assert "[E10]" in output
+        assert "shape: HOLDS" in output
+
+    def test_lowercase_id_accepted(self, capsys):
+        assert main(["studies", "e10"]) == 0
+
+
+class TestDemoCommand:
+    def test_demo_prints_explanations(self, capsys):
+        assert main(["demo"]) == 0
+        output = capsys.readouterr().out
+        assert "predicted" in output

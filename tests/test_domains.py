@@ -1,0 +1,195 @@
+"""Tests for the synthetic domain generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.domains import (
+    CUISINES,
+    DESTINATIONS,
+    make_books,
+    make_cameras,
+    make_holidays,
+    make_movies,
+    make_news,
+    make_restaurants,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory", [make_movies, make_books, make_news]
+    )
+    def test_latent_worlds_deterministic(self, factory):
+        world_a = factory(n_users=10, n_items=20, seed=5)
+        world_b = factory(n_users=10, n_items=20, seed=5)
+        assert list(world_a.dataset.items) == list(world_b.dataset.items)
+        ratings_a = [
+            (r.user_id, r.item_id, r.value)
+            for r in world_a.dataset.iter_ratings()
+        ]
+        ratings_b = [
+            (r.user_id, r.item_id, r.value)
+            for r in world_b.dataset.iter_ratings()
+        ]
+        assert ratings_a == ratings_b
+
+    def test_different_seeds_differ(self):
+        a = make_movies(n_users=10, n_items=20, seed=1)
+        b = make_movies(n_users=10, n_items=20, seed=2)
+        assert [
+            round(r.value, 2) for r in a.dataset.iter_ratings()
+        ] != [round(r.value, 2) for r in b.dataset.iter_ratings()]
+
+    @pytest.mark.parametrize(
+        "factory", [make_cameras, make_restaurants, make_holidays]
+    )
+    def test_catalog_worlds_deterministic(self, factory):
+        dataset_a, __ = factory(seed=9)
+        dataset_b, __ = factory(seed=9)
+        assert [
+            item.attributes for item in dataset_a.items.values()
+        ] == [item.attributes for item in dataset_b.items.values()]
+
+
+class TestLatentWorlds:
+    def test_ratings_on_scale(self, movie_world):
+        for rating in movie_world.dataset.iter_ratings():
+            assert 1.0 <= rating.value <= 5.0
+
+    def test_true_utility_on_scale(self, movie_world):
+        user_id = next(iter(movie_world.dataset.users))
+        for item_id in list(movie_world.dataset.items)[:20]:
+            value = movie_world.true_utility(user_id, item_id)
+            assert 1.0 <= value <= 5.0
+
+    def test_favorite_genre_has_higher_true_utility(self, movie_world):
+        """Latent structure: the stated favourite genre really is liked."""
+        gaps = []
+        for user_id in movie_world.dataset.users:
+            favorite = movie_world.dataset.user(user_id).attributes[
+                "favorite_genre"
+            ]
+            same, other = [], []
+            for item_id, item in movie_world.dataset.items.items():
+                value = movie_world.true_utility(user_id, item_id)
+                (same if favorite in item.topics else other).append(value)
+            gaps.append(np.mean(same) - np.mean(other))
+        assert np.mean(gaps) > 0.3
+
+    def test_relevant_items_use_threshold(self, movie_world):
+        user_id = next(iter(movie_world.dataset.users))
+        relevant = movie_world.relevant_items(user_id)
+        for item_id in relevant:
+            assert movie_world.true_utility(user_id, item_id) >= 4.0
+
+    def test_observed_ratings_correlate_with_truth(self, movie_world):
+        truths, observations = [], []
+        for rating in movie_world.dataset.iter_ratings():
+            truths.append(
+                movie_world.true_utility(rating.user_id, rating.item_id)
+            )
+            observations.append(rating.value)
+        assert np.corrcoef(truths, observations)[0, 1] > 0.6
+
+    def test_book_authors_in_keywords(self, book_world):
+        for item in book_world.dataset.items.values():
+            assert str(item.attributes["author"]) in item.keywords
+
+    def test_news_has_hierarchical_sections(self, news_world):
+        topics = news_world.dataset.topics()
+        assert any("/" in topic for topic in topics)
+        for item in news_world.dataset.items.values():
+            assert "importance" in item.attributes
+
+
+class TestCatalogWorlds:
+    def test_camera_attributes_in_catalog_ranges(self, camera_world):
+        dataset, catalog = camera_world
+        for item in dataset.items.values():
+            for name, spec in catalog.attributes.items():
+                if spec.kind != "numeric":
+                    continue
+                value = float(item.attributes[name])
+                assert spec.low <= value <= spec.high, (name, value)
+
+    def test_camera_price_correlates_with_resolution(self):
+        dataset, __ = make_cameras(n_items=200, seed=3)
+        prices = [float(i.attributes["price"]) for i in dataset.items.values()]
+        resolutions = [
+            float(i.attributes["resolution"]) for i in dataset.items.values()
+        ]
+        assert np.corrcoef(prices, resolutions)[0, 1] > 0.4
+
+    def test_restaurant_cuisines_valid(self, restaurant_world):
+        dataset, __ = restaurant_world
+        for item in dataset.items.values():
+            assert item.attributes["cuisine"] in CUISINES
+
+    def test_holiday_climate_consistent_with_destination(self, holiday_world):
+        dataset, __ = holiday_world
+        by_destination: dict[str, set[str]] = {}
+        for item in dataset.items.values():
+            destination = str(item.attributes["destination"])
+            assert destination in DESTINATIONS
+            by_destination.setdefault(destination, set()).add(
+                str(item.attributes["climate"])
+            )
+        for climates in by_destination.values():
+            assert len(climates) == 1  # one climate per destination
+
+    def test_holiday_family_friendly_activities(self, holiday_world):
+        dataset, __ = holiday_world
+        for item in dataset.items.values():
+            if item.attributes["activity"] == "family-park":
+                assert item.attributes["family_friendly"] is True
+
+
+class TestPeopleDomain:
+    def test_deterministic(self):
+        from repro.domains import make_people
+
+        a, __ = make_people(seed=5)
+        b, __ = make_people(seed=5)
+        assert [i.attributes for i in a.items.values()] == [
+            i.attributes for i in b.items.values()
+        ]
+
+    def test_attributes_in_catalog_ranges(self):
+        from repro.domains import INTERESTS, make_people
+
+        dataset, catalog = make_people()
+        for item in dataset.items.values():
+            assert 18 <= float(item.attributes["age"]) <= 70
+            assert item.attributes["interest"] in INTERESTS
+            assert isinstance(item.attributes["wants_children"], bool)
+
+    def test_requirements_flow(self):
+        """The OkCupid row: specify requirements, get predicted matches."""
+        from repro.domains import make_people
+        from repro.recsys import (
+            Constraint,
+            KnowledgeBasedRecommender,
+            Preference,
+            UserRequirements,
+        )
+
+        dataset, catalog = make_people()
+        recommender = KnowledgeBasedRecommender(catalog).fit(dataset)
+        requirements = UserRequirements(
+            constraints=[
+                Constraint("age", ">=", 25),
+                Constraint("age", "<=", 40),
+                Constraint("wants_children", "==", False),
+            ],
+            preferences=[
+                Preference("distance_km", weight=2.0),
+                Preference("interest", weight=1.5, target="hiking"),
+            ],
+        )
+        ranked = recommender.rank(requirements, n=5)
+        assert ranked
+        for person, __, __ in ranked:
+            assert 25 <= float(person.attributes["age"]) <= 40
+            assert person.attributes["wants_children"] is False

@@ -1,0 +1,84 @@
+"""Tests for the shared text-rendering utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.render import bar, boxed, histogram_lines, stars, table
+
+
+class TestBar:
+    def test_half_filled(self):
+        assert bar(3, 6, width=4) == "##  "
+
+    def test_zero_maximum(self):
+        assert bar(3, 0, width=4) == "    "
+
+    def test_overflow_clipped(self):
+        assert bar(10, 5, width=4) == "####"
+
+    def test_custom_fill(self):
+        assert bar(4, 4, width=2, fill="*") == "**"
+
+
+class TestStars:
+    def test_full_stars(self):
+        assert stars(4.0) == "**** "
+
+    def test_half_star(self):
+        assert stars(3.5) == "***+ "
+
+    def test_zero(self):
+        assert stars(0.0) == "     "
+
+    def test_maximum(self):
+        assert stars(5.0) == "*****"
+
+
+class TestTable:
+    def test_alignment_and_rule(self):
+        rendered = table(("name", "value"), [("a", 1), ("bb", 22)])
+        lines = rendered.splitlines()
+        assert len(lines) == 4
+        assert "----" in lines[1]
+        assert lines[2].startswith("a")
+
+    def test_column_count_mismatch(self):
+        with pytest.raises(ValueError):
+            table(("a", "b"), [("only-one",)])
+
+    def test_empty_rows(self):
+        rendered = table(("a",), [])
+        assert "a" in rendered
+
+
+class TestBoxed:
+    def test_box_shape(self):
+        rendered = boxed("hello\nworld", title="box")
+        lines = rendered.splitlines()
+        assert lines[0].startswith("+")
+        assert lines[-1].startswith("+")
+        assert "box" in lines[0]
+        assert all(line.startswith("|") for line in lines[1:-1])
+
+    def test_empty_text(self):
+        assert boxed("").count("\n") == 2
+
+
+class TestHistogramLines:
+    def test_highest_bucket_first(self):
+        lines = histogram_lines({1: 2, 5: 7, 3: 0})
+        assert lines[0].strip().startswith("5")
+        assert lines[-1].strip().startswith("1")
+
+    def test_counts_appended(self):
+        lines = histogram_lines({4: 3})
+        assert lines[0].rstrip().endswith("3")
+
+    def test_labels(self):
+        lines = histogram_lines({1: 1, 2: 2}, labels={1: "bad", 2: "good"})
+        assert "good" in lines[0]
+        assert "bad" in lines[1]
+
+    def test_empty(self):
+        assert histogram_lines({}) == []
