@@ -1,0 +1,227 @@
+"""Benchmark runner: time substrates and studies through the tracer.
+
+Seeds the performance trajectory: every substrate's ``fit`` and
+``recommend`` latencies, plus a couple of end-to-end studies, are
+measured via :mod:`repro.obs` spans (an in-memory sink, so nothing is
+written during timing) and aggregated into ``BENCH_obs.json`` at the
+repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py            # full run
+    PYTHONPATH=src python benchmarks/run_bench.py --quick    # smaller world
+    PYTHONPATH=src python benchmarks/run_bench.py --output other.json
+
+The JSON schema (``repro.obs.bench/v1``)::
+
+    {
+      "schema": "repro.obs.bench/v1",
+      "world": {"n_users": ..., "n_items": ..., "density": ...},
+      "substrates": {
+        "UserBasedCF": {
+          "fit_ms": 1.9,
+          "recommend_ms_mean": 8.2,
+          "recommend_ms_p95": 9.1,
+          "recommend_calls": 10,
+          "predictions": 990
+        }, ...
+      },
+      "studies": {"E4 critiquing": {"wall_s": ...}, ...},
+      "interaction": {"cycles_total": ...},
+      "trace_events": 123
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import obs  # noqa: E402
+from repro.core import ExplainedRecommender, NeighborHistogramExplainer  # noqa: E402
+from repro.domains import make_movies  # noqa: E402
+from repro.recsys import (  # noqa: E402
+    ContentBasedRecommender,
+    ItemBasedCF,
+    NaiveBayesRecommender,
+    PopularityRecommender,
+    SVDRecommender,
+    UserBasedCF,
+)
+
+SUBSTRATES = (
+    PopularityRecommender,
+    UserBasedCF,
+    ItemBasedCF,
+    ContentBasedRecommender,
+    NaiveBayesRecommender,
+    SVDRecommender,
+)
+
+
+def _percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def bench_substrates(
+    sink: obs.InMemorySink, n_users: int, n_items: int, recommend_users: int
+) -> dict:
+    """Fit + recommend every substrate; aggregate its spans from the sink."""
+    world = make_movies(
+        n_users=n_users, n_items=n_items, seed=7, density=0.25
+    )
+    user_ids = list(world.dataset.users)[:recommend_users]
+    results: dict[str, dict] = {}
+    for substrate_cls in SUBSTRATES:
+        name = substrate_cls.__name__
+        before = len(sink.events)
+        recommender = substrate_cls().fit(world.dataset)
+        for user_id in user_ids:
+            recommender.recommend(user_id, n=10)
+        window = sink.events[before:]
+        fit_ms = [
+            event["duration_ms"]
+            for event in window
+            if event.get("name") == "recsys.fit"
+        ]
+        recommend_ms = [
+            event["duration_ms"]
+            for event in window
+            if event.get("name") == "recsys.recommend"
+        ]
+        counter = obs.get_registry().get("repro_predictions_total")
+        predictions = (
+            counter.labels(substrate=name).value if counter is not None else 0
+        )
+        results[name] = {
+            "fit_ms": round(sum(fit_ms), 4),
+            "recommend_ms_mean": round(
+                sum(recommend_ms) / max(len(recommend_ms), 1), 4
+            ),
+            "recommend_ms_p95": round(_percentile(recommend_ms, 0.95), 4),
+            "recommend_calls": len(recommend_ms),
+            "predictions": int(predictions),
+        }
+        print(
+            f"  {name:<28} fit {results[name]['fit_ms']:>9.3f} ms   "
+            f"recommend {results[name]['recommend_ms_mean']:>9.3f} ms/call"
+        )
+    # A full explained pipeline on the strongest collaborative substrate.
+    before = len(sink.events)
+    pipeline = ExplainedRecommender(
+        UserBasedCF(), NeighborHistogramExplainer()
+    ).fit(world.dataset)
+    start = time.perf_counter()
+    for user_id in user_ids:
+        pipeline.recommend(user_id, n=10)
+    wall_ms = (time.perf_counter() - start) * 1000.0
+    explain_ms = [
+        event["duration_ms"]
+        for event in sink.events[before:]
+        if event.get("name") == "pipeline.explain"
+    ]
+    results["ExplainedRecommender[UserBasedCF]"] = {
+        "recommend_ms_mean": round(wall_ms / max(len(user_ids), 1), 4),
+        "recommend_calls": len(user_ids),
+        "explain_ms_mean": round(
+            sum(explain_ms) / max(len(explain_ms), 1), 4
+        ),
+        "explanations": len(explain_ms),
+    }
+    print(
+        f"  {'ExplainedRecommender':<28} end-to-end "
+        f"{results['ExplainedRecommender[UserBasedCF]']['recommend_ms_mean']:>9.3f}"
+        " ms/user"
+    )
+    return results
+
+
+def bench_studies(quick: bool) -> dict:
+    """Wall-clock a couple of representative end-to-end studies."""
+    from repro.evaluation.studies import (
+        run_critiquing_study,
+        run_modality_study,
+    )
+
+    studies = {
+        "E4 critiquing": lambda: run_critiquing_study(
+            n_shoppers=10 if quick else 40
+        ),
+        "E10 modality": lambda: run_modality_study(),
+    }
+    results: dict[str, dict] = {}
+    for label, runner in studies.items():
+        with obs.span("study.run", study=label):
+            start = time.perf_counter()
+            report = runner()
+            wall_s = time.perf_counter() - start
+        results[label] = {
+            "wall_s": round(wall_s, 4),
+            "shape_holds": bool(report.shape_holds),
+        }
+        print(f"  {label:<28} {wall_s:>8.3f} s  shape_holds={report.shape_holds}")
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_obs.json"),
+        help="where to write the benchmark JSON (default: repo root)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller world and fewer study iterations",
+    )
+    arguments = parser.parse_args(argv)
+
+    n_users, n_items, recommend_users = (
+        (40, 80, 5) if arguments.quick else (120, 240, 10)
+    )
+
+    obs.reset()
+    sink = obs.InMemorySink()
+    obs.configure(sink=sink)
+
+    print("substrates:")
+    substrates = bench_substrates(sink, n_users, n_items, recommend_users)
+    print("studies:")
+    studies = bench_studies(arguments.quick)
+
+    cycles = obs.get_registry().get("repro_interaction_cycles_total")
+    payload = {
+        "schema": "repro.obs.bench/v1",
+        "world": {
+            "n_users": n_users,
+            "n_items": n_items,
+            "density": 0.25,
+            "recommend_users": recommend_users,
+        },
+        "substrates": substrates,
+        "studies": studies,
+        "interaction": {
+            "cycles_total": int(cycles.value) if cycles is not None else 0,
+        },
+        "trace_events": len(sink.events),
+    }
+    output = pathlib.Path(arguments.output)
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+    obs.get_tracer().close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

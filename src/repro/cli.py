@@ -6,6 +6,8 @@ python -m repro figures           # print Figures 1-3 (text renderings)
 python -m repro studies           # run all studies (E1-E10)
 python -m repro studies E1 E3     # run a subset
 python -m repro demo              # the quickstart pipeline
+python -m repro metrics           # run a demo workload, print metrics
+python -m repro --trace t.jsonl demo   # dump a JSONL span trace
 ```
 """
 
@@ -124,6 +126,59 @@ def _cmd_demo(_: argparse.Namespace) -> int:
     return 0
 
 
+def _run_metrics_workload() -> None:
+    """A small but representative workload exercising every hot path.
+
+    Collaborative pipeline (fit → recommend → explain) plus a short
+    critiquing conversation, so the exposition shows substrate,
+    explainer, and interaction-cycle series.
+    """
+    from repro.core import ExplainedRecommender, NeighborHistogramExplainer
+    from repro.domains import make_cameras, make_movies
+    from repro.interaction import CritiqueSession
+    from repro.interaction.critiques import UnitCritique
+    from repro.recsys import (
+        KnowledgeBasedRecommender,
+        Preference,
+        UserBasedCF,
+        UserRequirements,
+    )
+
+    world = make_movies(n_users=40, n_items=80, seed=7, density=0.25)
+    pipeline = ExplainedRecommender(
+        UserBasedCF(), NeighborHistogramExplainer()
+    ).fit(world.dataset)
+    pipeline.recommend("user_000", n=3)
+
+    dataset, catalog = make_cameras(n_items=40, seed=21)
+    recommender = KnowledgeBasedRecommender(catalog).fit(dataset)
+    requirements = UserRequirements(
+        preferences=[Preference(attribute="price", weight=1.0)]
+    )
+    session = CritiqueSession(recommender, requirements)
+    session.critique(UnitCritique("price", "less"))
+    if session.reference is not None:
+        session.accept()
+
+
+def _cmd_metrics(arguments: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
+
+    if not arguments.no_demo:
+        _run_metrics_workload()
+    registry = obs.get_registry()
+    if len(registry) == 0:
+        print("no metrics recorded", flush=True)
+        return 1
+    if arguments.format == "json":
+        print(json.dumps(registry.as_dict(), indent=2))
+    else:
+        print(registry.exposition(), end="")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse parser behind ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -131,6 +186,15 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Explanation framework for recommender systems "
             "(reproduction of Tintarev & Masthoff 2007)."
+        ),
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write a JSONL span trace of the command to PATH "
+            "(one JSON event per line; see docs/observability.md)"
         ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -153,6 +217,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = subparsers.add_parser("demo", help="quickstart pipeline demo")
     demo.set_defaults(handler=_cmd_demo)
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="run a demo workload and print the metrics exposition",
+    )
+    metrics.add_argument(
+        "--format",
+        choices=("prom", "json"),
+        default="prom",
+        help="output format: Prometheus text (default) or JSON",
+    )
+    metrics.add_argument(
+        "--no-demo",
+        action="store_true",
+        help="skip the demo workload; print whatever is already recorded",
+    )
+    metrics.set_defaults(handler=_cmd_metrics)
     return parser
 
 
@@ -160,7 +241,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     arguments = parser.parse_args(argv)
-    return arguments.handler(arguments)
+    if arguments.trace is None:
+        return arguments.handler(arguments)
+    from repro import obs
+
+    obs.configure(trace_path=arguments.trace)
+    try:
+        return arguments.handler(arguments)
+    finally:
+        obs.get_tracer().close()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -21,7 +21,11 @@ from repro.core.explainers import (
     topic_history,
 )
 from repro.core.explanation import Explanation
-from repro.core.pipeline import ExplainedRecommendation, ExplainedRecommender
+from repro.core.pipeline import (
+    UNRANKED,
+    ExplainedRecommendation,
+    ExplainedRecommender,
+)
 from repro.core.styles import CANONICAL_SENTENCES, ExplanationStyle
 from repro.core.survey import (
     REGISTRY,
@@ -64,6 +68,7 @@ __all__ = [
     "demo",
     "demo_all",
     "ExplainedRecommender",
+    "UNRANKED",
     "SurveyedSystem",
     "SurveyRegistry",
     "REGISTRY",

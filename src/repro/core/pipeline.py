@@ -11,12 +11,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.explainers.base import Explainer
 from repro.core.explanation import Explanation
 from repro.recsys.base import Recommendation, Recommender
 from repro.recsys.data import Dataset
 
-__all__ = ["ExplainedRecommendation", "ExplainedRecommender"]
+__all__ = ["ExplainedRecommendation", "ExplainedRecommender", "UNRANKED"]
+
+#: Sentinel rank for recommendations that never went through ranking
+#: (e.g. :meth:`ExplainedRecommender.predict_and_explain`).  Genuine
+#: ranks start at 1, so any non-positive rank means "not a ranked
+#: result" — never confuse it with a top-1 hit.
+UNRANKED: int = -1
 
 
 @dataclass(frozen=True)
@@ -66,9 +73,26 @@ class ExplainedRecommender:
         self, user_id: str, recommendation: Recommendation
     ) -> Explanation:
         """Explain one already-produced recommendation."""
-        return self.explainer.explain(
-            user_id, recommendation, self.recommender.dataset
-        )
+        explainer = type(self.explainer).__name__
+        with obs.span(
+            "pipeline.explain",
+            explainer=explainer,
+            user=user_id,
+            item=recommendation.item_id,
+        ), obs.timed(
+            "repro_explain_seconds",
+            "Latency of one explanation per explainer.",
+            explainer=explainer,
+        ):
+            explanation = self.explainer.explain(
+                user_id, recommendation, self.recommender.dataset
+            )
+        obs.get_registry().counter(
+            "repro_explanations_total",
+            "Explanations generated per explainer.",
+            labelnames=("explainer",),
+        ).inc(explainer=explainer)
+        return explanation
 
     def recommend(
         self,
@@ -78,16 +102,24 @@ class ExplainedRecommender:
         candidates=None,
     ) -> list[ExplainedRecommendation]:
         """Top-``n`` recommendations, each with its explanation."""
-        recommendations = self.recommender.recommend(
-            user_id, n=n, exclude_rated=exclude_rated, candidates=candidates
-        )
-        return [
-            ExplainedRecommendation(
-                recommendation=recommendation,
-                explanation=self.explain(user_id, recommendation),
+        with obs.span(
+            "pipeline.recommend",
+            substrate=type(self.recommender).__name__,
+            explainer=type(self.explainer).__name__,
+            user=user_id,
+            n=n,
+        ):
+            recommendations = self.recommender.recommend(
+                user_id, n=n, exclude_rated=exclude_rated,
+                candidates=candidates,
             )
-            for recommendation in recommendations
-        ]
+            return [
+                ExplainedRecommendation(
+                    recommendation=recommendation,
+                    explanation=self.explain(user_id, recommendation),
+                )
+                for recommendation in recommendations
+            ]
 
     def predict_and_explain(
         self, user_id: str, item_id: str
@@ -95,13 +127,21 @@ class ExplainedRecommender:
         """Prediction + explanation for one specific item.
 
         This answers the Section 4.4 "why is this predicted low?" query:
-        the item need not be a top recommendation.
+        the item need not be a top recommendation, so the result carries
+        the :data:`UNRANKED` sentinel rank (``-1``) — a genuine top-1
+        result always has ``rank == 1``.
         """
-        prediction = self.recommender.predict_or_default(user_id, item_id)
-        recommendation = Recommendation(
-            item_id=item_id, score=prediction.value, rank=0, prediction=prediction
-        )
-        return ExplainedRecommendation(
-            recommendation=recommendation,
-            explanation=self.explain(user_id, recommendation),
-        )
+        with obs.span(
+            "pipeline.predict_and_explain", user=user_id, item=item_id
+        ):
+            prediction = self.recommender.predict_or_default(user_id, item_id)
+            recommendation = Recommendation(
+                item_id=item_id,
+                score=prediction.value,
+                rank=UNRANKED,
+                prediction=prediction,
+            )
+            return ExplainedRecommendation(
+                recommendation=recommendation,
+                explanation=self.explain(user_id, recommendation),
+            )

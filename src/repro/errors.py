@@ -55,3 +55,14 @@ class DialogError(ReproError):
 
 class EvaluationError(ReproError):
     """Raised for misconfigured studies or evaluators."""
+
+
+class ObservabilityError(ReproError):
+    """Raised for misuse of the :mod:`repro.obs` instrumentation layer.
+
+    Covers duplicate metric registration under a conflicting schema,
+    writes to a closed event sink, and malformed metric names or label
+    sets.  Instrumented application code never needs to catch this: a
+    correctly wired registry/tracer raises only at configuration time,
+    not per-event.
+    """

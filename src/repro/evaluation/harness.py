@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.core.aims import Aim
 from repro.evaluation.criteria.effectiveness import double_rating_trial
 from repro.evaluation.criteria.transparency import understanding_scores
@@ -72,7 +73,39 @@ def evaluate_configuration(
 
     ``world`` is any :class:`~repro.domains.SyntheticWorld` (latent-
     factor ground truth required for the effectiveness measure).
+
+    The whole run is traced as an ``eval.configuration`` span; the
+    population simulation and each aim's scoring block are individually
+    timed into the ``repro_eval_aim_seconds{aim=...}`` histogram (the
+    simulation loop under ``aim="simulate"``), so slow aims show up
+    directly in ``python -m repro metrics``.
     """
+    def aim_timer(aim: str):
+        return obs.timed(
+            "repro_eval_aim_seconds",
+            "Per-aim scoring latency inside evaluate_configuration.",
+            aim=aim,
+        )
+
+    with obs.span(
+        "eval.configuration",
+        configuration=configuration.name,
+        n_users=n_users,
+        items_per_user=items_per_user,
+    ):
+        return _evaluate(
+            configuration, world, n_users, items_per_user, seed, aim_timer
+        )
+
+
+def _evaluate(
+    configuration: ExplanationConfiguration,
+    world,
+    n_users: int,
+    items_per_user: int,
+    seed: int,
+    aim_timer,
+) -> CriteriaScorecard:
     dataset = world.dataset
     scale = dataset.scale
     rng = np.random.default_rng(seed)
@@ -91,93 +124,101 @@ def evaluate_configuration(
     tried_without = 0
     offered = 0
     product_outcomes: list[float] = []
-    for user in users:
-        order = rng.permutation(len(item_ids))
-        for index in order[:items_per_user]:
-            item_id = item_ids[index]
-            shown = scale.clip(
-                world.true_utility(user.user_id, item_id)
-                + configuration.overselling
-            )
-            stimulus = ExplanationStimulus(
-                fidelity=configuration.fidelity,
-                persuasive_pull=configuration.persuasive_pull,
-                shown_prediction=shown,
-                reading_seconds=configuration.reading_seconds,
-            )
-            offered += 1
-            # effectiveness: forced-consumption double rating
-            trial = double_rating_trial(user, item_id, stimulus)
-            gaps.append(abs(trial.gap))
-            # persuasion: try decision vs the no-explanation control
-            if user.would_try(item_id, stimulus):
-                tried_with += 1
-                # trust: consuming what the interface sold
-                user.experience_outcome(
-                    item_id,
-                    understood_why=configuration.fidelity >= 0.5,
-                    expected=trial.before,
+    with aim_timer("simulate"):
+        for user in users:
+            order = rng.permutation(len(item_ids))
+            for index in order[:items_per_user]:
+                item_id = item_ids[index]
+                shown = scale.clip(
+                    world.true_utility(user.user_id, item_id)
+                    + configuration.overselling
                 )
-                product_outcomes.append(trial.after)
-            if user.would_try(item_id, ExplanationStimulus()):
-                tried_without += 1
+                stimulus = ExplanationStimulus(
+                    fidelity=configuration.fidelity,
+                    persuasive_pull=configuration.persuasive_pull,
+                    shown_prediction=shown,
+                    reading_seconds=configuration.reading_seconds,
+                )
+                offered += 1
+                # effectiveness: forced-consumption double rating
+                trial = double_rating_trial(user, item_id, stimulus)
+                gaps.append(abs(trial.gap))
+                # persuasion: try decision vs the no-explanation control
+                if user.would_try(item_id, stimulus):
+                    tried_with += 1
+                    # trust: consuming what the interface sold
+                    user.experience_outcome(
+                        item_id,
+                        understood_why=configuration.fidelity >= 0.5,
+                        expected=trial.before,
+                    )
+                    product_outcomes.append(trial.after)
+                if user.would_try(item_id, ExplanationStimulus()):
+                    tried_without += 1
 
     card = CriteriaScorecard(configuration.name)
 
-    mean_gap = float(np.mean(gaps))
-    card.record(Aim.EFFECTIVENESS, 1.0 - mean_gap / scale.span * 2.0)
+    with aim_timer("effectiveness"):
+        mean_gap = float(np.mean(gaps))
+        card.record(Aim.EFFECTIVENESS, 1.0 - mean_gap / scale.span * 2.0)
 
-    with_rate = tried_with / max(offered, 1)
-    without_rate = tried_without / max(offered, 1)
-    lift = with_rate - without_rate
-    card.record(Aim.PERSUASIVENESS, 0.5 + lift)  # 0.5 = no lift
+    with aim_timer("persuasiveness"):
+        with_rate = tried_with / max(offered, 1)
+        without_rate = tried_without / max(offered, 1)
+        lift = with_rate - without_rate
+        card.record(Aim.PERSUASIVENESS, 0.5 + lift)  # 0.5 = no lift
 
-    card.record(
-        Aim.TRUST, float(np.mean([user.trust for user in users]))
-    )
-
-    comprehension = [
-        float(np.clip(0.25 + 0.65 * configuration.fidelity
-                      + rng.normal(0, 0.05), 0, 1))
-        for __ in users
-    ]
-    card.record(
-        Aim.TRANSPARENCY,
-        float(np.mean(understanding_scores(comprehension, rng))),
-    )
-
-    # 0 s reading -> 1.0; 20 s per decision -> 0.0
-    card.record(
-        Aim.EFFICIENCY,
-        1.0 - min(configuration.reading_seconds, 20.0) / 20.0,
-    )
-
-    scrutability = (
-        0.5 * configuration.supports_profile_editing
-        + 0.3 * configuration.supports_rating_correction
-        + 0.2 * configuration.supports_critiquing
-    )
-    card.record(Aim.SCRUTABILITY, scrutability)
-
-    if product_outcomes:
-        product = float(np.mean([scale.normalize(v) for v in
-                                 product_outcomes]))
-    else:
-        product = 0.5
-    process_cost = min(configuration.reading_seconds, 20.0) / 20.0
-    latent_satisfaction = float(
-        np.clip(0.6 * product + 0.4 * (1.0 - process_cost), 0, 1)
-    )
-    instrument = satisfaction_scale()
-    satisfaction = float(
-        np.mean(
-            [
-                instrument.score(
-                    instrument.administer(latent_satisfaction, rng)
-                )
-                for __ in range(len(users))
-            ]
+    with aim_timer("trust"):
+        card.record(
+            Aim.TRUST, float(np.mean([user.trust for user in users]))
         )
-    )
-    card.record(Aim.SATISFACTION, satisfaction)
+
+    with aim_timer("transparency"):
+        comprehension = [
+            float(np.clip(0.25 + 0.65 * configuration.fidelity
+                          + rng.normal(0, 0.05), 0, 1))
+            for __ in users
+        ]
+        card.record(
+            Aim.TRANSPARENCY,
+            float(np.mean(understanding_scores(comprehension, rng))),
+        )
+
+    with aim_timer("efficiency"):
+        # 0 s reading -> 1.0; 20 s per decision -> 0.0
+        card.record(
+            Aim.EFFICIENCY,
+            1.0 - min(configuration.reading_seconds, 20.0) / 20.0,
+        )
+
+    with aim_timer("scrutability"):
+        scrutability = (
+            0.5 * configuration.supports_profile_editing
+            + 0.3 * configuration.supports_rating_correction
+            + 0.2 * configuration.supports_critiquing
+        )
+        card.record(Aim.SCRUTABILITY, scrutability)
+
+    with aim_timer("satisfaction"):
+        if product_outcomes:
+            product = float(np.mean([scale.normalize(v) for v in
+                                     product_outcomes]))
+        else:
+            product = 0.5
+        process_cost = min(configuration.reading_seconds, 20.0) / 20.0
+        latent_satisfaction = float(
+            np.clip(0.6 * product + 0.4 * (1.0 - process_cost), 0, 1)
+        )
+        instrument = satisfaction_scale()
+        satisfaction = float(
+            np.mean(
+                [
+                    instrument.score(
+                        instrument.administer(latent_satisfaction, rng)
+                    )
+                    for __ in range(len(users))
+                ]
+            )
+        )
+        card.record(Aim.SATISFACTION, satisfaction)
     return card

@@ -20,6 +20,7 @@ import itertools
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.templates import join_phrases
 from repro.errors import ConstraintError
 from repro.recsys.data import Item
@@ -193,27 +194,37 @@ def mine_compound_critiques(
     available separately), ranked by size (larger first — more
     informative) then support.
     """
-    transactions = [
-        _critique_pattern(catalog, candidate, reference)
-        for candidate in candidates
-        if candidate.item_id != reference.item_id
-    ]
-    if not transactions:
-        return []
-    min_support = max(1, int(len(transactions) * min_support_fraction))
-    frequent = apriori(transactions, min_support=min_support, max_size=max_size)
-    compounds = [
-        CompoundCritique(
-            parts=tuple(sorted(itemset, key=lambda c: c.attribute)),
-            support=support,
+    with obs.span(
+        "critiques.mine", reference=reference.item_id
+    ) as span, obs.timed(
+        "repro_critique_mining_seconds",
+        "Latency of dynamic compound-critique mining (Apriori).",
+    ):
+        transactions = [
+            _critique_pattern(catalog, candidate, reference)
+            for candidate in candidates
+            if candidate.item_id != reference.item_id
+        ]
+        span.set("transactions", len(transactions))
+        if not transactions:
+            return []
+        min_support = max(1, int(len(transactions) * min_support_fraction))
+        frequent = apriori(
+            transactions, min_support=min_support, max_size=max_size
         )
-        for itemset, support in frequent.items()
-        if len(itemset) >= 2
-    ]
-    compounds.sort(
-        key=lambda critique: (-len(critique.parts), -critique.support)
-    )
-    return compounds[:max_critiques]
+        compounds = [
+            CompoundCritique(
+                parts=tuple(sorted(itemset, key=lambda c: c.attribute)),
+                support=support,
+            )
+            for itemset, support in frequent.items()
+            if len(itemset) >= 2
+        ]
+        compounds.sort(
+            key=lambda critique: (-len(critique.parts), -critique.support)
+        )
+        span.set("compounds", len(compounds))
+        return compounds[:max_critiques]
 
 
 def apply_critique(

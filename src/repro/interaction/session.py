@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.errors import DialogError
 from repro.interaction.critiques import (
     CompoundCritique,
@@ -148,6 +149,19 @@ class CritiqueSession:
             self.time_model.per_cycle
             + scanned * self.time_model.per_option_scanned,
         )
+        # The paper's own efficiency metric (Section 3.6) as a
+        # first-class counter: one increment per conversational cycle.
+        obs.get_registry().counter(
+            "repro_interaction_cycles_total",
+            "Critiquing cycles shown (the Section 3.6 efficiency metric).",
+        ).inc()
+        obs.event(
+            "session.cycle",
+            cycle=self.cycle,
+            reference=self.reference.item_id if self.reference else None,
+            candidates=len(self.candidates),
+            compound_critiques=len(self.compound_critiques),
+        )
 
     @property
     def is_dead_end(self) -> bool:
@@ -182,6 +196,7 @@ class CritiqueSession:
             else str(critique)
         )
         attempted = apply_critique(self.requirements, critique, self.reference)
+        kind = "unit" if isinstance(critique, UnitCritique) else "compound"
         if self.recommender.matching_items(attempted):
             self.requirements = attempted
             self.log.add(
@@ -190,6 +205,11 @@ class CritiqueSession:
                 label,
                 self.time_model.per_critique_choice,
             )
+            obs.get_registry().counter(
+                "repro_critiques_total",
+                "Critiques applied, by unit/compound kind.",
+                labelnames=("kind",),
+            ).inc(kind=kind)
             self._advance()
         else:
             self.log.add(
@@ -198,6 +218,11 @@ class CritiqueSession:
                 f"rolled back: {label}",
                 self.time_model.per_repair,
             )
+            obs.get_registry().counter(
+                "repro_repairs_total",
+                "Repair actions (rollbacks and relaxations, Section 3.6).",
+            ).inc()
+            obs.event("session.repair", cycle=self.cycle, critique=label)
 
     def relax(self) -> list[str]:
         """At a dead end, drop the most recently added constraint."""
@@ -209,6 +234,10 @@ class CritiqueSession:
             self.cycle, "repair", f"relaxed {dropped.describe()}",
             self.time_model.per_repair,
         )
+        obs.get_registry().counter(
+            "repro_repairs_total",
+            "Repair actions (rollbacks and relaxations, Section 3.6).",
+        ).inc()
         self._advance()
         return [dropped.describe()]
 
@@ -219,5 +248,22 @@ class CritiqueSession:
         self.accepted = self.reference
         self.log.add(
             self.cycle, "accept", self.reference.item_id, 0.0
+        )
+        registry = obs.get_registry()
+        registry.histogram(
+            "repro_session_cycles",
+            "Cycles to acceptance per completed critiquing session.",
+            buckets=(1, 2, 3, 5, 8, 13, 21, 34),
+        ).observe(self.log.n_cycles)
+        registry.histogram(
+            "repro_session_sim_seconds",
+            "Simulated completion time per accepted session (TimeModel).",
+            buckets=(15, 30, 60, 120, 240, 480, 960),
+        ).observe(self.log.total_seconds)
+        obs.event(
+            "session.accept",
+            item=self.reference.item_id,
+            cycles=self.log.n_cycles,
+            sim_seconds=self.log.total_seconds,
         )
         return self.reference

@@ -1,0 +1,70 @@
+"""Observability: metrics, tracing, and structured event logs.
+
+The measurement layer for the library itself.  The survey this codebase
+reproduces is a measurement framework — Section 3 prescribes completion
+time and interaction cycles as the efficiency metrics — and this package
+applies the same discipline to the software: every substrate ``fit`` /
+``predict`` / ``recommend``, every pipeline ``recommend`` / ``explain``,
+every critiquing cycle, and every per-aim evaluation scoring block is
+counted and timed.
+
+Three pieces:
+
+* :class:`MetricsRegistry` (``repro.obs.metrics``) — counters, gauges,
+  histograms; Prometheus-style text exposition and JSON export;
+* :class:`Tracer` (``repro.obs.tracing``) — nested spans with wall-clock
+  timing, emitted to an event sink (``repro.obs.sinks``) as JSONL;
+  disabled by default with a zero-event no-op fast path;
+* the global runtime (``repro.obs.runtime``) — ``get_registry()`` /
+  ``get_tracer()`` / ``configure()`` / ``reset()``; instrumented call
+  sites go through it so enabling observability is one call.
+
+Surfaced through ``python -m repro metrics``, the global ``--trace
+PATH`` CLI flag, and ``benchmarks/run_bench.py`` (which writes
+``BENCH_obs.json``).  See ``docs/observability.md``.
+"""
+
+from repro.obs.instrument import histogram, timed, traced
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricsRegistry,
+)
+from repro.obs.runtime import (
+    configure,
+    event,
+    get_registry,
+    get_tracer,
+    reset,
+    span,
+)
+from repro.obs.sinks import EventSink, InMemorySink, JsonlSink, NullSink
+from repro.obs.tracing import NOOP_SPAN, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "EventSink",
+    "InMemorySink",
+    "JsonlSink",
+    "NullSink",
+    "Span",
+    "Tracer",
+    "NOOP_SPAN",
+    "configure",
+    "event",
+    "get_registry",
+    "get_tracer",
+    "reset",
+    "span",
+    "timed",
+    "traced",
+    "histogram",
+]

@@ -1,0 +1,69 @@
+"""Instrumentation helpers shared by the woven-in call sites.
+
+Two idioms cover every hot path in the library:
+
+* :func:`timed` — a context manager observing a wall-clock duration into
+  a histogram series, used where a span would be too heavy (per-aim
+  scoring inside the evaluation harness, per-prediction accounting);
+* :func:`traced` — a decorator wrapping a function in a named span.
+
+Both fetch instruments from the global registry at call time, so they
+respect :func:`repro.obs.runtime.reset` in tests.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import functools
+import time
+from collections.abc import Callable, Iterable
+
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram
+from repro.obs.runtime import get_registry, get_tracer
+
+__all__ = ["timed", "traced", "histogram"]
+
+
+def histogram(
+    name: str,
+    help_text: str = "",
+    labelnames: Iterable[str] = (),
+    buckets=DEFAULT_BUCKETS,
+) -> Histogram:
+    """The named histogram from the global registry (created on demand)."""
+    return get_registry().histogram(
+        name, help_text, labelnames=labelnames, buckets=buckets
+    )
+
+
+@contextlib.contextmanager
+def timed(
+    name: str,
+    help_text: str = "",
+    **labelvalues: object,
+):
+    """Observe the block's wall-clock seconds into a histogram series."""
+    instrument = get_registry().histogram(
+        name, help_text, labelnames=tuple(sorted(labelvalues))
+    )
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        instrument.labels(**labelvalues).observe(
+            time.perf_counter() - start
+        )
+
+
+def traced(name: str, **attrs: object) -> Callable:
+    """Decorator: run the function inside a span of the given name."""
+
+    def decorator(function: Callable) -> Callable:
+        @functools.wraps(function)
+        def wrapper(*args: object, **kwargs: object):
+            with get_tracer().span(name, **attrs):
+                return function(*args, **kwargs)
+
+        return wrapper
+
+    return decorator

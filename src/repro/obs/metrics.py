@@ -1,0 +1,507 @@
+"""Metric instruments and the :class:`MetricsRegistry`.
+
+Three instrument kinds, mirroring the Prometheus data model:
+
+* :class:`Counter` — a monotonically increasing count (predictions made,
+  interaction cycles completed);
+* :class:`Gauge` — a value that can go up and down (items in the current
+  candidate pool);
+* :class:`Histogram` — observations bucketed by upper bound, with a
+  running sum and count (fit/recommend/explain latencies).
+
+Every instrument supports optional label dimensions declared at
+registration time (``registry.counter("repro_predictions_total",
+labelnames=("substrate",))``) and bound per-series with
+:meth:`Metric.labels`.  The registry renders everything as
+Prometheus-style text exposition (:meth:`MetricsRegistry.exposition`) or
+a JSON-friendly dict (:meth:`MetricsRegistry.as_dict`) — the two formats
+``python -m repro metrics`` prints.
+
+Instrument creation is idempotent: asking the registry for an already
+registered name returns the existing instrument when the schema (kind,
+label names, buckets) matches, and raises
+:class:`~repro.errors.ObservabilityError` when it conflicts — the
+"duplicate metric registration" failure mode.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from collections.abc import Iterable, Sequence
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default latency buckets (seconds): sub-millisecond micro-operations up
+#: to multi-second study runs.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ObservabilityError(f"invalid metric name: {name!r}")
+    return name
+
+
+def _check_labelnames(labelnames: Iterable[str]) -> tuple[str, ...]:
+    names = tuple(labelnames)
+    for label in names:
+        if not _LABEL_RE.match(label) or label.startswith("__"):
+            raise ObservabilityError(f"invalid label name: {label!r}")
+    if len(set(names)) != len(names):
+        raise ObservabilityError(f"duplicate label names: {names!r}")
+    return names
+
+
+def _escape_label_value(value: object) -> str:
+    text = str(value)
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class Metric:
+    """Base class for all instruments: name, help text, label handling.
+
+    Series (label-value combinations) are created lazily on first use and
+    protected by a per-metric lock so instruments are safe to share
+    across threads.
+    """
+
+    kind: str = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Iterable[str] = (),
+    ) -> None:
+        self.name = _check_name(name)
+        self.help_text = help_text
+        self.labelnames = _check_labelnames(labelnames)
+        self._lock = threading.Lock()
+        self._series: dict[tuple[str, ...], object] = {}
+
+    def _schema(self) -> tuple:
+        """The identity the registry compares on re-registration."""
+        return (self.kind, self.labelnames)
+
+    def _label_key(self, labelvalues: dict[str, object]) -> tuple[str, ...]:
+        if set(labelvalues) != set(self.labelnames):
+            raise ObservabilityError(
+                f"metric {self.name!r} expects labels {self.labelnames!r}, "
+                f"got {tuple(sorted(labelvalues))!r}"
+            )
+        return tuple(str(labelvalues[label]) for label in self.labelnames)
+
+    def labels(self, **labelvalues: object) -> "Metric":
+        """The child series bound to one label-value combination."""
+        key = self._label_key(labelvalues)
+        if not self.labelnames:
+            return self
+        with self._lock:
+            child = self._series.get(key)
+            if child is None:
+                child = self._make_child(key)
+                self._series[key] = child
+        return child  # type: ignore[return-value]
+
+    def _make_child(self, key: tuple[str, ...]) -> "Metric":
+        raise NotImplementedError
+
+    # -- export ----------------------------------------------------------
+
+    def _series_items(self) -> list[tuple[tuple[str, ...], "Metric"]]:
+        with self._lock:
+            return sorted(self._series.items())
+
+    def _render_labels(self, key: tuple[str, ...], extra: str = "") -> str:
+        pairs = [
+            f'{label}="{_escape_label_value(value)}"'
+            for label, value in zip(self.labelnames, key)
+        ]
+        if extra:
+            pairs.append(extra)
+        return "{" + ",".join(pairs) + "}" if pairs else ""
+
+    def exposition_lines(self) -> list[str]:
+        """Prometheus text lines for this metric (header + samples)."""
+        lines = []
+        if self.help_text:
+            lines.append(f"# HELP {self.name} {self.help_text}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        for key, child in self._series_items():
+            lines.extend(child._sample_lines(self.name, self._render_labels(key), key))
+        return lines
+
+    def _sample_lines(
+        self, name: str, labels: str, key: tuple[str, ...]
+    ) -> list[str]:
+        raise NotImplementedError
+
+    def as_dict(self) -> dict:
+        """JSON-friendly snapshot of every series of this metric."""
+        series = []
+        for key, child in self._series_items():
+            entry = {"labels": dict(zip(self.labelnames, key))}
+            entry.update(child._value_dict())
+            series.append(entry)
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "help": self.help_text,
+            "series": series,
+        }
+
+    def _value_dict(self) -> dict:
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonically increasing counter."""
+
+    kind = "counter"
+
+    def __init__(self, name, help_text="", labelnames=()):
+        super().__init__(name, help_text, labelnames)
+        self._value = 0.0
+
+    def _make_child(self, key):
+        return Counter(self.name, self.help_text)
+
+    def inc(self, amount: float = 1.0, **labelvalues: object) -> None:
+        """Increment by ``amount`` (must be non-negative)."""
+        if labelvalues or self.labelnames:
+            self.labels(**labelvalues).inc(amount)
+            return
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc({amount}))"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current count (unlabelled metrics only)."""
+        if self.labelnames:
+            return sum(child.value for __, child in self._series_items())
+        with self._lock:
+            return self._value
+
+    def _series_items(self):
+        if not self.labelnames:
+            return [((), self)]
+        return super()._series_items()
+
+    def _sample_lines(self, name, labels, key):
+        return [f"{name}{labels} {_format_value(self._value)}"]
+
+    def _value_dict(self):
+        return {"value": self._value}
+
+
+class Gauge(Metric):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help_text="", labelnames=()):
+        super().__init__(name, help_text, labelnames)
+        self._value = 0.0
+
+    def _make_child(self, key):
+        return Gauge(self.name, self.help_text)
+
+    def set(self, value: float, **labelvalues: object) -> None:
+        """Set the gauge to ``value``."""
+        if labelvalues or self.labelnames:
+            self.labels(**labelvalues).set(value)
+            return
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0, **labelvalues: object) -> None:
+        """Add ``amount`` (may be negative)."""
+        if labelvalues or self.labelnames:
+            self.labels(**labelvalues).inc(amount)
+            return
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0, **labelvalues: object) -> None:
+        """Subtract ``amount``."""
+        self.inc(-amount, **labelvalues)
+
+    @property
+    def value(self) -> float:
+        """Current gauge value (unlabelled metrics only)."""
+        if self.labelnames:
+            raise ObservabilityError(
+                f"gauge {self.name!r} is labelled; read a bound series"
+            )
+        with self._lock:
+            return self._value
+
+    def _series_items(self):
+        if not self.labelnames:
+            return [((), self)]
+        return super()._series_items()
+
+    def _sample_lines(self, name, labels, key):
+        return [f"{name}{labels} {_format_value(self._value)}"]
+
+    def _value_dict(self):
+        return {"value": self._value}
+
+
+class Histogram(Metric):
+    """Bucketed observations with cumulative counts, sum and count.
+
+    ``buckets`` are upper bounds in increasing order; a final ``+Inf``
+    bucket is always appended so every observation lands somewhere.  An
+    observation equal to a bound counts into that bucket (``le`` =
+    less-or-equal), matching Prometheus semantics.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name,
+        help_text="",
+        labelnames=(),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help_text, labelnames)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ObservabilityError(
+                f"histogram {self.name!r} needs at least one bucket"
+            )
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ObservabilityError(
+                f"histogram {self.name!r} buckets must be strictly "
+                f"increasing, got {bounds!r}"
+            )
+        if bounds[-1] != math.inf:
+            bounds = bounds + (math.inf,)
+        self.buckets = bounds
+        self._bucket_counts = [0] * len(bounds)
+        self._sum = 0.0
+        self._count = 0
+
+    def _schema(self):
+        return (self.kind, self.labelnames, self.buckets)
+
+    def _make_child(self, key):
+        return Histogram(self.name, self.help_text, buckets=self.buckets)
+
+    def observe(self, value: float, **labelvalues: object) -> None:
+        """Record one observation."""
+        if labelvalues or self.labelnames:
+            self.labels(**labelvalues).observe(value)
+            return
+        value = float(value)
+        with self._lock:
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._bucket_counts[index] += 1
+                    break
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total number of observations (unlabelled metrics only)."""
+        if self.labelnames:
+            return sum(child.count for __, child in self._series_items())
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values (unlabelled metrics only)."""
+        if self.labelnames:
+            return sum(child.sum for __, child in self._series_items())
+        with self._lock:
+            return self._sum
+
+    def bucket_counts(self) -> dict[float, int]:
+        """Cumulative count per upper bound (Prometheus ``le`` semantics)."""
+        with self._lock:
+            counts = list(self._bucket_counts)
+        cumulative: dict[float, int] = {}
+        running = 0
+        for bound, count in zip(self.buckets, counts):
+            running += count
+            cumulative[bound] = running
+        return cumulative
+
+    def _series_items(self):
+        if not self.labelnames:
+            return [((), self)]
+        return super()._series_items()
+
+    def _sample_lines(self, name, labels, key):
+        lines = []
+        base = self._render_parent_labels(labels)
+        for bound, cumulative in self.bucket_counts().items():
+            le = f'le="{_format_value(bound)}"'
+            lines.append(
+                f"{name}_bucket{self._merge_labels(base, le)} {cumulative}"
+            )
+        lines.append(f"{name}_sum{labels} {_format_value(self._sum)}")
+        lines.append(f"{name}_count{labels} {self._count}")
+        return lines
+
+    @staticmethod
+    def _render_parent_labels(labels: str) -> str:
+        return labels[1:-1] if labels else ""
+
+    @staticmethod
+    def _merge_labels(base: str, extra: str) -> str:
+        inner = ",".join(part for part in (base, extra) if part)
+        return "{" + inner + "}"
+
+    def _value_dict(self):
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "buckets": {
+                _format_value(bound): cumulative
+                for bound, cumulative in self.bucket_counts().items()
+            },
+        }
+
+
+class MetricsRegistry:
+    """A named collection of instruments with idempotent registration.
+
+    The getter methods (:meth:`counter`, :meth:`gauge`,
+    :meth:`histogram`) return the existing instrument when name and
+    schema match, so instrumented modules can fetch their instruments at
+    call time without coordinating creation order.  :meth:`register`
+    is the strict path: it refuses any duplicate name outright.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Metric] = {}
+
+    def __iter__(self):
+        with self._lock:
+            return iter(sorted(self._metrics.values(), key=lambda m: m.name))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def get(self, name: str) -> Metric | None:
+        """The registered metric of that name, or ``None``."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def register(self, metric: Metric) -> Metric:
+        """Register a pre-built instrument; duplicate names always raise."""
+        with self._lock:
+            if metric.name in self._metrics:
+                raise ObservabilityError(
+                    f"metric {metric.name!r} is already registered"
+                )
+            self._metrics[metric.name] = metric
+        return metric
+
+    def _get_or_create(self, factory, name: str, schema: tuple) -> Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if existing._schema() != schema:
+                    raise ObservabilityError(
+                        f"metric {name!r} already registered with a "
+                        f"different schema: {existing._schema()!r} vs "
+                        f"{schema!r}"
+                    )
+                return existing
+            metric = factory()
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help_text: str = "", labelnames: Iterable[str] = ()
+    ) -> Counter:
+        """Get or create a counter."""
+        labelnames = _check_labelnames(labelnames)
+        return self._get_or_create(  # type: ignore[return-value]
+            lambda: Counter(name, help_text, labelnames),
+            name,
+            ("counter", labelnames),
+        )
+
+    def gauge(
+        self, name: str, help_text: str = "", labelnames: Iterable[str] = ()
+    ) -> Gauge:
+        """Get or create a gauge."""
+        labelnames = _check_labelnames(labelnames)
+        return self._get_or_create(  # type: ignore[return-value]
+            lambda: Gauge(name, help_text, labelnames),
+            name,
+            ("gauge", labelnames),
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Iterable[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create a histogram."""
+        labelnames = _check_labelnames(labelnames)
+        bounds = tuple(float(b) for b in buckets)
+        if bounds and bounds[-1] != math.inf:
+            bounds = bounds + (math.inf,)
+        return self._get_or_create(  # type: ignore[return-value]
+            lambda: Histogram(name, help_text, labelnames, buckets=buckets),
+            name,
+            ("histogram", labelnames, bounds),
+        )
+
+    # -- export ----------------------------------------------------------
+
+    def exposition(self) -> str:
+        """Prometheus-style text exposition of every registered metric."""
+        lines: list[str] = []
+        for metric in self:
+            lines.extend(metric.exposition_lines())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def as_dict(self) -> dict:
+        """JSON-friendly snapshot of the whole registry."""
+        return {"metrics": [metric.as_dict() for metric in self]}

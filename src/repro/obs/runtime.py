@@ -1,0 +1,87 @@
+"""Process-global observability state.
+
+Instrumented library code never constructs tracers or registries — it
+asks this module for the current ones::
+
+    from repro import obs
+
+    obs.get_registry().counter("repro_predictions_total").inc()
+    with obs.span("recommend", user=user_id):
+        ...
+
+The defaults are a live (always-counting, in-process) registry and a
+*disabled* tracer, so importing the library costs nothing and emits no
+events.  :func:`configure` swaps in a real sink — the CLI's global
+``--trace PATH`` flag and ``benchmarks/run_bench.py`` both go through
+it — and :func:`reset` restores pristine state for tests.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import IO
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import EventSink, JsonlSink
+from repro.obs.tracing import Tracer
+
+__all__ = [
+    "get_registry",
+    "get_tracer",
+    "configure",
+    "reset",
+    "span",
+    "event",
+]
+
+_registry = MetricsRegistry()
+_tracer = Tracer()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _registry
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer (disabled until :func:`configure`)."""
+    return _tracer
+
+
+def span(name: str, **attrs: object):
+    """Shorthand for ``get_tracer().span(name, **attrs)``."""
+    return _tracer.span(name, **attrs)
+
+
+def event(name: str, **attrs: object) -> None:
+    """Shorthand for ``get_tracer().event(name, **attrs)``."""
+    _tracer.event(name, **attrs)
+
+
+def configure(
+    trace_path: str | os.PathLike | IO[str] | None = None,
+    sink: EventSink | None = None,
+    registry: MetricsRegistry | None = None,
+) -> Tracer:
+    """Wire up the global observability state.
+
+    ``trace_path`` opens a :class:`JsonlSink` at that path (or wraps the
+    given stream); ``sink`` installs an arbitrary sink directly (it wins
+    over ``trace_path``); ``registry`` replaces the global registry.
+    Returns the global tracer for chaining.
+    """
+    global _registry
+    if registry is not None:
+        _registry = registry
+    if sink is None and trace_path is not None:
+        sink = JsonlSink(trace_path)
+    if sink is not None:
+        _tracer.sink = sink
+    return _tracer
+
+
+def reset() -> None:
+    """Fresh registry, closed sink, disabled tracer.  For tests."""
+    global _registry
+    _registry = MetricsRegistry()
+    _tracer.close()

@@ -1,0 +1,120 @@
+"""Event sinks: where trace spans and point events go.
+
+A sink receives plain-dict events from the tracer and persists (or
+drops) them.  :class:`NullSink` is the default — it swallows everything,
+which is what makes disabled tracing free.  :class:`JsonlSink` appends
+one JSON object per line, the format ``python -m repro --trace PATH``
+dumps and ``benchmarks/run_bench.py`` aggregates.
+:class:`InMemorySink` buffers events for tests and in-process analysis.
+
+Writing to a closed sink raises :class:`~repro.errors.ObservabilityError`
+rather than silently losing events.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from typing import IO
+
+from repro.errors import ObservabilityError
+
+__all__ = ["EventSink", "NullSink", "JsonlSink", "InMemorySink"]
+
+
+class EventSink:
+    """Abstract event destination."""
+
+    def emit(self, event: dict) -> None:
+        """Persist one event."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources; further emits raise."""
+
+    def __enter__(self) -> "EventSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class NullSink(EventSink):
+    """Drops every event.  The zero-overhead default."""
+
+    def emit(self, event: dict) -> None:
+        pass
+
+
+class InMemorySink(EventSink):
+    """Buffers events in a list (``sink.events``)."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+        self._closed = False
+
+    def emit(self, event: dict) -> None:
+        if self._closed:
+            raise ObservabilityError("emit on closed InMemorySink")
+        self.events.append(event)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def spans(self, name: str | None = None) -> list[dict]:
+        """Buffered span-end events, optionally filtered by span name."""
+        return [
+            event
+            for event in self.events
+            if event.get("event") == "span"
+            and (name is None or event.get("name") == name)
+        ]
+
+
+class JsonlSink(EventSink):
+    """Appends one JSON object per line to a file.
+
+    Accepts a path (opened for appending; parent directories are
+    created) or any writable text stream.  Events must be
+    JSON-serialisable dicts — the tracer only ever produces str/int/float
+    payloads, and anything exotic in user attributes is stringified.
+    """
+
+    def __init__(self, target: str | os.PathLike | IO[str]) -> None:
+        if isinstance(target, (str, os.PathLike)):
+            path = os.fspath(target)
+            parent = os.path.dirname(path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._stream: IO[str] = open(path, "a", encoding="utf-8")
+            self._owns_stream = True
+            self.path: str | None = path
+        else:
+            self._stream = target
+            self._owns_stream = False
+            self.path = None
+        self._closed = False
+
+    def emit(self, event: dict) -> None:
+        if self._closed:
+            raise ObservabilityError(
+                f"emit on closed JsonlSink ({self.path or 'stream'})"
+            )
+        self._stream.write(json.dumps(event, default=str) + "\n")
+
+    def flush(self) -> None:
+        """Flush the underlying stream."""
+        if not self._closed:
+            self._stream.flush()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._stream.flush()
+        except (ValueError, io.UnsupportedOperation):  # already closed stream
+            pass
+        if self._owns_stream:
+            self._stream.close()

@@ -1,0 +1,203 @@
+"""Span-based tracing with parent/child nesting and a JSONL event sink.
+
+Usage::
+
+    tracer = Tracer(sink=JsonlSink("trace.jsonl"))
+    with tracer.span("recommend", user="user_000", n=3) as span:
+        ...
+        with tracer.span("explain", item="item_042"):
+            ...
+        span.set("candidates", 120)
+
+Each span records wall-clock duration (``time.perf_counter``), a start
+timestamp, its attributes, and its parent span id — the current span is
+tracked in a :mod:`contextvars` context variable, so nesting follows the
+call stack (and stays correct across threads and async tasks).  On exit
+the span is emitted to the sink as one event dict; exceptions mark the
+span ``error`` and propagate.
+
+A tracer with no sink (or a :class:`~repro.obs.sinks.NullSink`) is
+*disabled*: :meth:`Tracer.span` hands back a shared no-op context
+manager without allocating a span or touching the clock, so instrumented
+hot paths cost one attribute check when observability is off and emit
+zero events.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import time
+from types import TracebackType
+
+from repro.obs.sinks import EventSink, NullSink
+
+__all__ = ["Span", "Tracer", "NOOP_SPAN"]
+
+_current_span: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+class _NoopSpan:
+    """Shared do-nothing stand-in returned when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+    def set(self, key: str, value: object) -> None:
+        """Drop the attribute."""
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Drop the event."""
+
+
+#: The single module-wide no-op span instance.
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One traced operation: name, attributes, timing, parentage."""
+
+    __slots__ = (
+        "name", "attrs", "span_id", "parent_id", "tracer",
+        "start_ts", "_start", "duration_s", "status", "_token",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = tracer._next_id()
+        self.parent_id: int | None = None
+        self.start_ts: float = 0.0
+        self.duration_s: float = 0.0
+        self.status = "ok"
+        self._start = 0.0
+        self._token: contextvars.Token | None = None
+
+    def set(self, key: str, value: object) -> None:
+        """Attach one attribute to the span after creation."""
+        self.attrs[key] = value
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Emit a point event parented to this span."""
+        self.tracer._emit_event(name, self.span_id, attrs)
+
+    def __enter__(self) -> "Span":
+        parent = _current_span.get()
+        self.parent_id = parent.span_id if parent is not None else None
+        self._token = _current_span.set(self)
+        self.start_ts = time.time()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.duration_s = time.perf_counter() - self._start
+        if self._token is not None:
+            _current_span.reset(self._token)
+        if exc_type is not None:
+            self.status = "error"
+            self.attrs.setdefault("error_type", exc_type.__name__)
+        self.tracer._emit_span(self)
+
+
+class Tracer:
+    """Produces spans and point events, writing them to an event sink.
+
+    Parameters
+    ----------
+    sink:
+        Event destination; ``None`` (or a :class:`NullSink`) disables
+        tracing entirely.
+    """
+
+    def __init__(self, sink: EventSink | None = None) -> None:
+        self._counter = itertools.count(1)
+        self.sink = sink
+
+    @property
+    def sink(self) -> EventSink | None:
+        """The active sink, or ``None`` when disabled."""
+        return self._sink
+
+    @sink.setter
+    def sink(self, sink: EventSink | None) -> None:
+        self._sink = None if isinstance(sink, NullSink) else sink
+        self.enabled = self._sink is not None
+
+    def _next_id(self) -> int:
+        return next(self._counter)
+
+    def span(self, name: str, **attrs: object):
+        """Context manager tracing one operation.
+
+        Returns the shared :data:`NOOP_SPAN` when disabled — callers can
+        unconditionally use ``set``/``event`` on the result.
+        """
+        if not self.enabled:
+            return NOOP_SPAN
+        return Span(self, name, attrs)
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Emit a point event parented to the current span, if any."""
+        if not self.enabled:
+            return
+        parent = _current_span.get()
+        self._emit_event(
+            name, parent.span_id if parent is not None else None, attrs
+        )
+
+    @staticmethod
+    def current_span() -> Span | None:
+        """The innermost live span in this context, or ``None``."""
+        return _current_span.get()
+
+    # -- emission --------------------------------------------------------
+
+    def _emit_span(self, span: Span) -> None:
+        if self._sink is None:
+            return
+        self._sink.emit(
+            {
+                "event": "span",
+                "name": span.name,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "start_ts": span.start_ts,
+                "duration_ms": span.duration_s * 1000.0,
+                "status": span.status,
+                "attrs": span.attrs,
+            }
+        )
+
+    def _emit_event(
+        self, name: str, parent_id: int | None, attrs: dict
+    ) -> None:
+        if self._sink is None:
+            return
+        self._sink.emit(
+            {
+                "event": "point",
+                "name": name,
+                "parent_id": parent_id,
+                "ts": time.time(),
+                "attrs": attrs,
+            }
+        )
+
+    def close(self) -> None:
+        """Close the sink (if any) and disable the tracer."""
+        if self._sink is not None:
+            self._sink.close()
+        self.sink = None

@@ -13,9 +13,12 @@ records; they never re-derive reasons of their own.
 from __future__ import annotations
 
 import abc
-from collections.abc import Iterable, Sequence
+import functools
+import time
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.errors import NotFittedError, PredictionImpossibleError
 from repro.recsys.data import Dataset
 
@@ -244,6 +247,47 @@ class Recommendation:
         return self.prediction.confidence
 
 
+def _instrument_predict(predict: Callable) -> Callable:
+    """Wrap a concrete ``predict`` with per-substrate metrics.
+
+    Applied automatically by :meth:`Recommender.__init_subclass__`, so
+    every substrate is counted and timed without editing any of them.
+    Successes, impossibilities and latency all land in the global
+    registry under a ``substrate`` label; the wrapper adds two clock
+    reads and three dict operations per call, and never emits trace
+    events of its own (per-prediction spans would swamp the sink).
+    """
+
+    @functools.wraps(predict)
+    def wrapper(self: "Recommender", user_id: str, item_id: str) -> Prediction:
+        registry = obs.get_registry()
+        substrate = type(self).__name__
+        start = time.perf_counter()
+        try:
+            prediction = predict(self, user_id, item_id)
+        except PredictionImpossibleError:
+            registry.counter(
+                "repro_prediction_failures_total",
+                "Predictions that raised PredictionImpossibleError.",
+                labelnames=("substrate",),
+            ).inc(substrate=substrate)
+            raise
+        registry.histogram(
+            "repro_predict_seconds",
+            "Latency of Recommender.predict per substrate.",
+            labelnames=("substrate",),
+        ).labels(substrate=substrate).observe(time.perf_counter() - start)
+        registry.counter(
+            "repro_predictions_total",
+            "Successful Recommender.predict calls per substrate.",
+            labelnames=("substrate",),
+        ).inc(substrate=substrate)
+        return prediction
+
+    wrapper._repro_obs_wrapped = True  # type: ignore[attr-defined]
+    return wrapper
+
+
 class Recommender(abc.ABC):
     """Abstract base for all recommender substrates.
 
@@ -252,10 +296,23 @@ class Recommender(abc.ABC):
     user already rated are excluded unless ``exclude_rated=False`` —
     except that an *affirming* recommender personality may deliberately
     re-surface known items (see :mod:`repro.presentation.personality`).
+
+    Every substrate is observable for free: ``fit`` and ``recommend``
+    run inside ``recsys.fit`` / ``recsys.recommend`` spans with
+    per-substrate latency histograms, and each concrete ``predict`` is
+    wrapped with success/failure counters at subclass creation time.
     """
 
     def __init__(self) -> None:
         self._dataset: Dataset | None = None
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        super().__init_subclass__(**kwargs)
+        predict = cls.__dict__.get("predict")
+        if predict is not None and not getattr(
+            predict, "_repro_obs_wrapped", False
+        ):
+            cls.predict = _instrument_predict(predict)  # type: ignore[method-assign]
 
     @property
     def dataset(self) -> Dataset:
@@ -273,8 +330,20 @@ class Recommender(abc.ABC):
 
     def fit(self, dataset: Dataset) -> "Recommender":
         """Train on ``dataset`` and return ``self`` (for chaining)."""
-        self._dataset = dataset
-        self._fit(dataset)
+        substrate = type(self).__name__
+        with obs.span(
+            "recsys.fit",
+            substrate=substrate,
+            n_users=len(dataset.users),
+            n_items=len(dataset.items),
+        ):
+            with obs.timed(
+                "repro_fit_seconds",
+                "Latency of Recommender.fit per substrate.",
+                substrate=substrate,
+            ):
+                self._dataset = dataset
+                self._fit(dataset)
         return self
 
     def _fit(self, dataset: Dataset) -> None:
@@ -315,25 +384,43 @@ class Recommender(abc.ABC):
         ranking is deterministic.
         """
         dataset = self.dataset
-        if candidates is None:
-            pool: Sequence[str] = list(dataset.items)
-        else:
-            pool = [item_id for item_id in candidates if item_id in dataset.items]
-        if exclude_rated:
-            rated = set(dataset.ratings_by(user_id))
-            pool = [item_id for item_id in pool if item_id not in rated]
+        substrate = type(self).__name__
+        with obs.span(
+            "recsys.recommend", substrate=substrate, user=user_id, n=n
+        ) as span, obs.timed(
+            "repro_recommend_seconds",
+            "Latency of Recommender.recommend per substrate.",
+            substrate=substrate,
+        ):
+            if candidates is None:
+                pool: Sequence[str] = list(dataset.items)
+            else:
+                pool = [
+                    item_id for item_id in candidates
+                    if item_id in dataset.items
+                ]
+            if exclude_rated:
+                rated = set(dataset.ratings_by(user_id))
+                pool = [item_id for item_id in pool if item_id not in rated]
+            span.set("candidates", len(pool))
 
-        scored: list[tuple[float, str, Prediction]] = []
-        for item_id in pool:
-            prediction = self.predict_or_default(user_id, item_id)
-            scored.append((prediction.value, item_id, prediction))
-        scored.sort(key=lambda entry: (-entry[0], entry[1]))
+            scored: list[tuple[float, str, Prediction]] = []
+            for item_id in pool:
+                prediction = self.predict_or_default(user_id, item_id)
+                scored.append((prediction.value, item_id, prediction))
+            scored.sort(key=lambda entry: (-entry[0], entry[1]))
 
-        return [
-            Recommendation(
-                item_id=item_id, score=value, rank=rank, prediction=prediction
-            )
-            for rank, (value, item_id, prediction) in enumerate(
-                scored[:n], start=1
-            )
-        ]
+            obs.get_registry().counter(
+                "repro_recommendations_total",
+                "Recommendation lists produced per substrate.",
+                labelnames=("substrate",),
+            ).inc(substrate=substrate)
+            return [
+                Recommendation(
+                    item_id=item_id, score=value, rank=rank,
+                    prediction=prediction,
+                )
+                for rank, (value, item_id, prediction) in enumerate(
+                    scored[:n], start=1
+                )
+            ]

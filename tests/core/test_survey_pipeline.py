@@ -172,7 +172,10 @@ class TestPipeline:
         ).fit(tiny_dataset)
         explained = pipeline.predict_and_explain("alice", "i5")
         assert explained.item_id == "i5"
-        assert explained.recommendation.rank == 0
+        # Unranked sentinel: never collides with a genuine top-1 (rank 1).
+        from repro.core import UNRANKED
+        assert explained.recommendation.rank == UNRANKED
+        assert explained.recommendation.rank < 1
 
     def test_fit_returns_self(self, tiny_dataset):
         pipeline = ExplainedRecommender(

@@ -1,0 +1,210 @@
+"""Metric instruments: counters, gauges, histograms, registry, export."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("repro_c_total")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_raises(self):
+        counter = Counter("repro_c_total")
+        with pytest.raises(ObservabilityError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_labelled_series_are_independent(self):
+        counter = Counter("repro_c_total", labelnames=("kind",))
+        counter.inc(kind="a")
+        counter.inc(3, kind="b")
+        assert counter.labels(kind="a").value == 1
+        assert counter.labels(kind="b").value == 3
+        assert counter.value == 4  # across all series
+
+    def test_missing_label_raises(self):
+        counter = Counter("repro_c_total", labelnames=("kind",))
+        with pytest.raises(ObservabilityError, match="expects labels"):
+            counter.inc()
+
+    def test_invalid_metric_name_raises(self):
+        with pytest.raises(ObservabilityError, match="invalid metric name"):
+            Counter("0bad name")
+
+    def test_invalid_label_name_raises(self):
+        with pytest.raises(ObservabilityError, match="invalid label name"):
+            Counter("repro_c_total", labelnames=("le-gal",))
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("repro_g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13
+
+    def test_can_go_negative(self):
+        gauge = Gauge("repro_g")
+        gauge.dec(4)
+        assert gauge.value == -4
+
+
+class TestHistogramBucketing:
+    def test_value_on_bucket_boundary_counts_into_that_bucket(self):
+        histogram = Histogram("repro_h", buckets=(1.0, 2.0))
+        histogram.observe(1.0)  # le="1" per Prometheus le semantics
+        counts = histogram.bucket_counts()
+        assert counts[1.0] == 1
+        assert counts[2.0] == 1  # cumulative
+        assert counts[math.inf] == 1
+
+    def test_value_just_above_boundary_goes_to_next_bucket(self):
+        histogram = Histogram("repro_h", buckets=(1.0, 2.0))
+        histogram.observe(1.0000001)
+        counts = histogram.bucket_counts()
+        assert counts[1.0] == 0
+        assert counts[2.0] == 1
+
+    def test_value_beyond_last_finite_bucket_lands_in_inf(self):
+        histogram = Histogram("repro_h", buckets=(1.0,))
+        histogram.observe(99.0)
+        counts = histogram.bucket_counts()
+        assert counts[1.0] == 0
+        assert counts[math.inf] == 1
+
+    def test_negative_and_zero_values_land_in_first_bucket(self):
+        histogram = Histogram("repro_h", buckets=(1.0, 2.0))
+        histogram.observe(-5.0)
+        histogram.observe(0.0)
+        assert histogram.bucket_counts()[1.0] == 2
+
+    def test_cumulative_counts_are_monotone(self):
+        histogram = Histogram("repro_h", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0, 0.05):
+            histogram.observe(value)
+        cumulative = list(histogram.bucket_counts().values())
+        assert cumulative == sorted(cumulative)
+        assert cumulative[-1] == histogram.count == 5
+
+    def test_sum_and_count_track_observations(self):
+        histogram = Histogram("repro_h", buckets=(1.0,))
+        histogram.observe(0.25)
+        histogram.observe(4.75)
+        assert histogram.count == 2
+        assert histogram.sum == pytest.approx(5.0)
+
+    def test_inf_bucket_appended_exactly_once(self):
+        histogram = Histogram("repro_h", buckets=(1.0, math.inf))
+        assert histogram.buckets == (1.0, math.inf)
+
+    def test_empty_buckets_raise(self):
+        with pytest.raises(ObservabilityError, match="at least one bucket"):
+            Histogram("repro_h", buckets=())
+
+    def test_unsorted_buckets_raise(self):
+        with pytest.raises(ObservabilityError, match="strictly increasing"):
+            Histogram("repro_h", buckets=(2.0, 1.0))
+
+    def test_duplicate_buckets_raise(self):
+        with pytest.raises(ObservabilityError, match="strictly increasing"):
+            Histogram("repro_h", buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_c_total", "help")
+        second = registry.counter("repro_c_total", "help")
+        assert first is second
+        assert len(registry) == 1
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x")
+        with pytest.raises(ObservabilityError, match="different schema"):
+            registry.histogram("repro_x")
+
+    def test_labelname_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x", labelnames=("a",))
+        with pytest.raises(ObservabilityError, match="different schema"):
+            registry.counter("repro_x", labelnames=("b",))
+
+    def test_bucket_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_h", buckets=(1.0,))
+        with pytest.raises(ObservabilityError, match="different schema"):
+            registry.histogram("repro_h", buckets=(2.0,))
+
+    def test_same_buckets_reuse(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("repro_h", buckets=(1.0, 2.0))
+        second = registry.histogram("repro_h", buckets=(1.0, 2.0))
+        assert first is second
+
+    def test_register_rejects_any_duplicate(self):
+        registry = MetricsRegistry()
+        registry.register(Counter("repro_c_total"))
+        with pytest.raises(ObservabilityError, match="already registered"):
+            registry.register(Counter("repro_c_total"))
+
+
+class TestExposition:
+    def _registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_predictions_total", "Predictions.", labelnames=("substrate",)
+        ).inc(3, substrate="UserBasedCF")
+        registry.gauge("repro_pool", "Pool size.").set(7)
+        registry.histogram(
+            "repro_lat_seconds", "Latency.", buckets=(0.1, 1.0)
+        ).observe(0.25)
+        return registry
+
+    def test_prometheus_text_format(self):
+        text = self._registry().exposition()
+        assert "# TYPE repro_predictions_total counter" in text
+        assert (
+            'repro_predictions_total{substrate="UserBasedCF"} 3' in text
+        )
+        assert "# TYPE repro_pool gauge" in text
+        assert "repro_pool 7" in text
+        assert "# TYPE repro_lat_seconds histogram" in text
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_lat_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_help_lines_present(self):
+        text = self._registry().exposition()
+        assert "# HELP repro_pool Pool size." in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_c_total", labelnames=("k",)).inc(
+            k='quo"te\nline'
+        )
+        text = registry.exposition()
+        assert 'k="quo\\"te\\nline"' in text
+
+    def test_json_export_round_trips(self):
+        snapshot = json.loads(json.dumps(self._registry().as_dict()))
+        by_name = {m["name"]: m for m in snapshot["metrics"]}
+        assert by_name["repro_predictions_total"]["kind"] == "counter"
+        assert by_name["repro_predictions_total"]["series"][0]["value"] == 3
+        histogram = by_name["repro_lat_seconds"]["series"][0]
+        assert histogram["count"] == 1
+        assert histogram["buckets"]["+Inf"] == 1
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().exposition() == ""

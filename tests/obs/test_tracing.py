@@ -1,0 +1,184 @@
+"""Tracer, spans, sinks: nesting, timing, no-op fast path, JSONL."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    NOOP_SPAN,
+    InMemorySink,
+    JsonlSink,
+    NullSink,
+    Tracer,
+)
+
+
+class TestSpanNesting:
+    def test_parent_child_linkage(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("outer") as outer:
+            with tracer.span("middle") as middle:
+                with tracer.span("inner") as inner:
+                    pass
+        spans = {event["name"]: event for event in sink.spans()}
+        assert spans["outer"]["parent_id"] is None
+        assert spans["middle"]["parent_id"] == outer.span_id
+        assert spans["inner"]["parent_id"] == middle.span_id
+        assert inner.parent_id == middle.span_id
+
+    def test_siblings_share_parent(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("parent") as parent:
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        children = [e for e in sink.spans() if e["name"] != "parent"]
+        assert {e["parent_id"] for e in children} == {parent.span_id}
+
+    def test_consecutive_roots_have_no_parent(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [e["parent_id"] for e in sink.spans()] == [None, None]
+
+    def test_children_emitted_before_parents(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [e["name"] for e in sink.spans()] == ["outer", "inner"][::-1]
+
+    def test_point_event_parented_to_current_span(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("outer") as outer:
+            tracer.event("tick", n=1)
+        points = [e for e in sink.events if e["event"] == "point"]
+        assert points[0]["parent_id"] == outer.span_id
+        assert points[0]["attrs"] == {"n": 1}
+
+
+class TestSpanPayload:
+    def test_duration_and_attrs_recorded(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("work", user="u1") as span:
+            span.set("items", 3)
+        event = sink.spans("work")[0]
+        assert event["duration_ms"] >= 0
+        assert event["start_ts"] > 0
+        assert event["attrs"] == {"user": "u1", "items": 3}
+        assert event["status"] == "ok"
+
+    def test_exception_marks_span_error_and_propagates(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink)
+        with pytest.raises(ValueError):
+            with tracer.span("bad"):
+                raise ValueError("boom")
+        event = sink.spans("bad")[0]
+        assert event["status"] == "error"
+        assert event["attrs"]["error_type"] == "ValueError"
+
+
+class TestNoopFastPath:
+    def test_disabled_tracer_returns_shared_noop(self):
+        tracer = Tracer()
+        assert not tracer.enabled
+        assert tracer.span("anything") is NOOP_SPAN
+        assert tracer.span("other", k=1) is NOOP_SPAN
+
+    def test_null_sink_counts_as_disabled(self):
+        tracer = Tracer(NullSink())
+        assert not tracer.enabled
+        assert tracer.span("x") is NOOP_SPAN
+
+    def test_noop_span_accepts_the_full_span_api(self):
+        with Tracer().span("x") as span:
+            span.set("key", "value")
+            span.event("tick")
+
+    def test_disabled_tracer_emits_no_events_and_no_spans(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                tracer.event("tick")
+        # enable afterwards: nothing from the disabled period shows up
+        sink = InMemorySink()
+        tracer.sink = sink
+        assert sink.events == []
+
+    def test_close_disables(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink)
+        tracer.close()
+        assert not tracer.enabled
+        assert tracer.span("x") is NOOP_SPAN
+
+
+class TestJsonlSink:
+    def test_writes_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(JsonlSink(path))
+        with tracer.span("outer", user="u1"):
+            with tracer.span("inner"):
+                pass
+        tracer.close()
+        lines = path.read_text().strip().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert len(events) == 2
+        assert {event["name"] for event in events} == {"outer", "inner"}
+
+    def test_appends_across_sinks(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        for __ in range(2):
+            sink = JsonlSink(path)
+            sink.emit({"event": "point"})
+            sink.close()
+        assert len(path.read_text().strip().splitlines()) == 2
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"event": "point"})
+        sink.close()
+        assert path.exists()
+
+    def test_non_json_values_are_stringified(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"event": "point", "attrs": {"obj": object()}})
+        sink.close()
+        parsed = json.loads(path.read_text())
+        assert "object object" in parsed["attrs"]["obj"]
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "trace.jsonl")
+        sink.close()
+        with pytest.raises(ObservabilityError, match="closed"):
+            sink.emit({"event": "point"})
+
+    def test_double_close_is_harmless(self, tmp_path):
+        sink = JsonlSink(tmp_path / "trace.jsonl")
+        sink.close()
+        sink.close()
+
+    def test_stream_target_is_not_owned(self):
+        import io
+
+        stream = io.StringIO()
+        sink = JsonlSink(stream)
+        sink.emit({"event": "point"})
+        sink.close()
+        assert not stream.closed
+        assert json.loads(stream.getvalue())["event"] == "point"

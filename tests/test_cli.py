@@ -2,9 +2,20 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
+from repro import obs
 from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """CLI commands touch the global registry/tracer; isolate each test."""
+    obs.reset()
+    yield
+    obs.reset()
 
 
 class TestParser:
@@ -58,3 +69,59 @@ class TestDemoCommand:
         assert main(["demo"]) == 0
         output = capsys.readouterr().out
         assert "predicted" in output
+
+
+class TestMetricsCommand:
+    def test_parser_accepts_metrics(self):
+        arguments = build_parser().parse_args(["metrics"])
+        assert arguments.command == "metrics"
+        assert arguments.format == "prom"
+
+    def test_prints_nonempty_prometheus_exposition(self, capsys):
+        assert main(["metrics"]) == 0
+        output = capsys.readouterr().out
+        assert "# TYPE repro_predictions_total counter" in output
+        assert "# TYPE repro_recommend_seconds histogram" in output
+        assert "repro_interaction_cycles_total" in output
+        assert 'substrate="UserBasedCF"' in output
+
+    def test_json_format_parses(self, capsys):
+        assert main(["metrics", "--format", "json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        names = {metric["name"] for metric in snapshot["metrics"]}
+        assert "repro_explanations_total" in names
+
+    def test_no_demo_with_empty_registry_fails(self, capsys):
+        assert main(["metrics", "--no-demo"]) == 1
+        assert "no metrics recorded" in capsys.readouterr().out
+
+
+class TestTraceFlag:
+    def test_demo_writes_valid_jsonl_spans(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(["--trace", str(trace_path), "demo"]) == 0
+        capsys.readouterr()
+        events = [
+            json.loads(line)
+            for line in trace_path.read_text().strip().splitlines()
+        ]
+        assert events
+        spans = {e["name"]: e for e in events if e["event"] == "span"}
+        # the acceptance shape: a recommend span with explain children
+        recommend = spans["pipeline.recommend"]
+        explain = spans["pipeline.explain"]
+        assert explain["parent_id"] == recommend["span_id"]
+        assert recommend["duration_ms"] >= 0
+
+    def test_tracer_closed_after_command(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(["--trace", str(trace_path), "demo"]) == 0
+        capsys.readouterr()
+        assert not obs.get_tracer().enabled
+
+    def test_without_flag_no_trace_emitted(self, tmp_path, capsys):
+        assert main(["demo"]) == 0
+        capsys.readouterr()
+        sink = obs.InMemorySink()
+        obs.configure(sink=sink)
+        assert sink.events == []

@@ -1,0 +1,109 @@
+"""The whole :mod:`repro.errors` hierarchy, in one place."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ConstraintError,
+    DataError,
+    DialogError,
+    EvaluationError,
+    NotFittedError,
+    ObservabilityError,
+    PredictionImpossibleError,
+    ReproError,
+    UnknownItemError,
+    UnknownUserError,
+)
+
+ALL_ERRORS = (
+    DataError,
+    UnknownUserError,
+    UnknownItemError,
+    NotFittedError,
+    PredictionImpossibleError,
+    ConstraintError,
+    DialogError,
+    EvaluationError,
+    ObservabilityError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("error_cls", ALL_ERRORS)
+    def test_every_error_derives_from_repro_error(self, error_cls):
+        assert issubclass(error_cls, ReproError)
+        assert issubclass(error_cls, Exception)
+
+    def test_data_errors_nest_under_data_error(self):
+        assert issubclass(UnknownUserError, DataError)
+        assert issubclass(UnknownItemError, DataError)
+
+    def test_single_except_clause_catches_everything(self):
+        caught = []
+        for error in (
+            UnknownUserError("u1"),
+            UnknownItemError("i1"),
+            NotFittedError("not fitted"),
+            PredictionImpossibleError("no neighbours"),
+            ConstraintError("contradiction"),
+            DialogError("bad transition"),
+            EvaluationError("bad study"),
+            ObservabilityError("duplicate metric"),
+        ):
+            try:
+                raise error
+            except ReproError as exc:
+                caught.append(exc)
+        assert len(caught) == 8
+
+    def test_base_error_is_not_a_builtin_alias(self):
+        assert not issubclass(ReproError, (ValueError, RuntimeError))
+
+
+class TestUnknownIdErrors:
+    def test_unknown_user_message_and_attribute(self):
+        error = UnknownUserError("alice")
+        assert error.user_id == "alice"
+        assert "alice" in str(error)
+
+    def test_unknown_item_message_and_attribute(self):
+        error = UnknownItemError("item_42")
+        assert error.item_id == "item_42"
+        assert "item_42" in str(error)
+
+
+class TestObservabilityError:
+    def test_duplicate_registration_raises(self):
+        from repro.obs import Counter, MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.register(Counter("repro_demo_total"))
+        with pytest.raises(ObservabilityError, match="already registered"):
+            registry.register(Counter("repro_demo_total"))
+
+    def test_conflicting_schema_raises(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("repro_demo_total")
+        with pytest.raises(ObservabilityError, match="different schema"):
+            registry.gauge("repro_demo_total")
+
+    def test_closed_sink_write_raises(self, tmp_path):
+        from repro.obs import JsonlSink
+
+        sink = JsonlSink(tmp_path / "trace.jsonl")
+        sink.emit({"event": "span"})
+        sink.close()
+        with pytest.raises(ObservabilityError, match="closed"):
+            sink.emit({"event": "span"})
+
+    def test_is_catchable_as_repro_error(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("repro_demo_total")
+        with pytest.raises(ReproError):
+            registry.histogram("repro_demo_total")
