@@ -28,6 +28,11 @@ The JSON schema (``repro.obs.bench/v1``)::
       },
       "studies": {"E4 critiquing": {"wall_s": ...}, ...},
       "interaction": {"cycles_total": ...},
+      "resilience": {
+        "bare_ms_mean": ..., "wrapped_noop_ms_mean": ...,
+        "wrapped_policies_ms_mean": ..., "chaos_ms_mean": ...,
+        "chaos_retries": ..., "chaos_fallbacks": ...
+      },
       "trace_events": 123
     }
 """
@@ -146,6 +151,82 @@ def bench_substrates(
     return results
 
 
+def bench_resilience(n_users: int, n_items: int, recommend_users: int) -> dict:
+    """Overhead of the resilience stack, and throughput under chaos.
+
+    Four configurations over the same world and users: the bare
+    substrate, the wrapper with no policies, the wrapper with
+    retry + breaker enabled (happy path — policies armed, no faults),
+    and the full chain under 20% seeded chaos.
+    """
+    from repro.resilience import (
+        BreakerPolicy,
+        ChaosRecommender,
+        FallbackChain,
+        ResilientRecommender,
+        Retry,
+    )
+
+    world = make_movies(
+        n_users=n_users, n_items=n_items, seed=7, density=0.25
+    )
+    user_ids = list(world.dataset.users)[:recommend_users]
+    retry = Retry(max_attempts=3, base_delay=0.0, seed=0)
+    breaker = BreakerPolicy(failure_threshold=8, reset_timeout=0.05)
+
+    def timed(recommender) -> float:
+        recommender.fit(world.dataset)
+        start = time.perf_counter()
+        for user_id in user_ids:
+            recommender.recommend(user_id, n=10)
+        return (time.perf_counter() - start) * 1000.0 / max(len(user_ids), 1)
+
+    registry = obs.get_registry()
+
+    def counter_value(name: str) -> int:
+        counter = registry.get(name)
+        return int(counter.value) if counter is not None else 0
+
+    bare_ms = timed(UserBasedCF())
+    noop_ms = timed(ResilientRecommender(UserBasedCF()))
+    policies_ms = timed(
+        ResilientRecommender(UserBasedCF(), retry=retry, breaker=breaker)
+    )
+    retries_before = counter_value("repro_retries_total")
+    fallbacks_before = counter_value("repro_fallbacks_total")
+    chaos_ms = timed(
+        FallbackChain(
+            [
+                ResilientRecommender(
+                    ChaosRecommender(UserBasedCF(), failure_rate=0.2, seed=0),
+                    retry=retry,
+                    breaker=breaker,
+                ),
+                PopularityRecommender(),
+            ]
+        )
+    )
+    results = {
+        "bare_ms_mean": round(bare_ms, 4),
+        "wrapped_noop_ms_mean": round(noop_ms, 4),
+        "wrapped_policies_ms_mean": round(policies_ms, 4),
+        "chaos_ms_mean": round(chaos_ms, 4),
+        "chaos_retries": counter_value("repro_retries_total") - retries_before,
+        "chaos_fallbacks": (
+            counter_value("repro_fallbacks_total") - fallbacks_before
+        ),
+    }
+    print(
+        f"  {'UserBasedCF bare':<28} {bare_ms:>9.3f} ms/user\n"
+        f"  {'+ wrapper (no policies)':<28} {noop_ms:>9.3f} ms/user\n"
+        f"  {'+ retry + breaker':<28} {policies_ms:>9.3f} ms/user\n"
+        f"  {'+ 20% chaos + fallback':<28} {chaos_ms:>9.3f} ms/user  "
+        f"retries={results['chaos_retries']} "
+        f"fallbacks={results['chaos_fallbacks']}"
+    )
+    return results
+
+
 def bench_studies(quick: bool) -> dict:
     """Wall-clock a couple of representative end-to-end studies."""
     from repro.evaluation.studies import (
@@ -197,6 +278,8 @@ def main(argv: list[str] | None = None) -> int:
 
     print("substrates:")
     substrates = bench_substrates(sink, n_users, n_items, recommend_users)
+    print("resilience:")
+    resilience = bench_resilience(n_users, n_items, recommend_users)
     print("studies:")
     studies = bench_studies(arguments.quick)
 
@@ -210,6 +293,7 @@ def main(argv: list[str] | None = None) -> int:
             "recommend_users": recommend_users,
         },
         "substrates": substrates,
+        "resilience": resilience,
         "studies": studies,
         "interaction": {
             "cycles_total": int(cycles.value) if cycles is not None else 0,

@@ -41,16 +41,23 @@ Subpackages
 ``repro.domains``
     Deterministic synthetic item worlds (movies, books, news, cameras,
     restaurants, holidays).
+``repro.resilience``
+    Fault tolerance for the serving path: retry/backoff, deadlines,
+    circuit breakers, fallback chains and seeded chaos wrappers.
 """
 
 from repro.errors import (
+    CircuitOpenError,
     ConstraintError,
     DataError,
+    DeadlineExceededError,
     DialogError,
     EvaluationError,
+    InjectedFaultError,
     NotFittedError,
     PredictionImpossibleError,
     ReproError,
+    RetryExhaustedError,
     UnknownItemError,
     UnknownUserError,
 )
@@ -68,4 +75,8 @@ __all__ = [
     "ConstraintError",
     "DialogError",
     "EvaluationError",
+    "RetryExhaustedError",
+    "CircuitOpenError",
+    "DeadlineExceededError",
+    "InjectedFaultError",
 ]

@@ -8,6 +8,8 @@ python -m repro studies E1 E3     # run a subset
 python -m repro demo              # the quickstart pipeline
 python -m repro metrics           # run a demo workload, print metrics
 python -m repro --trace t.jsonl demo   # dump a JSONL span trace
+python -m repro --resilience demo      # fallback-chained pipeline demo
+python -m repro --chaos-rate 0.2 --resilience demo   # ... under chaos
 ```
 """
 
@@ -109,7 +111,57 @@ def _cmd_studies(arguments: argparse.Namespace) -> int:
     return exit_code
 
 
-def _cmd_demo(_: argparse.Namespace) -> int:
+def _build_resilient_pipeline(chaos_rate: float, chaos_seed: int):
+    """The demo pipeline with the resilience stack wired in.
+
+    A chaos-wrapped collaborative substrate falls back to popularity;
+    the histogram explainer degrades per item to the generic template.
+    Returns ``(world, pipeline)``.
+    """
+    from repro.core import NeighborHistogramExplainer
+    from repro.domains import make_movies
+    from repro.recsys import PopularityRecommender, UserBasedCF
+    from repro.resilience import (
+        BreakerPolicy,
+        ChaosExplainer,
+        ChaosRecommender,
+        ResilientExplainedRecommender,
+        Retry,
+    )
+
+    world = make_movies(n_users=40, n_items=80, seed=7, density=0.25)
+    primary = UserBasedCF()
+    explainer = NeighborHistogramExplainer()
+    if chaos_rate > 0.0:
+        primary = ChaosRecommender(
+            primary, failure_rate=chaos_rate, seed=chaos_seed
+        )
+        explainer = ChaosExplainer(
+            explainer, failure_rate=chaos_rate, seed=chaos_seed + 1
+        )
+    pipeline = ResilientExplainedRecommender(
+        [primary, PopularityRecommender()],
+        explainer,
+        retry=Retry(max_attempts=3, base_delay=0.0, seed=chaos_seed),
+        breaker=BreakerPolicy(failure_threshold=8, reset_timeout=0.05),
+    ).fit(world.dataset)
+    return world, pipeline
+
+
+def _cmd_demo(arguments: argparse.Namespace) -> int:
+    chaos_rate = arguments.chaos_rate or 0.0
+    if arguments.resilience or chaos_rate > 0.0:
+        world, pipeline = _build_resilient_pipeline(
+            chaos_rate, arguments.chaos_seed
+        )
+        for explained in pipeline.recommend("user_000", n=3):
+            title = world.dataset.item(explained.item_id).title
+            marker = "  [degraded]" if explained.degraded else ""
+            print(f"{title}  (predicted {explained.score:.1f}){marker}")
+            print(explained.explanation.render(include_details=True))
+            print()
+        return 0
+
     from repro.core import ExplainedRecommender, NeighborHistogramExplainer
     from repro.domains import make_movies
     from repro.recsys import UserBasedCF
@@ -126,12 +178,16 @@ def _cmd_demo(_: argparse.Namespace) -> int:
     return 0
 
 
-def _run_metrics_workload() -> None:
+def _run_metrics_workload(
+    chaos_rate: float = 0.2, chaos_seed: int = 0
+) -> None:
     """A small but representative workload exercising every hot path.
 
     Collaborative pipeline (fit → recommend → explain) plus a short
     critiquing conversation, so the exposition shows substrate,
-    explainer, and interaction-cycle series.
+    explainer, and interaction-cycle series — followed by a seeded
+    chaos segment through the resilience stack so the retry, breaker,
+    and fallback series are populated too.
     """
     from repro.core import ExplainedRecommender, NeighborHistogramExplainer
     from repro.domains import make_cameras, make_movies
@@ -160,6 +216,11 @@ def _run_metrics_workload() -> None:
     if session.reference is not None:
         session.accept()
 
+    if chaos_rate > 0.0:
+        world, resilient = _build_resilient_pipeline(chaos_rate, chaos_seed)
+        for user_id in list(world.dataset.users)[:5]:
+            resilient.recommend(user_id, n=3)
+
 
 def _cmd_metrics(arguments: argparse.Namespace) -> int:
     import json
@@ -167,7 +228,12 @@ def _cmd_metrics(arguments: argparse.Namespace) -> int:
     from repro import obs
 
     if not arguments.no_demo:
-        _run_metrics_workload()
+        # Unless the user pins a rate, the workload includes a 20%
+        # seeded chaos segment so the resilience series are non-empty.
+        chaos_rate = (
+            0.2 if arguments.chaos_rate is None else arguments.chaos_rate
+        )
+        _run_metrics_workload(chaos_rate, arguments.chaos_seed)
     registry = obs.get_registry()
     if len(registry) == 0:
         print("no metrics recorded", flush=True)
@@ -195,6 +261,32 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "write a JSONL span trace of the command to PATH "
             "(one JSON event per line; see docs/observability.md)"
+        ),
+    )
+    parser.add_argument(
+        "--chaos-rate",
+        type=float,
+        metavar="RATE",
+        default=None,
+        help=(
+            "inject seeded faults with this probability per call "
+            "(demo: default 0; metrics workload: default 0.2; "
+            "see docs/resilience.md)"
+        ),
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        metavar="SEED",
+        default=0,
+        help="seed for the deterministic fault plan (default: 0)",
+    )
+    parser.add_argument(
+        "--resilience",
+        action="store_true",
+        help=(
+            "route the demo through the resilience stack "
+            "(retry + breaker + fallback chain)"
         ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)

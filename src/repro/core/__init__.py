@@ -11,6 +11,7 @@ from repro.core.explainers import (
     ContentBasedExplainer,
     Explainer,
     FrankExplainer,
+    GenericExplainer,
     InfluenceExplainer,
     NeighborHistogramExplainer,
     NoExplanationExplainer,
@@ -53,6 +54,7 @@ __all__ = [
     "Explanation",
     "Explainer",
     "NoExplanationExplainer",
+    "GenericExplainer",
     "ContentBasedExplainer",
     "CollaborativeExplainer",
     "NeighborHistogramExplainer",

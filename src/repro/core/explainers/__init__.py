@@ -1,6 +1,10 @@
 """One explainer per explanation style the survey catalogues."""
 
-from repro.core.explainers.base import Explainer, NoExplanationExplainer
+from repro.core.explainers.base import (
+    Explainer,
+    GenericExplainer,
+    NoExplanationExplainer,
+)
 from repro.core.explainers.collaborative import (
     CollaborativeExplainer,
     NeighborHistogramExplainer,
@@ -21,6 +25,7 @@ from repro.core.explainers.tradeoff import TradeoffExplainer
 __all__ = [
     "Explainer",
     "NoExplanationExplainer",
+    "GenericExplainer",
     "ContentBasedExplainer",
     "CollaborativeExplainer",
     "NeighborHistogramExplainer",

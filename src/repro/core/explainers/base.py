@@ -17,7 +17,7 @@ from repro.core.styles import ExplanationStyle
 from repro.recsys.base import Recommendation
 from repro.recsys.data import Dataset
 
-__all__ = ["Explainer", "NoExplanationExplainer"]
+__all__ = ["Explainer", "NoExplanationExplainer", "GenericExplainer"]
 
 
 class Explainer(abc.ABC):
@@ -64,4 +64,37 @@ class NoExplanationExplainer(Explainer):
             text="",
             confidence=recommendation.confidence,
             aims=self.default_aims,
+        )
+
+
+class GenericExplainer(Explainer):
+    """The graceful-degradation terminus: a generic template explanation.
+
+    When a real explainer cannot justify a score (its evidence is
+    missing, its substrate crashed, a chaos wrapper fired), the pipeline
+    falls back to this template rather than aborting the batch — the
+    explanation facility stays available even when the model cannot
+    justify the score.  It consumes no evidence and never raises.
+    """
+
+    style = ExplanationStyle.NONE
+    default_aims: frozenset[Aim] = frozenset()
+
+    TEMPLATE = "{title} was recommended for you."
+
+    def explain(
+        self, user_id: str, recommendation: Recommendation, dataset: Dataset
+    ) -> Explanation:
+        """A generic, evidence-free explanation that always succeeds."""
+        try:
+            title = self._title(dataset, recommendation.item_id)
+        except Exception:
+            title = recommendation.item_id
+        return Explanation(
+            item_id=recommendation.item_id,
+            style=self.style,
+            text=self.TEMPLATE.format(title=title),
+            confidence=recommendation.confidence,
+            aims=self.default_aims,
+            details={"degraded": "generic template fallback"},
         )

@@ -12,8 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro import obs
-from repro.core.explainers.base import Explainer
+from repro.core.explainers.base import Explainer, GenericExplainer
 from repro.core.explanation import Explanation
+from repro.errors import ReproError
 from repro.recsys.base import Recommendation, Recommender
 from repro.recsys.data import Dataset
 
@@ -28,10 +29,17 @@ UNRANKED: int = -1
 
 @dataclass(frozen=True)
 class ExplainedRecommendation:
-    """A recommendation paired with its explanation."""
+    """A recommendation paired with its explanation.
+
+    ``degraded`` is ``True`` when the intended explainer failed and the
+    explanation came from the degradation fallback instead — presenters
+    can soften their framing, and evaluation harnesses can count how
+    often the facility ran degraded.
+    """
 
     recommendation: Recommendation
     explanation: Explanation
+    degraded: bool = False
 
     @property
     def item_id(self) -> str:
@@ -55,9 +63,18 @@ class ExplainedRecommender:
         The explainer applied to every produced recommendation.
     """
 
-    def __init__(self, recommender: Recommender, explainer: Explainer) -> None:
+    def __init__(
+        self,
+        recommender: Recommender,
+        explainer: Explainer,
+        fallback_explainer: Explainer | None = None,
+    ) -> None:
         self.recommender = recommender
         self.explainer = explainer
+        #: Applied per item when ``explainer`` raises a ReproError midway
+        #: through a batch, so one bad explanation never loses the whole
+        #: result list.  Defaults to the generic template explainer.
+        self.fallback_explainer = fallback_explainer or GenericExplainer()
 
     def fit(self, dataset: Dataset) -> "ExplainedRecommender":
         """Fit the underlying recommender; returns ``self``."""
@@ -94,6 +111,46 @@ class ExplainedRecommender:
         ).inc(explainer=explainer)
         return explanation
 
+    def explain_or_degrade(
+        self, user_id: str, recommendation: Recommendation
+    ) -> tuple[Explanation, bool]:
+        """Explain one recommendation, degrading instead of raising.
+
+        Returns ``(explanation, degraded)``.  A :class:`ReproError` from
+        the explainer is absorbed: the fallback explainer produces a
+        generic explanation, the failure is counted in
+        ``repro_degraded_explanations_total`` and emitted as a
+        ``pipeline.explain_degraded`` event.  Non-library exceptions
+        (programming errors) still propagate.
+        """
+        try:
+            return self.explain(user_id, recommendation), False
+        except ReproError as error:
+            explainer = type(self.explainer).__name__
+            obs.get_registry().counter(
+                "repro_degraded_explanations_total",
+                "Explanations served by the degradation fallback.",
+                labelnames=("explainer",),
+            ).inc(explainer=explainer)
+            obs.event(
+                "pipeline.explain_degraded",
+                explainer=explainer,
+                user=user_id,
+                item=recommendation.item_id,
+                error=type(error).__name__,
+            )
+            try:
+                explanation = self.fallback_explainer.explain(
+                    user_id, recommendation, self.recommender.dataset
+                )
+            except ReproError:
+                # Even the fallback failed (e.g. it is chaos-wrapped in a
+                # test): serve the irreducible generic template.
+                explanation = GenericExplainer().explain(
+                    user_id, recommendation, self.recommender.dataset
+                )
+            return explanation, True
+
     def recommend(
         self,
         user_id: str,
@@ -101,7 +158,14 @@ class ExplainedRecommender:
         exclude_rated: bool = True,
         candidates=None,
     ) -> list[ExplainedRecommendation]:
-        """Top-``n`` recommendations, each with its explanation."""
+        """Top-``n`` recommendations, each with its explanation.
+
+        Explanation failures are handled per item: an explainer raising
+        a :class:`ReproError` on item ``k`` no longer loses the ``k-1``
+        explanations already produced — that item is served with a
+        degraded generic explanation (``degraded=True``) and the batch
+        completes at full length.
+        """
         with obs.span(
             "pipeline.recommend",
             substrate=type(self.recommender).__name__,
@@ -113,13 +177,19 @@ class ExplainedRecommender:
                 user_id, n=n, exclude_rated=exclude_rated,
                 candidates=candidates,
             )
-            return [
-                ExplainedRecommendation(
-                    recommendation=recommendation,
-                    explanation=self.explain(user_id, recommendation),
+            explained = []
+            for recommendation in recommendations:
+                explanation, degraded = self.explain_or_degrade(
+                    user_id, recommendation
                 )
-                for recommendation in recommendations
-            ]
+                explained.append(
+                    ExplainedRecommendation(
+                        recommendation=recommendation,
+                        explanation=explanation,
+                        degraded=degraded,
+                    )
+                )
+            return explained
 
     def predict_and_explain(
         self, user_id: str, item_id: str
@@ -141,7 +211,11 @@ class ExplainedRecommender:
                 rank=UNRANKED,
                 prediction=prediction,
             )
+            explanation, degraded = self.explain_or_degrade(
+                user_id, recommendation
+            )
             return ExplainedRecommendation(
                 recommendation=recommendation,
-                explanation=self.explain(user_id, recommendation),
+                explanation=explanation,
+                degraded=degraded,
             )

@@ -57,6 +57,71 @@ class EvaluationError(ReproError):
     """Raised for misconfigured studies or evaluators."""
 
 
+class RetryExhaustedError(ReproError):
+    """Raised when a :class:`~repro.resilience.Retry` policy gives up.
+
+    Carries the operation name, the number of attempts made, and the
+    final underlying error so callers (and fallback chains) can decide
+    what to degrade to.
+    """
+
+    def __init__(
+        self,
+        operation: str,
+        attempts: int,
+        last_error: BaseException | None = None,
+    ) -> None:
+        detail = f": {last_error}" if last_error is not None else ""
+        super().__init__(
+            f"{operation} failed after {attempts} attempt(s){detail}"
+        )
+        self.operation = operation
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class CircuitOpenError(ReproError):
+    """Raised when a circuit breaker rejects a call without trying it.
+
+    ``open_until`` is the breaker's clock reading at which it will admit
+    a half-open probe again; callers that cannot wait should fall back.
+    """
+
+    def __init__(self, breaker_name: str, open_until: float) -> None:
+        super().__init__(
+            f"circuit {breaker_name!r} is open "
+            f"(half-open probe at t={open_until:.3f})"
+        )
+        self.breaker_name = breaker_name
+        self.open_until = open_until
+
+
+class DeadlineExceededError(ReproError):
+    """Raised when an operation's wall-clock budget is spent.
+
+    ``deadline_seconds`` is the configured budget, ``elapsed_seconds``
+    how long the operation had actually been running when the deadline
+    check fired.
+    """
+
+    def __init__(self, deadline_seconds: float, elapsed_seconds: float) -> None:
+        super().__init__(
+            f"deadline of {deadline_seconds:.3f}s exceeded "
+            f"after {elapsed_seconds:.3f}s"
+        )
+        self.deadline_seconds = deadline_seconds
+        self.elapsed_seconds = elapsed_seconds
+
+
+class InjectedFaultError(ReproError):
+    """The default error raised by the chaos wrappers.
+
+    Deliberately *not* a :class:`PredictionImpossibleError`: plain
+    ``predict_or_default`` does not swallow it, so an injected fault is
+    visible to every layer that has not opted into resilience.
+    """
+
+
 class ObservabilityError(ReproError):
     """Raised for misuse of the :mod:`repro.obs` instrumentation layer.
 

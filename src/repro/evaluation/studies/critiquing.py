@@ -27,7 +27,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.domains import make_cameras
+from repro.errors import ReproError
 from repro.evaluation.criteria.efficiency import summarize_sessions
 from repro.evaluation.reporting import StudyReport
 from repro.evaluation.stats import independent_t, summarize
@@ -191,14 +193,50 @@ def _browse_log(
     return log
 
 
+def _degraded_log(time_model: TimeModel) -> InteractionLog:
+    """The log of a shopper whose session was lost to faults.
+
+    Resilience guarantee: a study arm never loses a shopper — if even
+    the fallback path fails, the shopper is recorded as one full manual
+    evaluation and the study carries on.
+    """
+    log = InteractionLog()
+    log.add(1, "degraded", "resilience fallback", time_model.per_full_evaluation)
+    return log
+
+
 def run_critiquing_study(
     n_shoppers: int = 40,
     n_cameras: int = 120,
     seed: int = 4,
+    chaos_rate: float = 0.0,
+    chaos_seed: int = 0,
 ) -> StudyReport:
-    """Run the three-arm efficiency experiment on the camera world."""
+    """Run the three-arm efficiency experiment on the camera world.
+
+    ``chaos_rate > 0`` wraps the knowledge-based recommender in a
+    seeded :class:`~repro.resilience.ChaosRecommender` injecting faults
+    into ``rank``/``matching_items`` (the calls every conversational
+    cycle makes), protected by a zero-backoff
+    :class:`~repro.resilience.Retry`; a shopper whose session still dies
+    degrades to a minimal log instead of aborting the study, so the
+    report always covers every shopper in every arm.
+    """
     dataset, catalog = make_cameras(n_items=n_cameras, seed=seed)
     recommender = KnowledgeBasedRecommender(catalog).fit(dataset)
+    if chaos_rate > 0.0:
+        from repro.resilience import ChaosRecommender, ResilientRecommender, Retry
+
+        recommender = ResilientRecommender(
+            ChaosRecommender(
+                recommender,
+                failure_rate=chaos_rate,
+                seed=chaos_seed,
+                fail_on=("rank", "matching_items"),
+            ),
+            retry=Retry(max_attempts=5, base_delay=0.0, seed=chaos_seed),
+            protect=("rank", "matching_items"),
+        )
     rng = np.random.default_rng(seed + 1)
     time_model = TimeModel()
     items = list(dataset.items.values())
@@ -232,19 +270,39 @@ def run_critiquing_study(
         requirements = UserRequirements(
             preferences=[Preference(attribute=top_attribute, weight=1.0)]
         )
-        arms["browse ranked list"].append(
-            _browse_log(shopper, recommender, requirements, time_model)
-        )
-        arms["unit critiques"].append(
-            _run_session(
-                shopper, recommender, requirements, False, time_model
-            )
-        )
-        arms["unit + dynamic compound"].append(
-            _run_session(
-                shopper, recommender, requirements, True, time_model
-            )
-        )
+        for arm, run in (
+            (
+                "browse ranked list",
+                lambda: _browse_log(
+                    shopper, recommender, requirements, time_model
+                ),
+            ),
+            (
+                "unit critiques",
+                lambda: _run_session(
+                    shopper, recommender, requirements, False, time_model
+                ),
+            ),
+            (
+                "unit + dynamic compound",
+                lambda: _run_session(
+                    shopper, recommender, requirements, True, time_model
+                ),
+            ),
+        ):
+            try:
+                log = run()
+            except ReproError:
+                # One shopper's session died despite retries: degrade
+                # that observation, never the whole study.
+                obs.get_registry().counter(
+                    "repro_fallbacks_total",
+                    "Fallback decisions: a component failed and the "
+                    "next was tried.",
+                    labelnames=("substrate", "reason"),
+                ).inc(substrate="critiquing_harness", reason="session_lost")
+                log = _degraded_log(time_model)
+            arms[arm].append(log)
 
     conditions = []
     seconds: dict[str, list[float]] = {}

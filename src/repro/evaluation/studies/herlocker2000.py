@@ -179,19 +179,88 @@ def _mean_appeal(interface: InterfaceDescriptor) -> float:
     return float(np.clip(0.5 + gain - loss, 0.0, 1.0))
 
 
+def _make_publisher(chaos_rate: float, chaos_seed: int):
+    """The (possibly flaky) step that lands one interface's responses.
+
+    Chaos off: the identity function.  Chaos on: each publish fails with
+    probability ``chaos_rate`` from a seeded plan, retried with zero
+    backoff; exhaustion degrades the condition to the indifferent
+    midpoint and is counted in ``repro_fallbacks_total``.
+    """
+    if chaos_rate <= 0.0:
+        return lambda name, measured, points, n_users: measured
+
+    from repro import obs
+    from repro.errors import InjectedFaultError, RetryExhaustedError
+    from repro.resilience import FaultPlan, Retry
+
+    plan = FaultPlan(failure_rate=chaos_rate, seed=chaos_seed)
+    retry = Retry(max_attempts=4, base_delay=0.0, seed=chaos_seed)
+
+    def count_retry(attempt, delay, error):
+        obs.get_registry().counter(
+            "repro_retries_total",
+            "Retries scheduled by resilience policies per substrate.",
+            labelnames=("substrate",),
+        ).inc(substrate="herlocker_harness")
+
+    def publish(name, measured, points, n_users):
+        def attempt():
+            fail, __ = plan.roll()
+            if fail:
+                raise InjectedFaultError(
+                    f"chaos: flaky measurement channel for {name!r}"
+                )
+            return measured
+
+        try:
+            return retry.call(
+                attempt, name=f"E1:{name}", on_retry=count_retry
+            )
+        except RetryExhaustedError:
+            obs.get_registry().counter(
+                "repro_fallbacks_total",
+                "Fallback decisions: a component failed and the next "
+                "was tried.",
+                labelnames=("substrate", "reason"),
+            ).inc(
+                substrate="herlocker_harness", reason="RetryExhaustedError"
+            )
+            return np.full(n_users, (1.0 + points) / 2.0)
+
+    return publish
+
+
 def run_herlocker_study(
     n_users: int = 80,
     seed: int = 18,
     points: int = 7,
+    chaos_rate: float = 0.0,
+    chaos_seed: int = 0,
 ) -> StudyReport:
-    """Within-subject study: every user rates all 21 interfaces (1–7)."""
+    """Within-subject study: every user rates all 21 interfaces (1–7).
+
+    ``chaos_rate > 0`` makes the measurement channel flaky: collecting
+    each interface's responses fails with that (seeded) probability and
+    is retried under a :class:`~repro.resilience.Retry` policy; an
+    interface whose retries exhaust degrades to an indifferent-midpoint
+    response vector instead of aborting the study, so the report always
+    comes back with all 21 conditions.  The simulated responses
+    themselves are computed before the flaky publish step, so a chaos
+    run that never exhausts its retries reproduces the chaos-free
+    numbers exactly.
+    """
     rng = np.random.default_rng(seed)
     user_bias = rng.normal(0.0, 0.5, size=n_users)
+    publish = _make_publisher(chaos_rate, chaos_seed)
     responses: dict[str, np.ndarray] = {}
     for interface in INTERFACES:
         mean = 1.0 + _mean_appeal(interface) * (points - 1)
         raw = mean + user_bias + rng.normal(0.0, 0.8, size=n_users)
-        responses[interface.name] = np.clip(np.round(raw), 1, points)
+        measured = np.clip(np.round(raw), 1, points)
+        responses[interface.name] = publish(
+            interface.name, measured, points, n_users
+        )
 
     conditions = [
         summarize(name, values.tolist())

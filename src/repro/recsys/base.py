@@ -357,15 +357,24 @@ class Recommender(abc.ABC):
         prediction can be made.
         """
 
+    #: Error types :meth:`predict_or_default` degrades on.  The base
+    #: class absorbs only the semantic miss (no personalised prediction
+    #: exists); resilience wrappers widen this to exhausted retries,
+    #: open breakers, spent deadlines and injected faults.  An unfitted
+    #: model must never appear here — there is no item mean to fall
+    #: back to before ``fit``.
+    degrade_on: tuple[type[BaseException], ...] = (PredictionImpossibleError,)
+
     def predict_or_default(self, user_id: str, item_id: str) -> Prediction:
         """Like :meth:`predict` but degrade to the item mean on failure.
 
-        The fallback prediction carries zero confidence and no evidence,
-        so a frank personality will present it as a guess.
+        Failure means any error in :attr:`degrade_on`.  The fallback
+        prediction carries zero confidence and no evidence, so a frank
+        personality will present it as a guess.
         """
         try:
             return self.predict(user_id, item_id)
-        except PredictionImpossibleError:
+        except self.degrade_on:
             return Prediction(
                 value=self.dataset.item_mean(item_id), confidence=0.0
             )

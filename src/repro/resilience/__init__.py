@@ -1,0 +1,67 @@
+"""Resilience: fault tolerance for the explained-recommendation pipeline.
+
+The survey motivates the shape: hybrid systems degrade from
+collaborative to content-based evidence when neighbours are missing
+(Section 4), and an explanation facility must stay available even when
+the model cannot justify a score — a degraded generic explanation beats
+an error page.  This package makes that promise operational:
+
+* **policies** (``repro.resilience.policies``) —
+  :class:`Retry` with bounded exponential backoff and deterministic
+  jitter, :class:`Deadline` wall-clock budgets, and the
+  :class:`CircuitBreaker` closed → open → half-open state machine (one
+  per substrate, built from a shareable :class:`BreakerPolicy`);
+* **fallback** (``repro.resilience.fallback``) —
+  :class:`ResilientRecommender` (one substrate under policies),
+  :class:`FallbackChain` (ordered degradation across substrates) and
+  :class:`FallbackExplainer` (explanation chains ending at the generic
+  template);
+* **chaos** (``repro.resilience.chaos``) — :class:`ChaosRecommender`
+  and :class:`ChaosExplainer`, seeded deterministic fault/latency
+  injection so every policy is testable end-to-end;
+* **pipeline** (``repro.resilience.pipeline``) —
+  :class:`ResilientExplainedRecommender`, the one-stop serving wrapper.
+
+Everything is observable: ``repro_retries_total``,
+``repro_breaker_state``, ``repro_fallbacks_total``,
+``repro_degraded_explanations_total`` and ``repro_chaos_injected_total``
+land in the global registry, and every retry/fallback/breaker decision
+emits a tracer event (free when tracing is disabled).  With no policies
+configured nothing is wrapped and nothing is counted — the no-op fast
+path mirrors :mod:`repro.obs`.
+
+Surfaced via ``python -m repro --chaos-rate 0.2 --resilience demo`` /
+``metrics``.  See ``docs/resilience.md``.
+"""
+
+from repro.resilience.chaos import ChaosExplainer, ChaosRecommender, FaultPlan
+from repro.resilience.fallback import (
+    DEGRADABLE_ERRORS,
+    FallbackChain,
+    FallbackExplainer,
+    ResilientRecommender,
+    substrate_name,
+)
+from repro.resilience.pipeline import ResilientExplainedRecommender
+from repro.resilience.policies import (
+    BreakerPolicy,
+    CircuitBreaker,
+    Deadline,
+    Retry,
+)
+
+__all__ = [
+    "Retry",
+    "Deadline",
+    "CircuitBreaker",
+    "BreakerPolicy",
+    "ResilientRecommender",
+    "FallbackChain",
+    "FallbackExplainer",
+    "DEGRADABLE_ERRORS",
+    "substrate_name",
+    "ChaosRecommender",
+    "ChaosExplainer",
+    "FaultPlan",
+    "ResilientExplainedRecommender",
+]

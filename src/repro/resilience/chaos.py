@@ -1,0 +1,217 @@
+"""Seeded fault injection for recommenders and explainers.
+
+:class:`ChaosRecommender` and :class:`ChaosExplainer` wrap a real
+component and inject failures and latency from a private seeded RNG, so
+every retry policy, breaker transition and fallback decision in the
+stack can be exercised end-to-end by a *deterministic* test: the same
+seed always yields the same fault schedule.
+
+Faults default to :class:`~repro.errors.InjectedFaultError`, which plain
+``predict_or_default`` does **not** swallow — an injected fault is
+visible to every layer that has not opted into resilience, which is
+exactly what makes the chaos tests honest.
+
+Latency is injected through an injectable ``sleep`` so tests can count
+the injected seconds without waiting for them.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Callable, Iterable
+
+from repro import obs
+from repro.core.explainers.base import Explainer
+from repro.core.explanation import Explanation
+from repro.errors import InjectedFaultError
+from repro.recsys.base import Prediction, Recommendation, Recommender
+from repro.recsys.data import Dataset
+
+__all__ = ["ChaosRecommender", "ChaosExplainer", "FaultPlan"]
+
+
+class FaultPlan:
+    """A seeded schedule of failures and latencies.
+
+    One instance is one deterministic stream: the ``n``-th call to
+    :meth:`roll` always answers the same for a given seed, regardless of
+    wall clock or interleaving with other plans.
+    """
+
+    def __init__(
+        self,
+        failure_rate: float = 0.2,
+        latency_seconds: float = 0.0,
+        latency_jitter: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ValueError(
+                f"failure_rate must be in [0, 1], got {failure_rate}"
+            )
+        if latency_seconds < 0.0 or latency_jitter < 0.0:
+            raise ValueError("latencies must be >= 0")
+        self.failure_rate = failure_rate
+        self.latency_seconds = latency_seconds
+        self.latency_jitter = latency_jitter
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def roll(self) -> tuple[bool, float]:
+        """``(fail?, latency_seconds)`` for the next call."""
+        fail = self._rng.random() < self.failure_rate
+        latency = self.latency_seconds
+        if self.latency_jitter > 0.0:
+            latency += self._rng.random() * self.latency_jitter
+        return fail, latency
+
+    def reset(self) -> None:
+        """Rewind the stream to the start (same seed, same schedule)."""
+        self._rng = random.Random(self.seed)
+
+
+def _count_injection(target: str, kind: str) -> None:
+    obs.get_registry().counter(
+        "repro_chaos_injected_total",
+        "Faults and latencies injected by the chaos wrappers.",
+        labelnames=("target", "kind"),
+    ).inc(target=target, kind=kind)
+
+
+class ChaosRecommender(Recommender):
+    """A recommender whose calls fail and stall on a seeded schedule.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped recommender.  Attributes the wrapper does not define
+        (``rank``, ``catalog``, ...) are forwarded, so domain-specific
+        substrates keep their extended API.
+    failure_rate:
+        Probability that an intercepted call raises ``error``.
+    error:
+        Exception *type* to raise on injected failures.
+    fail_on:
+        Method names to intercept.  ``predict`` and ``recommend`` are
+        intercepted natively; any other name is intercepted through
+        attribute forwarding.
+    latency_seconds / latency_jitter:
+        Injected latency per intercepted call (``sleep`` is injectable;
+        tests pass a recorder and never wait).
+    """
+
+    def __init__(
+        self,
+        inner: Recommender,
+        failure_rate: float = 0.2,
+        error: type[Exception] = InjectedFaultError,
+        fail_on: Iterable[str] = ("predict",),
+        latency_seconds: float = 0.0,
+        latency_jitter: float = 0.0,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        super().__init__()
+        self.inner = inner
+        self.plan = FaultPlan(
+            failure_rate=failure_rate,
+            latency_seconds=latency_seconds,
+            latency_jitter=latency_jitter,
+            seed=seed,
+        )
+        self.error = error
+        self.fail_on = frozenset(fail_on)
+        self._sleep = sleep
+
+    # -- chaos core -------------------------------------------------------
+
+    def _maybe_inject(self, method: str) -> None:
+        if method not in self.fail_on:
+            return
+        fail, latency = self.plan.roll()
+        if latency > 0.0:
+            _count_injection(type(self.inner).__name__, "latency")
+            self._sleep(latency)
+        if fail:
+            _count_injection(type(self.inner).__name__, "failure")
+            obs.event(
+                "chaos.fault",
+                target=type(self.inner).__name__,
+                method=method,
+                error=self.error.__name__,
+            )
+            raise self.error(
+                f"chaos: injected {self.error.__name__} in "
+                f"{type(self.inner).__name__}.{method}"
+            )
+
+    # -- Recommender protocol --------------------------------------------
+
+    def fit(self, dataset: Dataset) -> "ChaosRecommender":
+        self.inner.fit(dataset)
+        return self
+
+    @property
+    def dataset(self) -> Dataset:
+        return self.inner.dataset
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.inner.is_fitted
+
+    def predict(self, user_id: str, item_id: str) -> Prediction:
+        self._maybe_inject("predict")
+        return self.inner.predict(user_id, item_id)
+
+    def recommend(self, *args, **kwargs) -> list[Recommendation]:
+        self._maybe_inject("recommend")
+        return self.inner.recommend(*args, **kwargs)
+
+    def __getattr__(self, name: str):
+        # Only reached for attributes this class does not define; chaos
+        # is injected into forwarded *methods* named in ``fail_on``.
+        inner = object.__getattribute__(self, "inner")
+        attribute = getattr(inner, name)
+        if callable(attribute) and name in self.fail_on:
+            def chaotic(*args, **kwargs):
+                self._maybe_inject(name)
+                return attribute(*args, **kwargs)
+
+            return chaotic
+        return attribute
+
+
+class ChaosExplainer(Explainer):
+    """An explainer whose calls fail on a seeded schedule."""
+
+    def __init__(
+        self,
+        inner: Explainer,
+        failure_rate: float = 0.2,
+        error: type[Exception] = InjectedFaultError,
+        seed: int = 0,
+    ) -> None:
+        self.inner = inner
+        self.plan = FaultPlan(failure_rate=failure_rate, seed=seed)
+        self.error = error
+        self.style = inner.style
+        self.default_aims = inner.default_aims
+
+    def explain(
+        self, user_id: str, recommendation: Recommendation, dataset: Dataset
+    ) -> Explanation:
+        fail, __ = self.plan.roll()
+        if fail:
+            _count_injection(type(self.inner).__name__, "failure")
+            obs.event(
+                "chaos.fault",
+                target=type(self.inner).__name__,
+                method="explain",
+                error=self.error.__name__,
+            )
+            raise self.error(
+                f"chaos: injected {self.error.__name__} in "
+                f"{type(self.inner).__name__}.explain"
+            )
+        return self.inner.explain(user_id, recommendation, dataset)

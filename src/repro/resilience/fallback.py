@@ -1,0 +1,297 @@
+"""Graceful degradation: resilient wrappers and fallback chains.
+
+Two layers, composed freely:
+
+* :class:`ResilientRecommender` wraps **one** substrate with the
+  :mod:`repro.resilience.policies` mechanisms — retry/backoff around
+  every prediction, a per-substrate circuit breaker, an optional
+  per-call deadline;
+* :class:`FallbackChain` lines up **several** substrates (typically
+  personalised first, popularity last) and degrades across them: any
+  component failure the chain classifies as degradable moves to the
+  next component, exactly the hybrid shape the survey describes
+  (collaborative evidence first, content-based when neighbours are
+  missing, non-personalised last).
+
+:class:`FallbackExplainer` does the same for explanation generation,
+ending at :class:`~repro.core.explainers.base.GenericExplainer` so an
+explanation facility never takes a batch down — a degraded generic
+explanation beats an error page.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro import obs
+from repro.core.explainers.base import Explainer, GenericExplainer
+from repro.core.explanation import Explanation
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    InjectedFaultError,
+    NotFittedError,
+    PredictionImpossibleError,
+    ReproError,
+    RetryExhaustedError,
+)
+from repro.recsys.base import Prediction, Recommendation, Recommender
+from repro.recsys.data import Dataset
+from repro.resilience.policies import BreakerPolicy, CircuitBreaker, Deadline, Retry
+
+__all__ = [
+    "ResilientRecommender",
+    "FallbackChain",
+    "FallbackExplainer",
+    "substrate_name",
+]
+
+#: Component errors a :class:`FallbackChain` degrades across by default.
+DEGRADABLE_ERRORS: tuple[type[ReproError], ...] = (
+    PredictionImpossibleError,
+    NotFittedError,
+    CircuitOpenError,
+    RetryExhaustedError,
+    DeadlineExceededError,
+    InjectedFaultError,
+)
+
+
+def substrate_name(recommender: Recommender) -> str:
+    """The wrapped substrate's class name, unwrapping chaos/resilient shells."""
+    seen: set[int] = set()
+    current = recommender
+    while hasattr(current, "inner") and id(current) not in seen:
+        seen.add(id(current))
+        current = current.inner
+    return type(current).__name__
+
+
+def _count_fallback(substrate: str, reason: str) -> None:
+    obs.get_registry().counter(
+        "repro_fallbacks_total",
+        "Fallback decisions: a component failed and the next was tried.",
+        labelnames=("substrate", "reason"),
+    ).inc(substrate=substrate, reason=reason)
+
+
+class ResilientRecommender(Recommender):
+    """One substrate under retry, breaker, and deadline policies.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped recommender (possibly a chaos wrapper).
+    retry:
+        Retry policy applied around every protected call; ``None``
+        disables retries.
+    breaker:
+        Either a ready :class:`CircuitBreaker` or a
+        :class:`BreakerPolicy` from which one is built, keyed by the
+        wrapped substrate's class name; ``None`` disables the breaker.
+    deadline_seconds:
+        Per-call wall-clock budget shared across that call's retries;
+        ``None`` disables the deadline.
+    protect:
+        Extra method names (beyond ``predict``) guarded with the same
+        policies when reached through attribute forwarding — e.g.
+        ``("rank",)`` for a knowledge-based substrate driving a
+        critiquing session.
+    """
+
+    def __init__(
+        self,
+        inner: Recommender,
+        retry: Retry | None = None,
+        breaker: CircuitBreaker | BreakerPolicy | None = None,
+        deadline_seconds: float | None = None,
+        protect: Sequence[str] = (),
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        super().__init__()
+        self.inner = inner
+        self.retry = retry
+        self.deadline_seconds = deadline_seconds
+        self.protect = frozenset(protect)
+        self._clock = clock
+        name = substrate_name(inner)
+        self._substrate = name
+        if isinstance(breaker, BreakerPolicy):
+            breaker = breaker.build(name)
+        self.breaker = breaker
+
+    # -- policy engine ----------------------------------------------------
+
+    def _count_retry(self, attempt: int, delay: float, error: BaseException) -> None:
+        obs.get_registry().counter(
+            "repro_retries_total",
+            "Retries scheduled by resilience policies per substrate.",
+            labelnames=("substrate",),
+        ).inc(substrate=self._substrate)
+
+    def guard(self, operation: Callable[[], object], name: str):
+        """Run one call under breaker + deadline + retry.
+
+        Raises :class:`~repro.errors.CircuitOpenError` without touching
+        the substrate when the breaker is open; otherwise failures are
+        recorded on the breaker (every :class:`ReproError` except a
+        rejection by another breaker counts as a substrate failure).
+        """
+        if self.breaker is not None:
+            self.breaker.check()
+        deadline = None
+        if self.deadline_seconds is not None:
+            clock = self._clock
+            deadline = (
+                Deadline(self.deadline_seconds, clock=clock)
+                if clock is not None
+                else Deadline(self.deadline_seconds)
+            )
+        try:
+            if self.retry is not None:
+                result = self.retry.call(
+                    operation,
+                    name=f"{self._substrate}.{name}",
+                    deadline=deadline,
+                    on_retry=self._count_retry,
+                )
+            else:
+                if deadline is not None:
+                    deadline.require()
+                result = operation()
+        except ReproError as error:
+            if self.breaker is not None and not isinstance(
+                error, CircuitOpenError
+            ):
+                self.breaker.record_failure()
+            raise
+        if self.breaker is not None:
+            self.breaker.record_success()
+        return result
+
+    # -- Recommender protocol --------------------------------------------
+
+    def fit(self, dataset: Dataset) -> "ResilientRecommender":
+        self.inner.fit(dataset)
+        return self
+
+    @property
+    def dataset(self) -> Dataset:
+        return self.inner.dataset
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.inner.is_fitted
+
+    #: A resilient substrate's ``predict_or_default`` also degrades on
+    #: exhausted retries, open breakers, spent deadlines and injected
+    #: faults (never on :class:`~repro.errors.NotFittedError`).
+    degrade_on = DEGRADABLE_ERRORS
+
+    def predict(self, user_id: str, item_id: str) -> Prediction:
+        return self.guard(
+            lambda: self.inner.predict(user_id, item_id), "predict"
+        )
+
+    def __getattr__(self, name: str):
+        inner = object.__getattribute__(self, "inner")
+        attribute = getattr(inner, name)
+        if callable(attribute) and name in self.protect:
+            def guarded(*args, **kwargs):
+                return self.guard(lambda: attribute(*args, **kwargs), name)
+
+            return guarded
+        return attribute
+
+
+class FallbackChain(Recommender):
+    """Degrade predictions across an ordered list of substrates.
+
+    ``FallbackChain([cf_user, hybrid, popularity])`` asks each component
+    in turn; a component failing with one of ``degrade_on`` moves the
+    chain to the next one (counted in ``repro_fallbacks_total`` and
+    emitted as a ``resilience.fallback`` event).  When every component
+    fails, the chain raises
+    :class:`~repro.errors.PredictionImpossibleError`, so the inherited
+    ``recommend`` still fills the slot with the item-mean guess — a
+    chain's recommendation list never comes back short.
+    """
+
+    def __init__(
+        self,
+        components: Sequence[Recommender],
+        degrade_on: tuple[type[BaseException], ...] = DEGRADABLE_ERRORS,
+    ) -> None:
+        super().__init__()
+        if not components:
+            raise ValueError("a fallback chain needs at least one component")
+        self.components = list(components)
+        self.degrade_on = degrade_on
+
+    def _fit(self, dataset: Dataset) -> None:
+        for component in self.components:
+            component.fit(dataset)
+
+    def predict(self, user_id: str, item_id: str) -> Prediction:
+        last_error: BaseException | None = None
+        for component in self.components:
+            name = substrate_name(component)
+            try:
+                return component.predict(user_id, item_id)
+            except self.degrade_on as error:
+                last_error = error
+                reason = type(error).__name__
+                _count_fallback(name, reason)
+                obs.event(
+                    "resilience.fallback",
+                    substrate=name,
+                    reason=reason,
+                    user=user_id,
+                    item=item_id,
+                )
+        raise PredictionImpossibleError(
+            f"all {len(self.components)} chain components failed for "
+            f"({user_id!r}, {item_id!r})"
+        ) from last_error
+
+
+class FallbackExplainer(Explainer):
+    """Try each explainer in turn; never leave a recommendation bare.
+
+    The chain implicitly ends at
+    :class:`~repro.core.explainers.base.GenericExplainer` unless
+    ``terminal=False``, so :meth:`explain` only raises when explicitly
+    configured as non-terminal (useful for composing chains).
+    """
+
+    def __init__(
+        self, explainers: Sequence[Explainer], terminal: bool = True
+    ) -> None:
+        if not explainers:
+            raise ValueError("a fallback explainer needs at least one stage")
+        self.explainers = list(explainers)
+        if terminal and not isinstance(self.explainers[-1], GenericExplainer):
+            self.explainers.append(GenericExplainer())
+        self.style = self.explainers[0].style
+        self.default_aims = self.explainers[0].default_aims
+
+    def explain(
+        self, user_id: str, recommendation: Recommendation, dataset: Dataset
+    ) -> Explanation:
+        last_error: BaseException | None = None
+        for explainer in self.explainers:
+            try:
+                return explainer.explain(user_id, recommendation, dataset)
+            except ReproError as error:
+                last_error = error
+                name = type(explainer).__name__
+                _count_fallback(name, type(error).__name__)
+                obs.event(
+                    "resilience.fallback",
+                    substrate=name,
+                    reason=type(error).__name__,
+                    user=user_id,
+                    item=recommendation.item_id,
+                )
+        assert last_error is not None
+        raise last_error

@@ -1,0 +1,101 @@
+"""The resilient explained-recommendation pipeline.
+
+:class:`ResilientExplainedRecommender` is
+:class:`~repro.core.pipeline.ExplainedRecommender` with the resilience
+policies wired in: each substrate is wrapped in a
+:class:`~repro.resilience.fallback.ResilientRecommender` (retry /
+breaker / deadline), the wrapped substrates are lined up in a
+:class:`~repro.resilience.fallback.FallbackChain`, and the explainer is
+backed by the degradation fallback the base pipeline already applies
+per item.
+
+With every policy argument left at ``None`` and a single substrate, the
+construction collapses to a plain ``ExplainedRecommender`` over the
+bare substrate — the no-op fast path: no wrappers, no breakers, no
+per-call overhead, byte-identical behaviour.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.explainers.base import Explainer
+from repro.core.pipeline import ExplainedRecommender
+from repro.recsys.base import Recommender
+from repro.resilience.fallback import FallbackChain, ResilientRecommender
+from repro.resilience.policies import BreakerPolicy, Retry
+
+__all__ = ["ResilientExplainedRecommender"]
+
+
+class ResilientExplainedRecommender(ExplainedRecommender):
+    """An explained recommender that degrades instead of failing.
+
+    Parameters
+    ----------
+    recommenders:
+        One substrate or an ordered fallback list (personalised first,
+        non-personalised last).  A ready
+        :class:`~repro.resilience.fallback.FallbackChain` is used as-is.
+    explainer:
+        The primary explainer; failures degrade per item to
+        ``fallback_explainer`` (default: the generic template).
+    retry / breaker / deadline_seconds:
+        Policies applied to **each** substrate independently (a breaker
+        policy builds one breaker per substrate, keyed by its class
+        name).  All default to off.
+    """
+
+    def __init__(
+        self,
+        recommenders: Recommender | Sequence[Recommender],
+        explainer: Explainer,
+        *,
+        retry: Retry | None = None,
+        breaker: BreakerPolicy | None = None,
+        deadline_seconds: float | None = None,
+        fallback_explainer: Explainer | None = None,
+    ) -> None:
+        if isinstance(recommenders, Recommender):
+            components: list[Recommender] = [recommenders]
+        else:
+            components = list(recommenders)
+        if not components:
+            raise ValueError("need at least one recommender")
+
+        policies_on = (
+            retry is not None
+            or breaker is not None
+            or deadline_seconds is not None
+        )
+        recommender: Recommender
+        if len(components) == 1 and isinstance(components[0], FallbackChain):
+            # A pre-built chain is used as-is (its components carry
+            # whatever policies the caller already applied).
+            recommender = components[0]
+        else:
+            if policies_on:
+                components = [
+                    ResilientRecommender(
+                        component,
+                        retry=retry,
+                        breaker=breaker,
+                        deadline_seconds=deadline_seconds,
+                    )
+                    for component in components
+                ]
+            recommender = (
+                components[0]
+                if len(components) == 1
+                else FallbackChain(components)
+            )
+        super().__init__(
+            recommender, explainer, fallback_explainer=fallback_explainer
+        )
+
+    @property
+    def chain(self) -> FallbackChain | None:
+        """The underlying fallback chain, when one was built."""
+        if isinstance(self.recommender, FallbackChain):
+            return self.recommender
+        return None

@@ -1,0 +1,379 @@
+"""Resilience policies: retry with backoff, deadlines, circuit breakers.
+
+Three small, composable mechanisms, all deterministic under test:
+
+* :class:`Retry` — bounded exponential backoff with *deterministic*
+  jitter (the jitter for attempt ``k`` is a pure function of the policy
+  seed and ``k``, so a replayed failure schedule produces an identical
+  delay schedule);
+* :class:`Deadline` — a wall-clock budget for one logical operation,
+  shared across the retries it spans;
+* :class:`CircuitBreaker` — the classic closed → open → half-open state
+  machine, one instance per substrate, so a persistently failing
+  recommender stops being hammered and gets probed instead.
+
+Clocks and sleepers are injectable everywhere: production code uses
+``time.monotonic`` / ``time.sleep``, tests pass fakes and never wait.
+Every state transition and retry decision is counted in the global
+:mod:`repro.obs` registry and emitted as a tracer event (free when
+tracing is disabled, mirroring the rest of the instrumentation).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    NotFittedError,
+    ReproError,
+    RetryExhaustedError,
+)
+
+__all__ = ["Retry", "Deadline", "CircuitBreaker", "BreakerPolicy"]
+
+#: Gauge encoding of breaker states (``repro_breaker_state``).
+BREAKER_STATE_VALUES = {"closed": 0, "open": 1, "half_open": 2}
+
+
+class Deadline:
+    """A wall-clock budget for one logical operation.
+
+    Parameters
+    ----------
+    seconds:
+        The budget.  Must be positive.
+    clock:
+        Monotonic clock; injectable for tests.
+    """
+
+    def __init__(
+        self,
+        seconds: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if seconds <= 0.0:
+            raise ValueError(f"deadline must be > 0 seconds, got {seconds}")
+        self.seconds = float(seconds)
+        self._clock = clock
+        self._started = clock()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the deadline started."""
+        return self._clock() - self._started
+
+    def remaining(self) -> float:
+        """Budget left, clipped at zero."""
+        return max(0.0, self.seconds - self.elapsed)
+
+    @property
+    def expired(self) -> bool:
+        """Whether the budget is spent."""
+        return self.elapsed >= self.seconds
+
+    def require(self) -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is spent."""
+        elapsed = self.elapsed
+        if elapsed >= self.seconds:
+            raise DeadlineExceededError(
+                deadline_seconds=self.seconds, elapsed_seconds=elapsed
+            )
+
+
+@dataclass(frozen=True)
+class Retry:
+    """Bounded exponential backoff with deterministic jitter.
+
+    The unjittered backoff for attempt ``k`` (1-based; the delay waited
+    *after* attempt ``k`` fails) is ``min(max_delay, base_delay *
+    multiplier**(k-1))`` — non-decreasing and bounded by construction.
+    Jitter then shaves off up to ``jitter`` (a fraction in [0, 1)) of
+    the delay; the shave for attempt ``k`` is a pure function of
+    ``(seed, k)``, so two runs of the same policy produce byte-identical
+    schedules.
+
+    ``retry_on`` / ``give_up_on`` classify errors: an exception is
+    retried iff it is an instance of ``retry_on`` and *not* an instance
+    of ``give_up_on``.  The defaults retry any :class:`ReproError`
+    except the ones retrying cannot help (an unfitted model, an open
+    breaker, a spent deadline).
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+    retry_on: tuple[type[BaseException], ...] = (ReproError,)
+    give_up_on: tuple[type[BaseException], ...] = (
+        NotFittedError,
+        CircuitOpenError,
+        DeadlineExceededError,
+    )
+    sleep: Callable[[float], None] = time.sleep
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0.0 or self.max_delay < 0.0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def backoff(self, attempt: int) -> float:
+        """Unjittered delay after the given (1-based) failed attempt."""
+        if attempt < 1:
+            raise ValueError(f"attempt numbers start at 1, got {attempt}")
+        return min(
+            self.max_delay, self.base_delay * self.multiplier ** (attempt - 1)
+        )
+
+    def delay(self, attempt: int) -> float:
+        """Jittered delay after the given failed attempt (deterministic)."""
+        raw = self.backoff(attempt)
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        # A private RNG keyed on (seed, attempt): stateless, replayable.
+        shave = random.Random(self.seed * 1_000_003 + attempt).random()
+        return raw * (1.0 - self.jitter * shave)
+
+    def delays(self) -> tuple[float, ...]:
+        """The full jittered schedule (one delay per non-final attempt)."""
+        return tuple(
+            self.delay(attempt) for attempt in range(1, self.max_attempts)
+        )
+
+    def retryable(self, error: BaseException) -> bool:
+        """Whether the policy retries after this error."""
+        return isinstance(error, self.retry_on) and not isinstance(
+            error, self.give_up_on
+        )
+
+    def call(
+        self,
+        operation: Callable[[], object],
+        *,
+        name: str = "operation",
+        deadline: Deadline | None = None,
+        on_retry: Callable[[int, float, BaseException], None] | None = None,
+    ):
+        """Run ``operation`` under the policy.
+
+        Raises :class:`RetryExhaustedError` (chaining the last error)
+        when every attempt failed retryably, re-raises non-retryable
+        errors immediately, and raises :class:`DeadlineExceededError`
+        when ``deadline`` runs out between attempts.  ``on_retry`` fires
+        once per scheduled retry with ``(attempt, delay, error)``.
+        """
+        last_error: BaseException | None = None
+        for attempt in range(1, self.max_attempts + 1):
+            if deadline is not None:
+                deadline.require()
+            try:
+                return operation()
+            except BaseException as error:  # noqa: B036 - classified below
+                if not self.retryable(error):
+                    raise
+                last_error = error
+                if attempt == self.max_attempts:
+                    break
+                pause = self.delay(attempt)
+                if deadline is not None:
+                    pause = min(pause, deadline.remaining())
+                obs.event(
+                    "resilience.retry",
+                    operation=name,
+                    attempt=attempt,
+                    delay_s=round(pause, 6),
+                    error=type(error).__name__,
+                )
+                if on_retry is not None:
+                    on_retry(attempt, pause, error)
+                if pause > 0.0:
+                    self.sleep(pause)
+        raise RetryExhaustedError(
+            operation=name, attempts=self.max_attempts, last_error=last_error
+        ) from last_error
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker for one substrate.
+
+    * **closed**: calls flow; ``failure_threshold`` *consecutive*
+      failures trip the breaker open.
+    * **open**: calls are rejected (:meth:`check` raises
+      :class:`CircuitOpenError`) until ``reset_timeout`` seconds have
+      passed, at which point the breaker moves to half-open.
+    * **half-open**: up to ``half_open_max_calls`` probe calls are
+      admitted; the first recorded success closes the breaker, the
+      first recorded failure re-opens it.
+
+    The instance is thread-safe; ``name`` keys the
+    ``repro_breaker_state`` gauge (0=closed, 1=open, 2=half-open).
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        name: str = "default",
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        half_open_max_calls: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout <= 0.0:
+            raise ValueError(
+                f"reset_timeout must be > 0, got {reset_timeout}"
+            )
+        if half_open_max_calls < 1:
+            raise ValueError(
+                f"half_open_max_calls must be >= 1, got {half_open_max_calls}"
+            )
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.half_open_max_calls = half_open_max_calls
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._half_open_admitted = 0
+        self._publish_state()
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state (advancing open → half-open when the timeout is up)."""
+        with self._lock:
+            self._advance()
+            return self._state
+
+    @property
+    def open_until(self) -> float:
+        """Clock reading at which an open breaker admits a probe."""
+        with self._lock:
+            return self._opened_at + self.reset_timeout
+
+    def _advance(self) -> None:
+        if (
+            self._state == self.OPEN
+            and self._clock() >= self._opened_at + self.reset_timeout
+        ):
+            self._transition(self.HALF_OPEN)
+            self._half_open_admitted = 0
+
+    def _transition(self, state: str) -> None:
+        if state == self._state:
+            return
+        previous, self._state = self._state, state
+        self._publish_state()
+        obs.event(
+            "resilience.breaker",
+            substrate=self.name,
+            from_state=previous,
+            to_state=state,
+        )
+        obs.get_registry().counter(
+            "repro_breaker_transitions_total",
+            "Circuit-breaker state transitions per substrate.",
+            labelnames=("substrate", "to_state"),
+        ).inc(substrate=self.name, to_state=state)
+
+    def _publish_state(self) -> None:
+        obs.get_registry().gauge(
+            "repro_breaker_state",
+            "Circuit-breaker state per substrate "
+            "(0=closed, 1=open, 2=half-open).",
+            labelnames=("substrate",),
+        ).set(BREAKER_STATE_VALUES[self._state], substrate=self.name)
+
+    # -- call protocol ----------------------------------------------------
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now (counts half-open probes)."""
+        with self._lock:
+            self._advance()
+            if self._state == self.OPEN:
+                return False
+            if self._state == self.HALF_OPEN:
+                if self._half_open_admitted >= self.half_open_max_calls:
+                    return False
+                self._half_open_admitted += 1
+            return True
+
+    def check(self) -> None:
+        """Like :meth:`allow` but raises :class:`CircuitOpenError`."""
+        if not self.allow():
+            raise CircuitOpenError(
+                breaker_name=self.name, open_until=self.open_until
+            )
+
+    def record_success(self) -> None:
+        """Report a successful call: closes a half-open breaker."""
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state == self.HALF_OPEN:
+                self._transition(self.CLOSED)
+
+    def record_failure(self) -> None:
+        """Report a failed call: may trip the breaker open."""
+        with self._lock:
+            self._advance()
+            if self._state == self.HALF_OPEN:
+                self._opened_at = self._clock()
+                self._transition(self.OPEN)
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state == self.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._opened_at = self._clock()
+                self._transition(self.OPEN)
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Configuration from which per-substrate breakers are built.
+
+    A :class:`CircuitBreaker` is stateful and must not be shared across
+    substrates; the policy is the shareable part.
+    """
+
+    failure_threshold: int = 5
+    reset_timeout: float = 30.0
+    half_open_max_calls: int = 1
+    clock: Callable[[], float] = field(default=time.monotonic)
+
+    def build(self, name: str) -> CircuitBreaker:
+        """A fresh breaker for one substrate."""
+        return CircuitBreaker(
+            name=name,
+            failure_threshold=self.failure_threshold,
+            reset_timeout=self.reset_timeout,
+            half_open_max_calls=self.half_open_max_calls,
+            clock=self.clock,
+        )

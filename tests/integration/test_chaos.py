@@ -1,0 +1,161 @@
+"""Chaos integration: the whole stack serves complete results under faults.
+
+The acceptance shape: at a 20% seeded fault rate every substrate, both
+harness studies, and the full explained pipeline come back complete —
+full-length lists, all conditions — with the degradation counters
+showing the resilience machinery actually absorbed faults.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core import NeighborHistogramExplainer
+from repro.recsys import (
+    ContentBasedRecommender,
+    ItemBasedCF,
+    NaiveBayesRecommender,
+    PopularityRecommender,
+    SVDRecommender,
+    UserBasedCF,
+)
+from repro.resilience import (
+    BreakerPolicy,
+    ChaosExplainer,
+    ChaosRecommender,
+    ResilientExplainedRecommender,
+    Retry,
+)
+
+CHAOS_RATE = 0.2
+SUBSTRATES = (
+    PopularityRecommender,
+    UserBasedCF,
+    ItemBasedCF,
+    ContentBasedRecommender,
+    NaiveBayesRecommender,
+    SVDRecommender,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+class TestEverySubstrateUnderChaos:
+    @pytest.mark.parametrize(
+        "substrate_cls", SUBSTRATES, ids=lambda cls: cls.__name__
+    )
+    def test_full_length_lists_and_zero_exceptions(
+        self, substrate_cls, movie_world
+    ):
+        pipeline = ResilientExplainedRecommender(
+            [
+                ChaosRecommender(
+                    substrate_cls(), failure_rate=CHAOS_RATE, seed=13
+                ),
+                PopularityRecommender(),
+            ],
+            ChaosExplainer(
+                NeighborHistogramExplainer(),
+                failure_rate=CHAOS_RATE,
+                seed=14,
+            ),
+            retry=Retry(max_attempts=3, base_delay=0.0, seed=13),
+            breaker=BreakerPolicy(failure_threshold=25, reset_timeout=0.01),
+        ).fit(movie_world.dataset)
+        for user_id in list(movie_world.dataset.users)[:5]:
+            explained = pipeline.recommend(user_id, n=5)
+            assert len(explained) == 5
+            for entry in explained:
+                assert entry.explanation.text
+                assert entry.score > 0
+
+    def test_degradation_counters_populated(self, movie_world):
+        pipeline = ResilientExplainedRecommender(
+            [
+                ChaosRecommender(
+                    UserBasedCF(), failure_rate=CHAOS_RATE, seed=3
+                ),
+                PopularityRecommender(),
+            ],
+            ChaosExplainer(
+                NeighborHistogramExplainer(), failure_rate=CHAOS_RATE, seed=4
+            ),
+            retry=Retry(max_attempts=3, base_delay=0.0, seed=3),
+            breaker=BreakerPolicy(failure_threshold=25, reset_timeout=0.01),
+        ).fit(movie_world.dataset)
+        for user_id in list(movie_world.dataset.users)[:10]:
+            assert len(pipeline.recommend(user_id, n=5)) == 5
+        registry = obs.get_registry()
+        assert registry.get("repro_chaos_injected_total").value > 0
+        assert registry.get("repro_retries_total").value > 0
+        assert registry.get("repro_degraded_explanations_total").value > 0
+
+    def test_chaos_run_is_reproducible(self, movie_world):
+        def run():
+            obs.reset()
+            pipeline = ResilientExplainedRecommender(
+                [
+                    ChaosRecommender(
+                        UserBasedCF(), failure_rate=CHAOS_RATE, seed=5
+                    ),
+                    PopularityRecommender(),
+                ],
+                NeighborHistogramExplainer(),
+                retry=Retry(max_attempts=3, base_delay=0.0, seed=5),
+            ).fit(movie_world.dataset)
+            return [
+                (entry.item_id, round(entry.score, 6), entry.degraded)
+                for user_id in list(movie_world.dataset.users)[:5]
+                for entry in pipeline.recommend(user_id, n=5)
+            ]
+
+        assert run() == run()
+
+
+class TestStudiesUnderChaos:
+    def test_herlocker_study_completes_with_degradation(self):
+        from repro.evaluation.studies import run_herlocker_study
+
+        report = run_herlocker_study(chaos_rate=CHAOS_RATE, chaos_seed=7)
+        assert len(report.conditions) == 21
+        registry = obs.get_registry()
+        retries = registry.get("repro_retries_total")
+        assert retries is not None
+        assert retries.labels(substrate="herlocker_harness").value > 0
+
+    def test_herlocker_chaos_matches_chaos_free_when_not_exhausted(self):
+        from repro.evaluation.studies import run_herlocker_study
+
+        clean = run_herlocker_study()
+        # Seed 7 at 20% never exhausts 4 attempts in this run, so the
+        # degraded path is never taken and the numbers are identical.
+        chaotic = run_herlocker_study(chaos_rate=CHAOS_RATE, chaos_seed=7)
+        fallbacks = obs.get_registry().get("repro_fallbacks_total")
+        if fallbacks is None or fallbacks.value == 0:
+            assert [
+                (c.name, c.mean) for c in chaotic.conditions
+            ] == [(c.name, c.mean) for c in clean.conditions]
+
+    def test_critiquing_study_completes_with_degradation(self):
+        from repro.evaluation.studies import run_critiquing_study
+
+        report = run_critiquing_study(
+            n_shoppers=8,
+            n_cameras=60,
+            chaos_rate=CHAOS_RATE,
+            chaos_seed=9,
+        )
+        assert len(report.conditions) == 5
+        assert report.finding
+        registry = obs.get_registry()
+        retries = registry.get("repro_retries_total")
+        assert retries is not None
+        assert (
+            retries.labels(substrate="KnowledgeBasedRecommender").value > 0
+        )

@@ -1,0 +1,15 @@
+"""Isolation for resilience tests: pristine global obs state per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Fresh registry and disabled tracer around every test."""
+    obs.reset()
+    yield
+    obs.reset()

@@ -1,0 +1,179 @@
+"""Seeded fault injection: determinism, rates, and forwarding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core import NeighborHistogramExplainer
+from repro.errors import InjectedFaultError, PredictionImpossibleError
+from repro.recsys import PopularityRecommender, UserBasedCF
+from repro.resilience import ChaosExplainer, ChaosRecommender, FaultPlan
+
+
+class TestFaultPlan:
+    def test_same_seed_same_schedule(self):
+        first = [FaultPlan(failure_rate=0.3, seed=9).roll() for __ in range(50)]
+        second = [
+            FaultPlan(failure_rate=0.3, seed=9).roll() for __ in range(50)
+        ]
+        assert first == second
+
+    def test_reset_rewinds_the_stream(self):
+        plan = FaultPlan(failure_rate=0.5, seed=4)
+        first = [plan.roll() for __ in range(20)]
+        plan.reset()
+        assert [plan.roll() for __ in range(20)] == first
+
+    def test_rate_extremes(self):
+        never = FaultPlan(failure_rate=0.0, seed=1)
+        always = FaultPlan(failure_rate=1.0, seed=1)
+        assert not any(never.roll()[0] for __ in range(30))
+        assert all(always.roll()[0] for __ in range(30))
+
+    def test_latency_jitter_adds_bounded_extra(self):
+        plan = FaultPlan(
+            failure_rate=0.0, latency_seconds=0.1, latency_jitter=0.2, seed=2
+        )
+        for __ in range(30):
+            __, latency = plan.roll()
+            assert 0.1 <= latency <= 0.3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"failure_rate": -0.1}, {"failure_rate": 1.5},
+         {"latency_seconds": -1.0}, {"latency_jitter": -1.0}],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPlan(**kwargs)
+
+
+class TestChaosRecommender:
+    def test_injects_faults_at_roughly_the_configured_rate(self, movie_world):
+        chaos = ChaosRecommender(
+            PopularityRecommender(), failure_rate=0.25, seed=11
+        ).fit(movie_world.dataset)
+        users = list(movie_world.dataset.users)
+        items = list(movie_world.dataset.items)
+        failures = 0
+        for user_id in users[:10]:
+            for item_id in items[:30]:
+                try:
+                    chaos.predict(user_id, item_id)
+                except InjectedFaultError:
+                    failures += 1
+        assert 0.10 < failures / 300 < 0.40
+
+    def test_same_seed_same_fault_schedule(self, movie_world):
+        def schedule(seed):
+            chaos = ChaosRecommender(
+                PopularityRecommender(), failure_rate=0.5, seed=seed
+            ).fit(movie_world.dataset)
+            outcomes = []
+            for item_id in list(movie_world.dataset.items)[:40]:
+                try:
+                    chaos.predict("user_000", item_id)
+                    outcomes.append("ok")
+                except InjectedFaultError:
+                    outcomes.append("fail")
+            return outcomes
+
+        assert schedule(3) == schedule(3)
+        assert schedule(3) != schedule(4)
+
+    def test_injected_fault_not_swallowed_by_predict_or_default(
+        self, movie_world
+    ):
+        chaos = ChaosRecommender(
+            PopularityRecommender(), failure_rate=1.0, seed=0
+        ).fit(movie_world.dataset)
+        item_id = next(iter(movie_world.dataset.items))
+        with pytest.raises(InjectedFaultError):
+            chaos.predict_or_default("user_000", item_id)
+
+    def test_custom_error_type(self, movie_world):
+        chaos = ChaosRecommender(
+            PopularityRecommender(),
+            failure_rate=1.0,
+            error=PredictionImpossibleError,
+            seed=0,
+        ).fit(movie_world.dataset)
+        item_id = next(iter(movie_world.dataset.items))
+        with pytest.raises(PredictionImpossibleError):
+            chaos.predict("user_000", item_id)
+
+    def test_latency_uses_injected_sleep(self, movie_world):
+        slept = []
+        chaos = ChaosRecommender(
+            PopularityRecommender(),
+            failure_rate=0.0,
+            latency_seconds=0.05,
+            seed=0,
+            sleep=slept.append,
+        ).fit(movie_world.dataset)
+        item_id = next(iter(movie_world.dataset.items))
+        chaos.predict("user_000", item_id)
+        assert slept == [0.05]
+        counter = obs.get_registry().get("repro_chaos_injected_total")
+        assert counter.labels(
+            target="PopularityRecommender", kind="latency"
+        ).value == 1
+
+    def test_forwards_unlisted_attributes_untouched(self, movie_world):
+        inner = UserBasedCF()
+        chaos = ChaosRecommender(inner, failure_rate=1.0, seed=0)
+        chaos.fit(movie_world.dataset)
+        assert chaos.is_fitted
+        assert chaos.dataset is movie_world.dataset
+        # ``k`` is not in fail_on: reached without injection.
+        assert chaos.k == inner.k
+
+    def test_intercepts_forwarded_methods_in_fail_on(self, camera_world):
+        from repro.recsys import KnowledgeBasedRecommender, UserRequirements
+
+        dataset, catalog = camera_world
+        inner = KnowledgeBasedRecommender(catalog).fit(dataset)
+        chaos = ChaosRecommender(
+            inner, failure_rate=1.0, seed=0, fail_on=("rank",)
+        )
+        with pytest.raises(InjectedFaultError):
+            chaos.rank(UserRequirements())
+
+    def test_injection_counter_labels_the_inner_class(self, movie_world):
+        chaos = ChaosRecommender(
+            PopularityRecommender(), failure_rate=1.0, seed=0
+        ).fit(movie_world.dataset)
+        item_id = next(iter(movie_world.dataset.items))
+        with pytest.raises(InjectedFaultError):
+            chaos.predict("user_000", item_id)
+        counter = obs.get_registry().get("repro_chaos_injected_total")
+        assert counter.labels(
+            target="PopularityRecommender", kind="failure"
+        ).value == 1
+
+
+class TestChaosExplainer:
+    def test_copies_style_and_aims(self):
+        inner = NeighborHistogramExplainer()
+        chaos = ChaosExplainer(inner, failure_rate=0.5, seed=0)
+        assert chaos.style is inner.style
+        assert chaos.default_aims == inner.default_aims
+
+    def test_deterministic_fault_schedule(self, movie_world):
+        from repro.core import ExplainedRecommender
+
+        def outcomes(seed):
+            pipeline = ExplainedRecommender(
+                UserBasedCF(),
+                ChaosExplainer(
+                    NeighborHistogramExplainer(), failure_rate=0.5, seed=seed
+                ),
+            ).fit(movie_world.dataset)
+            return [
+                explained.degraded
+                for explained in pipeline.recommend("user_000", n=10)
+            ]
+
+        assert outcomes(5) == outcomes(5)
+        assert any(outcomes(5))

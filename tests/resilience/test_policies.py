@@ -1,0 +1,409 @@
+"""Retry/backoff, deadlines, and the circuit-breaker state machine.
+
+The property-style tests mirror the documented guarantees: the backoff
+schedule is bounded and monotone for *any* valid policy, the jitter is a
+pure function of ``(seed, attempt)``, and the breaker agrees with a
+reference model under arbitrary event interleavings.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    NotFittedError,
+    PredictionImpossibleError,
+    RetryExhaustedError,
+)
+from repro.resilience import CircuitBreaker, Deadline, Retry
+from repro.resilience.policies import BREAKER_STATE_VALUES, BreakerPolicy
+
+
+class FakeClock:
+    """A controllable monotonic clock."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> None:
+        self.now += seconds
+
+
+retry_strategy = st.builds(
+    Retry,
+    max_attempts=st.integers(min_value=1, max_value=12),
+    base_delay=st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+    multiplier=st.floats(min_value=1.0, max_value=8.0, allow_nan=False),
+    max_delay=st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+    jitter=st.floats(min_value=0.0, max_value=0.999, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+
+
+class TestBackoffProperties:
+    @given(retry_strategy)
+    @settings(max_examples=120)
+    def test_backoff_bounded_by_max_delay(self, retry):
+        for attempt in range(1, retry.max_attempts + 1):
+            assert retry.backoff(attempt) <= retry.max_delay
+
+    @given(retry_strategy)
+    @settings(max_examples=120)
+    def test_backoff_monotone_non_decreasing(self, retry):
+        schedule = [
+            retry.backoff(attempt)
+            for attempt in range(1, retry.max_attempts + 1)
+        ]
+        assert schedule == sorted(schedule)
+
+    @given(retry_strategy)
+    @settings(max_examples=120)
+    def test_jittered_delay_stays_in_band(self, retry):
+        for attempt in range(1, retry.max_attempts + 1):
+            raw = retry.backoff(attempt)
+            delay = retry.delay(attempt)
+            assert 0.0 <= delay <= raw
+            assert delay >= raw * (1.0 - retry.jitter) - 1e-12
+
+    @given(retry_strategy)
+    @settings(max_examples=120)
+    def test_jitter_deterministic_under_fixed_seed(self, retry):
+        twin = Retry(
+            max_attempts=retry.max_attempts,
+            base_delay=retry.base_delay,
+            multiplier=retry.multiplier,
+            max_delay=retry.max_delay,
+            jitter=retry.jitter,
+            seed=retry.seed,
+        )
+        assert retry.delays() == twin.delays()
+        # And pure: repeated evaluation never drifts.
+        assert retry.delays() == retry.delays()
+
+    def test_seed_changes_the_schedule(self):
+        base = dict(max_attempts=6, base_delay=0.1, jitter=0.9)
+        assert Retry(seed=1, **base).delays() != Retry(seed=2, **base).delays()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -0.1},
+            {"multiplier": 0.5},
+            {"jitter": 1.0},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Retry(**kwargs)
+
+    def test_attempt_numbers_start_at_one(self):
+        with pytest.raises(ValueError):
+            Retry().backoff(0)
+
+
+class TestRetryCall:
+    def _flaky(self, failures: int, error=PredictionImpossibleError):
+        calls = []
+
+        def operation():
+            calls.append(1)
+            if len(calls) <= failures:
+                raise error("flaky")
+            return "ok"
+
+        return operation, calls
+
+    def test_succeeds_after_transient_failures(self):
+        slept = []
+        retry = Retry(max_attempts=3, base_delay=0.01, sleep=slept.append)
+        operation, calls = self._flaky(failures=2)
+        assert retry.call(operation) == "ok"
+        assert len(calls) == 3
+        assert len(slept) == 2
+
+    def test_exhaustion_raises_with_chained_cause(self):
+        retry = Retry(max_attempts=3, base_delay=0.0)
+        operation, calls = self._flaky(failures=99)
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            retry.call(operation, name="flaky-op")
+        assert len(calls) == 3
+        assert excinfo.value.attempts == 3
+        assert excinfo.value.operation == "flaky-op"
+        assert isinstance(
+            excinfo.value.__cause__, PredictionImpossibleError
+        )
+
+    def test_non_retryable_error_raises_immediately(self):
+        retry = Retry(max_attempts=5, base_delay=0.0)
+        operation, calls = self._flaky(failures=99, error=NotFittedError)
+        with pytest.raises(NotFittedError):
+            retry.call(operation)
+        assert len(calls) == 1
+
+    def test_non_repro_error_is_never_retried(self):
+        retry = Retry(max_attempts=5, base_delay=0.0)
+        operation, calls = self._flaky(failures=99, error=KeyError)
+        with pytest.raises(KeyError):
+            retry.call(operation)
+        assert len(calls) == 1
+
+    def test_on_retry_callback_sees_each_scheduled_retry(self):
+        seen = []
+        retry = Retry(max_attempts=4, base_delay=0.0)
+        operation, __ = self._flaky(failures=99)
+        with pytest.raises(RetryExhaustedError):
+            retry.call(
+                operation,
+                on_retry=lambda attempt, delay, error: seen.append(
+                    (attempt, type(error).__name__)
+                ),
+            )
+        assert seen == [
+            (1, "PredictionImpossibleError"),
+            (2, "PredictionImpossibleError"),
+            (3, "PredictionImpossibleError"),
+        ]
+
+    def test_deadline_cuts_the_retry_loop(self):
+        clock = FakeClock()
+
+        def slow_sleep(seconds):
+            clock.tick(seconds)
+
+        retry = Retry(
+            max_attempts=10, base_delay=1.0, jitter=0.0, sleep=slow_sleep
+        )
+        operation, calls = self._flaky(failures=99)
+        deadline = Deadline(2.5, clock=clock)
+        with pytest.raises(DeadlineExceededError):
+            retry.call(operation, deadline=deadline)
+        assert len(calls) < 10
+
+    def test_retryable_classification(self):
+        retry = Retry()
+        assert retry.retryable(PredictionImpossibleError("x"))
+        assert not retry.retryable(NotFittedError("x"))
+        assert not retry.retryable(CircuitOpenError("b", 0.0))
+        assert not retry.retryable(
+            DeadlineExceededError(deadline_seconds=1.0, elapsed_seconds=2.0)
+        )
+        assert not retry.retryable(ValueError("x"))
+
+
+class TestDeadline:
+    def test_elapsed_remaining_expired(self):
+        clock = FakeClock()
+        deadline = Deadline(2.0, clock=clock)
+        assert not deadline.expired
+        clock.tick(1.5)
+        assert deadline.remaining() == pytest.approx(0.5)
+        clock.tick(1.0)
+        assert deadline.expired
+        assert deadline.remaining() == 0.0
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            deadline.require()
+        assert excinfo.value.deadline_seconds == 2.0
+        assert excinfo.value.elapsed_seconds >= 2.0
+
+    def test_non_positive_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0)
+
+
+# -- circuit breaker --------------------------------------------------------
+
+
+class ModelBreaker:
+    """A reference model of the documented breaker semantics."""
+
+    def __init__(self, threshold, timeout, max_calls):
+        self.threshold = threshold
+        self.timeout = timeout
+        self.max_calls = max_calls
+        self.now = 0.0
+        self.state = "closed"
+        self.consecutive = 0
+        self.opened_at = 0.0
+        self.admitted = 0
+
+    def _advance(self):
+        if self.state == "open" and self.now >= self.opened_at + self.timeout:
+            self.state = "half_open"
+            self.admitted = 0
+
+    def read_state(self):
+        self._advance()
+        return self.state
+
+    def allow(self):
+        self._advance()
+        if self.state == "open":
+            return False
+        if self.state == "half_open":
+            if self.admitted >= self.max_calls:
+                return False
+            self.admitted += 1
+        return True
+
+    def record_success(self):
+        self.consecutive = 0
+        if self.state == "half_open":
+            self.state = "closed"
+
+    def record_failure(self):
+        self._advance()
+        if self.state == "half_open":
+            self.opened_at = self.now
+            self.state = "open"
+            return
+        self.consecutive += 1
+        if self.state == "closed" and self.consecutive >= self.threshold:
+            self.opened_at = self.now
+            self.state = "open"
+
+
+breaker_events = st.lists(
+    st.one_of(
+        st.just(("failure",)),
+        st.just(("success",)),
+        st.just(("allow",)),
+        st.tuples(
+            st.just("tick"),
+            st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+        ),
+    ),
+    max_size=60,
+)
+
+
+class TestBreakerStateMachine:
+    def test_lifecycle_closed_open_half_open_closed(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "cf", failure_threshold=3, reset_timeout=5.0, clock=clock
+        )
+        assert breaker.state == "closed"
+        for __ in range(3):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.check()
+        assert excinfo.value.breaker_name == "cf"
+        assert excinfo.value.open_until == pytest.approx(5.0)
+        clock.tick(5.0)
+        assert breaker.state == "half_open"
+        assert breaker.allow()        # the single probe
+        assert not breaker.allow()    # second probe rejected
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_half_open_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "cf", failure_threshold=1, reset_timeout=2.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.tick(2.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        # The open window restarts from the half-open failure.
+        clock.tick(1.0)
+        assert breaker.state == "open"
+        clock.tick(1.0)
+        assert breaker.state == "half_open"
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker("cf", failure_threshold=3)
+        for __ in range(2):
+            breaker.record_failure()
+        breaker.record_success()
+        for __ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_state_gauge_published(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "cf", failure_threshold=1, reset_timeout=1.0, clock=clock
+        )
+        gauge = obs.get_registry().get("repro_breaker_state")
+        assert gauge.labels(substrate="cf").value == 0
+        breaker.record_failure()
+        assert gauge.labels(substrate="cf").value == 1
+        clock.tick(1.0)
+        assert breaker.state == "half_open"
+        assert gauge.labels(substrate="cf").value == 2
+        assert BREAKER_STATE_VALUES == {
+            "closed": 0, "open": 1, "half_open": 2
+        }
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_threshold": 0},
+            {"reset_timeout": 0.0},
+            {"half_open_max_calls": 0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker("cf", **kwargs)
+
+    @given(
+        events=breaker_events,
+        threshold=st.integers(min_value=1, max_value=5),
+        timeout=st.floats(min_value=0.5, max_value=4.0, allow_nan=False),
+        max_calls=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_agrees_with_reference_model_under_any_interleaving(
+        self, events, threshold, timeout, max_calls
+    ):
+        obs.reset()
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "model",
+            failure_threshold=threshold,
+            reset_timeout=timeout,
+            half_open_max_calls=max_calls,
+            clock=clock,
+        )
+        model = ModelBreaker(threshold, timeout, max_calls)
+        for event in events:
+            if event[0] == "tick":
+                clock.tick(event[1])
+                model.now = clock.now
+            elif event[0] == "failure":
+                breaker.record_failure()
+                model.record_failure()
+            elif event[0] == "success":
+                breaker.record_success()
+                model.record_success()
+            else:
+                assert breaker.allow() == model.allow()
+            assert breaker.state == model.read_state()
+            assert breaker.state in BREAKER_STATE_VALUES
+
+
+class TestBreakerPolicy:
+    def test_builds_independent_breakers(self):
+        clock = FakeClock()
+        policy = BreakerPolicy(failure_threshold=1, clock=clock)
+        first = policy.build("UserBasedCF")
+        second = policy.build("PopularityRecommender")
+        first.record_failure()
+        assert first.state == "open"
+        assert second.state == "closed"
+        assert first.name == "UserBasedCF"

@@ -70,6 +70,41 @@ class TestDemoCommand:
         output = capsys.readouterr().out
         assert "predicted" in output
 
+    def test_plain_demo_records_no_resilience_metrics(self, capsys):
+        assert main(["demo"]) == 0
+        capsys.readouterr()
+        assert obs.get_registry().get("repro_retries_total") is None
+        assert obs.get_registry().get("repro_fallbacks_total") is None
+
+
+class TestResilienceFlags:
+    def test_parser_accepts_flags(self):
+        arguments = build_parser().parse_args(
+            ["--chaos-rate", "0.2", "--chaos-seed", "5", "--resilience",
+             "demo"]
+        )
+        assert arguments.chaos_rate == 0.2
+        assert arguments.chaos_seed == 5
+        assert arguments.resilience
+
+    def test_flags_default_off(self):
+        arguments = build_parser().parse_args(["demo"])
+        assert arguments.chaos_rate is None
+        assert arguments.chaos_seed == 0
+        assert not arguments.resilience
+
+    def test_resilience_demo_without_chaos(self, capsys):
+        assert main(["--resilience", "demo"]) == 0
+        output = capsys.readouterr().out
+        assert "predicted" in output
+        assert "[degraded]" not in output
+
+    def test_chaos_demo_serves_complete_output(self, capsys):
+        assert main(["--chaos-rate", "0.3", "--resilience", "demo"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("predicted") == 3
+        assert obs.get_registry().get("repro_chaos_injected_total").value > 0
+
 
 class TestMetricsCommand:
     def test_parser_accepts_metrics(self):
@@ -94,6 +129,20 @@ class TestMetricsCommand:
     def test_no_demo_with_empty_registry_fails(self, capsys):
         assert main(["metrics", "--no-demo"]) == 1
         assert "no metrics recorded" in capsys.readouterr().out
+
+    def test_default_workload_shows_nonzero_resilience_series(self, capsys):
+        assert main(["metrics"]) == 0
+        output = capsys.readouterr().out
+        assert "repro_retries_total" in output
+        assert "repro_fallbacks_total" in output
+        registry = obs.get_registry()
+        assert registry.get("repro_retries_total").value > 0
+        assert registry.get("repro_fallbacks_total").value > 0
+
+    def test_chaos_rate_zero_disables_the_chaos_segment(self, capsys):
+        assert main(["--chaos-rate", "0.0", "metrics"]) == 0
+        capsys.readouterr()
+        assert obs.get_registry().get("repro_chaos_injected_total") is None
 
 
 class TestTraceFlag:

@@ -5,14 +5,18 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import (
+    CircuitOpenError,
     ConstraintError,
     DataError,
+    DeadlineExceededError,
     DialogError,
     EvaluationError,
+    InjectedFaultError,
     NotFittedError,
     ObservabilityError,
     PredictionImpossibleError,
     ReproError,
+    RetryExhaustedError,
     UnknownItemError,
     UnknownUserError,
 )
@@ -27,6 +31,10 @@ ALL_ERRORS = (
     DialogError,
     EvaluationError,
     ObservabilityError,
+    RetryExhaustedError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    InjectedFaultError,
 )
 
 
@@ -51,12 +59,16 @@ class TestHierarchy:
             DialogError("bad transition"),
             EvaluationError("bad study"),
             ObservabilityError("duplicate metric"),
+            RetryExhaustedError("predict", attempts=3),
+            CircuitOpenError("UserBasedCF", open_until=12.5),
+            DeadlineExceededError(deadline_seconds=1.0, elapsed_seconds=1.2),
+            InjectedFaultError("chaos"),
         ):
             try:
                 raise error
             except ReproError as exc:
                 caught.append(exc)
-        assert len(caught) == 8
+        assert len(caught) == 12
 
     def test_base_error_is_not_a_builtin_alias(self):
         assert not issubclass(ReproError, (ValueError, RuntimeError))
@@ -72,6 +84,38 @@ class TestUnknownIdErrors:
         error = UnknownItemError("item_42")
         assert error.item_id == "item_42"
         assert "item_42" in str(error)
+
+
+class TestResilienceErrors:
+    def test_retry_exhausted_carries_context(self):
+        cause = PredictionImpossibleError("no neighbours")
+        error = RetryExhaustedError("predict", attempts=4, last_error=cause)
+        assert error.operation == "predict"
+        assert error.attempts == 4
+        assert error.last_error is cause
+        assert "predict" in str(error)
+        assert "4 attempt(s)" in str(error)
+        assert "no neighbours" in str(error)
+
+    def test_retry_exhausted_without_cause_has_clean_message(self):
+        error = RetryExhaustedError("rank", attempts=1)
+        assert str(error) == "rank failed after 1 attempt(s)"
+
+    def test_circuit_open_carries_context(self):
+        error = CircuitOpenError("UserBasedCF", open_until=42.5)
+        assert error.breaker_name == "UserBasedCF"
+        assert error.open_until == 42.5
+        assert "UserBasedCF" in str(error)
+        assert "42.5" in str(error)
+
+    def test_deadline_exceeded_carries_context(self):
+        error = DeadlineExceededError(
+            deadline_seconds=0.25, elapsed_seconds=0.31
+        )
+        assert error.deadline_seconds == 0.25
+        assert error.elapsed_seconds == 0.31
+        assert "0.250" in str(error)
+        assert "0.310" in str(error)
 
 
 class TestObservabilityError:
