@@ -33,6 +33,14 @@ The JSON schema (``repro.obs.bench/v1``)::
         "wrapped_policies_ms_mean": ..., "chaos_ms_mean": ...,
         "chaos_retries": ..., "chaos_fallbacks": ...
       },
+      "serving": {
+        "workers": ..., "queue_size": ..., "bulkhead": ...,
+        "deadline_s": ...,
+        "sweep": [
+          {"clients": 2, "throughput_rps": ..., "p50_ms": ...,
+           "p99_ms": ..., "shed_rate": ..., "outcomes": {...}}, ...
+        ]
+      },
       "trace_events": 123
     }
 """
@@ -227,6 +235,85 @@ def bench_resilience(n_users: int, n_items: int, recommend_users: int) -> dict:
     return results
 
 
+def bench_serving(n_users: int, n_items: int, quick: bool) -> dict:
+    """Closed-loop load sweep through the serving layer.
+
+    The same server configuration under increasing client concurrency:
+    throughput, p50/p99 admitted latency and shed rate per level.  The
+    interesting shape is the knee — once offered load passes the
+    bulkhead+worker capacity, throughput flattens and the shed rate
+    (not the latency tail) absorbs the overload.
+    """
+    from repro.resilience import (
+        BreakerPolicy,
+        ChaosRecommender,
+        ResilientExplainedRecommender,
+        Retry,
+    )
+    from repro.serving import RecommendationServer, run_traffic
+
+    world = make_movies(
+        n_users=n_users, n_items=n_items, seed=7, density=0.25
+    )
+    users = list(world.dataset.users)
+    workers, queue_size, bulkhead, deadline = 4, 32, 2, 2.0
+    levels = (2, 8) if quick else (2, 8, 16)
+    requests = 40 if quick else 120
+    sweep = []
+    for clients in levels:
+        pipeline = ResilientExplainedRecommender(
+            [
+                ChaosRecommender(UserBasedCF(), failure_rate=0.1, seed=0),
+                PopularityRecommender(),
+            ],
+            NeighborHistogramExplainer(),
+            retry=Retry(max_attempts=3, base_delay=0.0, seed=0),
+            breaker=BreakerPolicy(failure_threshold=8, reset_timeout=0.05),
+        ).fit(world.dataset)
+        server = RecommendationServer(
+            pipeline,
+            workers=workers,
+            queue_size=queue_size,
+            default_bulkhead=bulkhead,
+            default_deadline_seconds=deadline,
+        )
+        try:
+            report = run_traffic(
+                server,
+                users,
+                requests=requests,
+                clients=clients,
+                n=3,
+                deadline_seconds=deadline,
+                seed=clients,
+            )
+        finally:
+            server.close()
+        entry = {
+            "clients": clients,
+            "throughput_rps": round(report.throughput_rps, 2),
+            "p50_ms": round(report.p50_s * 1000.0, 3),
+            "p99_ms": round(report.p99_s * 1000.0, 3),
+            "shed_rate": round(report.shed_rate, 4),
+            "outcomes": dict(sorted(report.outcomes.items())),
+        }
+        sweep.append(entry)
+        print(
+            f"  clients={clients:<3} {entry['throughput_rps']:>8.1f} req/s  "
+            f"p50 {entry['p50_ms']:>8.2f} ms  p99 {entry['p99_ms']:>8.2f} ms  "
+            f"shed {entry['shed_rate'] * 100:>5.1f}%"
+        )
+    return {
+        "workers": workers,
+        "queue_size": queue_size,
+        "bulkhead": bulkhead,
+        "deadline_s": deadline,
+        "chaos_rate": 0.1,
+        "requests_per_level": requests,
+        "sweep": sweep,
+    }
+
+
 def bench_studies(quick: bool) -> dict:
     """Wall-clock a couple of representative end-to-end studies."""
     from repro.evaluation.studies import (
@@ -280,6 +367,8 @@ def main(argv: list[str] | None = None) -> int:
     substrates = bench_substrates(sink, n_users, n_items, recommend_users)
     print("resilience:")
     resilience = bench_resilience(n_users, n_items, recommend_users)
+    print("serving:")
+    serving = bench_serving(n_users, n_items, arguments.quick)
     print("studies:")
     studies = bench_studies(arguments.quick)
 
@@ -294,6 +383,7 @@ def main(argv: list[str] | None = None) -> int:
         },
         "substrates": substrates,
         "resilience": resilience,
+        "serving": serving,
         "studies": studies,
         "interaction": {
             "cycles_total": int(cycles.value) if cycles is not None else 0,

@@ -10,6 +10,9 @@ python -m repro metrics           # run a demo workload, print metrics
 python -m repro --trace t.jsonl demo   # dump a JSONL span trace
 python -m repro --resilience demo      # fallback-chained pipeline demo
 python -m repro --chaos-rate 0.2 --resilience demo   # ... under chaos
+python -m repro serve             # closed-loop synthetic serving run
+python -m repro serve --clients 16 --workers 4 --deadline 0.5
+python -m repro --chaos-rate 0.2 serve  # ... against faulty substrates
 ```
 """
 
@@ -178,6 +181,95 @@ def _cmd_demo(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _build_serving_lanes(chaos_rate: float, chaos_seed: int):
+    """Two serving lanes over one movie world: collaborative + content.
+
+    The two-lane shape is the bulkhead story: the (chaos-prone,
+    slower) collaborative lane saturates its own compartment while the
+    content lane keeps serving.  Returns ``(world, lanes)``.
+    """
+    from repro.core import (
+        ContentBasedExplainer,
+        ExplainedRecommender,
+        NeighborHistogramExplainer,
+    )
+    from repro.domains import make_movies
+    from repro.recsys import (
+        ContentBasedRecommender,
+        PopularityRecommender,
+        UserBasedCF,
+    )
+    from repro.resilience import (
+        BreakerPolicy,
+        ChaosRecommender,
+        ResilientExplainedRecommender,
+        Retry,
+    )
+
+    world = make_movies(n_users=40, n_items=80, seed=7, density=0.25)
+    primary = UserBasedCF()
+    if chaos_rate > 0.0:
+        primary = ChaosRecommender(
+            primary, failure_rate=chaos_rate, seed=chaos_seed
+        )
+    collaborative = ResilientExplainedRecommender(
+        [primary, PopularityRecommender()],
+        NeighborHistogramExplainer(),
+        retry=Retry(max_attempts=3, base_delay=0.0, seed=chaos_seed),
+        breaker=BreakerPolicy(failure_threshold=8, reset_timeout=0.05),
+    ).fit(world.dataset)
+    content = ExplainedRecommender(
+        ContentBasedRecommender(), ContentBasedExplainer()
+    ).fit(world.dataset)
+    return world, {"collaborative": collaborative, "content": content}
+
+
+def _cmd_serve(arguments: argparse.Namespace) -> int:
+    from repro.serving import (
+        DeadlineAwareShedder,
+        RecommendationServer,
+        TokenBucket,
+        run_traffic,
+    )
+
+    chaos_rate = arguments.chaos_rate or 0.0
+    world, lanes = _build_serving_lanes(chaos_rate, arguments.chaos_seed)
+    admission = []
+    if arguments.rate > 0.0:
+        admission.append(TokenBucket(rate=arguments.rate))
+    server = RecommendationServer(
+        lanes,
+        workers=arguments.workers,
+        queue_size=arguments.queue_size,
+        admission=admission,
+        shedder=DeadlineAwareShedder(),
+        default_bulkhead=arguments.bulkhead,
+        default_deadline_seconds=arguments.deadline,
+    )
+    try:
+        report = run_traffic(
+            server,
+            list(world.dataset.users),
+            requests=arguments.requests,
+            clients=arguments.clients,
+            n=3,
+            lanes=sorted(lanes),
+            deadline_seconds=arguments.deadline,
+            seed=arguments.chaos_seed,
+        )
+    finally:
+        drain = server.close(drain_seconds=arguments.drain_seconds)
+    print(report.render())
+    print(
+        f"drain          completed={drain.completed_total} "
+        f"shed_queued={drain.shed_queued} "
+        f"timed_out={drain.workers_timed_out} clean={drain.clean}"
+    )
+    health = server.health()
+    print(f"final health   status={health.status} live={health.live}")
+    return 0 if drain.clean else 1
+
+
 def _run_metrics_workload(
     chaos_rate: float = 0.2, chaos_seed: int = 0
 ) -> None:
@@ -217,9 +309,24 @@ def _run_metrics_workload(
         session.accept()
 
     if chaos_rate > 0.0:
-        world, resilient = _build_resilient_pipeline(chaos_rate, chaos_seed)
+        world, pipeline = _build_resilient_pipeline(chaos_rate, chaos_seed)
         for user_id in list(world.dataset.users)[:5]:
-            resilient.recommend(user_id, n=3)
+            pipeline.recommend(user_id, n=3)
+
+    # A short serving segment so the queue/shed/inflight series are
+    # populated; register_serving_metrics keeps the exposition complete
+    # (every serving family present) even if no request is ever shed.
+    from repro.serving import RecommendationServer, register_serving_metrics
+
+    register_serving_metrics()
+    server = RecommendationServer(
+        pipeline, workers=2, queue_size=8, default_deadline_seconds=5.0
+    )
+    try:
+        for user_id in list(world.dataset.users)[:4]:
+            server.serve(user_id, n=3)
+    finally:
+        server.close()
 
 
 def _cmd_metrics(arguments: argparse.Namespace) -> int:
@@ -326,6 +433,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the demo workload; print whatever is already recorded",
     )
     metrics.set_defaults(handler=_cmd_metrics)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help=(
+            "run closed-loop synthetic traffic through the "
+            "overload-robust serving layer (see docs/serving.md)"
+        ),
+    )
+    serve.add_argument(
+        "--requests", type=int, default=120,
+        help="total requests to issue (default: 120)",
+    )
+    serve.add_argument(
+        "--clients", type=int, default=8,
+        help="concurrent closed-loop client threads (default: 8)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="server worker threads (default: 4)",
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=32,
+        help="bounded admission-queue capacity (default: 32)",
+    )
+    serve.add_argument(
+        "--bulkhead", type=int, default=2,
+        help="concurrency slots per lane (default: 2)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=0.0,
+        help="token-bucket admission rate in req/s (0 disables; default: 0)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=2.0,
+        help="per-request deadline budget in seconds (default: 2.0)",
+    )
+    serve.add_argument(
+        "--drain-seconds", type=float, default=5.0,
+        help="graceful-shutdown drain budget (default: 5.0)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 

@@ -122,6 +122,48 @@ class InjectedFaultError(ReproError):
     """
 
 
+class ServingError(ReproError):
+    """Base class for errors raised by the :mod:`repro.serving` layer."""
+
+
+class RejectedError(ServingError):
+    """Raised when the server refuses a request instead of queueing it.
+
+    Explicit backpressure: the caller learns *immediately* that the
+    system is saturated rather than waiting in an unbounded buffer.
+    ``reason`` says which guard rejected the request (``"queue_full"``,
+    ``"rate_limited"``, ``"draining"``, ...) and ``retry_after_seconds``,
+    when not ``None``, is the server's hint for when capacity is likely
+    to exist again.
+    """
+
+    def __init__(
+        self, reason: str, retry_after_seconds: float | None = None
+    ) -> None:
+        hint = (
+            f"; retry after {retry_after_seconds:.3f}s"
+            if retry_after_seconds is not None
+            else ""
+        )
+        super().__init__(f"request rejected ({reason}){hint}")
+        self.reason = reason
+        self.retry_after_seconds = retry_after_seconds
+
+
+class ServerClosedError(ServingError):
+    """Raised when a closed :class:`~repro.serving.RecommendationServer`
+    is asked to serve.
+
+    Distinct from :class:`RejectedError`: a rejection is backpressure on
+    a live server (retrying later can succeed), while a closed server
+    never admits again — the caller holds a stale handle.
+    """
+
+    def __init__(self, server_name: str) -> None:
+        super().__init__(f"server {server_name!r} is closed")
+        self.server_name = server_name
+
+
 class ObservabilityError(ReproError):
     """Raised for misuse of the :mod:`repro.obs` instrumentation layer.
 

@@ -42,7 +42,7 @@ from repro.obs.runtime import (
     span,
 )
 from repro.obs.sinks import EventSink, InMemorySink, JsonlSink, NullSink
-from repro.obs.tracing import NOOP_SPAN, Span, Tracer
+from repro.obs.tracing import NOOP_SPAN, Span, Tracer, carry_context
 
 __all__ = [
     "Counter",
@@ -58,6 +58,7 @@ __all__ = [
     "Span",
     "Tracer",
     "NOOP_SPAN",
+    "carry_context",
     "configure",
     "event",
     "get_registry",

@@ -221,10 +221,10 @@ class Counter(Metric):
         return super()._series_items()
 
     def _sample_lines(self, name, labels, key):
-        return [f"{name}{labels} {_format_value(self._value)}"]
+        return [f"{name}{labels} {_format_value(self.value)}"]
 
     def _value_dict(self):
-        return {"value": self._value}
+        return {"value": self.value}
 
 
 class Gauge(Metric):
@@ -275,10 +275,10 @@ class Gauge(Metric):
         return super()._series_items()
 
     def _sample_lines(self, name, labels, key):
-        return [f"{name}{labels} {_format_value(self._value)}"]
+        return [f"{name}{labels} {_format_value(self.value)}"]
 
     def _value_dict(self):
-        return {"value": self._value}
+        return {"value": self.value}
 
 
 class Histogram(Metric):
@@ -369,16 +369,29 @@ class Histogram(Metric):
             return [((), self)]
         return super()._series_items()
 
+    def _snapshot(self) -> tuple[list[int], float, int]:
+        """One consistent (buckets, sum, count) triple under the lock.
+
+        Concurrent observers must never produce an exposition where the
+        ``+Inf`` bucket disagrees with ``_count`` — scrapers treat that
+        as a broken histogram.
+        """
+        with self._lock:
+            return list(self._bucket_counts), self._sum, self._count
+
     def _sample_lines(self, name, labels, key):
+        counts, total_sum, total_count = self._snapshot()
         lines = []
         base = self._render_parent_labels(labels)
-        for bound, cumulative in self.bucket_counts().items():
+        running = 0
+        for bound, count in zip(self.buckets, counts):
+            running += count
             le = f'le="{_format_value(bound)}"'
             lines.append(
-                f"{name}_bucket{self._merge_labels(base, le)} {cumulative}"
+                f"{name}_bucket{self._merge_labels(base, le)} {running}"
             )
-        lines.append(f"{name}_sum{labels} {_format_value(self._sum)}")
-        lines.append(f"{name}_count{labels} {self._count}")
+        lines.append(f"{name}_sum{labels} {_format_value(total_sum)}")
+        lines.append(f"{name}_count{labels} {total_count}")
         return lines
 
     @staticmethod
@@ -391,13 +404,16 @@ class Histogram(Metric):
         return "{" + inner + "}"
 
     def _value_dict(self):
+        counts, total_sum, total_count = self._snapshot()
+        cumulative: dict[str, int] = {}
+        running = 0
+        for bound, count in zip(self.buckets, counts):
+            running += count
+            cumulative[_format_value(bound)] = running
         return {
-            "count": self._count,
-            "sum": self._sum,
-            "buckets": {
-                _format_value(bound): cumulative
-                for bound, cumulative in self.bucket_counts().items()
-            },
+            "count": total_count,
+            "sum": total_sum,
+            "buckets": cumulative,
         }
 
 

@@ -9,6 +9,11 @@ dumps and ``benchmarks/run_bench.py`` aggregates.
 
 Writing to a closed sink raises :class:`~repro.errors.ObservabilityError`
 rather than silently losing events.
+
+Sinks are thread-safe: the serving layer emits from worker threads
+concurrently with client threads, and interleaved ``write`` calls on a
+shared text stream would otherwise tear JSONL lines.  Each stateful sink
+serialises ``emit``/``close`` behind one lock.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from __future__ import annotations
 import io
 import json
 import os
+import threading
 from typing import IO
 
 from repro.errors import ObservabilityError
@@ -53,14 +59,17 @@ class InMemorySink(EventSink):
     def __init__(self) -> None:
         self.events: list[dict] = []
         self._closed = False
+        self._lock = threading.Lock()
 
     def emit(self, event: dict) -> None:
-        if self._closed:
-            raise ObservabilityError("emit on closed InMemorySink")
-        self.events.append(event)
+        with self._lock:
+            if self._closed:
+                raise ObservabilityError("emit on closed InMemorySink")
+            self.events.append(event)
 
     def close(self) -> None:
-        self._closed = True
+        with self._lock:
+            self._closed = True
 
     def spans(self, name: str | None = None) -> list[dict]:
         """Buffered span-end events, optionally filtered by span name."""
@@ -95,26 +104,33 @@ class JsonlSink(EventSink):
             self._owns_stream = False
             self.path = None
         self._closed = False
+        self._lock = threading.Lock()
 
     def emit(self, event: dict) -> None:
-        if self._closed:
-            raise ObservabilityError(
-                f"emit on closed JsonlSink ({self.path or 'stream'})"
-            )
-        self._stream.write(json.dumps(event, default=str) + "\n")
+        # Serialise the whole line: one event is one intact JSON object
+        # even when worker threads emit concurrently.
+        line = json.dumps(event, default=str) + "\n"
+        with self._lock:
+            if self._closed:
+                raise ObservabilityError(
+                    f"emit on closed JsonlSink ({self.path or 'stream'})"
+                )
+            self._stream.write(line)
 
     def flush(self) -> None:
         """Flush the underlying stream."""
-        if not self._closed:
-            self._stream.flush()
+        with self._lock:
+            if not self._closed:
+                self._stream.flush()
 
     def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
-        try:
-            self._stream.flush()
-        except (ValueError, io.UnsupportedOperation):  # already closed stream
-            pass
-        if self._owns_stream:
-            self._stream.close()
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._stream.flush()
+            except (ValueError, io.UnsupportedOperation):  # already closed
+                pass
+            if self._owns_stream:
+                self._stream.close()

@@ -27,12 +27,14 @@ from __future__ import annotations
 
 import contextvars
 import itertools
+import threading
 import time
+from collections.abc import Callable
 from types import TracebackType
 
 from repro.obs.sinks import EventSink, NullSink
 
-__all__ = ["Span", "Tracer", "NOOP_SPAN"]
+__all__ = ["Span", "Tracer", "NOOP_SPAN", "carry_context"]
 
 _current_span: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
     "repro_obs_current_span", default=None
@@ -59,6 +61,29 @@ class _NoopSpan:
 
 #: The single module-wide no-op span instance.
 NOOP_SPAN = _NoopSpan()
+
+
+def carry_context(function: Callable) -> Callable:
+    """Bind the caller's contextvar snapshot into ``function``.
+
+    A new thread starts with an *empty* context: spans opened there
+    would lose their parentage to the submitting request.  Wrapping the
+    handler with ``carry_context`` at submission time captures the
+    current context (including the live span) so the callee's spans
+    parent correctly even when executed on an executor thread::
+
+        executor.submit(carry_context(handle), request)
+
+    Each invocation runs in its own copy of the captured context, so
+    concurrent executions cannot interfere with each other's span
+    stack.
+    """
+    captured = contextvars.copy_context()
+
+    def bound(*args: object, **kwargs: object):
+        return captured.copy().run(function, *args, **kwargs)
+
+    return bound
 
 
 class Span:
@@ -124,6 +149,7 @@ class Tracer:
 
     def __init__(self, sink: EventSink | None = None) -> None:
         self._counter = itertools.count(1)
+        self._counter_lock = threading.Lock()
         self.sink = sink
 
     @property
@@ -137,7 +163,11 @@ class Tracer:
         self.enabled = self._sink is not None
 
     def _next_id(self) -> int:
-        return next(self._counter)
+        # ``next(itertools.count())`` happens to be atomic under the
+        # GIL, but span-id uniqueness is a correctness property of the
+        # trace; make it explicit rather than implementation-defined.
+        with self._counter_lock:
+            return next(self._counter)
 
     def span(self, name: str, **attrs: object):
         """Context manager tracing one operation.

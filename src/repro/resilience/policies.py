@@ -176,8 +176,11 @@ class Retry:
         Raises :class:`RetryExhaustedError` (chaining the last error)
         when every attempt failed retryably, re-raises non-retryable
         errors immediately, and raises :class:`DeadlineExceededError`
-        when ``deadline`` runs out between attempts.  ``on_retry`` fires
-        once per scheduled retry with ``(attempt, delay, error)``.
+        when ``deadline`` runs out between attempts — *eagerly*: a
+        backoff pause that would spend the whole remaining budget is
+        never slept, because the retry it buys could not start inside
+        the deadline anyway.  ``on_retry`` fires once per scheduled
+        retry with ``(attempt, delay, error)``.
         """
         last_error: BaseException | None = None
         for attempt in range(1, self.max_attempts + 1):
@@ -193,7 +196,16 @@ class Retry:
                     break
                 pause = self.delay(attempt)
                 if deadline is not None:
-                    pause = min(pause, deadline.remaining())
+                    # Never sleep into a guaranteed timeout: if the
+                    # backoff pause would consume the whole remaining
+                    # budget, the next attempt could not start in time —
+                    # fail eagerly instead of wasting the caller's wait.
+                    remaining = deadline.remaining()
+                    if pause >= remaining:
+                        raise DeadlineExceededError(
+                            deadline_seconds=deadline.seconds,
+                            elapsed_seconds=deadline.elapsed,
+                        ) from error
                 obs.event(
                     "resilience.retry",
                     operation=name,
@@ -325,10 +337,24 @@ class CircuitBreaker:
             return True
 
     def check(self) -> None:
-        """Like :meth:`allow` but raises :class:`CircuitOpenError`."""
-        if not self.allow():
+        """Like :meth:`allow` but raises :class:`CircuitOpenError`.
+
+        Decision and error construction happen under one lock hold, so
+        the ``open_until`` a concurrent caller sees always belongs to
+        the rejection it just received — two lock acquisitions here
+        could interleave with a transition and report a stale opening.
+        """
+        with self._lock:
+            self._advance()
+            if self._state == self.HALF_OPEN:
+                if self._half_open_admitted < self.half_open_max_calls:
+                    self._half_open_admitted += 1
+                    return
+            elif self._state != self.OPEN:
+                return
             raise CircuitOpenError(
-                breaker_name=self.name, open_until=self.open_until
+                breaker_name=self.name,
+                open_until=self._opened_at + self.reset_timeout,
             )
 
     def record_success(self) -> None:

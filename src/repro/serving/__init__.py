@@ -1,0 +1,73 @@
+"""Overload-robust concurrent serving for explained recommendations.
+
+PR 2's resilience layer protects the pipeline against *component
+failures*; this package protects it against *load*.  The paper's
+efficiency aim (Section 3.6) is about how quickly users get their
+recommendations and explanations — an overloaded server that queues
+unboundedly fails that aim for everyone, while one that sheds the
+requests it cannot serve in time degrades for a few and stays fast for
+the rest.  Five mechanisms, composed in
+:class:`~repro.serving.server.RecommendationServer`:
+
+* **bounded admission queue** — a full queue rejects with
+  :class:`~repro.errors.RejectedError` and a retry-after hint
+  (explicit backpressure, never unbounded buffering);
+* **admission policies** (``repro.serving.admission``) — token-bucket
+  rate limiting at submit time, adaptive deadline-aware shedding at
+  dequeue time (drop requests whose queue wait already spent their
+  :class:`~repro.resilience.policies.Deadline`-style budget);
+* **bulkheads** (``repro.serving.bulkhead``) — per-substrate
+  semaphore-bounded concurrency, so one slow substrate cannot starve
+  the others;
+* **health probes** (``repro.serving.health``) — liveness/readiness
+  derived from breaker states, queue depth, and drain state;
+* **graceful drain** — :meth:`RecommendationServer.close` stops
+  admission, completes in-flight requests within a drain deadline,
+  sheds the rest with ``reason="draining"``, and reports what it did.
+
+Observability: ``repro_requests_total{outcome}``, ``repro_queue_depth``,
+``repro_shed_total{reason}``, ``repro_inflight``,
+``repro_serve_seconds{outcome}`` and ``serving.*`` trace events.
+Surfaced via ``python -m repro serve`` (closed-loop synthetic traffic,
+``repro.serving.driver``) and the ``benchmarks/run_bench.py`` load
+sweep.  See ``docs/serving.md``.
+"""
+
+from repro.serving.admission import (
+    AdmissionPolicy,
+    DeadlineAwareShedder,
+    TokenBucket,
+)
+from repro.serving.bulkhead import Bulkhead
+from repro.serving.driver import TrafficReport, run_traffic
+from repro.serving.health import (
+    HealthReport,
+    collect_breaker_states,
+    derive_status,
+)
+from repro.serving.server import (
+    OUTCOMES,
+    DrainReport,
+    RecommendationServer,
+    ServeRequest,
+    ServeResult,
+    register_serving_metrics,
+)
+
+__all__ = [
+    "AdmissionPolicy",
+    "TokenBucket",
+    "DeadlineAwareShedder",
+    "Bulkhead",
+    "HealthReport",
+    "collect_breaker_states",
+    "derive_status",
+    "RecommendationServer",
+    "ServeRequest",
+    "ServeResult",
+    "DrainReport",
+    "OUTCOMES",
+    "register_serving_metrics",
+    "TrafficReport",
+    "run_traffic",
+]

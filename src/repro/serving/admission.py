@@ -1,0 +1,161 @@
+"""Admission control: decide at the door, not in the queue.
+
+Two pluggable mechanisms, applied at different points of a request's
+life:
+
+* :class:`TokenBucket` — a classic rate limiter checked at **submit**
+  time.  Sustained arrival above ``rate`` requests/second is rejected
+  with :class:`~repro.errors.RejectedError` carrying a computed
+  ``retry_after_seconds`` hint, instead of letting a burst pile up in
+  the queue and time out for everyone.
+* :class:`DeadlineAwareShedder` — adaptive load shedding checked at
+  **dequeue** time, when the queue wait is known.  A request whose wait
+  has already consumed its deadline budget — or whose *remaining*
+  budget is smaller than the shedder's running estimate of service time
+  — is dropped before any substrate work is spent on it.  Shedding a
+  doomed request early is what keeps p99 bounded for the admitted ones.
+
+Both are deterministic under test: clocks are injectable, and the
+service-time estimate is a plain exponentially weighted moving average
+with no hidden randomness.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+import time
+from collections.abc import Callable
+
+from repro.errors import RejectedError
+
+__all__ = ["AdmissionPolicy", "TokenBucket", "DeadlineAwareShedder"]
+
+
+class AdmissionPolicy(abc.ABC):
+    """Submit-time gate: raise :class:`RejectedError` or let through."""
+
+    @abc.abstractmethod
+    def admit(self) -> None:
+        """Raise :class:`~repro.errors.RejectedError` to refuse entry."""
+
+
+class TokenBucket(AdmissionPolicy):
+    """Token-bucket rate limiter with a retry-after hint.
+
+    ``rate`` tokens are refilled per second up to ``burst``; each
+    admitted request spends one.  An empty bucket rejects with
+    ``reason="rate_limited"`` and ``retry_after_seconds`` set to the
+    exact time until the next token exists — the client can back off
+    precisely instead of guessing.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0.0:
+            raise ValueError(f"rate must be > 0 tokens/second, got {rate}")
+        self.rate = float(rate)
+        self.burst = float(burst if burst is not None else max(1, int(rate)))
+        if self.burst < 1.0:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tokens = self.burst
+        self._updated = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available right now."""
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+    def admit(self) -> None:
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return
+            retry_after = (1.0 - self._tokens) / self.rate
+        raise RejectedError(
+            reason="rate_limited", retry_after_seconds=retry_after
+        )
+
+
+class DeadlineAwareShedder:
+    """Drop queued requests whose deadline budget is already lost.
+
+    The decision at dequeue time, given a request that waited
+    ``queue_wait`` seconds of a ``budget``-second deadline:
+
+    * budget spent (``queue_wait >= budget``) → shed, reason
+      ``"deadline"``;
+    * remaining budget below the EWMA service-time estimate scaled by
+      ``safety_factor`` → shed, reason ``"predicted_timeout"`` — the
+      adaptive part: the faster the backend actually is, the closer to
+      the wire a request may be admitted.
+
+    ``observe(service_seconds)`` feeds the estimate after every
+    completed request; with no observations yet the shedder only
+    enforces the hard budget.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.2,
+        safety_factor: float = 1.0,
+        initial_estimate: float | None = None,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if safety_factor < 0.0:
+            raise ValueError(
+                f"safety_factor must be >= 0, got {safety_factor}"
+            )
+        self.alpha = alpha
+        self.safety_factor = safety_factor
+        self._lock = threading.Lock()
+        self._estimate = initial_estimate
+
+    @property
+    def estimated_service_seconds(self) -> float | None:
+        """Current EWMA service-time estimate (``None`` before data)."""
+        with self._lock:
+            return self._estimate
+
+    def observe(self, service_seconds: float) -> None:
+        """Feed one completed request's service time into the EWMA."""
+        value = max(0.0, float(service_seconds))
+        with self._lock:
+            if self._estimate is None:
+                self._estimate = value
+            else:
+                self._estimate += self.alpha * (value - self._estimate)
+
+    def shed_reason(
+        self, queue_wait: float, budget: float | None
+    ) -> str | None:
+        """Why this request should be shed, or ``None`` to proceed."""
+        if budget is None:
+            return None
+        remaining = budget - queue_wait
+        if remaining <= 0.0:
+            return "deadline"
+        with self._lock:
+            estimate = self._estimate
+        if (
+            estimate is not None
+            and remaining < estimate * self.safety_factor
+        ):
+            return "predicted_timeout"
+        return None

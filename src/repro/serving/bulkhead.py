@@ -1,0 +1,110 @@
+"""Per-substrate bulkheads: semaphore-bounded concurrency compartments.
+
+A bulkhead caps how many requests may run *inside one substrate* at
+once, so a slow collaborative substrate saturates its own compartment
+instead of soaking up every worker thread and starving content-based
+traffic — the ship-compartment metaphor the pattern is named after.
+
+The wait for a slot is bounded (``max_wait_seconds``, further clipped by
+the request's own deadline budget), never unbounded: a worker that
+cannot get a slot in time sheds the request rather than queueing
+invisibly on the semaphore.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+
+__all__ = ["Bulkhead"]
+
+
+class Bulkhead:
+    """A named concurrency compartment around one substrate.
+
+    Parameters
+    ----------
+    name:
+        Label for metrics and health reporting (usually the substrate
+        or pipeline name).
+    max_concurrent:
+        Slots in the compartment — the maximum number of requests
+        executing in the guarded substrate at once.
+    max_wait_seconds:
+        Longest a worker may block waiting for a slot.  Keep this small
+        relative to worker count: the whole point is that waiting on a
+        saturated compartment must not become the new unbounded queue.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        max_concurrent: int,
+        max_wait_seconds: float = 0.05,
+    ) -> None:
+        if max_concurrent < 1:
+            raise ValueError(
+                f"max_concurrent must be >= 1, got {max_concurrent}"
+            )
+        if max_wait_seconds < 0.0:
+            raise ValueError(
+                f"max_wait_seconds must be >= 0, got {max_wait_seconds}"
+            )
+        self.name = name
+        self.max_concurrent = max_concurrent
+        self.max_wait_seconds = max_wait_seconds
+        self._semaphore = threading.BoundedSemaphore(max_concurrent)
+        self._lock = threading.Lock()
+        self._active = 0
+
+    @property
+    def active(self) -> int:
+        """Requests currently holding a slot."""
+        with self._lock:
+            return self._active
+
+    @property
+    def saturated(self) -> bool:
+        """Whether every slot is taken right now."""
+        with self._lock:
+            return self._active >= self.max_concurrent
+
+    def try_acquire(self, timeout: float | None = None) -> bool:
+        """Take a slot, waiting at most ``timeout`` (default: the
+        configured ``max_wait_seconds``).  Returns ``False`` on timeout."""
+        wait = self.max_wait_seconds if timeout is None else timeout
+        wait = max(0.0, min(wait, self.max_wait_seconds))
+        acquired = (
+            self._semaphore.acquire(blocking=False)
+            if wait == 0.0
+            else self._semaphore.acquire(timeout=wait)
+        )
+        if acquired:
+            with self._lock:
+                self._active += 1
+        return acquired
+
+    def release(self) -> None:
+        """Give the slot back."""
+        with self._lock:
+            self._active -= 1
+        self._semaphore.release()
+
+    def run(
+        self,
+        operation: Callable[[], object],
+        timeout: float | None = None,
+    ):
+        """Run ``operation`` inside the compartment.
+
+        Returns ``(True, result)`` when a slot was obtained, or
+        ``(False, None)`` when the compartment stayed saturated for the
+        whole bounded wait — the caller decides whether that means
+        shedding or falling back.
+        """
+        if not self.try_acquire(timeout):
+            return False, None
+        try:
+            return True, operation()
+        finally:
+            self.release()

@@ -1,0 +1,177 @@
+"""Closed-loop synthetic traffic for the serving layer.
+
+Drives a :class:`~repro.serving.server.RecommendationServer` with a
+fixed number of client threads, each issuing its next request as soon
+as the previous one resolves (closed-loop: offered load tracks service
+capacity, so sweeps over the client count trace out the throughput /
+latency / shed-rate curve without an open-loop arrival model).
+
+Used by ``python -m repro serve`` and the ``benchmarks/run_bench.py``
+stress section; tests drive it directly with small request counts.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import RejectedError
+from repro.serving.server import RecommendationServer
+
+__all__ = ["TrafficReport", "run_traffic"]
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+@dataclass
+class TrafficReport:
+    """Aggregate of one closed-loop run."""
+
+    requests: int
+    clients: int
+    wall_s: float
+    outcomes: dict[str, int] = field(default_factory=dict)
+    shed_reasons: dict[str, int] = field(default_factory=dict)
+    latencies_s: list[float] = field(default_factory=list)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Resolved requests per second of wall-clock."""
+        return self.requests / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def p50_s(self) -> float:
+        """Median end-to-end latency of admitted requests."""
+        return _percentile(self.latencies_s, 0.50)
+
+    @property
+    def p99_s(self) -> float:
+        """99th-percentile end-to-end latency of admitted requests."""
+        return _percentile(self.latencies_s, 0.99)
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of requests shed (at submit or dequeue)."""
+        shed = self.outcomes.get("shed", 0)
+        return shed / self.requests if self.requests else 0.0
+
+    def render(self) -> str:
+        """Human-readable summary, one stat per line."""
+        lines = [
+            f"requests       {self.requests} over {self.clients} client(s)",
+            f"wall           {self.wall_s:.3f} s "
+            f"({self.throughput_rps:.1f} req/s)",
+            f"latency        p50 {self.p50_s * 1000:.2f} ms   "
+            f"p99 {self.p99_s * 1000:.2f} ms (admitted)",
+            f"shed rate      {self.shed_rate * 100:.1f}%",
+        ]
+        for outcome in sorted(self.outcomes):
+            lines.append(f"  {outcome:<12} {self.outcomes[outcome]}")
+        if self.shed_reasons:
+            lines.append("shed reasons:")
+            for reason in sorted(self.shed_reasons):
+                lines.append(
+                    f"  {reason:<20} {self.shed_reasons[reason]}"
+                )
+        return "\n".join(lines)
+
+
+def run_traffic(
+    server: RecommendationServer,
+    user_ids: Sequence[str],
+    *,
+    requests: int = 100,
+    clients: int = 8,
+    n: int = 3,
+    lanes: Sequence[str] | None = None,
+    deadline_seconds: float | None = None,
+    seed: int = 0,
+) -> TrafficReport:
+    """Run a closed-loop load test against a live server.
+
+    Every request resolves to exactly one bucket in ``outcomes``:
+    ``served`` / ``degraded`` / ``failed`` / ``shed`` (submit-time
+    rejections count as shed, keyed by their reason) — the report's
+    buckets always sum to ``requests``.
+    """
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    counter = {"next": 0}
+    counter_lock = threading.Lock()
+    outcomes: dict[str, int] = {}
+    shed_reasons: dict[str, int] = {}
+    latencies: list[float] = []
+    tally_lock = threading.Lock()
+
+    def _tally(outcome: str, reason: str | None, latency: float | None):
+        with tally_lock:
+            outcomes[outcome] = outcomes.get(outcome, 0) + 1
+            if reason is not None:
+                shed_reasons[reason] = shed_reasons.get(reason, 0) + 1
+            if latency is not None:
+                latencies.append(latency)
+
+    def _client(client_index: int) -> None:
+        rng = random.Random(seed * 7919 + client_index)
+        while True:
+            with counter_lock:
+                if counter["next"] >= requests:
+                    return
+                counter["next"] += 1
+            user_id = user_ids[rng.randrange(len(user_ids))]
+            lane = (
+                lanes[rng.randrange(len(lanes))]
+                if lanes
+                else None
+            )
+            started = time.perf_counter()
+            try:
+                result = server.serve(
+                    user_id,
+                    n=n,
+                    lane=lane,
+                    deadline_seconds=deadline_seconds,
+                )
+            except RejectedError as error:
+                _tally("shed", error.reason, None)
+                if error.retry_after_seconds is not None:
+                    # Honour the server's hint (capped so a sweep at
+                    # heavy overload still terminates promptly).
+                    time.sleep(min(error.retry_after_seconds, 0.05))
+                continue
+            latency = time.perf_counter() - started
+            _tally(
+                result.outcome,
+                result.shed_reason,
+                latency if result.outcome != "shed" else None,
+            )
+
+    threads = [
+        threading.Thread(target=_client, args=(index,), daemon=True)
+        for index in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - started
+    return TrafficReport(
+        requests=requests,
+        clients=clients,
+        wall_s=wall_s,
+        outcomes=outcomes,
+        shed_reasons=shed_reasons,
+        latencies_s=latencies,
+    )

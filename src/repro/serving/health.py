@@ -1,0 +1,120 @@
+"""Health and readiness probes for the serving layer.
+
+Kubernetes-shaped semantics, derived from live server state rather than
+a self-reported flag:
+
+* **liveness** — the process can still make progress: worker threads
+  exist and the server is not closed.  A live-but-degraded server keeps
+  its traffic; only a dead one should be restarted.
+* **readiness** — the server should receive *new* traffic: not
+  draining, admission queue below the pressure threshold, and at least
+  one substrate breaker not open.  Load balancers pull an unready
+  replica out of rotation without killing in-flight work.
+
+:func:`collect_breaker_states` walks a pipeline for the per-substrate
+:class:`~repro.resilience.policies.CircuitBreaker` instances the
+resilience layer installed, so the probe reflects the same state
+machine that is actually gating calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.resilience.policies import CircuitBreaker
+
+__all__ = ["HealthReport", "collect_breaker_states", "derive_status"]
+
+#: Fraction of queue capacity above which readiness reports pressure.
+QUEUE_PRESSURE_THRESHOLD = 0.9
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """One probe snapshot, renderable as a plain dict for exposition."""
+
+    live: bool
+    ready: bool
+    status: str  # "ok" | "degraded" | "draining" | "closed"
+    queue_depth: int
+    queue_capacity: int
+    inflight: int
+    breaker_states: dict[str, str] = field(default_factory=dict)
+    bulkhead_active: dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly rendering (the ``/healthz`` payload shape)."""
+        return {
+            "live": self.live,
+            "ready": self.ready,
+            "status": self.status,
+            "queue": {
+                "depth": self.queue_depth,
+                "capacity": self.queue_capacity,
+            },
+            "inflight": self.inflight,
+            "breakers": dict(self.breaker_states),
+            "bulkheads": dict(self.bulkhead_active),
+        }
+
+
+def collect_breaker_states(pipeline: object) -> dict[str, str]:
+    """Per-substrate breaker states reachable from a pipeline.
+
+    Understands the shapes the resilience layer builds: an
+    ``ExplainedRecommender`` whose ``recommender`` is a
+    ``ResilientRecommender`` or a ``FallbackChain`` of them.  Anything
+    without breakers yields an empty dict — an unguarded pipeline is
+    simply not breaker-limited.
+    """
+    breakers: dict[str, str] = {}
+    roots = [pipeline, getattr(pipeline, "recommender", None)]
+    seen: set[int] = set()
+    while roots:
+        node = roots.pop()
+        if node is None or id(node) in seen:
+            continue
+        seen.add(id(node))
+        breaker = getattr(node, "breaker", None)
+        if isinstance(breaker, CircuitBreaker):
+            breakers[breaker.name] = breaker.state
+        components = getattr(node, "components", None)
+        if isinstance(components, list):
+            roots.extend(components)
+        inner = getattr(node, "inner", None)
+        if inner is not None:
+            roots.append(inner)
+    return breakers
+
+
+def derive_status(
+    *,
+    closed: bool,
+    draining: bool,
+    queue_depth: int,
+    queue_capacity: int,
+    breaker_states: dict[str, str],
+) -> tuple[bool, bool, str]:
+    """``(live, ready, status)`` from raw server state.
+
+    Degradation is not unreadiness: a server with *some* breakers open
+    still serves (the fallback chain covers the gap) and stays ready;
+    only every-breaker-open or a pressured queue pulls it from rotation.
+    """
+    if closed:
+        return False, False, "closed"
+    if draining:
+        return True, False, "draining"
+    pressured = (
+        queue_capacity > 0
+        and queue_depth >= queue_capacity * QUEUE_PRESSURE_THRESHOLD
+    )
+    any_open = any(
+        state != CircuitBreaker.CLOSED for state in breaker_states.values()
+    )
+    all_open = bool(breaker_states) and all(
+        state == CircuitBreaker.OPEN for state in breaker_states.values()
+    )
+    ready = not pressured and not all_open
+    status = "degraded" if (any_open or pressured) else "ok"
+    return True, ready, status

@@ -1,0 +1,595 @@
+"""The overload-robust recommendation server.
+
+:class:`RecommendationServer` puts an explained-recommendation pipeline
+behind a worker pool with explicit, bounded buffering at every stage:
+
+* a **bounded admission queue** — when it is full, :meth:`submit`
+  raises :class:`~repro.errors.RejectedError` with a retry-after hint
+  instead of buffering unboundedly (backpressure the client can act on);
+* pluggable **admission policies** (:class:`TokenBucket` rate limiting
+  at the door) and **deadline-aware load shedding** at dequeue time
+  (:class:`DeadlineAwareShedder`): a request whose queue wait already
+  spent its deadline budget is dropped before any substrate work;
+* per-lane **bulkheads** (:class:`Bulkhead`) so a slow substrate
+  saturates its own compartment instead of every worker thread;
+* **health/readiness probes** derived from breaker states, queue depth
+  and drain state (:mod:`repro.serving.health`);
+* **graceful shutdown**: :meth:`close` stops admission, lets in-flight
+  requests finish within a drain deadline, sheds everything still
+  queued with ``reason="draining"``, and reports exactly what happened.
+
+Every admitted request resolves to a :class:`ServeResult` with outcome
+``served`` / ``degraded`` / ``shed`` / ``failed`` — never silently
+lost — and the four outcomes partition ``repro_requests_total`` so the
+accounting is checkable: submitted == rejected + resolved.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import queue
+import threading
+import time
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.errors import RejectedError, ReproError, ServerClosedError, ServingError
+from repro.serving.admission import AdmissionPolicy, DeadlineAwareShedder
+from repro.serving.bulkhead import Bulkhead
+from repro.serving.health import (
+    HealthReport,
+    collect_breaker_states,
+    derive_status,
+)
+
+__all__ = [
+    "ServeRequest",
+    "ServeResult",
+    "DrainReport",
+    "RecommendationServer",
+    "register_serving_metrics",
+    "OUTCOMES",
+]
+
+#: The four terminal outcomes partitioning ``repro_requests_total``.
+OUTCOMES = ("served", "degraded", "shed", "failed")
+
+_SENTINEL = object()
+
+
+def register_serving_metrics(registry=None):
+    """Ensure every serving instrument exists in the registry.
+
+    Returns ``(requests_total, shed_total, queue_depth, inflight,
+    latency)``.  Idempotent — the server calls it at construction and
+    the CLI metrics workload calls it so the exposition is complete
+    even before any traffic has flowed.
+    """
+    registry = registry if registry is not None else obs.get_registry()
+    requests_total = registry.counter(
+        "repro_requests_total",
+        "Serving requests by terminal outcome "
+        "(served/degraded/shed/failed).",
+        labelnames=("outcome",),
+    )
+    shed_total = registry.counter(
+        "repro_shed_total",
+        "Requests shed by the serving layer, by reason.",
+        labelnames=("reason",),
+    )
+    queue_depth = registry.gauge(
+        "repro_queue_depth",
+        "Admitted requests waiting in the serving queue.",
+    )
+    inflight = registry.gauge(
+        "repro_inflight",
+        "Requests currently executing in a substrate.",
+    )
+    latency = registry.histogram(
+        "repro_serve_seconds",
+        "End-to-end latency of admitted requests (queue wait + service).",
+        labelnames=("outcome",),
+    )
+    return requests_total, shed_total, queue_depth, inflight, latency
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One client request for an explained recommendation list.
+
+    ``lane`` names the pipeline/bulkhead to route through (``None``
+    targets the server's sole lane); ``deadline_seconds`` is this
+    request's end-to-end budget, overriding the server default.
+    """
+
+    user_id: str
+    n: int = 3
+    lane: str | None = None
+    deadline_seconds: float | None = None
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """The terminal state of one admitted request."""
+
+    request: ServeRequest
+    outcome: str  # one of OUTCOMES
+    recommendations: tuple = ()
+    shed_reason: str | None = None
+    error: str | None = None
+    queue_wait_s: float = 0.0
+    service_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        """Queue wait plus service time."""
+        return self.queue_wait_s + self.service_s
+
+
+@dataclass(frozen=True)
+class DrainReport:
+    """What :meth:`RecommendationServer.close` actually did."""
+
+    completed_total: int
+    shed_queued: int
+    workers_timed_out: int
+    duration_s: float
+
+    @property
+    def clean(self) -> bool:
+        """Whether every worker finished within the drain deadline."""
+        return self.workers_timed_out == 0
+
+
+class _ResultSlot:
+    """A minimal single-value future: set once, read with ``result()``."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._result: ServeResult | None = None
+
+    def set(self, result: ServeResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> ServeResult:
+        if not self._event.wait(timeout):
+            raise ServingError("timed out waiting for a serve result")
+        assert self._result is not None
+        return self._result
+
+
+@dataclass
+class _Job:
+    request: ServeRequest
+    future: _ResultSlot = field(default_factory=_ResultSlot)
+    enqueued_at: float = 0.0
+    context: contextvars.Context = field(
+        default_factory=contextvars.copy_context
+    )
+
+
+class RecommendationServer:
+    """Concurrent serving wrapper around explained-recommendation pipelines.
+
+    Parameters
+    ----------
+    pipelines:
+        One pipeline (anything with ``recommend(user_id, n=...)``, e.g.
+        :class:`~repro.resilience.pipeline.ResilientExplainedRecommender`)
+        or a mapping of lane name → pipeline for multi-substrate serving.
+    workers:
+        Size of the shared worker pool.  Keep it at or above the sum of
+        bulkhead limits so one saturated lane cannot occupy every worker.
+    queue_size:
+        Capacity of the bounded admission queue.
+    admission:
+        Submit-time :class:`AdmissionPolicy` gates (e.g. a
+        :class:`~repro.serving.admission.TokenBucket`), checked in order.
+    shedder:
+        Dequeue-time load shedding; defaults to a fresh
+        :class:`DeadlineAwareShedder`.  Pass ``None`` explicitly via
+        ``shed=False`` semantics is not supported — use a shedder with
+        ``safety_factor=0`` to keep only the hard deadline check.
+    bulkheads:
+        Lane name → max concurrent executions.  Lanes not named get
+        ``default_bulkhead`` slots.
+    default_deadline_seconds:
+        Budget applied to requests that do not carry their own.
+    """
+
+    def __init__(
+        self,
+        pipelines,
+        *,
+        workers: int = 4,
+        queue_size: int = 64,
+        admission: Sequence[AdmissionPolicy] = (),
+        shedder: DeadlineAwareShedder | None = None,
+        bulkheads: Mapping[str, int] | None = None,
+        default_bulkhead: int = 2,
+        bulkhead_max_wait: float = 0.05,
+        default_deadline_seconds: float | None = None,
+        name: str = "repro-server",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_size < 1:
+            raise ValueError(f"queue_size must be >= 1, got {queue_size}")
+        if isinstance(pipelines, Mapping):
+            if not pipelines:
+                raise ValueError("need at least one pipeline")
+            self.pipelines: dict[str, object] = dict(pipelines)
+        else:
+            self.pipelines = {"default": pipelines}
+        self.name = name
+        self.queue_size = queue_size
+        self.default_deadline_seconds = default_deadline_seconds
+        self.admission = tuple(admission)
+        self.shedder = (
+            shedder if shedder is not None else DeadlineAwareShedder()
+        )
+        self._clock = clock
+        bulkheads = dict(bulkheads or {})
+        self.bulkheads: dict[str, Bulkhead] = {
+            lane: Bulkhead(
+                lane,
+                bulkheads.get(lane, default_bulkhead),
+                max_wait_seconds=bulkhead_max_wait,
+            )
+            for lane in self.pipelines
+        }
+        (
+            self._requests_total,
+            self._shed_total,
+            self._queue_depth,
+            self._inflight,
+            self._latency,
+        ) = register_serving_metrics()
+
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
+        self._state_lock = threading.Lock()
+        self._draining = False
+        self._closed = False
+        self._drain_report: DrainReport | None = None
+        self._completed = 0
+        self._completed_lock = threading.Lock()
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"{name}-worker-{index}",
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # -- submission -------------------------------------------------------
+
+    def _reject(self, reason: str, retry_after: float | None) -> None:
+        self._shed_total.inc(reason=reason)
+        self._requests_total.inc(outcome="shed")
+        obs.event("serving.shed", reason=reason, stage="submit")
+        raise RejectedError(reason=reason, retry_after_seconds=retry_after)
+
+    def _queue_full_retry_after(self) -> float | None:
+        estimate = self.shedder.estimated_service_seconds
+        if estimate is None:
+            return None
+        return self.queue_size * estimate / max(1, len(self._workers))
+
+    def submit(self, request: ServeRequest) -> _ResultSlot:
+        """Admit one request; returns a slot resolving to a ServeResult.
+
+        Raises :class:`~repro.errors.ServerClosedError` on a closed
+        server and :class:`~repro.errors.RejectedError` when admission
+        control or the bounded queue refuses the request.
+        """
+        if request.lane is not None and request.lane not in self.pipelines:
+            raise ServingError(
+                f"unknown lane {request.lane!r}; "
+                f"lanes: {sorted(self.pipelines)}"
+            )
+        for policy in self.admission:
+            try:
+                policy.admit()
+            except RejectedError as error:
+                self._shed_total.inc(reason=error.reason)
+                self._requests_total.inc(outcome="shed")
+                obs.event(
+                    "serving.shed", reason=error.reason, stage="submit"
+                )
+                raise
+        job = _Job(request=request)
+        # The state check and the enqueue are one atomic step against
+        # close(): a job can never slip in behind the drain sweep.
+        with self._state_lock:
+            if self._closed:
+                raise ServerClosedError(self.name)
+            if self._draining:
+                self._reject("draining", None)
+            job.enqueued_at = self._clock()
+            try:
+                self._queue.put_nowait(job)
+            except queue.Full:
+                self._reject("queue_full", self._queue_full_retry_after())
+        self._queue_depth.set(self._queue.qsize())
+        obs.event(
+            "serving.admit",
+            user=request.user_id,
+            lane=request.lane or next(iter(self.pipelines)),
+            queue_depth=self._queue.qsize(),
+        )
+        return job.future
+
+    def serve(
+        self,
+        user_id: str,
+        n: int = 3,
+        *,
+        lane: str | None = None,
+        deadline_seconds: float | None = None,
+        timeout: float | None = None,
+    ) -> ServeResult:
+        """Blocking convenience: submit and wait for the result."""
+        request = ServeRequest(
+            user_id=user_id,
+            n=n,
+            lane=lane,
+            deadline_seconds=deadline_seconds,
+        )
+        return self.submit(request).result(timeout)
+
+    # -- worker side ------------------------------------------------------
+
+    def _budget(self, request: ServeRequest) -> float | None:
+        if request.deadline_seconds is not None:
+            return request.deadline_seconds
+        return self.default_deadline_seconds
+
+    def _resolve(
+        self, job: _Job, result: ServeResult, *, record_latency: bool
+    ) -> None:
+        self._requests_total.inc(outcome=result.outcome)
+        if record_latency:
+            self._latency.observe(result.total_s, outcome=result.outcome)
+        with self._completed_lock:
+            self._completed += 1
+        job.future.set(result)
+
+    def _shed(self, job: _Job, reason: str, queue_wait: float) -> None:
+        self._shed_total.inc(reason=reason)
+        obs.event(
+            "serving.shed",
+            reason=reason,
+            stage="dequeue",
+            user=job.request.user_id,
+            queue_wait_s=round(queue_wait, 6),
+        )
+        self._resolve(
+            job,
+            ServeResult(
+                request=job.request,
+                outcome="shed",
+                shed_reason=reason,
+                queue_wait_s=queue_wait,
+            ),
+            record_latency=False,
+        )
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is _SENTINEL:
+                return
+            try:
+                self._process(job)
+            except BaseException as error:  # noqa: B036 - a worker must survive
+                # A programming error in a handler must not kill the
+                # worker or strand the client: resolve as failed.
+                if not job.future.done():
+                    self._resolve(
+                        job,
+                        ServeResult(
+                            request=job.request,
+                            outcome="failed",
+                            error=type(error).__name__,
+                        ),
+                        record_latency=False,
+                    )
+            finally:
+                self._queue_depth.set(self._queue.qsize())
+
+    def _process(self, job: _Job) -> None:
+        request = job.request
+        queue_wait = max(0.0, self._clock() - job.enqueued_at)
+        budget = self._budget(request)
+        reason = self.shedder.shed_reason(queue_wait, budget)
+        if reason is not None:
+            self._shed(job, reason, queue_wait)
+            return
+        lane = request.lane or next(iter(self.pipelines))
+        bulkhead = self.bulkheads[lane]
+        wait_budget = None
+        if budget is not None:
+            wait_budget = max(0.0, budget - queue_wait)
+        if not bulkhead.try_acquire(wait_budget):
+            self._shed(job, "bulkhead_saturated", queue_wait)
+            return
+        try:
+            # Run inside the submitter's contextvar snapshot so the
+            # serving span parents to the client's active span even
+            # though we are on a worker thread.
+            job.context.run(self._execute, job, lane, queue_wait)
+        finally:
+            bulkhead.release()
+
+    def _execute(self, job: _Job, lane: str, queue_wait: float) -> None:
+        request = job.request
+        pipeline = self.pipelines[lane]
+        self._inflight.inc()
+        started = self._clock()
+        try:
+            with obs.span(
+                "serving.handle",
+                user=request.user_id,
+                lane=lane,
+                n=request.n,
+                queue_wait_s=round(queue_wait, 6),
+            ):
+                try:
+                    recommendations = pipeline.recommend(
+                        request.user_id, n=request.n
+                    )
+                    error_name = None
+                except ReproError as error:
+                    recommendations = []
+                    error_name = type(error).__name__
+        finally:
+            self._inflight.dec()
+        service_s = max(0.0, self._clock() - started)
+        self.shedder.observe(service_s)
+        if error_name is not None:
+            outcome = "failed"
+        elif any(
+            getattr(item, "degraded", False) for item in recommendations
+        ):
+            outcome = "degraded"
+        else:
+            outcome = "served"
+        self._resolve(
+            job,
+            ServeResult(
+                request=request,
+                outcome=outcome,
+                recommendations=tuple(recommendations),
+                error=error_name,
+                queue_wait_s=queue_wait,
+                service_s=service_s,
+            ),
+            record_latency=True,
+        )
+
+    # -- probes -----------------------------------------------------------
+
+    @property
+    def completed(self) -> int:
+        """Requests resolved so far (all outcomes)."""
+        with self._completed_lock:
+            return self._completed
+
+    def breaker_states(self) -> dict[str, str]:
+        """Per-substrate breaker states across every lane."""
+        states: dict[str, str] = {}
+        for pipeline in self.pipelines.values():
+            states.update(collect_breaker_states(pipeline))
+        return states
+
+    def health(self) -> HealthReport:
+        """Liveness + readiness snapshot (see :mod:`repro.serving.health`)."""
+        with self._state_lock:
+            closed, draining = self._closed, self._draining
+        breaker_states = self.breaker_states()
+        depth = self._queue.qsize()
+        live, ready, status = derive_status(
+            closed=closed,
+            draining=draining,
+            queue_depth=depth,
+            queue_capacity=self.queue_size,
+            breaker_states=breaker_states,
+        )
+        return HealthReport(
+            live=live,
+            ready=ready,
+            status=status,
+            queue_depth=depth,
+            queue_capacity=self.queue_size,
+            inflight=sum(b.active for b in self.bulkheads.values()),
+            breaker_states=breaker_states,
+            bulkhead_active={
+                lane: bulkhead.active
+                for lane, bulkhead in self.bulkheads.items()
+            },
+        )
+
+    def ready(self) -> bool:
+        """Readiness probe: should this replica receive new traffic?"""
+        return self.health().ready
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has completed."""
+        with self._state_lock:
+            return self._closed
+
+    def close(self, drain_seconds: float = 5.0) -> DrainReport:
+        """Stop admission, drain in-flight work, shed the queue.
+
+        Idempotent: the first call performs the drain and later calls
+        return the same report.  Order of operations:
+
+        1. flip to draining (new :meth:`submit` calls are rejected with
+           ``reason="draining"``);
+        2. sweep the queue — every admitted-but-unstarted job resolves
+           as ``shed`` with ``reason="draining"``;
+        3. wake the workers with sentinels and join them within the
+           remaining drain budget; in-flight requests complete normally;
+        4. mark closed — further :meth:`submit`/:meth:`serve` raise
+           :class:`~repro.errors.ServerClosedError`.
+        """
+        started = self._clock()
+        with self._state_lock:
+            if self._drain_report is not None:
+                return self._drain_report
+            self._draining = True
+            shed_jobs: list[_Job] = []
+            while True:
+                try:
+                    shed_jobs.append(self._queue.get_nowait())
+                except queue.Empty:
+                    break
+            for _ in self._workers:
+                self._queue.put(_SENTINEL)
+        for job in shed_jobs:
+            self._shed(
+                job, "draining", max(0.0, self._clock() - job.enqueued_at)
+            )
+        timed_out = 0
+        deadline = started + drain_seconds
+        for thread in self._workers:
+            remaining = max(0.0, deadline - self._clock())
+            thread.join(timeout=remaining)
+            if thread.is_alive():
+                timed_out += 1
+        duration = self._clock() - started
+        report = DrainReport(
+            completed_total=self.completed,
+            shed_queued=len(shed_jobs),
+            workers_timed_out=timed_out,
+            duration_s=duration,
+        )
+        with self._state_lock:
+            self._closed = True
+            self._drain_report = report
+        self._queue_depth.set(0)
+        obs.event(
+            "serving.drain",
+            shed_queued=report.shed_queued,
+            workers_timed_out=report.workers_timed_out,
+            duration_s=round(duration, 6),
+        )
+        return report
+
+    def __enter__(self) -> "RecommendationServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

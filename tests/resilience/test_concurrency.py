@@ -1,0 +1,233 @@
+"""Thread-safety of the resilience primitives under real contention.
+
+Two properties the serving layer depends on:
+
+* the :class:`CircuitBreaker` state machine cannot be torn by
+  concurrent callers — states stay within the legal set, the
+  consecutive-failure counter cannot over-trip, and a half-open breaker
+  admits exactly ``half_open_max_calls`` probes no matter how many
+  threads race for them;
+* :class:`Retry` never sleeps past the remaining :class:`Deadline`
+  budget — it raises :class:`DeadlineExceededError` eagerly instead
+  (regression for the sleep-into-a-guaranteed-timeout bug).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.errors import (
+    DeadlineExceededError,
+    PredictionImpossibleError,
+)
+from repro.resilience import CircuitBreaker, Deadline, Retry
+
+
+class FakeClock:
+    """A controllable monotonic clock (thread-shared, test-advanced)."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> None:
+        self.now += seconds
+
+
+LEGAL_STATES = {
+    CircuitBreaker.CLOSED,
+    CircuitBreaker.OPEN,
+    CircuitBreaker.HALF_OPEN,
+}
+
+
+def run_threads(count: int, target) -> None:
+    threads = [
+        threading.Thread(target=target, args=(index,)) for index in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestBreakerUnderContention:
+    def test_hammering_never_produces_an_illegal_state(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "hammered", failure_threshold=3, reset_timeout=0.5, clock=clock
+        )
+        observed: set[str] = set()
+        observed_lock = threading.Lock()
+
+        def hammer(index: int) -> None:
+            rng = random.Random(index)
+            for _ in range(300):
+                roll = rng.random()
+                if roll < 0.4:
+                    breaker.allow()
+                elif roll < 0.7:
+                    breaker.record_failure()
+                else:
+                    breaker.record_success()
+                state = breaker.state
+                with observed_lock:
+                    observed.add(state)
+
+        run_threads(8, hammer)
+        assert observed <= LEGAL_STATES
+        assert breaker.state in LEGAL_STATES
+        # the machine still works after the storm
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+
+    def test_exactly_one_half_open_probe_admitted(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "probed",
+            failure_threshold=1,
+            reset_timeout=1.0,
+            half_open_max_calls=1,
+            clock=clock,
+        )
+        for attempt in range(20):
+            breaker.record_failure()
+            assert breaker.state == CircuitBreaker.OPEN
+            clock.tick(1.5)  # past the reset timeout → half-open
+            admitted = []
+            admitted_lock = threading.Lock()
+            barrier = threading.Barrier(8)
+
+            def probe(index: int) -> None:
+                barrier.wait()
+                if breaker.allow():
+                    with admitted_lock:
+                        admitted.append(index)
+
+            run_threads(8, probe)
+            # the race is re-run 20 times; a double probe on any
+            # iteration is a torn _half_open_admitted counter
+            assert len(admitted) == 1, f"attempt {attempt}: {admitted}"
+
+    def test_concurrent_failures_trip_exactly_once(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "tripped", failure_threshold=5, reset_timeout=30.0, clock=clock
+        )
+        assert breaker.state == CircuitBreaker.CLOSED
+        barrier = threading.Barrier(10)
+
+        def fail(index: int) -> None:
+            barrier.wait()
+            breaker.record_failure()
+
+        run_threads(10, fail)
+        assert breaker.state == CircuitBreaker.OPEN
+        from repro import obs
+
+        transitions = obs.get_registry().get(
+            "repro_breaker_transitions_total"
+        )
+        assert (
+            transitions.labels(substrate="tripped", to_state="open").value
+            == 1
+        )
+
+    def test_check_reports_the_open_until_of_its_own_rejection(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "atomic", failure_threshold=1, reset_timeout=2.0, clock=clock
+        )
+        breaker.record_failure()
+        errors = []
+        errors_lock = threading.Lock()
+
+        def check(index: int) -> None:
+            try:
+                breaker.check()
+            except Exception as error:  # noqa: BLE001 - collected below
+                with errors_lock:
+                    errors.append(error)
+
+        run_threads(8, check)
+        assert len(errors) == 8
+        assert {error.open_until for error in errors} == {2.0}
+
+
+class TestRetryDeadlineEagerness:
+    def test_never_sleeps_past_the_remaining_budget(self):
+        clock = FakeClock()
+        sleeps: list[float] = []
+
+        def fake_sleep(seconds: float) -> None:
+            sleeps.append(seconds)
+            clock.tick(seconds)
+
+        retry = Retry(
+            max_attempts=10,
+            base_delay=0.4,
+            multiplier=2.0,
+            jitter=0.0,
+            sleep=fake_sleep,
+        )
+        deadline = Deadline(1.0, clock=clock)
+
+        def always_fails():
+            clock.tick(0.05)
+            raise PredictionImpossibleError("no neighbours")
+
+        with pytest.raises(DeadlineExceededError):
+            retry.call(always_fails, deadline=deadline)
+        # every sleep fit strictly inside the budget that remained when
+        # it started; the doomed pause raised instead of sleeping
+        assert sleeps == [0.4]
+        assert clock.now < 1.0
+
+    def test_raises_before_the_first_sleep_when_budget_is_tiny(self):
+        clock = FakeClock()
+        sleeps: list[float] = []
+
+        def fake_sleep(seconds: float) -> None:
+            sleeps.append(seconds)
+            clock.tick(seconds)
+
+        retry = Retry(
+            max_attempts=5, base_delay=1.0, jitter=0.0, sleep=fake_sleep
+        )
+        deadline = Deadline(0.5, clock=clock)
+
+        def always_fails():
+            raise PredictionImpossibleError("no neighbours")
+
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            retry.call(always_fails, deadline=deadline)
+        assert sleeps == []  # the 1.0 s pause never happened
+        assert excinfo.value.deadline_seconds == 0.5
+        assert isinstance(
+            excinfo.value.__cause__, PredictionImpossibleError
+        )
+
+    def test_without_deadline_the_full_schedule_still_runs(self):
+        sleeps: list[float] = []
+        retry = Retry(
+            max_attempts=3,
+            base_delay=0.4,
+            multiplier=2.0,
+            jitter=0.0,
+            sleep=sleeps.append,
+        )
+
+        def always_fails():
+            raise PredictionImpossibleError("no neighbours")
+
+        from repro.errors import RetryExhaustedError
+
+        with pytest.raises(RetryExhaustedError):
+            retry.call(always_fails)
+        assert sleeps == [0.4, 0.8]

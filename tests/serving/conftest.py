@@ -1,0 +1,73 @@
+"""Shared fixtures for the serving-layer tests.
+
+The server tests mostly run against :class:`ScriptedPipeline`, a
+deterministic stand-in that replies instantly (or blocks on an explicit
+gate) instead of fitting real substrates — the serving layer only needs
+``recommend(user_id, n=...)`` and per-item ``degraded`` flags.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Fresh registry and disabled tracer around every test."""
+    obs.reset()
+    yield
+    obs.reset()
+
+
+@dataclass
+class FakeItem:
+    """The minimal shape the server inspects on a recommendation."""
+
+    item_id: str = "item_0"
+    degraded: bool = False
+
+
+class ScriptedPipeline:
+    """A pipeline whose calls follow a script.
+
+    ``script`` entries are consumed one per call (the last repeats
+    forever): ``"ok"`` returns fresh items, ``"degraded"`` returns items
+    flagged degraded, and an exception *instance* is raised.  ``delay``
+    adds real sleep per call (keep tiny); setting ``gate`` to a
+    :class:`threading.Event` makes every call block until it is set —
+    the tool for holding requests in flight during shutdown tests.
+    """
+
+    def __init__(self, script=("ok",), delay: float = 0.0) -> None:
+        self.script = list(script)
+        self.delay = delay
+        self.calls = 0
+        self.gate: threading.Event | None = None
+        self._lock = threading.Lock()
+
+    def recommend(self, user_id, n: int = 3):
+        with self._lock:
+            step = self.script[min(self.calls, len(self.script) - 1)]
+            self.calls += 1
+        if self.gate is not None:
+            assert self.gate.wait(5.0), "test gate never released"
+        if self.delay:
+            time.sleep(self.delay)
+        if isinstance(step, BaseException):
+            raise step
+        degraded = step == "degraded"
+        return [
+            FakeItem(item_id=f"item_{index}", degraded=degraded)
+            for index in range(n)
+        ]
+
+
+@pytest.fixture
+def scripted_pipeline():
+    return ScriptedPipeline()

@@ -1,0 +1,128 @@
+"""Admission control: the token bucket and the deadline-aware shedder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RejectedError
+from repro.serving import AdmissionPolicy, DeadlineAwareShedder, TokenBucket
+
+
+class FakeClock:
+    """A controllable monotonic clock."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_is_an_admission_policy(self):
+        assert isinstance(TokenBucket(rate=1.0), AdmissionPolicy)
+
+    def test_starts_full_at_burst(self):
+        bucket = TokenBucket(rate=2.0, burst=5, clock=FakeClock())
+        assert bucket.tokens == 5.0
+
+    def test_burst_defaults_to_rate(self):
+        assert TokenBucket(rate=4.0, clock=FakeClock()).tokens == 4.0
+        # sub-1 rates still get one whole token of burst
+        assert TokenBucket(rate=0.5, clock=FakeClock()).tokens == 1.0
+
+    def test_admits_burst_then_rejects(self):
+        bucket = TokenBucket(rate=1.0, burst=3, clock=FakeClock())
+        for _ in range(3):
+            bucket.admit()
+        with pytest.raises(RejectedError) as excinfo:
+            bucket.admit()
+        assert excinfo.value.reason == "rate_limited"
+
+    def test_retry_after_is_time_to_the_next_token(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1, clock=clock)
+        bucket.admit()
+        with pytest.raises(RejectedError) as excinfo:
+            bucket.admit()
+        # empty bucket, 2 tokens/s: the next whole token is 0.5 s away
+        assert excinfo.value.retry_after_seconds == pytest.approx(0.5)
+
+    def test_refill_restores_admission(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1, clock=clock)
+        bucket.admit()
+        clock.tick(0.5)
+        bucket.admit()  # exactly one token refilled
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2, clock=clock)
+        clock.tick(60.0)
+        assert bucket.tokens == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            TokenBucket(rate=0.0)
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(rate=1.0, burst=0)
+
+
+class TestDeadlineAwareShedder:
+    def test_no_budget_never_sheds(self):
+        shedder = DeadlineAwareShedder()
+        assert shedder.shed_reason(queue_wait=99.0, budget=None) is None
+
+    def test_spent_budget_sheds_with_deadline_reason(self):
+        shedder = DeadlineAwareShedder()
+        assert shedder.shed_reason(queue_wait=1.0, budget=1.0) == "deadline"
+        assert shedder.shed_reason(queue_wait=2.0, budget=1.0) == "deadline"
+
+    def test_without_observations_only_the_hard_budget_applies(self):
+        shedder = DeadlineAwareShedder()
+        assert shedder.estimated_service_seconds is None
+        assert shedder.shed_reason(queue_wait=0.999, budget=1.0) is None
+
+    def test_predicted_timeout_once_estimate_exceeds_remaining(self):
+        shedder = DeadlineAwareShedder()
+        shedder.observe(0.5)
+        # remaining 0.3 < estimated 0.5 → doomed, shed early
+        assert (
+            shedder.shed_reason(queue_wait=0.7, budget=1.0)
+            == "predicted_timeout"
+        )
+        # remaining 0.6 >= 0.5 → proceed
+        assert shedder.shed_reason(queue_wait=0.4, budget=1.0) is None
+
+    def test_ewma_update(self):
+        shedder = DeadlineAwareShedder(alpha=0.5)
+        shedder.observe(1.0)
+        assert shedder.estimated_service_seconds == pytest.approx(1.0)
+        shedder.observe(0.0)
+        assert shedder.estimated_service_seconds == pytest.approx(0.5)
+
+    def test_safety_factor_zero_disables_prediction(self):
+        shedder = DeadlineAwareShedder(safety_factor=0.0)
+        shedder.observe(100.0)
+        assert shedder.shed_reason(queue_wait=0.5, budget=1.0) is None
+        assert shedder.shed_reason(queue_wait=1.5, budget=1.0) == "deadline"
+
+    def test_safety_factor_scales_the_margin(self):
+        shedder = DeadlineAwareShedder(safety_factor=2.0)
+        shedder.observe(0.2)
+        # remaining 0.3 < 0.2 * 2 → shed
+        assert (
+            shedder.shed_reason(queue_wait=0.7, budget=1.0)
+            == "predicted_timeout"
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="alpha"):
+            DeadlineAwareShedder(alpha=0.0)
+        with pytest.raises(ValueError, match="alpha"):
+            DeadlineAwareShedder(alpha=1.5)
+        with pytest.raises(ValueError, match="safety_factor"):
+            DeadlineAwareShedder(safety_factor=-1.0)

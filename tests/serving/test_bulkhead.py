@@ -1,0 +1,100 @@
+"""Bulkheads: semaphore-bounded compartments with bounded waits."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serving import Bulkhead
+
+
+class TestBulkhead:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_concurrent"):
+            Bulkhead("cf", 0)
+        with pytest.raises(ValueError, match="max_wait_seconds"):
+            Bulkhead("cf", 1, max_wait_seconds=-0.1)
+
+    def test_acquire_release_tracks_active(self):
+        bulkhead = Bulkhead("cf", 2)
+        assert bulkhead.active == 0
+        assert bulkhead.try_acquire()
+        assert bulkhead.active == 1
+        assert not bulkhead.saturated
+        assert bulkhead.try_acquire()
+        assert bulkhead.saturated
+        bulkhead.release()
+        bulkhead.release()
+        assert bulkhead.active == 0
+
+    def test_saturated_compartment_refuses_within_bounded_wait(self):
+        bulkhead = Bulkhead("cf", 1, max_wait_seconds=0.01)
+        assert bulkhead.try_acquire()
+        started = time.perf_counter()
+        assert not bulkhead.try_acquire()
+        assert time.perf_counter() - started < 1.0
+
+    def test_caller_timeout_is_clipped_to_max_wait(self):
+        bulkhead = Bulkhead("cf", 1, max_wait_seconds=0.01)
+        assert bulkhead.try_acquire()
+        started = time.perf_counter()
+        # a huge caller budget must not turn into a huge semaphore wait
+        assert not bulkhead.try_acquire(timeout=30.0)
+        assert time.perf_counter() - started < 1.0
+
+    def test_zero_wait_is_nonblocking(self):
+        bulkhead = Bulkhead("cf", 1, max_wait_seconds=0.5)
+        assert bulkhead.try_acquire()
+        started = time.perf_counter()
+        assert not bulkhead.try_acquire(timeout=0.0)
+        assert time.perf_counter() - started < 0.1
+
+    def test_run_executes_inside_the_compartment(self):
+        bulkhead = Bulkhead("cf", 1)
+        acquired, result = bulkhead.run(lambda: "answer")
+        assert acquired and result == "answer"
+        assert bulkhead.active == 0
+
+    def test_run_reports_saturation_without_raising(self):
+        bulkhead = Bulkhead("cf", 1, max_wait_seconds=0.01)
+        assert bulkhead.try_acquire()
+        acquired, result = bulkhead.run(lambda: "never")
+        assert not acquired and result is None
+        bulkhead.release()
+
+    def test_run_releases_on_exception(self):
+        bulkhead = Bulkhead("cf", 1)
+
+        def boom():
+            raise RuntimeError("handler bug")
+
+        with pytest.raises(RuntimeError):
+            bulkhead.run(boom)
+        assert bulkhead.active == 0
+        assert bulkhead.try_acquire()
+
+    def test_concurrency_never_exceeds_the_limit(self):
+        bulkhead = Bulkhead("cf", 2, max_wait_seconds=1.0)
+        peak = {"value": 0}
+        lock = threading.Lock()
+
+        def worker():
+            for _ in range(20):
+                if not bulkhead.try_acquire(timeout=1.0):
+                    continue
+                try:
+                    with lock:
+                        peak["value"] = max(peak["value"], bulkhead.active)
+                    time.sleep(0.001)
+                finally:
+                    bulkhead.release()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert 1 <= peak["value"] <= 2
+        assert bulkhead.active == 0

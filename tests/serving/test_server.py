@@ -1,0 +1,252 @@
+"""The RecommendationServer: admission, outcomes, lanes, probes, metrics."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.errors import (
+    PredictionImpossibleError,
+    RejectedError,
+    ServingError,
+)
+from repro.serving import (
+    OUTCOMES,
+    RecommendationServer,
+    ServeRequest,
+    TokenBucket,
+    register_serving_metrics,
+)
+from tests.serving.conftest import ScriptedPipeline
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_server(pipeline=None, **overrides) -> RecommendationServer:
+    options = dict(workers=2, queue_size=8, default_bulkhead=2)
+    options.update(overrides)
+    return RecommendationServer(
+        pipeline if pipeline is not None else ScriptedPipeline(), **options
+    )
+
+
+class TestOutcomes:
+    def test_served(self):
+        with make_server() as server:
+            result = server.serve("u1", n=4)
+        assert result.outcome == "served"
+        assert len(result.recommendations) == 4
+        assert result.shed_reason is None and result.error is None
+        assert result.total_s == result.queue_wait_s + result.service_s
+
+    def test_degraded_when_any_item_is(self):
+        with make_server(ScriptedPipeline(script=("degraded",))) as server:
+            result = server.serve("u1")
+        assert result.outcome == "degraded"
+        assert len(result.recommendations) == 3
+
+    def test_failed_on_repro_error(self):
+        pipeline = ScriptedPipeline(
+            script=(PredictionImpossibleError("no neighbours"),)
+        )
+        with make_server(pipeline) as server:
+            result = server.serve("u1")
+        assert result.outcome == "failed"
+        assert result.error == "PredictionImpossibleError"
+        assert result.recommendations == ()
+
+    def test_worker_survives_a_programming_error(self):
+        # a non-ReproError must neither kill the worker nor strand the
+        # client: the request resolves failed, the next one is served
+        pipeline = ScriptedPipeline(script=(ValueError("handler bug"), "ok"))
+        with make_server(pipeline, workers=1) as server:
+            first = server.serve("u1", timeout=5.0)
+            second = server.serve("u2", timeout=5.0)
+        assert first.outcome == "failed"
+        assert first.error == "ValueError"
+        assert second.outcome == "served"
+
+    def test_every_outcome_is_in_the_partition(self):
+        assert set(OUTCOMES) == {"served", "degraded", "shed", "failed"}
+
+
+class TestAdmission:
+    def test_queue_full_rejects_with_backpressure(self):
+        pipeline = ScriptedPipeline()
+        pipeline.gate = threading.Event()
+        server = make_server(pipeline, workers=1, queue_size=1)
+        try:
+            first = server.submit(ServeRequest(user_id="u1"))
+            # wait until the worker has the first job in hand
+            for _ in range(500):
+                if pipeline.calls >= 1:
+                    break
+                threading.Event().wait(0.01)
+            assert pipeline.calls >= 1
+            second = server.submit(ServeRequest(user_id="u2"))
+            with pytest.raises(RejectedError) as excinfo:
+                server.submit(ServeRequest(user_id="u3"))
+            assert excinfo.value.reason == "queue_full"
+            pipeline.gate.set()
+            assert first.result(5.0).outcome == "served"
+            assert second.result(5.0).outcome == "served"
+        finally:
+            pipeline.gate.set()
+            server.close()
+
+    def test_rate_limit_applies_at_the_door(self):
+        bucket = TokenBucket(rate=1.0, burst=1, clock=FakeClock())
+        with make_server(admission=[bucket]) as server:
+            assert server.serve("u1").outcome == "served"
+            with pytest.raises(RejectedError) as excinfo:
+                server.serve("u2")
+        assert excinfo.value.reason == "rate_limited"
+        assert excinfo.value.retry_after_seconds == pytest.approx(1.0)
+
+    def test_rejections_still_count_in_request_totals(self):
+        bucket = TokenBucket(rate=1.0, burst=1, clock=FakeClock())
+        with make_server(admission=[bucket]) as server:
+            server.serve("u1")
+            for _ in range(3):
+                with pytest.raises(RejectedError):
+                    server.serve("u2")
+        requests_total = obs.get_registry().get("repro_requests_total")
+        shed_total = obs.get_registry().get("repro_shed_total")
+        assert requests_total.labels(outcome="shed").value == 3
+        assert shed_total.labels(reason="rate_limited").value == 3
+        assert requests_total.value == 4  # the partition covers everything
+
+    def test_expired_deadline_sheds_at_dequeue(self):
+        pipeline = ScriptedPipeline()
+        pipeline.gate = threading.Event()
+        server = make_server(pipeline, workers=1, queue_size=4)
+        try:
+            blocker = server.submit(ServeRequest(user_id="u1"))
+            for _ in range(500):
+                if pipeline.calls >= 1:
+                    break
+                threading.Event().wait(0.01)
+            # queued behind the blocker with a budget that will be gone
+            doomed = server.submit(
+                ServeRequest(user_id="u2", deadline_seconds=0.01)
+            )
+            threading.Event().wait(0.05)
+            pipeline.gate.set()
+            result = doomed.result(5.0)
+            assert result.outcome == "shed"
+            assert result.shed_reason == "deadline"
+            assert blocker.result(5.0).outcome == "served"
+        finally:
+            pipeline.gate.set()
+            server.close()
+
+
+class TestLanes:
+    def test_routing_and_isolation(self):
+        cf, content = ScriptedPipeline(), ScriptedPipeline()
+        lanes = {"cf": cf, "content": content}
+        with make_server(lanes) as server:
+            server.serve("u1", lane="content")
+            server.serve("u2", lane="content")
+            server.serve("u3", lane="cf")
+        assert content.calls == 2 and cf.calls == 1
+
+    def test_unknown_lane_raises_serving_error(self):
+        with make_server() as server:
+            with pytest.raises(ServingError, match="unknown lane"):
+                server.submit(ServeRequest(user_id="u1", lane="nope"))
+
+    def test_each_lane_gets_its_own_bulkhead(self):
+        lanes = {"cf": ScriptedPipeline(), "content": ScriptedPipeline()}
+        with make_server(
+            lanes, bulkheads={"cf": 1}, default_bulkhead=3
+        ) as server:
+            assert server.bulkheads["cf"].max_concurrent == 1
+            assert server.bulkheads["content"].max_concurrent == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            make_server(workers=0)
+        with pytest.raises(ValueError, match="queue_size"):
+            make_server(queue_size=0)
+        with pytest.raises(ValueError, match="at least one pipeline"):
+            make_server({})
+
+
+class TestHealth:
+    def test_fresh_server_is_live_and_ready(self):
+        with make_server() as server:
+            report = server.health()
+            assert report.live and report.ready
+            assert report.status == "ok"
+            assert report.queue_capacity == 8
+            payload = report.as_dict()
+            assert payload["queue"]["capacity"] == 8
+            assert server.ready()
+
+    def test_queue_pressure_pulls_readiness(self):
+        pipeline = ScriptedPipeline()
+        pipeline.gate = threading.Event()
+        server = make_server(pipeline, workers=1, queue_size=2)
+        try:
+            server.submit(ServeRequest(user_id="u0"))
+            for _ in range(500):
+                if pipeline.calls >= 1:
+                    break
+                threading.Event().wait(0.01)
+            server.submit(ServeRequest(user_id="u1"))
+            server.submit(ServeRequest(user_id="u2"))  # depth 2 of 2
+            report = server.health()
+            assert report.live
+            assert not report.ready
+            assert report.status == "degraded"
+        finally:
+            pipeline.gate.set()
+            server.close()
+
+    def test_unguarded_pipeline_reports_no_breakers(self):
+        with make_server() as server:
+            assert server.breaker_states() == {}
+
+
+class TestMetrics:
+    def test_register_is_idempotent(self):
+        first = register_serving_metrics()
+        second = register_serving_metrics()
+        assert [m.name for m in first] == [m.name for m in second]
+        assert first[0] is second[0]
+
+    def test_latency_recorded_for_admitted_requests_only(self):
+        bucket = TokenBucket(rate=1.0, burst=1, clock=FakeClock())
+        with make_server(admission=[bucket]) as server:
+            server.serve("u1")
+            with pytest.raises(RejectedError):
+                server.serve("u2")
+        latency = obs.get_registry().get("repro_serve_seconds")
+        assert latency.count == 1
+        assert latency.labels(outcome="served").count == 1
+
+
+class TestSpanPropagation:
+    def test_serving_span_parents_to_the_submitting_client(self):
+        sink = obs.InMemorySink()
+        obs.configure(sink=sink)
+        with make_server() as server:
+            with obs.span("client.request") as client_span:
+                server.serve("u1")
+                client_id = client_span.span_id
+        spans = {
+            e["name"]: e for e in sink.events if e.get("event") == "span"
+        }
+        handle = spans["serving.handle"]
+        # the handler ran on a worker thread, yet its span is parented
+        # to the client's active span via the submit-time context copy
+        assert handle["parent_id"] == client_id

@@ -1,0 +1,161 @@
+"""The acceptance stress test: overload with chaos, zero lost requests.
+
+Eight client threads — twice the bulkhead capacity — hammer a real
+resilient pipeline whose primary substrate injects 20% faults.  The
+invariants under test are the serving layer's whole point:
+
+* **zero lost requests** — every request resolves to exactly one of
+  served / degraded / shed / failed, nothing hangs or vanishes;
+* **consistent accounting** — ``repro_requests_total`` summed over its
+  outcome labels equals the number of requests issued;
+* **bounded tail** — p99 end-to-end latency of admitted requests stays
+  inside the configured deadline (the shedder drops what would miss it).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro import obs
+from repro.core import NeighborHistogramExplainer
+from repro.domains import make_movies
+from repro.recsys import PopularityRecommender, UserBasedCF
+from repro.resilience import (
+    BreakerPolicy,
+    ChaosRecommender,
+    ResilientExplainedRecommender,
+    Retry,
+)
+from repro.serving import OUTCOMES, RecommendationServer, run_traffic
+from tests.serving.conftest import ScriptedPipeline
+
+DEADLINE_S = 5.0
+BULKHEAD = 4
+CLIENTS = 2 * BULKHEAD  # the acceptance ratio: 2x bulkhead capacity
+REQUESTS = 80
+
+
+def build_chaotic_pipeline():
+    world = make_movies(n_users=20, n_items=30, seed=7, density=0.3)
+    pipeline = ResilientExplainedRecommender(
+        [
+            ChaosRecommender(UserBasedCF(), failure_rate=0.2, seed=1),
+            PopularityRecommender(),
+        ],
+        NeighborHistogramExplainer(),
+        retry=Retry(max_attempts=3, base_delay=0.0, seed=0),
+        breaker=BreakerPolicy(failure_threshold=8, reset_timeout=0.05),
+    )
+    pipeline.fit(world.dataset)
+    return world, pipeline
+
+
+class TestOverloadWithChaos:
+    def test_zero_lost_requests_and_consistent_accounting(self):
+        world, pipeline = build_chaotic_pipeline()
+        server = RecommendationServer(
+            pipeline,
+            workers=4,
+            queue_size=32,
+            default_bulkhead=BULKHEAD,
+            default_deadline_seconds=DEADLINE_S,
+        )
+        try:
+            report = run_traffic(
+                server,
+                list(world.dataset.users),
+                requests=REQUESTS,
+                clients=CLIENTS,
+                n=3,
+                deadline_seconds=DEADLINE_S,
+                seed=3,
+            )
+        finally:
+            drain = server.close()
+
+        # zero lost requests: the outcome buckets partition every
+        # request issued — nothing hung, nothing vanished
+        assert sum(report.outcomes.values()) == REQUESTS
+        assert set(report.outcomes) <= set(OUTCOMES)
+        assert (
+            report.outcomes.get("served", 0)
+            + report.outcomes.get("degraded", 0)
+            > 0
+        )
+
+        # consistent metric accounting: the labelled counter sums to
+        # the request count, and the label partition agrees with itself
+        requests_total = obs.get_registry().get("repro_requests_total")
+        per_outcome = {
+            outcome: requests_total.labels(outcome=outcome).value
+            for outcome in OUTCOMES
+        }
+        assert sum(per_outcome.values()) == REQUESTS
+        assert requests_total.value == REQUESTS
+        shed_total = obs.get_registry().get("repro_shed_total")
+        assert shed_total.value == per_outcome["shed"]
+
+        # bounded tail: admitted requests resolved inside the deadline
+        assert report.p99_s <= DEADLINE_S
+
+        # the drain found nothing left behind
+        assert drain.clean
+        assert drain.shed_queued == 0
+
+    def test_overload_with_a_tiny_queue_still_loses_nothing(self):
+        # deliberately undersized everything: rejections and sheds are
+        # the common case, yet the arithmetic still closes
+        pipeline = ScriptedPipeline(delay=0.002)
+        server = RecommendationServer(
+            pipeline,
+            workers=2,
+            queue_size=2,
+            default_bulkhead=1,
+            bulkhead_max_wait=0.005,
+            default_deadline_seconds=0.05,
+        )
+        try:
+            report = run_traffic(
+                server,
+                ["u1", "u2", "u3"],
+                requests=60,
+                clients=8,
+                deadline_seconds=0.05,
+                seed=11,
+            )
+        finally:
+            server.close()
+        assert sum(report.outcomes.values()) == 60
+        assert obs.get_registry().get("repro_requests_total").value == 60
+
+    def test_concurrent_submitters_never_tear_the_queue_accounting(self):
+        pipeline = ScriptedPipeline()
+        server = RecommendationServer(
+            pipeline, workers=2, queue_size=4, default_bulkhead=2
+        )
+        resolved = []
+        resolved_lock = threading.Lock()
+
+        def client(index: int) -> None:
+            from repro.errors import RejectedError
+
+            for round_index in range(10):
+                try:
+                    result = server.serve(f"u{index}", timeout=5.0)
+                except RejectedError:
+                    with resolved_lock:
+                        resolved.append("rejected")
+                    continue
+                with resolved_lock:
+                    resolved.append(result.outcome)
+
+        threads = [
+            threading.Thread(target=client, args=(index,)) for index in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        server.close()
+        assert len(resolved) == 80
+        assert obs.get_registry().get("repro_requests_total").value == 80

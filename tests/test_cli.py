@@ -145,6 +145,73 @@ class TestMetricsCommand:
         assert obs.get_registry().get("repro_chaos_injected_total") is None
 
 
+class TestServeCommand:
+    def test_parser_defaults(self):
+        arguments = build_parser().parse_args(["serve"])
+        assert arguments.command == "serve"
+        assert arguments.requests == 120
+        assert arguments.clients == 8
+        assert arguments.workers == 4
+        assert arguments.queue_size == 32
+        assert arguments.bulkhead == 2
+        assert arguments.rate == 0.0
+        assert arguments.deadline == 2.0
+        assert arguments.drain_seconds == 5.0
+
+    def test_parser_accepts_overrides(self):
+        arguments = build_parser().parse_args(
+            ["serve", "--requests", "10", "--clients", "2", "--workers",
+             "2", "--queue-size", "4", "--bulkhead", "1", "--rate", "50",
+             "--deadline", "0.5", "--drain-seconds", "1.0"]
+        )
+        assert arguments.requests == 10
+        assert arguments.clients == 2
+        assert arguments.rate == 50.0
+        assert arguments.deadline == 0.5
+
+    def test_serve_runs_and_reports(self, capsys):
+        assert main(
+            ["serve", "--requests", "8", "--clients", "2",
+             "--workers", "2"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "requests       8 over 2 client(s)" in output
+        assert "shed rate" in output
+        assert "drain" in output and "clean=True" in output
+        assert "final health   status=closed live=False" in output
+
+    def test_serve_populates_the_serving_metrics(self, capsys):
+        assert main(
+            ["serve", "--requests", "6", "--clients", "2",
+             "--workers", "2"]
+        ) == 0
+        capsys.readouterr()
+        registry = obs.get_registry()
+        assert registry.get("repro_requests_total").value == 6
+        assert registry.get("repro_serve_seconds") is not None
+
+    def test_serve_under_chaos_loses_nothing(self, capsys):
+        assert main(
+            ["--chaos-rate", "0.3", "serve", "--requests", "10",
+             "--clients", "4", "--workers", "2"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "requests       10 over 4 client(s)" in output
+        assert obs.get_registry().get("repro_requests_total").value == 10
+
+
+class TestServingMetricsExposition:
+    def test_metrics_workload_registers_serving_families(self, capsys):
+        assert main(["metrics"]) == 0
+        output = capsys.readouterr().out
+        assert "# TYPE repro_requests_total counter" in output
+        assert "# TYPE repro_shed_total counter" in output
+        assert "# TYPE repro_queue_depth gauge" in output
+        assert "# TYPE repro_inflight gauge" in output
+        assert "# TYPE repro_serve_seconds histogram" in output
+        assert 'repro_requests_total{outcome="served"}' in output
+
+
 class TestTraceFlag:
     def test_demo_writes_valid_jsonl_spans(self, tmp_path, capsys):
         trace_path = tmp_path / "trace.jsonl"

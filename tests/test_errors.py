@@ -15,8 +15,11 @@ from repro.errors import (
     NotFittedError,
     ObservabilityError,
     PredictionImpossibleError,
+    RejectedError,
     ReproError,
     RetryExhaustedError,
+    ServerClosedError,
+    ServingError,
     UnknownItemError,
     UnknownUserError,
 )
@@ -35,6 +38,9 @@ ALL_ERRORS = (
     CircuitOpenError,
     DeadlineExceededError,
     InjectedFaultError,
+    ServingError,
+    RejectedError,
+    ServerClosedError,
 )
 
 
@@ -47,6 +53,10 @@ class TestHierarchy:
     def test_data_errors_nest_under_data_error(self):
         assert issubclass(UnknownUserError, DataError)
         assert issubclass(UnknownItemError, DataError)
+
+    def test_serving_errors_nest_under_serving_error(self):
+        assert issubclass(RejectedError, ServingError)
+        assert issubclass(ServerClosedError, ServingError)
 
     def test_single_except_clause_catches_everything(self):
         caught = []
@@ -63,12 +73,14 @@ class TestHierarchy:
             CircuitOpenError("UserBasedCF", open_until=12.5),
             DeadlineExceededError(deadline_seconds=1.0, elapsed_seconds=1.2),
             InjectedFaultError("chaos"),
+            RejectedError(reason="queue_full", retry_after_seconds=0.1),
+            ServerClosedError("repro-server"),
         ):
             try:
                 raise error
             except ReproError as exc:
                 caught.append(exc)
-        assert len(caught) == 12
+        assert len(caught) == 14
 
     def test_base_error_is_not_a_builtin_alias(self):
         assert not issubclass(ReproError, (ValueError, RuntimeError))
@@ -116,6 +128,25 @@ class TestResilienceErrors:
         assert error.elapsed_seconds == 0.31
         assert "0.250" in str(error)
         assert "0.310" in str(error)
+
+
+class TestServingErrors:
+    def test_rejected_carries_reason_and_hint(self):
+        error = RejectedError(reason="queue_full", retry_after_seconds=0.25)
+        assert error.reason == "queue_full"
+        assert error.retry_after_seconds == 0.25
+        assert "queue_full" in str(error)
+        assert "0.250" in str(error)
+
+    def test_rejected_without_hint_has_clean_message(self):
+        error = RejectedError(reason="draining")
+        assert error.retry_after_seconds is None
+        assert str(error) == "request rejected (draining)"
+
+    def test_server_closed_carries_the_server_name(self):
+        error = ServerClosedError("repro-server")
+        assert error.server_name == "repro-server"
+        assert "repro-server" in str(error)
 
 
 class TestObservabilityError:
