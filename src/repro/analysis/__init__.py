@@ -1,0 +1,68 @@
+"""repro.analysis — the stack's self-hosted static analyzer.
+
+The rest of the repro stack is built around invariants that Python will
+not enforce for you: locks are held briefly and never across blocking
+calls, randomness under the resilience/serving/evaluation layers is
+seeded (determinism is what makes chaos tests and studies replayable),
+metric internals mutate only behind their locked helpers, the
+serving/resilience layers raise the :mod:`repro.errors` taxonomy rather
+than bare builtins, and every :class:`ExplainedRecommendation` says
+whether it is degraded.  This package checks those invariants as AST
+lints — rules RR001–RR005 plus the RR006 cross-module lock-ordering
+analyzer — and gates them in CI via ``python -m repro analyze``.
+
+Findings are matched against a committed suppression baseline
+(``analysis-baseline.txt``) so intentional exceptions are explicit and
+justified while every *new* violation fails the build.
+
+>>> from repro.analysis import run_analysis
+>>> result = run_analysis(["src/repro"], baseline_path="analysis-baseline.txt")
+>>> result.ok
+True
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry, partition_findings
+from repro.analysis.engine import (
+    Analyzer,
+    Finding,
+    ModuleInfo,
+    Rule,
+    analyze_source,
+)
+from repro.analysis.lockgraph import LockOrderingRule
+from repro.analysis.report import (
+    AnalysisResult,
+    render_json,
+    render_text,
+    run_analysis,
+)
+from repro.analysis.rules import (
+    BlockingCallUnderLockRule,
+    ExceptionDisciplineRule,
+    MetricInternalsRule,
+    TypedApiRule,
+    UnseededRandomnessRule,
+    default_rules,
+)
+
+__all__ = [
+    "Analyzer",
+    "AnalysisResult",
+    "Baseline",
+    "BaselineEntry",
+    "BlockingCallUnderLockRule",
+    "ExceptionDisciplineRule",
+    "Finding",
+    "LockOrderingRule",
+    "MetricInternalsRule",
+    "ModuleInfo",
+    "Rule",
+    "TypedApiRule",
+    "UnseededRandomnessRule",
+    "analyze_source",
+    "default_rules",
+    "partition_findings",
+    "render_json",
+    "render_text",
+    "run_analysis",
+]

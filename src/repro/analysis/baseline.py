@@ -1,0 +1,151 @@
+"""Suppression baselines for :mod:`repro.analysis`.
+
+A baseline is the committed list of *accepted* findings: intentional
+exceptions to the rules, each with a human justification.  The analyzer
+then fails only on findings **not** in the baseline, which is what makes
+a strict rule set adoptable on an existing codebase — you freeze the
+known debt and gate every new violation.
+
+File format, one entry per line::
+
+    RR001 repro/obs/sinks.py JsonlSink.emit stream-write-under-lock  # the lock exists to serialise the stream
+
+* the first four whitespace-separated tokens are the finding
+  fingerprint (rule id, path, scope, slug — no line numbers, so the
+  baseline survives reformatting);
+* everything after ``#`` is the justification (required: an exception
+  nobody can explain is not an exception, it is a bug);
+* blank lines and full-line comments are ignored.
+
+Malformed entries raise :class:`~repro.errors.AnalysisError` — a
+baseline that silently drops entries would un-suppress or over-suppress
+without anyone noticing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.engine import Finding
+from repro.errors import AnalysisError
+
+__all__ = ["BaselineEntry", "Baseline", "partition_findings"]
+
+#: Number of whitespace-separated tokens in a fingerprint.
+_FINGERPRINT_TOKENS = 4
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding: its fingerprint plus the justification."""
+
+    fingerprint: str
+    justification: str
+
+    def format(self) -> str:
+        """The entry's canonical on-disk line."""
+        return f"{self.fingerprint}  # {self.justification}"
+
+
+class Baseline:
+    """The set of accepted finding fingerprints."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()) -> None:
+        self.entries: list[BaselineEntry] = list(entries)
+        self._by_fingerprint = {
+            entry.fingerprint: entry for entry in self.entries
+        }
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._by_fingerprint
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def parse(cls, text: str, *, origin: str = "<baseline>") -> Baseline:
+        """Parse baseline text; malformed lines raise AnalysisError."""
+        entries: list[BaselineEntry] = []
+        seen: set[str] = set()
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            body, _, justification = line.partition("#")
+            tokens = body.split()
+            if len(tokens) != _FINGERPRINT_TOKENS:
+                raise AnalysisError(
+                    f"{origin}:{lineno}: malformed baseline entry "
+                    f"(expected 'RULE PATH SCOPE SLUG  # why', got "
+                    f"{line!r})"
+                )
+            justification = justification.strip()
+            if not justification:
+                raise AnalysisError(
+                    f"{origin}:{lineno}: baseline entry has no "
+                    f"justification comment — every accepted finding "
+                    f"must say why it is acceptable"
+                )
+            fingerprint = " ".join(tokens)
+            if fingerprint in seen:
+                raise AnalysisError(
+                    f"{origin}:{lineno}: duplicate baseline entry "
+                    f"{fingerprint!r}"
+                )
+            seen.add(fingerprint)
+            entries.append(BaselineEntry(fingerprint, justification))
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: str | Path, *, required: bool = True) -> Baseline:
+        """Load a baseline file.
+
+        With ``required=False`` a missing file yields an empty baseline
+        (the default path simply may not exist yet); with
+        ``required=True`` it raises, because an explicitly named
+        baseline that is absent is an operator error, not an empty set.
+        """
+        path = Path(path)
+        if not path.exists():
+            if required:
+                raise AnalysisError(f"baseline file not found: {path}")
+            return cls()
+        return cls.parse(
+            path.read_text(encoding="utf-8"), origin=str(path)
+        )
+
+    def stale_entries(
+        self, findings: Sequence[Finding]
+    ) -> list[BaselineEntry]:
+        """Entries whose finding no longer occurs (candidates to delete)."""
+        live = {finding.fingerprint for finding in findings}
+        return [
+            entry
+            for entry in self.entries
+            if entry.fingerprint not in live
+        ]
+
+    def format(self, header: str | None = None) -> str:
+        """Render the baseline back to its on-disk text."""
+        lines: list[str] = []
+        if header:
+            lines.extend(f"# {line}".rstrip() for line in header.splitlines())
+            lines.append("")
+        lines.extend(entry.format() for entry in self.entries)
+        return "\n".join(lines) + "\n"
+
+
+def partition_findings(
+    findings: Sequence[Finding], baseline: Baseline
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into ``(new, baselined)`` against a baseline."""
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in findings:
+        if finding.fingerprint in baseline:
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    return new, baselined

@@ -1,0 +1,420 @@
+"""The rule-engine core of :mod:`repro.analysis`.
+
+An :class:`Analyzer` parses Python sources into ASTs and runs a set of
+:class:`Rule` visitors over them.  Rules are :class:`ast.NodeVisitor`
+subclasses with per-rule metadata (id, severity, rationale, fix hint);
+the base class maintains the scope stack (enclosing class / function
+qualname) every rule needs to report stable findings, plus hooks for
+rules that track state across function boundaries.
+
+Findings are plain data (:class:`Finding`) with a *fingerprint* —
+``rule_id path scope slug`` — deliberately excluding line numbers, so a
+committed suppression baseline survives unrelated edits to the same
+file (see :mod:`repro.analysis.baseline`).
+
+A file that fails to parse yields an ``RR000`` finding rather than
+aborting the run: a syntax error in one module must not hide the
+findings in every other.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import AnalysisError
+
+__all__ = [
+    "Finding",
+    "ModuleInfo",
+    "Rule",
+    "Analyzer",
+    "analyze_source",
+    "dotted_name",
+    "lock_label",
+    "iter_python_files",
+    "SEVERITIES",
+]
+
+#: Recognised severities, least severe first.
+SEVERITIES: tuple[str, ...] = ("warning", "error")
+
+#: Name fragments that mark a ``with`` context expression as a lock
+#: acquisition (``self._lock``, ``registry._lock``, ``self._semaphore``).
+_LOCKY_FRAGMENTS: tuple[str, ...] = ("lock", "mutex", "semaphore")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``scope`` is the enclosing qualname (``Class.method``, a function
+    name, or ``<module>``); ``slug`` is a short, whitespace-free token
+    identifying *what* was flagged inside that scope.  Together with the
+    rule id and path they form the :attr:`fingerprint` the suppression
+    baseline matches on — line and column are display-only, so baselines
+    survive reformatting.
+    """
+
+    rule_id: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    scope: str
+    slug: str
+    message: str
+    fix_hint: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """The baseline-matching identity of this finding."""
+        return f"{self.rule_id} {self.path} {self.scope} {self.slug}"
+
+    def as_dict(self) -> dict:
+        """JSON-friendly representation (the JSON reporter's unit)."""
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "scope": self.scope,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One parsed source module handed to every rule."""
+
+    path: Path
+    rel_path: str
+    package: str
+    source: str
+    tree: ast.Module
+
+
+def dotted_name(node: ast.expr | None) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def lock_label(expr: ast.expr, class_name: str | None = None) -> str | None:
+    """A canonical label when ``expr`` looks like a lock acquisition.
+
+    ``with self._lock:`` inside class ``C`` labels as ``C._lock`` so the
+    same lock object gets the same node in the cross-module acquisition
+    graph regardless of which method touched it.  Non-lock expressions
+    return ``None``.
+    """
+    name = dotted_name(expr)
+    if name is None:
+        return None
+    terminal = name.rsplit(".", 1)[-1].lower()
+    if not any(fragment in terminal for fragment in _LOCKY_FRAGMENTS):
+        return None
+    if name.startswith("self.") and class_name:
+        return f"{class_name}.{name[len('self.'):]}"
+    return name
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for all analysis rules.
+
+    Subclasses set the metadata class attributes and implement the
+    ``visit_*`` methods they need; the base class keeps the class /
+    function scope stacks current and exposes :meth:`report` for
+    emitting findings.  Cross-module rules accumulate state during
+    :meth:`check_module` calls and emit from :meth:`finish`.
+    """
+
+    rule_id: str = "RR000"
+    name: str = "unnamed-rule"
+    severity: str = "error"
+    rationale: str = ""
+    fix_hint: str = ""
+
+    def __init__(self) -> None:
+        self._findings: list[Finding] = []
+        self._module: ModuleInfo | None = None
+        self._class_stack: list[str] = []
+        self._scope_stack: list[str] = []
+        self._function_depth = 0
+
+    @classmethod
+    def meta(cls) -> dict:
+        """The rule's catalog entry (id, severity, rationale, hint)."""
+        return {
+            "id": cls.rule_id,
+            "name": cls.name,
+            "severity": cls.severity,
+            "rationale": cls.rationale,
+            "fix_hint": cls.fix_hint,
+        }
+
+    # -- per-module driver ------------------------------------------------
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        """Whether this rule inspects the given module at all."""
+        return True
+
+    def check_module(self, module: ModuleInfo) -> list[Finding]:
+        """Run the rule over one module; returns its findings."""
+        if not self.applies_to(module):
+            return []
+        self._module = module
+        self._class_stack = []
+        self._scope_stack = []
+        self._function_depth = 0
+        self._findings = []
+        self.visit(module.tree)
+        findings, self._findings = self._findings, []
+        return findings
+
+    def finish(self) -> list[Finding]:
+        """Findings that need the whole project (cross-module rules)."""
+        return []
+
+    # -- scope tracking ---------------------------------------------------
+
+    @property
+    def module(self) -> ModuleInfo:
+        """The module currently being visited."""
+        assert self._module is not None
+        return self._module
+
+    @property
+    def scope(self) -> str:
+        """Qualname of the enclosing class/function, or ``<module>``."""
+        return ".".join(self._scope_stack) or "<module>"
+
+    @property
+    def current_class(self) -> str | None:
+        """Name of the innermost enclosing class, if any."""
+        return self._class_stack[-1] if self._class_stack else None
+
+    @property
+    def in_function(self) -> bool:
+        """Whether the visitor is inside any function body."""
+        return self._function_depth > 0
+
+    def enter_function(self, node: ast.AST) -> None:
+        """Hook: called when a function scope is entered."""
+
+    def exit_function(self, node: ast.AST) -> None:
+        """Hook: called when a function scope is left."""
+
+    def handle_function(self, node: ast.AST) -> None:
+        """Hook: called on every function definition, scope not yet open."""
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self._scope_stack.append(node.name)
+        self.generic_visit(node)
+        self._scope_stack.pop()
+        self._class_stack.pop()
+
+    def _visit_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        self.handle_function(node)
+        self._scope_stack.append(node.name)
+        self._function_depth += 1
+        self.enter_function(node)
+        self.generic_visit(node)
+        self.exit_function(node)
+        self._function_depth -= 1
+        self._scope_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    # -- reporting --------------------------------------------------------
+
+    def report(
+        self,
+        node: ast.AST,
+        message: str,
+        slug: str,
+        severity: str | None = None,
+        fix_hint: str | None = None,
+        scope: str | None = None,
+        module: ModuleInfo | None = None,
+    ) -> None:
+        """Emit one finding at the given node's location."""
+        module = module if module is not None else self.module
+        self._findings.append(
+            Finding(
+                rule_id=self.rule_id,
+                severity=severity if severity is not None else self.severity,
+                path=module.rel_path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                scope=scope if scope is not None else self.scope,
+                slug=slug,
+                message=message,
+                fix_hint=fix_hint if fix_hint is not None else self.fix_hint,
+            )
+        )
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[tuple[Path, str]]:
+    """Yield ``(file_path, rel_path)`` for every ``.py`` under ``paths``.
+
+    ``rel_path`` is the stable posix path used in findings: for a
+    directory argument it is ``<dirname>/<relative>`` (scanning
+    ``src/repro`` yields ``repro/serving/server.py``); for a file
+    argument it is the bare file name.  Raises
+    :class:`~repro.errors.AnalysisError` for nonexistent paths.
+    """
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            yield root, root.name
+        elif root.is_dir():
+            for file_path in sorted(root.rglob("*.py")):
+                rel = file_path.relative_to(root).as_posix()
+                yield file_path, f"{root.name}/{rel}"
+        else:
+            raise AnalysisError(f"no such analysis target: {root}")
+
+
+def _guess_package(file_path: Path, rel_path: str) -> str:
+    """Dotted module name, anchored at the last ``repro`` path component."""
+    parts = list(file_path.parts)
+    parts[-1] = file_path.stem
+    if parts[-1] == "__init__":
+        parts.pop()
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        return ".".join(parts[anchor:])
+    rel_parts = list(Path(rel_path).parts)
+    rel_parts[-1] = Path(rel_path).stem
+    if rel_parts[-1] == "__init__":
+        rel_parts.pop()
+    return ".".join(rel_parts)
+
+
+class Analyzer:
+    """Runs a set of rules over a set of paths.
+
+    With ``rules=None`` the project rule set from
+    :func:`repro.analysis.rules.default_rules` (plus the lock-ordering
+    analyzer) is used.  Rules are stateful visitors, so each
+    :class:`Analyzer` builds fresh instances and is single-use per
+    :meth:`run` family of calls only in the cross-module sense — call
+    sites should construct one analyzer per run.
+    """
+
+    def __init__(self, rules: Sequence[Rule] | None = None) -> None:
+        if rules is None:
+            from repro.analysis.rules import default_rules
+
+            rules = default_rules()
+        self.rules: tuple[Rule, ...] = tuple(rules)
+
+    def load_module(
+        self,
+        source: str,
+        file_path: Path,
+        rel_path: str,
+        package: str | None = None,
+    ) -> ModuleInfo | Finding:
+        """Parse one source; a syntax error becomes an ``RR000`` finding."""
+        try:
+            tree = ast.parse(source, filename=str(file_path))
+        except SyntaxError as error:
+            return Finding(
+                rule_id="RR000",
+                severity="error",
+                path=rel_path,
+                line=error.lineno or 0,
+                col=error.offset or 0,
+                scope="<module>",
+                slug="syntax-error",
+                message=f"file does not parse: {error.msg}",
+                fix_hint="fix the syntax error so the analyzer can see the file",
+            )
+        return ModuleInfo(
+            path=file_path,
+            rel_path=rel_path,
+            package=(
+                package
+                if package is not None
+                else _guess_package(file_path, rel_path)
+            ),
+            source=source,
+            tree=tree,
+        )
+
+    def run(self, paths: Iterable[str | Path]) -> list[Finding]:
+        """Analyze every Python file under ``paths``; returns findings."""
+        findings: list[Finding] = []
+        modules: list[ModuleInfo] = []
+        for file_path, rel_path in iter_python_files(paths):
+            try:
+                source = file_path.read_text(encoding="utf-8")
+            except OSError as error:
+                raise AnalysisError(
+                    f"cannot read {file_path}: {error}"
+                ) from error
+            loaded = self.load_module(source, file_path, rel_path)
+            if isinstance(loaded, Finding):
+                findings.append(loaded)
+            else:
+                modules.append(loaded)
+        for module in modules:
+            for rule in self.rules:
+                findings.extend(rule.check_module(module))
+        for rule in self.rules:
+            findings.extend(rule.finish())
+        findings.sort(
+            key=lambda f: (f.path, f.line, f.col, f.rule_id, f.slug)
+        )
+        return findings
+
+
+def analyze_source(
+    source: str,
+    *,
+    rel_path: str = "module.py",
+    package: str | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Analyze one in-memory source string (the test fixture entry point).
+
+    ``package`` sets the dotted module name the scoped rules match
+    against (e.g. ``"repro.resilience.fake"`` to put the snippet inside
+    the determinism-invariant scope).
+    """
+    analyzer = Analyzer(rules=rules)
+    loaded = analyzer.load_module(
+        source, Path(rel_path), rel_path, package=package
+    )
+    if isinstance(loaded, Finding):
+        findings = [loaded]
+        for rule in analyzer.rules:
+            findings.extend(rule.finish())
+        return findings
+    findings = []
+    for rule in analyzer.rules:
+        findings.extend(rule.check_module(loaded))
+    for rule in analyzer.rules:
+        findings.extend(rule.finish())
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id, f.slug))
+    return findings

@@ -1,0 +1,315 @@
+"""RR006: the cross-module lock-ordering analyzer.
+
+Deadlock by lock-order inversion is the one concurrency bug a test
+suite is worst at catching — it needs the exact interleaving — and the
+serving stack holds locks across module boundaries (a server worker
+resolving a request increments locked metrics; a breaker transition
+emits a tracer event into a locked sink while holding the breaker
+lock).  This analyzer builds the **lock acquisition graph** across
+every analyzed module and flags cycles, which are *potential*
+deadlocks: two threads taking the cycle's locks in different orders can
+each block on the lock the other holds.
+
+Construction, best-effort and name-based (this is a lint, not a proof):
+
+* a ``with <lock>:`` statement acquires the lock labelled by
+  :func:`~repro.analysis.engine.lock_label` (``Class._lock`` for
+  ``self._lock``);
+* an acquisition nested inside held locks adds edges *held → acquired*
+  for every lock currently held;
+* a call made while holding a lock adds edges from the held locks to
+  every lock *reachable* from any analyzed function of the same
+  terminal name — reachability follows the (name-matched) call graph
+  to a fixpoint, so ``with self._state_lock: self._reject(...)`` picks
+  up the metric-lock acquisition inside the counter ``inc`` that
+  ``_reject`` performs.
+
+Name matching is deliberately conservative: calls to ultra-generic
+method names on objects other than ``self`` (``close``, ``get``,
+``put``, ``flush``, ...) are *not* followed, because stdlib objects
+(streams, queues, threads) collide with analyzed classes on exactly
+those names and would fabricate edges — e.g. ``self._stream.close()``
+inside a sink must not look like a call to the server's ``close``.
+
+Cycles are reported once per strongly connected component with the
+participating locks and the acquisition sites of every edge inside it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.engine import (
+    Finding,
+    Rule,
+    dotted_name,
+    lock_label,
+)
+
+__all__ = ["LockOrderingRule", "EdgeSite"]
+
+#: Method names too generic to follow on a non-``self`` receiver:
+#: streams, queues, threads and events all collide here.
+_GENERIC_CALLEES = frozenset(
+    {
+        "close", "get", "put", "run", "join", "wait", "flush", "write",
+        "read", "open", "acquire", "release", "start", "stop", "next",
+        "send", "set", "pop", "append", "add", "update", "clear", "copy",
+        "items", "keys", "values", "sort",
+    }
+)
+
+
+@dataclass(frozen=True)
+class EdgeSite:
+    """Where one *held → acquired* edge was observed."""
+
+    path: str
+    line: int
+    scope: str
+    via_call: str | None = None
+
+
+def _callee_name(node: ast.Call) -> str | None:
+    """The call's terminal name when it is safe to name-match, else None."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        owner = dotted_name(func.value)
+        if owner is None:
+            return None
+        if owner != "self" and func.attr in _GENERIC_CALLEES:
+            return None
+        return func.attr
+    return None
+
+
+class LockOrderingRule(Rule):
+    """RR006: potential deadlock cycles in the lock acquisition graph."""
+
+    rule_id = "RR006"
+    name = "lock-ordering-cycle"
+    severity = "error"
+    rationale = (
+        "Two threads acquiring the same locks in different orders can "
+        "each block on the lock the other holds; a cycle in the "
+        "acquisition graph is the static signature of that deadlock."
+    )
+    fix_hint = (
+        "impose one global acquisition order (document it), or narrow "
+        "one of the lock scopes so the nested acquisition happens "
+        "outside the outer hold"
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._held: list[str] = []
+        self._saved: list[list[str]] = []
+        # function qualname -> locks it acquires directly in its body
+        self._acquired_by: dict[str, set[str]] = {}
+        # function qualname -> callee terminal names used in its body
+        self._calls_by: dict[str, set[str]] = {}
+        # direct nesting edges: (held, acquired) -> first site
+        self._edges: dict[tuple[str, str], EdgeSite] = {}
+        # calls made while holding: (held, callee terminal, site)
+        self._calls_under_lock: list[tuple[str, str, EdgeSite]] = []
+
+    # -- collection -------------------------------------------------------
+
+    def enter_function(self, node: ast.AST) -> None:
+        self._saved.append(self._held)
+        self._held = []
+
+    def exit_function(self, node: ast.AST) -> None:
+        self._held = self._saved.pop()
+
+    @property
+    def _qualname(self) -> str:
+        return f"{self.module.package}.{self.scope}"
+
+    def _site(self, node: ast.AST, via_call: str | None = None) -> EdgeSite:
+        return EdgeSite(
+            path=self.module.rel_path,
+            line=getattr(node, "lineno", 0),
+            scope=self._qualname,
+            via_call=via_call,
+        )
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        labels = []
+        for item in node.items:
+            label = lock_label(item.context_expr, self.current_class)
+            if label is None:
+                continue
+            if self.in_function:
+                self._acquired_by.setdefault(self._qualname, set()).add(
+                    label
+                )
+            for held in self._held:
+                if held != label:
+                    self._edges.setdefault(
+                        (held, label), self._site(item.context_expr)
+                    )
+            labels.append(label)
+        self._held.extend(labels)
+        self.generic_visit(node)
+        if labels:
+            del self._held[-len(labels):]
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = _callee_name(node)
+        if callee is not None:
+            if self.in_function:
+                self._calls_by.setdefault(self._qualname, set()).add(callee)
+            if self._held:
+                site = self._site(node, via_call=callee)
+                for held in self._held:
+                    self._calls_under_lock.append((held, callee, site))
+        self.generic_visit(node)
+
+    # -- graph ------------------------------------------------------------
+
+    def _reachable_locks(self) -> dict[str, set[str]]:
+        """Locks reachable from each callee terminal name (fixpoint)."""
+        direct: dict[str, set[str]] = {}
+        calls: dict[str, set[str]] = {}
+        for qualname, locks in self._acquired_by.items():
+            terminal = qualname.rsplit(".", 1)[-1]
+            direct.setdefault(terminal, set()).update(locks)
+        for qualname, callees in self._calls_by.items():
+            terminal = qualname.rsplit(".", 1)[-1]
+            calls.setdefault(terminal, set()).update(callees)
+        reachable = {name: set(locks) for name, locks in direct.items()}
+        changed = True
+        while changed:
+            changed = False
+            for name, callees in calls.items():
+                bucket = reachable.setdefault(name, set())
+                before = len(bucket)
+                for callee in callees:
+                    if callee != name:
+                        bucket.update(reachable.get(callee, ()))
+                if len(bucket) != before:
+                    changed = True
+        return reachable
+
+    def graph(self) -> dict[tuple[str, str], EdgeSite]:
+        """The full acquisition graph collected so far (edge → site)."""
+        merged: dict[tuple[str, str], EdgeSite] = {}
+        reachable = self._reachable_locks()
+        for held, callee, site in self._calls_under_lock:
+            for label in reachable.get(callee, ()):
+                if label != held:
+                    merged.setdefault((held, label), site)
+        merged.update(self._edges)
+        return merged
+
+    @staticmethod
+    def _cycles(adjacency: dict[str, set[str]]) -> list[tuple[str, ...]]:
+        """Strongly connected components that contain at least one edge."""
+        index_counter = [0]
+        stack: list[str] = []
+        on_stack: set[str] = set()
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        components: list[tuple[str, ...]] = []
+
+        def strongconnect(root: str) -> None:
+            # Iterative Tarjan: (node, neighbour iterator) frames.
+            index[root] = low[root] = index_counter[0]
+            index_counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            work = [(root, iter(sorted(adjacency.get(root, ()))))]
+            while work:
+                current, neighbours = work[-1]
+                advanced = False
+                for neighbour in neighbours:
+                    if neighbour not in index:
+                        index[neighbour] = low[neighbour] = index_counter[0]
+                        index_counter[0] += 1
+                        stack.append(neighbour)
+                        on_stack.add(neighbour)
+                        work.append(
+                            (
+                                neighbour,
+                                iter(sorted(adjacency.get(neighbour, ()))),
+                            )
+                        )
+                        advanced = True
+                        break
+                    if neighbour in on_stack:
+                        low[current] = min(low[current], index[neighbour])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[current])
+                if low[current] == index[current]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == current:
+                            break
+                    if len(component) > 1 or current in adjacency.get(
+                        current, ()
+                    ):
+                        components.append(tuple(sorted(component)))
+
+        for node in sorted(adjacency):
+            if node not in index:
+                strongconnect(node)
+        return components
+
+    def finish(self) -> list[Finding]:
+        edges = self.graph()
+        adjacency: dict[str, set[str]] = {}
+        for held, acquired in edges:
+            adjacency.setdefault(held, set()).add(acquired)
+        findings: list[Finding] = []
+        for component in self._cycles(adjacency):
+            members = set(component)
+            cycle_edges = sorted(
+                (edge, site)
+                for edge, site in edges.items()
+                if edge[0] in members and edge[1] in members
+            )
+            representative = cycle_edges[0][1]
+            detail = "; ".join(
+                f"{held} -> {acquired} at {site.path}:{site.line}"
+                + (f" (via {site.via_call})" if site.via_call else "")
+                for (held, acquired), site in cycle_edges
+            )
+            findings.append(
+                Finding(
+                    rule_id=self.rule_id,
+                    severity=self.severity,
+                    path=representative.path,
+                    line=representative.line,
+                    col=0,
+                    scope="<lockgraph>",
+                    slug="->".join(component),
+                    message=(
+                        f"potential deadlock: lock-order cycle between "
+                        f"{', '.join(component)} ({detail})"
+                    ),
+                    fix_hint=self.fix_hint,
+                )
+            )
+        # A stateful cross-module rule is single-use per run.
+        self._acquired_by = {}
+        self._calls_by = {}
+        self._edges = {}
+        self._calls_under_lock = []
+        return findings

@@ -1,0 +1,161 @@
+"""Reporters and the high-level orchestrator for :mod:`repro.analysis`.
+
+:func:`run_analysis` is the one call site the CLI (and the self-check
+test) needs: analyze paths, apply the suppression baseline, and return
+an :class:`AnalysisResult` that knows how to render itself as text (for
+humans) or JSON (for CI and tooling).
+
+The JSON schema is versioned and stable::
+
+    {
+      "version": 1,
+      "paths": [...],
+      "counts": {"total": n, "new": n, "baselined": n, "stale": n},
+      "new": [finding...],        # each finding as Finding.as_dict()
+      "baselined": [finding...],
+      "stale": [{"fingerprint": ..., "justification": ...}, ...],
+      "rules": [rule meta...]
+    }
+
+``ok`` is true exactly when there are no *new* findings — stale
+baseline entries are reported (so the baseline gets pruned) but do not
+fail the gate.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline, BaselineEntry, partition_findings
+from repro.analysis.engine import Analyzer, Finding
+
+__all__ = ["AnalysisResult", "run_analysis", "render_text", "render_json"]
+
+#: Bump when the JSON report schema changes shape.
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analysis run produced."""
+
+    paths: list[str]
+    findings: list[Finding]
+    new: list[Finding]
+    baselined: list[Finding]
+    stale: list[BaselineEntry]
+    rules: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the gate passes: no findings outside the baseline."""
+        return not self.new
+
+    def as_dict(self) -> dict:
+        return {
+            "version": JSON_SCHEMA_VERSION,
+            "paths": list(self.paths),
+            "ok": self.ok,
+            "counts": {
+                "total": len(self.findings),
+                "new": len(self.new),
+                "baselined": len(self.baselined),
+                "stale": len(self.stale),
+            },
+            "new": [finding.as_dict() for finding in self.new],
+            "baselined": [finding.as_dict() for finding in self.baselined],
+            "stale": [
+                {
+                    "fingerprint": entry.fingerprint,
+                    "justification": entry.justification,
+                }
+                for entry in self.stale
+            ],
+            "rules": list(self.rules),
+        }
+
+
+def render_json(result: AnalysisResult) -> str:
+    """The machine-readable report (one JSON document)."""
+    return json.dumps(result.as_dict(), indent=2, sort_keys=True)
+
+
+def _format_finding(finding: Finding) -> str:
+    line = (
+        f"{finding.path}:{finding.line}:{finding.col}: "
+        f"{finding.rule_id} [{finding.severity}] {finding.message}"
+    )
+    if finding.fix_hint:
+        line += f"\n    hint: {finding.fix_hint}"
+    line += f"\n    fingerprint: {finding.fingerprint}"
+    return line
+
+
+def render_text(result: AnalysisResult) -> str:
+    """The human-readable report."""
+    sections: list[str] = []
+    if result.new:
+        sections.append(
+            f"{len(result.new)} new finding(s):\n\n"
+            + "\n".join(_format_finding(f) for f in result.new)
+        )
+    if result.baselined:
+        sections.append(
+            f"{len(result.baselined)} baselined finding(s) suppressed."
+        )
+    if result.stale:
+        stale_lines = "\n".join(
+            f"    {entry.fingerprint}" for entry in result.stale
+        )
+        sections.append(
+            f"{len(result.stale)} stale baseline entr"
+            f"{'y' if len(result.stale) == 1 else 'ies'} "
+            f"(finding no longer occurs — remove from the baseline):\n"
+            + stale_lines
+        )
+    verdict = (
+        "analysis clean."
+        if result.ok
+        else "analysis FAILED: new findings above are not in the baseline."
+    )
+    sections.append(verdict)
+    return "\n\n".join(sections) + "\n"
+
+
+def run_analysis(
+    paths: Sequence[str | Path],
+    *,
+    baseline: Baseline | None = None,
+    baseline_path: str | Path | None = None,
+    baseline_required: bool = True,
+    analyzer: Analyzer | None = None,
+) -> AnalysisResult:
+    """Analyze ``paths`` and partition findings against the baseline.
+
+    Exactly one of ``baseline`` / ``baseline_path`` may be given; with
+    neither, everything found is *new*.  ``baseline_required=False``
+    treats a missing ``baseline_path`` as an empty baseline (the CLI
+    uses this for its default path, which need not exist).
+    """
+    if analyzer is None:
+        analyzer = Analyzer()
+    if baseline is None:
+        if baseline_path is not None:
+            baseline = Baseline.load(
+                baseline_path, required=baseline_required
+            )
+        else:
+            baseline = Baseline()
+    findings = analyzer.run(paths)
+    new, baselined = partition_findings(findings, baseline)
+    return AnalysisResult(
+        paths=[str(path) for path in paths],
+        findings=findings,
+        new=new,
+        baselined=baselined,
+        stale=baseline.stale_entries(findings),
+        rules=[rule.meta() for rule in analyzer.rules],
+    )

@@ -1,0 +1,526 @@
+"""Project-specific rules RR001–RR005.
+
+Each rule encodes one invariant PRs 1–3 left as tribal knowledge:
+
+* **RR001** — no blocking calls while holding a lock (the serving and
+  observability layers run under heavy thread contention; a sleep or
+  unbounded queue operation inside a lock scope serialises the stack);
+* **RR002** — no unseeded randomness under ``repro.resilience`` /
+  ``repro.serving`` / ``repro.evaluation`` (seeded determinism is what
+  makes chaos studies and simulated user studies reproducible);
+* **RR003** — metric/tracer internals are mutated only through the
+  locked helpers inside :mod:`repro.obs` (direct pokes bypass the locks
+  PR 3 added and corrupt expositions under concurrency);
+* **RR004** — exception discipline: no bare ``except`` anywhere; no
+  swallow-everything ``except Exception/BaseException`` and no builtin
+  exception raises outside the :mod:`repro.errors` taxonomy in the
+  resilience/serving paths (retry/fallback classification only works on
+  the taxonomy);
+* **RR005** — the typed-API gate: public functions in the concurrency
+  stack carry full type annotations, and every
+  ``ExplainedRecommendation`` construction states its ``degraded`` flag
+  explicitly (the paper's seven aims are only evaluable when degraded
+  output is labelled as such).
+
+The cross-module lock-ordering analyzer (RR006) lives in
+:mod:`repro.analysis.lockgraph`.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import (
+    Finding,
+    ModuleInfo,
+    Rule,
+    dotted_name,
+    lock_label,
+)
+from repro.analysis.lockgraph import LockOrderingRule
+
+__all__ = [
+    "BlockingCallUnderLockRule",
+    "UnseededRandomnessRule",
+    "MetricInternalsRule",
+    "ExceptionDisciplineRule",
+    "TypedApiRule",
+    "LockOrderingRule",
+    "default_rules",
+]
+
+
+def _has_keyword(node: ast.Call, name: str) -> bool:
+    return any(kw.arg == name for kw in node.keywords)
+
+
+def _keyword_is_false(node: ast.Call, name: str) -> bool:
+    for kw in node.keywords:
+        if kw.arg == name:
+            return (
+                isinstance(kw.value, ast.Constant) and kw.value.value is False
+            )
+    return False
+
+
+class BlockingCallUnderLockRule(Rule):
+    """RR001: blocking calls while holding a lock.
+
+    Tracks ``with <lock>:`` scopes (anything whose context expression
+    names a lock/mutex/semaphore) and flags calls inside them that can
+    block indefinitely or for a scheduler-visible time: ``sleep``,
+    ``open``, unbounded ``queue.get``/``queue.put``, event waits with no
+    timeout, thread joins, and stream I/O.  The lock-hold stack resets
+    at nested function definitions — a closure defined under a lock does
+    not run under it.
+    """
+
+    rule_id = "RR001"
+    name = "blocking-call-under-lock"
+    severity = "error"
+    rationale = (
+        "A blocking call inside a lock scope serialises every thread "
+        "that touches the lock; under the serving layer's contention "
+        "this turns one slow request into a stack-wide stall."
+    )
+    fix_hint = (
+        "move the blocking call outside the lock scope, or make it "
+        "non-blocking (put_nowait / get_nowait / a timeout)"
+    )
+
+    #: Stream/file-like owner-name fragments for the I/O checks.
+    _IO_OWNERS = ("stream", "file", "sock", "fh")
+    _THREAD_OWNERS = ("thread", "worker", "proc")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._held: list[str] = []
+        self._saved: list[list[str]] = []
+
+    def enter_function(self, node: ast.AST) -> None:
+        self._saved.append(self._held)
+        self._held = []
+
+    def exit_function(self, node: ast.AST) -> None:
+        self._held = self._saved.pop()
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        labels = []
+        for item in node.items:
+            label = lock_label(item.context_expr, self.current_class)
+            if label is not None:
+                labels.append(label)
+        self._held.extend(labels)
+        self.generic_visit(node)
+        if labels:
+            del self._held[-len(labels):]
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _blocking(self, node: ast.Call) -> tuple[str, str] | None:
+        """``(slug, description)`` when the call can block, else ``None``."""
+        func = node.func
+        name = dotted_name(func)
+        if name is not None:
+            terminal = name.rsplit(".", 1)[-1]
+            if terminal in ("sleep", "_sleep"):
+                return name, f"sleep ({name})"
+            if name == "open":
+                return "open", "file I/O (open)"
+        if not isinstance(func, ast.Attribute):
+            return None
+        owner = (dotted_name(func.value) or "").lower()
+        attr = func.attr
+        slug = f"{dotted_name(func.value) or '?'}.{attr}"
+        if attr in ("get", "put") and "queue" in owner:
+            if not _has_keyword(node, "timeout") and not _keyword_is_false(
+                node, "block"
+            ):
+                return slug, f"unbounded queue {attr} ({slug})"
+        if attr == "join" and any(t in owner for t in self._THREAD_OWNERS):
+            return slug, f"thread join ({slug})"
+        if attr == "wait" and not node.args and not _has_keyword(
+            node, "timeout"
+        ):
+            return slug, f"wait with no timeout ({slug})"
+        if attr in ("write", "flush", "read", "readline", "readlines") and any(
+            t in owner for t in self._IO_OWNERS
+        ):
+            return slug, f"stream I/O ({slug})"
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._held:
+            hit = self._blocking(node)
+            if hit is not None:
+                slug, description = hit
+                self.report(
+                    node,
+                    f"{description} while holding {self._held[-1]}",
+                    slug,
+                )
+        self.generic_visit(node)
+
+
+class UnseededRandomnessRule(Rule):
+    """RR002: unseeded randomness in the determinism-critical packages.
+
+    Under ``repro.resilience`` / ``repro.serving`` / ``repro.evaluation``
+    every random stream must be seeded: chaos fault plans, retry jitter,
+    traffic drivers and simulated user cohorts all promise that the same
+    seed replays the same run.  Flags calls on the module-global
+    :mod:`random` RNG, ``random.Random()`` with no seed, unseeded
+    ``default_rng()``, and the legacy ``np.random.*`` global functions.
+    """
+
+    rule_id = "RR002"
+    name = "unseeded-randomness"
+    severity = "error"
+    rationale = (
+        "Chaos studies, retry jitter and simulated cohorts are only "
+        "reproducible when every random stream is derived from an "
+        "explicit seed; the module-global RNG is seeded by the OS."
+    )
+    fix_hint = (
+        "construct random.Random(seed) / np.random.default_rng(seed) "
+        "from an explicit seed parameter and thread it through"
+    )
+
+    _SCOPES = ("repro.resilience", "repro.serving", "repro.evaluation")
+    _GLOBAL_FUNCS = frozenset(
+        {
+            "random", "randint", "randrange", "choice", "choices",
+            "shuffle", "uniform", "sample", "gauss", "normalvariate",
+            "expovariate", "betavariate", "triangular", "randbytes",
+            "getrandbits",
+        }
+    )
+    _NP_LEGACY = frozenset(
+        {"rand", "randn", "randint", "random", "choice", "shuffle",
+         "permutation", "uniform", "normal"}
+    )
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return module.package.startswith(self._SCOPES)
+
+    def _is_seeded(self, node: ast.Call) -> bool:
+        return bool(node.args) or bool(node.keywords)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None:
+            parts = name.split(".")
+            terminal = parts[-1]
+            prefix = ".".join(parts[:-1])
+            if prefix == "random" and terminal in self._GLOBAL_FUNCS:
+                self.report(
+                    node,
+                    f"call to the module-global RNG ({name}) is never "
+                    f"seeded per run",
+                    name,
+                )
+            elif name in ("random.Random", "Random") and not self._is_seeded(
+                node
+            ):
+                self.report(
+                    node,
+                    "random.Random() constructed without a seed",
+                    "Random",
+                )
+            elif terminal == "default_rng" and prefix.endswith(
+                "random"
+            ) and not self._is_seeded(node):
+                self.report(
+                    node,
+                    f"{name}() constructed without a seed",
+                    name,
+                )
+            elif prefix in ("np.random", "numpy.random") and (
+                terminal in self._NP_LEGACY
+            ):
+                self.report(
+                    node,
+                    f"legacy numpy global RNG call ({name}) is never "
+                    f"seeded per run",
+                    name,
+                )
+        self.generic_visit(node)
+
+
+class MetricInternalsRule(Rule):
+    """RR003: metric/tracer internals mutated outside :mod:`repro.obs`.
+
+    The PR-3 thread-hardening put every mutation of instrument state
+    behind per-metric locks inside ``repro.obs``; code anywhere else
+    writing ``_value`` / ``_bucket_counts`` / ``_series`` / ``_metrics``
+    / ``_sink`` bypasses those locks and can corrupt a concurrent
+    exposition.
+    """
+
+    rule_id = "RR003"
+    name = "metric-internals-mutation"
+    severity = "error"
+    rationale = (
+        "Instrument state is guarded by per-metric locks inside "
+        "repro.obs; a direct write from outside skips the lock and can "
+        "tear a concurrent exposition or lose updates."
+    )
+    fix_hint = (
+        "use the instrument API (inc/set/observe) or the registry/"
+        "tracer helpers instead of poking private state"
+    )
+
+    _PROTECTED = frozenset(
+        {"_value", "_sum", "_count", "_bucket_counts", "_series",
+         "_metrics", "_sink"}
+    )
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return not module.package.startswith("repro.obs")
+
+    def _check_target(self, target: ast.expr) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_target(element)
+            return
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr in self._PROTECTED
+        ):
+            owner = dotted_name(target.value) or "?"
+            self.report(
+                target,
+                f"direct mutation of instrument internal "
+                f"{owner}.{target.attr} outside repro.obs",
+                f"{owner}.{target.attr}",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target)
+        self.generic_visit(node)
+
+
+class ExceptionDisciplineRule(Rule):
+    """RR004: exception discipline in the resilience/serving paths.
+
+    Three checks:
+
+    * bare ``except:`` — flagged **everywhere** (it swallows
+      ``KeyboardInterrupt`` and ``SystemExit``);
+    * ``except Exception`` / ``except BaseException`` inside
+      ``repro.resilience`` / ``repro.serving`` whose handler does not
+      re-raise — the retry/fallback machinery classifies errors by the
+      :mod:`repro.errors` taxonomy, so swallowing everything defeats it;
+    * ``raise <builtin error>`` in those packages for builtins outside
+      the small allowed set (``ValueError``/``TypeError``/
+      ``NotImplementedError`` for programming-contract violations) —
+      operational failures must come from the taxonomy so fallback
+      chains can classify them.
+    """
+
+    rule_id = "RR004"
+    name = "exception-discipline"
+    severity = "error"
+    rationale = (
+        "Retry, breaker and fallback decisions classify exceptions by "
+        "the repro.errors taxonomy; bare/overbroad handlers and stray "
+        "builtin raises make failures invisible to that classification."
+    )
+    fix_hint = (
+        "catch ReproError (or a precise subclass), re-raise what you "
+        "cannot handle, and raise taxonomy errors for operational "
+        "failures"
+    )
+
+    _SCOPES = ("repro.resilience", "repro.serving")
+    _ALLOWED_RAISES = frozenset(
+        {"ValueError", "TypeError", "NotImplementedError",
+         "AssertionError", "StopIteration", "KeyboardInterrupt",
+         "SystemExit", "SystemError"}
+    )
+    _BUILTIN_ERRORS = frozenset(
+        {"Exception", "BaseException", "RuntimeError", "KeyError",
+         "IndexError", "LookupError", "OSError", "IOError",
+         "AttributeError", "ArithmeticError", "ZeroDivisionError",
+         "FileNotFoundError", "PermissionError", "TimeoutError",
+         "ConnectionError", "MemoryError", "RecursionError",
+         "UnicodeError", "EOFError", "BufferError"}
+    )
+
+    def _in_scope(self) -> bool:
+        return self.module.package.startswith(self._SCOPES)
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        for child in ast.walk(handler):
+            if isinstance(child, ast.Raise) and child.exc is None:
+                return True
+        return False
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(
+                node,
+                "bare except swallows KeyboardInterrupt/SystemExit",
+                "bare-except",
+            )
+        elif self._in_scope():
+            names = []
+            types = (
+                node.type.elts
+                if isinstance(node.type, ast.Tuple)
+                else [node.type]
+            )
+            for expr in types:
+                name = dotted_name(expr)
+                if name is not None:
+                    names.append(name.rsplit(".", 1)[-1])
+            broad = {"Exception", "BaseException"} & set(names)
+            if broad and not self._reraises(node):
+                caught = sorted(broad)[0]
+                self.report(
+                    node,
+                    f"except {caught} without re-raise swallows errors "
+                    f"the resilience taxonomy needs to see",
+                    f"except-{caught}",
+                )
+        self.generic_visit(node)
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        if self._in_scope() and node.exc is not None:
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            name = dotted_name(exc)
+            if name is not None:
+                terminal = name.rsplit(".", 1)[-1]
+                if (
+                    terminal in self._BUILTIN_ERRORS
+                    and terminal not in self._ALLOWED_RAISES
+                ):
+                    self.report(
+                        node,
+                        f"raise of builtin {terminal} outside the "
+                        f"repro.errors taxonomy",
+                        f"raise-{terminal}",
+                    )
+        self.generic_visit(node)
+
+
+class TypedApiRule(Rule):
+    """RR005: the typed-API gate.
+
+    Two contracts:
+
+    * every *public* function or method (plus ``__init__``) defined at
+      module or class level under the concurrency stack
+      (``repro.obs`` / ``repro.resilience`` / ``repro.serving`` /
+      ``repro.analysis``) annotates all of its parameters and its
+      return type;
+    * every construction of ``ExplainedRecommendation`` — anywhere —
+      states ``degraded=`` explicitly, so re-wrapping code cannot
+      silently drop the degradation label the evaluation harness keys
+      on.
+    """
+
+    rule_id = "RR005"
+    name = "typed-api-gate"
+    severity = "error"
+    rationale = (
+        "The concurrency stack's contracts (budgets, outcomes, the "
+        "degraded flag) live in its signatures; an unannotated public "
+        "API or an implicit degraded flag lets contract drift land "
+        "silently."
+    )
+    fix_hint = (
+        "annotate every parameter and the return type; pass degraded= "
+        "explicitly when building ExplainedRecommendation"
+    )
+
+    _SCOPES = (
+        "repro.obs", "repro.resilience", "repro.serving", "repro.analysis"
+    )
+
+    def _annotation_scope(self) -> bool:
+        return self.module.package.startswith(self._SCOPES)
+
+    def handle_function(self, node: ast.AST) -> None:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        if not self._annotation_scope() or self.in_function:
+            return
+        if node.name.startswith("_") and node.name != "__init__":
+            return
+        args = node.args
+        ordered = list(args.posonlyargs) + list(args.args)
+        if self._class_stack and ordered and ordered[0].arg in (
+            "self", "cls"
+        ):
+            ordered = ordered[1:]
+        ordered += list(args.kwonlyargs)
+        for extra in (args.vararg, args.kwarg):
+            if extra is not None:
+                ordered.append(extra)
+        missing = [arg.arg for arg in ordered if arg.annotation is None]
+        # handle_function fires before the function's scope is pushed,
+        # so self.scope is the *enclosing* scope here.
+        enclosing = self.scope
+        qualname = (
+            node.name
+            if enclosing == "<module>"
+            else f"{enclosing}.{node.name}"
+        )
+        if missing:
+            self.report(
+                node,
+                f"public function {qualname} has unannotated "
+                f"parameter(s): {', '.join(missing)}",
+                f"{node.name}-params",
+            )
+        if node.returns is None:
+            self.report(
+                node,
+                f"public function {qualname} has no return annotation",
+                f"{node.name}-return",
+            )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None and name.rsplit(".", 1)[-1] == (
+            "ExplainedRecommendation"
+        ):
+            explicit = any(
+                kw.arg == "degraded" or kw.arg is None
+                for kw in node.keywords
+            )
+            if not explicit and len(node.args) < 3:
+                self.report(
+                    node,
+                    "ExplainedRecommendation built without an explicit "
+                    "degraded= flag (defaults to False and silently "
+                    "drops degradation labels when re-wrapping)",
+                    "degraded-flag",
+                )
+        self.generic_visit(node)
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of the full project rule set (RR001–RR006)."""
+    return [
+        BlockingCallUnderLockRule(),
+        UnseededRandomnessRule(),
+        MetricInternalsRule(),
+        ExceptionDisciplineRule(),
+        TypedApiRule(),
+        LockOrderingRule(),
+    ]

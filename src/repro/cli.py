@@ -13,12 +13,16 @@ python -m repro --chaos-rate 0.2 --resilience demo   # ... under chaos
 python -m repro serve             # closed-loop synthetic serving run
 python -m repro serve --clients 16 --workers 4 --deadline 0.5
 python -m repro --chaos-rate 0.2 serve  # ... against faulty substrates
+python -m repro analyze           # static-analysis gate over src/repro
+python -m repro analyze --format json src/repro tests
+python -m repro analyze --update-baseline   # accept current findings
 ```
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from collections.abc import Callable, Sequence
 
 __all__ = ["main", "build_parser"]
@@ -329,6 +333,76 @@ def _run_metrics_workload(
         server.close()
 
 
+#: Default analysis targets and suppression baseline, relative to the
+#: invocation directory (the repo root in CI and development).
+_DEFAULT_ANALYZE_PATHS = ("src/repro",)
+_DEFAULT_BASELINE = "analysis-baseline.txt"
+
+
+def _cmd_analyze(arguments: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (
+        Baseline,
+        BaselineEntry,
+        render_json,
+        render_text,
+        run_analysis,
+    )
+    from repro.errors import AnalysisError
+
+    paths = arguments.paths or list(_DEFAULT_ANALYZE_PATHS)
+    baseline_path = arguments.baseline or _DEFAULT_BASELINE
+    try:
+        # The default baseline path may simply not exist yet; a baseline
+        # the user *named* must — unless we are about to (re)write it.
+        result = run_analysis(
+            paths,
+            baseline_path=baseline_path,
+            baseline_required=(
+                arguments.baseline is not None
+                and not arguments.update_baseline
+            ),
+        )
+        if arguments.update_baseline:
+            old = Baseline.load(baseline_path, required=False)
+            entries = [
+                entry
+                for entry in old.entries
+                if entry.fingerprint
+                in {f.fingerprint for f in result.findings}
+            ]
+            entries.extend(
+                BaselineEntry(f.fingerprint, "TODO: justify")
+                for f in result.new
+            )
+            entries.sort(key=lambda entry: entry.fingerprint)
+            Path(baseline_path).write_text(
+                Baseline(entries).format(
+                    header=(
+                        "repro.analysis suppression baseline.\n"
+                        "Each line: RULE PATH SCOPE SLUG  # justification\n"
+                        "Regenerate with: "
+                        "python -m repro analyze --update-baseline"
+                    )
+                ),
+                encoding="utf-8",
+            )
+            print(
+                f"wrote {len(entries)} entr"
+                f"{'y' if len(entries) == 1 else 'ies'} to {baseline_path}"
+            )
+            return 0
+    except AnalysisError as error:
+        print(f"repro analyze: {error}", file=sys.stderr)
+        return 2
+    if arguments.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result), end="")
+    return 0 if result.ok else 1
+
+
 def _cmd_metrics(arguments: argparse.Namespace) -> int:
     import json
 
@@ -474,6 +548,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="graceful-shutdown drain budget (default: 5.0)",
     )
     serve.set_defaults(handler=_cmd_serve)
+
+    analyze = subparsers.add_parser(
+        "analyze",
+        help=(
+            "run the repro.analysis static-analysis gate "
+            "(see docs/static_analysis.md)"
+        ),
+    )
+    analyze.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: src/repro)",
+    )
+    analyze.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    analyze.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help=(
+            "suppression baseline to check against (default: "
+            f"{_DEFAULT_BASELINE}, which may be absent; an explicitly "
+            "named baseline must exist)"
+        ),
+    )
+    analyze.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=(
+            "rewrite the baseline to accept all current findings "
+            "(new entries get a 'TODO: justify' comment to fill in), "
+            "pruning entries whose finding no longer occurs"
+        ),
+    )
+    analyze.set_defaults(handler=_cmd_analyze)
     return parser
 
 

@@ -164,6 +164,17 @@ class ServerClosedError(ServingError):
         self.server_name = server_name
 
 
+class AnalysisError(ReproError):
+    """Raised for misuse of the :mod:`repro.analysis` static analyzer.
+
+    Covers nonexistent analysis targets, malformed suppression-baseline
+    entries, and invalid rule configurations.  Findings in *analyzed*
+    code are never raised as exceptions — they are reported as
+    :class:`~repro.analysis.engine.Finding` records so a run always
+    produces a complete report.
+    """
+
+
 class ObservabilityError(ReproError):
     """Raised for misuse of the :mod:`repro.obs` instrumentation layer.
 

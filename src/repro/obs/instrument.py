@@ -16,7 +16,7 @@ from __future__ import annotations
 import contextlib
 import functools
 import time
-from collections.abc import Callable, Iterable
+from collections.abc import Callable, Iterable, Iterator, Sequence
 
 from repro.obs.metrics import DEFAULT_BUCKETS, Histogram
 from repro.obs.runtime import get_registry, get_tracer
@@ -28,7 +28,7 @@ def histogram(
     name: str,
     help_text: str = "",
     labelnames: Iterable[str] = (),
-    buckets=DEFAULT_BUCKETS,
+    buckets: Sequence[float] = DEFAULT_BUCKETS,
 ) -> Histogram:
     """The named histogram from the global registry (created on demand)."""
     return get_registry().histogram(
@@ -41,7 +41,7 @@ def timed(
     name: str,
     help_text: str = "",
     **labelvalues: object,
-):
+) -> Iterator[None]:
     """Observe the block's wall-clock seconds into a histogram series."""
     instrument = get_registry().histogram(
         name, help_text, labelnames=tuple(sorted(labelvalues))

@@ -188,7 +188,12 @@ class Counter(Metric):
 
     kind = "counter"
 
-    def __init__(self, name, help_text="", labelnames=()):
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Iterable[str] = (),
+    ) -> None:
         super().__init__(name, help_text, labelnames)
         self._value = 0.0
 
@@ -232,7 +237,12 @@ class Gauge(Metric):
 
     kind = "gauge"
 
-    def __init__(self, name, help_text="", labelnames=()):
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Iterable[str] = (),
+    ) -> None:
         super().__init__(name, help_text, labelnames)
         self._value = 0.0
 
@@ -294,11 +304,11 @@ class Histogram(Metric):
 
     def __init__(
         self,
-        name,
-        help_text="",
-        labelnames=(),
+        name: str,
+        help_text: str = "",
+        labelnames: Iterable[str] = (),
         buckets: Sequence[float] = DEFAULT_BUCKETS,
-    ):
+    ) -> None:
         super().__init__(name, help_text, labelnames)
         bounds = tuple(float(b) for b in buckets)
         if not bounds:

@@ -23,7 +23,7 @@ from typing import IO
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.sinks import EventSink, JsonlSink
-from repro.obs.tracing import Tracer
+from repro.obs.tracing import Span, Tracer, _NoopSpan
 
 __all__ = [
     "get_registry",
@@ -48,7 +48,7 @@ def get_tracer() -> Tracer:
     return _tracer
 
 
-def span(name: str, **attrs: object):
+def span(name: str, **attrs: object) -> "Span | _NoopSpan":
     """Shorthand for ``get_tracer().span(name, **attrs)``."""
     return _tracer.span(name, **attrs)
 

@@ -169,7 +169,7 @@ class Tracer:
         with self._counter_lock:
             return next(self._counter)
 
-    def span(self, name: str, **attrs: object):
+    def span(self, name: str, **attrs: object) -> "Span | _NoopSpan":
         """Context manager tracing one operation.
 
         Returns the shared :data:`NOOP_SPAN` when disabled — callers can

@@ -152,6 +152,7 @@ class PersonalityRecommender:
                         prediction=er.recommendation.prediction,
                     ),
                     explanation=explanation,
+                    degraded=er.degraded,
                 )
             )
         return adjusted

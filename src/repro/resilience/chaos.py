@@ -164,7 +164,7 @@ class ChaosRecommender(Recommender):
         self._maybe_inject("predict")
         return self.inner.predict(user_id, item_id)
 
-    def recommend(self, *args, **kwargs) -> list[Recommendation]:
+    def recommend(self, *args: object, **kwargs: object) -> list[Recommendation]:
         self._maybe_inject("recommend")
         return self.inner.recommend(*args, **kwargs)
 

@@ -129,7 +129,7 @@ class ResilientRecommender(Recommender):
             labelnames=("substrate",),
         ).inc(substrate=self._substrate)
 
-    def guard(self, operation: Callable[[], object], name: str):
+    def guard(self, operation: Callable[[], object], name: str) -> object:
         """Run one call under breaker + deadline + retry.
 
         Raises :class:`~repro.errors.CircuitOpenError` without touching

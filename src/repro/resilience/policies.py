@@ -170,7 +170,7 @@ class Retry:
         name: str = "operation",
         deadline: Deadline | None = None,
         on_retry: Callable[[int, float, BaseException], None] | None = None,
-    ):
+    ) -> object:
         """Run ``operation`` under the policy.
 
         Raises :class:`RetryExhaustedError` (chaining the last error)

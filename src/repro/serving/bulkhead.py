@@ -94,7 +94,7 @@ class Bulkhead:
         self,
         operation: Callable[[], object],
         timeout: float | None = None,
-    ):
+    ) -> tuple[bool, object | None]:
         """Run ``operation`` inside the compartment.
 
         Returns ``(True, result)`` when a slot was obtained, or

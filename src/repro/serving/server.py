@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 
 from repro import obs
 from repro.errors import RejectedError, ReproError, ServerClosedError, ServingError
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.serving.admission import AdmissionPolicy, DeadlineAwareShedder
 from repro.serving.bulkhead import Bulkhead
 from repro.serving.health import (
@@ -58,7 +59,9 @@ OUTCOMES = ("served", "degraded", "shed", "failed")
 _SENTINEL = object()
 
 
-def register_serving_metrics(registry=None):
+def register_serving_metrics(
+    registry: MetricsRegistry | None = None,
+) -> tuple[Counter, Counter, Gauge, Gauge, Histogram]:
     """Ensure every serving instrument exists in the registry.
 
     Returns ``(requests_total, shed_total, queue_depth, inflight,
@@ -204,7 +207,7 @@ class RecommendationServer:
 
     def __init__(
         self,
-        pipelines,
+        pipelines: Mapping[str, object] | object,
         *,
         workers: int = 4,
         queue_size: int = 64,
@@ -556,8 +559,12 @@ class RecommendationServer:
                     shed_jobs.append(self._queue.get_nowait())
                 except queue.Empty:
                     break
-            for _ in self._workers:
-                self._queue.put(_SENTINEL)
+        # The sentinel puts can block when workers are slow to drain the
+        # queue; doing them outside the state lock keeps submit/health
+        # responsive.  Safe: once _draining is set no new job enqueues,
+        # so the sentinels cannot be starved by fresh traffic.
+        for _ in self._workers:
+            self._queue.put(_SENTINEL)
         for job in shed_jobs:
             self._shed(
                 job, "draining", max(0.0, self._clock() - job.enqueued_at)

@@ -1,0 +1,113 @@
+"""Suppression-baseline parsing, matching, and round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    BaselineEntry,
+    Finding,
+    partition_findings,
+)
+from repro.errors import AnalysisError
+
+
+def make_finding(
+    rule_id: str = "RR001",
+    path: str = "repro/x.py",
+    scope: str = "C.m",
+    slug: str = "time.sleep",
+    line: int = 10,
+) -> Finding:
+    return Finding(
+        rule_id=rule_id,
+        severity="error",
+        path=path,
+        line=line,
+        col=0,
+        scope=scope,
+        slug=slug,
+        message="msg",
+    )
+
+
+class TestParsing:
+    def test_entry_round_trips_through_format(self):
+        baseline = Baseline.parse(
+            "RR001 repro/x.py C.m time.sleep  # lock exists for this\n"
+        )
+        assert len(baseline) == 1
+        reparsed = Baseline.parse(baseline.format())
+        assert reparsed.entries == baseline.entries
+
+    def test_blank_lines_and_comments_are_ignored(self):
+        baseline = Baseline.parse(
+            "# a header\n"
+            "\n"
+            "RR001 repro/x.py C.m time.sleep  # why\n"
+        )
+        assert len(baseline) == 1
+
+    def test_malformed_entry_raises_with_line_number(self):
+        with pytest.raises(AnalysisError, match=":2"):
+            Baseline.parse("# fine\nRR001 too few  # why\n")
+
+    def test_missing_justification_raises(self):
+        with pytest.raises(AnalysisError, match="justification"):
+            Baseline.parse("RR001 repro/x.py C.m time.sleep\n")
+
+    def test_duplicate_entry_raises(self):
+        text = (
+            "RR001 repro/x.py C.m time.sleep  # a\n"
+            "RR001 repro/x.py C.m time.sleep  # b\n"
+        )
+        with pytest.raises(AnalysisError, match="duplicate"):
+            Baseline.parse(text)
+
+
+class TestLoading:
+    def test_missing_default_file_is_an_empty_baseline(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.txt", required=False)
+        assert len(baseline) == 0
+
+    def test_missing_required_file_raises(self, tmp_path):
+        with pytest.raises(AnalysisError, match="not found"):
+            Baseline.load(tmp_path / "absent.txt", required=True)
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.txt"
+        original = Baseline(
+            [BaselineEntry("RR001 repro/x.py C.m time.sleep", "why")]
+        )
+        path.write_text(original.format(header="hello"), encoding="utf-8")
+        assert Baseline.load(path).entries == original.entries
+
+
+class TestMatching:
+    def test_partition_splits_on_fingerprint(self):
+        known = make_finding()
+        unknown = make_finding(slug="self._queue.get")
+        baseline = Baseline.parse(f"{known.fingerprint}  # accepted\n")
+        new, baselined = partition_findings([known, unknown], baseline)
+        assert baselined == [known]
+        assert new == [unknown]
+
+    def test_fingerprint_ignores_line_numbers(self):
+        baseline = Baseline.parse(
+            f"{make_finding(line=10).fingerprint}  # accepted\n"
+        )
+        moved = make_finding(line=99)
+        new, baselined = partition_findings([moved], baseline)
+        assert not new and baselined == [moved]
+
+    def test_stale_entries_are_detected(self):
+        live = make_finding()
+        baseline = Baseline.parse(
+            f"{live.fingerprint}  # accepted\n"
+            "RR004 repro/gone.py F.x except-Exception  # long gone\n"
+        )
+        stale = baseline.stale_entries([live])
+        assert [entry.fingerprint for entry in stale] == [
+            "RR004 repro/gone.py F.x except-Exception"
+        ]

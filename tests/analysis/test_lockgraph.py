@@ -1,0 +1,181 @@
+"""The RR006 lock-ordering analyzer on synthetic acquisition graphs."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import LockOrderingRule, analyze_source
+
+
+def lock_findings(source: str, package: str | None = None):
+    return [
+        finding
+        for finding in analyze_source(
+            textwrap.dedent(source),
+            package=package,
+            rules=[LockOrderingRule()],
+        )
+        if finding.rule_id == "RR006"
+    ]
+
+
+class TestDirectCycles:
+    def test_two_lock_inversion_is_a_deadlock_finding(self):
+        findings = lock_findings(
+            """
+            import threading
+
+            lock_a = threading.Lock()
+            lock_b = threading.Lock()
+
+            def forward():
+                with lock_a:
+                    with lock_b:
+                        pass
+
+            def backward():
+                with lock_b:
+                    with lock_a:
+                        pass
+            """
+        )
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.slug == "lock_a->lock_b"
+        assert "potential deadlock" in finding.message
+        assert "lock_a -> lock_b" in finding.message
+        assert "lock_b -> lock_a" in finding.message
+
+    def test_consistent_order_is_clean(self):
+        assert not lock_findings(
+            """
+            import threading
+
+            lock_a = threading.Lock()
+            lock_b = threading.Lock()
+
+            def one():
+                with lock_a:
+                    with lock_b:
+                        pass
+
+            def two():
+                with lock_a:
+                    with lock_b:
+                        pass
+            """
+        )
+
+    def test_self_lock_labels_unify_across_methods(self):
+        # self._lock acquired in two different methods of class A is the
+        # same lock object, so an inverted order between two of A's own
+        # locks must be seen as a cycle on A._lock / A._aux_lock.
+        findings = lock_findings(
+            """
+            class A:
+                def one(self):
+                    with self._lock:
+                        with self._aux_lock:
+                            pass
+
+                def two(self):
+                    with self._aux_lock:
+                        with self._lock:
+                            pass
+            """
+        )
+        assert len(findings) == 1
+        assert "A._lock" in findings[0].message
+        assert "A._aux_lock" in findings[0].message
+
+
+class TestCallThroughEdges:
+    def test_cycle_through_a_helper_call_is_found(self):
+        findings = lock_findings(
+            """
+            import threading
+
+            lock_a = threading.Lock()
+            lock_b = threading.Lock()
+
+            def outer():
+                with lock_a:
+                    helper()
+
+            def helper():
+                with lock_b:
+                    pass
+
+            def inverted():
+                with lock_b:
+                    with lock_a:
+                        pass
+            """
+        )
+        assert len(findings) == 1
+        assert "via helper" in findings[0].message
+
+    def test_transitive_helper_chain_is_followed(self):
+        findings = lock_findings(
+            """
+            import threading
+
+            lock_a = threading.Lock()
+            lock_b = threading.Lock()
+
+            def outer():
+                with lock_a:
+                    step_one()
+
+            def step_one():
+                step_two()
+
+            def step_two():
+                with lock_b:
+                    pass
+
+            def inverted():
+                with lock_b:
+                    with lock_a:
+                        pass
+            """
+        )
+        assert len(findings) == 1
+
+    def test_generic_names_on_foreign_objects_are_not_followed(self):
+        # stream.close() must not match an analyzed class's close()
+        # that takes a lock — that would fabricate a deadlock edge.
+        assert not lock_findings(
+            """
+            import threading
+
+            lock_a = threading.Lock()
+
+            class Server:
+                def close(self):
+                    with self._other_lock:
+                        with lock_a:
+                            pass
+
+            class Sink:
+                def shutdown(self):
+                    with lock_a:
+                        self._stream.close()
+            """
+        )
+
+    def test_calls_without_lock_acquisition_add_no_edges(self):
+        assert not lock_findings(
+            """
+            import threading
+
+            lock_a = threading.Lock()
+
+            def outer():
+                with lock_a:
+                    helper()
+
+            def helper():
+                return 1
+            """
+        )

@@ -1,0 +1,133 @@
+"""The reporters, the run_analysis orchestrator, and the self-check.
+
+The self-check is the PR's whole point made executable: running the
+analyzer over ``src/repro`` against the *committed* baseline must come
+back clean.  If a change introduces a new violation, this test fails
+locally before CI does.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import render_json, render_text, run_analysis
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture()
+def dirty_tree(tmp_path):
+    """A tiny source tree with one known RR001 finding."""
+    package = tmp_path / "pkg"
+    package.mkdir()
+    (package / "mod.py").write_text(
+        textwrap.dedent(
+            """
+            import time
+
+            def hold(self):
+                with self._lock:
+                    time.sleep(1.0)
+            """
+        ),
+        encoding="utf-8",
+    )
+    return package
+
+
+class TestRunAnalysis:
+    def test_findings_without_baseline_are_all_new(self, dirty_tree):
+        result = run_analysis([dirty_tree])
+        assert not result.ok
+        assert [f.rule_id for f in result.new] == ["RR001"]
+        assert not result.baselined and not result.stale
+
+    def test_baseline_suppresses_and_reports(self, dirty_tree, tmp_path):
+        first = run_analysis([dirty_tree])
+        baseline_path = tmp_path / "baseline.txt"
+        baseline_path.write_text(
+            "".join(
+                f"{finding.fingerprint}  # accepted for the test\n"
+                for finding in first.new
+            ),
+            encoding="utf-8",
+        )
+        result = run_analysis([dirty_tree], baseline_path=baseline_path)
+        assert result.ok
+        assert len(result.baselined) == 1 and not result.new
+
+    def test_stale_entries_do_not_fail_the_gate(self, dirty_tree, tmp_path):
+        first = run_analysis([dirty_tree])
+        baseline_path = tmp_path / "baseline.txt"
+        baseline_path.write_text(
+            f"{first.new[0].fingerprint}  # accepted\n"
+            "RR004 pkg/gone.py F.x except-Exception  # stale\n",
+            encoding="utf-8",
+        )
+        result = run_analysis([dirty_tree], baseline_path=baseline_path)
+        assert result.ok
+        assert len(result.stale) == 1
+
+
+class TestJsonReporter:
+    def test_schema_shape(self, dirty_tree):
+        result = run_analysis([dirty_tree])
+        document = json.loads(render_json(result))
+        assert document["version"] == 1
+        assert set(document) == {
+            "version", "paths", "ok", "counts", "new", "baselined",
+            "stale", "rules",
+        }
+        assert document["counts"] == {
+            "total": 1, "new": 1, "baselined": 0, "stale": 0,
+        }
+        (finding,) = document["new"]
+        assert set(finding) == {
+            "rule", "severity", "path", "line", "col", "scope",
+            "message", "fix_hint", "fingerprint",
+        }
+        assert finding["rule"] == "RR001"
+        rule_ids = [rule["id"] for rule in document["rules"]]
+        assert rule_ids == sorted(rule_ids)  # catalog is deterministic
+        assert {"RR001", "RR002", "RR003", "RR004", "RR005", "RR006"} <= set(
+            rule_ids
+        )
+
+    def test_text_reporter_names_fingerprints_and_verdict(self, dirty_tree):
+        result = run_analysis([dirty_tree])
+        text = render_text(result)
+        assert "1 new finding(s)" in text
+        assert result.new[0].fingerprint in text
+        assert "FAILED" in text
+
+
+class TestSelfCheck:
+    def test_src_repro_is_clean_against_committed_baseline(self):
+        result = run_analysis(
+            [REPO_ROOT / "src" / "repro"],
+            baseline_path=REPO_ROOT / "analysis-baseline.txt",
+        )
+        assert result.ok, render_text(result)
+
+    def test_committed_baseline_has_no_stale_entries(self):
+        result = run_analysis(
+            [REPO_ROOT / "src" / "repro"],
+            baseline_path=REPO_ROOT / "analysis-baseline.txt",
+        )
+        assert not result.stale, [e.fingerprint for e in result.stale]
+
+    def test_committed_baseline_justifications_are_real(self):
+        text = (REPO_ROOT / "analysis-baseline.txt").read_text(
+            encoding="utf-8"
+        )
+        entries = [
+            line
+            for line in text.splitlines()
+            if line.strip() and not line.lstrip().startswith("#")
+        ]
+        assert entries
+        assert all("TODO" not in entry for entry in entries)

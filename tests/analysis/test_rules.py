@@ -1,0 +1,349 @@
+"""Per-rule fixture snippets: one positive and one negative each."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import analyze_source
+
+
+def findings_for(source: str, rule_id: str, package: str | None = None):
+    """Findings of one rule over a dedented in-memory snippet."""
+    return [
+        finding
+        for finding in analyze_source(
+            textwrap.dedent(source), package=package
+        )
+        if finding.rule_id == rule_id
+    ]
+
+
+class TestSyntaxErrorRR000:
+    def test_unparseable_source_is_a_finding_not_a_crash(self):
+        findings = analyze_source("def broken(:\n")
+        assert [f.rule_id for f in findings] == ["RR000"]
+        assert findings[0].slug == "syntax-error"
+
+
+class TestBlockingCallUnderLockRR001:
+    def test_sleep_under_lock_is_flagged(self):
+        findings = findings_for(
+            """
+            import threading
+            import time
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def refresh(self):
+                    with self._lock:
+                        time.sleep(0.1)
+            """,
+            "RR001",
+        )
+        assert len(findings) == 1
+        assert findings[0].scope == "Cache.refresh"
+        assert "time.sleep" in findings[0].message
+
+    def test_sleep_outside_lock_is_clean(self):
+        assert not findings_for(
+            """
+            import threading
+            import time
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def refresh(self):
+                    time.sleep(0.1)
+                    with self._lock:
+                        self.value = 1
+            """,
+            "RR001",
+        )
+
+    def test_unbounded_queue_get_under_lock_is_flagged(self):
+        findings = findings_for(
+            """
+            def drain(self):
+                with self._lock:
+                    return self._queue.get()
+            """,
+            "RR001",
+        )
+        assert len(findings) == 1
+        assert "queue" in findings[0].message
+
+    def test_queue_get_with_timeout_is_clean(self):
+        assert not findings_for(
+            """
+            def drain(self):
+                with self._lock:
+                    return self._queue.get(timeout=0.5)
+            """,
+            "RR001",
+        )
+
+    def test_closure_defined_under_lock_does_not_inherit_hold(self):
+        # The closure *runs* later, outside the lock.
+        assert not findings_for(
+            """
+            import time
+
+            def schedule(self):
+                with self._lock:
+                    def later():
+                        time.sleep(1.0)
+                    self.callback = later
+            """,
+            "RR001",
+        )
+
+
+class TestUnseededRandomnessRR002:
+    def test_module_global_rng_in_scope_is_flagged(self):
+        findings = findings_for(
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+            "RR002",
+            package="repro.resilience.fake",
+        )
+        assert len(findings) == 1
+        assert "random.random" in findings[0].message
+
+    def test_unseeded_random_instance_is_flagged(self):
+        findings = findings_for(
+            """
+            import random
+
+            def make_rng():
+                return random.Random()
+            """,
+            "RR002",
+            package="repro.serving.fake",
+        )
+        assert len(findings) == 1
+
+    def test_seeded_random_instance_is_clean(self):
+        assert not findings_for(
+            """
+            import random
+
+            def make_rng(seed):
+                return random.Random(seed)
+            """,
+            "RR002",
+            package="repro.serving.fake",
+        )
+
+    def test_out_of_scope_module_is_ignored(self):
+        assert not findings_for(
+            """
+            import random
+
+            def sample():
+                return random.random()
+            """,
+            "RR002",
+            package="repro.core.fake",
+        )
+
+
+class TestMetricInternalsRR003:
+    def test_direct_internal_write_is_flagged(self):
+        findings = findings_for(
+            """
+            def cheat(counter):
+                counter._value = 100.0
+            """,
+            "RR003",
+            package="repro.core.fake",
+        )
+        assert len(findings) == 1
+        assert "_value" in findings[0].message
+
+    def test_augmented_internal_write_is_flagged(self):
+        findings = findings_for(
+            """
+            def cheat(counter):
+                counter._value += 1.0
+            """,
+            "RR003",
+            package="repro.core.fake",
+        )
+        assert len(findings) == 1
+
+    def test_obs_package_itself_is_exempt(self):
+        assert not findings_for(
+            """
+            def inc(self):
+                self._value += 1.0
+            """,
+            "RR003",
+            package="repro.obs.metrics",
+        )
+
+    def test_api_calls_are_clean(self):
+        assert not findings_for(
+            """
+            def record(counter):
+                counter.inc(1.0)
+            """,
+            "RR003",
+            package="repro.core.fake",
+        )
+
+
+class TestExceptionDisciplineRR004:
+    def test_bare_except_is_flagged_everywhere(self):
+        findings = findings_for(
+            """
+            def swallow():
+                try:
+                    work()
+                except:
+                    pass
+            """,
+            "RR004",
+            package="repro.core.fake",
+        )
+        assert [f.slug for f in findings] == ["bare-except"]
+
+    def test_broad_except_without_reraise_in_scope_is_flagged(self):
+        findings = findings_for(
+            """
+            def swallow():
+                try:
+                    work()
+                except Exception:
+                    return None
+            """,
+            "RR004",
+            package="repro.serving.fake",
+        )
+        assert [f.slug for f in findings] == ["except-Exception"]
+
+    def test_broad_except_with_reraise_is_clean(self):
+        assert not findings_for(
+            """
+            def annotate():
+                try:
+                    work()
+                except Exception:
+                    note()
+                    raise
+            """,
+            "RR004",
+            package="repro.serving.fake",
+        )
+
+    def test_builtin_raise_in_scope_is_flagged(self):
+        findings = findings_for(
+            """
+            def fail():
+                raise RuntimeError("substrate down")
+            """,
+            "RR004",
+            package="repro.resilience.fake",
+        )
+        assert [f.slug for f in findings] == ["raise-RuntimeError"]
+
+    def test_contract_violations_and_taxonomy_raises_are_clean(self):
+        assert not findings_for(
+            """
+            from repro.errors import ServingError
+
+            def check(n):
+                if n < 0:
+                    raise ValueError("n must be >= 0")
+                raise ServingError("backend down")
+            """,
+            "RR004",
+            package="repro.serving.fake",
+        )
+
+
+class TestTypedApiRR005:
+    def test_unannotated_public_function_is_flagged_twice(self):
+        findings = findings_for(
+            """
+            def handle(request):
+                return request
+            """,
+            "RR005",
+            package="repro.serving.fake",
+        )
+        assert sorted(f.slug for f in findings) == [
+            "handle-params",
+            "handle-return",
+        ]
+
+    def test_fully_annotated_function_is_clean(self):
+        assert not findings_for(
+            """
+            def handle(request: object) -> object:
+                return request
+            """,
+            "RR005",
+            package="repro.serving.fake",
+        )
+
+    def test_private_and_nested_functions_are_exempt(self):
+        assert not findings_for(
+            """
+            def _helper(request):
+                def inner(x):
+                    return x
+                return inner(request)
+            """,
+            "RR005",
+            package="repro.serving.fake",
+        )
+
+    def test_init_counts_as_public_and_self_is_skipped(self):
+        findings = findings_for(
+            """
+            class Server:
+                def __init__(self, pipelines):
+                    self.pipelines = pipelines
+            """,
+            "RR005",
+            package="repro.serving.fake",
+        )
+        slugs = sorted(f.slug for f in findings)
+        assert slugs == ["__init__-params", "__init__-return"]
+        assert "self" not in findings[0].message
+
+    def test_missing_degraded_flag_is_flagged_anywhere(self):
+        findings = findings_for(
+            """
+            def rewrap(er):
+                return ExplainedRecommendation(
+                    recommendation=er.recommendation,
+                    explanation=er.explanation,
+                )
+            """,
+            "RR005",
+            package="repro.presentation.fake",
+        )
+        assert [f.slug for f in findings] == ["degraded-flag"]
+
+    def test_explicit_degraded_flag_is_clean(self):
+        assert not findings_for(
+            """
+            def rewrap(er):
+                return ExplainedRecommendation(
+                    recommendation=er.recommendation,
+                    explanation=er.explanation,
+                    degraded=er.degraded,
+                )
+            """,
+            "RR005",
+            package="repro.presentation.fake",
+        )

@@ -212,6 +212,104 @@ class TestServingMetricsExposition:
         assert 'repro_requests_total{outcome="served"}' in output
 
 
+class TestAnalyzeCommand:
+    @pytest.fixture()
+    def dirty_file(self, tmp_path):
+        """One source file with exactly one RR001 finding."""
+        path = tmp_path / "hot.py"
+        path.write_text(
+            "import time\n"
+            "def hold(self):\n"
+            "    with self._lock:\n"
+            "        time.sleep(1.0)\n",
+            encoding="utf-8",
+        )
+        return path
+
+    def test_clean_target_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "ok.py"
+        clean.write_text("x: int = 1\n", encoding="utf-8")
+        assert main(["analyze", str(clean)]) == 0
+        assert "analysis clean" in capsys.readouterr().out
+
+    def test_findings_exit_nonzero_with_text_report(
+        self, dirty_file, capsys
+    ):
+        assert main(["analyze", str(dirty_file)]) == 1
+        output = capsys.readouterr().out
+        assert "RR001" in output
+        assert "FAILED" in output
+
+    def test_json_format_is_parseable_and_complete(
+        self, dirty_file, capsys
+    ):
+        assert main(["analyze", "--format", "json", str(dirty_file)]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is False
+        assert document["counts"]["new"] == 1
+        assert document["new"][0]["rule"] == "RR001"
+
+    def test_baseline_suppresses_findings(
+        self, dirty_file, tmp_path, capsys
+    ):
+        main(["analyze", "--format", "json", str(dirty_file)])
+        fingerprint = json.loads(capsys.readouterr().out)["new"][0][
+            "fingerprint"
+        ]
+        baseline = tmp_path / "baseline.txt"
+        baseline.write_text(
+            f"{fingerprint}  # accepted in this test\n", encoding="utf-8"
+        )
+        assert (
+            main(
+                ["analyze", "--baseline", str(baseline), str(dirty_file)]
+            )
+            == 0
+        )
+        assert "suppressed" in capsys.readouterr().out
+
+    def test_explicit_missing_baseline_is_a_usage_error(
+        self, dirty_file, tmp_path, capsys
+    ):
+        missing = tmp_path / "absent.txt"
+        assert (
+            main(["analyze", "--baseline", str(missing), str(dirty_file)])
+            == 2
+        )
+        assert "not found" in capsys.readouterr().err
+
+    def test_missing_target_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "nope")]) == 2
+        assert "no such analysis target" in capsys.readouterr().err
+
+    def test_update_baseline_writes_justifiable_entries(
+        self, dirty_file, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.txt"
+        assert (
+            main(
+                [
+                    "analyze",
+                    "--baseline",
+                    str(baseline),
+                    "--update-baseline",
+                    str(dirty_file),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        text = baseline.read_text(encoding="utf-8")
+        assert "RR001" in text and "TODO: justify" in text
+        # The updated baseline now makes the same run clean.
+        assert (
+            main(
+                ["analyze", "--baseline", str(baseline), str(dirty_file)]
+            )
+            == 0
+        )
+
+
 class TestTraceFlag:
     def test_demo_writes_valid_jsonl_spans(self, tmp_path, capsys):
         trace_path = tmp_path / "trace.jsonl"

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import (
+    AnalysisError,
     CircuitOpenError,
     ConstraintError,
     DataError,
@@ -41,6 +42,7 @@ ALL_ERRORS = (
     ServingError,
     RejectedError,
     ServerClosedError,
+    AnalysisError,
 )
 
 
@@ -75,12 +77,13 @@ class TestHierarchy:
             InjectedFaultError("chaos"),
             RejectedError(reason="queue_full", retry_after_seconds=0.1),
             ServerClosedError("repro-server"),
+            AnalysisError("malformed baseline entry"),
         ):
             try:
                 raise error
             except ReproError as exc:
                 caught.append(exc)
-        assert len(caught) == 14
+        assert len(caught) == 15
 
     def test_base_error_is_not_a_builtin_alias(self):
         assert not issubclass(ReproError, (ValueError, RuntimeError))
@@ -147,6 +150,32 @@ class TestServingErrors:
         error = ServerClosedError("repro-server")
         assert error.server_name == "repro-server"
         assert "repro-server" in str(error)
+
+
+class TestAnalysisError:
+    def test_missing_target_raises(self, tmp_path):
+        from repro.analysis import Analyzer
+
+        with pytest.raises(AnalysisError, match="no such analysis target"):
+            Analyzer().run([tmp_path / "does-not-exist"])
+
+    def test_malformed_baseline_raises(self):
+        from repro.analysis import Baseline
+
+        with pytest.raises(AnalysisError, match="malformed baseline"):
+            Baseline.parse("RR001 only-two-tokens\n")
+
+    def test_missing_justification_raises(self):
+        from repro.analysis import Baseline
+
+        with pytest.raises(AnalysisError, match="justification"):
+            Baseline.parse("RR001 a.py Scope slug\n")
+
+    def test_is_catchable_as_repro_error(self, tmp_path):
+        from repro.analysis import Baseline
+
+        with pytest.raises(ReproError):
+            Baseline.load(tmp_path / "missing.txt", required=True)
 
 
 class TestObservabilityError:
