@@ -41,6 +41,15 @@ The JSON schema (``repro.obs.bench/v1``)::
            "p99_ms": ..., "shed_rate": ..., "outcomes": {...}}, ...
         ]
       },
+      "cache": {
+        "hot_users": ..., "requests": ..., "clients": ...,
+        "off_p50_ms": ..., "on_p50_ms": ..., "p50_speedup": ...,
+        "hit_ratio": ...,
+        "sweep": [
+          {"distinct_users": 4, "hit_ratio": ..., "p50_ms": ...,
+           "throughput_rps": ...}, ...
+        ]
+      },
       "trace_events": 123
     }
 """
@@ -314,6 +323,101 @@ def bench_serving(n_users: int, n_items: int, quick: bool) -> dict:
     }
 
 
+def bench_cache(n_users: int, n_items: int, quick: bool) -> dict:
+    """Repeated-key serving workload, cache off vs on, plus a sweep.
+
+    The headline number is the p50 comparison on a hot working set (a
+    handful of distinct users requested over and over — the shape a
+    front page or a popular-users fan-out produces): with the cache on,
+    the steady state serves from memory and the median collapses.  The
+    sweep then widens the distinct-user set to show hit ratio and
+    latency degrade gracefully toward the uncached p50.
+    """
+    from repro.cache import ShardedTTLCache
+    from repro.core import NeighborHistogramExplainer
+    from repro.recsys import PopularityRecommender
+    from repro.resilience import ResilientExplainedRecommender
+    from repro.serving import RecommendationServer, run_traffic
+
+    world = make_movies(
+        n_users=n_users, n_items=n_items, seed=7, density=0.25
+    )
+    all_users = list(world.dataset.users)
+    requests = 80 if quick else 240
+    clients = 8
+    hot_users = 4
+
+    def run(user_pool: list[str], with_cache: bool):
+        pipeline = ResilientExplainedRecommender(
+            [UserBasedCF(), PopularityRecommender()],
+            NeighborHistogramExplainer(),
+        ).fit(world.dataset)
+        cache = (
+            ShardedTTLCache(name="bench", capacity=2048, ttl_seconds=60.0)
+            if with_cache
+            else None
+        )
+        server = RecommendationServer(
+            pipeline,
+            workers=4,
+            queue_size=32,
+            default_bulkhead=4,
+            default_deadline_seconds=5.0,
+            cache=cache,
+        )
+        try:
+            report = run_traffic(
+                server,
+                user_pool,
+                requests=requests,
+                clients=clients,
+                n=3,
+                deadline_seconds=5.0,
+                seed=13,
+            )
+        finally:
+            server.close()
+        stats = cache.stats() if cache is not None else None
+        return report, stats
+
+    off_report, _ = run(all_users[:hot_users], with_cache=False)
+    on_report, on_stats = run(all_users[:hot_users], with_cache=True)
+    off_p50_ms = off_report.p50_s * 1000.0
+    on_p50_ms = on_report.p50_s * 1000.0
+    speedup = off_p50_ms / on_p50_ms if on_p50_ms > 0 else float("inf")
+    print(
+        f"  hot set ({hot_users} users)       cache off p50 "
+        f"{off_p50_ms:>8.3f} ms   cache on p50 {on_p50_ms:>8.3f} ms   "
+        f"({speedup:.1f}x, hit ratio {on_stats.hit_ratio:.2f})"
+    )
+    sweep = []
+    for distinct in (4, 16, 64) if quick else (4, 16, 64, len(all_users)):
+        distinct = min(distinct, len(all_users))
+        report, stats = run(all_users[:distinct], with_cache=True)
+        entry = {
+            "distinct_users": distinct,
+            "hit_ratio": round(stats.hit_ratio, 4),
+            "p50_ms": round(report.p50_s * 1000.0, 3),
+            "throughput_rps": round(report.throughput_rps, 2),
+        }
+        sweep.append(entry)
+        print(
+            f"  distinct={distinct:<4} hit_ratio {entry['hit_ratio']:>5.2f}  "
+            f"p50 {entry['p50_ms']:>8.3f} ms  "
+            f"{entry['throughput_rps']:>8.1f} req/s"
+        )
+    return {
+        "hot_users": hot_users,
+        "requests": requests,
+        "clients": clients,
+        "off_p50_ms": round(off_p50_ms, 3),
+        "on_p50_ms": round(on_p50_ms, 3),
+        "p50_speedup": round(speedup, 2),
+        "hit_ratio": round(on_stats.hit_ratio, 4),
+        "sweep": sweep,
+    }
+
+
 def bench_studies(quick: bool) -> dict:
     """Wall-clock a couple of representative end-to-end studies."""
     from repro.evaluation.studies import (
@@ -369,6 +473,8 @@ def main(argv: list[str] | None = None) -> int:
     resilience = bench_resilience(n_users, n_items, recommend_users)
     print("serving:")
     serving = bench_serving(n_users, n_items, arguments.quick)
+    print("cache:")
+    cache = bench_cache(n_users, n_items, arguments.quick)
     print("studies:")
     studies = bench_studies(arguments.quick)
 
@@ -384,6 +490,7 @@ def main(argv: list[str] | None = None) -> int:
         "substrates": substrates,
         "resilience": resilience,
         "serving": serving,
+        "cache": cache,
         "studies": studies,
         "interaction": {
             "cycles_total": int(cycles.value) if cycles is not None else 0,

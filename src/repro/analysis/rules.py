@@ -20,7 +20,13 @@ Each rule encodes one invariant PRs 1–3 left as tribal knowledge:
   stack carry full type annotations, and every
   ``ExplainedRecommendation`` construction states its ``degraded`` flag
   explicitly (the paper's seven aims are only evaluable when degraded
-  output is labelled as such).
+  output is labelled as such);
+* **RR007** — scrutability invalidation: a method under
+  ``repro.interaction`` that writes user preference state (profile
+  edits, ratings, critique requirements) must notify a change channel
+  (``on_change`` subscribers / ``invalidate_user``), directly or via a
+  sibling method, so the cache layer can drop answers computed from
+  the old preferences.
 
 The cross-module lock-ordering analyzer (RR006) lives in
 :mod:`repro.analysis.lockgraph`.
@@ -45,6 +51,7 @@ __all__ = [
     "MetricInternalsRule",
     "ExceptionDisciplineRule",
     "TypedApiRule",
+    "MissingInvalidationRule",
     "LockOrderingRule",
     "default_rules",
 ]
@@ -514,8 +521,144 @@ class TypedApiRule(Rule):
         self.generic_visit(node)
 
 
+class MissingInvalidationRule(Rule):
+    """RR007: preference writes without a cache-invalidation path.
+
+    The cache layer's scrutability contract (``docs/caching.md``) only
+    holds if every mutation of user preference state reaches
+    ``ShardedTTLCache.invalidate_user`` — otherwise a user re-rates or
+    critiques and keeps being served answers computed from the old
+    preferences for a full TTL.  Under ``repro.interaction`` this rule
+    flags methods that perform a *watched write* —
+
+    * ``self.edits.append(...)`` (profile edit logs),
+    * ``self.dataset.add_rating(...)`` (rating writes),
+    * ``self.requirements.add_constraint/remove_constraint(...)`` or an
+      assignment to ``self.requirements`` (critique state)
+
+    — without a *notification path*: a call to ``invalidate_user`` /
+    ``invalidate_all`` / ``_notify``-style helpers, or a loop over an
+    ``on_change`` subscriber list, reachable from the writing method
+    through same-class ``self.<method>()`` calls (fixed-point closure).
+    ``__init__`` is exempt — constructing initial state is not a
+    preference *change*.
+    """
+
+    rule_id = "RR007"
+    name = "missing-cache-invalidation"
+    severity = "error"
+    rationale = (
+        "A preference write that never reaches a change channel leaves "
+        "stale cached recommendations servable for a full TTL, breaking "
+        "the scrutability loop the interaction layer exists to close."
+    )
+    fix_hint = (
+        "notify on_change subscribers (or call invalidate_user) after "
+        "the write, or route the write through a method that does"
+    )
+
+    _SCOPES = ("repro.interaction",)
+    _WATCHED_CALLS = frozenset(
+        {
+            "self.edits.append",
+            "self.dataset.add_rating",
+            "self.requirements.add_constraint",
+            "self.requirements.remove_constraint",
+        }
+    )
+    _NOTIFIER_TERMINALS = frozenset(
+        {
+            "invalidate_user",
+            "invalidate_all",
+            "_notify",
+            "_notify_change",
+            "notify_change",
+        }
+    )
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return module.package.startswith(self._SCOPES)
+
+    def _scan_method(
+        self, method: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> tuple[list[tuple[ast.AST, str]], bool, set[str]]:
+        """``(watched_writes, notifies, sibling_calls)`` for one method."""
+        writes: list[tuple[ast.AST, str]] = []
+        notifies = False
+        siblings: set[str] = set()
+        for node in ast.walk(method):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                if name in self._WATCHED_CALLS:
+                    writes.append((node, name))
+                terminal = name.rsplit(".", 1)[-1]
+                if terminal in self._NOTIFIER_TERMINALS:
+                    notifies = True
+                if name.startswith("self.") and name.count(".") == 1:
+                    siblings.add(terminal)
+            elif isinstance(node, ast.For):
+                iterated = dotted_name(node.iter)
+                if iterated is not None and iterated.rsplit(".", 1)[
+                    -1
+                ] == "on_change":
+                    notifies = True
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if dotted_name(target) == "self.requirements":
+                        writes.append((node, "self.requirements"))
+        return writes, notifies, siblings
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        methods = {
+            child.name: child
+            for child in node.body
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        writes: dict[str, list[tuple[ast.AST, str]]] = {}
+        notifying: set[str] = set()
+        calls: dict[str, set[str]] = {}
+        for name, method in methods.items():
+            if name == "__init__":
+                continue
+            method_writes, notifies, siblings = self._scan_method(method)
+            writes[name] = method_writes
+            calls[name] = siblings
+            if notifies:
+                notifying.add(name)
+        # Fixed point: a method notifies if any sibling it calls does.
+        changed = True
+        while changed:
+            changed = False
+            for name in methods:
+                if name in notifying:
+                    continue
+                if calls.get(name, set()) & notifying:
+                    notifying.add(name)
+                    changed = True
+        for name, method_writes in writes.items():
+            if name in notifying:
+                continue
+            for write_node, slug in method_writes:
+                self.report(
+                    write_node,
+                    f"preference write {slug} in {node.name}.{name} has "
+                    f"no cache-invalidation path (no on_change "
+                    f"notification or invalidate_user call reachable)",
+                    slug,
+                    scope=f"{node.name}.{name}",
+                )
+        super().visit_ClassDef(node)
+
+
 def default_rules() -> list[Rule]:
-    """Fresh instances of the full project rule set (RR001–RR006)."""
+    """Fresh instances of the full project rule set (RR001–RR007)."""
     return [
         BlockingCallUnderLockRule(),
         UnseededRandomnessRule(),
@@ -523,4 +666,5 @@ def default_rules() -> list[Rule]:
         ExceptionDisciplineRule(),
         TypedApiRule(),
         LockOrderingRule(),
+        MissingInvalidationRule(),
     ]

@@ -1,0 +1,55 @@
+"""repro.cache — single-flight caching for explained recommendations.
+
+The serving stack (PR 3) pays full substrate cost for every request,
+even identical back-to-back ones.  This package adds the missing
+memory: a thread-safe sharded LRU+TTL cache
+(:class:`~repro.cache.core.ShardedTTLCache`) with
+
+* **single-flight stampede protection** — concurrent misses for one
+  key coalesce into exactly one substrate computation;
+* **generation-based invalidation** — the scrutability contract
+  (paper Section 3.2; Cosley et al.'s re-rating protocol, Pu & Chen's
+  critiquing cycles): any critique, re-rating, or profile edit bumps
+  the user's generation and makes every stale entry unreachable before
+  the next read;
+* **degraded TTLs** — fallback results are cached on a shorter clock
+  with a ``degraded`` marker, so recovery replaces them quickly.
+
+:class:`~repro.cache.wrappers.CachedRecommender` and
+:class:`~repro.cache.wrappers.CachedExplainedRecommender` wrap
+substrates and pipelines; ``recommend_many`` / ``explain_many`` are the
+batched hot paths that deduplicate keys before fan-out.
+:func:`~repro.cache.wrappers.wire_invalidation` connects the cache to
+the interaction layer's change feeds.  The serving layer takes a cache
+per lane (``RecommendationServer(..., cache=...)``): hits resolve at
+submit time, bypassing the queue, shedder, and bulkhead entirely — and
+never touch a breaker.
+
+Metrics: ``repro_cache_lookups_total`` = ``hits_total`` +
+``misses_total`` (an exact partition), ``evictions_total``,
+``expirations_total``, ``coalesced_total``, ``invalidations_total``,
+and the ``repro_cache_size`` gauge; ``cache.*`` trace events.  See
+``docs/caching.md``.
+"""
+
+from repro.cache.core import (
+    CacheHit,
+    CacheStats,
+    ShardedTTLCache,
+    register_cache_metrics,
+)
+from repro.cache.wrappers import (
+    CachedExplainedRecommender,
+    CachedRecommender,
+    wire_invalidation,
+)
+
+__all__ = [
+    "CacheHit",
+    "CacheStats",
+    "ShardedTTLCache",
+    "register_cache_metrics",
+    "CachedRecommender",
+    "CachedExplainedRecommender",
+    "wire_invalidation",
+]

@@ -1,0 +1,479 @@
+"""The sharded single-flight cache at the heart of :mod:`repro.cache`.
+
+:class:`ShardedTTLCache` is a thread-safe LRU+TTL cache built for the
+explained-recommendation hot path, with three properties the serving
+stack depends on:
+
+* **single-flight stampede protection** — concurrent misses for the
+  same key coalesce into exactly one loader call
+  (:meth:`ShardedTTLCache.get_or_load`): one thread computes, the rest
+  wait on the flight and share its result.  A loader *failure* is
+  shared by the coalesced waiters but never negatively cached — the
+  next lookup computes again, so a transient
+  :class:`~repro.errors.InjectedFaultError` cannot poison the key;
+* **generation-based invalidation** — every key is qualified by its
+  user's current *generation*.  :meth:`invalidate_user` bumps the
+  generation, making every entry written under the old one unreachable
+  in O(1), without touching the shards.  This is the paper's
+  scrutability contract (Section 3.2) made mechanical: the moment a
+  user critiques, re-rates, or edits their profile, no read can return
+  a value computed before that correction;
+* **degraded TTLs** — entries flagged ``degraded=True`` (fallback
+  results, degraded explanations) expire on a shorter clock so
+  recovery replaces them quickly instead of pinning a degraded answer
+  for the full TTL.
+
+Instrumentation: ``repro_cache_lookups_total`` / ``hits_total`` /
+``misses_total`` partition every lookup; ``evictions_total``,
+``expirations_total``, ``coalesced_total`` and ``invalidations_total``
+count the cache's life events; ``repro_cache_size`` gauges residency.
+All are labelled by cache name.  ``cache.*`` trace events mirror the
+interesting transitions when tracing is enabled.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass, field
+from time import monotonic
+
+from repro import obs
+from repro.errors import CacheError
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "CacheHit",
+    "CacheStats",
+    "ShardedTTLCache",
+    "register_cache_metrics",
+]
+
+#: Sentinel distinguishing "no entry" from a cached ``None``.
+_MISS = object()
+
+
+def register_cache_metrics(registry: MetricsRegistry | None = None) -> None:
+    """Ensure every cache instrument family exists in the registry.
+
+    Idempotent; called by every cache at construction and by the CLI
+    metrics workload so the exposition is complete even before the
+    first lookup.
+    """
+    registry = registry if registry is not None else obs.get_registry()
+    registry.counter(
+        "repro_cache_lookups_total",
+        "Cache lookups (hits + misses partition this).",
+        labelnames=("cache",),
+    )
+    registry.counter(
+        "repro_cache_hits_total",
+        "Cache lookups answered from a live entry.",
+        labelnames=("cache",),
+    )
+    registry.counter(
+        "repro_cache_misses_total",
+        "Cache lookups that found no live entry.",
+        labelnames=("cache",),
+    )
+    registry.counter(
+        "repro_cache_evictions_total",
+        "Entries evicted by LRU capacity pressure.",
+        labelnames=("cache",),
+    )
+    registry.counter(
+        "repro_cache_expirations_total",
+        "Entries dropped at lookup because their TTL had passed.",
+        labelnames=("cache",),
+    )
+    registry.counter(
+        "repro_cache_coalesced_total",
+        "Misses that joined an in-flight computation instead of loading.",
+        labelnames=("cache",),
+    )
+    registry.counter(
+        "repro_cache_invalidations_total",
+        "Generation bumps (user critiques/re-ratings/profile edits).",
+        labelnames=("cache",),
+    )
+    registry.gauge(
+        "repro_cache_size",
+        "Entries currently resident across all shards.",
+        labelnames=("cache",),
+    )
+
+
+@dataclass(frozen=True)
+class CacheHit:
+    """One successful lookup: the value plus its degradation marker."""
+
+    value: object
+    degraded: bool
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A consistent snapshot of one cache's counters."""
+
+    lookups: int
+    hits: int
+    misses: int
+    evictions: int
+    expirations: int
+    coalesced: int
+    invalidations: int
+    size: int
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over lookups (0.0 when nothing was looked up)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class _Entry:
+    """One cached value with its expiry and degradation marker."""
+
+    __slots__ = ("value", "degraded", "expires_at")
+
+    def __init__(self, value: object, degraded: bool, expires_at: float) -> None:
+        self.value = value
+        self.degraded = degraded
+        self.expires_at = expires_at
+
+
+class _Shard:
+    """One lock + ordered map; eviction order is least-recently-used."""
+
+    __slots__ = ("lock", "entries")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.entries: OrderedDict = OrderedDict()
+
+
+@dataclass
+class _Flight:
+    """One in-flight loader call that coalesced misses wait on."""
+
+    done: threading.Event = field(default_factory=threading.Event)
+    value: object = None
+    error: BaseException | None = None
+
+
+class ShardedTTLCache:
+    """Thread-safe sharded LRU+TTL cache with single-flight loading.
+
+    Parameters
+    ----------
+    name:
+        Metric label and trace-event tag for this cache instance.
+    capacity:
+        Maximum resident entries across all shards (evicted LRU-first
+        per shard once a shard exceeds its share).
+    shards:
+        Number of independent lock domains; keys hash across them so
+        concurrent lookups for different users rarely contend.
+    ttl_seconds:
+        Lifetime of a healthy entry.
+    degraded_ttl_seconds:
+        Lifetime of an entry stored with ``degraded=True`` (fallback
+        results); keep it short so recovery replaces them.  Defaults to
+        a tenth of ``ttl_seconds``.
+    flight_timeout_seconds:
+        How long a coalesced waiter waits for the leader before raising
+        :class:`~repro.errors.CacheError` (a leader stuck past this is
+        a bug, not load).
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        name: str = "default",
+        *,
+        capacity: int = 2048,
+        shards: int = 8,
+        ttl_seconds: float = 60.0,
+        degraded_ttl_seconds: float | None = None,
+        flight_timeout_seconds: float = 30.0,
+        clock: Callable[[], float] = monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise CacheError(f"capacity must be >= 1, got {capacity}")
+        if shards < 1:
+            raise CacheError(f"shards must be >= 1, got {shards}")
+        if ttl_seconds <= 0:
+            raise CacheError(f"ttl_seconds must be > 0, got {ttl_seconds}")
+        if degraded_ttl_seconds is None:
+            degraded_ttl_seconds = ttl_seconds / 10.0
+        if degraded_ttl_seconds <= 0 or degraded_ttl_seconds > ttl_seconds:
+            raise CacheError(
+                "degraded_ttl_seconds must be in (0, ttl_seconds], got "
+                f"{degraded_ttl_seconds}"
+            )
+        self.name = name
+        self.capacity = capacity
+        self.ttl_seconds = ttl_seconds
+        self.degraded_ttl_seconds = degraded_ttl_seconds
+        self.flight_timeout_seconds = flight_timeout_seconds
+        self._clock = clock
+        self._shards = tuple(_Shard() for _ in range(shards))
+        # Per-shard capacity, rounded up so the total is never below
+        # the requested capacity.
+        self._shard_capacity = -(-capacity // shards)
+        self._generations: dict[str, int] = {}
+        self._generation_lock = threading.Lock()
+        self._epoch = 0
+        self._flights: dict[Hashable, _Flight] = {}
+        self._flight_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._lookups = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+        self._coalesced = 0
+        self._invalidations = 0
+        self._registry = obs.get_registry()
+        register_cache_metrics(self._registry)
+
+    # -- counters ---------------------------------------------------------
+
+    def _metrics_registry(self) -> MetricsRegistry:
+        """The live registry, re-registering families after a reset."""
+        registry = obs.get_registry()
+        if registry is not self._registry:
+            register_cache_metrics(registry)
+            self._registry = registry
+        return registry
+
+    def _count(self, stat: str, metric: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            setattr(self, stat, getattr(self, stat) + amount)
+        self._metrics_registry().counter(
+            f"repro_cache_{metric}_total", "", labelnames=("cache",)
+        ).inc(amount, cache=self.name)
+
+    def _update_size_gauge(self) -> None:
+        self._metrics_registry().gauge(
+            "repro_cache_size", "", labelnames=("cache",)
+        ).set(len(self), cache=self.name)
+
+    # -- generations ------------------------------------------------------
+
+    def generation(self, user_id: str) -> int:
+        """The user's current generation (0 until first invalidation)."""
+        with self._generation_lock:
+            return self._generations.get(user_id, 0)
+
+    def invalidate_user(self, user_id: str) -> int:
+        """Bump the user's generation; their cached entries go stale.
+
+        Every entry written under the previous generation becomes
+        unreachable immediately (it ages out of the shards via LRU/TTL).
+        Returns the new generation.  This is the hook interaction
+        channels call on critique / re-rate / profile edit.
+        """
+        with self._generation_lock:
+            generation = self._generations.get(user_id, 0) + 1
+            self._generations[user_id] = generation
+        self._count("_invalidations", "invalidations")
+        obs.event(
+            "cache.invalidate",
+            cache=self.name,
+            user=user_id,
+            generation=generation,
+        )
+        return generation
+
+    def invalidate_all(self) -> None:
+        """Drop every entry (e.g. after a refit on a new dataset)."""
+        with self._generation_lock:
+            self._epoch += 1
+        for shard in self._shards:
+            with shard.lock:
+                shard.entries.clear()
+        self._count("_invalidations", "invalidations")
+        obs.event("cache.invalidate_all", cache=self.name)
+        self._update_size_gauge()
+
+    # -- keying -----------------------------------------------------------
+
+    def _full_key(self, user_id: str, key: Hashable) -> tuple:
+        with self._generation_lock:
+            generation = self._generations.get(user_id, 0)
+            epoch = self._epoch
+        return (epoch, user_id, generation, key)
+
+    def _shard_for(self, full_key: tuple) -> _Shard:
+        return self._shards[hash(full_key) % len(self._shards)]
+
+    # -- lookup / store ---------------------------------------------------
+
+    def _lookup(self, full_key: tuple) -> _Entry | None:
+        """Hit/miss bookkeeping for one generation-qualified key."""
+        shard = self._shard_for(full_key)
+        expired = False
+        with shard.lock:
+            entry = shard.entries.get(full_key)
+            if entry is not None and entry.expires_at <= self._clock():
+                del shard.entries[full_key]
+                entry = None
+                expired = True
+            elif entry is not None:
+                shard.entries.move_to_end(full_key)
+        self._count("_lookups", "lookups")
+        if entry is None:
+            self._count("_misses", "misses")
+            if expired:
+                self._count("_expirations", "expirations")
+                self._update_size_gauge()
+        else:
+            self._count("_hits", "hits")
+        return entry
+
+    def _store(
+        self, full_key: tuple, value: object, degraded: bool
+    ) -> None:
+        ttl = self.degraded_ttl_seconds if degraded else self.ttl_seconds
+        entry = _Entry(value, degraded, self._clock() + ttl)
+        shard = self._shard_for(full_key)
+        evicted = 0
+        with shard.lock:
+            shard.entries[full_key] = entry
+            shard.entries.move_to_end(full_key)
+            while len(shard.entries) > self._shard_capacity:
+                shard.entries.popitem(last=False)
+                evicted += 1
+        if evicted:
+            self._count("_evictions", "evictions", evicted)
+            obs.event(
+                "cache.evict", cache=self.name, evicted=evicted
+            )
+        self._update_size_gauge()
+
+    def lookup(self, user_id: str, key: Hashable) -> CacheHit | None:
+        """One instrumented lookup; ``None`` is a miss.
+
+        The result carries the entry's ``degraded`` marker so callers
+        (the serving layer, clients) can tell a cached fallback answer
+        from a cached primary one.
+        """
+        entry = self._lookup(self._full_key(user_id, key))
+        if entry is None:
+            return None
+        return CacheHit(value=entry.value, degraded=entry.degraded)
+
+    def get(
+        self, user_id: str, key: Hashable, default: object = None
+    ) -> object:
+        """The cached value, or ``default`` on a miss."""
+        hit = self.lookup(user_id, key)
+        return hit.value if hit is not None else default
+
+    def put(
+        self,
+        user_id: str,
+        key: Hashable,
+        value: object,
+        *,
+        degraded: bool = False,
+        generation: int | None = None,
+    ) -> None:
+        """Store one value under the user's generation.
+
+        Pass the ``generation`` observed *before* a computation started
+        (see :meth:`generation`) when storing its result later: if the
+        user invalidated mid-computation, the entry lands under the old
+        generation — unreachable — instead of resurrecting stale data
+        under the new one.
+        """
+        if generation is None:
+            full_key = self._full_key(user_id, key)
+        else:
+            with self._generation_lock:
+                epoch = self._epoch
+            full_key = (epoch, user_id, generation, key)
+        self._store(full_key, value, degraded)
+
+    # -- single flight ----------------------------------------------------
+
+    def get_or_load(
+        self,
+        user_id: str,
+        key: Hashable,
+        loader: Callable[[], object],
+        *,
+        degraded_when: Callable[[object], bool] | None = None,
+    ) -> object:
+        """The cached value, computing it under single-flight on a miss.
+
+        Concurrent misses for the same (user, generation, key) coalesce
+        into exactly one ``loader()`` call: the first thread leads, the
+        rest wait on the flight and share its value — or its exception.
+        Failures are never negatively cached.
+
+        ``degraded_when`` classifies a freshly loaded value: when it
+        returns ``True`` the entry is stored with the degraded TTL.
+        """
+        full_key = self._full_key(user_id, key)
+        entry = self._lookup(full_key)
+        if entry is not None:
+            obs.event("cache.hit", cache=self.name, user=user_id)
+            return entry.value
+        with self._flight_lock:
+            flight = self._flights.get(full_key)
+            leading = flight is None
+            if leading:
+                flight = _Flight()
+                self._flights[full_key] = flight
+        if not leading:
+            self._count("_coalesced", "coalesced")
+            obs.event("cache.coalesced", cache=self.name, user=user_id)
+            if not flight.done.wait(self.flight_timeout_seconds):
+                raise CacheError(
+                    f"single-flight leader for cache {self.name!r} did "
+                    f"not complete within {self.flight_timeout_seconds}s"
+                )
+            if flight.error is not None:
+                raise flight.error
+            return flight.value
+        obs.event("cache.miss", cache=self.name, user=user_id)
+        try:
+            value = loader()
+            degraded = bool(degraded_when(value)) if degraded_when else False
+            self._store(full_key, value, degraded)
+            flight.value = value
+        except BaseException as error:
+            flight.error = error
+            raise
+        finally:
+            with self._flight_lock:
+                self._flights.pop(full_key, None)
+            flight.done.set()
+        return value
+
+    # -- introspection ----------------------------------------------------
+
+    def __len__(self) -> int:
+        total = 0
+        for shard in self._shards:
+            with shard.lock:
+                total += len(shard.entries)
+        return total
+
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of the cache's counters."""
+        size = len(self)
+        with self._stats_lock:
+            return CacheStats(
+                lookups=self._lookups,
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                expirations=self._expirations,
+                coalesced=self._coalesced,
+                invalidations=self._invalidations,
+                size=size,
+            )

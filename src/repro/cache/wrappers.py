@@ -1,0 +1,268 @@
+"""Caching wrappers for recommenders and explained-recommendation pipelines.
+
+:class:`CachedRecommender` puts a :class:`ShardedTTLCache` in front of
+one substrate's ``predict``/``recommend``; :class:`CachedExplainedRecommender`
+does the same for a whole explained-recommendation pipeline and adds the
+batched hot paths ``recommend_many`` / ``explain_many``, which
+deduplicate keys *before* fanning out so a burst of identical requests
+costs one substrate computation, not N.
+
+Scrutability wiring (:func:`wire_invalidation`): any interaction channel
+exposing ``subscribe(callback)`` — :class:`~repro.interaction.ratings.RatingChannel`,
+:class:`~repro.interaction.profile.ScrutableProfile`,
+:class:`~repro.interaction.session.CritiqueSession` — is connected to
+:meth:`ShardedTTLCache.invalidate_user`, so the moment a user re-rates,
+critiques, or edits their profile, every cached answer computed from
+the old preferences becomes unreachable.  "The user rates items" and
+immediately *sees the effect* (paper Section 5.3) — a cache must never
+break that loop.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.explanation import Explanation
+from repro.core.pipeline import ExplainedRecommendation
+from repro.recsys.base import Prediction, Recommendation, Recommender
+from repro.recsys.data import Dataset
+
+from repro.cache.core import ShardedTTLCache
+
+__all__ = [
+    "CachedRecommender",
+    "CachedExplainedRecommender",
+    "wire_invalidation",
+]
+
+
+def wire_invalidation(cache: object, *channels: object) -> None:
+    """Subscribe the cache's ``invalidate_user`` to interaction channels.
+
+    ``cache`` is anything with ``invalidate_user(user_id)`` (a
+    :class:`ShardedTTLCache` or either wrapper below); each channel is
+    anything with ``subscribe(callback)`` — the interaction layer's
+    rating channels, scrutable profiles, and critique sessions all
+    qualify.
+    """
+    for channel in channels:
+        channel.subscribe(cache.invalidate_user)
+
+
+class CachedRecommender(Recommender):
+    """One substrate behind a generation-aware single-flight cache.
+
+    ``predict`` and ``recommend`` results are cached per user; any call
+    to :meth:`invalidate_user` (typically wired to a rating/profile
+    channel via :func:`wire_invalidation`) makes that user's entries
+    unreachable before the next read.  ``fit`` clears everything — a new
+    dataset invalidates every answer.
+    """
+
+    def __init__(
+        self,
+        inner: Recommender,
+        cache: ShardedTTLCache | None = None,
+    ) -> None:
+        super().__init__()
+        self.inner = inner
+        self.cache = (
+            cache
+            if cache is not None
+            else ShardedTTLCache(name=type(inner).__name__)
+        )
+
+    # -- Recommender protocol --------------------------------------------
+
+    def fit(self, dataset: Dataset) -> "CachedRecommender":
+        self.inner.fit(dataset)
+        self.cache.invalidate_all()
+        return self
+
+    @property
+    def dataset(self) -> Dataset:
+        return self.inner.dataset
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.inner.is_fitted
+
+    @property
+    def degrade_on(self) -> tuple[type[BaseException], ...]:
+        return self.inner.degrade_on
+
+    def predict(self, user_id: str, item_id: str) -> Prediction:
+        return self.cache.get_or_load(
+            user_id,
+            ("predict", item_id),
+            lambda: self.inner.predict(user_id, item_id),
+        )
+
+    def recommend(
+        self,
+        user_id: str,
+        n: int = 10,
+        exclude_rated: bool = True,
+        candidates: Iterable[str] | None = None,
+    ) -> list[Recommendation]:
+        key = (
+            "recommend",
+            n,
+            exclude_rated,
+            tuple(candidates) if candidates is not None else None,
+        )
+        return self.cache.get_or_load(
+            user_id,
+            key,
+            lambda: self.inner.recommend(
+                user_id,
+                n=n,
+                exclude_rated=exclude_rated,
+                candidates=key[3],
+            ),
+        )
+
+    def recommend_many(
+        self,
+        user_ids: Sequence[str],
+        n: int = 10,
+        exclude_rated: bool = True,
+    ) -> list[list[Recommendation]]:
+        """Batched ``recommend``: deduplicates users before fan-out.
+
+        The result list aligns with ``user_ids``; a user appearing k
+        times costs one computation and is shared k ways.
+        """
+        unique: dict[str, list[Recommendation]] = {}
+        for user_id in user_ids:
+            if user_id not in unique:
+                unique[user_id] = self.recommend(
+                    user_id, n=n, exclude_rated=exclude_rated
+                )
+        return [unique[user_id] for user_id in user_ids]
+
+    def invalidate_user(self, user_id: str) -> None:
+        """Bump the user's generation (the interaction-channel hook)."""
+        self.cache.invalidate_user(user_id)
+
+    def __getattr__(self, name: str) -> object:
+        return getattr(object.__getattribute__(self, "inner"), name)
+
+
+class CachedExplainedRecommender:
+    """An explained-recommendation pipeline behind the cache.
+
+    Wraps anything with the :class:`~repro.core.pipeline.ExplainedRecommender`
+    surface (including
+    :class:`~repro.resilience.pipeline.ResilientExplainedRecommender`).
+    Cached entries whose batch carries any ``degraded=True`` item —
+    fallback-substrate results, degraded explanations — are stored
+    under the shorter degraded TTL, so recovery replaces them quickly
+    instead of pinning a degraded answer for the full TTL.
+    """
+
+    def __init__(
+        self,
+        pipeline: object,
+        cache: ShardedTTLCache | None = None,
+    ) -> None:
+        self.pipeline = pipeline
+        self.cache = (
+            cache if cache is not None else ShardedTTLCache(name="pipeline")
+        )
+
+    @staticmethod
+    def _any_degraded(explained: object) -> bool:
+        return any(
+            getattr(item, "degraded", False) for item in explained
+        )
+
+    def fit(self, dataset: Dataset) -> "CachedExplainedRecommender":
+        """Fit the pipeline; a new dataset voids every cached answer."""
+        self.pipeline.fit(dataset)
+        self.cache.invalidate_all()
+        return self
+
+    def recommend(
+        self,
+        user_id: str,
+        n: int = 10,
+        exclude_rated: bool = True,
+        candidates: Iterable[str] | None = None,
+    ) -> list[ExplainedRecommendation]:
+        """Cached top-``n`` explained recommendations (single-flight)."""
+        key = (
+            "recommend",
+            n,
+            exclude_rated,
+            tuple(candidates) if candidates is not None else None,
+        )
+        return self.cache.get_or_load(
+            user_id,
+            key,
+            lambda: self.pipeline.recommend(
+                user_id,
+                n=n,
+                exclude_rated=exclude_rated,
+                candidates=key[3],
+            ),
+            degraded_when=self._any_degraded,
+        )
+
+    def recommend_many(
+        self,
+        user_ids: Sequence[str],
+        n: int = 10,
+        exclude_rated: bool = True,
+    ) -> list[list[ExplainedRecommendation]]:
+        """Batched ``recommend``: deduplicates users before fan-out."""
+        unique: dict[str, list[ExplainedRecommendation]] = {}
+        for user_id in user_ids:
+            if user_id not in unique:
+                unique[user_id] = self.recommend(
+                    user_id, n=n, exclude_rated=exclude_rated
+                )
+        return [unique[user_id] for user_id in user_ids]
+
+    def explain(
+        self, user_id: str, recommendation: Recommendation
+    ) -> Explanation:
+        """Cached explanation for one recommendation.
+
+        Backed by the pipeline's ``explain_or_degrade``, so a degraded
+        (fallback-template) explanation is cached under the degraded
+        TTL and replaced as soon as the primary explainer recovers.
+        """
+        loaded = self.cache.get_or_load(
+            user_id,
+            ("explain", recommendation.item_id),
+            lambda: self.pipeline.explain_or_degrade(
+                user_id, recommendation
+            ),
+            degraded_when=lambda pair: pair[1],
+        )
+        return loaded[0]
+
+    def explain_many(
+        self,
+        user_id: str,
+        recommendations: Sequence[Recommendation],
+    ) -> list[Explanation]:
+        """Batched ``explain``: deduplicates items before fan-out."""
+        unique: dict[str, Explanation] = {}
+        for recommendation in recommendations:
+            if recommendation.item_id not in unique:
+                unique[recommendation.item_id] = self.explain(
+                    user_id, recommendation
+                )
+        return [
+            unique[recommendation.item_id]
+            for recommendation in recommendations
+        ]
+
+    def invalidate_user(self, user_id: str) -> None:
+        """Bump the user's generation (the interaction-channel hook)."""
+        self.cache.invalidate_user(user_id)
+
+    def __getattr__(self, name: str) -> object:
+        return getattr(object.__getattribute__(self, "pipeline"), name)

@@ -12,6 +12,7 @@ python -m repro --resilience demo      # fallback-chained pipeline demo
 python -m repro --chaos-rate 0.2 --resilience demo   # ... under chaos
 python -m repro serve             # closed-loop synthetic serving run
 python -m repro serve --clients 16 --workers 4 --deadline 0.5
+python -m repro serve --cache     # ... with the single-flight cache
 python -m repro --chaos-rate 0.2 serve  # ... against faulty substrates
 python -m repro analyze           # static-analysis gate over src/repro
 python -m repro analyze --format json src/repro tests
@@ -229,6 +230,7 @@ def _build_serving_lanes(chaos_rate: float, chaos_seed: int):
 
 
 def _cmd_serve(arguments: argparse.Namespace) -> int:
+    from repro.cache import ShardedTTLCache
     from repro.serving import (
         DeadlineAwareShedder,
         RecommendationServer,
@@ -241,6 +243,14 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
     admission = []
     if arguments.rate > 0.0:
         admission.append(TokenBucket(rate=arguments.rate))
+    cache = None
+    if arguments.cache:
+        cache = ShardedTTLCache(
+            name="serve",
+            capacity=arguments.cache_capacity,
+            ttl_seconds=arguments.cache_ttl,
+            degraded_ttl_seconds=arguments.cache_degraded_ttl,
+        )
     server = RecommendationServer(
         lanes,
         workers=arguments.workers,
@@ -249,6 +259,7 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
         shedder=DeadlineAwareShedder(),
         default_bulkhead=arguments.bulkhead,
         default_deadline_seconds=arguments.deadline,
+        cache=cache,
     )
     try:
         report = run_traffic(
@@ -271,6 +282,13 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
     )
     health = server.health()
     print(f"final health   status={health.status} live={health.live}")
+    if cache is not None:
+        stats = cache.stats()
+        print(
+            f"cache          hits={stats.hits} misses={stats.misses} "
+            f"hit_ratio={stats.hit_ratio:.2f} "
+            f"coalesced={stats.coalesced} size={stats.size}"
+        )
     return 0 if drain.clean else 1
 
 
@@ -283,7 +301,9 @@ def _run_metrics_workload(
     critiquing conversation, so the exposition shows substrate,
     explainer, and interaction-cycle series — followed by a seeded
     chaos segment through the resilience stack so the retry, breaker,
-    and fallback series are populated too.
+    and fallback series are populated too, and a cached segment
+    (repeat recommendations, one invalidation) so the
+    ``repro_cache_*`` families show a hit/miss/invalidation mix.
     """
     from repro.core import ExplainedRecommender, NeighborHistogramExplainer
     from repro.domains import make_cameras, make_movies
@@ -331,6 +351,20 @@ def _run_metrics_workload(
             server.serve(user_id, n=3)
     finally:
         server.close()
+
+    # A cached segment: repeat recommendations hit, one user's
+    # invalidation forces a recompute — so the repro_cache_* families
+    # show hits, misses and an invalidation, and the lookups = hits +
+    # misses partition is checkable from the exposition alone.
+    from repro.cache import CachedExplainedRecommender, register_cache_metrics
+
+    register_cache_metrics()
+    cached = CachedExplainedRecommender(pipeline)
+    users = list(world.dataset.users)[:4]
+    cached.recommend_many(users, n=3)
+    cached.recommend_many(users, n=3)
+    cached.invalidate_user(users[0])
+    cached.recommend(users[0], n=3)
 
 
 #: Default analysis targets and suppression baseline, relative to the
@@ -546,6 +580,30 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--drain-seconds", type=float, default=5.0,
         help="graceful-shutdown drain budget (default: 5.0)",
+    )
+    serve.add_argument(
+        "--cache",
+        action="store_true",
+        help=(
+            "serve repeated requests from a sharded single-flight "
+            "cache (hits bypass queue, shedder and bulkhead; "
+            "see docs/caching.md)"
+        ),
+    )
+    serve.add_argument(
+        "--cache-capacity", type=int, default=2048,
+        help="maximum resident cache entries (default: 2048)",
+    )
+    serve.add_argument(
+        "--cache-ttl", type=float, default=30.0,
+        help="cache entry lifetime in seconds (default: 30.0)",
+    )
+    serve.add_argument(
+        "--cache-degraded-ttl", type=float, default=2.0,
+        help=(
+            "lifetime of cached fallback (degraded) answers "
+            "(default: 2.0)"
+        ),
     )
     serve.set_defaults(handler=_cmd_serve)
 

@@ -164,6 +164,18 @@ class ServerClosedError(ServingError):
         self.server_name = server_name
 
 
+class CacheError(ReproError):
+    """Raised for misuse or failure of the :mod:`repro.cache` layer.
+
+    Covers invalid cache configuration (non-positive capacity or shard
+    counts, inverted TTLs) and a single-flight follower whose leader
+    never completed within the flight timeout.  Cache *misses* are never
+    errors — they are outcomes — and a loader's own exception propagates
+    as itself, never wrapped in this type, so resilience classification
+    (retry / breaker / fallback) still sees the original taxonomy error.
+    """
+
+
 class AnalysisError(ReproError):
     """Raised for misuse of the :mod:`repro.analysis` static analyzer.
 

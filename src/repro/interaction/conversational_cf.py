@@ -63,7 +63,12 @@ class ConversationalCF:
         self.log = InteractionLog()
         self.cycle = 0
         self.finished = False
+        self.on_change: list = []
         self._refit()
+
+    def subscribe(self, callback) -> None:
+        """Call ``callback(user_id)`` after every rating batch lands."""
+        self.on_change.append(callback)
 
     def _refit(self) -> None:
         self.recommender = UserBasedCF().fit(self.dataset)
@@ -124,6 +129,8 @@ class ConversationalCF:
                 self.time_model.per_critique_choice,
             )
         self._refit()
+        for callback in self.on_change:
+            callback(self.user_id)
 
     def finish(self) -> None:
         """End the conversation."""

@@ -64,13 +64,25 @@ class ScrutableProfile:
     """An editable user model with full provenance.
 
     All mutations are logged in :attr:`edits` so studies can count
-    scrutinization actions (paper Section 3.2).
+    scrutinization actions (paper Section 3.2), and every mutation
+    notifies :attr:`on_change` subscribers with the user id — the hook
+    the cache layer uses (:func:`repro.cache.wrappers.wire_invalidation`)
+    so a profile edit voids every answer computed from the old profile.
     """
 
     def __init__(self, user_id: str) -> None:
         self.user_id = user_id
         self._attributes: dict[str, ProfileAttribute] = {}
         self.edits: list[str] = []
+        self.on_change: list = []
+
+    def subscribe(self, callback) -> None:
+        """Call ``callback(user_id)`` after every profile mutation."""
+        self.on_change.append(callback)
+
+    def _notify(self) -> None:
+        for callback in self.on_change:
+            callback(self.user_id)
 
     # -- writing ------------------------------------------------------------
 
@@ -80,6 +92,7 @@ class ScrutableProfile:
             name=name, value=value, provenance=VOLUNTEERED, weight=weight
         )
         self.edits.append(f"volunteered {name}={value}")
+        self._notify()
 
     def infer(
         self, name: str, value: object, because: str, weight: float = 1.0
@@ -100,6 +113,7 @@ class ScrutableProfile:
             weight=weight,
         )
         self.edits.append(f"inferred {name}={value}")
+        self._notify()
 
     def correct(self, name: str, value: object) -> None:
         """User overrides an attribute (it becomes volunteered).
@@ -117,6 +131,7 @@ class ScrutableProfile:
             weight=1.0,
         )
         self.edits.append(f"corrected {name}={value}")
+        self._notify()
 
     def remove(self, name: str) -> None:
         """User deletes an attribute entirely."""
@@ -124,6 +139,7 @@ class ScrutableProfile:
             raise DataError(f"no such profile attribute: {name!r}")
         del self._attributes[name]
         self.edits.append(f"removed {name}")
+        self._notify()
 
     # -- reading --------------------------------------------------------------
 

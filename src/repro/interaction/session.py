@@ -107,6 +107,12 @@ class CritiqueSession:
     offer_compound:
         Whether dynamic compound critiques are mined and offered each
         cycle (the experimental manipulation of study E4).
+    user_id:
+        The critiquing user, when known.  Every critique or relaxation
+        then notifies :attr:`on_change` subscribers with it — the hook
+        :func:`repro.cache.wrappers.wire_invalidation` uses so cached
+        recommendations computed before the critique become
+        unreachable (the paper's scrutability loop).
     """
 
     def __init__(
@@ -115,15 +121,28 @@ class CritiqueSession:
         requirements: UserRequirements,
         offer_compound: bool = True,
         time_model: TimeModel | None = None,
+        user_id: str | None = None,
     ) -> None:
         self.recommender = recommender
         self.requirements = requirements.copy()
         self.offer_compound = offer_compound
         self.time_model = time_model if time_model is not None else TimeModel()
+        self.user_id = user_id
+        self.on_change: list = []
         self.log = InteractionLog()
         self.cycle = 0
         self.accepted: Item | None = None
         self._advance()
+
+    def subscribe(self, callback) -> None:
+        """Call ``callback(user_id)`` after every requirements change."""
+        self.on_change.append(callback)
+
+    def _notify(self) -> None:
+        if self.user_id is None:
+            return
+        for callback in self.on_change:
+            callback(self.user_id)
 
     # -- state -----------------------------------------------------------
 
@@ -199,6 +218,7 @@ class CritiqueSession:
         kind = "unit" if isinstance(critique, UnitCritique) else "compound"
         if self.recommender.matching_items(attempted):
             self.requirements = attempted
+            self._notify()
             self.log.add(
                 self.cycle,
                 "critique",
@@ -230,6 +250,7 @@ class CritiqueSession:
             raise DialogError("nothing to relax")
         dropped = self.requirements.constraints[-1]
         self.requirements.remove_constraint(dropped)
+        self._notify()
         self.log.add(
             self.cycle, "repair", f"relaxed {dropped.describe()}",
             self.time_model.per_repair,

@@ -37,10 +37,13 @@ Surfaced via ``python -m repro --chaos-rate 0.2 --resilience demo`` /
 from repro.resilience.chaos import ChaosExplainer, ChaosRecommender, FaultPlan
 from repro.resilience.fallback import (
     DEGRADABLE_ERRORS,
+    DegradationTracker,
     FallbackChain,
     FallbackExplainer,
     ResilientRecommender,
+    mark_degraded,
     substrate_name,
+    track_degradation,
 )
 from repro.resilience.pipeline import ResilientExplainedRecommender
 from repro.resilience.policies import (
@@ -59,6 +62,9 @@ __all__ = [
     "FallbackChain",
     "FallbackExplainer",
     "DEGRADABLE_ERRORS",
+    "DegradationTracker",
+    "track_degradation",
+    "mark_degraded",
     "substrate_name",
     "ChaosRecommender",
     "ChaosExplainer",

@@ -21,7 +21,10 @@ explanation beats an error page.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
+import contextvars
+from collections.abc import Callable, Iterator, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass, field
 
 from repro import obs
 from repro.core.explainers.base import Explainer, GenericExplainer
@@ -43,6 +46,9 @@ __all__ = [
     "ResilientRecommender",
     "FallbackChain",
     "FallbackExplainer",
+    "DegradationTracker",
+    "track_degradation",
+    "mark_degraded",
     "substrate_name",
 ]
 
@@ -65,6 +71,57 @@ def substrate_name(recommender: Recommender) -> str:
         seen.add(id(current))
         current = current.inner
     return type(current).__name__
+
+
+@dataclass
+class DegradationTracker:
+    """Records substrate fallbacks observed during one tracked call.
+
+    Before PR 5, a :class:`FallbackChain` result reached callers with
+    no marker distinguishing it from a primary result — the serving
+    boundary reported ``outcome="served"`` for a popularity-fallback
+    answer, and caches pinned it for the full TTL.  The tracker is the
+    channel that carries "a fallback happened" out of the per-item
+    ``predict`` calls up to the batch that contains them.
+    """
+
+    events: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def fired(self) -> bool:
+        """Whether any fallback happened inside the tracked scope."""
+        return bool(self.events)
+
+    def record(self, substrate: str, reason: str) -> None:
+        """Note one fallback decision (substrate that failed, reason)."""
+        self.events.append((substrate, reason))
+
+
+_degradation_tracker: contextvars.ContextVar[DegradationTracker | None] = (
+    contextvars.ContextVar("repro_degradation_tracker", default=None)
+)
+
+
+@contextmanager
+def track_degradation() -> Iterator[DegradationTracker]:
+    """Collect fallback events from everything called inside the block.
+
+    Contextvar-based, so it is safe under the serving layer's worker
+    threads: each tracked call sees only its own fallbacks.
+    """
+    tracker = DegradationTracker()
+    token = _degradation_tracker.set(tracker)
+    try:
+        yield tracker
+    finally:
+        _degradation_tracker.reset(token)
+
+
+def mark_degraded(substrate: str, reason: str) -> None:
+    """Report a fallback to the active tracker, if any."""
+    tracker = _degradation_tracker.get()
+    if tracker is not None:
+        tracker.record(substrate, reason)
 
 
 def _count_fallback(substrate: str, reason: str) -> None:
@@ -242,6 +299,7 @@ class FallbackChain(Recommender):
                 last_error = error
                 reason = type(error).__name__
                 _count_fallback(name, reason)
+                mark_degraded(name, reason)
                 obs.event(
                     "resilience.fallback",
                     substrate=name,

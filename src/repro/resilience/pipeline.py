@@ -17,12 +17,17 @@ per-call overhead, byte-identical behaviour.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
+from dataclasses import replace
 
 from repro.core.explainers.base import Explainer
-from repro.core.pipeline import ExplainedRecommender
+from repro.core.pipeline import ExplainedRecommendation, ExplainedRecommender
 from repro.recsys.base import Recommender
-from repro.resilience.fallback import FallbackChain, ResilientRecommender
+from repro.resilience.fallback import (
+    FallbackChain,
+    ResilientRecommender,
+    track_degradation,
+)
 from repro.resilience.policies import BreakerPolicy, Retry
 
 __all__ = ["ResilientExplainedRecommender"]
@@ -99,3 +104,36 @@ class ResilientExplainedRecommender(ExplainedRecommender):
         if isinstance(self.recommender, FallbackChain):
             return self.recommender
         return None
+
+    def recommend(
+        self,
+        user_id: str,
+        n: int = 10,
+        exclude_rated: bool = True,
+        candidates: Iterable[str] | None = None,
+    ) -> list[ExplainedRecommendation]:
+        """Top-``n`` with the degradation marker threaded through.
+
+        A batch whose scoring fell back to a later chain component
+        (popularity after a collapsed collaborative substrate, say) is
+        no longer indistinguishable from a primary result: every item
+        in it carries ``degraded=True``, so the serving boundary
+        reports ``outcome="degraded"`` and caches apply the shorter
+        degraded TTL — recovery replaces the answer instead of pinning
+        it.  Tracking is batch-granular: a single mid-ranking fallback
+        marks the whole list, because the ranking it produced was
+        shaped by the fallback substrate.
+        """
+        with track_degradation() as tracker:
+            explained = super().recommend(
+                user_id,
+                n=n,
+                exclude_rated=exclude_rated,
+                candidates=candidates,
+            )
+        if not tracker.fired:
+            return explained
+        return [
+            item if item.degraded else replace(item, degraded=True)
+            for item in explained
+        ]

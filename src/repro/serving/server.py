@@ -14,6 +14,9 @@ behind a worker pool with explicit, bounded buffering at every stage:
   saturates its own compartment instead of every worker thread;
 * **health/readiness probes** derived from breaker states, queue depth
   and drain state (:mod:`repro.serving.health`);
+* an optional per-lane **cache** (:class:`~repro.cache.core.ShardedTTLCache`):
+  hits resolve at submit time, bypassing the queue, shedder, bulkhead
+  and every substrate — and never touch a circuit breaker;
 * **graceful shutdown**: :meth:`close` stops admission, lets in-flight
   requests finish within a drain deadline, sheds everything still
   queued with ``reason="draining"``, and reports exactly what happened.
@@ -34,6 +37,7 @@ from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
 
 from repro import obs
+from repro.cache.core import ShardedTTLCache
 from repro.errors import RejectedError, ReproError, ServerClosedError, ServingError
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.serving.admission import AdmissionPolicy, DeadlineAwareShedder
@@ -123,11 +127,24 @@ class ServeResult:
     error: str | None = None
     queue_wait_s: float = 0.0
     service_s: float = 0.0
+    cached: bool = False
 
     @property
     def total_s(self) -> float:
         """Queue wait plus service time."""
         return self.queue_wait_s + self.service_s
+
+    @property
+    def degraded(self) -> bool:
+        """Whether this answer came from a fallback path.
+
+        True for ``outcome="degraded"`` — the batch carried at least
+        one fallback-substrate or fallback-explainer item, or it was a
+        cache hit on an entry stored under the degraded TTL.  Clients
+        use this to badge results; caches use it to pick the shorter
+        TTL.
+        """
+        return self.outcome == "degraded"
 
 
 @dataclass(frozen=True)
@@ -174,6 +191,11 @@ class _Job:
     context: contextvars.Context = field(
         default_factory=contextvars.copy_context
     )
+    #: The user's cache generation captured at admission, so a result
+    #: computed across an invalidation is stored unreachably stale
+    #: instead of resurrecting pre-critique data under the new
+    #: generation.
+    cache_generation: int | None = None
 
 
 class RecommendationServer:
@@ -203,6 +225,14 @@ class RecommendationServer:
         ``default_bulkhead`` slots.
     default_deadline_seconds:
         Budget applied to requests that do not carry their own.
+    cache:
+        One :class:`~repro.cache.core.ShardedTTLCache` shared by every
+        lane, or a mapping of lane name → cache for per-lane caches
+        (lanes absent from the mapping serve uncached).  Hits resolve
+        at :meth:`submit` time — bypassing the queue, the shedder and
+        the bulkhead, and never touching a substrate or its breaker —
+        with ``ServeResult.cached=True``.  Keys include the lane, so a
+        shared cache never crosses answers between lanes.
     """
 
     def __init__(
@@ -217,6 +247,7 @@ class RecommendationServer:
         default_bulkhead: int = 2,
         bulkhead_max_wait: float = 0.05,
         default_deadline_seconds: float | None = None,
+        cache: ShardedTTLCache | Mapping[str, ShardedTTLCache] | None = None,
         name: str = "repro-server",
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
@@ -238,6 +269,18 @@ class RecommendationServer:
             shedder if shedder is not None else DeadlineAwareShedder()
         )
         self._clock = clock
+        if cache is None:
+            self._caches: dict[str, ShardedTTLCache] = {}
+        elif isinstance(cache, Mapping):
+            unknown = sorted(set(cache) - set(self.pipelines))
+            if unknown:
+                raise ServingError(
+                    f"cache lanes {unknown} have no pipeline; "
+                    f"lanes: {sorted(self.pipelines)}"
+                )
+            self._caches = dict(cache)
+        else:
+            self._caches = {lane: cache for lane in self.pipelines}
         bulkheads = dict(bulkheads or {})
         self.bulkheads: dict[str, Bulkhead] = {
             lane: Bulkhead(
@@ -292,13 +335,53 @@ class RecommendationServer:
 
         Raises :class:`~repro.errors.ServerClosedError` on a closed
         server and :class:`~repro.errors.RejectedError` when admission
-        control or the bounded queue refuses the request.
+        control or the bounded queue refuses the request.  With a lane
+        cache configured, a hit resolves here — no queue, no shedder,
+        no bulkhead, no substrate — and still lands in the
+        ``repro_requests_total`` outcome partition.
         """
         if request.lane is not None and request.lane not in self.pipelines:
             raise ServingError(
                 f"unknown lane {request.lane!r}; "
                 f"lanes: {sorted(self.pipelines)}"
             )
+        lane = request.lane or next(iter(self.pipelines))
+        cache = self._caches.get(lane)
+        generation: int | None = None
+        if cache is not None:
+            with self._state_lock:
+                closed, draining = self._closed, self._draining
+            if closed:
+                raise ServerClosedError(self.name)
+            if not draining:
+                hit = cache.lookup(
+                    request.user_id, ("serve", lane, request.n)
+                )
+                if hit is not None:
+                    outcome = "degraded" if hit.degraded else "served"
+                    job = _Job(request=request)
+                    obs.event(
+                        "cache.serve_hit",
+                        cache=cache.name,
+                        user=request.user_id,
+                        lane=lane,
+                        outcome=outcome,
+                    )
+                    self._resolve(
+                        job,
+                        ServeResult(
+                            request=request,
+                            outcome=outcome,
+                            recommendations=tuple(hit.value),
+                            cached=True,
+                        ),
+                        record_latency=True,
+                    )
+                    return job.future
+                # Capture the generation *before* the computation is
+                # queued; _execute stores under it so a mid-flight
+                # invalidation makes the stored entry unreachable.
+                generation = cache.generation(request.user_id)
         for policy in self.admission:
             try:
                 policy.admit()
@@ -309,7 +392,7 @@ class RecommendationServer:
                     "serving.shed", reason=error.reason, stage="submit"
                 )
                 raise
-        job = _Job(request=request)
+        job = _Job(request=request, cache_generation=generation)
         # The state check and the enqueue are one atomic step against
         # close(): a job can never slip in behind the drain sweep.
         with self._state_lock:
@@ -326,7 +409,7 @@ class RecommendationServer:
         obs.event(
             "serving.admit",
             user=request.user_id,
-            lane=request.lane or next(iter(self.pipelines)),
+            lane=lane,
             queue_depth=self._queue.qsize(),
         )
         return job.future
@@ -466,6 +549,17 @@ class RecommendationServer:
             outcome = "degraded"
         else:
             outcome = "served"
+        cache = self._caches.get(lane)
+        if cache is not None and error_name is None:
+            # Degraded batches go in under the short TTL; failures are
+            # never cached at all (no negative caching).
+            cache.put(
+                request.user_id,
+                ("serve", lane, request.n),
+                tuple(recommendations),
+                degraded=(outcome == "degraded"),
+                generation=job.cache_generation,
+            )
         self._resolve(
             job,
             ServeResult(
@@ -486,6 +580,11 @@ class RecommendationServer:
         """Requests resolved so far (all outcomes)."""
         with self._completed_lock:
             return self._completed
+
+    @property
+    def caches(self) -> dict[str, ShardedTTLCache]:
+        """Lane → cache mapping (empty when serving uncached)."""
+        return dict(self._caches)
 
     def breaker_states(self) -> dict[str, str]:
         """Per-substrate breaker states across every lane."""

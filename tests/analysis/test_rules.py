@@ -347,3 +347,136 @@ class TestTypedApiRR005:
             "RR005",
             package="repro.presentation.fake",
         )
+
+
+class TestMissingInvalidationRR007:
+    def test_unnotified_preference_write_is_flagged(self):
+        findings = findings_for(
+            """
+            class Profile:
+                def volunteer(self, name, value):
+                    self.edits.append((name, value))
+            """,
+            "RR007",
+            package="repro.interaction.fake",
+        )
+        assert len(findings) == 1
+        assert findings[0].scope == "Profile.volunteer"
+        assert "no cache-invalidation path" in findings[0].message
+
+    def test_rating_write_without_notify_is_flagged(self):
+        findings = findings_for(
+            """
+            class Channel:
+                def rate(self, user_id, item_id, value):
+                    self.dataset.add_rating((user_id, item_id, value))
+            """,
+            "RR007",
+            package="repro.interaction.fake",
+        )
+        assert len(findings) == 1
+
+    def test_requirements_assignment_without_notify_is_flagged(self):
+        findings = findings_for(
+            """
+            class Session:
+                def critique(self, attempted):
+                    self.requirements = attempted
+            """,
+            "RR007",
+            package="repro.interaction.fake",
+        )
+        assert len(findings) == 1
+        assert findings[0].slug == "self.requirements"
+
+    def test_notify_helper_in_same_method_is_clean(self):
+        assert not findings_for(
+            """
+            class Profile:
+                def volunteer(self, name, value):
+                    self.edits.append((name, value))
+                    self._notify()
+            """,
+            "RR007",
+            package="repro.interaction.fake",
+        )
+
+    def test_on_change_loop_counts_as_notification(self):
+        assert not findings_for(
+            """
+            class Channel:
+                def rate(self, user_id, item_id, value):
+                    self.dataset.add_rating((user_id, item_id, value))
+                    for callback in self.on_change:
+                        callback(user_id)
+            """,
+            "RR007",
+            package="repro.interaction.fake",
+        )
+
+    def test_notification_reachable_through_sibling_is_clean(self):
+        # The write routes through a same-class helper that notifies:
+        # the fixed-point closure must see it.
+        assert not findings_for(
+            """
+            class Session:
+                def critique(self, attempted):
+                    self.requirements = attempted
+                    self._changed()
+
+                def _changed(self):
+                    self._notify()
+
+                def _notify(self):
+                    for callback in self.on_change:
+                        callback(self.user_id)
+            """,
+            "RR007",
+            package="repro.interaction.fake",
+        )
+
+    def test_invalidate_user_call_is_a_notification(self):
+        assert not findings_for(
+            """
+            class Channel:
+                def rate(self, user_id, item_id, value):
+                    self.dataset.add_rating((user_id, item_id, value))
+                    self.cache.invalidate_user(user_id)
+            """,
+            "RR007",
+            package="repro.interaction.fake",
+        )
+
+    def test_init_is_exempt(self):
+        assert not findings_for(
+            """
+            class Session:
+                def __init__(self, requirements):
+                    self.requirements = requirements.copy()
+            """,
+            "RR007",
+            package="repro.interaction.fake",
+        )
+
+    def test_unwatched_writes_are_ignored(self):
+        # An interaction log's event list is not preference state.
+        assert not findings_for(
+            """
+            class Log:
+                def add(self, event):
+                    self.events.append(event)
+            """,
+            "RR007",
+            package="repro.interaction.fake",
+        )
+
+    def test_rule_is_scoped_to_the_interaction_package(self):
+        assert not findings_for(
+            """
+            class Elsewhere:
+                def write(self, value):
+                    self.edits.append(value)
+            """,
+            "RR007",
+            package="repro.eval.fake",
+        )

@@ -1,0 +1,33 @@
+"""Shared fixtures for the cache tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Fresh registry and disabled tracer around every test."""
+    obs.reset()
+    yield
+    obs.reset()
+
+
+class FakeClock:
+    """A manually advanced monotonic clock for deterministic TTL tests."""
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()

@@ -1,0 +1,254 @@
+"""Unit tests for :class:`repro.cache.ShardedTTLCache`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.cache import CacheHit, ShardedTTLCache
+from repro.errors import CacheError
+
+
+def make_cache(clock, **overrides) -> ShardedTTLCache:
+    options = {
+        "capacity": 64,
+        "shards": 4,
+        "ttl_seconds": 10.0,
+        "degraded_ttl_seconds": 1.0,
+        "clock": clock,
+    }
+    options.update(overrides)
+    return ShardedTTLCache(name="test", **options)
+
+
+class TestConfiguration:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"capacity": 0},
+            {"capacity": -5},
+            {"shards": 0},
+            {"ttl_seconds": 0.0},
+            {"ttl_seconds": -1.0},
+            {"degraded_ttl_seconds": 0.0},
+            {"degraded_ttl_seconds": 20.0},  # > ttl_seconds
+        ],
+    )
+    def test_invalid_config_raises_cache_error(self, clock, kwargs):
+        with pytest.raises(CacheError):
+            make_cache(clock, **kwargs)
+
+    def test_degraded_ttl_defaults_to_tenth_of_ttl(self, clock):
+        cache = ShardedTTLCache(ttl_seconds=50.0, clock=clock)
+        assert cache.degraded_ttl_seconds == pytest.approx(5.0)
+
+
+class TestPutLookup:
+    def test_miss_then_hit(self, clock):
+        cache = make_cache(clock)
+        assert cache.lookup("alice", "k") is None
+        cache.put("alice", "k", [1, 2, 3])
+        hit = cache.lookup("alice", "k")
+        assert hit == CacheHit(value=[1, 2, 3], degraded=False)
+
+    def test_get_returns_default_on_miss(self, clock):
+        cache = make_cache(clock)
+        assert cache.get("alice", "k") is None
+        assert cache.get("alice", "k", default="fallback") == "fallback"
+        cache.put("alice", "k", "value")
+        assert cache.get("alice", "k") == "value"
+
+    def test_cached_none_is_distinguishable_from_miss(self, clock):
+        cache = make_cache(clock)
+        cache.put("alice", "k", None)
+        hit = cache.lookup("alice", "k")
+        assert hit is not None
+        assert hit.value is None
+
+    def test_degraded_flag_survives_roundtrip(self, clock):
+        cache = make_cache(clock)
+        cache.put("alice", "k", "fallback-answer", degraded=True)
+        hit = cache.lookup("alice", "k")
+        assert hit is not None and hit.degraded is True
+
+    def test_users_do_not_share_entries(self, clock):
+        cache = make_cache(clock)
+        cache.put("alice", "k", "alice-value")
+        assert cache.lookup("bob", "k") is None
+
+
+class TestTTL:
+    def test_entry_expires_after_ttl(self, clock):
+        cache = make_cache(clock, ttl_seconds=10.0)
+        cache.put("alice", "k", "v")
+        clock.advance(9.99)
+        assert cache.lookup("alice", "k") is not None
+        clock.advance(0.02)
+        assert cache.lookup("alice", "k") is None
+        assert cache.stats().expirations == 1
+
+    def test_degraded_entry_expires_on_the_short_clock(self, clock):
+        cache = make_cache(clock, ttl_seconds=10.0, degraded_ttl_seconds=1.0)
+        cache.put("alice", "healthy", "v")
+        cache.put("alice", "degraded", "v", degraded=True)
+        clock.advance(1.5)
+        assert cache.lookup("alice", "degraded") is None
+        assert cache.lookup("alice", "healthy") is not None
+
+    def test_expired_entry_leaves_the_shard(self, clock):
+        cache = make_cache(clock)
+        cache.put("alice", "k", "v")
+        assert len(cache) == 1
+        clock.advance(100.0)
+        cache.lookup("alice", "k")
+        assert len(cache) == 0
+
+
+class TestLRU:
+    def test_least_recently_used_is_evicted_first(self, clock):
+        cache = make_cache(clock, capacity=3, shards=1)
+        for key in ("a", "b", "c"):
+            cache.put("u", key, key)
+        # Touch "a" so "b" becomes the LRU entry.
+        assert cache.lookup("u", "a") is not None
+        cache.put("u", "d", "d")
+        assert cache.lookup("u", "b") is None
+        assert cache.lookup("u", "a") is not None
+        assert cache.lookup("u", "c") is not None
+        assert cache.lookup("u", "d") is not None
+        assert cache.stats().evictions == 1
+
+    def test_capacity_is_enforced(self, clock):
+        cache = make_cache(clock, capacity=8, shards=1)
+        for index in range(50):
+            cache.put("u", index, index)
+        assert len(cache) <= 8
+        assert cache.stats().evictions == 42
+
+
+class TestInvalidation:
+    def test_invalidate_user_makes_entries_unreachable(self, clock):
+        cache = make_cache(clock)
+        cache.put("alice", "k", "stale")
+        assert cache.generation("alice") == 0
+        assert cache.invalidate_user("alice") == 1
+        assert cache.generation("alice") == 1
+        assert cache.lookup("alice", "k") is None
+
+    def test_invalidate_user_leaves_other_users_alone(self, clock):
+        cache = make_cache(clock)
+        cache.put("alice", "k", "a")
+        cache.put("bob", "k", "b")
+        cache.invalidate_user("alice")
+        assert cache.lookup("bob", "k") is not None
+
+    def test_writes_after_invalidation_are_readable(self, clock):
+        cache = make_cache(clock)
+        cache.put("alice", "k", "old")
+        cache.invalidate_user("alice")
+        cache.put("alice", "k", "new")
+        assert cache.get("alice", "k") == "new"
+
+    def test_invalidate_all_drops_everything(self, clock):
+        cache = make_cache(clock)
+        cache.put("alice", "k", "a")
+        cache.put("bob", "k", "b")
+        cache.invalidate_all()
+        assert len(cache) == 0
+        assert cache.lookup("alice", "k") is None
+        assert cache.lookup("bob", "k") is None
+
+    def test_put_under_captured_generation_is_unreachable(self, clock):
+        """A computation that started before an invalidation must not
+        resurrect stale data: its result lands under the old generation."""
+        cache = make_cache(clock)
+        generation = cache.generation("alice")
+        cache.invalidate_user("alice")  # user critiques mid-computation
+        cache.put("alice", "k", "stale-result", generation=generation)
+        assert cache.lookup("alice", "k") is None
+
+    def test_invalidations_are_counted(self, clock):
+        cache = make_cache(clock)
+        cache.invalidate_user("alice")
+        cache.invalidate_all()
+        assert cache.stats().invalidations == 2
+
+
+class TestGetOrLoad:
+    def test_loader_called_once_then_cached(self, clock):
+        cache = make_cache(clock)
+        calls = []
+
+        def loader():
+            calls.append(1)
+            return "computed"
+
+        assert cache.get_or_load("alice", "k", loader) == "computed"
+        assert cache.get_or_load("alice", "k", loader) == "computed"
+        assert len(calls) == 1
+
+    def test_loader_failure_is_not_cached(self, clock):
+        cache = make_cache(clock)
+        calls = []
+
+        def failing_loader():
+            calls.append(1)
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_load("alice", "k", failing_loader)
+        assert cache.lookup("alice", "k") is None
+        with pytest.raises(RuntimeError):
+            cache.get_or_load("alice", "k", failing_loader)
+        assert len(calls) == 2
+
+    def test_degraded_when_stores_under_short_ttl(self, clock):
+        cache = make_cache(clock, ttl_seconds=10.0, degraded_ttl_seconds=1.0)
+        cache.get_or_load(
+            "alice", "k", lambda: "fallback", degraded_when=lambda v: True
+        )
+        hit = cache.lookup("alice", "k")
+        assert hit is not None and hit.degraded is True
+        clock.advance(1.5)
+        assert cache.lookup("alice", "k") is None
+
+
+class TestStats:
+    def test_lookup_partition_holds(self, clock):
+        cache = make_cache(clock)
+        cache.put("alice", "k", "v")
+        cache.lookup("alice", "k")
+        cache.lookup("alice", "missing")
+        cache.lookup("bob", "k")
+        stats = cache.stats()
+        assert stats.lookups == 3
+        assert stats.hits == 1
+        assert stats.misses == 2
+        assert stats.hits + stats.misses == stats.lookups
+        assert stats.hit_ratio == pytest.approx(1 / 3)
+
+    def test_hit_ratio_is_zero_before_any_lookup(self, clock):
+        assert make_cache(clock).stats().hit_ratio == 0.0
+
+    def test_size_tracks_residency(self, clock):
+        cache = make_cache(clock)
+        cache.put("alice", "a", 1)
+        cache.put("alice", "b", 2)
+        assert cache.stats().size == 2
+        cache.invalidate_all()
+        assert cache.stats().size == 0
+
+
+class TestRegistryReset:
+    def test_counters_survive_an_obs_reset(self, clock):
+        """A mid-life ``obs.reset()`` swaps the registry; the cache must
+        re-register its families instead of incrementing dead metrics."""
+        cache = make_cache(clock)
+        cache.put("alice", "k", "v")
+        cache.lookup("alice", "k")
+        obs.reset()
+        cache.lookup("alice", "k")
+        counter = obs.get_registry().counter(
+            "repro_cache_hits_total", "", labelnames=("cache",)
+        )
+        assert counter.labels(cache="test").value == 1.0

@@ -1,0 +1,136 @@
+"""Cache/obs integration: metric families and the lookup partition.
+
+Satellite 4 of the issue: ``hits + misses == lookups`` must hold in both
+the cache's own stats snapshot *and* the global metric registry, under a
+mixed workload of puts, hits, misses, expirations and invalidations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.cache import ShardedTTLCache, register_cache_metrics
+
+FAMILIES = (
+    "repro_cache_lookups_total",
+    "repro_cache_hits_total",
+    "repro_cache_misses_total",
+    "repro_cache_evictions_total",
+    "repro_cache_expirations_total",
+    "repro_cache_coalesced_total",
+    "repro_cache_invalidations_total",
+    "repro_cache_size",
+)
+
+
+def counter_value(name: str, cache_name: str) -> float:
+    counter = obs.get_registry().counter(name, "", labelnames=("cache",))
+    return counter.labels(cache=cache_name).value
+
+
+class TestRegistration:
+    def test_all_families_exist_after_construction(self):
+        ShardedTTLCache(name="fresh")
+        exposition = obs.get_registry().exposition()
+        for family in FAMILIES:
+            assert family in exposition
+
+    def test_register_cache_metrics_is_idempotent(self):
+        register_cache_metrics()
+        register_cache_metrics()
+        assert "repro_cache_lookups_total" in obs.get_registry().exposition()
+
+
+class TestPartition:
+    def test_hits_plus_misses_equals_lookups(self, clock):
+        cache = ShardedTTLCache(
+            name="partition", capacity=4, shards=1,
+            ttl_seconds=10.0, degraded_ttl_seconds=1.0, clock=clock,
+        )
+        # Misses, puts, hits.
+        cache.lookup("alice", "a")
+        cache.put("alice", "a", 1)
+        cache.lookup("alice", "a")
+        cache.lookup("alice", "a")
+        # An expiration (counted as a miss too).
+        cache.put("alice", "short", 2, degraded=True)
+        clock.advance(1.5)
+        cache.lookup("alice", "short")
+        # An invalidation turning a would-be hit into a miss.
+        cache.invalidate_user("alice")
+        cache.lookup("alice", "a")
+        # Eviction pressure.
+        for index in range(10):
+            cache.put("bob", index, index)
+        cache.lookup("bob", 9)
+        cache.lookup("bob", 0)  # evicted -> miss
+
+        stats = cache.stats()
+        assert stats.hits + stats.misses == stats.lookups
+        assert stats.hits == 3
+        assert stats.misses == 4
+        assert stats.lookups == 7
+        assert stats.expirations == 1
+        assert stats.evictions == 7
+        assert stats.invalidations == 1
+
+        # The registry tells the same story, family by family.
+        assert counter_value("repro_cache_lookups_total", "partition") == 7.0
+        assert counter_value("repro_cache_hits_total", "partition") == 3.0
+        assert counter_value("repro_cache_misses_total", "partition") == 4.0
+        assert counter_value("repro_cache_expirations_total", "partition") == 1.0
+        assert counter_value("repro_cache_evictions_total", "partition") == 7.0
+        assert counter_value("repro_cache_invalidations_total", "partition") == 1.0
+        assert (
+            counter_value("repro_cache_hits_total", "partition")
+            + counter_value("repro_cache_misses_total", "partition")
+            == counter_value("repro_cache_lookups_total", "partition")
+        )
+
+    def test_size_gauge_tracks_residency(self, clock):
+        cache = ShardedTTLCache(name="gauge", ttl_seconds=10.0, clock=clock)
+        cache.put("alice", "a", 1)
+        cache.put("alice", "b", 2)
+        gauge = obs.get_registry().gauge(
+            "repro_cache_size", "", labelnames=("cache",)
+        )
+        assert gauge.labels(cache="gauge").value == 2.0
+        cache.invalidate_all()
+        assert gauge.labels(cache="gauge").value == 0.0
+
+    def test_two_caches_do_not_share_series(self, clock):
+        left = ShardedTTLCache(name="left", clock=clock)
+        right = ShardedTTLCache(name="right", clock=clock)
+        left.lookup("alice", "k")
+        right.lookup("alice", "k")
+        right.lookup("alice", "k")
+        assert counter_value("repro_cache_lookups_total", "left") == 1.0
+        assert counter_value("repro_cache_lookups_total", "right") == 2.0
+
+
+class TestEvents:
+    @staticmethod
+    def point_events(sink: obs.InMemorySink) -> list[str]:
+        return [
+            event["name"]
+            for event in sink.events
+            if event.get("event") == "point"
+        ]
+
+    def test_invalidation_emits_a_cache_event(self, clock):
+        sink = obs.InMemorySink()
+        obs.configure(sink=sink)
+        cache = ShardedTTLCache(name="evented", clock=clock)
+        cache.invalidate_user("alice")
+        assert "cache.invalidate" in self.point_events(sink)
+
+    def test_single_flight_paths_emit_events(self, clock):
+        sink = obs.InMemorySink()
+        obs.configure(sink=sink)
+        cache = ShardedTTLCache(name="evented", clock=clock)
+        cache.get_or_load("alice", "k", lambda: 1)
+        cache.get_or_load("alice", "k", lambda: pytest.fail("cached"))
+        names = self.point_events(sink)
+        assert "cache.miss" in names
+        assert "cache.hit" in names

@@ -1,0 +1,163 @@
+"""Property-based tests: the cache against a sequential model.
+
+Randomized operation sequences (put / get / invalidate_user /
+invalidate_all / clock advance) run against both the real
+:class:`ShardedTTLCache` and a trivial sequential model; hit/miss
+outcomes and returned values must agree exactly.
+
+The model also encodes the paper's scrutability invariant (Section 3.2):
+after a user's generation is bumped — a critique, a re-rating, a profile
+edit — no read may return a value written before the bump.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import ShardedTTLCache
+
+USERS = ("alice", "bob", "carol")
+KEYS = ("k0", "k1", "k2", "k3")
+TTL = 10.0
+DEGRADED_TTL = 2.0
+
+
+class SequentialModel:
+    """The cache's observable contract, in the simplest possible code."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.epoch = 0
+        self.generations: dict[str, int] = {}
+        # (epoch, user, generation, key) -> (value, expires_at, written_at_generation)
+        self.entries: dict[tuple, tuple] = {}
+
+    def _full_key(self, user: str, key: str) -> tuple:
+        return (self.epoch, user, self.generations.get(user, 0), key)
+
+    def put(self, user: str, key: str, value: object, degraded: bool) -> None:
+        ttl = DEGRADED_TTL if degraded else TTL
+        generation = self.generations.get(user, 0)
+        self.entries[self._full_key(user, key)] = (
+            value, self.now + ttl, generation,
+        )
+
+    def get(self, user: str, key: str) -> tuple:
+        """(hit, value) under the user's current generation."""
+        entry = self.entries.get(self._full_key(user, key))
+        if entry is None or entry[1] <= self.now:
+            return (False, None)
+        return (True, entry[0])
+
+    def invalidate_user(self, user: str) -> None:
+        self.generations[user] = self.generations.get(user, 0) + 1
+
+    def invalidate_all(self) -> None:
+        self.epoch += 1
+        self.entries.clear()
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def generation_of_hit(self, user: str, key: str) -> int | None:
+        entry = self.entries.get(self._full_key(user, key))
+        return entry[2] if entry is not None else None
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("put"),
+            st.sampled_from(USERS),
+            st.sampled_from(KEYS),
+            st.integers(min_value=0, max_value=99),
+            st.booleans(),
+        ),
+        st.tuples(
+            st.just("get"), st.sampled_from(USERS), st.sampled_from(KEYS)
+        ),
+        st.tuples(st.just("invalidate_user"), st.sampled_from(USERS)),
+        st.tuples(st.just("invalidate_all")),
+        st.tuples(
+            st.just("advance"),
+            st.floats(min_value=0.1, max_value=6.0, allow_nan=False),
+        ),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=operations)
+def test_cache_matches_sequential_model(ops):
+    clock_now = [1000.0]
+    cache = ShardedTTLCache(
+        name="model",
+        capacity=4096,  # never evict — the model has no LRU
+        shards=4,
+        ttl_seconds=TTL,
+        degraded_ttl_seconds=DEGRADED_TTL,
+        clock=lambda: clock_now[0],
+    )
+    model = SequentialModel()
+
+    for op in ops:
+        if op[0] == "put":
+            __, user, key, value, degraded = op
+            cache.put(user, key, value, degraded=degraded)
+            model.put(user, key, value, degraded)
+        elif op[0] == "get":
+            __, user, key = op
+            hit = cache.lookup(user, key)
+            expected_hit, expected_value = model.get(user, key)
+            assert (hit is not None) == expected_hit, (
+                f"cache and model disagree on {user}/{key}: "
+                f"cache={'hit' if hit else 'miss'} "
+                f"model={'hit' if expected_hit else 'miss'}"
+            )
+            if hit is not None:
+                assert hit.value == expected_value
+                # Scrutability: the entry a hit returns was written under
+                # the user's *current* generation — never before a bump.
+                written_at = model.generation_of_hit(user, key)
+                assert written_at == model.generations.get(user, 0)
+        elif op[0] == "invalidate_user":
+            cache.invalidate_user(op[1])
+            model.invalidate_user(op[1])
+        elif op[0] == "invalidate_all":
+            cache.invalidate_all()
+            model.invalidate_all()
+        elif op[0] == "advance":
+            clock_now[0] += op[1]
+            model.advance(op[1])
+
+    # Global counter partition always holds.
+    stats = cache.stats()
+    assert stats.hits + stats.misses == stats.lookups
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    writes=st.lists(
+        st.tuples(st.sampled_from(KEYS), st.integers(0, 99)),
+        min_size=1,
+        max_size=10,
+    ),
+    bumps=st.integers(min_value=1, max_value=3),
+)
+def test_no_read_survives_a_generation_bump(writes, bumps):
+    """The scrutability invariant in isolation: every value written
+    before ``invalidate_user`` is unreachable afterwards, regardless of
+    how many writes or bumps occur."""
+    cache = ShardedTTLCache(
+        name="scrutable", capacity=4096, ttl_seconds=TTL,
+        clock=lambda: 0.0,
+    )
+    for key, value in writes:
+        cache.put("alice", key, value)
+    for __ in range(bumps):
+        cache.invalidate_user("alice")
+    for key, __ in writes:
+        assert cache.lookup("alice", key) is None

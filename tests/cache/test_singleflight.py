@@ -1,0 +1,189 @@
+"""Concurrency stress tests for single-flight stampede protection.
+
+Acceptance criterion from the issue: 8 threads missing the same key
+observe exactly one computation; a loader failure is shared by the
+coalesced waiters but never negatively cached.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.cache import ShardedTTLCache
+from repro.errors import CacheError, InjectedFaultError
+
+THREADS = 8
+DEADLINE = 10.0
+
+
+def wait_until(predicate, deadline: float = DEADLINE) -> bool:
+    """Poll ``predicate`` until true or the deadline passes."""
+    limit = time.monotonic() + deadline
+    while time.monotonic() < limit:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+class TestSingleFlight:
+    def test_eight_concurrent_misses_one_computation(self):
+        cache = ShardedTTLCache(name="stress", ttl_seconds=60.0)
+        release = threading.Event()
+        calls_lock = threading.Lock()
+        calls: list[int] = []
+        results: list[object] = [None] * THREADS
+        errors: list[BaseException | None] = [None] * THREADS
+
+        def loader():
+            with calls_lock:
+                calls.append(1)
+            # Hold the flight open until every follower has coalesced.
+            assert release.wait(DEADLINE)
+            return "computed-once"
+
+        def worker(index: int):
+            try:
+                results[index] = cache.get_or_load("alice", "hot", loader)
+            except BaseException as error:  # pragma: no cover - fail loudly
+                errors[index] = error
+
+        threads = [
+            threading.Thread(target=worker, args=(index,))
+            for index in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        # All followers must have joined the leader's flight before we
+        # let the loader finish.
+        assert wait_until(
+            lambda: cache.stats().coalesced == THREADS - 1
+        ), f"coalesced={cache.stats().coalesced}"
+        release.set()
+        for thread in threads:
+            thread.join(DEADLINE)
+            assert not thread.is_alive()
+
+        assert errors == [None] * THREADS
+        assert len(calls) == 1, "single-flight must compute exactly once"
+        assert all(result == "computed-once" for result in results)
+
+        # Every thread's initial lookup is a miss; "coalesced" marks the
+        # seven that joined the leader's flight instead of loading.
+        stats = cache.stats()
+        assert stats.misses == THREADS
+        assert stats.hits == 0
+        assert stats.coalesced == THREADS - 1
+        assert stats.lookups == stats.hits + stats.misses
+
+        # The stored entry now serves hits without touching the loader.
+        assert cache.get_or_load(
+            "alice", "hot", lambda: pytest.fail("loader must not run")
+        ) == "computed-once"
+        assert cache.stats().hits == 1
+
+    def test_failure_shared_but_not_negatively_cached(self):
+        """Chaos variant: the leader's InjectedFaultError propagates to
+        every coalesced waiter, yet the next call computes again."""
+        cache = ShardedTTLCache(name="chaos", ttl_seconds=60.0)
+        release = threading.Event()
+        calls_lock = threading.Lock()
+        calls: list[int] = []
+        outcomes: list[object] = [None] * THREADS
+
+        def faulty_loader():
+            with calls_lock:
+                calls.append(1)
+            assert release.wait(DEADLINE)
+            raise InjectedFaultError("chaos strike")
+
+        def worker(index: int):
+            try:
+                cache.get_or_load("alice", "hot", faulty_loader)
+            except InjectedFaultError:
+                outcomes[index] = "fault"
+            except BaseException as error:  # pragma: no cover
+                outcomes[index] = error
+
+        threads = [
+            threading.Thread(target=worker, args=(index,))
+            for index in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        assert wait_until(lambda: cache.stats().coalesced == THREADS - 1)
+        release.set()
+        for thread in threads:
+            thread.join(DEADLINE)
+            assert not thread.is_alive()
+
+        assert len(calls) == 1
+        assert outcomes == ["fault"] * THREADS
+        # The failure was never stored: the key is still a miss...
+        assert cache.lookup("alice", "hot") is None
+        # ...and the next get_or_load runs the loader again.
+        recovered = cache.get_or_load("alice", "hot", lambda: "recovered")
+        assert recovered == "recovered"
+
+    def test_different_keys_do_not_coalesce(self):
+        cache = ShardedTTLCache(name="parallel", ttl_seconds=60.0)
+        barrier = threading.Barrier(4)
+        calls_lock = threading.Lock()
+        calls: list[str] = []
+
+        def worker(key: str):
+            def loader():
+                with calls_lock:
+                    calls.append(key)
+                return key
+
+            barrier.wait(DEADLINE)
+            assert cache.get_or_load("alice", key, loader) == key
+
+        threads = [
+            threading.Thread(target=worker, args=(f"k{index}",))
+            for index in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(DEADLINE)
+        assert sorted(calls) == ["k0", "k1", "k2", "k3"]
+        assert cache.stats().coalesced == 0
+
+    def test_stuck_leader_times_out_followers(self):
+        cache = ShardedTTLCache(
+            name="stuck", ttl_seconds=60.0, flight_timeout_seconds=0.05
+        )
+        release = threading.Event()
+        follower_error: list[BaseException | None] = [None]
+
+        def stuck_loader():
+            assert release.wait(DEADLINE)
+            return "late"
+
+        leader = threading.Thread(
+            target=lambda: cache.get_or_load("alice", "k", stuck_loader)
+        )
+        leader.start()
+        # Wait for the leader's flight to be registered, not just its
+        # miss counted — the two happen in sequence.
+        assert wait_until(lambda: len(cache._flights) == 1)
+
+        def follower():
+            try:
+                cache.get_or_load("alice", "k", stuck_loader)
+            except CacheError as error:
+                follower_error[0] = error
+
+        follower_thread = threading.Thread(target=follower)
+        follower_thread.start()
+        follower_thread.join(DEADLINE)
+        assert not follower_thread.is_alive()
+        assert isinstance(follower_error[0], CacheError)
+        release.set()
+        leader.join(DEADLINE)
+        assert not leader.is_alive()

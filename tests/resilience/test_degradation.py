@@ -1,0 +1,122 @@
+"""The degraded flag's journey from a fallback to the client.
+
+Satellite 3 of the caching issue: when the primary substrate fails over,
+the resulting batch must say so — ``degraded=True`` on every item — so
+the serving layer reports ``outcome="degraded"`` and the cache stores it
+under the short TTL.  Before this, only explainer failures set the flag;
+substrate failovers were invisible to clients.
+"""
+
+from __future__ import annotations
+
+from repro.core import NeighborHistogramExplainer
+from repro.recsys import PopularityRecommender, UserBasedCF
+from repro.resilience import (
+    DegradationTracker,
+    FallbackChain,
+    ResilientExplainedRecommender,
+    mark_degraded,
+    track_degradation,
+)
+from repro.serving import RecommendationServer
+from tests.resilience.test_fallback import FlakyRecommender
+
+
+class TestTracker:
+    def test_untouched_tracker_has_not_fired(self):
+        with track_degradation() as tracker:
+            pass
+        assert tracker.fired is False
+        assert tracker.events == []
+
+    def test_mark_inside_scope_is_recorded(self):
+        with track_degradation() as tracker:
+            mark_degraded("UserBasedCF", "InjectedFaultError")
+        assert tracker.fired is True
+        assert tracker.events == [("UserBasedCF", "InjectedFaultError")]
+
+    def test_mark_outside_scope_is_a_noop(self):
+        mark_degraded("UserBasedCF", "InjectedFaultError")  # no tracker
+
+    def test_nested_scopes_do_not_leak_outward(self):
+        with track_degradation() as outer:
+            with track_degradation() as inner:
+                mark_degraded("A", "boom")
+            assert inner.fired
+        assert outer.fired is False
+
+    def test_tracker_dataclass_surface(self):
+        tracker = DegradationTracker()
+        assert tracker.fired is False
+        tracker.record("A", "r")
+        assert tracker.fired is True
+
+
+class TestFallbackChainMarks:
+    def test_failover_marks_the_ambient_tracker(self, movie_world):
+        chain = FallbackChain(
+            [FlakyRecommender(failures=99), PopularityRecommender()]
+        ).fit(movie_world.dataset)
+        item_id = next(iter(movie_world.dataset.items))
+        with track_degradation() as tracker:
+            chain.predict("user_000", item_id)
+        assert tracker.fired
+        assert tracker.events[0] == (
+            "FlakyRecommender", "InjectedFaultError"
+        )
+
+    def test_healthy_chain_marks_nothing(self, movie_world):
+        chain = FallbackChain(
+            [UserBasedCF(), PopularityRecommender()]
+        ).fit(movie_world.dataset)
+        item_id = next(iter(movie_world.dataset.items))
+        with track_degradation() as tracker:
+            chain.predict("user_000", item_id)
+        assert tracker.fired is False
+
+
+class TestRecommendFlagsDegraded:
+    def test_failover_degrades_the_whole_batch(self, movie_world):
+        pipeline = ResilientExplainedRecommender(
+            [FlakyRecommender(failures=10**9), PopularityRecommender()],
+            NeighborHistogramExplainer(),
+        ).fit(movie_world.dataset)
+        explained = pipeline.recommend("user_000", n=5)
+        assert len(explained) == 5
+        assert all(item.degraded for item in explained)
+        # The explanations themselves are still the fallback's real ones.
+        assert all(item.explanation.text for item in explained)
+
+    def test_healthy_stack_stays_undegraded(self, movie_world):
+        # Popularity leads: it answers every item, so the fallback never
+        # fires and nothing is marked.
+        pipeline = ResilientExplainedRecommender(
+            [PopularityRecommender(), UserBasedCF()],
+            NeighborHistogramExplainer(),
+        ).fit(movie_world.dataset)
+        explained = pipeline.recommend("user_000", n=5)
+        assert not any(item.degraded for item in explained)
+
+    def test_single_substrate_no_chain_stays_undegraded(self, movie_world):
+        pipeline = ResilientExplainedRecommender(
+            UserBasedCF(), NeighborHistogramExplainer()
+        ).fit(movie_world.dataset)
+        explained = pipeline.recommend("user_000", n=3)
+        assert not any(item.degraded for item in explained)
+
+
+class TestServingBoundary:
+    def test_failover_surfaces_as_degraded_outcome(self, movie_world):
+        """End to end: substrate failover → degraded batch → the serve
+        response says ``degraded`` and ``ServeResult.degraded`` is True."""
+        pipeline = ResilientExplainedRecommender(
+            [FlakyRecommender(failures=10**9), PopularityRecommender()],
+            NeighborHistogramExplainer(),
+        ).fit(movie_world.dataset)
+        with RecommendationServer(
+            pipeline, workers=2, queue_size=8, default_bulkhead=2
+        ) as server:
+            result = server.serve("user_000", n=3)
+        assert result.outcome == "degraded"
+        assert result.degraded is True
+        assert len(result.recommendations) == 3

@@ -1,0 +1,201 @@
+"""Serving + cache integration: hits bypass the queue, misses fill it.
+
+The serving-layer half of the issue's acceptance criteria: repeated
+requests hit at submit time with ``cached=True``; invalidation forces a
+recompute; degraded batches live on the short TTL; failures are never
+cached; hits never touch a substrate (so they cannot trip a breaker).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.cache import ShardedTTLCache
+from repro.errors import PredictionImpossibleError, ServingError
+from repro.serving import RecommendationServer, ServeRequest
+from tests.serving.conftest import ScriptedPipeline
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_cache(**overrides) -> ShardedTTLCache:
+    options = dict(name="serve-test", ttl_seconds=60.0)
+    options.update(overrides)
+    return ShardedTTLCache(**options)
+
+
+def make_server(pipeline=None, **overrides) -> RecommendationServer:
+    options = dict(workers=2, queue_size=8, default_bulkhead=2)
+    options.update(overrides)
+    return RecommendationServer(
+        pipeline if pipeline is not None else ScriptedPipeline(), **options
+    )
+
+
+class TestHitPath:
+    def test_repeat_request_is_served_from_cache(self):
+        pipeline = ScriptedPipeline()
+        with make_server(pipeline, cache=make_cache()) as server:
+            first = server.serve("alice", n=3)
+            second = server.serve("alice", n=3)
+        assert first.outcome == "served" and first.cached is False
+        assert second.outcome == "served" and second.cached is True
+        assert second.recommendations == first.recommendations
+        assert pipeline.calls == 1
+
+    def test_different_users_and_ns_miss(self):
+        pipeline = ScriptedPipeline()
+        with make_server(pipeline, cache=make_cache()) as server:
+            server.serve("alice", n=3)
+            server.serve("bob", n=3)
+            server.serve("alice", n=5)
+        assert pipeline.calls == 3
+
+    def test_hit_never_touches_the_substrate(self):
+        """A cache hit must not run the pipeline at all — which is what
+        keeps hits from tripping a breaker on a now-failing substrate."""
+        pipeline = ScriptedPipeline(
+            script=("ok", PredictionImpossibleError("substrate died"))
+        )
+        with make_server(pipeline, cache=make_cache()) as server:
+            healthy = server.serve("alice", n=3)
+            # The substrate would now fail — but the hit bypasses it.
+            cached = server.serve("alice", n=3)
+        assert healthy.outcome == "served"
+        assert cached.outcome == "served" and cached.cached is True
+        assert pipeline.calls == 1
+
+    def test_hits_land_in_the_requests_partition(self):
+        with make_server(cache=make_cache()) as server:
+            server.serve("alice", n=3)
+            server.serve("alice", n=3)
+            counter = obs.get_registry().counter(
+                "repro_requests_total", "", labelnames=("outcome",)
+            )
+            assert counter.labels(outcome="served").value == 2.0
+            assert server.completed == 2
+
+    def test_hit_emits_a_serve_hit_event(self):
+        sink = obs.InMemorySink()
+        obs.configure(sink=sink)
+        with make_server(cache=make_cache()) as server:
+            server.serve("alice", n=3)
+            server.serve("alice", n=3)
+        names = [
+            event["name"]
+            for event in sink.events
+            if event.get("event") == "point"
+        ]
+        assert "cache.serve_hit" in names
+
+
+class TestMissAndStore:
+    def test_failures_are_never_cached(self):
+        pipeline = ScriptedPipeline(
+            script=(PredictionImpossibleError("boom"), "ok")
+        )
+        cache = make_cache()
+        with make_server(pipeline, cache=cache) as server:
+            failed = server.serve("alice", n=3)
+            recovered = server.serve("alice", n=3)
+        assert failed.outcome == "failed"
+        assert recovered.outcome == "served" and recovered.cached is False
+        assert pipeline.calls == 2
+
+    def test_degraded_batch_cached_under_short_ttl(self):
+        clock = FakeClock()
+        pipeline = ScriptedPipeline(script=("degraded", "ok"))
+        cache = make_cache(
+            ttl_seconds=10.0, degraded_ttl_seconds=1.0, clock=clock
+        )
+        with make_server(pipeline, cache=cache) as server:
+            first = server.serve("alice", n=3)
+            hit = server.serve("alice", n=3)
+            clock.now += 1.5  # past the degraded TTL only
+            recovered = server.serve("alice", n=3)
+            sticky = server.serve("alice", n=3)
+        assert first.outcome == "degraded"
+        # The cached degraded batch is served as degraded, flagged cached.
+        assert hit.outcome == "degraded" and hit.cached is True
+        assert hit.degraded is True
+        # Recovery replaced it the moment the short TTL lapsed...
+        assert recovered.outcome == "served" and recovered.cached is False
+        # ...and the healthy entry stays for the full TTL.
+        assert sticky.cached is True and sticky.outcome == "served"
+        assert pipeline.calls == 2
+
+    def test_invalidation_forces_recompute(self):
+        pipeline = ScriptedPipeline()
+        cache = make_cache()
+        with make_server(pipeline, cache=cache) as server:
+            server.serve("alice", n=3)
+            cache.invalidate_user("alice")
+            result = server.serve("alice", n=3)
+        assert result.cached is False
+        assert pipeline.calls == 2
+
+    def test_mid_flight_invalidation_is_not_resurrected(self):
+        """A result computed before a critique must land under the old
+        generation: the very next request recomputes."""
+        import threading
+
+        pipeline = ScriptedPipeline()
+        cache = make_cache()
+        gate = threading.Event()
+        pipeline.gate = gate
+        with make_server(pipeline, cache=cache) as server:
+            slot = server.submit(ServeRequest(user_id="alice", n=3))
+            # The user critiques while the computation is in flight.
+            cache.invalidate_user("alice")
+            gate.set()
+            slot.result(5.0)
+            after = server.serve("alice", n=3)
+        assert after.cached is False
+        assert pipeline.calls == 2
+
+
+class TestLanes:
+    def test_per_lane_caches(self):
+        fast = ScriptedPipeline()
+        slow = ScriptedPipeline()
+        cache = make_cache(name="fast-only")
+        with RecommendationServer(
+            {"fast": fast, "slow": slow},
+            workers=2,
+            queue_size=8,
+            default_bulkhead=2,
+            cache={"fast": cache},
+        ) as server:
+            server.serve("alice", n=3, lane="fast")
+            server.serve("alice", n=3, lane="fast")
+            server.serve("alice", n=3, lane="slow")
+            server.serve("alice", n=3, lane="slow")
+            assert server.caches == {"fast": cache}
+        assert fast.calls == 1
+        assert slow.calls == 2
+
+    def test_shared_cache_keys_by_lane(self):
+        """One cache across lanes must never cross answers between them."""
+        fast = ScriptedPipeline()
+        slow = ScriptedPipeline()
+        with RecommendationServer(
+            {"fast": fast, "slow": slow},
+            workers=2,
+            queue_size=8,
+            default_bulkhead=2,
+            cache=make_cache(),
+        ) as server:
+            server.serve("alice", n=3, lane="fast")
+            server.serve("alice", n=3, lane="slow")
+        assert fast.calls == 1 and slow.calls == 1
+
+    def test_unknown_lane_in_cache_mapping_rejected(self):
+        with pytest.raises(ServingError):
+            make_server(cache={"nope": make_cache()})

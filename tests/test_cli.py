@@ -200,6 +200,47 @@ class TestServeCommand:
         assert obs.get_registry().get("repro_requests_total").value == 10
 
 
+class TestCacheFlags:
+    def test_cache_flags_default_off(self):
+        arguments = build_parser().parse_args(["serve"])
+        assert arguments.cache is False
+        assert arguments.cache_capacity == 2048
+        assert arguments.cache_ttl == 30.0
+        assert arguments.cache_degraded_ttl == 2.0
+
+    def test_cache_flags_accept_overrides(self):
+        arguments = build_parser().parse_args(
+            ["serve", "--cache", "--cache-capacity", "128",
+             "--cache-ttl", "5.0", "--cache-degraded-ttl", "0.5"]
+        )
+        assert arguments.cache is True
+        assert arguments.cache_capacity == 128
+        assert arguments.cache_ttl == 5.0
+        assert arguments.cache_degraded_ttl == 0.5
+
+    def test_serve_with_cache_reports_hit_stats(self, capsys):
+        assert main(
+            ["serve", "--cache", "--requests", "30", "--clients", "2",
+             "--workers", "2"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "cache" in output and "hits=" in output
+        assert "hit_ratio=" in output
+        registry = obs.get_registry()
+        lookups = registry.get("repro_cache_lookups_total").value
+        hits = registry.get("repro_cache_hits_total").value
+        misses = registry.get("repro_cache_misses_total").value
+        assert lookups > 0
+        assert hits + misses == lookups
+
+    def test_serve_without_cache_prints_no_cache_line(self, capsys):
+        assert main(
+            ["serve", "--requests", "6", "--clients", "2",
+             "--workers", "2"]
+        ) == 0
+        assert "hit_ratio=" not in capsys.readouterr().out
+
+
 class TestServingMetricsExposition:
     def test_metrics_workload_registers_serving_families(self, capsys):
         assert main(["metrics"]) == 0
@@ -210,6 +251,22 @@ class TestServingMetricsExposition:
         assert "# TYPE repro_inflight gauge" in output
         assert "# TYPE repro_serve_seconds histogram" in output
         assert 'repro_requests_total{outcome="served"}' in output
+
+    def test_metrics_workload_registers_cache_families(self, capsys):
+        assert main(["metrics"]) == 0
+        output = capsys.readouterr().out
+        assert "# TYPE repro_cache_lookups_total counter" in output
+        assert "# TYPE repro_cache_hits_total counter" in output
+        assert "# TYPE repro_cache_misses_total counter" in output
+        assert "# TYPE repro_cache_size gauge" in output
+        registry = obs.get_registry()
+        hits = registry.get("repro_cache_hits_total").value
+        misses = registry.get("repro_cache_misses_total").value
+        lookups = registry.get("repro_cache_lookups_total").value
+        assert hits > 0  # the workload repeats requests, so some must hit
+        assert hits + misses == lookups
+        invalidations = registry.get("repro_cache_invalidations_total")
+        assert invalidations.value >= 1  # the workload invalidates a user
 
 
 class TestAnalyzeCommand:
