@@ -12,10 +12,17 @@ Usage::
     PYTHONPATH=src python benchmarks/run_bench.py --quick    # smaller world
     PYTHONPATH=src python benchmarks/run_bench.py --output other.json
 
-The JSON schema (``repro.obs.bench/v1``)::
+Each run is stamped with the git commit and an ISO timestamp, and a
+copy of the payload is appended under ``benchmarks/results/`` so the
+trajectory of the numbers is preserved alongside the latest snapshot
+at the repo root.
+
+The JSON schema (``repro.obs.bench/v2``)::
 
     {
-      "schema": "repro.obs.bench/v1",
+      "schema": "repro.obs.bench/v2",
+      "git_sha": "abc1234...",
+      "generated_at": "2026-01-01T00:00:00+00:00",
       "world": {"n_users": ..., "n_items": ..., "density": ...},
       "substrates": {
         "UserBasedCF": {
@@ -27,6 +34,16 @@ The JSON schema (``repro.obs.bench/v1``)::
         }, ...
       },
       "studies": {"E4 critiquing": {"wall_s": ...}, ...},
+      "quality": {
+        "world": {"n_users": ..., "eval_users": ..., ...},
+        "substrates": {
+          "UserBasedCF": {
+            "metrics": {"fidelity": ..., "coverage": ..., ...},
+            "wall_s": ..., "explanations_per_s": ...
+          }, ...
+        },
+        "correlation": {"entries": [...], "n_substrates": ...}
+      },
       "interaction": {"cycles_total": ...},
       "resilience": {
         "bare_ms_mean": ..., "wrapped_noop_ms_mean": ...,
@@ -57,13 +74,30 @@ The JSON schema (``repro.obs.bench/v1``)::
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
 import pathlib
+import subprocess
 import sys
 import time
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def _git_sha() -> str:
+    """The current commit, or ``"unknown"`` outside a git checkout."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=10,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
 
 from repro import obs  # noqa: E402
 from repro.core import ExplainedRecommender, NeighborHistogramExplainer  # noqa: E402
@@ -418,6 +452,57 @@ def bench_cache(n_users: int, n_items: int, quick: bool) -> dict:
     }
 
 
+def bench_quality(quick: bool) -> dict:
+    """Offline explanation-quality metrics plus computation throughput.
+
+    Runs the full :mod:`repro.quality` suite (all four metric families
+    for every default substrate pairing) and the offline-metric-vs-aim
+    correlation bridge, reporting both the metric values and how fast
+    the suite computes them (explanations scored per second).
+    """
+    from repro.domains import make_movies
+    from repro.quality import (
+        QualityWorldConfig,
+        aim_correlation,
+        run_quality_suite,
+    )
+
+    config = (
+        QualityWorldConfig(eval_users=6) if quick else QualityWorldConfig()
+    )
+    start = time.perf_counter()
+    report = run_quality_suite(config)
+    suite_s = time.perf_counter() - start
+    world = make_movies(
+        n_users=config.n_users,
+        n_items=config.n_items,
+        seed=config.seed,
+        density=config.density,
+    )
+    report.correlation = aim_correlation(report, world, seed=config.seed)
+    for name in sorted(report.substrates):
+        entry = report.substrates[name]
+        print(
+            f"  {name:<28} fidelity {entry.metrics['fidelity']:>5.3f}  "
+            f"coverage {entry.metrics['coverage']:>5.3f}  "
+            f"gini {entry.metrics['popularity_gini']:>5.3f}  "
+            f"{entry.explanations_per_s:>8.1f} expl/s"
+        )
+    tracked = sum(
+        1
+        for item in report.correlation["entries"]
+        if item["agreement"] == "tracks"
+    )
+    print(
+        f"  correlation: {tracked}/{len(report.correlation['entries'])} "
+        f"(metric, aim) pairs track  suite {suite_s:.2f} s"
+    )
+    payload = report.as_dict()
+    payload.pop("schema", None)
+    payload["suite_wall_s"] = round(suite_s, 4)
+    return payload
+
+
 def bench_studies(quick: bool) -> dict:
     """Wall-clock a couple of representative end-to-end studies."""
     from repro.evaluation.studies import (
@@ -477,10 +562,16 @@ def main(argv: list[str] | None = None) -> int:
     cache = bench_cache(n_users, n_items, arguments.quick)
     print("studies:")
     studies = bench_studies(arguments.quick)
+    print("quality:")
+    quality = bench_quality(arguments.quick)
 
     cycles = obs.get_registry().get("repro_interaction_cycles_total")
     payload = {
-        "schema": "repro.obs.bench/v1",
+        "schema": "repro.obs.bench/v2",
+        "git_sha": _git_sha(),
+        "generated_at": datetime.datetime.now(
+            datetime.timezone.utc
+        ).isoformat(timespec="seconds"),
         "world": {
             "n_users": n_users,
             "n_items": n_items,
@@ -492,14 +583,22 @@ def main(argv: list[str] | None = None) -> int:
         "serving": serving,
         "cache": cache,
         "studies": studies,
+        "quality": quality,
         "interaction": {
             "cycles_total": int(cycles.value) if cycles is not None else 0,
         },
         "trace_events": len(sink.events),
     }
+    text = json.dumps(payload, indent=2) + "\n"
     output = pathlib.Path(arguments.output)
-    output.write_text(json.dumps(payload, indent=2) + "\n")
+    output.write_text(text)
     print(f"wrote {output}")
+    results_dir = REPO_ROOT / "benchmarks" / "results"
+    results_dir.mkdir(parents=True, exist_ok=True)
+    stamp = payload["generated_at"].replace(":", "").replace("+0000", "Z")
+    archive = results_dir / f"bench-{stamp}-{payload['git_sha'][:7]}.json"
+    archive.write_text(text)
+    print(f"archived {archive.relative_to(REPO_ROOT)}")
     obs.get_tracer().close()
     return 0
 

@@ -433,8 +433,8 @@ class TypedApiRule(Rule):
     * every *public* function or method (plus ``__init__``) defined at
       module or class level under the concurrency stack
       (``repro.obs`` / ``repro.resilience`` / ``repro.serving`` /
-      ``repro.analysis``) annotates all of its parameters and its
-      return type;
+      ``repro.analysis`` / ``repro.quality``) annotates all of its
+      parameters and its return type;
     * every construction of ``ExplainedRecommendation`` — anywhere —
       states ``degraded=`` explicitly, so re-wrapping code cannot
       silently drop the degradation label the evaluation harness keys
@@ -456,7 +456,11 @@ class TypedApiRule(Rule):
     )
 
     _SCOPES = (
-        "repro.obs", "repro.resilience", "repro.serving", "repro.analysis"
+        "repro.obs",
+        "repro.resilience",
+        "repro.serving",
+        "repro.analysis",
+        "repro.quality",
     )
 
     def _annotation_scope(self) -> bool:

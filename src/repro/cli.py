@@ -17,6 +17,10 @@ python -m repro --chaos-rate 0.2 serve  # ... against faulty substrates
 python -m repro analyze           # static-analysis gate over src/repro
 python -m repro analyze --format json src/repro tests
 python -m repro analyze --update-baseline   # accept current findings
+python -m repro quality           # offline explanation-quality metrics
+python -m repro quality --check   # gate against quality-baseline.json
+python -m repro quality --correlation   # + offline-vs-aim agreement
+python -m repro quality --update-baseline   # accept current values
 ```
 """
 
@@ -437,6 +441,59 @@ def _cmd_analyze(arguments: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+_DEFAULT_QUALITY_BASELINE = "quality-baseline.json"
+
+
+def _cmd_quality(arguments: argparse.Namespace) -> int:
+    import json
+
+    from repro.domains import make_movies
+    from repro.errors import QualityError
+    from repro.quality import (
+        QualityBaseline,
+        QualityWorldConfig,
+        aim_correlation,
+        run_quality_suite,
+    )
+
+    baseline_path = arguments.baseline or _DEFAULT_QUALITY_BASELINE
+    try:
+        config = QualityWorldConfig()
+        report = run_quality_suite(config)
+        if arguments.correlation:
+            world = make_movies(
+                n_users=config.n_users,
+                n_items=config.n_items,
+                seed=config.seed,
+                density=config.density,
+            )
+            report.correlation = aim_correlation(
+                report, world, seed=config.seed
+            )
+        if arguments.update_baseline:
+            baseline = QualityBaseline.from_report(
+                report, tolerance=arguments.tolerance
+            )
+            baseline.save(baseline_path)
+            bands = sum(len(m) for m in baseline.bands.values())
+            print(f"wrote {bands} metric band(s) to {baseline_path}")
+            return 0
+        if arguments.check:
+            comparison = QualityBaseline.load(baseline_path).compare(
+                report
+            )
+            print(comparison.render())
+            return 0 if comparison.ok else 1
+    except QualityError as error:
+        print(f"repro quality: {error}", file=sys.stderr)
+        return 2
+    if arguments.format == "json":
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render_text())
+    return 0
+
+
 def _cmd_metrics(arguments: argparse.Namespace) -> int:
     import json
 
@@ -645,6 +702,61 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     analyze.set_defaults(handler=_cmd_analyze)
+
+    quality = subparsers.add_parser(
+        "quality",
+        help=(
+            "run the offline explanation-quality metrics suite "
+            "(see docs/quality_metrics.md)"
+        ),
+    )
+    quality.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    quality.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "compare against the committed baseline; exit 1 when any "
+            "metric leaves its tolerance band (or is unbaselined/stale)"
+        ),
+    )
+    quality.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help=(
+            "baseline file for --check / --update-baseline "
+            f"(default: {_DEFAULT_QUALITY_BASELINE})"
+        ),
+    )
+    quality.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to accept the current metric values",
+    )
+    quality.add_argument(
+        "--tolerance",
+        type=float,
+        metavar="T",
+        default=0.05,
+        help=(
+            "band half-width written by --update-baseline "
+            "(default: 0.05)"
+        ),
+    )
+    quality.add_argument(
+        "--correlation",
+        action="store_true",
+        help=(
+            "also run the simulated seven-aims studies and report "
+            "offline-metric-vs-aim agreement per substrate"
+        ),
+    )
+    quality.set_defaults(handler=_cmd_quality)
     return parser
 
 

@@ -14,7 +14,7 @@ import abc
 from repro.core.aims import Aim
 from repro.core.explanation import Explanation
 from repro.core.styles import ExplanationStyle
-from repro.recsys.base import Recommendation
+from repro.recsys.base import EvidenceItem, NoEvidence, Recommendation
 from repro.recsys.data import Dataset
 
 __all__ = ["Explainer", "NoExplanationExplainer", "GenericExplainer"]
@@ -35,6 +35,20 @@ class Explainer(abc.ABC):
         self, user_id: str, recommendation: Recommendation, dataset: Dataset
     ) -> Explanation:
         """Produce an explanation for one recommendation."""
+
+    def evidence_items(
+        self, explanation: Explanation
+    ) -> tuple[EvidenceItem, ...]:
+        """The support atoms this explainer actually *cites*.
+
+        The structured counterpart of the rendered text: quality metrics
+        ask the explainer (not the raw prediction) what was cited, so an
+        explainer that verbalises only its top-k evidence is measured on
+        those k items.  The default cites every structured atom the
+        explanation carries; subclasses that narrow their citation
+        override this to the same subset their template names.
+        """
+        return explanation.evidence_items()
 
     def _title(self, dataset: Dataset, item_id: str) -> str:
         """The display title for an item (falls back to the id)."""
@@ -85,7 +99,12 @@ class GenericExplainer(Explainer):
     def explain(
         self, user_id: str, recommendation: Recommendation, dataset: Dataset
     ) -> Explanation:
-        """A generic, evidence-free explanation that always succeeds."""
+        """A generic, evidence-free explanation that always succeeds.
+
+        The attached :class:`~repro.recsys.base.NoEvidence` marker makes
+        the absence explicit: quality metrics *exclude* this explanation
+        from fidelity/coverage instead of scoring it as a zero.
+        """
         try:
             title = self._title(dataset, recommendation.item_id)
         except Exception:
@@ -94,7 +113,14 @@ class GenericExplainer(Explainer):
             item_id=recommendation.item_id,
             style=self.style,
             text=self.TEMPLATE.format(title=title),
+            evidence=(NoEvidence(reason="degraded"),),
             confidence=recommendation.confidence,
             aims=self.default_aims,
             details={"degraded": "generic template fallback"},
         )
+
+    def evidence_items(
+        self, explanation: Explanation
+    ) -> tuple[EvidenceItem, ...]:
+        """Nothing is cited: the degraded template invents no support."""
+        return ()

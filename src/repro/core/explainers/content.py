@@ -14,7 +14,12 @@ from repro.core.explanation import Explanation
 from repro.core.explainers.base import Explainer
 from repro.core.styles import ExplanationStyle
 from repro.core.templates import because_you_liked, join_phrases, might_also_like
-from repro.recsys.base import KeywordEvidence, Recommendation, SimilarItemEvidence
+from repro.recsys.base import (
+    EvidenceItem,
+    KeywordEvidence,
+    Recommendation,
+    SimilarItemEvidence,
+)
 from repro.recsys.data import Dataset
 
 __all__ = ["ContentBasedExplainer"]
@@ -73,6 +78,35 @@ class ContentBasedExplainer(Explainer):
             confidence=recommendation.confidence,
             aims=self.default_aims,
         )
+
+    def evidence_items(
+        self, explanation: Explanation
+    ) -> tuple[EvidenceItem, ...]:
+        """Only what the sentence names: top liked items, top themes.
+
+        Mirrors :meth:`explain`: the ``max_liked_items`` most similar
+        liked items and the ``max_keywords`` strongest positive shared
+        themes — not every record the prediction carried.
+        """
+        items = [
+            entry
+            for record in explanation.evidence
+            if isinstance(record, SimilarItemEvidence)
+            for entry in record.support_items()
+        ]
+        items.sort(key=lambda entry: (-entry.weight, entry.ref))
+        cited = items[: self.max_liked_items]
+        if self.max_keywords > 0:
+            keywords = [
+                entry
+                for record in explanation.evidence
+                if isinstance(record, KeywordEvidence)
+                for entry in record.support_items()
+                if entry.weight > 0.0
+            ]
+            keywords.sort(key=lambda entry: (-entry.weight, entry.ref))
+            cited.extend(keywords[: self.max_keywords])
+        return tuple(cited)
 
     def _keyword_clause(self, recommendation: Recommendation) -> str:
         if self.max_keywords <= 0:

@@ -12,7 +12,7 @@ from repro.core.aims import Aim
 from repro.core.explanation import Explanation
 from repro.core.explainers.base import Explainer
 from repro.core.styles import ExplanationStyle
-from repro.recsys.base import InfluenceEvidence, Recommendation
+from repro.recsys.base import EvidenceItem, InfluenceEvidence, Recommendation
 from repro.recsys.data import Dataset
 from repro.render import table
 
@@ -34,6 +34,19 @@ class InfluenceExplainer(Explainer):
 
     def __init__(self, max_rows: int = 8) -> None:
         self.max_rows = max_rows
+
+    def evidence_items(
+        self, explanation: Explanation
+    ) -> tuple[EvidenceItem, ...]:
+        """The rows the influence table shows: top ``max_rows`` ratings."""
+        cited = [
+            entry
+            for record in explanation.evidence
+            if isinstance(record, InfluenceEvidence)
+            for entry in record.support_items()
+        ]
+        cited.sort(key=lambda entry: (-abs(entry.weight), entry.ref))
+        return tuple(cited[: self.max_rows])
 
     def explain(
         self, user_id: str, recommendation: Recommendation, dataset: Dataset

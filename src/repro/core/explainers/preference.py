@@ -27,6 +27,7 @@ from repro.core.templates import (
     viewing_history_sentence,
 )
 from repro.recsys.base import (
+    EvidenceItem,
     PopularityEvidence,
     ProfileAttributeEvidence,
     Recommendation,
@@ -96,6 +97,23 @@ class PreferenceBasedExplainer(Explainer):
             confidence=recommendation.confidence,
             aims=self.default_aims,
         )
+
+    def evidence_items(
+        self, explanation: Explanation
+    ) -> tuple[EvidenceItem, ...]:
+        """The ``max_attributes`` strongest cited preference attributes."""
+        cited = [
+            entry
+            for record in explanation.evidence
+            if isinstance(
+                record, (UtilityEvidence, ProfileAttributeEvidence)
+            )
+            for entry in record.support_items()
+        ]
+        if not cited:
+            return explanation.evidence_items()
+        cited.sort(key=lambda entry: (-entry.weight, entry.ref))
+        return tuple(cited[: self.max_attributes])
 
     # -- evidence-specific renderings --------------------------------------
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.core.aims import Aim
 from repro.core.styles import ExplanationStyle
-from repro.recsys.base import Evidence
+from repro.recsys.base import Evidence, EvidenceItem
 
 __all__ = ["Explanation"]
 
@@ -56,6 +56,29 @@ class Explanation:
     def serves(self, aim: Aim) -> bool:
         """Whether this explanation targets the given aim."""
         return aim in self.aims
+
+    def evidence_items(self) -> tuple[EvidenceItem, ...]:
+        """All structured support atoms across the evidence records.
+
+        Quality metrics consume these instead of parsing :attr:`text`;
+        explainers that *cite* only a subset of the carried evidence
+        narrow this via :meth:`repro.core.explainers.base.Explainer.\
+evidence_items`.
+        """
+        items: list[EvidenceItem] = []
+        for record in self.evidence:
+            items.extend(record.support_items())
+        return tuple(items)
+
+    @property
+    def evidence_withheld(self) -> bool:
+        """Whether this explanation explicitly declares it has no evidence.
+
+        True only when a :class:`~repro.recsys.base.NoEvidence` marker
+        is attached (the degraded-template path); an explanation that
+        simply carries no records returns ``False``.
+        """
+        return any(record.kind == "no_evidence" for record in self.evidence)
 
     def render(self, include_details: bool = False) -> str:
         """The user-facing text, optionally with detail blocks appended."""

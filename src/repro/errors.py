@@ -187,6 +187,17 @@ class AnalysisError(ReproError):
     """
 
 
+class QualityError(ReproError):
+    """Raised for misuse of the :mod:`repro.quality` metrics suite.
+
+    Covers malformed or missing quality baselines, baselines whose
+    world parameters do not match the run being checked, and invalid
+    suite configurations.  Metric *values* are never raised as errors —
+    a regression is an exit-code-1 report, not an exception — so a
+    quality run always produces a complete report.
+    """
+
+
 class ObservabilityError(ReproError):
     """Raised for misuse of the :mod:`repro.obs` instrumentation layer.
 

@@ -1,0 +1,105 @@
+"""Offline explanation-quality metrics as a standing regression gate.
+
+The survey evaluates explanations through user studies against seven
+aims; this package adds the *offline* complement — metrics computable
+from the explanations themselves, with no user in the loop, cheap
+enough to run on every commit:
+
+* **fidelity** — does the cited evidence actually drive the score?
+* **diversity** — intra-list and cross-user evidence dissimilarity;
+* **coverage** — catalogue fraction ever used as explanation support;
+* **popularity bias** — Gini / long-tail share of citation counts.
+
+:func:`run_quality_suite` computes all four families for every
+configured (substrate, explainer) pairing over a seeded world,
+publishing ``repro_quality_*`` metrics and ``quality.*`` spans;
+:class:`QualityBaseline` turns the report into a tolerance-band
+regression gate (``python -m repro quality --check``); and
+:func:`aim_correlation` bridges the offline metrics to the simulated
+seven-aims studies to report where the cheap proxies track the
+expensive goals — and where they diverge.
+"""
+
+from repro.quality.baseline import (
+    BASELINE_SCHEMA,
+    DEFAULT_TOLERANCE,
+    BaselineComparison,
+    Deviation,
+    MetricBand,
+    QualityBaseline,
+)
+from repro.quality.correlation import (
+    aim_correlation,
+    derive_configuration,
+    pearson,
+    spearman,
+)
+from repro.quality.metrics import (
+    CoverageResult,
+    DiversityResult,
+    FidelityResult,
+    PopularityBiasResult,
+    coverage,
+    diversity,
+    fidelity,
+    fidelity_score,
+    gini,
+    popularity_bias,
+)
+from repro.quality.report import (
+    METRIC_KEYS,
+    REPORT_SCHEMA,
+    QualityReport,
+    SubstrateQuality,
+)
+from repro.quality.runner import (
+    DEFAULT_SPECS,
+    QualityWorldConfig,
+    SubstrateSpec,
+    run_quality_suite,
+)
+from repro.quality.samples import (
+    ExplanationSample,
+    build_sample,
+    citation_mass_components,
+    collect_samples,
+    group_by_user,
+    reconstruct_score,
+)
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_SPECS",
+    "METRIC_KEYS",
+    "REPORT_SCHEMA",
+    "BaselineComparison",
+    "CoverageResult",
+    "Deviation",
+    "DiversityResult",
+    "ExplanationSample",
+    "FidelityResult",
+    "MetricBand",
+    "PopularityBiasResult",
+    "QualityBaseline",
+    "QualityReport",
+    "QualityWorldConfig",
+    "SubstrateQuality",
+    "SubstrateSpec",
+    "aim_correlation",
+    "build_sample",
+    "citation_mass_components",
+    "collect_samples",
+    "coverage",
+    "derive_configuration",
+    "diversity",
+    "fidelity",
+    "fidelity_score",
+    "gini",
+    "group_by_user",
+    "pearson",
+    "popularity_bias",
+    "reconstruct_score",
+    "run_quality_suite",
+    "spearman",
+]

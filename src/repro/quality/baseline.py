@@ -1,0 +1,294 @@
+"""Tolerance-band baselines: quality regressions fail CI like findings.
+
+``quality-baseline.json`` commits the expected value of every offline
+metric for every substrate, each with a tolerance band.  ``python -m
+repro quality --check`` recomputes the suite and fails (exit 1) when a
+metric leaves its band, when the run produces a metric the baseline
+has never seen (new surface must be baselined deliberately), or when
+the baseline pins a metric the run no longer produces (stale debt).
+A malformed baseline, or one recorded against a different world, is an
+operational error (exit 2) — those numbers are not comparable, and
+comparing them anyway would pass or fail for the wrong reason.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import QualityError
+from repro.quality.report import METRIC_KEYS, QualityReport
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "DEFAULT_TOLERANCE",
+    "QualityBaseline",
+    "MetricBand",
+    "Deviation",
+    "BaselineComparison",
+]
+
+#: The versioned baseline schema identifier.
+BASELINE_SCHEMA = "repro.quality.baseline/v1"
+
+#: Default half-width of a metric's acceptance band.  Wide enough to
+#: absorb cross-platform float drift in the seeded suite, narrow
+#: enough that a real behavioural change (an explainer citing less, a
+#: substrate's evidence thinning out) trips the gate.
+DEFAULT_TOLERANCE = 0.05
+
+
+@dataclass(frozen=True)
+class MetricBand:
+    """One baselined metric: expected value and tolerance half-width."""
+
+    value: float
+    tolerance: float
+
+    def contains(self, measured: float) -> bool:
+        """Whether a measured value sits inside the band."""
+        return abs(measured - self.value) <= self.tolerance
+
+
+@dataclass(frozen=True)
+class Deviation:
+    """One metric outside its band (or missing on either side)."""
+
+    substrate: str
+    metric: str
+    kind: str  # "regression" | "unbaselined" | "stale"
+    measured: float | None = None
+    expected: float | None = None
+    tolerance: float | None = None
+
+    def describe(self) -> str:
+        """One human-readable line for the CLI report."""
+        if self.kind == "regression":
+            return (
+                f"{self.substrate}.{self.metric}: measured "
+                f"{self.measured:.4f} outside "
+                f"{self.expected:.4f} +/- {self.tolerance:.4f}"
+            )
+        if self.kind == "unbaselined":
+            return (
+                f"{self.substrate}.{self.metric}: measured "
+                f"{self.measured:.4f} but absent from the baseline "
+                f"(run --update-baseline to accept)"
+            )
+        return (
+            f"{self.substrate}.{self.metric}: baselined at "
+            f"{self.expected:.4f} but no longer produced "
+            f"(run --update-baseline to prune)"
+        )
+
+
+@dataclass(frozen=True)
+class BaselineComparison:
+    """The verdict of one report-vs-baseline check."""
+
+    deviations: tuple[Deviation, ...] = ()
+    checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether every metric matched its band exactly one-to-one."""
+        return not self.deviations
+
+    def render(self) -> str:
+        """Human-readable verdict block."""
+        if self.ok:
+            return (
+                f"quality check ok: {self.checked} metric(s) within "
+                "tolerance"
+            )
+        lines = [
+            f"quality check FAILED: {len(self.deviations)} deviation(s) "
+            f"({self.checked} metric(s) checked)"
+        ]
+        lines.extend(
+            f"  {deviation.describe()}" for deviation in self.deviations
+        )
+        return "\n".join(lines)
+
+
+class QualityBaseline:
+    """The committed per-substrate metric bands plus their world."""
+
+    def __init__(
+        self,
+        world: Mapping[str, object],
+        bands: Mapping[str, Mapping[str, MetricBand]],
+    ) -> None:
+        self.world: dict[str, object] = dict(world)
+        self.bands: dict[str, dict[str, MetricBand]] = {
+            substrate: dict(metrics)
+            for substrate, metrics in bands.items()
+        }
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_report(
+        cls,
+        report: QualityReport,
+        tolerance: float = DEFAULT_TOLERANCE,
+    ) -> "QualityBaseline":
+        """A baseline accepting the report's current values."""
+        bands = {
+            name: {
+                metric: MetricBand(value=value, tolerance=tolerance)
+                for metric, value in entry.metrics.items()
+            }
+            for name, entry in report.substrates.items()
+        }
+        return cls(world=report.world, bands=bands)
+
+    @classmethod
+    def parse(cls, text: str, *, origin: str = "<baseline>") -> "QualityBaseline":
+        """Parse baseline JSON; anything malformed raises QualityError."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise QualityError(
+                f"{origin}: not valid JSON ({error})"
+            ) from error
+        if not isinstance(payload, dict):
+            raise QualityError(f"{origin}: baseline must be a JSON object")
+        schema = payload.get("schema")
+        if schema != BASELINE_SCHEMA:
+            raise QualityError(
+                f"{origin}: unsupported schema {schema!r} "
+                f"(expected {BASELINE_SCHEMA!r})"
+            )
+        world = payload.get("world")
+        if not isinstance(world, dict):
+            raise QualityError(f"{origin}: missing 'world' object")
+        substrates = payload.get("substrates")
+        if not isinstance(substrates, dict) or not substrates:
+            raise QualityError(
+                f"{origin}: missing or empty 'substrates' object"
+            )
+        bands: dict[str, dict[str, MetricBand]] = {}
+        for substrate, metrics in substrates.items():
+            if not isinstance(metrics, dict):
+                raise QualityError(
+                    f"{origin}: substrate {substrate!r} entry must be an "
+                    "object"
+                )
+            bands[substrate] = {}
+            for metric, band in metrics.items():
+                if metric not in METRIC_KEYS:
+                    raise QualityError(
+                        f"{origin}: unknown metric {metric!r} under "
+                        f"{substrate!r}"
+                    )
+                if (
+                    not isinstance(band, dict)
+                    or not isinstance(band.get("value"), (int, float))
+                    or not isinstance(band.get("tolerance"), (int, float))
+                    or band["tolerance"] < 0
+                ):
+                    raise QualityError(
+                        f"{origin}: malformed band for "
+                        f"{substrate}.{metric} (need numeric value and "
+                        "non-negative tolerance)"
+                    )
+                bands[substrate][metric] = MetricBand(
+                    value=float(band["value"]),
+                    tolerance=float(band["tolerance"]),
+                )
+        return cls(world=world, bands=bands)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "QualityBaseline":
+        """Load and parse a baseline file; a missing file raises."""
+        file_path = Path(path)
+        if not file_path.exists():
+            raise QualityError(f"baseline not found: {file_path}")
+        return cls.parse(
+            file_path.read_text(encoding="utf-8"), origin=str(file_path)
+        )
+
+    # -- persistence -------------------------------------------------------
+
+    def format(self) -> str:
+        """The canonical on-disk JSON text."""
+        payload = {
+            "schema": BASELINE_SCHEMA,
+            "world": self.world,
+            "substrates": {
+                substrate: {
+                    metric: {
+                        "value": round(band.value, 6),
+                        "tolerance": band.tolerance,
+                    }
+                    for metric, band in sorted(metrics.items())
+                }
+                for substrate, metrics in sorted(self.bands.items())
+            },
+        }
+        return json.dumps(payload, indent=2) + "\n"
+
+    def save(self, path: str | Path) -> None:
+        """Write the canonical JSON to disk."""
+        Path(path).write_text(self.format(), encoding="utf-8")
+
+    # -- checking ----------------------------------------------------------
+
+    def check_world(self, report: QualityReport) -> None:
+        """Raise QualityError when the worlds are not comparable."""
+        if dict(self.world) != dict(report.world):
+            raise QualityError(
+                "baseline world does not match this run "
+                f"(baseline: {self.world!r}, run: {dict(report.world)!r}); "
+                "re-record with --update-baseline"
+            )
+
+    def compare(self, report: QualityReport) -> BaselineComparison:
+        """Every metric vs its band; returns all deviations found."""
+        self.check_world(report)
+        deviations: list[Deviation] = []
+        checked = 0
+        for substrate, entry in sorted(report.substrates.items()):
+            bands = self.bands.get(substrate, {})
+            for metric, measured in sorted(entry.metrics.items()):
+                band = bands.get(metric)
+                if band is None:
+                    deviations.append(
+                        Deviation(
+                            substrate=substrate,
+                            metric=metric,
+                            kind="unbaselined",
+                            measured=measured,
+                        )
+                    )
+                    continue
+                checked += 1
+                if not band.contains(measured):
+                    deviations.append(
+                        Deviation(
+                            substrate=substrate,
+                            metric=metric,
+                            kind="regression",
+                            measured=measured,
+                            expected=band.value,
+                            tolerance=band.tolerance,
+                        )
+                    )
+        for substrate, metrics in sorted(self.bands.items()):
+            produced = report.substrates.get(substrate)
+            for metric, band in sorted(metrics.items()):
+                if produced is None or metric not in produced.metrics:
+                    deviations.append(
+                        Deviation(
+                            substrate=substrate,
+                            metric=metric,
+                            kind="stale",
+                            expected=band.value,
+                        )
+                    )
+        return BaselineComparison(
+            deviations=tuple(deviations), checked=checked
+        )

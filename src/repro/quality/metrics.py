@@ -1,0 +1,296 @@
+"""The four offline explanation-metric families, vectorized.
+
+Each function consumes :class:`~repro.quality.samples.ExplanationSample`
+sequences (plus minimal dataset context passed as plain values) and
+returns a small result dataclass; nothing here touches a substrate, so
+the hypothesis property suite can drive the math directly with
+synthetic samples.
+
+Families (Zanon et al. 2310.14379; Chen et al. 2202.06466):
+
+* **fidelity** — does the cited evidence actually drive the score?
+  Mean per-explanation agreement between the evidence-only score
+  reconstruction and the substrate's score, blended with per-record
+  citation-mass shares for additive attributions.  In [0, 1]; 1 when a
+  substrate is explained by its own exact, fully cited evidence.
+* **diversity** — intra-list (are one user's explanations distinct
+  from each other?) and cross-user (do different users get different
+  evidence?) mean pairwise Jaccard *dissimilarity* of cited-support
+  sets.  In [0, 1].
+* **coverage** — fraction of the catalogue ever used as explanation
+  support.  In [0, 1].
+* **popularity bias** — Gini concentration of per-item citation counts
+  over the catalogue, plus the long-tail share of citations.  Both in
+  [0, 1]; high Gini / low tail share = the explanations lean on the
+  same few popular items.
+
+Degraded samples (the generic-template fallback, flagged by the
+explicit ``NoEvidence`` marker) are excluded from every family and
+reported separately — a degraded explanation is an availability event,
+not a quality signal.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.quality.samples import ExplanationSample, group_by_user
+
+__all__ = [
+    "FidelityResult",
+    "DiversityResult",
+    "CoverageResult",
+    "PopularityBiasResult",
+    "fidelity_score",
+    "fidelity",
+    "diversity",
+    "coverage",
+    "popularity_bias",
+    "gini",
+]
+
+
+@dataclass(frozen=True)
+class FidelityResult:
+    """Fidelity summary over an assessable sample population."""
+
+    mean: float
+    assessed: int
+    excluded_degraded: int
+    unassessable: int
+    scores: tuple[float, ...] = ()
+
+
+@dataclass(frozen=True)
+class DiversityResult:
+    """Intra-list and cross-user evidence diversity."""
+
+    intra_list: float
+    cross_user: float
+    lists: int
+    excluded_degraded: int
+
+
+@dataclass(frozen=True)
+class CoverageResult:
+    """Catalogue share ever cited as explanation support."""
+
+    coverage: float
+    distinct_items: int
+    catalogue_size: int
+    support_events: int
+
+
+@dataclass(frozen=True)
+class PopularityBiasResult:
+    """Concentration of explanation support on popular items."""
+
+    gini: float
+    tail_share: float
+    citations: int
+
+
+def fidelity_score(
+    sample: ExplanationSample, scale_span: float
+) -> float | None:
+    """One sample's fidelity in [0, 1], or ``None`` when unassessable.
+
+    The mean of the available components: the reconstruction agreement
+    ``1 - min(1, |reconstructed - value| / span)`` when a score
+    reconstruction exists, and each citation-mass share.  A degraded
+    sample, or one with neither component, is unassessable.
+    """
+    if sample.degraded:
+        return None
+    components: list[float] = list(sample.mass_components)
+    if sample.reconstructed is not None and scale_span > 0.0:
+        error = abs(sample.reconstructed - sample.value) / scale_span
+        components.append(1.0 - min(1.0, error))
+    if not components:
+        return None
+    return float(np.mean(components))
+
+
+def fidelity(
+    samples: Sequence[ExplanationSample], scale_span: float
+) -> FidelityResult:
+    """Mean fidelity over all assessable samples."""
+    scores: list[float] = []
+    excluded = 0
+    unassessable = 0
+    for sample in samples:
+        if sample.degraded:
+            excluded += 1
+            continue
+        score = fidelity_score(sample, scale_span)
+        if score is None:
+            unassessable += 1
+            continue
+        scores.append(score)
+    mean = float(np.mean(scores)) if scores else 0.0
+    return FidelityResult(
+        mean=mean,
+        assessed=len(scores),
+        excluded_degraded=excluded,
+        unassessable=unassessable,
+        scores=tuple(scores),
+    )
+
+
+def _incidence(
+    key_sets: Sequence[frozenset[str]],
+) -> np.ndarray:
+    """Binary incidence matrix (sets x union-of-keys)."""
+    vocabulary: dict[str, int] = {}
+    for keys in key_sets:
+        for key in keys:
+            vocabulary.setdefault(key, len(vocabulary))
+    matrix = np.zeros((len(key_sets), max(len(vocabulary), 1)))
+    for row, keys in enumerate(key_sets):
+        for key in keys:
+            matrix[row, vocabulary[key]] = 1.0
+    return matrix
+
+
+def _mean_pairwise_jaccard(key_sets: Sequence[frozenset[str]]) -> float:
+    """Mean pairwise Jaccard similarity via one matrix product."""
+    matrix = _incidence(key_sets)
+    intersections = matrix @ matrix.T
+    sizes = matrix.sum(axis=1)
+    unions = sizes[:, None] + sizes[None, :] - intersections
+    with np.errstate(invalid="ignore", divide="ignore"):
+        jaccard = np.where(unions > 0.0, intersections / unions, 0.0)
+    n = len(key_sets)
+    off_diagonal = jaccard.sum() - np.trace(jaccard)
+    pairs = n * (n - 1)
+    return float(off_diagonal / pairs) if pairs else 0.0
+
+
+def diversity(samples: Sequence[ExplanationSample]) -> DiversityResult:
+    """Intra-list and cross-user evidence diversity in [0, 1].
+
+    Intra-list: mean over users of (1 - mean pairwise Jaccard) across
+    the cited-support sets within one user's list.  Cross-user: the
+    same over each user's *union* support set.  Users whose lists carry
+    no citable evidence contribute nothing.
+    """
+    excluded = sum(1 for sample in samples if sample.degraded)
+    per_user_sets: list[list[frozenset[str]]] = []
+    for user_samples in group_by_user(samples).values():
+        sets = [
+            frozenset(item.key for item in sample.cited)
+            for sample in user_samples
+            if not sample.degraded and sample.cited
+        ]
+        if sets:
+            per_user_sets.append(sets)
+
+    intra_scores = [
+        1.0 - _mean_pairwise_jaccard(sets)
+        for sets in per_user_sets
+        if len(sets) >= 2
+    ]
+    intra = float(np.mean(intra_scores)) if intra_scores else 0.0
+
+    union_sets = [
+        frozenset().union(*sets) for sets in per_user_sets
+    ]
+    cross = (
+        1.0 - _mean_pairwise_jaccard(union_sets)
+        if len(union_sets) >= 2
+        else 0.0
+    )
+    return DiversityResult(
+        intra_list=intra,
+        cross_user=cross,
+        lists=len(per_user_sets),
+        excluded_degraded=excluded,
+    )
+
+
+def _item_citations(
+    samples: Sequence[ExplanationSample],
+) -> dict[str, int]:
+    """Citation counts per catalogue item cited as support."""
+    counts: dict[str, int] = {}
+    for sample in samples:
+        if sample.degraded:
+            continue
+        for item in sample.cited:
+            if item.kind == "item":
+                counts[item.ref] = counts.get(item.ref, 0) + 1
+    return counts
+
+
+def coverage(
+    samples: Sequence[ExplanationSample],
+    catalogue_ids: Sequence[str],
+) -> CoverageResult:
+    """Fraction of the catalogue ever cited as explanation support."""
+    counts = _item_citations(samples)
+    catalogue = set(catalogue_ids)
+    cited_in_catalogue = set(counts) & catalogue
+    size = len(catalogue)
+    return CoverageResult(
+        coverage=len(cited_in_catalogue) / size if size else 0.0,
+        distinct_items=len(cited_in_catalogue),
+        catalogue_size=size,
+        support_events=sum(counts.values()),
+    )
+
+
+def gini(counts: np.ndarray) -> float:
+    """Gini coefficient of a non-negative count vector, in [0, 1)."""
+    values = np.sort(np.asarray(counts, dtype=float))
+    total = values.sum()
+    n = len(values)
+    if n == 0 or total <= 0.0:
+        return 0.0
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * (ranks * values).sum()) / (n * total) - (n + 1) / n)
+
+
+def popularity_bias(
+    samples: Sequence[ExplanationSample],
+    item_rating_counts: Mapping[str, int],
+    head_fraction: float = 0.2,
+) -> PopularityBiasResult:
+    """Concentration of explanation support on popular catalogue items.
+
+    ``gini`` is computed over per-item citation counts across the whole
+    catalogue (zeros included): 0 means support spreads evenly, values
+    near 1 mean a few items do all the explaining.  ``tail_share`` is
+    the fraction of citations that land outside the ``head_fraction``
+    most-rated items — the long-tail share; low tail share means the
+    explanations reinforce the popularity skew the survey warns
+    persuasive interfaces drift into.
+    """
+    citations = {
+        item_id: count
+        for item_id, count in _item_citations(samples).items()
+        if item_id in item_rating_counts
+    }
+    catalogue = list(item_rating_counts)
+    counts = np.array(
+        [citations.get(item_id, 0) for item_id in catalogue], dtype=float
+    )
+    total = int(counts.sum())
+    if not catalogue or total == 0:
+        return PopularityBiasResult(gini=0.0, tail_share=0.0, citations=0)
+    by_popularity = sorted(
+        catalogue,
+        key=lambda item_id: (-item_rating_counts[item_id], item_id),
+    )
+    head_size = max(1, int(round(head_fraction * len(by_popularity))))
+    head = set(by_popularity[:head_size])
+    tail_citations = sum(
+        count for item_id, count in citations.items() if item_id not in head
+    )
+    return PopularityBiasResult(
+        gini=gini(counts),
+        tail_share=tail_citations / total,
+        citations=total,
+    )

@@ -1,0 +1,154 @@
+"""Versioned quality reports: the JSON artefact of a suite run.
+
+A :class:`QualityReport` is what ``python -m repro quality`` prints,
+what the baseline gate compares against, and what
+``benchmarks/run_bench.py`` embeds as the ``quality`` section of
+``BENCH_obs.json``.  The schema is versioned (``repro.quality.report/v1``)
+so downstream consumers can detect drift instead of misparsing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.render import table
+
+__all__ = [
+    "METRIC_KEYS",
+    "REPORT_SCHEMA",
+    "SubstrateQuality",
+    "QualityReport",
+]
+
+#: The versioned report schema identifier.
+REPORT_SCHEMA = "repro.quality.report/v1"
+
+#: Every metric key a substrate entry reports, grouped by family:
+#: fidelity; diversity (intra-list, cross-user); coverage; popularity
+#: bias (gini, tail share).  Order is presentation order.
+METRIC_KEYS: tuple[str, ...] = (
+    "fidelity",
+    "intra_list_diversity",
+    "cross_user_diversity",
+    "coverage",
+    "popularity_gini",
+    "tail_share",
+)
+
+
+@dataclass(frozen=True)
+class SubstrateQuality:
+    """One substrate's offline explanation-quality measurements.
+
+    ``metrics`` holds the :data:`METRIC_KEYS` values; ``counts`` the
+    integer accounting (samples, degraded exclusions, support events);
+    ``stimulus`` the measured explanation-interface statistics (mean
+    rendered length, mean cited atoms) the aim-correlation bridge
+    feeds into the simulated user studies.
+    """
+
+    substrate: str
+    explainer: str
+    metrics: dict[str, float]
+    counts: dict[str, int]
+    stimulus: dict[str, float]
+    wall_s: float
+    explanations_per_s: float
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "substrate": self.substrate,
+            "explainer": self.explainer,
+            "metrics": {
+                key: round(value, 6) for key, value in self.metrics.items()
+            },
+            "counts": dict(self.counts),
+            "stimulus": {
+                key: round(value, 4) for key, value in self.stimulus.items()
+            },
+            "wall_s": round(self.wall_s, 4),
+            "explanations_per_s": round(self.explanations_per_s, 2),
+        }
+
+
+@dataclass
+class QualityReport:
+    """A full suite run: world, per-substrate metrics, correlation."""
+
+    world: dict[str, object]
+    substrates: dict[str, SubstrateQuality] = field(default_factory=dict)
+    correlation: dict | None = None
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation under :data:`REPORT_SCHEMA`."""
+        payload: dict = {
+            "schema": REPORT_SCHEMA,
+            "world": dict(self.world),
+            "substrates": {
+                name: entry.as_dict()
+                for name, entry in sorted(self.substrates.items())
+            },
+        }
+        if self.correlation is not None:
+            payload["correlation"] = self.correlation
+        return payload
+
+    def render_text(self) -> str:
+        """The human-readable metric table (plus correlation, if run)."""
+        rows = []
+        for name in sorted(self.substrates):
+            entry = self.substrates[name]
+            rows.append(
+                (
+                    name,
+                    *(
+                        f"{entry.metrics.get(key, 0.0):.3f}"
+                        for key in METRIC_KEYS
+                    ),
+                    str(entry.counts.get("excluded_degraded", 0)),
+                )
+            )
+        headers = (
+            "substrate",
+            "fidelity",
+            "intra_div",
+            "cross_div",
+            "coverage",
+            "gini",
+            "tail",
+            "degraded",
+        )
+        blocks = [
+            "Explanation-quality metrics "
+            f"(world: {self.world.get('n_users')} users x "
+            f"{self.world.get('n_items')} items, "
+            f"{self.world.get('eval_users')} evaluated)",
+            table(headers, rows),
+        ]
+        if self.correlation is not None:
+            blocks.append(self._render_correlation())
+        return "\n".join(blocks)
+
+    def _render_correlation(self) -> str:
+        correlation = self.correlation or {}
+        rows = [
+            (
+                entry["metric"],
+                entry["aim"],
+                "n/a" if entry["pearson"] is None else f"{entry['pearson']:+.2f}",
+                "n/a" if entry["spearman"] is None else f"{entry['spearman']:+.2f}",
+                entry["agreement"],
+            )
+            for entry in correlation.get("entries", ())
+        ]
+        return "\n".join(
+            [
+                "Offline metric vs simulated aim agreement "
+                f"(n={correlation.get('n_substrates', 0)} substrates):",
+                table(
+                    ("offline metric", "aim", "pearson", "spearman", "verdict"),
+                    rows,
+                ),
+            ]
+        )

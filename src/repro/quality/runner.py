@@ -1,0 +1,281 @@
+"""The quality suite: batch metric jobs over simulated populations.
+
+One :func:`run_quality_suite` call fits every configured substrate on a
+seeded synthetic world, generates explained recommendations for an
+evaluation population, flattens them into samples, and computes the
+four offline metric families — publishing each value as a
+``repro_quality_*`` gauge, per-explanation fidelity into a histogram,
+and the whole run under ``quality.*`` trace spans, so the suite is
+observable exactly like the serving and caching layers.
+
+The default roster pairs each substrate with the explainer that
+verbalises its native evidence: user CF with the neighbour histogram,
+item CF / SVD / content with the similar-item explainer, naive Bayes
+with the influence table.  SVD's pairing is deliberately *post hoc*
+(latent-space neighbours rationalise a factor-model score) — the suite
+exists to measure exactly that fidelity gap.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro import obs
+from repro.core.explainers.base import Explainer
+from repro.core.explainers.collaborative import NeighborHistogramExplainer
+from repro.core.explainers.content import ContentBasedExplainer
+from repro.core.explainers.influence import InfluenceExplainer
+from repro.core.pipeline import ExplainedRecommender
+from repro.domains import make_movies
+from repro.quality.metrics import coverage, diversity, fidelity, popularity_bias
+from repro.quality.report import QualityReport, SubstrateQuality
+from repro.quality.samples import ExplanationSample, build_sample
+from repro.recsys.base import Recommender
+from repro.recsys.cf_item import ItemBasedCF
+from repro.recsys.cf_user import UserBasedCF
+from repro.recsys.content import ContentBasedRecommender
+from repro.recsys.naive_bayes import NaiveBayesRecommender
+from repro.recsys.svd import SVDRecommender
+
+__all__ = [
+    "SubstrateSpec",
+    "QualityWorldConfig",
+    "DEFAULT_SPECS",
+    "run_quality_suite",
+]
+
+
+@dataclass(frozen=True)
+class SubstrateSpec:
+    """One (substrate, explainer) pairing evaluated by the suite."""
+
+    name: str
+    substrate: Callable[[], Recommender]
+    explainer: Callable[[], Explainer]
+
+
+@dataclass(frozen=True)
+class QualityWorldConfig:
+    """The seeded world and population the suite runs over.
+
+    The defaults are the committed-baseline configuration: changing
+    them invalidates ``quality-baseline.json`` (the baseline stores its
+    world and the checker refuses to compare across worlds).
+    """
+
+    n_users: int = 60
+    n_items: int = 120
+    density: float = 0.25
+    seed: int = 7
+    eval_users: int = 12
+    top_n: int = 5
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready world description."""
+        return {
+            "n_users": self.n_users,
+            "n_items": self.n_items,
+            "density": self.density,
+            "seed": self.seed,
+            "eval_users": self.eval_users,
+            "top_n": self.top_n,
+        }
+
+
+#: The default suite roster.  At least four substrates is the contract
+#: the benchmark section and the aim-correlation report rely on.
+DEFAULT_SPECS: tuple[SubstrateSpec, ...] = (
+    SubstrateSpec(
+        "UserBasedCF", UserBasedCF, NeighborHistogramExplainer
+    ),
+    SubstrateSpec("ItemBasedCF", ItemBasedCF, ContentBasedExplainer),
+    SubstrateSpec(
+        "ContentBasedRecommender",
+        ContentBasedRecommender,
+        ContentBasedExplainer,
+    ),
+    SubstrateSpec(
+        "NaiveBayesRecommender", NaiveBayesRecommender, InfluenceExplainer
+    ),
+    SubstrateSpec("SVDRecommender", SVDRecommender, ContentBasedExplainer),
+)
+
+
+def _quality_gauge(name: str, help_text: str) -> obs.Gauge:
+    gauge = obs.get_registry().gauge(
+        name, help_text, labelnames=("substrate",)
+    )
+    assert isinstance(gauge, obs.Gauge)
+    return gauge
+
+
+def _publish_metrics(
+    substrate: str, metrics: dict[str, float], scores: Sequence[float]
+) -> None:
+    """Register and set the per-substrate ``repro_quality_*`` series."""
+    helps = {
+        "fidelity": "Mean explanation fidelity (evidence drives score).",
+        "intra_list_diversity": (
+            "Mean within-list evidence dissimilarity per user."
+        ),
+        "cross_user_diversity": (
+            "Mean cross-user evidence dissimilarity."
+        ),
+        "coverage": "Catalogue fraction ever cited as support.",
+        "popularity_gini": (
+            "Gini concentration of per-item citation counts."
+        ),
+        "tail_share": "Long-tail share of explanation citations.",
+    }
+    for key, value in metrics.items():
+        _quality_gauge(f"repro_quality_{key}", helps[key]).set(
+            value, substrate=substrate
+        )
+    histogram = obs.get_registry().histogram(
+        "repro_quality_fidelity_score",
+        "Per-explanation fidelity scores.",
+        labelnames=("substrate",),
+        buckets=(0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0),
+    )
+    for score in scores:
+        histogram.observe(score, substrate=substrate)
+
+
+def _evaluate_spec(
+    spec: SubstrateSpec,
+    world: object,
+    config: QualityWorldConfig,
+) -> SubstrateQuality:
+    """Fit one substrate, sample its explanations, compute all families."""
+    dataset = world.dataset  # type: ignore[attr-defined]
+    explainer = spec.explainer()
+    pipeline = ExplainedRecommender(spec.substrate(), explainer)
+    with obs.span("quality.fit", substrate=spec.name):
+        pipeline.fit(dataset)
+
+    user_ids = list(dataset.users)[: config.eval_users]
+    samples: list[ExplanationSample] = []
+    text_chars = 0
+    cited_atoms = 0
+    start = time.perf_counter()
+    with obs.span(
+        "quality.collect", substrate=spec.name, users=len(user_ids)
+    ):
+        for user_id in user_ids:
+            for explained in pipeline.recommend(user_id, n=config.top_n):
+                sample = build_sample(
+                    user_id, explained, explainer, dataset
+                )
+                samples.append(sample)
+                text_chars += len(explained.explanation.text)
+                cited_atoms += len(sample.cited)
+    collect_s = time.perf_counter() - start
+
+    catalogue_ids = list(dataset.items)
+    rating_counts = {
+        item_id: len(dataset.ratings_for(item_id))
+        for item_id in catalogue_ids
+    }
+    scale_span = dataset.scale.span
+
+    start = time.perf_counter()
+    with obs.span("quality.metrics", substrate=spec.name):
+        with obs.timed(
+            "repro_quality_compute_seconds",
+            "Metric-computation latency per substrate and family.",
+            substrate=spec.name, family="fidelity",
+        ):
+            fidelity_result = fidelity(samples, scale_span)
+        with obs.timed(
+            "repro_quality_compute_seconds",
+            "Metric-computation latency per substrate and family.",
+            substrate=spec.name, family="diversity",
+        ):
+            diversity_result = diversity(samples)
+        with obs.timed(
+            "repro_quality_compute_seconds",
+            "Metric-computation latency per substrate and family.",
+            substrate=spec.name, family="coverage",
+        ):
+            coverage_result = coverage(samples, catalogue_ids)
+        with obs.timed(
+            "repro_quality_compute_seconds",
+            "Metric-computation latency per substrate and family.",
+            substrate=spec.name, family="popularity_bias",
+        ):
+            bias_result = popularity_bias(samples, rating_counts)
+    metrics_s = time.perf_counter() - start
+
+    metrics = {
+        "fidelity": fidelity_result.mean,
+        "intra_list_diversity": diversity_result.intra_list,
+        "cross_user_diversity": diversity_result.cross_user,
+        "coverage": coverage_result.coverage,
+        "popularity_gini": bias_result.gini,
+        "tail_share": bias_result.tail_share,
+    }
+    _publish_metrics(spec.name, metrics, fidelity_result.scores)
+
+    registry = obs.get_registry()
+    registry.counter(
+        "repro_quality_samples_total",
+        "Explanations sampled by the quality suite.",
+        labelnames=("substrate",),
+    ).inc(len(samples), substrate=spec.name)
+    registry.counter(
+        "repro_quality_degraded_excluded_total",
+        "Degraded explanations excluded from quality metrics.",
+        labelnames=("substrate",),
+    ).inc(fidelity_result.excluded_degraded, substrate=spec.name)
+
+    assessable = max(len(samples), 1)
+    wall_s = collect_s + metrics_s
+    return SubstrateQuality(
+        substrate=spec.name,
+        explainer=type(explainer).__name__,
+        metrics=metrics,
+        counts={
+            "samples": len(samples),
+            "assessed": fidelity_result.assessed,
+            "excluded_degraded": fidelity_result.excluded_degraded,
+            "unassessable": fidelity_result.unassessable,
+            "support_events": coverage_result.support_events,
+            "distinct_support_items": coverage_result.distinct_items,
+        },
+        stimulus={
+            "mean_text_chars": text_chars / assessable,
+            "mean_cited_atoms": cited_atoms / assessable,
+        },
+        wall_s=wall_s,
+        explanations_per_s=(
+            len(samples) / wall_s if wall_s > 0.0 else 0.0
+        ),
+    )
+
+
+def run_quality_suite(
+    config: QualityWorldConfig | None = None,
+    specs: Sequence[SubstrateSpec] = DEFAULT_SPECS,
+) -> QualityReport:
+    """Run every spec over one seeded world; return the full report."""
+    config = config or QualityWorldConfig()
+    with obs.span(
+        "quality.suite",
+        n_users=config.n_users,
+        n_items=config.n_items,
+        substrates=len(specs),
+    ):
+        world = make_movies(
+            n_users=config.n_users,
+            n_items=config.n_items,
+            seed=config.seed,
+            density=config.density,
+        )
+        report = QualityReport(world=config.as_dict())
+        for spec in specs:
+            report.substrates[spec.name] = _evaluate_spec(
+                spec, world, config
+            )
+    return report

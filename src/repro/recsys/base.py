@@ -24,6 +24,8 @@ from repro.recsys.data import Dataset
 
 __all__ = [
     "Evidence",
+    "EvidenceItem",
+    "NoEvidence",
     "NeighborRating",
     "NeighborRatingsEvidence",
     "SimilarItemEvidence",
@@ -41,10 +43,56 @@ __all__ = [
 ]
 
 
+@dataclass(frozen=True)
+class EvidenceItem:
+    """One atom of explanation support, normalised for quality metrics.
+
+    ``kind`` is the support namespace (``"user"`` for cited neighbours,
+    ``"item"`` for cited catalogue items, ``"keyword"`` for cited
+    themes, ``"attribute"`` for cited preference attributes) and
+    ``ref`` the identifier within it.  ``weight`` carries the record's
+    own notion of strength (similarity, influence share, keyword
+    weight) so fidelity metrics can reconstruct scores without parsing
+    rendered text.
+    """
+
+    kind: str
+    ref: str
+    weight: float = 1.0
+
+    @property
+    def key(self) -> str:
+        """The namespaced identity used for overlap/coverage counting."""
+        return f"{self.kind}:{self.ref}"
+
+
 class Evidence:
     """Marker base class for typed recommendation evidence."""
 
     kind: str = "generic"
+
+    def support_items(self) -> tuple[EvidenceItem, ...]:
+        """The structured support atoms this record contributes.
+
+        The quality-metrics layer consumes these instead of parsing
+        rendered explanation text; the base record contributes nothing.
+        """
+        return ()
+
+
+@dataclass(frozen=True)
+class NoEvidence(Evidence):
+    """An explicit empty-evidence marker.
+
+    Attached by the degradation fallback (:class:`GenericExplainer`) so
+    downstream consumers can distinguish "this explanation *declares*
+    it has no evidence" from "nobody recorded any" — quality metrics
+    exclude the former from fidelity/coverage instead of miscounting
+    it as a zero.
+    """
+
+    reason: str = "degraded"
+    kind: str = field(default="no_evidence", init=False)
 
 
 @dataclass(frozen=True)
@@ -67,6 +115,16 @@ class NeighborRatingsEvidence(Evidence):
 
     neighbors: tuple[NeighborRating, ...]
     kind: str = field(default="neighbor_ratings", init=False)
+
+    def support_items(self) -> tuple[EvidenceItem, ...]:
+        """One ``user`` item per cited neighbour, weighted by similarity."""
+        return tuple(
+            EvidenceItem(
+                kind="user", ref=neighbor.user_id,
+                weight=neighbor.similarity,
+            )
+            for neighbor in self.neighbors
+        )
 
     def histogram(self, scale_min: int = 1, scale_max: int = 5) -> dict[int, int]:
         """Count neighbour ratings per integer rating bucket."""
@@ -91,6 +149,12 @@ class SimilarItemEvidence(Evidence):
     user_rating: float
     kind: str = field(default="similar_item", init=False)
 
+    def support_items(self) -> tuple[EvidenceItem, ...]:
+        """The cited liked item, weighted by its similarity."""
+        return (
+            EvidenceItem(kind="item", ref=self.item_id, weight=self.similarity),
+        )
+
 
 @dataclass(frozen=True)
 class KeywordInfluence:
@@ -106,6 +170,16 @@ class KeywordEvidence(Evidence):
 
     influences: tuple[KeywordInfluence, ...]
     kind: str = field(default="keywords", init=False)
+
+    def support_items(self) -> tuple[EvidenceItem, ...]:
+        """One ``keyword`` item per influence, weighted by its weight."""
+        return tuple(
+            EvidenceItem(
+                kind="keyword", ref=influence.keyword,
+                weight=influence.weight,
+            )
+            for influence in self.influences
+        )
 
     def top(self, n: int = 5) -> tuple[KeywordInfluence, ...]:
         """The ``n`` strongest positive keyword influences."""
@@ -134,6 +208,16 @@ class InfluenceEvidence(Evidence):
 
     influences: tuple[RatingInfluence, ...]
     kind: str = field(default="rating_influence", init=False)
+
+    def support_items(self) -> tuple[EvidenceItem, ...]:
+        """One ``item`` entry per cited past rating, weighted by influence."""
+        return tuple(
+            EvidenceItem(
+                kind="item", ref=influence.item_id,
+                weight=influence.influence,
+            )
+            for influence in self.influences
+        )
 
     def top(self, n: int = 5) -> tuple[RatingInfluence, ...]:
         """The ``n`` most influential past ratings (by absolute share)."""
@@ -175,6 +259,16 @@ class UtilityEvidence(Evidence):
     scores: tuple[AttributeScore, ...]
     kind: str = field(default="utility", init=False)
 
+    def support_items(self) -> tuple[EvidenceItem, ...]:
+        """One ``attribute`` item per scored attribute (weighted score)."""
+        return tuple(
+            EvidenceItem(
+                kind="attribute", ref=score.name,
+                weight=score.weighted_score,
+            )
+            for score in self.scores
+        )
+
     def total(self) -> float:
         """Weighted utility total."""
         return sum(score.weighted_score for score in self.scores)
@@ -207,6 +301,12 @@ class ProfileAttributeEvidence(Evidence):
     provenance: str  # "volunteered" or "inferred"
     weight: float = 1.0
     kind: str = field(default="profile_attribute", init=False)
+
+    def support_items(self) -> tuple[EvidenceItem, ...]:
+        """The cited profile attribute, at its stated weight."""
+        return (
+            EvidenceItem(kind="attribute", ref=self.attribute, weight=self.weight),
+        )
 
 
 @dataclass(frozen=True)

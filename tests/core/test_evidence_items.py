@@ -1,0 +1,196 @@
+"""Structured evidence accessors: atoms instead of parsed text.
+
+Every evidence record exposes its support as typed
+:class:`EvidenceItem` atoms; every explainer reports which atoms it
+actually *cites* (its top-k narrowing included); and the degraded path
+carries an explicit :class:`NoEvidence` marker so downstream metrics
+can exclude it rather than score it as an empty explanation.
+"""
+
+from __future__ import annotations
+
+from repro.core.aims import Aim
+from repro.core.explainers.base import GenericExplainer
+from repro.core.explainers.content import ContentBasedExplainer
+from repro.core.explainers.influence import InfluenceExplainer
+from repro.core.explanation import Explanation, ExplanationStyle
+from repro.recsys.base import (
+    EvidenceItem,
+    InfluenceEvidence,
+    KeywordEvidence,
+    KeywordInfluence,
+    NeighborRating,
+    NeighborRatingsEvidence,
+    NoEvidence,
+    PopularityEvidence,
+    Prediction,
+    ProfileAttributeEvidence,
+    RatingInfluence,
+    Recommendation,
+    SimilarItemEvidence,
+)
+
+
+def _explanation(*evidence) -> Explanation:
+    return Explanation(
+        item_id="i1",
+        style=ExplanationStyle.COLLABORATIVE_BASED,
+        text="because",
+        evidence=tuple(evidence),
+    )
+
+
+class TestSupportItems:
+    def test_neighbor_ratings_yield_user_atoms(self):
+        record = NeighborRatingsEvidence(
+            neighbors=(
+                NeighborRating("v1", 0.9, 4.0),
+                NeighborRating("v2", 0.4, 3.0),
+            )
+        )
+        atoms = record.support_items()
+        assert [(a.kind, a.ref, a.weight) for a in atoms] == [
+            ("user", "v1", 0.9),
+            ("user", "v2", 0.4),
+        ]
+
+    def test_similar_item_yields_one_item_atom(self):
+        record = SimilarItemEvidence(
+            item_id="i9", similarity=0.7, user_rating=4.5
+        )
+        assert record.support_items() == (
+            EvidenceItem(kind="item", ref="i9", weight=0.7),
+        )
+
+    def test_keyword_and_influence_and_profile_atoms(self):
+        keywords = KeywordEvidence(
+            influences=(KeywordInfluence("space", 0.8),)
+        )
+        influence = InfluenceEvidence(
+            influences=(RatingInfluence("i3", 5.0, -0.2),)
+        )
+        profile = ProfileAttributeEvidence(
+            attribute="budget", value="low", provenance="volunteered",
+            weight=0.6,
+        )
+        assert keywords.support_items()[0].key == "keyword:space"
+        assert influence.support_items()[0] == EvidenceItem(
+            kind="item", ref="i3", weight=-0.2
+        )
+        assert profile.support_items()[0].kind == "attribute"
+
+    def test_popularity_evidence_has_no_support_atoms(self):
+        record = PopularityEvidence(
+            n_ratings=10, mean_rating=4.0, recency=0.5
+        )
+        assert record.support_items() == ()
+
+    def test_explanation_flattens_all_records(self):
+        explanation = _explanation(
+            SimilarItemEvidence(item_id="i9", similarity=0.7,
+                                user_rating=4.5),
+            KeywordEvidence(influences=(KeywordInfluence("space", 0.8),)),
+        )
+        keys = [atom.key for atom in explanation.evidence_items()]
+        assert keys == ["item:i9", "keyword:space"]
+
+
+class TestExplainerCitations:
+    def test_influence_explainer_cites_only_its_top_rows(self):
+        rows = tuple(
+            RatingInfluence(f"i{index}", 4.0, 1.0 - index * 0.1)
+            for index in range(6)
+        )
+        explanation = _explanation(InfluenceEvidence(influences=rows))
+        explainer = InfluenceExplainer(max_rows=3)
+        cited = explainer.evidence_items(explanation)
+        assert [atom.ref for atom in cited] == ["i0", "i1", "i2"]
+
+    def test_content_explainer_cites_top_items_and_keywords(self):
+        explanation = _explanation(
+            SimilarItemEvidence(item_id="a", similarity=0.9,
+                                user_rating=5.0),
+            SimilarItemEvidence(item_id="b", similarity=0.2,
+                                user_rating=4.0),
+            KeywordEvidence(
+                influences=(
+                    KeywordInfluence("space", 0.8),
+                    KeywordInfluence("dull", -0.5),
+                )
+            ),
+        )
+        explainer = ContentBasedExplainer(max_liked_items=1, max_keywords=1)
+        cited = explainer.evidence_items(explanation)
+        assert [atom.key for atom in cited] == ["item:a", "keyword:space"]
+
+    def test_default_citation_is_everything_carried(self):
+        explanation = _explanation(
+            SimilarItemEvidence(item_id="a", similarity=0.9,
+                                user_rating=5.0)
+        )
+
+        class Passthrough(GenericExplainer):
+            pass
+
+        assert Passthrough.evidence_items is GenericExplainer.evidence_items
+
+
+class TestDegradedPath:
+    def test_generic_explainer_attaches_no_evidence_marker(self, tiny_dataset):
+        recommendation = Recommendation(
+            item_id="i1", score=3.0, rank=1, prediction=Prediction(3.0)
+        )
+        explanation = GenericExplainer().explain(
+            "alice", recommendation, tiny_dataset
+        )
+        assert len(explanation.evidence) == 1
+        assert isinstance(explanation.evidence[0], NoEvidence)
+        assert explanation.evidence_withheld
+
+    def test_generic_explainer_cites_nothing(self, tiny_dataset):
+        recommendation = Recommendation(
+            item_id="i1", score=3.0, rank=1, prediction=Prediction(3.0)
+        )
+        explainer = GenericExplainer()
+        explanation = explainer.explain("alice", recommendation,
+                                        tiny_dataset)
+        assert explainer.evidence_items(explanation) == ()
+        assert explanation.evidence_items() == ()
+
+    def test_evidence_withheld_false_for_real_evidence(self):
+        explanation = _explanation(
+            SimilarItemEvidence(item_id="a", similarity=0.9,
+                                user_rating=5.0)
+        )
+        assert not explanation.evidence_withheld
+
+    def test_no_evidence_marker_still_renders_aims(self, tiny_dataset):
+        recommendation = Recommendation(
+            item_id="i1", score=3.0, rank=1, prediction=Prediction(3.0)
+        )
+        explanation = GenericExplainer().explain(
+            "alice", recommendation, tiny_dataset
+        )
+        assert explanation.text
+        assert not explanation.serves(Aim.TRANSPARENCY)
+
+
+def test_sampler_excludes_degraded_from_metrics(tiny_dataset):
+    from repro.quality import build_sample, fidelity
+    from repro.core.pipeline import ExplainedRecommendation
+
+    recommendation = Recommendation(
+        item_id="i1", score=3.0, rank=1, prediction=Prediction(3.0)
+    )
+    explainer = GenericExplainer()
+    explanation = explainer.explain("alice", recommendation, tiny_dataset)
+    explained = ExplainedRecommendation(
+        recommendation=recommendation,
+        explanation=explanation,
+        degraded=False,  # pipeline flag unset; the marker must suffice
+    )
+    sample = build_sample("alice", explained, explainer, tiny_dataset)
+    assert sample.degraded
+    result = fidelity([sample], tiny_dataset.scale.span)
+    assert result.excluded_degraded == 1
+    assert result.assessed == 0

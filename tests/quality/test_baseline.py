@@ -1,0 +1,128 @@
+"""Baseline hygiene for the quality gate, mirroring tests/analysis.
+
+Round trip (save → load → compare clean), regression detection,
+unbaselined and stale metrics both failing the check, and malformed or
+world-mismatched baselines raising :class:`QualityError` (the CLI's
+exit-2 operational path) instead of producing a bogus verdict.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QualityError
+from repro.quality import (
+    DEFAULT_TOLERANCE,
+    MetricBand,
+    QualityBaseline,
+    QualityReport,
+    SubstrateQuality,
+)
+
+WORLD = {"n_users": 8, "n_items": 16, "seed": 7}
+
+
+def _entry(name: str, fidelity: float = 0.9) -> SubstrateQuality:
+    return SubstrateQuality(
+        substrate=name,
+        explainer="TestExplainer",
+        metrics={"fidelity": fidelity, "coverage": 0.5},
+        counts={"samples": 10},
+        stimulus={"mean_text_chars": 80.0, "mean_cited_atoms": 3.0},
+        wall_s=0.1,
+        explanations_per_s=100.0,
+    )
+
+
+def _report(**entries: SubstrateQuality) -> QualityReport:
+    return QualityReport(world=dict(WORLD), substrates=dict(entries))
+
+
+def test_round_trip_compares_clean(tmp_path) -> None:
+    report = _report(A=_entry("A"), B=_entry("B", fidelity=0.7))
+    baseline = QualityBaseline.from_report(report)
+    path = tmp_path / "quality-baseline.json"
+    baseline.save(path)
+    comparison = QualityBaseline.load(path).compare(report)
+    assert comparison.ok
+    assert comparison.checked == 4
+    assert "ok" in comparison.render()
+
+
+def test_out_of_band_metric_is_a_regression() -> None:
+    baseline = QualityBaseline.from_report(_report(A=_entry("A", 0.9)))
+    drifted = _report(A=_entry("A", 0.9 - 2 * DEFAULT_TOLERANCE))
+    comparison = baseline.compare(drifted)
+    assert not comparison.ok
+    kinds = {deviation.kind for deviation in comparison.deviations}
+    assert kinds == {"regression"}
+    assert "outside" in comparison.render()
+
+
+def test_within_band_drift_passes() -> None:
+    baseline = QualityBaseline.from_report(_report(A=_entry("A", 0.9)))
+    drifted = _report(A=_entry("A", 0.9 + DEFAULT_TOLERANCE / 2))
+    assert baseline.compare(drifted).ok
+
+
+def test_unbaselined_substrate_fails_the_check() -> None:
+    baseline = QualityBaseline.from_report(_report(A=_entry("A")))
+    grown = _report(A=_entry("A"), B=_entry("B"))
+    comparison = baseline.compare(grown)
+    assert not comparison.ok
+    assert {d.kind for d in comparison.deviations} == {"unbaselined"}
+
+
+def test_stale_baseline_entry_fails_the_check() -> None:
+    baseline = QualityBaseline.from_report(
+        _report(A=_entry("A"), B=_entry("B"))
+    )
+    shrunk = _report(A=_entry("A"))
+    comparison = baseline.compare(shrunk)
+    assert not comparison.ok
+    assert {d.kind for d in comparison.deviations} == {"stale"}
+
+
+def test_world_mismatch_raises_quality_error() -> None:
+    baseline = QualityBaseline.from_report(_report(A=_entry("A")))
+    other = QualityReport(
+        world={**WORLD, "seed": 8}, substrates={"A": _entry("A")}
+    )
+    with pytest.raises(QualityError, match="world"):
+        baseline.compare(other)
+
+
+def test_missing_baseline_file_raises(tmp_path) -> None:
+    with pytest.raises(QualityError, match="not found"):
+        QualityBaseline.load(tmp_path / "absent.json")
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "not json at all {",
+        '{"schema": "wrong/v9"}',
+        '{"schema": "repro.quality.baseline/v1", "world": []}',
+        '{"schema": "repro.quality.baseline/v1", "world": {}, '
+        '"substrates": {}}',
+        '{"schema": "repro.quality.baseline/v1", "world": {}, '
+        '"substrates": {"A": {"fidelity": {"value": "high", '
+        '"tolerance": 0.1}}}}',
+        '{"schema": "repro.quality.baseline/v1", "world": {}, '
+        '"substrates": {"A": {"no_such_metric": {"value": 1.0, '
+        '"tolerance": 0.1}}}}',
+        '{"schema": "repro.quality.baseline/v1", "world": {}, '
+        '"substrates": {"A": {"fidelity": {"value": 1.0, '
+        '"tolerance": -0.1}}}}',
+    ],
+)
+def test_malformed_baseline_raises(text) -> None:
+    with pytest.raises(QualityError):
+        QualityBaseline.parse(text)
+
+
+def test_band_containment_is_inclusive() -> None:
+    band = MetricBand(value=0.5, tolerance=0.1)
+    assert band.contains(0.6)
+    assert band.contains(0.4)
+    assert not band.contains(0.6000001)

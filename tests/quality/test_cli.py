@@ -1,0 +1,101 @@
+"""The ``python -m repro quality`` command and its exit-code contract.
+
+Mirrors the ``analyze`` contract: 0 = clean, 1 = findings (a metric
+outside its band, or an unbaselined/stale metric), 2 = operational
+error (missing or malformed baseline, world mismatch).  Also pins the
+acceptance criterion that the *committed* ``quality-baseline.json``
+passes ``--check`` at head.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+COMMITTED_BASELINE = REPO_ROOT / "quality-baseline.json"
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def test_text_report_prints_metric_table(capsys):
+    assert main(["quality"]) == 0
+    output = capsys.readouterr().out
+    assert "Explanation-quality metrics" in output
+    assert "UserBasedCF" in output
+    assert "fidelity" in output
+
+
+def test_json_report_has_versioned_schema(capsys):
+    assert main(["quality", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "repro.quality.report/v1"
+    assert len(payload["substrates"]) >= 4
+    for entry in payload["substrates"].values():
+        assert set(entry["metrics"]) == {
+            "fidelity",
+            "intra_list_diversity",
+            "cross_user_diversity",
+            "coverage",
+            "popularity_gini",
+            "tail_share",
+        }
+
+
+def test_check_passes_against_committed_baseline(capsys):
+    assert COMMITTED_BASELINE.exists()
+    assert (
+        main(["quality", "--check", "--baseline", str(COMMITTED_BASELINE)])
+        == 0
+    )
+    assert "ok" in capsys.readouterr().out
+
+
+def test_update_baseline_then_check_round_trips(tmp_path, capsys):
+    path = tmp_path / "quality-baseline.json"
+    assert main(["quality", "--update-baseline", "--baseline", str(path)]) == 0
+    assert path.exists()
+    capsys.readouterr()
+    assert main(["quality", "--check", "--baseline", str(path)]) == 0
+
+
+def test_out_of_band_metric_exits_one(tmp_path, capsys):
+    payload = json.loads(COMMITTED_BASELINE.read_text())
+    payload["substrates"]["UserBasedCF"]["fidelity"] = {
+        "value": 0.2,
+        "tolerance": 0.01,
+    }
+    drifted = tmp_path / "drifted.json"
+    drifted.write_text(json.dumps(payload))
+    assert main(["quality", "--check", "--baseline", str(drifted)]) == 1
+    assert "FAILED" in capsys.readouterr().out
+
+
+def test_missing_baseline_exits_two(tmp_path, capsys):
+    absent = tmp_path / "absent.json"
+    assert main(["quality", "--check", "--baseline", str(absent)]) == 2
+    assert "not found" in capsys.readouterr().err
+
+
+def test_malformed_baseline_exits_two(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"schema": "nope"}')
+    assert main(["quality", "--check", "--baseline", str(bad)]) == 2
+    assert "repro quality:" in capsys.readouterr().err
+
+
+def test_correlation_flag_appends_agreement_table(capsys):
+    assert main(["quality", "--correlation"]) == 0
+    output = capsys.readouterr().out
+    assert "Offline metric vs simulated aim agreement" in output
+    assert "transparency" in output

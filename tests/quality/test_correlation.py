@@ -1,0 +1,103 @@
+"""The offline-metric-vs-aim correlation bridge.
+
+The bridge must derive its evaluation configurations purely from
+measured quality (no hand-assigned numbers), produce one entry per
+(offline metric, aim) pair, classify agreement sanely, and be
+deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aims import Aim
+from repro.domains import make_movies
+from repro.quality import (
+    METRIC_KEYS,
+    QualityWorldConfig,
+    aim_correlation,
+    derive_configuration,
+    pearson,
+    run_quality_suite,
+    spearman,
+)
+from repro.quality.runner import DEFAULT_SPECS
+
+CONFIG = QualityWorldConfig(n_users=24, n_items=40, eval_users=6, top_n=3)
+
+
+@pytest.fixture(scope="module")
+def correlation():
+    report = run_quality_suite(CONFIG, specs=DEFAULT_SPECS[:4])
+    world = make_movies(
+        n_users=CONFIG.n_users,
+        n_items=CONFIG.n_items,
+        seed=CONFIG.seed,
+        density=CONFIG.density,
+    )
+    return aim_correlation(
+        report, world, n_users=12, items_per_user=4, seed=CONFIG.seed
+    )
+
+
+def test_one_entry_per_metric_aim_pair(correlation) -> None:
+    assert correlation["n_substrates"] == 4
+    entries = correlation["entries"]
+    assert len(entries) == len(METRIC_KEYS) * len(Aim)
+    pairs = {(entry["metric"], entry["aim"]) for entry in entries}
+    assert len(pairs) == len(entries)
+    for entry in entries:
+        assert entry["agreement"] in {
+            "tracks",
+            "weak",
+            "diverges",
+            "undefined",
+        }
+        if entry["pearson"] is not None:
+            assert -1.0 <= entry["pearson"] <= 1.0
+        if entry["spearman"] is not None:
+            assert -1.0 <= entry["spearman"] <= 1.0
+
+
+def test_every_substrate_gets_all_seven_aim_scores(correlation) -> None:
+    for scores in correlation["aim_scores"].values():
+        assert set(scores) == {aim.value for aim in Aim}
+        assert all(0.0 <= score <= 1.0 for score in scores.values())
+
+
+def test_zero_variance_aims_are_undefined_not_spurious(correlation) -> None:
+    # Scrutability depends only on declared affordances, which the
+    # derivation holds constant across substrates — so correlating any
+    # metric with it must come out undefined, not an accidental number.
+    scrutability = [
+        entry
+        for entry in correlation["entries"]
+        if entry["aim"] == "scrutability"
+    ]
+    assert scrutability
+    assert all(
+        entry["agreement"] == "undefined" and entry["pearson"] is None
+        for entry in scrutability
+    )
+
+
+def test_derived_configuration_comes_from_measured_quality() -> None:
+    report = run_quality_suite(CONFIG, specs=DEFAULT_SPECS[:1])
+    entry = report.substrates["UserBasedCF"]
+    configuration = derive_configuration(entry)
+    assert configuration.fidelity == pytest.approx(
+        entry.metrics["fidelity"]
+    )
+    assert configuration.overselling == pytest.approx(
+        1.0 - entry.metrics["fidelity"]
+    )
+    assert 0.0 <= configuration.reading_seconds <= 20.0
+    assert 0.0 <= configuration.persuasive_pull <= 0.8
+
+
+def test_correlation_helpers() -> None:
+    assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+    assert pearson([1, 2, 3], [6, 4, 2]) == pytest.approx(-1.0)
+    assert pearson([1, 1, 1], [1, 2, 3]) is None
+    assert spearman([1, 2, 3], [10, 20, 300]) == pytest.approx(1.0)
+    assert spearman([1], [2]) is None

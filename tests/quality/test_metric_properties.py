@@ -1,0 +1,193 @@
+"""Property-based tests for the offline metric families.
+
+The metric functions consume plain :class:`ExplanationSample` records,
+so hypothesis can drive the math directly with synthetic populations:
+every family must stay inside its documented range, be invariant to the
+order samples arrive in (metrics describe a population, not a
+sequence), and exclude degraded samples rather than score them.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quality import (
+    ExplanationSample,
+    coverage,
+    diversity,
+    fidelity,
+    fidelity_score,
+    gini,
+    popularity_bias,
+)
+from repro.recsys.base import EvidenceItem
+
+USERS = ("u1", "u2", "u3", "u4")
+CATALOGUE = ("i1", "i2", "i3", "i4", "i5", "i6")
+SCALE_SPAN = 4.0
+
+_atoms = st.lists(
+    st.builds(
+        EvidenceItem,
+        kind=st.sampled_from(("item", "user", "keyword")),
+        ref=st.sampled_from(CATALOGUE + ("v1", "v2", "space")),
+        weight=st.floats(-1.0, 1.0, allow_nan=False),
+    ),
+    max_size=5,
+)
+
+
+def _sample(
+    user_id: str,
+    item_id: str,
+    value: float,
+    reconstructed: float | None,
+    mass: list[float],
+    cited: list[EvidenceItem],
+    degraded: bool,
+) -> ExplanationSample:
+    return ExplanationSample(
+        user_id=user_id,
+        item_id=item_id,
+        value=value,
+        reconstructed=reconstructed,
+        mass_components=tuple(mass),
+        cited=tuple(cited),
+        carried=tuple(cited),
+        degraded=degraded,
+    )
+
+
+_samples = st.lists(
+    st.builds(
+        _sample,
+        user_id=st.sampled_from(USERS),
+        item_id=st.sampled_from(CATALOGUE),
+        value=st.floats(1.0, 5.0, allow_nan=False),
+        reconstructed=st.one_of(
+            st.none(), st.floats(1.0, 5.0, allow_nan=False)
+        ),
+        mass=st.lists(st.floats(0.0, 1.0, allow_nan=False), max_size=3),
+        cited=_atoms,
+        degraded=st.booleans(),
+    ),
+    max_size=24,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(samples=_samples)
+def test_metrics_stay_in_documented_ranges(samples) -> None:
+    result = fidelity(samples, SCALE_SPAN)
+    assert 0.0 <= result.mean <= 1.0
+    assert all(0.0 <= score <= 1.0 for score in result.scores)
+    assert (
+        result.assessed + result.excluded_degraded + result.unassessable
+        == len(samples)
+    )
+
+    diversity_result = diversity(samples)
+    assert 0.0 <= diversity_result.intra_list <= 1.0
+    assert 0.0 <= diversity_result.cross_user <= 1.0
+
+    coverage_result = coverage(samples, CATALOGUE)
+    assert 0.0 <= coverage_result.coverage <= 1.0
+    assert coverage_result.distinct_items <= len(CATALOGUE)
+
+    bias = popularity_bias(
+        samples, {item_id: 1 for item_id in CATALOGUE}
+    )
+    assert 0.0 <= bias.gini < 1.0
+    assert 0.0 <= bias.tail_share <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(samples=_samples, seed=st.integers(0, 2**16))
+def test_metrics_are_permutation_invariant(samples, seed) -> None:
+    import random
+
+    shuffled = list(samples)
+    random.Random(seed).shuffle(shuffled)
+    counts = {item_id: 1 for item_id in CATALOGUE}
+
+    # Equal up to float summation order (np.mean over a reordering).
+    assert abs(
+        fidelity(samples, SCALE_SPAN).mean
+        - fidelity(shuffled, SCALE_SPAN).mean
+    ) < 1e-9
+    original = diversity(samples)
+    permuted = diversity(shuffled)
+    assert abs(original.intra_list - permuted.intra_list) < 1e-9
+    assert abs(original.cross_user - permuted.cross_user) < 1e-9
+    assert (
+        coverage(samples, CATALOGUE).coverage
+        == coverage(shuffled, CATALOGUE).coverage
+    )
+    assert (
+        popularity_bias(samples, counts).gini
+        == popularity_bias(shuffled, counts).gini
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(samples=_samples)
+def test_degraded_samples_are_excluded_not_scored(samples) -> None:
+    clean = [sample for sample in samples if not sample.degraded]
+    with_degraded = fidelity(samples, SCALE_SPAN)
+    clean_only = fidelity(clean, SCALE_SPAN)
+    assert with_degraded.mean == clean_only.mean
+    assert with_degraded.assessed == clean_only.assessed
+    assert with_degraded.excluded_degraded == len(samples) - len(clean)
+
+    assert coverage(samples, CATALOGUE).coverage == coverage(
+        clean, CATALOGUE
+    ).coverage
+
+
+def test_fidelity_is_one_for_exact_fully_cited_evidence() -> None:
+    atoms = (EvidenceItem(kind="user", ref="v1", weight=0.9),)
+    sample = _sample("u1", "i1", 4.2, 4.2, [1.0], list(atoms), False)
+    assert fidelity_score(sample, SCALE_SPAN) == 1.0
+
+
+def test_fidelity_degrades_with_reconstruction_error() -> None:
+    exact = _sample("u1", "i1", 4.0, 4.0, [], [], False)
+    off = _sample("u1", "i1", 4.0, 2.0, [], [], False)
+    assert fidelity_score(exact, SCALE_SPAN) == 1.0
+    assert fidelity_score(off, SCALE_SPAN) == 0.5
+
+
+def test_gini_extremes() -> None:
+    import numpy as np
+
+    assert gini(np.array([1.0, 1.0, 1.0, 1.0])) == 0.0
+    concentrated = gini(np.array([0.0] * 99 + [100.0]))
+    assert concentrated > 0.95
+    assert gini(np.array([])) == 0.0
+
+
+def test_diversity_identical_lists_score_zero() -> None:
+    atoms = [EvidenceItem(kind="item", ref="i1", weight=1.0)]
+    samples = [
+        _sample(user, item, 4.0, None, [], atoms, False)
+        for user in ("u1", "u2")
+        for item in ("i1", "i2")
+    ]
+    result = diversity(samples)
+    assert result.intra_list == 0.0
+    assert result.cross_user == 0.0
+
+
+def test_diversity_disjoint_lists_score_one() -> None:
+    samples = []
+    for index, user in enumerate(("u1", "u2")):
+        for rank in range(2):
+            ref = f"i{index * 2 + rank + 1}"
+            atoms = [EvidenceItem(kind="item", ref=ref, weight=1.0)]
+            samples.append(
+                _sample(user, ref, 4.0, None, [], atoms, False)
+            )
+    result = diversity(samples)
+    assert result.intra_list == 1.0
+    assert result.cross_user == 1.0

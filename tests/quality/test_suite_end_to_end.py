@@ -1,0 +1,103 @@
+"""End-to-end suite runs: real substrates, published metrics, spans.
+
+The headline invariant is the fidelity anchor: a substrate explained by
+its own exact, fully cited evidence (user CF with the neighbour
+explainer, which cites every neighbour the deviation-from-mean formula
+used) must measure fidelity 1.0 — while SVD's post-hoc latent-neighbour
+explanation must measure strictly less.  The suite must also publish
+its ``repro_quality_*`` series and emit ``quality.*`` spans.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.quality import (
+    METRIC_KEYS,
+    QualityWorldConfig,
+    run_quality_suite,
+)
+from repro.quality.runner import DEFAULT_SPECS
+
+SMALL = QualityWorldConfig(n_users=24, n_items=40, eval_users=6, top_n=3)
+
+
+@pytest.fixture(scope="module")
+def report():
+    obs.reset()
+    try:
+        yield run_quality_suite(SMALL)
+    finally:
+        obs.reset()
+
+
+def test_suite_covers_at_least_four_substrates(report) -> None:
+    assert len(report.substrates) >= 4
+    for entry in report.substrates.values():
+        assert set(entry.metrics) == set(METRIC_KEYS)
+        assert entry.counts["samples"] > 0
+
+
+def test_exact_evidence_substrate_measures_fidelity_one(report) -> None:
+    assert report.substrates["UserBasedCF"].metrics["fidelity"] == (
+        pytest.approx(1.0)
+    )
+
+
+def test_post_hoc_explanation_measures_a_fidelity_gap(report) -> None:
+    exact = report.substrates["UserBasedCF"].metrics["fidelity"]
+    post_hoc = report.substrates["SVDRecommender"].metrics["fidelity"]
+    assert post_hoc < exact
+
+
+def test_suite_publishes_quality_gauges_and_counters(report) -> None:
+    registry = obs.get_registry()
+    for key in METRIC_KEYS:
+        metric = registry.get(f"repro_quality_{key}")
+        assert metric is not None, key
+        for name in report.substrates:
+            value = metric.labels(substrate=name).value
+            assert value == pytest.approx(
+                report.substrates[name].metrics[key], abs=1e-6
+            )
+    samples_total = registry.get("repro_quality_samples_total")
+    assert samples_total is not None
+    assert (
+        sum(
+            samples_total.labels(substrate=name).value
+            for name in report.substrates
+        )
+        > 0
+    )
+
+
+def test_suite_emits_quality_spans() -> None:
+    obs.reset()
+    sink = obs.InMemorySink()
+    obs.configure(sink=sink)
+    try:
+        run_quality_suite(
+            QualityWorldConfig(n_users=16, n_items=24, eval_users=3),
+            specs=DEFAULT_SPECS[:1],
+        )
+        names = {event.get("name") for event in sink.events}
+    finally:
+        obs.reset()
+    assert {
+        "quality.suite",
+        "quality.fit",
+        "quality.collect",
+        "quality.metrics",
+    } <= names
+
+
+def test_report_schema_and_determinism() -> None:
+    config = QualityWorldConfig(n_users=16, n_items=24, eval_users=3)
+    first = run_quality_suite(config, specs=DEFAULT_SPECS[:2])
+    second = run_quality_suite(config, specs=DEFAULT_SPECS[:2])
+    assert first.as_dict()["schema"] == "repro.quality.report/v1"
+    for name in first.substrates:
+        assert first.substrates[name].metrics == pytest.approx(
+            second.substrates[name].metrics
+        )

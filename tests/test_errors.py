@@ -16,6 +16,7 @@ from repro.errors import (
     NotFittedError,
     ObservabilityError,
     PredictionImpossibleError,
+    QualityError,
     RejectedError,
     ReproError,
     RetryExhaustedError,
@@ -43,6 +44,7 @@ ALL_ERRORS = (
     RejectedError,
     ServerClosedError,
     AnalysisError,
+    QualityError,
 )
 
 
@@ -78,12 +80,13 @@ class TestHierarchy:
             RejectedError(reason="queue_full", retry_after_seconds=0.1),
             ServerClosedError("repro-server"),
             AnalysisError("malformed baseline entry"),
+            QualityError("baseline world mismatch"),
         ):
             try:
                 raise error
             except ReproError as exc:
                 caught.append(exc)
-        assert len(caught) == 15
+        assert len(caught) == 16
 
     def test_base_error_is_not_a_builtin_alias(self):
         assert not issubclass(ReproError, (ValueError, RuntimeError))
@@ -176,6 +179,20 @@ class TestAnalysisError:
 
         with pytest.raises(ReproError):
             Baseline.load(tmp_path / "missing.txt", required=True)
+
+
+class TestQualityError:
+    def test_malformed_baseline_raises(self):
+        from repro.quality import QualityBaseline
+
+        with pytest.raises(QualityError, match="not valid JSON"):
+            QualityBaseline.parse("{nope")
+
+    def test_is_catchable_as_repro_error(self, tmp_path):
+        from repro.quality import QualityBaseline
+
+        with pytest.raises(ReproError):
+            QualityBaseline.load(tmp_path / "missing.json")
 
 
 class TestObservabilityError:
