@@ -67,6 +67,13 @@ The JSON schema (``repro.obs.bench/v2``)::
            "throughput_rps": ...}, ...
         ]
       },
+      "eventlog": {
+        "events": ...,
+        "append": {"always_eps": ..., "interval_eps": ..., "never_eps": ...},
+        "replay": {"events": ..., "wall_s": ..., "eps": ...},
+        "compaction": {"events_before": ..., "events_after": ...,
+                       "bytes_before": ..., "bytes_after": ...}
+      },
       "trace_events": 123
     }
 """
@@ -452,6 +459,85 @@ def bench_cache(n_users: int, n_items: int, quick: bool) -> dict:
     }
 
 
+def bench_eventlog(n_users: int, n_items: int, quick: bool) -> dict:
+    """Sustained event-log throughput: append, replay, compaction.
+
+    Appends ratings through a :class:`RatingChannel` wired to an
+    :class:`EventLog` under each fsync policy (the durability/latency
+    trade the serving path actually makes), then times a full recovery
+    replay into a fresh world and a compaction pass.
+    """
+    import tempfile
+
+    from repro.eventlog import EventLog, replay
+    from repro.interaction import RatingChannel
+
+    n_events = 500 if quick else 2000
+    world = make_movies(
+        n_users=n_users, n_items=n_items, seed=7, density=0.25
+    )
+    users = list(world.dataset.users)
+    items = list(world.dataset.items)
+
+    def drive(channel) -> float:
+        start = time.perf_counter()
+        for k in range(n_events):
+            channel.rate(
+                users[k % len(users)],
+                items[(k * 7) % len(items)],
+                float(1 + k % 5),
+            )
+        return time.perf_counter() - start
+
+    append: dict[str, float] = {}
+    replay_stats: dict[str, float] = {}
+    compaction: dict[str, int] = {}
+    for policy in ("always", "interval", "never"):
+        with tempfile.TemporaryDirectory() as tmp:
+            log = EventLog(tmp, fsync_policy=policy, fsync_every=32)
+            wall_s = drive(
+                RatingChannel(world.dataset.copy(), event_log=log)
+            )
+            eps = n_events / wall_s if wall_s else 0.0
+            append[f"{policy}_eps"] = round(eps, 1)
+            print(f"  fsync={policy:<9} {eps:>10.1f} append ev/s")
+            if policy == "interval":
+                report = replay(log, world.dataset.copy())
+                replay_eps = (
+                    report.events_applied / report.elapsed_seconds
+                    if report.elapsed_seconds
+                    else 0.0
+                )
+                replay_stats = {
+                    "events": report.events_applied,
+                    "wall_s": round(report.elapsed_seconds, 4),
+                    "eps": round(replay_eps, 1),
+                }
+                print(
+                    f"  replay          {replay_eps:>10.1f} ev/s "
+                    f"({report.events_applied} events)"
+                )
+                compact = log.compact()
+                compaction = {
+                    "events_before": compact.events_before,
+                    "events_after": compact.events_after,
+                    "bytes_before": compact.bytes_before,
+                    "bytes_after": compact.bytes_after,
+                }
+                print(
+                    f"  compaction      {compact.events_before} -> "
+                    f"{compact.events_after} events, "
+                    f"{compact.bytes_before} -> {compact.bytes_after} bytes"
+                )
+            log.close()
+    return {
+        "events": n_events,
+        "append": append,
+        "replay": replay_stats,
+        "compaction": compaction,
+    }
+
+
 def bench_quality(quick: bool) -> dict:
     """Offline explanation-quality metrics plus computation throughput.
 
@@ -560,6 +646,8 @@ def main(argv: list[str] | None = None) -> int:
     serving = bench_serving(n_users, n_items, arguments.quick)
     print("cache:")
     cache = bench_cache(n_users, n_items, arguments.quick)
+    print("eventlog:")
+    eventlog = bench_eventlog(n_users, n_items, arguments.quick)
     print("studies:")
     studies = bench_studies(arguments.quick)
     print("quality:")
@@ -582,6 +670,7 @@ def main(argv: list[str] | None = None) -> int:
         "resilience": resilience,
         "serving": serving,
         "cache": cache,
+        "eventlog": eventlog,
         "studies": studies,
         "quality": quality,
         "interaction": {

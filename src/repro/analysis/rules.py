@@ -26,7 +26,12 @@ Each rule encodes one invariant PRs 1–3 left as tribal knowledge:
   edits, ratings, critique requirements) must notify a change channel
   (``on_change`` subscribers / ``invalidate_user``), directly or via a
   sibling method, so the cache layer can drop answers computed from
-  the old preferences.
+  the old preferences;
+* **RR008** — durability write-through: the same watched preference
+  writes must also reach the event log (``self._journal`` /
+  ``self.event_log.append``) **before** the in-memory mutation, so a
+  crash between journal and mutation replays the event instead of
+  losing an acknowledged interaction.
 
 The cross-module lock-ordering analyzer (RR006) lives in
 :mod:`repro.analysis.lockgraph`.
@@ -52,6 +57,7 @@ __all__ = [
     "ExceptionDisciplineRule",
     "TypedApiRule",
     "MissingInvalidationRule",
+    "MissingWriteThroughRule",
     "LockOrderingRule",
     "default_rules",
 ]
@@ -461,6 +467,7 @@ class TypedApiRule(Rule):
         "repro.serving",
         "repro.analysis",
         "repro.quality",
+        "repro.eventlog",
     )
 
     def _annotation_scope(self) -> bool:
@@ -661,8 +668,164 @@ class MissingInvalidationRule(Rule):
         super().visit_ClassDef(node)
 
 
+class MissingWriteThroughRule(Rule):
+    """RR008: preference writes that never reach the event log first.
+
+    The durability contract (``docs/event_log.md``) is write-ahead: an
+    interaction channel journals the :class:`InteractionEvent` *before*
+    mutating in-memory state, so a crash between the two replays the
+    event instead of silently dropping an acknowledged interaction.
+    Under ``repro.interaction`` this rule watches the same writes as
+    RR007 —
+
+    * ``self.edits.append(...)`` (profile edit logs),
+    * ``self.dataset.add_rating(...)`` (rating writes),
+    * ``self.requirements.add_constraint/remove_constraint(...)`` or an
+      assignment to ``self.requirements`` (critique state)
+
+    — and requires a *journal path* to precede each one: a call to
+    ``self._journal(...)`` or ``self.event_log.append(...)`` earlier in
+    the same method, or (earlier in the method) a call to a sibling
+    method that journals, closed under the same fixed-point reachability
+    RR007 uses.  A journal call that only *follows* the mutation is
+    flagged too — write-behind loses the event on a crash in between.
+    ``__init__`` is exempt: constructing initial state replays from the
+    log, it does not originate events.
+    """
+
+    rule_id = "RR008"
+    name = "missing-write-through"
+    severity = "error"
+    rationale = (
+        "A preference write that is not journalled first is lost on a "
+        "crash after the channel acknowledged it; replay then rebuilds "
+        "a state the user never saw, breaking the zero-acknowledged-"
+        "loss recovery invariant."
+    )
+    fix_hint = (
+        "journal the InteractionEvent (self._journal(...) or "
+        "self.event_log.append(...)) before the in-memory mutation, or "
+        "route the write through a method that does"
+    )
+
+    _SCOPES = ("repro.interaction",)
+    _WATCHED_CALLS = MissingInvalidationRule._WATCHED_CALLS
+    _JOURNAL_CALLS = frozenset(
+        {"self._journal", "self.event_log.append"}
+    )
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return module.package.startswith(self._SCOPES)
+
+    def _scan_method(
+        self, method: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> tuple[list[tuple[ast.AST, str]], int | None, dict[str, int]]:
+        """``(watched_writes, first_journal_line, sibling_call_lines)``.
+
+        ``first_journal_line`` is the earliest direct journal call (or
+        ``None``); ``sibling_call_lines`` maps each ``self.<method>()``
+        terminal to the earliest line it is called on.
+        """
+        writes: list[tuple[ast.AST, str]] = []
+        journal_line: int | None = None
+        siblings: dict[str, int] = {}
+        for node in ast.walk(method):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                if name in self._WATCHED_CALLS:
+                    writes.append((node, name))
+                if name in self._JOURNAL_CALLS:
+                    if journal_line is None or node.lineno < journal_line:
+                        journal_line = node.lineno
+                if name.startswith("self.") and name.count(".") == 1:
+                    terminal = name.rsplit(".", 1)[-1]
+                    line = siblings.get(terminal)
+                    if line is None or node.lineno < line:
+                        siblings[terminal] = node.lineno
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if dotted_name(target) == "self.requirements":
+                        writes.append((node, "self.requirements"))
+        return writes, journal_line, siblings
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        methods = {
+            child.name: child
+            for child in node.body
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        writes: dict[str, list[tuple[ast.AST, str]]] = {}
+        journal_lines: dict[str, int | None] = {}
+        calls: dict[str, dict[str, int]] = {}
+        for name, method in methods.items():
+            if name == "__init__":
+                continue
+            method_writes, journal_line, siblings = self._scan_method(
+                method
+            )
+            writes[name] = method_writes
+            journal_lines[name] = journal_line
+            calls[name] = siblings
+        journaling = {
+            name for name, line in journal_lines.items() if line is not None
+        }
+        # Fixed point: a method journals if any sibling it calls does.
+        changed = True
+        while changed:
+            changed = False
+            for name in methods:
+                if name == "__init__" or name in journaling:
+                    continue
+                if set(calls.get(name, {})) & journaling:
+                    journaling.add(name)
+                    changed = True
+        for name, method_writes in writes.items():
+            if not method_writes:
+                continue
+            direct = journal_lines.get(name)
+            sibling_journal = min(
+                (
+                    line
+                    for terminal, line in calls.get(name, {}).items()
+                    if terminal in journaling
+                ),
+                default=None,
+            )
+            candidates = [
+                line for line in (direct, sibling_journal) if line is not None
+            ]
+            earliest = min(candidates) if candidates else None
+            for write_node, slug in method_writes:
+                if earliest is None:
+                    self.report(
+                        write_node,
+                        f"preference write {slug} in {node.name}.{name} "
+                        f"never reaches the event log (no self._journal "
+                        f"or event_log.append path)",
+                        slug,
+                        scope=f"{node.name}.{name}",
+                    )
+                elif earliest > write_node.lineno:
+                    self.report(
+                        write_node,
+                        f"preference write {slug} in {node.name}.{name} "
+                        f"precedes the journal call (write-behind loses "
+                        f"the event on a crash in between)",
+                        slug,
+                        scope=f"{node.name}.{name}",
+                    )
+        super().visit_ClassDef(node)
+
+
 def default_rules() -> list[Rule]:
-    """Fresh instances of the full project rule set (RR001–RR007)."""
+    """Fresh instances of the full project rule set (RR001–RR008)."""
     return [
         BlockingCallUnderLockRule(),
         UnseededRandomnessRule(),
@@ -671,4 +834,5 @@ def default_rules() -> list[Rule]:
         TypedApiRule(),
         LockOrderingRule(),
         MissingInvalidationRule(),
+        MissingWriteThroughRule(),
     ]

@@ -43,10 +43,17 @@ def wire_invalidation(cache: object, *channels: object) -> None:
     :class:`ShardedTTLCache` or either wrapper below); each channel is
     anything with ``subscribe(callback)`` — the interaction layer's
     rating channels, scrutable profiles, and critique sessions all
-    qualify.
+    qualify.  Channels notify with the typed
+    :class:`~repro.eventlog.events.InteractionEvent`; the adapter here
+    extracts the user id, so one subscription schema serves both
+    invalidation and durability.
     """
     for channel in channels:
-        channel.subscribe(cache.invalidate_user)
+        channel.subscribe(
+            lambda event, _cache=cache: _cache.invalidate_user(
+                event.user_id
+            )
+        )
 
 
 class CachedRecommender(Recommender):

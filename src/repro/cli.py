@@ -14,6 +14,9 @@ python -m repro serve             # closed-loop synthetic serving run
 python -m repro serve --clients 16 --workers 4 --deadline 0.5
 python -m repro serve --cache     # ... with the single-flight cache
 python -m repro --chaos-rate 0.2 serve  # ... against faulty substrates
+python -m repro serve --log-dir wal/    # durable event log + recovery gate
+python -m repro replay --log-dir wal/   # rebuild state from the log
+python -m repro replay --log-dir wal/ --selfcheck  # crash/recover check
 python -m repro analyze           # static-analysis gate over src/repro
 python -m repro analyze --format json src/repro tests
 python -m repro analyze --update-baseline   # accept current findings
@@ -234,6 +237,8 @@ def _build_serving_lanes(chaos_rate: float, chaos_seed: int):
 
 
 def _cmd_serve(arguments: argparse.Namespace) -> int:
+    import random
+
     from repro.cache import ShardedTTLCache
     from repro.serving import (
         DeadlineAwareShedder,
@@ -255,6 +260,17 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
             ttl_seconds=arguments.cache_ttl,
             degraded_ttl_seconds=arguments.cache_degraded_ttl,
         )
+    event_log = None
+    recovery = None
+    if arguments.log_dir is not None:
+        from repro.eventlog import EventLog, replay
+
+        event_log = EventLog(arguments.log_dir)
+        caches = [cache] if cache is not None else []
+
+        def recovery(log=event_log, dataset=world.dataset, caches=caches):
+            return replay(log, dataset, caches=caches)
+
     server = RecommendationServer(
         lanes,
         workers=arguments.workers,
@@ -264,8 +280,25 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
         default_bulkhead=arguments.bulkhead,
         default_deadline_seconds=arguments.deadline,
         cache=cache,
+        recovery=recovery,
     )
     try:
+        server.await_recovery()
+        if event_log is not None:
+            # Durable interaction traffic alongside the serving load:
+            # every rating is journalled before the dataset mutates.
+            from repro.interaction import RatingChannel
+
+            channel = RatingChannel(world.dataset, event_log=event_log)
+            rng = random.Random(arguments.chaos_seed)
+            users = list(world.dataset.users)
+            items = list(world.dataset.items)
+            for _ in range(arguments.log_writes):
+                channel.rate(
+                    rng.choice(users),
+                    rng.choice(items),
+                    float(rng.randint(1, 5)),
+                )
         report = run_traffic(
             server,
             list(world.dataset.users),
@@ -278,6 +311,8 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
         )
     finally:
         drain = server.close(drain_seconds=arguments.drain_seconds)
+        if event_log is not None:
+            event_log.close()
     print(report.render())
     print(
         f"drain          completed={drain.completed_total} "
@@ -293,7 +328,132 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
             f"hit_ratio={stats.hit_ratio:.2f} "
             f"coalesced={stats.coalesced} size={stats.size}"
         )
+    if event_log is not None:
+        recovered = server.recovery_report
+        replayed = getattr(recovered, "events_applied", 0)
+        print(
+            f"eventlog       replayed={replayed} "
+            f"appended={arguments.log_writes} "
+            f"segments={len(event_log.segment_paths())} "
+            f"next_seq={event_log.next_sequence}"
+        )
     return 0 if drain.clean else 1
+
+
+def _replay_world(seed: int):
+    """The fixed world ``serve --log-dir`` / ``replay`` agree on.
+
+    Replay only reproduces state when the log is applied to the same
+    base world it was recorded against, so both commands derive it
+    from one seed.
+    """
+    from repro.domains import make_movies
+
+    return make_movies(n_users=40, n_items=80, seed=seed, density=0.25)
+
+
+def _cmd_replay(arguments: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import EventLogError
+    from repro.eventlog import EventLog, replay
+    from repro.recsys import UserBasedCF
+
+    if arguments.selfcheck:
+        return _replay_selfcheck(arguments)
+    try:
+        with EventLog(arguments.log_dir) as log:
+            world = _replay_world(arguments.seed)
+            model = UserBasedCF().fit(world.dataset)
+            report = replay(
+                log, world.dataset, substrates=[model]
+            )
+    except EventLogError as error:
+        print(f"repro replay: {error}", file=sys.stderr)
+        return 2
+    if arguments.format == "json":
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render())
+    return 1 if report.degraded and arguments.strict else 0
+
+
+def _replay_selfcheck(arguments: argparse.Namespace) -> int:
+    """Write seeded events, 'crash', recover, assert identical top-k.
+
+    The durability invariant, end to end on real disk: every
+    acknowledged interaction survives a restart, and a model fit on the
+    recovered dataset recommends byte-for-byte what the pre-crash model
+    did.  Exit 0 when state matches, 1 on divergence.
+    """
+    import random
+
+    from repro.errors import EventLogError
+    from repro.eventlog import EventLog, replay
+    from repro.interaction import RatingChannel
+    from repro.recsys import UserBasedCF
+
+    try:
+        world = _replay_world(arguments.seed)
+        log = EventLog(arguments.log_dir)
+        if log.next_sequence != 0:
+            log.close()
+            print(
+                f"repro replay --selfcheck: {arguments.log_dir} already "
+                f"holds events; point it at an empty directory",
+                file=sys.stderr,
+            )
+            return 2
+        channel = RatingChannel(world.dataset, event_log=log)
+        rng = random.Random(arguments.seed)
+        users = list(world.dataset.users)
+        items = list(world.dataset.items)
+        for _ in range(60):
+            channel.rate(
+                rng.choice(users),
+                rng.choice(items),
+                float(rng.randint(1, 5)),
+            )
+        model = UserBasedCF().fit(world.dataset)
+        probes = users[: arguments.probes]
+        before = {
+            user: [
+                (r.item_id, round(r.score, 12))
+                for r in model.recommend(user, n=arguments.top_k)
+            ]
+            for user in probes
+        }
+        log.close()  # the "crash": nothing survives but the log
+
+        fresh = _replay_world(arguments.seed)
+        recovered_model = UserBasedCF().fit(fresh.dataset)
+        with EventLog(arguments.log_dir) as recovered_log:
+            report = replay(
+                recovered_log, fresh.dataset, substrates=[recovered_model]
+            )
+        after = {
+            user: [
+                (r.item_id, round(r.score, 12))
+                for r in recovered_model.recommend(user, n=arguments.top_k)
+            ]
+            for user in probes
+        }
+    except EventLogError as error:
+        print(f"repro replay --selfcheck: {error}", file=sys.stderr)
+        return 2
+    print(report.render())
+    mismatches = [user for user in probes if before[user] != after[user]]
+    if mismatches or report.events_applied != 60:
+        print(
+            f"selfcheck FAILED: applied={report.events_applied}/60, "
+            f"diverging users: {', '.join(mismatches) or 'none'}"
+        )
+        return 1
+    print(
+        f"selfcheck ok: 60 events replayed, top-{arguments.top_k} "
+        f"identical for {len(probes)} probe user(s)"
+    )
+    return 0
 
 
 def _run_metrics_workload(
@@ -662,7 +822,75 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: 2.0)"
         ),
     )
+    serve.add_argument(
+        "--log-dir",
+        metavar="PATH",
+        default=None,
+        help=(
+            "durable interaction event log directory: existing events "
+            "replay before the readiness probe flips, and rating "
+            "traffic journals through the log while serving "
+            "(see docs/event_log.md)"
+        ),
+    )
+    serve.add_argument(
+        "--log-writes", type=int, default=20,
+        help=(
+            "durable rating events to write through the log during "
+            "the run (default: 20; needs --log-dir)"
+        ),
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    replay = subparsers.add_parser(
+        "replay",
+        help=(
+            "rebuild state from a durable interaction event log "
+            "(see docs/event_log.md)"
+        ),
+    )
+    replay.add_argument(
+        "--log-dir",
+        metavar="PATH",
+        required=True,
+        help="event log directory to scan and replay",
+    )
+    replay.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    replay.add_argument(
+        "--seed", type=int, default=7,
+        help=(
+            "seed of the base world the log was recorded against "
+            "(default: 7, matching serve --log-dir)"
+        ),
+    )
+    replay.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when the log shows damage (corruption/torn tail)",
+    )
+    replay.add_argument(
+        "--selfcheck",
+        action="store_true",
+        help=(
+            "write seeded events into --log-dir, simulate a crash, "
+            "recover, and assert byte-identical recommendations "
+            "(exit 0 on match, 1 on divergence)"
+        ),
+    )
+    replay.add_argument(
+        "--top-k", type=int, default=5,
+        help="recommendation list depth compared by --selfcheck",
+    )
+    replay.add_argument(
+        "--probes", type=int, default=5,
+        help="probe users compared by --selfcheck (default: 5)",
+    )
+    replay.set_defaults(handler=_cmd_replay)
 
     analyze = subparsers.add_parser(
         "analyze",

@@ -198,6 +198,32 @@ class QualityError(ReproError):
     """
 
 
+class EventLogError(ReproError):
+    """Raised for failures of the :mod:`repro.eventlog` durability layer.
+
+    Covers unserialisable event payloads, failed or partial segment
+    writes, fsync failures, and checksum/structure damage found while
+    decoding a record.  An append that raises this has *not* been
+    acknowledged: the interaction channels abort before mutating any
+    in-memory state, so the event is neither visible live nor owed to
+    replay.  During recovery scans this error is converted into
+    corrupt-record counts (truncate-and-degrade), never propagated.
+    """
+
+
+class ReplayError(EventLogError):
+    """Raised when :func:`repro.eventlog.replay` cannot rebuild state.
+
+    Covers replay targets that reject the event stream structurally —
+    a dataset whose rating scale excludes logged values, or profiles
+    wired to re-journal during replay (which would double-write the
+    log).  Individual events that no longer apply (e.g. correcting an
+    attribute a previous replay step removed) are *skipped and counted*
+    in the :class:`~repro.eventlog.replay.ReplayReport`, not raised, so
+    recovery always completes on a degraded log.
+    """
+
+
 class ObservabilityError(ReproError):
     """Raised for misuse of the :mod:`repro.obs` instrumentation layer.
 

@@ -1,0 +1,63 @@
+"""Durable interaction event log: WAL, recovery replay, compaction.
+
+The paper's scrutability story (Tintarev & Masthoff §3.6, §5) only
+holds if user interactions *survive*: a rating, critique, opinion, or
+profile edit that vanishes on restart breaks the trust contract the
+explanations exist to build.  :mod:`repro.eventlog` makes every
+interaction durable:
+
+* :class:`InteractionEvent` — the one typed record all four channels
+  emit (to subscribers *and* to disk);
+* :class:`EventLog` — append-only checksummed JSONL segments with
+  monotonic sequences, configurable fsync, rotation, and compaction;
+  damage is truncated/skipped and counted, never fatal;
+* :func:`replay` — rebuilds dataset, profiles, substrate state
+  (incremental ``absorb``), and cache generations on startup.
+
+See ``docs/event_log.md`` for the format spec and durability
+tradeoffs.
+"""
+
+from repro.eventlog.events import (
+    CRITIQUE_KINDS,
+    KNOWN_KINDS,
+    PROFILE_KINDS,
+    RATING_KINDS,
+    SCHEMA_VERSION,
+    UNSEQUENCED,
+    InteractionEvent,
+    decode_record,
+    encode_record,
+)
+from repro.eventlog.log import (
+    FSYNC_POLICIES,
+    CompactionReport,
+    EventLog,
+    ScanResult,
+    register_eventlog_metrics,
+)
+from repro.eventlog.replay import ReplayReport, replay, replay_events
+from repro.eventlog.storage import FileStorage, SegmentHandle, SegmentStorage
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "UNSEQUENCED",
+    "RATING_KINDS",
+    "PROFILE_KINDS",
+    "CRITIQUE_KINDS",
+    "KNOWN_KINDS",
+    "FSYNC_POLICIES",
+    "InteractionEvent",
+    "encode_record",
+    "decode_record",
+    "EventLog",
+    "ScanResult",
+    "CompactionReport",
+    "register_eventlog_metrics",
+    "ReplayReport",
+    "replay",
+    "replay_events",
+    "FileStorage",
+    "SegmentHandle",
+    "SegmentStorage",
+]

@@ -1,0 +1,208 @@
+"""The versioned :class:`InteractionEvent` record — one schema for all
+interaction channels.
+
+Every scrutability action the paper builds on — "the user rates items",
+gives opinions, critiques, edits the profile (Sections 3.6, 5) — is
+expressed as one :class:`InteractionEvent`: the *same* object is handed
+to ``subscribe`` callbacks (cache invalidation) and appended to the
+durable :class:`~repro.eventlog.log.EventLog` (crash recovery).  Before
+this unification the four channels notified subscribers with ad-hoc
+payloads (a bare user id here, nothing there); one typed schema means
+one replay path and one invalidation contract.
+
+The record is deliberately JSON-first: ``to_record`` / ``from_record``
+round-trip through the exact dict written to disk, and the checksum
+helpers canonicalise that dict so a bit flip anywhere in the line is
+detected on read.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from collections.abc import Mapping
+from dataclasses import dataclass, field, replace
+
+from repro.errors import EventLogError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RATING_KINDS",
+    "PROFILE_KINDS",
+    "CRITIQUE_KINDS",
+    "KNOWN_KINDS",
+    "UNSEQUENCED",
+    "InteractionEvent",
+    "encode_record",
+    "decode_record",
+]
+
+#: Version written into every record; bump on incompatible layout changes.
+SCHEMA_VERSION = 1
+
+#: Sentinel sequence for an event that has not been through the log yet.
+UNSEQUENCED = -1
+
+#: Kinds that carry rating writes (replayed into the dataset).
+RATING_KINDS = frozenset(
+    {"rate", "re-rate", "correct-prediction", "undo", "rate-batch"}
+)
+
+#: Kinds that carry scrutable-profile edits.
+PROFILE_KINDS = frozenset(
+    {
+        "profile-volunteer",
+        "profile-infer",
+        "profile-correct",
+        "profile-remove",
+    }
+)
+
+#: Kinds that carry critique-session state changes (ephemeral session
+#: state; replay restores the cache-generation side effect only).
+CRITIQUE_KINDS = frozenset({"critique", "relax"})
+
+KNOWN_KINDS = RATING_KINDS | PROFILE_KINDS | CRITIQUE_KINDS
+
+
+@dataclass(frozen=True)
+class InteractionEvent:
+    """One durable interaction: who did what, with what payload.
+
+    ``sequence`` is assigned by :meth:`EventLog.append`
+    (:data:`UNSEQUENCED` until then) and is strictly monotonic within
+    one log.  ``payload`` must be JSON-serialisable — the append path
+    refuses anything else *before* any in-memory state mutates.
+    """
+
+    kind: str
+    user_id: str
+    channel: str
+    payload: Mapping[str, object] = field(default_factory=dict)
+    sequence: int = UNSEQUENCED
+    version: int = SCHEMA_VERSION
+
+    # -- convenience accessors (rating-shaped payloads) -------------------
+
+    @property
+    def item_id(self) -> str | None:
+        """The rated item for rating-shaped events, else ``None``."""
+        value = self.payload.get("item_id")
+        return value if isinstance(value, str) else None
+
+    @property
+    def value(self) -> float | None:
+        """The rating value for rating-shaped events, else ``None``."""
+        value = self.payload.get("value")
+        return float(value) if isinstance(value, (int, float)) else None
+
+    @property
+    def previous_value(self) -> float | None:
+        """The replaced rating value (re-rates/undo), else ``None``."""
+        value = self.payload.get("previous_value")
+        return float(value) if isinstance(value, (int, float)) else None
+
+    @property
+    def ratings(self) -> dict[str, float]:
+        """Item → value mapping for ``rate-batch`` events (else empty)."""
+        raw = self.payload.get("ratings")
+        if not isinstance(raw, Mapping):
+            return {}
+        return {str(item): float(value) for item, value in raw.items()}
+
+    # -- serialisation ----------------------------------------------------
+
+    def with_sequence(self, sequence: int) -> "InteractionEvent":
+        """A copy of this event with its log sequence assigned."""
+        return replace(self, sequence=sequence)
+
+    def to_record(self) -> dict[str, object]:
+        """The JSON-ready dict written to the log (checksum excluded)."""
+        return {
+            "v": self.version,
+            "seq": self.sequence,
+            "channel": self.channel,
+            "kind": self.kind,
+            "user": self.user_id,
+            "payload": dict(self.payload),
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, object]) -> "InteractionEvent":
+        """Rebuild an event from a decoded log record.
+
+        Raises :class:`~repro.errors.EventLogError` on a structurally
+        invalid record (missing fields, wrong types); the log's scan
+        loop converts that into a corrupt-record count, never a crash.
+        """
+        try:
+            version = int(record["v"])  # type: ignore[arg-type]
+            sequence = int(record["seq"])  # type: ignore[arg-type]
+            channel = record["channel"]
+            kind = record["kind"]
+            user_id = record["user"]
+            payload = record["payload"]
+        except (KeyError, TypeError, ValueError) as error:
+            raise EventLogError(f"malformed event record: {error}") from error
+        if not isinstance(channel, str) or not isinstance(kind, str):
+            raise EventLogError("event channel/kind must be strings")
+        if not isinstance(user_id, str):
+            raise EventLogError("event user id must be a string")
+        if not isinstance(payload, Mapping):
+            raise EventLogError("event payload must be a mapping")
+        return cls(
+            kind=kind,
+            user_id=user_id,
+            channel=channel,
+            payload=dict(payload),
+            sequence=sequence,
+            version=version,
+        )
+
+
+def _canonical(record: Mapping[str, object]) -> bytes:
+    """Canonical bytes of a record for checksumming (sorted, compact)."""
+    try:
+        return json.dumps(
+            record, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+    except (TypeError, ValueError) as error:
+        raise EventLogError(
+            f"event payload is not JSON-serialisable: {error}"
+        ) from error
+
+
+def encode_record(event: InteractionEvent) -> bytes:
+    """One log line: the record dict plus its CRC32, newline-terminated.
+
+    Raises :class:`~repro.errors.EventLogError` for unserialisable
+    payloads — deliberately *before* any bytes reach the disk, so a bad
+    payload can never half-commit.
+    """
+    record = event.to_record()
+    body = _canonical(record)
+    record["crc"] = zlib.crc32(body)
+    return _canonical(record) + b"\n"
+
+
+def decode_record(line: bytes) -> InteractionEvent:
+    """Parse and verify one log line back into an event.
+
+    Raises :class:`~repro.errors.EventLogError` on JSON damage, a
+    missing/incorrect checksum, or a structurally invalid record.
+    """
+    try:
+        record = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise EventLogError(f"undecodable event line: {error}") from error
+    if not isinstance(record, dict):
+        raise EventLogError("event line is not a JSON object")
+    stored_crc = record.pop("crc", None)
+    if not isinstance(stored_crc, int):
+        raise EventLogError("event line has no checksum")
+    actual_crc = zlib.crc32(_canonical(record))
+    if actual_crc != stored_crc:
+        raise EventLogError(
+            f"checksum mismatch: stored {stored_crc}, actual {actual_crc}"
+        )
+    return InteractionEvent.from_record(record)

@@ -1,0 +1,768 @@
+"""The append-only, checksummed write-ahead log behind every channel.
+
+Design contract (see ``docs/event_log.md`` for the full spec):
+
+* **Acknowledge = durable.**  :meth:`EventLog.append` assigns the next
+  monotonic sequence number, encodes the record (CRC32 over canonical
+  JSON), writes it to the active segment, and — under the ``"always"``
+  fsync policy — syncs before returning.  Only then do the interaction
+  channels mutate in-memory state.  If anything in that chain raises,
+  the log **rolls the segment back** to the last committed byte, so a
+  torn write is never followed by a good record on top of garbage and
+  replay sees exactly the acknowledged prefix.
+* **Recovery never crashes.**  Opening a log with a torn tail truncates
+  the damaged suffix (counted in ``repro_eventlog_truncated_tails_total``
+  and an ``eventlog.truncate_tail`` event); a corrupt record *inside*
+  the stream is skipped and counted, not fatal (truncate-and-degrade).
+* **Segments rotate** at ``max_segment_bytes`` and ``compact()`` folds
+  superseded events (overwritten ratings, stale profile edits) into a
+  single snapshot segment that replays to the same final state.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro import obs
+from repro.errors import EventLogError
+from repro.eventlog.events import (
+    CRITIQUE_KINDS,
+    PROFILE_KINDS,
+    InteractionEvent,
+    decode_record,
+    encode_record,
+)
+from repro.eventlog.storage import FileStorage, SegmentHandle, SegmentStorage
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "ScanResult",
+    "CompactionReport",
+    "EventLog",
+    "register_eventlog_metrics",
+]
+
+#: Accepted fsync policies: every append / every ``fsync_every`` appends
+#: and at rotation / only at rotation and close.
+FSYNC_POLICIES = ("always", "interval", "never")
+
+_SEGMENT_GLOB = "segment-*.jsonl"
+
+#: Bucket layouts shared by registration and the hot-path accessors
+#: (histogram schemas include buckets, so these must match exactly).
+_APPEND_BUCKETS = (0.00005, 0.0002, 0.001, 0.005, 0.02, 0.1, 0.5)
+_REPLAY_BUCKETS = (0.01, 0.05, 0.2, 1.0, 5.0, 20.0, 60.0)
+
+
+def register_eventlog_metrics(registry: MetricsRegistry | None = None) -> None:
+    """Ensure every event-log instrument family exists in the registry.
+
+    Idempotent; called by every log at construction and by the CLI
+    metrics workload so the exposition is complete before any append.
+    """
+    registry = registry if registry is not None else obs.get_registry()
+    registry.counter(
+        "repro_eventlog_appends_total",
+        "Events offered to the log, by outcome (ok / error).",
+        labelnames=("log", "outcome"),
+    )
+    registry.counter(
+        "repro_eventlog_bytes_total",
+        "Bytes durably appended to log segments.",
+        labelnames=("log",),
+    )
+    registry.counter(
+        "repro_eventlog_fsyncs_total",
+        "Explicit fsync barriers issued by the log.",
+        labelnames=("log",),
+    )
+    registry.counter(
+        "repro_eventlog_rotations_total",
+        "Segment rotations (size threshold reached).",
+        labelnames=("log",),
+    )
+    registry.counter(
+        "repro_eventlog_rollbacks_total",
+        "Failed appends rolled back to the last committed byte.",
+        labelnames=("log",),
+    )
+    registry.counter(
+        "repro_eventlog_corrupt_records_total",
+        "Mid-stream records skipped for checksum/structure damage.",
+        labelnames=("log",),
+    )
+    registry.counter(
+        "repro_eventlog_truncated_tails_total",
+        "Torn segment tails truncated during recovery.",
+        labelnames=("log",),
+    )
+    registry.counter(
+        "repro_eventlog_compactions_total",
+        "Checkpoint/compaction passes completed.",
+        labelnames=("log",),
+    )
+    registry.counter(
+        "repro_eventlog_replayed_events_total",
+        "Events applied during replay, by kind.",
+        labelnames=("log", "kind"),
+    )
+    registry.counter(
+        "repro_eventlog_replay_skipped_total",
+        "Events skipped during replay (no longer applicable).",
+        labelnames=("log",),
+    )
+    registry.gauge(
+        "repro_eventlog_segments",
+        "Segments currently on disk for this log.",
+        labelnames=("log",),
+    )
+    registry.histogram(
+        "repro_eventlog_append_seconds",
+        "Wall time of one acknowledged append (encode + write + fsync).",
+        buckets=_APPEND_BUCKETS,
+    )
+    registry.histogram(
+        "repro_eventlog_replay_seconds",
+        "Wall time of one full replay pass.",
+        buckets=_REPLAY_BUCKETS,
+    )
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """Everything one read pass over the log recovered (and gave up on)."""
+
+    events: tuple[InteractionEvent, ...]
+    corrupt_records: int
+    truncated_tail_records: int
+    segments: int
+    bytes_scanned: int
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """Before/after accounting for one checkpoint/compaction pass."""
+
+    events_before: int
+    events_after: int
+    segments_before: int
+    bytes_before: int
+    bytes_after: int
+
+
+@dataclass(frozen=True)
+class _ParsedSegment:
+    """One segment's decode outcome (offsets are byte positions)."""
+
+    events: tuple[InteractionEvent, ...]
+    corrupt_before_tail: int
+    tail_records: int
+    valid_end: int
+    size: int
+
+
+def _parse_segment(data: bytes) -> _ParsedSegment:
+    """Decode one segment's bytes, classifying damage.
+
+    Complete lines that fail to decode *before* the last valid record
+    are mid-stream corruption; everything after the last valid record
+    (bad complete lines plus any unterminated final chunk) is the torn
+    tail.  ``valid_end`` is the byte offset just past the last valid
+    record — the truncation point for tail repair.
+    """
+    entries: list[tuple[InteractionEvent | None, int]] = []
+    offset = 0
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        if newline < 0:
+            entries.append((None, len(data)))  # unterminated torn chunk
+            break
+        line = data[offset:newline]
+        end = newline + 1
+        if line:
+            try:
+                entries.append((decode_record(line), end))
+            except EventLogError:
+                entries.append((None, end))
+        offset = end
+    last_valid = -1
+    for index, (event, _end) in enumerate(entries):
+        if event is not None:
+            last_valid = index
+    events = tuple(
+        event for event, _end in entries[: last_valid + 1]
+        if event is not None
+    )
+    corrupt = sum(
+        1 for event, _end in entries[: last_valid + 1] if event is None
+    )
+    tail = len(entries) - (last_valid + 1)
+    valid_end = entries[last_valid][1] if last_valid >= 0 else 0
+    return _ParsedSegment(
+        events=events,
+        corrupt_before_tail=corrupt,
+        tail_records=tail,
+        valid_end=valid_end,
+        size=len(data),
+    )
+
+
+class EventLog:
+    """An append-only, checksummed, segment-rotated interaction log.
+
+    Parameters
+    ----------
+    directory:
+        Where segments live; created if missing.
+    fsync_policy:
+        ``"always"`` syncs every append (acknowledge = on disk),
+        ``"interval"`` every ``fsync_every`` appends and at rotation,
+        ``"never"`` only at rotation and close.
+    max_segment_bytes:
+        Rotation threshold for the active segment.
+    storage:
+        The byte-level backend; defaults to :class:`FileStorage`.  The
+        chaos framework passes a fault-injecting wrapper here.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        fsync_policy: str = "always",
+        fsync_every: int = 64,
+        max_segment_bytes: int = 4 * 1024 * 1024,
+        storage: SegmentStorage | None = None,
+        name: str = "eventlog",
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if fsync_policy not in FSYNC_POLICIES:
+            raise EventLogError(
+                f"unknown fsync policy {fsync_policy!r}; "
+                f"expected one of {FSYNC_POLICIES}"
+            )
+        if fsync_every < 1:
+            raise EventLogError("fsync_every must be >= 1")
+        if max_segment_bytes < 1:
+            raise EventLogError("max_segment_bytes must be >= 1")
+        self.directory = Path(directory)
+        self.name = name
+        self.fsync_policy = fsync_policy
+        self.fsync_every = fsync_every
+        self.max_segment_bytes = max_segment_bytes
+        self._storage = storage if storage is not None else FileStorage()
+        self._registry = (
+            registry if registry is not None else obs.get_registry()
+        )
+        register_eventlog_metrics(self._registry)
+        self._lock = threading.Lock()
+        self._active: SegmentHandle | None = None
+        self._committed = 0
+        self._unsynced = 0
+        self._next_sequence = 0
+        self._closed = False
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise EventLogError(
+                f"cannot create log directory {self.directory}: {error}"
+            ) from error
+        with self._lock:
+            self._recover_locked()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _segments_locked(self) -> list[Path]:
+        return self._storage.list_segments(self.directory, _SEGMENT_GLOB)
+
+    def _segment_path(self, first_sequence: int) -> Path:
+        return self.directory / f"segment-{first_sequence:012d}.jsonl"
+
+    def _recover_locked(self) -> None:
+        """Repair the tail, learn the next sequence, open for append."""
+        segments = self._segments_locked()
+        next_sequence = 0
+        # Walk from the back: the newest segment holding a valid record
+        # fixes the sequence; newer fully-torn segments are truncated.
+        for index in range(len(segments) - 1, -1, -1):
+            path = segments[index]
+            parsed = _parse_segment(self._storage.read_bytes(path))
+            if parsed.tail_records and index == len(segments) - 1:
+                self._storage.truncate_path(path, parsed.valid_end)
+                self._counter(
+                    "repro_eventlog_truncated_tails_total"
+                ).inc(log=self.name)
+                obs.event(
+                    "eventlog.truncate_tail",
+                    log=self.name,
+                    segment=path.name,
+                    records=parsed.tail_records,
+                    bytes=parsed.size - parsed.valid_end,
+                )
+            if parsed.events:
+                next_sequence = parsed.events[-1].sequence + 1
+                break
+        self._next_sequence = next_sequence
+        if segments:
+            handle = self._storage.open_append(segments[-1])
+        else:
+            handle = self._storage.open_append(
+                self._segment_path(next_sequence)
+            )
+        self._active = handle
+        self._committed = handle.position()
+        self._unsynced = 0
+        self._gauge("repro_eventlog_segments").set(
+            float(max(len(segments), 1)), log=self.name
+        )
+        obs.event(
+            "eventlog.open",
+            log=self.name,
+            next_sequence=next_sequence,
+            segments=max(len(segments), 1),
+        )
+
+    def close(self) -> None:
+        """Flush and close the active segment (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            handle = self._active
+            self._active = None
+            if handle is None:
+                return
+            try:
+                if self.fsync_policy != "never" and self._unsynced:
+                    handle.sync()
+            finally:
+                handle.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- appending ---------------------------------------------------------
+
+    @property
+    def next_sequence(self) -> int:
+        """The sequence the next acknowledged append will carry."""
+        with self._lock:
+            return self._next_sequence
+
+    def append(self, event: InteractionEvent) -> InteractionEvent:
+        """Durably append one event; returns it with its sequence set.
+
+        Raises :class:`~repro.errors.EventLogError` when the event could
+        not be acknowledged; the segment is rolled back to the last
+        committed byte first, so an aborted append leaves no trace.
+        """
+        started = time.perf_counter()
+        with self._lock:
+            stamped = self._append_locked(event)
+        self._registry.histogram(
+            "repro_eventlog_append_seconds",
+            buckets=_APPEND_BUCKETS,
+        ).observe(time.perf_counter() - started)
+        return stamped
+
+    def append_many(
+        self, events: Iterable[InteractionEvent]
+    ) -> list[InteractionEvent]:
+        """Append a batch under one lock hold; one fsync at the end.
+
+        All-or-nothing is *per event*: the batch stops at the first
+        failed append (already-acknowledged prefix events stay durable)
+        and the error propagates.
+        """
+        stamped: list[InteractionEvent] = []
+        with self._lock:
+            for event in events:
+                stamped.append(self._append_locked(event, defer_sync=True))
+            self._sync_if_due_locked(force=self.fsync_policy == "always")
+        return stamped
+
+    def _append_locked(
+        self, event: InteractionEvent, defer_sync: bool = False
+    ) -> InteractionEvent:
+        if self._closed:
+            raise EventLogError(f"event log {self.name!r} is closed")
+        stamped = event.with_sequence(self._next_sequence)
+        try:
+            data = encode_record(stamped)  # raises before any byte lands
+        except EventLogError:
+            self._counter("repro_eventlog_appends_total").inc(
+                log=self.name, outcome="error"
+            )
+            raise
+        handle = self._require_active_locked()
+        if (
+            self._committed > 0
+            and self._committed + len(data) > self.max_segment_bytes
+        ):
+            self._rotate_locked()
+            handle = self._require_active_locked()
+        try:
+            handle.write(data)
+            if not defer_sync:
+                self._unsynced += 1
+                self._sync_if_due_locked(
+                    force=self.fsync_policy == "always"
+                )
+            else:
+                self._unsynced += 1
+        except EventLogError:
+            self._counter("repro_eventlog_appends_total").inc(
+                log=self.name, outcome="error"
+            )
+            self._rollback_locked()
+            raise
+        self._committed = handle.position()
+        self._next_sequence += 1
+        self._counter("repro_eventlog_appends_total").inc(
+            log=self.name, outcome="ok"
+        )
+        self._counter("repro_eventlog_bytes_total").inc(
+            amount=float(len(data)), log=self.name
+        )
+        return stamped
+
+    def _sync_if_due_locked(self, force: bool = False) -> None:
+        if self._unsynced == 0:
+            return
+        due = force or (
+            self.fsync_policy == "interval"
+            and self._unsynced >= self.fsync_every
+        )
+        if not due:
+            return
+        handle = self._require_active_locked()
+        handle.sync()
+        self._unsynced = 0
+        self._counter("repro_eventlog_fsyncs_total").inc(log=self.name)
+
+    def sync(self) -> None:
+        """Force an fsync barrier regardless of policy."""
+        with self._lock:
+            if self._closed or self._active is None:
+                return
+            self._sync_if_due_locked(force=True)
+
+    def _require_active_locked(self) -> SegmentHandle:
+        if self._active is None:
+            # A previous rollback could not repair in place; reopen the
+            # newest segment and cut it back to the committed boundary.
+            segments = self._segments_locked()
+            path = (
+                segments[-1] if segments
+                else self._segment_path(self._next_sequence)
+            )
+            self._storage.truncate_path(path, self._committed)
+            self._active = self._storage.open_append(path)
+        return self._active
+
+    def _rollback_locked(self) -> None:
+        """Cut the active segment back to the last acknowledged byte."""
+        self._counter("repro_eventlog_rollbacks_total").inc(log=self.name)
+        obs.event(
+            "eventlog.rollback", log=self.name, committed=self._committed
+        )
+        handle = self._active
+        if handle is None:
+            return
+        try:
+            handle.truncate(self._committed)
+        except EventLogError:
+            # Even the rollback write path is failing; drop the handle —
+            # the next append reopens and repairs via truncate_path.
+            self._active = None
+            try:
+                handle.close()
+            except EventLogError:
+                pass
+        # Anything unsynced was rolled back with the truncate.
+        self._unsynced = 0
+
+    def _rotate_locked(self) -> None:
+        handle = self._active
+        if handle is not None:
+            if self.fsync_policy != "never" and self._unsynced:
+                handle.sync()
+                self._counter("repro_eventlog_fsyncs_total").inc(
+                    log=self.name
+                )
+            self._unsynced = 0
+            handle.close()
+        self._active = self._storage.open_append(
+            self._segment_path(self._next_sequence)
+        )
+        self._committed = 0
+        self._counter("repro_eventlog_rotations_total").inc(log=self.name)
+        self._gauge("repro_eventlog_segments").set(
+            float(len(self._segments_locked())), log=self.name
+        )
+        obs.event(
+            "eventlog.rotate",
+            log=self.name,
+            first_sequence=self._next_sequence,
+        )
+
+    # -- reading -----------------------------------------------------------
+
+    def scan(self) -> ScanResult:
+        """One read pass over every segment: truncate-and-degrade.
+
+        Never raises for damaged *records*: checksum or structure
+        failures are counted (``corrupt_records``, and
+        ``truncated_tail_records`` for the newest segment's torn tail)
+        and the surviving events returned in sequence order.
+        """
+        with self._lock:
+            return self._scan_locked()
+
+    def _scan_locked(self) -> ScanResult:
+        if self._active is not None:
+            self._sync_if_due_locked(
+                force=self.fsync_policy != "never" and self._unsynced > 0
+            )
+        segments = self._segments_locked()
+        events: list[InteractionEvent] = []
+        corrupt = 0
+        tail = 0
+        scanned = 0
+        for index, path in enumerate(segments):
+            parsed = _parse_segment(self._storage.read_bytes(path))
+            events.extend(parsed.events)
+            scanned += parsed.size
+            if index == len(segments) - 1:
+                corrupt += parsed.corrupt_before_tail
+                tail += parsed.tail_records
+            else:
+                # A torn region in a non-newest segment is mid-stream
+                # damage (rotation happened after it): count as corrupt.
+                corrupt += parsed.corrupt_before_tail + parsed.tail_records
+        if corrupt:
+            self._counter("repro_eventlog_corrupt_records_total").inc(
+                amount=float(corrupt), log=self.name
+            )
+            obs.event(
+                "eventlog.corrupt_records", log=self.name, records=corrupt
+            )
+        return ScanResult(
+            events=tuple(events),
+            corrupt_records=corrupt,
+            truncated_tail_records=tail,
+            segments=len(segments),
+            bytes_scanned=scanned,
+        )
+
+    def segment_paths(self) -> list[Path]:
+        """Current on-disk segments, oldest first."""
+        with self._lock:
+            return self._segments_locked()
+
+    # -- compaction --------------------------------------------------------
+
+    def compact(self) -> CompactionReport:
+        """Fold superseded events into a single checkpoint segment.
+
+        The folded stream replays to the same final *state* (dataset
+        ratings, profile attributes, cache generations); per-event audit
+        detail (re-rate deltas, edit journals) is deliberately traded
+        for size — that history lives in the pre-compaction segments.
+        """
+        with self._lock:
+            if self._closed:
+                raise EventLogError(f"event log {self.name!r} is closed")
+            scan = self._scan_locked()
+            folded = _fold_events(scan.events)
+            handle = self._active
+            if handle is not None:
+                if self.fsync_policy != "never" and self._unsynced:
+                    handle.sync()
+                handle.close()
+                self._active = None
+                self._unsynced = 0
+            segments = self._segments_locked()
+            bytes_before = scan.bytes_scanned
+            checkpoint = self.directory / "checkpoint.jsonl.tmp"
+            writer = self._storage.open_append(checkpoint)
+            try:
+                stamped = []
+                for sequence, event in enumerate(folded):
+                    stamped.append(event.with_sequence(sequence))
+                for event in stamped:
+                    writer.write(encode_record(event))
+                writer.sync()
+                bytes_after = writer.position()
+            finally:
+                writer.close()
+            for path in segments:
+                self._storage.remove(path)
+            final = self._segment_path(0)
+            self._storage.replace(checkpoint, final)
+            # Sequences restart at 0 in the checkpoint; live appends
+            # continue from the pre-compaction counter unless the fold
+            # shrank below it (it always does or stays equal).
+            self._next_sequence = max(self._next_sequence, len(stamped))
+            self._active = self._storage.open_append(final)
+            self._committed = self._active.position()
+            self._counter("repro_eventlog_compactions_total").inc(
+                log=self.name
+            )
+            self._gauge("repro_eventlog_segments").set(1.0, log=self.name)
+            obs.event(
+                "eventlog.compact",
+                log=self.name,
+                events_before=len(scan.events),
+                events_after=len(stamped),
+                bytes_before=bytes_before,
+                bytes_after=bytes_after,
+            )
+            return CompactionReport(
+                events_before=len(scan.events),
+                events_after=len(stamped),
+                segments_before=len(segments),
+                bytes_before=bytes_before,
+                bytes_after=bytes_after,
+            )
+
+    # -- metric shorthands -------------------------------------------------
+
+    def _counter(self, metric_name: str) -> "Counter":
+        return self._registry.counter(
+            metric_name, "", labelnames=_LABELS[metric_name]
+        )
+
+    def _gauge(self, metric_name: str) -> "Gauge":
+        return self._registry.gauge(
+            metric_name, "", labelnames=_LABELS[metric_name]
+        )
+
+
+#: Label schemas for the shorthand accessors (must match registration).
+_LABELS = {
+    "repro_eventlog_appends_total": ("log", "outcome"),
+    "repro_eventlog_bytes_total": ("log",),
+    "repro_eventlog_fsyncs_total": ("log",),
+    "repro_eventlog_rotations_total": ("log",),
+    "repro_eventlog_rollbacks_total": ("log",),
+    "repro_eventlog_corrupt_records_total": ("log",),
+    "repro_eventlog_truncated_tails_total": ("log",),
+    "repro_eventlog_compactions_total": ("log",),
+    "repro_eventlog_replayed_events_total": ("log", "kind"),
+    "repro_eventlog_replay_skipped_total": ("log",),
+    "repro_eventlog_segments": ("log",),
+}
+
+
+def _fold_events(
+    events: Sequence[InteractionEvent],
+) -> list[InteractionEvent]:
+    """Collapse an event stream to a state-equivalent snapshot stream.
+
+    Ratings fold to the final per-(user, item) value; profile edits fold
+    to the final attribute set (volunteered beats inferred, exactly the
+    live :class:`~repro.interaction.profile.ScrutableProfile` rules);
+    critique/relax events fold to one marker per user (their only replay
+    effect is a cache-generation bump).
+    """
+    ratings: dict[tuple[str, str], tuple[float, str]] = {}
+    profiles: dict[str, dict[str, tuple[str, dict[str, object]]]] = {}
+    critiqued: dict[str, str] = {}
+    for event in events:
+        if event.kind in ("rate", "re-rate", "correct-prediction"):
+            item_id = event.item_id
+            value = event.value
+            if item_id is None or value is None:
+                continue
+            ratings[(event.user_id, item_id)] = (value, event.channel)
+        elif event.kind == "rate-batch":
+            for item_id, value in event.ratings.items():
+                ratings[(event.user_id, item_id)] = (value, event.channel)
+        elif event.kind == "undo":
+            item_id = event.item_id
+            if item_id is None:
+                continue
+            if event.previous_value is None:
+                ratings.pop((event.user_id, item_id), None)
+            else:
+                ratings[(event.user_id, item_id)] = (
+                    event.previous_value,
+                    event.channel,
+                )
+        elif event.kind in PROFILE_KINDS:
+            attributes = profiles.setdefault(event.user_id, {})
+            name = event.payload.get("name")
+            if not isinstance(name, str):
+                continue
+            if event.kind == "profile-volunteer":
+                attributes[name] = ("profile-volunteer", dict(event.payload))
+            elif event.kind == "profile-infer":
+                existing = attributes.get(name)
+                if existing is not None and existing[0] == (
+                    "profile-volunteer"
+                ):
+                    continue
+                attributes[name] = ("profile-infer", dict(event.payload))
+            elif event.kind == "profile-correct":
+                if name not in attributes:
+                    continue
+                payload = {
+                    "name": name,
+                    "value": event.payload.get("value"),
+                    "weight": 1.0,
+                }
+                attributes[name] = ("profile-volunteer", payload)
+            elif event.kind == "profile-remove":
+                attributes.pop(name, None)
+        elif event.kind in CRITIQUE_KINDS:
+            critiqued.setdefault(event.user_id, event.channel)
+    folded: list[InteractionEvent] = []
+    for (user_id, item_id), (value, channel) in sorted(ratings.items()):
+        folded.append(
+            InteractionEvent(
+                kind="rate",
+                user_id=user_id,
+                channel=channel,
+                payload={
+                    "item_id": item_id,
+                    "value": value,
+                    "previous_value": None,
+                },
+            )
+        )
+    for user_id in sorted(profiles):
+        attributes = profiles[user_id]
+        # Inferred first, volunteered last: replaying in this order
+        # reproduces "volunteered never overwritten by inference".
+        for kind_rank in ("profile-infer", "profile-volunteer"):
+            for name in sorted(attributes):
+                kind, payload = attributes[name]
+                if kind != kind_rank:
+                    continue
+                folded.append(
+                    InteractionEvent(
+                        kind=kind,
+                        user_id=user_id,
+                        channel="profile",
+                        payload=payload,
+                    )
+                )
+    for user_id in sorted(critiqued):
+        folded.append(
+            InteractionEvent(
+                kind="critique",
+                user_id=user_id,
+                channel=critiqued[user_id],
+                payload={"compacted": True},
+            )
+        )
+    return folded

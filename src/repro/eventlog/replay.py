@@ -1,0 +1,331 @@
+"""Recovery: rebuild live state from the durable event stream.
+
+:func:`replay` folds every acknowledged :class:`InteractionEvent` back
+into the mutable world — dataset ratings, scrutable profiles, substrate
+similarity state (incremental ``absorb`` when the substrate supports
+it), and cache generations — so a restarted process serves **exactly**
+the recommendations and explanations it acknowledged before the crash.
+
+Replay is deliberately forgiving at the *event* level: an event that no
+longer applies (a rating for an item the world no longer catalogues, a
+profile correction for an attribute an earlier remove deleted) is
+skipped and counted in the :class:`ReplayReport`, never raised.
+Structural misuse — a profile already wired to journal, which would
+double-write every replayed edit back into the log — raises
+:class:`~repro.errors.ReplayError` before any state mutates.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Mapping, MutableMapping
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro import obs
+from repro.errors import DataError, ReplayError
+from repro.eventlog.events import (
+    CRITIQUE_KINDS,
+    PROFILE_KINDS,
+    InteractionEvent,
+)
+from repro.eventlog.log import _REPLAY_BUCKETS, EventLog
+from repro.recsys.data import Dataset, Rating
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.interaction.profile import ScrutableProfile
+
+__all__ = ["ReplayReport", "replay", "replay_events"]
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """What one recovery pass rebuilt, skipped, and gave up on."""
+
+    events_seen: int
+    events_applied: int
+    events_skipped: int
+    corrupt_records: int
+    truncated_tail_records: int
+    ratings_applied: int
+    profile_edits_applied: int
+    critiques_applied: int
+    users: tuple[str, ...]
+    elapsed_seconds: float
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the log lost records (corruption or torn tail)."""
+        return bool(self.corrupt_records or self.truncated_tail_records)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly rendering (the ``replay --format json`` shape)."""
+        return {
+            "events": {
+                "seen": self.events_seen,
+                "applied": self.events_applied,
+                "skipped": self.events_skipped,
+            },
+            "damage": {
+                "corrupt_records": self.corrupt_records,
+                "truncated_tail_records": self.truncated_tail_records,
+                "degraded": self.degraded,
+            },
+            "applied": {
+                "ratings": self.ratings_applied,
+                "profile_edits": self.profile_edits_applied,
+                "critiques": self.critiques_applied,
+            },
+            "users": len(self.users),
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+        }
+
+    def render(self) -> str:
+        """Human-readable summary (the ``replay`` CLI output)."""
+        rate = (
+            self.events_applied / self.elapsed_seconds
+            if self.elapsed_seconds > 0
+            else 0.0
+        )
+        lines = [
+            f"replayed       {self.events_applied}/{self.events_seen} "
+            f"event(s) for {len(self.users)} user(s) "
+            f"in {self.elapsed_seconds:.3f}s ({rate:,.0f} ev/s)",
+            f"applied        ratings={self.ratings_applied} "
+            f"profile_edits={self.profile_edits_applied} "
+            f"critiques={self.critiques_applied} "
+            f"skipped={self.events_skipped}",
+        ]
+        if self.degraded:
+            lines.append(
+                f"damage         corrupt={self.corrupt_records} "
+                f"torn_tail={self.truncated_tail_records} (degraded)"
+            )
+        else:
+            lines.append("damage         none")
+        return "\n".join(lines)
+
+
+def _apply_rating_event(
+    event: InteractionEvent, dataset: Dataset
+) -> list[tuple[str, str]]:
+    """Apply one rating-shaped event; returns the (user, item) writes.
+
+    Raises :class:`~repro.errors.DataError` when the event no longer
+    applies (unknown item, out-of-scale value, missing rating to undo);
+    the caller converts that into a skip count.
+    """
+    if event.kind == "rate-batch":
+        written = []
+        for item_id, value in event.ratings.items():
+            dataset.add_rating(
+                Rating(user_id=event.user_id, item_id=item_id, value=value)
+            )
+            written.append((event.user_id, item_id))
+        return written
+    item_id = event.item_id
+    if item_id is None:
+        raise DataError(f"rating event without item: seq={event.sequence}")
+    if event.kind == "undo":
+        if event.previous_value is None:
+            dataset.remove_rating(event.user_id, item_id)
+        else:
+            dataset.add_rating(
+                Rating(
+                    user_id=event.user_id,
+                    item_id=item_id,
+                    value=event.previous_value,
+                )
+            )
+        return [(event.user_id, item_id)]
+    value = event.value
+    if value is None:
+        raise DataError(f"rating event without value: seq={event.sequence}")
+    dataset.add_rating(
+        Rating(user_id=event.user_id, item_id=item_id, value=value)
+    )
+    return [(event.user_id, item_id)]
+
+
+def _apply_profile_event(
+    event: InteractionEvent, profile: "ScrutableProfile"
+) -> None:
+    """Apply one profile edit; :class:`DataError` means "skip"."""
+    payload = event.payload
+    name = payload.get("name")
+    if not isinstance(name, str):
+        raise DataError(
+            f"profile event without attribute name: seq={event.sequence}"
+        )
+    weight_raw = payload.get("weight", 1.0)
+    weight = (
+        float(weight_raw) if isinstance(weight_raw, (int, float)) else 1.0
+    )
+    if event.kind == "profile-volunteer":
+        profile.volunteer(name, payload.get("value"), weight=weight)
+    elif event.kind == "profile-infer":
+        because_raw = payload.get("because", "")
+        because = because_raw if isinstance(because_raw, str) else ""
+        profile.infer(name, payload.get("value"), because, weight=weight)
+    elif event.kind == "profile-correct":
+        profile.correct(name, payload.get("value"))
+    elif event.kind == "profile-remove":
+        profile.remove(name)
+    else:  # pragma: no cover - guarded by PROFILE_KINDS dispatch
+        raise DataError(f"unknown profile event kind: {event.kind}")
+
+
+def replay_events(
+    events: Iterable[InteractionEvent],
+    dataset: Dataset,
+    *,
+    profiles: MutableMapping[str, "ScrutableProfile"] | None = None,
+    caches: Iterable[object] = (),
+    substrates: Iterable[object] = (),
+    log_name: str = "eventlog",
+) -> dict[str, object]:
+    """Fold an event stream into live state; the core of :func:`replay`.
+
+    Exposed separately so tests and the chaos suite can replay a known
+    in-memory stream without a log on disk.  Returns the raw tallies;
+    :func:`replay` wraps them (plus scan damage counts) in a
+    :class:`ReplayReport`.
+    """
+    from repro.interaction.profile import ScrutableProfile
+
+    if profiles is None:
+        profiles = {}
+    for profile in profiles.values():
+        if getattr(profile, "event_log", None) is not None:
+            raise ReplayError(
+                f"profile {profile.user_id!r} is wired to an event log; "
+                "replaying through it would double-write every edit — "
+                "attach the log after replay"
+            )
+    registry = obs.get_registry()
+    replayed = registry.counter(
+        "repro_eventlog_replayed_events_total",
+        "Events applied during replay, by kind.",
+        labelnames=("log", "kind"),
+    )
+    skipped_counter = registry.counter(
+        "repro_eventlog_replay_skipped_total",
+        "Events skipped during replay (no longer applicable).",
+        labelnames=("log",),
+    )
+    absorbers = [
+        substrate for substrate in substrates
+        if hasattr(substrate, "absorb")
+    ]
+    refitters = [
+        substrate for substrate in substrates
+        if not hasattr(substrate, "absorb") and hasattr(substrate, "fit")
+    ]
+    applied = skipped = ratings = profile_edits = critiques = seen = 0
+    touched: dict[str, None] = {}
+    for event in events:
+        seen += 1
+        touched.setdefault(event.user_id)
+        try:
+            if event.kind in PROFILE_KINDS:
+                profile = profiles.get(event.user_id)
+                if profile is None:
+                    profile = ScrutableProfile(event.user_id)
+                    profiles[event.user_id] = profile
+                _apply_profile_event(event, profile)
+                profile_edits += 1
+            elif event.kind in CRITIQUE_KINDS:
+                # Session state is ephemeral by design; the durable
+                # side effect is the cache-generation bump below.
+                critiques += 1
+            else:
+                writes = _apply_rating_event(event, dataset)
+                ratings += len(writes)
+                for absorber in absorbers:
+                    absorber.absorb(event)
+        except DataError:
+            skipped += 1
+            skipped_counter.inc(log=log_name)
+            continue
+        applied += 1
+        replayed.inc(log=log_name, kind=event.kind)
+    for substrate in refitters:
+        if getattr(substrate, "is_fitted", True):
+            substrate.fit(dataset)
+    for cache in caches:
+        invalidate = getattr(cache, "invalidate_user", None)
+        if invalidate is None:
+            continue
+        for user_id in touched:
+            invalidate(user_id)
+    return {
+        "events_seen": seen,
+        "events_applied": applied,
+        "events_skipped": skipped,
+        "ratings_applied": ratings,
+        "profile_edits_applied": profile_edits,
+        "critiques_applied": critiques,
+        "users": tuple(touched),
+    }
+
+
+def replay(
+    log: EventLog,
+    dataset: Dataset,
+    *,
+    profiles: MutableMapping[str, "ScrutableProfile"] | None = None,
+    caches: Iterable[object] = (),
+    substrates: Iterable[object] = (),
+) -> ReplayReport:
+    """Rebuild world state from ``log``; truncate-and-degrade, never crash.
+
+    Parameters
+    ----------
+    log:
+        The event log to scan (damage is counted, not raised).
+    dataset:
+        The live dataset rating events are folded into.
+    profiles:
+        Mutable ``user_id -> ScrutableProfile`` mapping; missing
+        profiles are created (unwired — attach the log afterwards).
+    caches:
+        Caches whose per-user generations are bumped for every touched
+        user, so nothing computed pre-crash survives recovery.
+    substrates:
+        Recommenders fed each rating event via ``absorb`` when they
+        support it (fitted CF models update incrementally); substrates
+        without ``absorb`` are refit once at the end if already fitted.
+    """
+    started = time.perf_counter()
+    with obs.span("eventlog.replay", log=log.name):
+        scan = log.scan()
+        tallies = replay_events(
+            scan.events,
+            dataset,
+            profiles=profiles,
+            caches=caches,
+            substrates=substrates,
+            log_name=log.name,
+        )
+        elapsed = time.perf_counter() - started
+        obs.get_registry().histogram(
+            "repro_eventlog_replay_seconds",
+            buckets=_REPLAY_BUCKETS,
+        ).observe(elapsed)
+        report = ReplayReport(
+            corrupt_records=scan.corrupt_records,
+            truncated_tail_records=scan.truncated_tail_records,
+            elapsed_seconds=elapsed,
+            **tallies,  # type: ignore[arg-type]
+        )
+        obs.event(
+            "eventlog.replayed",
+            log=log.name,
+            events=report.events_applied,
+            skipped=report.events_skipped,
+            corrupt=report.corrupt_records,
+            truncated=report.truncated_tail_records,
+            users=len(report.users),
+            degraded=report.degraded,
+        )
+        return report

@@ -1,0 +1,159 @@
+"""Byte-level storage behind the event log.
+
+:class:`EventLog` never touches the filesystem directly — every byte
+goes through a :class:`SegmentStorage`, so the chaos framework can wrap
+one (``repro.resilience.ChaosStorage``) and inject failed writes,
+partial writes, fsync errors, and corrupt reads without monkeypatching.
+The default :class:`FileStorage` is a thin, boring shim over ``os``.
+
+A :class:`SegmentHandle` is an open, append-positioned segment.  Its
+contract is exact about partial writes: :meth:`SegmentHandle.write`
+either writes all bytes and returns, or raises
+:class:`~repro.errors.EventLogError` — and when it raises, the handle's
+:meth:`SegmentHandle.position` may already include *some* of the bytes
+(a torn write).  The log rolls the segment back to the last committed
+size before acknowledging anything else.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.errors import EventLogError
+
+__all__ = ["SegmentHandle", "FileStorage", "SegmentStorage"]
+
+
+class SegmentHandle:
+    """An open append handle on one segment, tracking its byte position."""
+
+    def __init__(self, path: Path, descriptor: int, position: int) -> None:
+        self.path = path
+        self._descriptor = descriptor
+        self._position = position
+        self._closed = False
+
+    def position(self) -> int:
+        """Bytes currently written through this handle (including torn)."""
+        return self._position
+
+    def write(self, data: bytes) -> None:
+        """Append ``data``; all-or-error (torn bytes still advance position)."""
+        if self._closed:
+            raise EventLogError(f"segment {self.path.name} is closed")
+        try:
+            written = os.write(self._descriptor, data)
+            self._position += written
+            while written < len(data):
+                more = os.write(self._descriptor, data[written:])
+                written += more
+                self._position += more
+        except OSError as error:
+            raise EventLogError(
+                f"write to segment {self.path.name} failed: {error}"
+            ) from error
+
+    def sync(self) -> None:
+        """Flush this segment to stable storage (``fsync``)."""
+        if self._closed:
+            raise EventLogError(f"segment {self.path.name} is closed")
+        try:
+            os.fsync(self._descriptor)
+        except OSError as error:
+            raise EventLogError(
+                f"fsync of segment {self.path.name} failed: {error}"
+            ) from error
+
+    def truncate(self, size: int) -> None:
+        """Cut the segment back to ``size`` bytes (torn-write rollback)."""
+        if self._closed:
+            raise EventLogError(f"segment {self.path.name} is closed")
+        try:
+            os.ftruncate(self._descriptor, size)
+            os.lseek(self._descriptor, size, os.SEEK_SET)
+        except OSError as error:
+            raise EventLogError(
+                f"truncate of segment {self.path.name} failed: {error}"
+            ) from error
+        self._position = size
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            os.close(self._descriptor)
+        except OSError as error:
+            raise EventLogError(
+                f"close of segment {self.path.name} failed: {error}"
+            ) from error
+
+
+class FileStorage:
+    """The real filesystem: plain ``os``-level segment I/O."""
+
+    def open_append(self, path: Path) -> SegmentHandle:
+        """Open ``path`` for appending, positioned at its current end."""
+        try:
+            descriptor = os.open(
+                path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            position = os.fstat(descriptor).st_size
+        except OSError as error:
+            raise EventLogError(
+                f"cannot open segment {path.name}: {error}"
+            ) from error
+        return SegmentHandle(path, descriptor, position)
+
+    def read_bytes(self, path: Path) -> bytes:
+        """The full contents of a segment (recovery scan path)."""
+        try:
+            return path.read_bytes()
+        except OSError as error:
+            raise EventLogError(
+                f"cannot read segment {path.name}: {error}"
+            ) from error
+
+    def truncate_path(self, path: Path, size: int) -> None:
+        """Cut a *closed* segment back to ``size`` bytes (torn tails)."""
+        try:
+            os.truncate(path, size)
+        except OSError as error:
+            raise EventLogError(
+                f"cannot truncate segment {path.name}: {error}"
+            ) from error
+
+    def remove(self, path: Path) -> None:
+        """Delete a segment (compaction discards superseded segments)."""
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            return
+        except OSError as error:
+            raise EventLogError(
+                f"cannot remove segment {path.name}: {error}"
+            ) from error
+
+    def replace(self, source: Path, destination: Path) -> None:
+        """Atomically move ``source`` over ``destination`` (compaction)."""
+        try:
+            os.replace(source, destination)
+        except OSError as error:
+            raise EventLogError(
+                f"cannot replace {destination.name}: {error}"
+            ) from error
+
+    def list_segments(self, directory: Path, pattern: str) -> list[Path]:
+        """Segment paths under ``directory`` matching ``pattern``, sorted."""
+        try:
+            return sorted(directory.glob(pattern))
+        except OSError as error:
+            raise EventLogError(
+                f"cannot list segments in {directory}: {error}"
+            ) from error
+
+
+#: Structural alias — anything with FileStorage's surface works (the
+#: chaos wrapper subclasses it and overrides the fault-injectable ops).
+SegmentStorage = FileStorage

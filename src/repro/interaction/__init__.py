@@ -22,7 +22,11 @@ from repro.interaction.profile import (
     ScrutableProfile,
     infer_topic_interests,
 )
-from repro.interaction.ratings import RatingChannel, RatingEvent
+from repro.interaction.ratings import (
+    InteractionEvent,
+    RatingChannel,
+    RatingEvent,
+)
 from repro.interaction.requirements import (
     RequirementElicitor,
     parse_requirements,
@@ -57,6 +61,7 @@ __all__ = [
     # 5.3 ratings & scrutable profiles
     "RatingChannel",
     "RatingEvent",
+    "InteractionEvent",
     "ScrutableProfile",
     "ProfileAttribute",
     "ProfileRecommender",

@@ -21,11 +21,16 @@ efficiency measures apply to collaborative conversations too.
 from __future__ import annotations
 
 from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from repro.errors import DialogError
+from repro.eventlog.events import InteractionEvent
 from repro.interaction.session import InteractionLog, TimeModel
 from repro.recsys.cf_user import UserBasedCF
 from repro.recsys.data import Dataset, Rating
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.eventlog.log import EventLog
 
 __all__ = ["ConversationalCF"]
 
@@ -45,6 +50,9 @@ class ConversationalCF:
     active:
         ``True`` picks informative items (rated by many of the user's
         candidate neighbours); ``False`` picks current top predictions.
+    event_log:
+        When set, each rating batch is journaled durably *before* the
+        dataset mutates; an append failure aborts the batch unapplied.
     """
 
     def __init__(
@@ -54,12 +62,14 @@ class ConversationalCF:
         batch_size: int = 3,
         active: bool = True,
         time_model: TimeModel | None = None,
+        event_log: "EventLog | None" = None,
     ) -> None:
         self.dataset = dataset
         self.user_id = user_id
         self.batch_size = batch_size
         self.active = active
         self.time_model = time_model if time_model is not None else TimeModel()
+        self.event_log = event_log
         self.log = InteractionLog()
         self.cycle = 0
         self.finished = False
@@ -67,8 +77,18 @@ class ConversationalCF:
         self._refit()
 
     def subscribe(self, callback) -> None:
-        """Call ``callback(user_id)`` after every rating batch lands."""
+        """Call ``callback(event)`` after every rating batch lands."""
         self.on_change.append(callback)
+
+    def _journal(self, event: InteractionEvent) -> InteractionEvent:
+        """Write-ahead: durably append before any mutation (or abort)."""
+        if self.event_log is None:
+            return event
+        return self.event_log.append(event)
+
+    def _notify(self, event: InteractionEvent) -> None:
+        for callback in self.on_change:
+            callback(event)
 
     def _refit(self) -> None:
         self.recommender = UserBasedCF().fit(self.dataset)
@@ -115,9 +135,29 @@ class ConversationalCF:
         return batch
 
     def rate_batch(self, ratings: dict[str, float]) -> None:
-        """Record the user's ratings for the presented batch and refit."""
+        """Record the user's ratings for the presented batch.
+
+        The whole batch is journaled as one ``"rate-batch"`` event
+        before any rating lands; the fitted model then *absorbs* the
+        change incrementally (dropping only the stale similarity rows)
+        instead of refitting from scratch.
+        """
         if self.finished:
             raise DialogError("conversation already finished")
+        event = self._journal(
+            InteractionEvent(
+                kind="rate-batch",
+                user_id=self.user_id,
+                channel="conversational",
+                payload={
+                    "ratings": {
+                        item_id: float(value)
+                        for item_id, value in ratings.items()
+                    },
+                    "cycle": self.cycle,
+                },
+            )
+        )
         for item_id, value in ratings.items():
             self.dataset.add_rating(
                 Rating(user_id=self.user_id, item_id=item_id, value=value)
@@ -128,9 +168,9 @@ class ConversationalCF:
                 f"{item_id}={value:g}",
                 self.time_model.per_critique_choice,
             )
-        self._refit()
-        for callback in self.on_change:
-            callback(self.user_id)
+        if not self.recommender.absorb(event):
+            self._refit()
+        self._notify(event)
 
     def finish(self) -> None:
         """End the conversation."""

@@ -16,9 +16,15 @@ profile*, so edits visibly change recommendations (the TiVo fix).
 from __future__ import annotations
 
 from collections import Counter
+from collections.abc import Callable
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from repro.errors import DataError
+from repro.eventlog.events import InteractionEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.eventlog.log import EventLog
 from repro.recsys.base import (
     Prediction,
     ProfileAttributeEvidence,
@@ -63,36 +69,59 @@ class ProfileAttribute:
 class ScrutableProfile:
     """An editable user model with full provenance.
 
-    All mutations are logged in :attr:`edits` so studies can count
-    scrutinization actions (paper Section 3.2), and every mutation
-    notifies :attr:`on_change` subscribers with the user id — the hook
-    the cache layer uses (:func:`repro.cache.wrappers.wire_invalidation`)
-    so a profile edit voids every answer computed from the old profile.
+    All mutations are journaled to the durable event log **before** the
+    attribute map changes (write-ahead; an unacknowledged edit never
+    mutates), logged in :attr:`edits` so studies can count
+    scrutinization actions (paper Section 3.2), and announced to
+    :attr:`on_change` subscribers with the typed
+    :class:`InteractionEvent` — the hook the cache layer uses
+    (:func:`repro.cache.wrappers.wire_invalidation`) so a profile edit
+    voids every answer computed from the old profile.
     """
 
-    def __init__(self, user_id: str) -> None:
+    def __init__(
+        self, user_id: str, event_log: "EventLog | None" = None
+    ) -> None:
         self.user_id = user_id
+        self.event_log = event_log
         self._attributes: dict[str, ProfileAttribute] = {}
         self.edits: list[str] = []
-        self.on_change: list = []
+        self.on_change: list[Callable[[InteractionEvent], None]] = []
 
-    def subscribe(self, callback) -> None:
-        """Call ``callback(user_id)`` after every profile mutation."""
+    def subscribe(
+        self, callback: Callable[[InteractionEvent], None]
+    ) -> None:
+        """Call ``callback(event)`` after every profile mutation."""
         self.on_change.append(callback)
 
-    def _notify(self) -> None:
+    def _journal(self, kind: str, **payload: object) -> InteractionEvent:
+        """Write-ahead: durably append before any mutation (or abort)."""
+        event = InteractionEvent(
+            kind=kind,
+            user_id=self.user_id,
+            channel="profile",
+            payload=payload,
+        )
+        if self.event_log is None:
+            return event
+        return self.event_log.append(event)
+
+    def _notify(self, event: InteractionEvent) -> None:
         for callback in self.on_change:
-            callback(self.user_id)
+            callback(event)
 
     # -- writing ------------------------------------------------------------
 
     def volunteer(self, name: str, value: object, weight: float = 1.0) -> None:
         """Record an attribute the user stated directly."""
+        event = self._journal(
+            "profile-volunteer", name=name, value=value, weight=weight
+        )
         self._attributes[name] = ProfileAttribute(
             name=name, value=value, provenance=VOLUNTEERED, weight=weight
         )
         self.edits.append(f"volunteered {name}={value}")
-        self._notify()
+        self._notify(event)
 
     def infer(
         self, name: str, value: object, because: str, weight: float = 1.0
@@ -105,6 +134,13 @@ class ScrutableProfile:
         existing = self._attributes.get(name)
         if existing is not None and existing.provenance == VOLUNTEERED:
             return
+        event = self._journal(
+            "profile-infer",
+            name=name,
+            value=value,
+            because=because,
+            weight=weight,
+        )
         self._attributes[name] = ProfileAttribute(
             name=name,
             value=value,
@@ -113,7 +149,7 @@ class ScrutableProfile:
             weight=weight,
         )
         self.edits.append(f"inferred {name}={value}")
-        self._notify()
+        self._notify(event)
 
     def correct(self, name: str, value: object) -> None:
         """User overrides an attribute (it becomes volunteered).
@@ -123,6 +159,7 @@ class ScrutableProfile:
         """
         if name not in self._attributes:
             raise DataError(f"no such profile attribute: {name!r}")
+        event = self._journal("profile-correct", name=name, value=value)
         self._attributes[name] = replace(
             self._attributes[name],
             value=value,
@@ -131,15 +168,16 @@ class ScrutableProfile:
             weight=1.0,
         )
         self.edits.append(f"corrected {name}={value}")
-        self._notify()
+        self._notify(event)
 
     def remove(self, name: str) -> None:
         """User deletes an attribute entirely."""
         if name not in self._attributes:
             raise DataError(f"no such profile attribute: {name!r}")
+        event = self._journal("profile-remove", name=name)
         del self._attributes[name]
         self.edits.append(f"removed {name}")
-        self._notify()
+        self._notify(event)
 
     # -- reading --------------------------------------------------------------
 

@@ -2,32 +2,32 @@
 
 "To change the type of recommendations they receive, the user may want
 to correct predicted ratings, or modify a rating they made in the past."
-:class:`RatingChannel` is the single write path for ratings: it records
-explicit ratings, re-ratings and prediction corrections on the dataset,
-notifies fitted recommenders so their caches refresh, and keeps an
-auditable event log (re-rating deltas are exactly what the persuasion
-measure of Section 3.4 needs).
+:class:`RatingChannel` is the single write path for ratings: it journals
+every action to the durable event log **before** touching the dataset
+(write-ahead: an unacknowledged event never mutates state), records
+explicit ratings, re-ratings and prediction corrections, and notifies
+subscribers with the same typed :class:`InteractionEvent` it logged
+(re-rating deltas are exactly what the persuasion measure of Section 3.4
+needs).
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable
-from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
+from repro.eventlog.events import InteractionEvent
 from repro.recsys.data import Dataset, Rating
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.eventlog.log import EventLog
 
 __all__ = ["RatingEvent", "RatingChannel"]
 
-
-@dataclass(frozen=True)
-class RatingEvent:
-    """One rating action, with the value it replaced (if any)."""
-
-    user_id: str
-    item_id: str
-    value: float
-    previous_value: float | None
-    kind: str  # "rate" | "re-rate" | "correct-prediction"
+#: Back-compat alias: rating events are plain interaction events now
+#: (the ``item_id`` / ``value`` / ``previous_value`` / ``kind`` surface
+#: is preserved as properties/fields on :class:`InteractionEvent`).
+RatingEvent = InteractionEvent
 
 
 class RatingChannel:
@@ -38,44 +38,69 @@ class RatingChannel:
     dataset:
         The dataset ratings are written to.
     on_change:
-        Callbacks invoked with the user id after every write; recommender
-        cache invalidation hooks go here (e.g.
-        ``ContentBasedRecommender.invalidate_profile``).
+        Callbacks invoked with the :class:`InteractionEvent` after every
+        write; recommender cache invalidation hooks go here.
+    event_log:
+        When set, every action is appended durably *before* the dataset
+        mutates; an append failure (:class:`~repro.errors.EventLogError`)
+        aborts the action with no state change.
     """
 
     def __init__(
         self,
         dataset: Dataset,
-        on_change: list[Callable[[str], None]] | None = None,
+        on_change: list[Callable[[InteractionEvent], None]] | None = None,
+        event_log: "EventLog | None" = None,
     ) -> None:
         self.dataset = dataset
         self.on_change = list(on_change or [])
-        self.events: list[RatingEvent] = []
+        self.event_log = event_log
+        self.events: list[InteractionEvent] = []
 
-    def subscribe(self, callback: Callable[[str], None]) -> None:
-        """Register a change callback (called with the user id)."""
+    def subscribe(
+        self, callback: Callable[[InteractionEvent], None]
+    ) -> None:
+        """Register a change callback (called with the event)."""
         self.on_change.append(callback)
+
+    def _journal(self, event: InteractionEvent) -> InteractionEvent:
+        """Write-ahead: durably append before any mutation (or abort)."""
+        if self.event_log is None:
+            return event
+        return self.event_log.append(event)
+
+    def _notify(self, event: InteractionEvent) -> None:
+        for callback in self.on_change:
+            callback(event)
 
     def _write(
         self, user_id: str, item_id: str, value: float, kind: str
-    ) -> RatingEvent:
+    ) -> InteractionEvent:
         previous = self.dataset.rating(user_id, item_id)
+        event = self._journal(
+            InteractionEvent(
+                kind=kind,
+                user_id=user_id,
+                channel="rating",
+                payload={
+                    "item_id": item_id,
+                    "value": value,
+                    "previous_value": (
+                        previous.value if previous is not None else None
+                    ),
+                },
+            )
+        )
         self.dataset.add_rating(
             Rating(user_id=user_id, item_id=item_id, value=value)
         )
-        event = RatingEvent(
-            user_id=user_id,
-            item_id=item_id,
-            value=value,
-            previous_value=previous.value if previous else None,
-            kind=kind,
-        )
         self.events.append(event)
-        for callback in self.on_change:
-            callback(user_id)
+        self._notify(event)
         return event
 
-    def rate(self, user_id: str, item_id: str, value: float) -> RatingEvent:
+    def rate(
+        self, user_id: str, item_id: str, value: float
+    ) -> InteractionEvent:
         """Record a rating; automatically a re-rate if one existed."""
         previous = self.dataset.rating(user_id, item_id)
         kind = "re-rate" if previous is not None else "rate"
@@ -83,7 +108,7 @@ class RatingChannel:
 
     def correct_prediction(
         self, user_id: str, item_id: str, value: float
-    ) -> RatingEvent:
+    ) -> InteractionEvent:
         """Counteract a predicted rating by stating the true one.
 
         Semantically identical to rating, but logged distinctly: this is
@@ -92,24 +117,42 @@ class RatingChannel:
         """
         return self._write(user_id, item_id, value, "correct-prediction")
 
-    def undo_last(self) -> RatingEvent | None:
-        """Undo the most recent event (restores or removes the rating)."""
+    def undo_last(self) -> InteractionEvent | None:
+        """Undo the most recent event (restores or removes the rating).
+
+        The undo itself is journaled as an ``"undo"`` event, so replay
+        reproduces the rollback instead of resurrecting the undone
+        rating.
+        """
         if not self.events:
             return None
-        event = self.events.pop()
-        if event.previous_value is None:
-            self.dataset.remove_rating(event.user_id, event.item_id)
+        last = self.events[-1]
+        undo = self._journal(
+            InteractionEvent(
+                kind="undo",
+                user_id=last.user_id,
+                channel="rating",
+                payload={
+                    "item_id": last.item_id,
+                    "value": last.value,
+                    "previous_value": last.previous_value,
+                },
+            )
+        )
+        self.events.pop()
+        item_id = last.item_id if last.item_id is not None else ""
+        if last.previous_value is None:
+            self.dataset.remove_rating(last.user_id, item_id)
         else:
             self.dataset.add_rating(
                 Rating(
-                    user_id=event.user_id,
-                    item_id=event.item_id,
-                    value=event.previous_value,
+                    user_id=last.user_id,
+                    item_id=item_id,
+                    value=last.previous_value,
                 )
             )
-        for callback in self.on_change:
-            callback(event.user_id)
-        return event
+        self._notify(undo)
+        return last
 
     def rerating_deltas(self, user_id: str | None = None) -> list[float]:
         """Signed (new - old) deltas of all re-rating events.
@@ -120,6 +163,7 @@ class RatingChannel:
         return [
             event.value - event.previous_value
             for event in self.events
-            if event.previous_value is not None
+            if event.value is not None
+            and event.previous_value is not None
             and (user_id is None or event.user_id == user_id)
         ]

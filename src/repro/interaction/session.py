@@ -13,9 +13,14 @@ activations of repair actions" (Section 3.6) — all of which the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro import obs
 from repro.errors import DialogError
+from repro.eventlog.events import InteractionEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.eventlog.log import EventLog
 from repro.interaction.critiques import (
     CompoundCritique,
     UnitCritique,
@@ -109,10 +114,16 @@ class CritiqueSession:
         cycle (the experimental manipulation of study E4).
     user_id:
         The critiquing user, when known.  Every critique or relaxation
-        then notifies :attr:`on_change` subscribers with it — the hook
+        is then journaled to ``event_log`` before the requirements
+        change and announced to :attr:`on_change` subscribers as a typed
+        :class:`InteractionEvent` — the hook
         :func:`repro.cache.wrappers.wire_invalidation` uses so cached
         recommendations computed before the critique become
         unreachable (the paper's scrutability loop).
+    event_log:
+        When set (and ``user_id`` is known), requirement changes are
+        appended durably *before* they apply; an append failure aborts
+        the critique/relaxation with the session state unchanged.
     """
 
     def __init__(
@@ -122,12 +133,14 @@ class CritiqueSession:
         offer_compound: bool = True,
         time_model: TimeModel | None = None,
         user_id: str | None = None,
+        event_log: "EventLog | None" = None,
     ) -> None:
         self.recommender = recommender
         self.requirements = requirements.copy()
         self.offer_compound = offer_compound
         self.time_model = time_model if time_model is not None else TimeModel()
         self.user_id = user_id
+        self.event_log = event_log
         self.on_change: list = []
         self.log = InteractionLog()
         self.cycle = 0
@@ -135,14 +148,32 @@ class CritiqueSession:
         self._advance()
 
     def subscribe(self, callback) -> None:
-        """Call ``callback(user_id)`` after every requirements change."""
+        """Call ``callback(event)`` after every requirements change."""
         self.on_change.append(callback)
 
-    def _notify(self) -> None:
+    def _journal(self, kind: str, **payload: object) -> InteractionEvent | None:
+        """Write-ahead for identified users; ``None`` for anonymous ones.
+
+        Anonymous sessions (``user_id is None``) are simulation
+        scaffolding: nothing durable, nothing notified.
+        """
         if self.user_id is None:
+            return None
+        event = InteractionEvent(
+            kind=kind,
+            user_id=self.user_id,
+            channel="critique",
+            payload=payload,
+        )
+        if self.event_log is None:
+            return event
+        return self.event_log.append(event)
+
+    def _notify(self, event: InteractionEvent | None) -> None:
+        if event is None:
             return
         for callback in self.on_change:
-            callback(self.user_id)
+            callback(event)
 
     # -- state -----------------------------------------------------------
 
@@ -217,8 +248,12 @@ class CritiqueSession:
         attempted = apply_critique(self.requirements, critique, self.reference)
         kind = "unit" if isinstance(critique, UnitCritique) else "compound"
         if self.recommender.matching_items(attempted):
+            event = self._journal(
+                "critique", label=label, critique_kind=kind,
+                cycle=self.cycle,
+            )
             self.requirements = attempted
-            self._notify()
+            self._notify(event)
             self.log.add(
                 self.cycle,
                 "critique",
@@ -249,8 +284,11 @@ class CritiqueSession:
         if not self.requirements.constraints:
             raise DialogError("nothing to relax")
         dropped = self.requirements.constraints[-1]
+        event = self._journal(
+            "relax", dropped=dropped.describe(), cycle=self.cycle
+        )
         self.requirements.remove_constraint(dropped)
-        self._notify()
+        self._notify(event)
         self.log.add(
             self.cycle, "repair", f"relaxed {dropped.describe()}",
             self.time_model.per_repair,

@@ -10,6 +10,8 @@ rated items that drove the score.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.errors import PredictionImpossibleError
 from repro.recsys.base import (
     Prediction,
@@ -18,6 +20,9 @@ from repro.recsys.base import (
 )
 from repro.recsys.data import Dataset
 from repro.recsys.neighbors import ItemNeighborhood
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.eventlog.events import InteractionEvent
 
 __all__ = ["ItemBasedCF"]
 
@@ -66,6 +71,27 @@ class ItemBasedCF(Recommender):
             (nb.neighbor_id, nb.similarity)
             for nb in self.neighborhood.neighbors(item_id, k=n)
         ]
+
+    def absorb(self, event: "InteractionEvent") -> bool:
+        """Consume one rating event incrementally — no full refit.
+
+        A rating change moves the user's mean, which enters the
+        adjusted cosine of every item pair the user co-rates: the
+        neighbourhood refreshes that mean and forgets the affected item
+        pairs (including items the event removed a rating from), so
+        lazy recomputation matches a full refit exactly.  Returns
+        ``False`` when unfitted or the event carries no rating write.
+        """
+        if self._neighborhood is None:
+            return False
+        if event.kind not in (
+            "rate", "re-rate", "correct-prediction", "undo", "rate-batch"
+        ):
+            return False
+        extra = [item for item in (event.item_id,) if item is not None]
+        extra.extend(event.ratings)
+        self._neighborhood.invalidate_user(event.user_id, extra_items=extra)
+        return True
 
     def predict(self, user_id: str, item_id: str) -> Prediction:
         """Weighted average of the user's ratings on similar items.

@@ -9,6 +9,8 @@ users rated the item and how.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.errors import PredictionImpossibleError
 from repro.recsys.base import (
     NeighborRating,
@@ -18,6 +20,9 @@ from repro.recsys.base import (
 )
 from repro.recsys.data import Dataset
 from repro.recsys.neighbors import UserNeighborhood
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.eventlog.events import InteractionEvent
 
 __all__ = ["UserBasedCF"]
 
@@ -75,6 +80,25 @@ class UserBasedCF(Recommender):
             self.dataset  # noqa: B018  (intentional attribute access)
             raise AssertionError("unreachable")
         return self._neighborhood
+
+    def absorb(self, event: "InteractionEvent") -> bool:
+        """Consume one rating event incrementally — no full refit.
+
+        Similarities are computed lazily from the live dataset, so
+        absorbing a rating change only requires forgetting the cached
+        pairs involving the event's user; the next prediction is then
+        *exactly* what a freshly fitted model would produce.  Returns
+        ``False`` (no-op) when the model is unfitted or the event
+        carries no rating write.
+        """
+        if self._neighborhood is None:
+            return False
+        if event.kind not in (
+            "rate", "re-rate", "correct-prediction", "undo", "rate-batch"
+        ):
+            return False
+        self._neighborhood.invalidate_user(event.user_id)
+        return True
 
     def predict(self, user_id: str, item_id: str) -> Prediction:
         """Weighted deviation-from-mean prediction over the neighbourhood.

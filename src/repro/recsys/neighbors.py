@@ -8,6 +8,7 @@ devalued.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 import numpy as np
@@ -44,6 +45,19 @@ class _SimilarityCache:
     def put(self, a: str, b: str, similarity: float, n_corated: int) -> None:
         key = (a, b) if a <= b else (b, a)
         self._cache[key] = (similarity, n_corated)
+
+    def drop_entity(self, entity_id: str) -> int:
+        """Forget every cached pair involving one user/item id.
+
+        The incremental-update path (``absorb``) calls this when new
+        ratings stale an entity's similarity row; the next lookup
+        recomputes lazily from the live dataset, so a drop is exactly
+        equivalent to a full refit for that entity.
+        """
+        stale = [key for key in self._cache if entity_id in key]
+        for key in stale:
+            del self._cache[key]
+        return len(stale)
 
 
 class UserNeighborhood:
@@ -99,6 +113,15 @@ class UserNeighborhood:
             result = (value, len(common))
         self._cache.put(user_a, user_b, *result)
         return result
+
+    def invalidate_user(self, user_id: str) -> int:
+        """Forget similarities involving ``user_id`` after a rating change.
+
+        Everything else is computed lazily from the live dataset, so
+        dropping the user's cached pairs makes the next lookup identical
+        to one on a freshly fitted neighbourhood.
+        """
+        return self._cache.drop_entity(user_id)
 
     def neighbors(
         self,
@@ -176,6 +199,22 @@ class ItemNeighborhood:
             result = (value, len(common))
         self._cache.put(item_a, item_b, *result)
         return result
+
+    def invalidate_user(
+        self, user_id: str, extra_items: Iterable[str] = ()
+    ) -> int:
+        """Refresh a user's mean and forget item pairs their ratings touch.
+
+        A rating change moves the user's mean, which feeds the adjusted
+        cosine of *every* item pair the user co-rates — so all pairs
+        involving the user's rated items (plus ``extra_items``, for
+        ratings just removed) are dropped and recomputed lazily.
+        """
+        self._user_means[user_id] = self.dataset.user_mean(user_id)
+        stale_items = set(self.dataset.ratings_by(user_id)) | set(extra_items)
+        return sum(
+            self._cache.drop_entity(item_id) for item_id in stale_items
+        )
 
     def neighbors(
         self,

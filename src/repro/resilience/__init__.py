@@ -34,7 +34,13 @@ Surfaced via ``python -m repro --chaos-rate 0.2 --resilience demo`` /
 ``metrics``.  See ``docs/resilience.md``.
 """
 
-from repro.resilience.chaos import ChaosExplainer, ChaosRecommender, FaultPlan
+from repro.resilience.chaos import (
+    ChaosExplainer,
+    ChaosRecommender,
+    ChaosStorage,
+    DiskFaultPlan,
+    FaultPlan,
+)
 from repro.resilience.fallback import (
     DEGRADABLE_ERRORS,
     DegradationTracker,
@@ -67,6 +73,8 @@ __all__ = [
     "mark_degraded",
     "substrate_name",
     "ChaosRecommender",
+    "ChaosStorage",
+    "DiskFaultPlan",
     "ChaosExplainer",
     "FaultPlan",
     "ResilientExplainedRecommender",

@@ -21,14 +21,23 @@ import random
 import time
 from collections.abc import Callable, Iterable
 
+from pathlib import Path
+
 from repro import obs
 from repro.core.explainers.base import Explainer
 from repro.core.explanation import Explanation
-from repro.errors import InjectedFaultError
+from repro.errors import EventLogError, InjectedFaultError
+from repro.eventlog.storage import FileStorage, SegmentHandle
 from repro.recsys.base import Prediction, Recommendation, Recommender
 from repro.recsys.data import Dataset
 
-__all__ = ["ChaosRecommender", "ChaosExplainer", "FaultPlan"]
+__all__ = [
+    "ChaosRecommender",
+    "ChaosExplainer",
+    "FaultPlan",
+    "DiskFaultPlan",
+    "ChaosStorage",
+]
 
 
 class FaultPlan:
@@ -180,6 +189,193 @@ class ChaosRecommender(Recommender):
 
             return chaotic
         return attribute
+
+
+class DiskFaultPlan:
+    """A seeded schedule of disk faults for the event-log storage layer.
+
+    Like :class:`FaultPlan`, one instance is one deterministic stream —
+    the ``n``-th write/fsync/read roll always answers the same for a
+    given seed — so a crash-recovery test can "kill the world" at an
+    exactly reproducible write boundary.
+
+    Parameters
+    ----------
+    write_failure_rate:
+        Probability an intercepted write raises.  Of those failures,
+        ``partial_share`` are *torn*: a seeded prefix of the bytes
+        lands on disk before the error (the worst case a real disk
+        produces), the rest fail cleanly with nothing written.
+    fsync_failure_rate:
+        Probability an fsync barrier raises (the write is in the OS
+        cache but not durable — the log must roll it back).
+    read_corruption_rate:
+        Probability a segment read comes back with one seeded byte
+        flipped (bit rot / controller corruption on the read path).
+    """
+
+    def __init__(
+        self,
+        write_failure_rate: float = 0.2,
+        partial_share: float = 0.5,
+        fsync_failure_rate: float = 0.0,
+        read_corruption_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        for label, rate in (
+            ("write_failure_rate", write_failure_rate),
+            ("partial_share", partial_share),
+            ("fsync_failure_rate", fsync_failure_rate),
+            ("read_corruption_rate", read_corruption_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1], got {rate}")
+        self.write_failure_rate = write_failure_rate
+        self.partial_share = partial_share
+        self.fsync_failure_rate = fsync_failure_rate
+        self.read_corruption_rate = read_corruption_rate
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def roll_write(self, n_bytes: int) -> int | None:
+        """``None`` = write succeeds; otherwise the torn-prefix length.
+
+        A returned ``0`` is a clean failure (nothing lands); ``k > 0``
+        means ``k`` bytes land before the error (a torn write).
+        """
+        if self._rng.random() >= self.write_failure_rate:
+            return None
+        if n_bytes > 0 and self._rng.random() < self.partial_share:
+            return self._rng.randrange(1, n_bytes + 1)
+        return 0
+
+    def roll_fsync(self) -> bool:
+        """Whether the next fsync barrier fails."""
+        return self._rng.random() < self.fsync_failure_rate
+
+    def roll_read(self, n_bytes: int) -> int | None:
+        """``None`` = clean read; otherwise the byte offset to corrupt."""
+        if n_bytes == 0 or self._rng.random() >= self.read_corruption_rate:
+            return None
+        return self._rng.randrange(n_bytes)
+
+    def reset(self) -> None:
+        """Rewind the stream to the start (same seed, same schedule)."""
+        self._rng = random.Random(self.seed)
+
+
+class _ChaosHandle:
+    """A segment handle whose writes and fsyncs fail on the plan."""
+
+    def __init__(self, inner: SegmentHandle, plan: DiskFaultPlan) -> None:
+        self._inner = inner
+        self._plan = plan
+        self.path = inner.path
+
+    def position(self) -> int:
+        return self._inner.position()
+
+    def write(self, data: bytes) -> None:
+        torn = self._plan.roll_write(len(data))
+        if torn is None:
+            self._inner.write(data)
+            return
+        if torn > 0:
+            self._inner.write(data[:torn])
+            _count_injection("storage", "torn_write")
+            obs.event(
+                "chaos.disk_fault",
+                kind="torn_write",
+                segment=self.path.name,
+                landed=torn,
+                requested=len(data),
+            )
+            raise EventLogError(
+                f"chaos: torn write to {self.path.name} "
+                f"({torn}/{len(data)} bytes landed)"
+            )
+        _count_injection("storage", "write_failure")
+        obs.event(
+            "chaos.disk_fault", kind="write_failure", segment=self.path.name
+        )
+        raise EventLogError(
+            f"chaos: injected write failure on {self.path.name}"
+        )
+
+    def sync(self) -> None:
+        if self._plan.roll_fsync():
+            _count_injection("storage", "fsync_failure")
+            obs.event(
+                "chaos.disk_fault",
+                kind="fsync_failure",
+                segment=self.path.name,
+            )
+            raise EventLogError(
+                f"chaos: injected fsync failure on {self.path.name}"
+            )
+        self._inner.sync()
+
+    def truncate(self, size: int) -> None:
+        # Rollback/repair paths stay reliable: chaos models a flaky
+        # disk, not one that blocks recovery itself.
+        self._inner.truncate(size)
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+class ChaosStorage(FileStorage):
+    """Event-log storage whose writes, fsyncs, and reads fail on a plan.
+
+    Drop-in for :class:`~repro.eventlog.storage.FileStorage` (pass as
+    ``EventLog(..., storage=ChaosStorage(plan))``): appends go through
+    a :class:`_ChaosHandle` that injects clean failures, torn writes,
+    and fsync errors; :meth:`read_bytes` flips seeded bytes to model
+    corruption on the read path.  Repair primitives (truncate, remove,
+    replace, listing) stay reliable so recovery is always possible —
+    the invariant under test is *zero acknowledged-event loss*, which
+    only makes sense if recovery itself can run.
+    """
+
+    def __init__(
+        self,
+        plan: DiskFaultPlan | None = None,
+        inner: FileStorage | None = None,
+    ) -> None:
+        self.plan = plan if plan is not None else DiskFaultPlan()
+        self.inner = inner if inner is not None else FileStorage()
+
+    def open_append(self, path: Path) -> SegmentHandle:
+        handle = _ChaosHandle(self.inner.open_append(path), self.plan)
+        return handle  # type: ignore[return-value]
+
+    def read_bytes(self, path: Path) -> bytes:
+        data = self.inner.read_bytes(path)
+        offset = self.plan.roll_read(len(data))
+        if offset is not None:
+            _count_injection("storage", "read_corruption")
+            obs.event(
+                "chaos.disk_fault",
+                kind="read_corruption",
+                segment=path.name,
+                offset=offset,
+            )
+            corrupted = bytearray(data)
+            corrupted[offset] ^= 0xFF
+            data = bytes(corrupted)
+        return data
+
+    def truncate_path(self, path: Path, size: int) -> None:
+        self.inner.truncate_path(path, size)
+
+    def remove(self, path: Path) -> None:
+        self.inner.remove(path)
+
+    def replace(self, source: Path, destination: Path) -> None:
+        self.inner.replace(source, destination)
+
+    def list_segments(self, directory: Path, pattern: str) -> list[Path]:
+        return self.inner.list_segments(directory, pattern)
 
 
 class ChaosExplainer(Explainer):

@@ -35,7 +35,7 @@ class HealthReport:
 
     live: bool
     ready: bool
-    status: str  # "ok" | "degraded" | "draining" | "closed"
+    status: str  # "ok" | "degraded" | "recovering" | "draining" | "closed"
     queue_depth: int
     queue_capacity: int
     inflight: int
@@ -94,15 +94,21 @@ def derive_status(
     queue_depth: int,
     queue_capacity: int,
     breaker_states: dict[str, str],
+    recovering: bool = False,
 ) -> tuple[bool, bool, str]:
     """``(live, ready, status)`` from raw server state.
 
     Degradation is not unreadiness: a server with *some* breakers open
     still serves (the fallback chain covers the gap) and stays ready;
     only every-breaker-open or a pressured queue pulls it from rotation.
+    A *recovering* server (event-log replay still running) is live but
+    not ready — the load balancer must not route traffic to a replica
+    that would answer from pre-crash state.
     """
     if closed:
         return False, False, "closed"
+    if recovering:
+        return True, False, "recovering"
     if draining:
         return True, False, "draining"
     pressured = (

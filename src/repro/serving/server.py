@@ -233,6 +233,18 @@ class RecommendationServer:
         the bulkhead, and never touching a substrate or its breaker —
         with ``ServeResult.cached=True``.  Keys include the lane, so a
         shared cache never crosses answers between lanes.
+    recovery:
+        Optional zero-argument callable that rebuilds state from the
+        durable event log (typically a closure over
+        :func:`repro.eventlog.replay`).  It runs on a background thread
+        started at construction; until it returns, the server is
+        **live but not ready** (``status="recovering"``) and
+        :meth:`submit` rejects with ``reason="recovering"`` — a replica
+        must never answer from pre-crash state.  The callable's return
+        value is kept as :attr:`recovery_report`; an exception marks
+        recovery failed and the server stays unready (the operator
+        decides whether stale answers are acceptable via a fresh
+        server without a recovery hook).
     """
 
     def __init__(
@@ -248,6 +260,7 @@ class RecommendationServer:
         bulkhead_max_wait: float = 0.05,
         default_deadline_seconds: float | None = None,
         cache: ShardedTTLCache | Mapping[str, ShardedTTLCache] | None = None,
+        recovery: Callable[[], object] | None = None,
         name: str = "repro-server",
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
@@ -305,6 +318,22 @@ class RecommendationServer:
         self._drain_report: DrainReport | None = None
         self._completed = 0
         self._completed_lock = threading.Lock()
+        self._recovered = threading.Event()
+        self._recovery_done = threading.Event()
+        self._recovery_error: str | None = None
+        self.recovery_report: object | None = None
+        self._recovery_thread: threading.Thread | None = None
+        if recovery is None:
+            self._recovered.set()
+            self._recovery_done.set()
+        else:
+            self._recovery_thread = threading.Thread(
+                target=self._run_recovery,
+                args=(recovery,),
+                name=f"{name}-recovery",
+                daemon=True,
+            )
+            self._recovery_thread.start()
         self._workers = [
             threading.Thread(
                 target=self._worker_loop,
@@ -315,6 +344,60 @@ class RecommendationServer:
         ]
         for thread in self._workers:
             thread.start()
+
+    # -- recovery ---------------------------------------------------------
+
+    def _run_recovery(self, recovery: Callable[[], object]) -> None:
+        try:
+            with obs.span("serving.recovery", server=self.name):
+                try:
+                    self.recovery_report = recovery()
+                except ReproError as error:
+                    self._recovery_error = (
+                        f"{type(error).__name__}: {error}"
+                    )
+                    obs.event(
+                        "serving.recovery_failed",
+                        server=self.name,
+                        error=type(error).__name__,
+                    )
+                    return
+                except Exception as error:
+                    # A programming error (not a taxonomy failure) still
+                    # pins the replica unready; re-raise so the thread
+                    # excepthook surfaces the traceback.
+                    self._recovery_error = (
+                        f"{type(error).__name__}: {error}"
+                    )
+                    raise
+            self._recovered.set()
+            obs.event("serving.recovered", server=self.name)
+        finally:
+            self._recovery_done.set()
+
+    @property
+    def recovering(self) -> bool:
+        """Whether event-log recovery is still gating readiness."""
+        return not self._recovered.is_set()
+
+    @property
+    def recovery_error(self) -> str | None:
+        """The failure that stalled recovery, or ``None``."""
+        return self._recovery_error
+
+    def await_recovery(self, timeout: float | None = None) -> bool:
+        """Block until recovery finishes; ``True`` once state is rebuilt.
+
+        Returns ``False`` on timeout.  A *failed* recovery raises
+        :class:`~repro.errors.ServingError` instead — the replica must
+        not be put into rotation against pre-crash state.
+        """
+        done = self._recovery_done.wait(timeout)
+        if self._recovery_error is not None:
+            raise ServingError(
+                f"recovery failed on {self.name}: {self._recovery_error}"
+            )
+        return done
 
     # -- submission -------------------------------------------------------
 
@@ -345,6 +428,9 @@ class RecommendationServer:
                 f"unknown lane {request.lane!r}; "
                 f"lanes: {sorted(self.pipelines)}"
             )
+        if not self._recovered.is_set():
+            # Even a cache hit is pre-crash state until replay finishes.
+            self._reject("recovering", None)
         lane = request.lane or next(iter(self.pipelines))
         cache = self._caches.get(lane)
         generation: int | None = None
@@ -605,6 +691,7 @@ class RecommendationServer:
             queue_depth=depth,
             queue_capacity=self.queue_size,
             breaker_states=breaker_states,
+            recovering=not self._recovered.is_set(),
         )
         return HealthReport(
             live=live,

@@ -480,3 +480,112 @@ class TestMissingInvalidationRR007:
             "RR007",
             package="repro.eval.fake",
         )
+
+
+class TestMissingWriteThroughRR008:
+    def test_unjournalled_rating_write_is_flagged(self):
+        findings = findings_for(
+            """
+            class Channel:
+                def rate(self, user_id, item_id, value):
+                    self.dataset.add_rating((user_id, item_id, value))
+                    self._notify()
+            """,
+            "RR008",
+            package="repro.interaction.fake",
+        )
+        assert len(findings) == 1
+        assert findings[0].scope == "Channel.rate"
+        assert "never reaches the event log" in findings[0].message
+
+    def test_write_behind_journalling_is_flagged(self):
+        # Journalling *after* the mutation still loses the event on a
+        # crash between the two — the rule checks ordering, not just
+        # reachability.
+        findings = findings_for(
+            """
+            class Profile:
+                def volunteer(self, name, value):
+                    self.edits.append((name, value))
+                    self._journal(name)
+            """,
+            "RR008",
+            package="repro.interaction.fake",
+        )
+        assert len(findings) == 1
+        assert "write-behind" in findings[0].message
+
+    def test_journal_before_write_is_clean(self):
+        assert not findings_for(
+            """
+            class Channel:
+                def rate(self, user_id, item_id, value):
+                    self._journal((user_id, item_id, value))
+                    self.dataset.add_rating((user_id, item_id, value))
+            """,
+            "RR008",
+            package="repro.interaction.fake",
+        )
+
+    def test_direct_event_log_append_counts(self):
+        assert not findings_for(
+            """
+            class Session:
+                def critique(self, attempted):
+                    self.event_log.append(attempted)
+                    self.requirements = attempted
+            """,
+            "RR008",
+            package="repro.interaction.fake",
+        )
+
+    def test_journal_reachable_through_sibling_is_clean(self):
+        assert not findings_for(
+            """
+            class Session:
+                def critique(self, attempted):
+                    self._record(attempted)
+                    self.requirements = attempted
+
+                def _record(self, attempted):
+                    self._journal(attempted)
+            """,
+            "RR008",
+            package="repro.interaction.fake",
+        )
+
+    def test_init_is_exempt(self):
+        # Constructing initial state replays *from* the log; it does
+        # not originate events.
+        assert not findings_for(
+            """
+            class Session:
+                def __init__(self, requirements):
+                    self.requirements = requirements.copy()
+            """,
+            "RR008",
+            package="repro.interaction.fake",
+        )
+
+    def test_out_of_scope_package_is_ignored(self):
+        assert not findings_for(
+            """
+            class Channel:
+                def rate(self, user_id, item_id, value):
+                    self.dataset.add_rating((user_id, item_id, value))
+            """,
+            "RR008",
+            package="repro.recsys.fake",
+        )
+
+    def test_live_interaction_channels_are_clean(self):
+        from pathlib import Path
+
+        from repro.analysis import Analyzer
+
+        findings = [
+            finding
+            for finding in Analyzer().run([Path("src/repro/interaction")])
+            if finding.rule_id == "RR008"
+        ]
+        assert findings == []

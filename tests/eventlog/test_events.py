@@ -1,0 +1,120 @@
+"""The versioned, checksummed event record format."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import EventLogError
+from repro.eventlog import (
+    KNOWN_KINDS,
+    SCHEMA_VERSION,
+    UNSEQUENCED,
+    InteractionEvent,
+    decode_record,
+    encode_record,
+)
+
+
+def make_event(**overrides) -> InteractionEvent:
+    fields = dict(
+        kind="rate",
+        user_id="alice",
+        channel="rating",
+        payload={"item_id": "i3", "value": 4.0, "previous_value": None},
+    )
+    fields.update(overrides)
+    return InteractionEvent(**fields)
+
+
+class TestInteractionEvent:
+    def test_defaults(self):
+        event = make_event()
+        assert event.sequence == UNSEQUENCED
+        assert event.version == SCHEMA_VERSION
+        assert event.item_id == "i3"
+        assert event.value == 4.0
+        assert event.previous_value is None
+
+    def test_with_sequence_is_functional(self):
+        event = make_event()
+        stamped = event.with_sequence(7)
+        assert stamped.sequence == 7
+        assert event.sequence == UNSEQUENCED  # original untouched
+        assert stamped.kind == event.kind
+
+    def test_ratings_accessor_for_batches(self):
+        event = make_event(
+            kind="rate-batch",
+            channel="conversational",
+            payload={"ratings": {"i1": 3.0, "i2": 5.0}},
+        )
+        assert event.ratings == {"i1": 3.0, "i2": 5.0}
+        assert make_event().ratings == {}
+
+    def test_known_kinds_cover_all_channels(self):
+        for kind in ("rate", "undo", "profile-volunteer", "critique",
+                     "rate-batch"):
+            assert kind in KNOWN_KINDS
+
+    def test_record_roundtrip(self):
+        event = make_event().with_sequence(12)
+        record = event.to_record()
+        assert record["seq"] == 12
+        assert record["v"] == SCHEMA_VERSION
+        restored = InteractionEvent.from_record(record)
+        assert restored == event
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"seq": "twelve"},
+            {"kind": 7},
+            {"user": None},
+            {"payload": "not-a-mapping"},
+        ],
+    )
+    def test_from_record_rejects_malformed(self, mutation):
+        record = make_event().with_sequence(0).to_record()
+        record.update(mutation)
+        with pytest.raises(EventLogError):
+            InteractionEvent.from_record(record)
+
+    def test_from_record_rejects_missing_field(self):
+        record = make_event().with_sequence(0).to_record()
+        del record["kind"]
+        with pytest.raises(EventLogError):
+            InteractionEvent.from_record(record)
+
+
+class TestWireFormat:
+    def test_encode_decode_roundtrip(self):
+        event = make_event().with_sequence(3)
+        line = encode_record(event)
+        assert line.endswith(b"\n")
+        assert decode_record(line) == event
+
+    def test_crc_detects_any_flipped_byte(self):
+        line = encode_record(make_event().with_sequence(3))
+        body = bytearray(line)
+        # Flip a byte inside the JSON payload (not the trailing newline).
+        body[10] ^= 0xFF
+        with pytest.raises(EventLogError):
+            decode_record(bytes(body))
+
+    def test_decode_rejects_truncated_line(self):
+        line = encode_record(make_event().with_sequence(3))
+        with pytest.raises(EventLogError):
+            decode_record(line[: len(line) // 2])
+
+    def test_decode_rejects_missing_crc(self):
+        record = make_event().with_sequence(0).to_record()
+        line = (json.dumps(record) + "\n").encode("utf-8")
+        with pytest.raises(EventLogError):
+            decode_record(line)
+
+    def test_encode_rejects_unserialisable_payload(self):
+        event = make_event(payload={"item_id": object()})
+        with pytest.raises(EventLogError):
+            encode_record(event.with_sequence(0))

@@ -1,0 +1,303 @@
+"""The write-ahead log: append, rotate, recover, compact."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EventLogError
+from repro.eventlog import EventLog, FileStorage, InteractionEvent
+
+
+def rating_event(user: str, item: str, value: float) -> InteractionEvent:
+    return InteractionEvent(
+        kind="rate",
+        user_id=user,
+        channel="rating",
+        payload={"item_id": item, "value": value, "previous_value": None},
+    )
+
+
+class SpyHandle:
+    """Delegating segment handle that counts syncs and can fail writes."""
+
+    def __init__(self, inner, storage):
+        self._inner = inner
+        self._storage = storage
+
+    def position(self):
+        return self._inner.position()
+
+    def write(self, data):
+        plan = self._storage.fail_plan
+        if plan:
+            mode = plan.pop(0)
+            if mode == "clean":
+                raise EventLogError("injected clean write failure")
+            if mode == "torn":
+                self._inner.write(data[: max(1, len(data) // 2)])
+                raise EventLogError("injected torn write")
+        return self._inner.write(data)
+
+    def sync(self):
+        self._storage.syncs += 1
+        return self._inner.sync()
+
+    def truncate(self, size):
+        return self._inner.truncate(size)
+
+    def close(self):
+        return self._inner.close()
+
+
+class SpyStorage(FileStorage):
+    """FileStorage wrapper with programmable write failures + sync count."""
+
+    def __init__(self):
+        self.syncs = 0
+        self.fail_plan: list[str] = []
+
+    def open_append(self, path):
+        return SpyHandle(super().open_append(path), self)
+
+
+class TestAppendAndRecover:
+    def test_sequences_are_monotonic_and_scan_ordered(self, tmp_path):
+        with EventLog(tmp_path) as log:
+            stamped = [
+                log.append(rating_event("alice", f"i{k}", 3.0))
+                for k in range(5)
+            ]
+            assert [e.sequence for e in stamped] == [0, 1, 2, 3, 4]
+            scan = log.scan()
+        assert [e.sequence for e in scan.events] == [0, 1, 2, 3, 4]
+        assert scan.corrupt_records == 0
+        assert scan.truncated_tail_records == 0
+
+    def test_reopen_continues_the_sequence(self, tmp_path):
+        with EventLog(tmp_path) as log:
+            log.append(rating_event("alice", "i1", 3.0))
+            log.append(rating_event("bob", "i2", 4.0))
+        with EventLog(tmp_path) as log:
+            assert log.next_sequence == 2
+            stamped = log.append(rating_event("carol", "i3", 5.0))
+            assert stamped.sequence == 2
+            assert len(log.scan().events) == 3
+
+    def test_append_many_is_one_batch(self, tmp_path):
+        with EventLog(tmp_path) as log:
+            stamped = log.append_many(
+                rating_event("alice", f"i{k}", 2.0) for k in range(4)
+            )
+            assert [e.sequence for e in stamped] == [0, 1, 2, 3]
+            assert len(log.scan().events) == 4
+
+    def test_closed_log_refuses_appends(self, tmp_path):
+        log = EventLog(tmp_path)
+        log.close()
+        log.close()  # idempotent
+        with pytest.raises(EventLogError):
+            log.append(rating_event("alice", "i1", 3.0))
+
+    def test_empty_log_scans_clean(self, tmp_path):
+        with EventLog(tmp_path) as log:
+            scan = log.scan()
+        assert scan.events == ()
+        assert scan.segments == 1  # the freshly opened active segment
+
+
+class TestRotation:
+    def test_rotates_at_segment_size(self, tmp_path):
+        with EventLog(tmp_path, max_segment_bytes=256) as log:
+            for k in range(10):
+                log.append(rating_event("alice", f"i{k}", 3.0))
+            paths = log.segment_paths()
+            assert len(paths) > 1
+            # Segment names carry the first sequence they hold.
+            assert paths[0].name == "segment-000000000000.jsonl"
+            assert len(log.scan().events) == 10
+
+    def test_reopen_after_rotation_continues(self, tmp_path):
+        with EventLog(tmp_path, max_segment_bytes=256) as log:
+            for k in range(10):
+                log.append(rating_event("alice", f"i{k}", 3.0))
+        with EventLog(tmp_path, max_segment_bytes=256) as log:
+            assert log.next_sequence == 10
+            assert len(log.scan().events) == 10
+
+
+class TestDamage:
+    def test_torn_tail_is_truncated_at_open(self, tmp_path):
+        with EventLog(tmp_path) as log:
+            for k in range(3):
+                log.append(rating_event("alice", f"i{k}", 3.0))
+            [segment] = log.segment_paths()
+        intact_size = segment.stat().st_size
+        with segment.open("ab") as fh:
+            fh.write(b'{"v": 1, "seq": 3, "chan')  # the crash mid-write
+        with EventLog(tmp_path) as log:
+            assert segment.stat().st_size == intact_size  # repaired
+            scan = log.scan()
+            assert len(scan.events) == 3
+            assert scan.truncated_tail_records == 0  # already cut off
+            # The torn event was never acknowledged: its sequence is
+            # reused by the next append.
+            assert log.append(rating_event("bob", "i9", 2.0)).sequence == 3
+
+    def test_bad_complete_line_after_last_valid_is_tail_too(self, tmp_path):
+        with EventLog(tmp_path) as log:
+            log.append(rating_event("alice", "i1", 3.0))
+            [segment] = log.segment_paths()
+        with segment.open("ab") as fh:
+            fh.write(b"garbage line\n")
+        with EventLog(tmp_path) as log:
+            scan = log.scan()
+        assert len(scan.events) == 1
+        assert scan.corrupt_records == 0
+
+    def test_mid_stream_corruption_skips_and_counts(self, tmp_path):
+        with EventLog(tmp_path) as log:
+            for k in range(3):
+                log.append(rating_event("alice", f"i{k}", 3.0))
+            [segment] = log.segment_paths()
+        lines = segment.read_bytes().splitlines(keepends=True)
+        lines[1] = b"x" + lines[1][1:]  # damage the middle record
+        segment.write_bytes(b"".join(lines))
+        with EventLog(tmp_path) as log:
+            scan = log.scan()
+            assert [e.payload["item_id"] for e in scan.events] == [
+                "i0", "i2",
+            ]
+            assert scan.corrupt_records == 1
+            # Recovery still learnt the sequence from the last record.
+            assert log.next_sequence == 3
+
+
+class TestRollback:
+    def test_failed_write_leaves_no_trace(self, tmp_path):
+        storage = SpyStorage()
+        with EventLog(tmp_path, storage=storage) as log:
+            log.append(rating_event("alice", "i1", 3.0))
+            storage.fail_plan = ["torn"]
+            with pytest.raises(EventLogError):
+                log.append(rating_event("bob", "i2", 4.0))
+            # The aborted event's sequence is reused; the segment holds
+            # exactly the acknowledged records.
+            stamped = log.append(rating_event("carol", "i3", 5.0))
+            assert stamped.sequence == 1
+            scan = log.scan()
+            assert [e.user_id for e in scan.events] == ["alice", "carol"]
+            assert scan.corrupt_records == 0
+            assert scan.truncated_tail_records == 0
+
+    def test_clean_write_failure_also_rolls_back(self, tmp_path):
+        storage = SpyStorage()
+        with EventLog(tmp_path, storage=storage) as log:
+            storage.fail_plan = ["clean"]
+            with pytest.raises(EventLogError):
+                log.append(rating_event("alice", "i1", 3.0))
+            assert log.append(rating_event("bob", "i2", 4.0)).sequence == 0
+            assert len(log.scan().events) == 1
+
+
+class TestFsyncPolicies:
+    def test_always_syncs_every_append(self, tmp_path):
+        storage = SpyStorage()
+        with EventLog(tmp_path, storage=storage) as log:
+            for k in range(3):
+                log.append(rating_event("alice", f"i{k}", 3.0))
+        assert storage.syncs == 3
+
+    def test_interval_syncs_every_nth(self, tmp_path):
+        storage = SpyStorage()
+        with EventLog(
+            tmp_path,
+            storage=storage,
+            fsync_policy="interval",
+            fsync_every=2,
+        ) as log:
+            for k in range(4):
+                log.append(rating_event("alice", f"i{k}", 3.0))
+            synced_during_appends = storage.syncs
+        assert synced_during_appends == 2
+
+    def test_never_still_syncs_on_close(self, tmp_path):
+        storage = SpyStorage()
+        log = EventLog(tmp_path, storage=storage, fsync_policy="never")
+        log.append(rating_event("alice", "i1", 3.0))
+        assert storage.syncs == 0
+        log.close()
+        assert storage.syncs == 0  # "never" means never, even at close
+
+    def test_unknown_policy_rejected(self, tmp_path):
+        with pytest.raises(EventLogError):
+            EventLog(tmp_path, fsync_policy="sometimes")
+
+
+class TestCompaction:
+    def test_superseded_ratings_fold_to_final_value(self, tmp_path):
+        with EventLog(tmp_path, max_segment_bytes=256) as log:
+            log.append(rating_event("alice", "i1", 2.0))
+            for k in range(6):
+                log.append(rating_event("alice", "i1", float(k)))
+            log.append(rating_event("bob", "i2", 4.0))
+            report = log.compact()
+            assert report.events_before == 8
+            assert report.events_after == 2
+            assert report.bytes_after < report.bytes_before
+            assert len(log.segment_paths()) == 1
+            scan = log.scan()
+            values = {
+                (e.user_id, e.payload["item_id"]): e.payload["value"]
+                for e in scan.events
+            }
+            assert values == {("alice", "i1"): 5.0, ("bob", "i2"): 4.0}
+
+    def test_undo_to_nothing_folds_away(self, tmp_path):
+        with EventLog(tmp_path) as log:
+            log.append(rating_event("alice", "i1", 3.0))
+            log.append(
+                InteractionEvent(
+                    kind="undo",
+                    user_id="alice",
+                    channel="rating",
+                    payload={
+                        "item_id": "i1",
+                        "value": 3.0,
+                        "previous_value": None,
+                    },
+                )
+            )
+            log.compact()
+            assert log.scan().events == ()
+
+    def test_sequence_counter_survives_compaction(self, tmp_path):
+        with EventLog(tmp_path) as log:
+            for k in range(6):
+                log.append(rating_event("alice", "i1", float(k)))
+            log.compact()
+            # 6 events folded to 1, but acknowledged sequences must
+            # never be reissued.
+            assert log.append(rating_event("bob", "i2", 4.0)).sequence == 6
+
+    def test_volunteered_beats_inferred_after_compaction(self, tmp_path):
+        def profile_event(kind: str, payload: dict) -> InteractionEvent:
+            return InteractionEvent(
+                kind=kind, user_id="alice", channel="profile",
+                payload=payload,
+            )
+
+        with EventLog(tmp_path) as log:
+            log.append(profile_event(
+                "profile-infer",
+                {"name": "genre", "value": "scifi",
+                 "because": "watched dune", "weight": 1.0},
+            ))
+            log.append(profile_event(
+                "profile-volunteer",
+                {"name": "genre", "value": "romance", "weight": 1.0},
+            ))
+            log.compact()
+            scan = log.scan()
+        [event] = scan.events
+        assert event.kind == "profile-volunteer"
+        assert event.payload["value"] == "romance"

@@ -1,0 +1,207 @@
+"""Recovery: replay rebuilds exactly the acknowledged state."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import ShardedTTLCache
+from repro.domains import make_movies
+from repro.errors import ReplayError
+from repro.eventlog import (
+    EventLog,
+    InteractionEvent,
+    replay,
+    replay_events,
+)
+from repro.interaction import RatingChannel, ScrutableProfile
+from repro.recsys import ItemBasedCF, UserBasedCF
+
+
+def ratings_state(dataset) -> dict[tuple[str, str], float]:
+    return {
+        (r.user_id, r.item_id): r.value for r in dataset.iter_ratings()
+    }
+
+
+def topk(model, user: str, n: int = 5) -> list[tuple[str, float]]:
+    return [
+        (r.item_id, round(r.score, 12)) for r in model.recommend(user, n=n)
+    ]
+
+
+class TestReplayFromDisk:
+    def test_rebuilds_dataset_and_counts(self, tmp_path):
+        world = make_movies(n_users=10, n_items=20, seed=5, density=0.3)
+        baseline = ratings_state(world.dataset)
+        with EventLog(tmp_path) as log:
+            channel = RatingChannel(world.dataset, event_log=log)
+            channel.rate("user_000", "movie_000", 5.0)
+            channel.rate("user_001", "movie_001", 4.0)
+            channel.rate("user_000", "movie_000", 2.0)  # re-rate
+        after = ratings_state(world.dataset)
+        assert after != baseline
+
+        fresh = make_movies(n_users=10, n_items=20, seed=5, density=0.3)
+        with EventLog(tmp_path) as log:
+            report = replay(log, fresh.dataset)
+        assert ratings_state(fresh.dataset) == after
+        assert report.events_seen == 3
+        assert report.events_applied == 3
+        assert report.events_skipped == 0
+        assert not report.degraded
+        assert set(report.users) == {"user_000", "user_001"}
+
+    def test_inapplicable_events_skip_and_count(self, tmp_path):
+        world = make_movies(n_users=5, n_items=10, seed=5, density=0.3)
+        with EventLog(tmp_path) as log:
+            channel = RatingChannel(world.dataset, event_log=log)
+            channel.rate("user_000", "movie_000", 5.0)
+            # Forge an event for an item the replay world never had.
+            log.append(
+                InteractionEvent(
+                    kind="rate",
+                    user_id="user_000",
+                    channel="rating",
+                    payload={
+                        "item_id": "movie_999",
+                        "value": 4.0,
+                        "previous_value": None,
+                    },
+                )
+            )
+        fresh = make_movies(n_users=5, n_items=10, seed=5, density=0.3)
+        with EventLog(tmp_path) as log:
+            report = replay(log, fresh.dataset)
+        assert report.events_applied == 1
+        assert report.events_skipped == 1
+
+    def test_profiles_rebuild_with_scrutability_rules(self, tmp_path):
+        with EventLog(tmp_path) as log:
+            profile = ScrutableProfile("traveller", event_log=log)
+            profile.infer("climate", "cold", because="searched ski trips")
+            profile.volunteer("climate", "hot")
+            profile.volunteer("budget", "low")
+            profile.remove("budget")
+        profiles: dict[str, ScrutableProfile] = {}
+        fresh = make_movies(n_users=3, n_items=5, seed=1, density=0.3)
+        with EventLog(tmp_path) as log:
+            report = replay(log, fresh.dataset, profiles=profiles)
+        rebuilt = profiles["traveller"]
+        climate = rebuilt.get("climate")
+        assert climate is not None
+        assert climate.value == "hot"
+        assert climate.provenance == "volunteered"
+        assert rebuilt.get("budget") is None
+        assert report.profile_edits_applied == 4
+
+    def test_wired_profile_is_rejected_before_any_mutation(self, tmp_path):
+        world = make_movies(n_users=3, n_items=5, seed=1, density=0.3)
+        wired = ScrutableProfile("alice", event_log=object())
+        with EventLog(tmp_path) as log:
+            with pytest.raises(ReplayError):
+                replay(log, world.dataset, profiles={"alice": wired})
+
+    def test_touched_users_lose_their_cache_entries(self, tmp_path):
+        world = make_movies(n_users=5, n_items=10, seed=5, density=0.3)
+        with EventLog(tmp_path) as log:
+            channel = RatingChannel(world.dataset, event_log=log)
+            channel.rate("user_000", "movie_000", 5.0)
+        cache = ShardedTTLCache(name="t", capacity=16, ttl_seconds=60.0)
+        cache.put("user_000", ("serve", 3), ("stale",))
+        cache.put("user_004", ("serve", 3), ("untouched",))
+        fresh = make_movies(n_users=5, n_items=10, seed=5, density=0.3)
+        with EventLog(tmp_path) as log:
+            replay(log, fresh.dataset, caches=[cache])
+        assert cache.lookup("user_000", ("serve", 3)) is None
+        assert cache.lookup("user_004", ("serve", 3)) is not None
+
+
+class TestIncrementalAbsorb:
+    @pytest.mark.parametrize("model_cls", [UserBasedCF, ItemBasedCF])
+    def test_absorb_equals_refit(self, model_cls):
+        world = make_movies(n_users=20, n_items=40, seed=3, density=0.3)
+        model = model_cls().fit(world.dataset)
+        # Warm the similarity caches so absorb actually has state to fix.
+        for user in list(world.dataset.users)[:5]:
+            model.recommend(user, n=5)
+        channel = RatingChannel(world.dataset)
+        channel.subscribe(model.absorb)
+        channel.rate("user_000", "movie_010", 5.0)
+        channel.rate("user_003", "movie_011", 1.0)
+        channel.rate("user_000", "movie_010", 2.0)  # re-rate
+        fresh = model_cls().fit(world.dataset)
+        for user in list(world.dataset.users)[:5]:
+            assert topk(model, user) == topk(fresh, user)
+
+    @pytest.mark.parametrize("model_cls", [UserBasedCF, ItemBasedCF])
+    def test_unfitted_model_ignores_absorb(self, model_cls):
+        event = InteractionEvent(
+            kind="rate",
+            user_id="alice",
+            channel="rating",
+            payload={"item_id": "i1", "value": 3.0, "previous_value": None},
+        )
+        assert model_cls().absorb(event) is False
+
+    def test_substrates_absorb_during_replay(self, tmp_path):
+        world = make_movies(n_users=15, n_items=30, seed=9, density=0.3)
+        with EventLog(tmp_path) as log:
+            channel = RatingChannel(world.dataset, event_log=log)
+            channel.rate("user_000", "movie_005", 5.0)
+            channel.rate("user_002", "movie_006", 1.0)
+        expected = UserBasedCF().fit(world.dataset)
+
+        fresh = make_movies(n_users=15, n_items=30, seed=9, density=0.3)
+        recovered = UserBasedCF().fit(fresh.dataset)
+        for user in list(fresh.dataset.users)[:3]:
+            recovered.recommend(user, n=5)  # warm pre-replay state
+        with EventLog(tmp_path) as log:
+            replay(log, fresh.dataset, substrates=[recovered])
+        for user in list(fresh.dataset.users)[:5]:
+            assert topk(recovered, user) == topk(expected, user)
+
+
+class TestReplayDeterminism:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(0, 3),
+                st.integers(0, 5),
+                st.one_of(st.none(), st.integers(1, 5)),
+            ),
+            max_size=25,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_replaying_the_journal_reproduces_live_state(self, ops):
+        """For any op sequence: journal → replay ≡ the live mutations.
+
+        ``None`` as the value means "undo the last rating" — the
+        hardest case, because replay must restore the *previous* value
+        (or remove the rating entirely) from the journalled payload.
+        """
+        base = make_movies(n_users=4, n_items=6, seed=5, density=0.3)
+        live = base.dataset.copy()
+        channel = RatingChannel(live)
+        captured: list[InteractionEvent] = []
+        channel.subscribe(captured.append)
+        users = list(live.users)
+        items = list(live.items)
+        for user_index, item_index, value in ops:
+            if value is None:
+                channel.undo_last()
+            else:
+                channel.rate(
+                    users[user_index], items[item_index], float(value)
+                )
+        replayed_once = base.dataset.copy()
+        replay_events(captured, replayed_once)
+        replayed_twice = base.dataset.copy()
+        replay_events(captured, replayed_twice)
+        assert (
+            ratings_state(replayed_once)
+            == ratings_state(replayed_twice)
+            == ratings_state(live)
+        )

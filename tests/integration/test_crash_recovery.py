@@ -1,0 +1,227 @@
+"""Kill-mid-write crash recovery, end to end.
+
+The tentpole invariant: at a 20% disk-fault rate, every *acknowledged*
+interaction survives a crash, every *failed* one leaves no trace in
+memory either, and a recovered process produces byte-identical
+recommendations *and explanations* to the pre-crash process.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import ExplainedRecommender, NeighborHistogramExplainer
+from repro.domains import make_movies
+from repro.errors import EventLogError, RejectedError
+from repro.eventlog import EventLog, replay
+from repro.interaction import RatingChannel, ScrutableProfile
+from repro.recsys import UserBasedCF
+from repro.resilience import ChaosStorage, DiskFaultPlan
+from repro.serving import RecommendationServer
+
+
+def world():
+    return make_movies(n_users=25, n_items=50, seed=11, density=0.3)
+
+
+def explained_state(pipeline, users, n=3):
+    """The full user-visible answer: items, scores, rendered prose."""
+    state = {}
+    for user in users:
+        state[user] = [
+            (
+                item.item_id,
+                round(item.score, 12),
+                item.explanation.render(include_details=True),
+            )
+            for item in pipeline.recommend(user, n=n)
+        ]
+    return state
+
+
+class TestKillMidWrite:
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_recovered_process_is_byte_identical(self, tmp_path, seed):
+        live = world()
+        plan = DiskFaultPlan(
+            seed=seed,
+            write_failure_rate=0.2,
+            partial_share=0.5,
+            fsync_failure_rate=0.1,
+        )
+        log = EventLog(
+            tmp_path, storage=ChaosStorage(plan), max_segment_bytes=800
+        )
+        channel = RatingChannel(live.dataset, event_log=log)
+        profile = ScrutableProfile("user_000", event_log=log)
+        users = list(live.dataset.users)
+        items = list(live.dataset.items)
+        acked = failed = 0
+        for k in range(50):
+            try:
+                channel.rate(
+                    users[k % len(users)],
+                    items[(k * 7) % len(items)],
+                    float(1 + k % 5),
+                )
+                acked += 1
+            except EventLogError:
+                failed += 1
+        for k, (name, value) in enumerate(
+            [("climate", "hot"), ("budget", "low"), ("pace", "slow")]
+        ):
+            try:
+                profile.volunteer(name, value)
+                acked += 1
+            except EventLogError:
+                failed += 1
+        assert failed > 0  # the chaos plan actually fired mid-run
+        log.close()  # the crash: memory is gone, only the disk remains
+
+        pre_crash = ExplainedRecommender(
+            UserBasedCF(), NeighborHistogramExplainer()
+        ).fit(live.dataset)
+        probes = users[:6]
+        expected = explained_state(pre_crash, probes)
+        expected_profile = {
+            a.name: (a.value, a.provenance) for a in profile.attributes()
+        }
+
+        recovered_world = world()
+        profiles: dict[str, ScrutableProfile] = {}
+        with EventLog(tmp_path) as recovered_log:  # the disk, repaired
+            report = replay(
+                recovered_log, recovered_world.dataset, profiles=profiles
+            )
+        assert report.events_applied == acked
+        post_crash = ExplainedRecommender(
+            UserBasedCF(), NeighborHistogramExplainer()
+        ).fit(recovered_world.dataset)
+        assert explained_state(post_crash, probes) == expected
+        rebuilt = profiles.get("user_000")
+        rebuilt_attributes = (
+            {}
+            if rebuilt is None
+            else {
+                a.name: (a.value, a.provenance) for a in rebuilt.attributes()
+            }
+        )
+        assert rebuilt_attributes == expected_profile
+
+    def test_failed_journal_aborts_the_rating(self, tmp_path):
+        live = world()
+        plan = DiskFaultPlan(
+            seed=0, write_failure_rate=1.0, partial_share=0.5
+        )
+        log = EventLog(tmp_path, storage=ChaosStorage(plan))
+        notified = []
+        channel = RatingChannel(
+            live.dataset, on_change=[notified.append], event_log=log
+        )
+        before = live.dataset.rating("user_000", "movie_000")
+        with pytest.raises(EventLogError):
+            channel.rate("user_000", "movie_000", 5.0)
+        # No mutation, no events, no notification: the write never
+        # happened as far as the process is concerned.
+        assert live.dataset.rating("user_000", "movie_000") == before
+        assert channel.events == []
+        assert notified == []
+        log.close()
+
+    def test_failed_journal_aborts_the_profile_edit(self, tmp_path):
+        plan = DiskFaultPlan(
+            seed=0, write_failure_rate=1.0, partial_share=0.0
+        )
+        log = EventLog(tmp_path, storage=ChaosStorage(plan))
+        profile = ScrutableProfile("alice", event_log=log)
+        with pytest.raises(EventLogError):
+            profile.volunteer("climate", "hot")
+        assert profile.get("climate") is None
+        assert profile.edits == []
+        log.close()
+
+
+class TestRecoveryGatesReadiness:
+    def test_server_rejects_until_replay_completes(self, tmp_path):
+        seeded = world()
+        with EventLog(tmp_path) as log:
+            channel = RatingChannel(seeded.dataset, event_log=log)
+            channel.rate("user_000", "movie_001", 5.0)
+            channel.rate("user_001", "movie_002", 4.0)
+
+        fresh = world()
+        pipeline = ExplainedRecommender(
+            UserBasedCF(), NeighborHistogramExplainer()
+        ).fit(fresh.dataset)
+        gate = threading.Event()
+        recovered_log = EventLog(tmp_path)
+
+        def recovery():
+            gate.wait(5.0)
+            return replay(recovered_log, fresh.dataset)
+
+        server = RecommendationServer(
+            pipeline, workers=1, recovery=recovery
+        )
+        try:
+            health = server.health()
+            assert (health.live, health.ready, health.status) == (
+                True, False, "recovering",
+            )
+            with pytest.raises(RejectedError) as rejection:
+                server.serve("user_000")
+            assert rejection.value.reason == "recovering"
+
+            gate.set()
+            assert server.await_recovery(5.0)
+            assert server.ready()
+            assert server.health().status == "ok"
+            report = server.recovery_report
+            assert report is not None and report.events_applied == 2
+            result = server.serve("user_000")
+            assert result.outcome == "served"
+        finally:
+            server.close()
+            recovered_log.close()
+
+    def test_recovered_answers_match_the_pre_crash_process(self, tmp_path):
+        seeded = world()
+        with EventLog(tmp_path) as log:
+            channel = RatingChannel(seeded.dataset, event_log=log)
+            for k in range(10):
+                channel.rate(f"user_{k:03d}", "movie_003", float(1 + k % 5))
+        expected = explained_state(
+            ExplainedRecommender(
+                UserBasedCF(), NeighborHistogramExplainer()
+            ).fit(seeded.dataset),
+            ["user_000", "user_001"],
+        )
+
+        fresh = world()
+        pipeline = ExplainedRecommender(
+            UserBasedCF(), NeighborHistogramExplainer()
+        ).fit(fresh.dataset)
+        recovered_log = EventLog(tmp_path)
+        server = RecommendationServer(
+            pipeline,
+            workers=1,
+            recovery=lambda: replay(recovered_log, fresh.dataset),
+        )
+        try:
+            assert server.await_recovery(10.0)
+            for user, want in expected.items():
+                result = server.serve(user, n=3)
+                got = [
+                    (
+                        item.item_id,
+                        round(item.score, 12),
+                        item.explanation.render(include_details=True),
+                    )
+                    for item in result.recommendations
+                ]
+                assert got == want
+        finally:
+            server.close()
+            recovered_log.close()

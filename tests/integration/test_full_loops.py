@@ -152,7 +152,10 @@ class TestRatingCorrectionLoop:
         dataset = world.dataset
         recommender = ContentBasedRecommender().fit(dataset)
         channel = RatingChannel(
-            dataset, on_change=[recommender.invalidate_profile]
+            dataset,
+            on_change=[
+                lambda event: recommender.invalidate_profile(event.user_id)
+            ],
         )
         user_id = "user_002"
         top = recommender.recommend(user_id, n=1)[0]
@@ -176,7 +179,10 @@ class TestRatingCorrectionLoop:
         dataset = world.dataset
         recommender = ContentBasedRecommender().fit(dataset)
         channel = RatingChannel(
-            dataset, on_change=[recommender.invalidate_profile]
+            dataset,
+            on_change=[
+                lambda event: recommender.invalidate_profile(event.user_id)
+            ],
         )
         user_id = "user_003"
         item_id = dataset.unrated_items(user_id)[0]

@@ -241,7 +241,9 @@ class TestRatingChannel:
         notified = []
         channel = RatingChannel(tiny_dataset, on_change=[notified.append])
         channel.rate("alice", "i3", 4.0)
-        assert notified == ["alice"]
+        assert [event.user_id for event in notified] == ["alice"]
+        assert notified[0].kind == "rate"
+        assert notified[0].item_id == "i3"
 
     def test_rerating_deltas_filter_by_user(self, tiny_dataset):
         channel = RatingChannel(tiny_dataset)

@@ -1,0 +1,172 @@
+"""Disk-fault injection for the event-log storage layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EventLogError
+from repro.eventlog import EventLog, InteractionEvent
+from repro.resilience import ChaosStorage, DiskFaultPlan
+
+
+def rating_event(user: str, item: str, value: float) -> InteractionEvent:
+    return InteractionEvent(
+        kind="rate",
+        user_id=user,
+        channel="rating",
+        payload={"item_id": item, "value": value, "previous_value": None},
+    )
+
+
+class TestDiskFaultPlan:
+    def test_same_seed_same_fault_stream(self):
+        plan_a = DiskFaultPlan(seed=42)
+        plan_b = DiskFaultPlan(seed=42)
+        rolls_a = [plan_a.roll_write(100) for _ in range(50)]
+        rolls_b = [plan_b.roll_write(100) for _ in range(50)]
+        assert rolls_a == rolls_b
+        assert rolls_a != [DiskFaultPlan(seed=43).roll_write(100)
+                           for _ in range(50)]
+
+    def test_reset_replays_the_stream(self):
+        plan = DiskFaultPlan(seed=7, write_failure_rate=0.5)
+        first = [plan.roll_write(64) for _ in range(20)]
+        plan.reset()
+        assert [plan.roll_write(64) for _ in range(20)] == first
+
+    def test_torn_prefix_is_within_the_write(self):
+        plan = DiskFaultPlan(
+            seed=3, write_failure_rate=1.0, partial_share=1.0
+        )
+        for _ in range(30):
+            torn = plan.roll_write(80)
+            assert torn is not None and 1 <= torn <= 80
+
+    def test_zero_rates_never_fault(self):
+        plan = DiskFaultPlan(
+            write_failure_rate=0.0,
+            fsync_failure_rate=0.0,
+            read_corruption_rate=0.0,
+            seed=1,
+        )
+        assert all(plan.roll_write(32) is None for _ in range(100))
+        assert not any(plan.roll_fsync() for _ in range(100))
+        assert all(plan.roll_read(32) is None for _ in range(100))
+
+    def test_rates_are_validated(self):
+        with pytest.raises(ValueError):
+            DiskFaultPlan(write_failure_rate=1.5)
+
+
+class TestChaosStorage:
+    def test_clean_failure_writes_nothing(self, tmp_path):
+        plan = DiskFaultPlan(
+            seed=0, write_failure_rate=1.0, partial_share=0.0
+        )
+        storage = ChaosStorage(plan)
+        handle = storage.open_append(tmp_path / "seg.jsonl")
+        try:
+            with pytest.raises(EventLogError):
+                handle.write(b"hello")
+            assert handle.position() == 0
+        finally:
+            handle.close()
+        assert (tmp_path / "seg.jsonl").read_bytes() == b""
+
+    def test_torn_failure_leaves_a_prefix(self, tmp_path):
+        plan = DiskFaultPlan(
+            seed=0, write_failure_rate=1.0, partial_share=1.0
+        )
+        storage = ChaosStorage(plan)
+        handle = storage.open_append(tmp_path / "seg.jsonl")
+        try:
+            with pytest.raises(EventLogError):
+                handle.write(b"hello world")
+            torn = handle.position()
+        finally:
+            handle.close()
+        assert 1 <= torn <= 11
+        assert (tmp_path / "seg.jsonl").read_bytes() == b"hello world"[:torn]
+
+    def test_read_corruption_flips_one_byte(self, tmp_path):
+        path = tmp_path / "seg.jsonl"
+        path.write_bytes(b"abcdef")
+        storage = ChaosStorage(
+            DiskFaultPlan(seed=5, read_corruption_rate=1.0)
+        )
+        corrupted = storage.read_bytes(path)
+        assert corrupted != b"abcdef"
+        assert len(corrupted) == 6
+        assert sum(a != b for a, b in zip(corrupted, b"abcdef")) == 1
+
+    def test_repair_primitives_stay_reliable(self, tmp_path):
+        storage = ChaosStorage(
+            DiskFaultPlan(seed=0, write_failure_rate=1.0)
+        )
+        path = tmp_path / "segment-000000000000.jsonl"
+        path.write_bytes(b"0123456789")
+        storage.truncate_path(path, 4)
+        assert path.read_bytes() == b"0123"
+        assert storage.list_segments(tmp_path, "segment-*.jsonl") == [path]
+        storage.remove(path)
+        assert not path.exists()
+
+
+class TestZeroAcknowledgedLoss:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_every_acknowledged_event_survives_reopen(self, tmp_path, seed):
+        """The durability invariant at a 20% write-fault rate.
+
+        Whatever the fault plan does, the set of *acknowledged* appends
+        (those that returned instead of raising) must be exactly what a
+        recovery scan of the directory returns, in order.
+        """
+        plan = DiskFaultPlan(
+            seed=seed,
+            write_failure_rate=0.2,
+            partial_share=0.5,
+            fsync_failure_rate=0.1,
+        )
+        log = EventLog(
+            tmp_path,
+            storage=ChaosStorage(plan),
+            max_segment_bytes=600,
+        )
+        acknowledged = []
+        failures = 0
+        for k in range(60):
+            event = rating_event(f"user_{k % 7}", f"item_{k}", 3.0)
+            try:
+                acknowledged.append(log.append(event))
+            except EventLogError:
+                failures += 1
+        log.close()
+        assert failures > 0  # the plan actually injected faults
+
+        recovered = EventLog(tmp_path)  # clean storage: the repaired disk
+        try:
+            scan = recovered.scan()
+        finally:
+            recovered.close()
+        assert [
+            (e.sequence, e.user_id, e.payload["item_id"]) for e in scan.events
+        ] == [
+            (e.sequence, e.user_id, e.payload["item_id"])
+            for e in acknowledged
+        ]
+
+    def test_fsync_failure_is_not_an_acknowledgement(self, tmp_path):
+        plan = DiskFaultPlan(
+            seed=9,
+            write_failure_rate=0.0,
+            fsync_failure_rate=1.0,
+        )
+        log = EventLog(tmp_path, storage=ChaosStorage(plan))
+        with pytest.raises(EventLogError):
+            log.append(rating_event("alice", "i1", 3.0))
+        log.close()
+        recovered = EventLog(tmp_path)
+        try:
+            assert recovered.scan().events == ()
+        finally:
+            recovered.close()

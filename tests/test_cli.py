@@ -396,3 +396,88 @@ class TestTraceFlag:
         sink = obs.InMemorySink()
         obs.configure(sink=sink)
         assert sink.events == []
+
+
+class TestReplayCommand:
+    def seed_log(self, log_dir):
+        from repro.domains import make_movies
+        from repro.eventlog import EventLog
+        from repro.interaction import RatingChannel
+
+        world = make_movies(n_users=40, n_items=80, seed=7, density=0.25)
+        with EventLog(log_dir) as log:
+            channel = RatingChannel(world.dataset, event_log=log)
+            channel.rate("user_000", "movie_001", 5.0)
+            channel.rate("user_001", "movie_002", 4.0)
+
+    def test_parser_defaults(self, tmp_path):
+        arguments = build_parser().parse_args(
+            ["replay", "--log-dir", str(tmp_path)]
+        )
+        assert arguments.command == "replay"
+        assert arguments.format == "text"
+        assert arguments.seed == 7
+        assert arguments.strict is False
+        assert arguments.selfcheck is False
+        assert arguments.top_k == 5
+        assert arguments.probes == 5
+
+    def test_log_dir_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay"])
+
+    def test_replay_reports_applied_events(self, tmp_path, capsys):
+        self.seed_log(tmp_path)
+        assert main(["replay", "--log-dir", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "replayed       2/2 event(s)" in output
+        assert "damage         none" in output
+
+    def test_replay_json_format_parses(self, tmp_path, capsys):
+        self.seed_log(tmp_path)
+        assert main(
+            ["replay", "--log-dir", str(tmp_path), "--format", "json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["events"]["applied"] == 2
+        assert report["damage"]["degraded"] is False
+
+    def test_selfcheck_smoke(self, tmp_path, capsys):
+        assert main(
+            ["replay", "--log-dir", str(tmp_path), "--selfcheck"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "selfcheck ok: 60 events replayed" in output
+
+    def test_selfcheck_refuses_a_populated_log(self, tmp_path, capsys):
+        self.seed_log(tmp_path)
+        assert main(
+            ["replay", "--log-dir", str(tmp_path), "--selfcheck"]
+        ) == 2
+        assert "already holds events" in capsys.readouterr().err
+
+
+class TestServeWithEventLog:
+    def test_parser_accepts_log_flags(self, tmp_path):
+        arguments = build_parser().parse_args(
+            ["serve", "--log-dir", str(tmp_path), "--log-writes", "5"]
+        )
+        assert arguments.log_dir == str(tmp_path)
+        assert arguments.log_writes == 5
+
+    def test_log_dir_defaults_off(self):
+        assert build_parser().parse_args(["serve"]).log_dir is None
+
+    def test_serve_journals_and_recovers_across_restarts(
+        self, tmp_path, capsys
+    ):
+        base = ["serve", "--requests", "6", "--clients", "2", "--workers",
+                "2", "--log-dir", str(tmp_path), "--log-writes", "5"]
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        assert "eventlog       replayed=0 appended=5" in first
+        obs.reset()
+        assert main(base) == 0  # the restart: recovery precedes traffic
+        second = capsys.readouterr().out
+        assert "eventlog       replayed=5 appended=5" in second
+        assert "next_seq=10" in second

@@ -12,12 +12,14 @@ from repro.errors import (
     DeadlineExceededError,
     DialogError,
     EvaluationError,
+    EventLogError,
     InjectedFaultError,
     NotFittedError,
     ObservabilityError,
     PredictionImpossibleError,
     QualityError,
     RejectedError,
+    ReplayError,
     ReproError,
     RetryExhaustedError,
     ServerClosedError,
@@ -35,6 +37,8 @@ ALL_ERRORS = (
     ConstraintError,
     DialogError,
     EvaluationError,
+    EventLogError,
+    ReplayError,
     ObservabilityError,
     RetryExhaustedError,
     CircuitOpenError,
@@ -62,6 +66,12 @@ class TestHierarchy:
         assert issubclass(RejectedError, ServingError)
         assert issubclass(ServerClosedError, ServingError)
 
+    def test_replay_error_nests_under_event_log_error(self):
+        # A replay failure is a durability failure: one except clause
+        # around recovery catches both.
+        assert issubclass(ReplayError, EventLogError)
+        assert not issubclass(EventLogError, DataError)
+
     def test_single_except_clause_catches_everything(self):
         caught = []
         for error in (
@@ -72,6 +82,8 @@ class TestHierarchy:
             ConstraintError("contradiction"),
             DialogError("bad transition"),
             EvaluationError("bad study"),
+            EventLogError("torn segment write"),
+            ReplayError("profile still wired to a log"),
             ObservabilityError("duplicate metric"),
             RetryExhaustedError("predict", attempts=3),
             CircuitOpenError("UserBasedCF", open_until=12.5),
@@ -86,7 +98,7 @@ class TestHierarchy:
                 raise error
             except ReproError as exc:
                 caught.append(exc)
-        assert len(caught) == 16
+        assert len(caught) == 18
 
     def test_base_error_is_not_a_builtin_alias(self):
         assert not issubclass(ReproError, (ValueError, RuntimeError))
