@@ -74,6 +74,15 @@ The JSON schema (``repro.obs.bench/v2``)::
         "compaction": {"events_before": ..., "events_after": ...,
                        "bytes_before": ..., "bytes_after": ...}
       },
+      "sharding": {
+        "requests": ..., "clients": ...,
+        "sweep": [
+          {"shards": 1, "throughput_rps": ..., "p50_ms": ...,
+           "p99_ms": ..., "shed_rate": ..., "scaling_efficiency": ...},
+          ...
+        ],
+        "failover": {"mttr_s": ..., "rejects_during_recovery": ...}
+      },
       "trace_events": 123
     }
 """
@@ -538,6 +547,135 @@ def bench_eventlog(n_users: int, n_items: int, quick: bool) -> dict:
     }
 
 
+def bench_sharding(quick: bool) -> dict:
+    """Shard fleet scaling efficiency and kill -9 failover MTTR.
+
+    Two sections:
+
+    * **sweep** — the same closed-loop traffic against 1..N shard
+      fleets (real worker processes): throughput, p50/p99, and the
+      scaling efficiency ``throughput(N) / (N * throughput(1))``.
+      Efficiency below 1.0 is the pipe/dispatch overhead the
+      single-process server never pays.
+    * **failover** — kill -9 one worker of a warm two-shard fleet and
+      measure mean-time-to-recovery: kill → first successful serve on
+      the restarted shard, plus how many requests were rejected (with
+      retry-after hints) instead of hanging in between.
+    """
+    import os
+    import signal
+    import tempfile
+
+    from repro.errors import RejectedError
+    from repro.serving import ShardedServer, run_traffic
+
+    shard_counts = (1, 2) if quick else (1, 2, 4)
+    requests = 80 if quick else 240
+    clients = 4
+    user_ids = [f"user_{i:03d}" for i in range(40)]
+
+    sweep = []
+    base_rps: float | None = None
+    for shards in shard_counts:
+        with tempfile.TemporaryDirectory() as tmp:
+            fleet = ShardedServer(
+                log_root=tmp, shards=shards, shard_workers=2
+            )
+            try:
+                if not fleet.await_ready(timeout=120.0):
+                    raise RuntimeError(
+                        f"{shards}-shard fleet never became ready"
+                    )
+                report = run_traffic(
+                    fleet,
+                    user_ids,
+                    requests=requests,
+                    clients=clients,
+                    n=3,
+                    seed=0,
+                )
+            finally:
+                fleet.close()
+        if base_rps is None:
+            base_rps = report.throughput_rps
+        efficiency = (
+            report.throughput_rps / (shards * base_rps)
+            if base_rps
+            else 0.0
+        )
+        sweep.append(
+            {
+                "shards": shards,
+                "throughput_rps": round(report.throughput_rps, 1),
+                "p50_ms": round(report.p50_s * 1000, 2),
+                "p99_ms": round(report.p99_s * 1000, 2),
+                "shed_rate": round(report.shed_rate, 4),
+                "scaling_efficiency": round(efficiency, 3),
+            }
+        )
+        print(
+            f"  shards={shards}  {report.throughput_rps:>8.1f} rps  "
+            f"p50 {report.p50_s * 1000:6.2f} ms  "
+            f"p99 {report.p99_s * 1000:6.2f} ms  "
+            f"eff {efficiency:0.2f}"
+        )
+
+    failover: dict[str, float | int] = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        fleet = ShardedServer(
+            log_root=tmp,
+            shards=2,
+            shard_workers=2,
+            hang_timeout=0.5,
+            restart_backoff=0.05,
+        )
+        try:
+            if not fleet.await_ready(timeout=120.0):
+                raise RuntimeError("failover fleet never became ready")
+            victim = 0
+            probe = next(
+                u for u in user_ids if fleet.ring.route(u) == victim
+            )
+            fleet.serve(probe, timeout=30.0)  # warm
+            pid = fleet.shard_pids()[victim]
+            killed_at = time.perf_counter()
+            os.kill(pid, signal.SIGKILL)
+            rejects = 0
+            recovered_s = None
+            deadline = time.perf_counter() + 120.0
+            while time.perf_counter() < deadline:
+                try:
+                    result = fleet.serve(probe, timeout=30.0)
+                except RejectedError as error:
+                    rejects += 1
+                    time.sleep(
+                        min(error.retry_after_seconds or 0.05, 0.05)
+                    )
+                    continue
+                if result.outcome == "served":
+                    recovered_s = time.perf_counter() - killed_at
+                    break
+            if recovered_s is None:
+                raise RuntimeError("shard never recovered from kill -9")
+            failover = {
+                "mttr_s": round(recovered_s, 4),
+                "rejects_during_recovery": rejects,
+            }
+            print(
+                f"  failover        mttr {recovered_s:0.3f} s "
+                f"({rejects} rejected with retry-after)"
+            )
+        finally:
+            fleet.close()
+
+    return {
+        "requests": requests,
+        "clients": clients,
+        "sweep": sweep,
+        "failover": failover,
+    }
+
+
 def bench_quality(quick: bool) -> dict:
     """Offline explanation-quality metrics plus computation throughput.
 
@@ -648,6 +786,8 @@ def main(argv: list[str] | None = None) -> int:
     cache = bench_cache(n_users, n_items, arguments.quick)
     print("eventlog:")
     eventlog = bench_eventlog(n_users, n_items, arguments.quick)
+    print("sharding:")
+    sharding = bench_sharding(arguments.quick)
     print("studies:")
     studies = bench_studies(arguments.quick)
     print("quality:")
@@ -671,6 +811,7 @@ def main(argv: list[str] | None = None) -> int:
         "serving": serving,
         "cache": cache,
         "eventlog": eventlog,
+        "sharding": sharding,
         "studies": studies,
         "quality": quality,
         "interaction": {

@@ -6,10 +6,12 @@ calls, randomness under the resilience/serving/evaluation layers is
 seeded (determinism is what makes chaos tests and studies replayable),
 metric internals mutate only behind their locked helpers, the
 serving/resilience layers raise the :mod:`repro.errors` taxonomy rather
-than bare builtins, and every :class:`ExplainedRecommendation` says
-whether it is degraded.  This package checks those invariants as AST
-lints — rules RR001–RR005 plus the RR006 cross-module lock-ordering
-analyzer — and gates them in CI via ``python -m repro analyze``.
+than bare builtins, every :class:`ExplainedRecommendation` says
+whether it is degraded, and every spawned worker thread or process has
+a join/terminate path.  This package checks those invariants as AST
+lints — rules RR001–RR009, including the RR006 cross-module
+lock-ordering analyzer — and gates them in CI via
+``python -m repro analyze``.
 
 Findings are matched against a committed suppression baseline
 (``analysis-baseline.txt``) so intentional exceptions are explicit and
@@ -40,6 +42,7 @@ from repro.analysis.rules import (
     BlockingCallUnderLockRule,
     ExceptionDisciplineRule,
     MetricInternalsRule,
+    OrphanedWorkerRule,
     TypedApiRule,
     UnseededRandomnessRule,
     default_rules,
@@ -56,6 +59,7 @@ __all__ = [
     "LockOrderingRule",
     "MetricInternalsRule",
     "ModuleInfo",
+    "OrphanedWorkerRule",
     "Rule",
     "TypedApiRule",
     "UnseededRandomnessRule",

@@ -31,7 +31,11 @@ Each rule encodes one invariant PRs 1–3 left as tribal knowledge:
   writes must also reach the event log (``self._journal`` /
   ``self.event_log.append``) **before** the in-memory mutation, so a
   crash between journal and mutation replays the event instead of
-  losing an acknowledged interaction.
+  losing an acknowledged interaction;
+* **RR009** — no orphaned workers: every thread/process created under
+  ``repro.serving`` must have a join/terminate path reachable from the
+  class's close/stop/drain route (or the creating scope itself), so a
+  drain can actually account for every worker it claims to stop.
 
 The cross-module lock-ordering analyzer (RR006) lives in
 :mod:`repro.analysis.lockgraph`.
@@ -58,6 +62,7 @@ __all__ = [
     "TypedApiRule",
     "MissingInvalidationRule",
     "MissingWriteThroughRule",
+    "OrphanedWorkerRule",
     "LockOrderingRule",
     "default_rules",
 ]
@@ -824,8 +829,218 @@ class MissingWriteThroughRule(Rule):
         super().visit_ClassDef(node)
 
 
+class OrphanedWorkerRule(Rule):
+    """RR009: thread/process creation without a reclaim path.
+
+    The sharded serving layer's drain contract (``docs/sharding.md``)
+    is only auditable if every worker the fleet creates is *reclaimed*
+    somewhere: a ``Thread``/``Process``/``Timer`` that nothing ever
+    ``join``s, ``terminate``s or ``kill``s keeps running (or zombies)
+    after ``close()`` reported a clean drain.  Under ``repro.serving``
+    this rule tracks each factory call to its binding —
+
+    * ``self._thread = threading.Thread(...)`` / any dotted target
+      (``handle.process = ctx.Process(...)``),
+    * collection fills: ``self._workers = [Thread(...) ...]`` or
+      ``self._workers.append(Thread(...))``,
+    * bare locals (``threads = [...]``)
+
+    — and requires a matching reclaim call (``<binding>.join(...)`` /
+    ``.terminate()`` / ``.kill()``, including via a loop variable:
+    ``for t in self._workers: t.join()`` credits ``self._workers``):
+
+    * **dotted bindings** must be reclaimed in the creating method or
+      anywhere on the class's *close route* — the fixed-point closure
+      of ``close``/``stop``/``shutdown``/``drain``/``terminate``/
+      ``join``/``__exit__``/``__del__`` over same-class
+      ``self.<method>()`` calls;
+    * **bare local bindings** must be reclaimed in the creating scope
+      itself (the thread never escapes it);
+    * **anonymous workers** (``threading.Thread(...).start()``, or
+      passed straight into a call) are always flagged — nothing can
+      ever reclaim them.
+    """
+
+    rule_id = "RR009"
+    name = "orphaned-worker"
+    severity = "error"
+    rationale = (
+        "A thread or process with no join/terminate path outlives the "
+        "drain that claimed to stop it: shutdown reports clean while "
+        "work is still running, and tests/CLI runs leak workers that "
+        "keep the interpreter (or its children) alive."
+    )
+    fix_hint = (
+        "bind the worker to an attribute or local and join/terminate "
+        "it on the close/stop/drain route (or in the creating scope "
+        "for locals)"
+    )
+
+    _SCOPES = ("repro.serving",)
+    _FACTORY_TERMINALS = frozenset({"Thread", "Process", "Timer"})
+    _RECLAIM_TERMINALS = frozenset({"join", "terminate", "kill"})
+    _CLOSE_ROUTE = frozenset(
+        {
+            "close",
+            "stop",
+            "shutdown",
+            "drain",
+            "terminate",
+            "join",
+            "__exit__",
+            "__del__",
+        }
+    )
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return module.package.startswith(self._SCOPES)
+
+    def _is_factory(self, node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        name = dotted_name(node.func)
+        if name is None:
+            return False
+        return name.rsplit(".", 1)[-1] in self._FACTORY_TERMINALS
+
+    def _scan(
+        self, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> tuple[list[tuple[ast.Call, str | None]], set[str], set[str]]:
+        """``(creations, reclaims, sibling_calls)`` for one function.
+
+        A creation's key is the dotted binding it lands in (``None``
+        for anonymous).  Reclaims are the dotted owners of
+        join/terminate/kill calls, with bare loop variables resolved to
+        the collection they iterate (``for t in self._workers:
+        t.join()`` reclaims ``self._workers``).
+        """
+        loop_map: dict[str, str] = {}
+        for node in ast.walk(func):
+            if isinstance(node, ast.For) and isinstance(
+                node.target, ast.Name
+            ):
+                iterated = dotted_name(node.iter)
+                if iterated is not None:
+                    loop_map[node.target.id] = iterated
+        consumed: dict[int, str] = {}
+        reclaims: set[str] = set()
+        siblings: set[str] = set()
+        factory_calls: list[ast.Call] = []
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                key = dotted_name(node.targets[0])
+                if key is None:
+                    continue
+                for sub in ast.walk(node.value):
+                    if self._is_factory(sub):
+                        consumed[id(sub)] = key
+            elif isinstance(node, ast.Call):
+                if self._is_factory(node):
+                    factory_calls.append(node)
+                name = dotted_name(node.func)
+                if name is None or "." not in name:
+                    continue
+                owner, terminal = name.rsplit(".", 1)
+                if terminal == "append":
+                    for arg in node.args:
+                        for sub in ast.walk(arg):
+                            if self._is_factory(sub):
+                                consumed[id(sub)] = owner
+                elif terminal in self._RECLAIM_TERMINALS:
+                    # A bare owner bound by an enclosing loop reclaims
+                    # the collection it iterates.
+                    reclaims.add(loop_map.get(owner, owner))
+                elif name.startswith("self.") and name.count(".") == 1:
+                    siblings.add(terminal)
+        creations = [
+            (call, consumed.get(id(call))) for call in factory_calls
+        ]
+        return creations, reclaims, siblings
+
+    def _check_scope(
+        self,
+        scope: str,
+        creations: list[tuple[ast.Call, str | None]],
+        local_reclaims: set[str],
+        route_reclaims: set[str],
+    ) -> None:
+        for call, key in creations:
+            if key is None:
+                self.report(
+                    call,
+                    f"anonymous worker created in {scope} — nothing "
+                    f"can ever join or terminate it",
+                    "anonymous-worker",
+                    scope=scope,
+                )
+            elif "." in key:
+                if key not in local_reclaims and key not in route_reclaims:
+                    self.report(
+                        call,
+                        f"worker bound to {key} in {scope} has no "
+                        f"join/terminate path on the close/stop/drain "
+                        f"route",
+                        key,
+                        scope=scope,
+                    )
+            elif key not in local_reclaims:
+                self.report(
+                    call,
+                    f"worker bound to local {key!r} in {scope} is "
+                    f"never joined or terminated in that scope",
+                    key,
+                    scope=scope,
+                )
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        methods = {
+            child.name: child
+            for child in node.body
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        creations: dict[str, list[tuple[ast.Call, str | None]]] = {}
+        reclaims: dict[str, set[str]] = {}
+        calls: dict[str, set[str]] = {}
+        for name, method in methods.items():
+            creations[name], reclaims[name], calls[name] = self._scan(
+                method
+            )
+        # Fixed point: the close route is every close-named method plus
+        # everything they (transitively) call on self.
+        route = {name for name in methods if name in self._CLOSE_ROUTE}
+        changed = True
+        while changed:
+            changed = False
+            for name in route.copy():
+                for callee in calls.get(name, set()):
+                    if callee in methods and callee not in route:
+                        route.add(callee)
+                        changed = True
+        route_reclaims: set[str] = set()
+        for name in route:
+            route_reclaims |= reclaims.get(name, set())
+        for name, method_creations in creations.items():
+            self._check_scope(
+                f"{node.name}.{name}",
+                method_creations,
+                reclaims.get(name, set()),
+                route_reclaims,
+            )
+        super().visit_ClassDef(node)
+
+    def handle_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        # Module-level functions only: methods are handled class-wide
+        # above, and nested defs belong to their enclosing scan.
+        if self.current_class is not None or self.in_function:
+            return
+        creations, reclaims, __ = self._scan(node)
+        self._check_scope(node.name, creations, reclaims, set())
+
+
 def default_rules() -> list[Rule]:
-    """Fresh instances of the full project rule set (RR001–RR008)."""
+    """Fresh instances of the full project rule set (RR001–RR009)."""
     return [
         BlockingCallUnderLockRule(),
         UnseededRandomnessRule(),
@@ -835,4 +1050,5 @@ def default_rules() -> list[Rule]:
         LockOrderingRule(),
         MissingInvalidationRule(),
         MissingWriteThroughRule(),
+        OrphanedWorkerRule(),
     ]

@@ -15,6 +15,7 @@ python -m repro serve --clients 16 --workers 4 --deadline 0.5
 python -m repro serve --cache     # ... with the single-flight cache
 python -m repro --chaos-rate 0.2 serve  # ... against faulty substrates
 python -m repro serve --log-dir wal/    # durable event log + recovery gate
+python -m repro serve --shards 4        # supervised multi-process shard fleet
 python -m repro replay --log-dir wal/   # rebuild state from the log
 python -m repro replay --log-dir wal/ --selfcheck  # crash/recover check
 python -m repro analyze           # static-analysis gate over src/repro
@@ -236,6 +237,69 @@ def _build_serving_lanes(chaos_rate: float, chaos_seed: int):
     return world, {"collaborative": collaborative, "content": content}
 
 
+def _cmd_serve_sharded(arguments: argparse.Namespace) -> int:
+    """``serve --shards N``: the supervised multi-process fleet."""
+    import random
+    import tempfile
+
+    from repro.serving import ShardedServer, run_traffic
+
+    log_root = arguments.shard_log_root or tempfile.mkdtemp(
+        prefix="repro-fleet-"
+    )
+    fleet = ShardedServer(
+        log_root=log_root,
+        shards=arguments.shards,
+        shard_workers=arguments.workers,
+        queue_size=arguments.queue_size,
+        default_deadline_seconds=arguments.deadline,
+    )
+    user_ids = [f"user_{index:03d}" for index in range(40)]
+    item_ids = [f"movie_{index:03d}" for index in range(80)]
+    try:
+        if not fleet.await_ready(timeout=60.0):
+            print("fleet never became ready; aborting")
+            return 1
+        rng = random.Random(arguments.chaos_seed)
+        for _ in range(arguments.log_writes):
+            # Durable rating traffic: each ack means the owner shard
+            # journalled the event before answering.
+            fleet.rate(
+                rng.choice(user_ids),
+                rng.choice(item_ids),
+                float(rng.randint(1, 5)),
+            )
+        report = run_traffic(
+            fleet,
+            user_ids,
+            requests=arguments.requests,
+            clients=arguments.clients,
+            n=3,
+            deadline_seconds=arguments.deadline,
+            seed=arguments.chaos_seed,
+        )
+    finally:
+        drain = fleet.close(drain_seconds=arguments.drain_seconds)
+    print(report.render())
+    health = fleet.health()
+    print(
+        f"fleet          shards={fleet.n_shards} "
+        f"status={health.status} log_root={log_root}"
+    )
+    for shard in health.shards:
+        print(
+            f"  shard {shard.shard_id}    state={shard.state} "
+            f"incarnation={shard.incarnation} "
+            f"restarts={shard.restarts}"
+        )
+    print(
+        f"drain          stopped_clean={drain.stopped_clean} "
+        f"killed={drain.killed} clean={drain.clean}"
+    )
+    print(f"rate writes    {arguments.log_writes} acked (journalled)")
+    return 0 if drain.clean else 1
+
+
 def _cmd_serve(arguments: argparse.Namespace) -> int:
     import random
 
@@ -247,6 +311,8 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
         run_traffic,
     )
 
+    if arguments.shards:
+        return _cmd_serve_sharded(arguments)
     chaos_rate = arguments.chaos_rate or 0.0
     world, lanes = _build_serving_lanes(chaos_rate, arguments.chaos_seed)
     admission = []
@@ -838,6 +904,24 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "durable rating events to write through the log during "
             "the run (default: 20; needs --log-dir)"
+        ),
+    )
+    serve.add_argument(
+        "--shards", type=int, default=0,
+        help=(
+            "run the sharded multi-process topology with N supervised "
+            "shard workers instead of the single-process server "
+            "(chaos/cache/admission flags apply per worker defaults; "
+            "see docs/sharding.md)"
+        ),
+    )
+    serve.add_argument(
+        "--shard-log-root",
+        metavar="PATH",
+        default=None,
+        help=(
+            "root directory for per-shard event logs (default: a "
+            "fresh temp directory; reuse a path to replay on boot)"
         ),
     )
     serve.set_defaults(handler=_cmd_serve)

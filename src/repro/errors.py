@@ -164,6 +164,26 @@ class ServerClosedError(ServingError):
         self.server_name = server_name
 
 
+class ShardError(ServingError):
+    """Raised for shard-fleet failures in :mod:`repro.serving.sharding`.
+
+    Covers a worker process dying (or being killed for a stale
+    heartbeat) while requests were in flight to it, a control-pipe send
+    to a dead worker, and fleet misconfiguration.  ``shard_id`` names
+    the shard and ``reason`` the failure class (``"crash"``, ``"hang"``,
+    ``"pipe"``, ...).  Routing-time refusals are *not* this type — a
+    request to a down or recovering shard gets a
+    :class:`RejectedError` with a retry hint, because the fleet heals
+    itself and retrying later can succeed.
+    """
+
+    def __init__(self, shard_id: int, reason: str, detail: str = "") -> None:
+        suffix = f": {detail}" if detail else ""
+        super().__init__(f"shard {shard_id} {reason}{suffix}")
+        self.shard_id = shard_id
+        self.reason = reason
+
+
 class CacheError(ReproError):
     """Raised for misuse or failure of the :mod:`repro.cache` layer.
 

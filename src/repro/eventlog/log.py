@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import threading
 import time
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -633,6 +633,70 @@ class EventLog:
                 bytes_before=bytes_before,
                 bytes_after=bytes_after,
             )
+
+    def rewrite(
+        self, keep: Callable[[InteractionEvent], bool]
+    ) -> tuple[InteractionEvent, ...]:
+        """Filtered rewrite: keep matching events, return the rest.
+
+        The hash-range handoff primitive for shard rebalancing
+        (:meth:`repro.serving.sharding.ShardedServer.resize`): events
+        whose users moved to another shard are *removed* from this log
+        and returned, in sequence order, for the caller to append to
+        the destination shard's log.  Unlike :meth:`compact`, kept
+        events preserve their **original** sequence numbers (gaps where
+        events moved out are fine — replay never requires contiguity)
+        and ``next_sequence`` is unchanged, so appends after a rewrite
+        stay strictly increasing.  With nothing to remove this is a
+        no-op that touches no segment.
+        """
+        with self._lock:
+            if self._closed:
+                raise EventLogError(f"event log {self.name!r} is closed")
+            scan = self._scan_locked()
+            kept = [event for event in scan.events if keep(event)]
+            removed = [event for event in scan.events if not keep(event)]
+            if not removed:
+                return ()
+            handle = self._active
+            if handle is not None:
+                if self.fsync_policy != "never" and self._unsynced:
+                    handle.sync()
+                handle.close()
+                self._active = None
+                self._unsynced = 0
+            segments = self._segments_locked()
+            if kept:
+                rewritten = self.directory / "rewrite.jsonl.tmp"
+                writer = self._storage.open_append(rewritten)
+                try:
+                    for event in kept:
+                        writer.write(encode_record(event))
+                    writer.sync()
+                finally:
+                    writer.close()
+                final = self._segment_path(kept[0].sequence)
+                for path in segments:
+                    if path != final:
+                        self._storage.remove(path)
+                self._storage.replace(rewritten, final)
+                self._active = self._storage.open_append(final)
+                self._committed = self._active.position()
+            else:
+                for path in segments:
+                    self._storage.remove(path)
+                self._active = self._storage.open_append(
+                    self._segment_path(self._next_sequence)
+                )
+                self._committed = self._active.position()
+            self._gauge("repro_eventlog_segments").set(1.0, log=self.name)
+            obs.event(
+                "eventlog.rewrite",
+                log=self.name,
+                kept=len(kept),
+                removed=len(removed),
+            )
+            return tuple(removed)
 
     # -- metric shorthands -------------------------------------------------
 

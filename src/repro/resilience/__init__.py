@@ -40,6 +40,8 @@ from repro.resilience.chaos import (
     ChaosStorage,
     DiskFaultPlan,
     FaultPlan,
+    ShardFaultPlan,
+    ShardFaultSchedule,
 )
 from repro.resilience.fallback import (
     DEGRADABLE_ERRORS,
@@ -77,5 +79,7 @@ __all__ = [
     "DiskFaultPlan",
     "ChaosExplainer",
     "FaultPlan",
+    "ShardFaultPlan",
+    "ShardFaultSchedule",
     "ResilientExplainedRecommender",
 ]

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 import time
-from collections.abc import Callable, Iterable
+from collections.abc import Callable, Iterable, Mapping
 
 from pathlib import Path
 
@@ -37,6 +37,8 @@ __all__ = [
     "FaultPlan",
     "DiskFaultPlan",
     "ChaosStorage",
+    "ShardFaultPlan",
+    "ShardFaultSchedule",
 ]
 
 
@@ -411,3 +413,136 @@ class ChaosExplainer(Explainer):
                 f"{type(self.inner).__name__}.explain"
             )
         return self.inner.explain(user_id, recommendation, dataset)
+
+
+class ShardFaultSchedule:
+    """One worker incarnation's deterministic view of a fault plan.
+
+    Created inside the shard worker process from the
+    :class:`ShardFaultPlan` it inherited in its spec; every roll
+    happens against a stream seeded by ``(seed, shard_id,
+    incarnation)``, so a kill on shard 2's 7th request reproduces
+    exactly across runs regardless of fleet interleaving.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        incarnation: int,
+        *,
+        kill_at: int | None,
+        hang_at: int | None,
+        startup_delay: float,
+        kill_rate: float,
+        hang_rate: float,
+        hang_seconds: float,
+        seed: int,
+    ) -> None:
+        self.shard_id = shard_id
+        self.incarnation = incarnation
+        self.kill_at = kill_at
+        self.hang_at = hang_at
+        self.startup_delay = startup_delay
+        self.kill_rate = kill_rate
+        self.hang_rate = hang_rate
+        self.hang_seconds = hang_seconds
+        self._requests = 0
+        self._rng = random.Random(
+            (seed * 1_000_003 + shard_id) * 8191 + incarnation
+        )
+
+    def on_request(self) -> str | None:
+        """Roll the next request: ``"kill"``, ``"hang"``, or ``None``."""
+        index = self._requests
+        self._requests += 1
+        action: str | None = None
+        if self.kill_at is not None and index == self.kill_at:
+            action = "kill"
+        elif self.hang_at is not None and index == self.hang_at:
+            action = "hang"
+        elif self.kill_rate > 0.0 and self._rng.random() < self.kill_rate:
+            action = "kill"
+        elif self.hang_rate > 0.0 and self._rng.random() < self.hang_rate:
+            action = "hang"
+        if action is not None:
+            _count_injection(f"shard:{self.shard_id}", action)
+            obs.event(
+                "chaos.shard_fault",
+                shard=self.shard_id,
+                incarnation=self.incarnation,
+                request_index=index,
+                kind=action,
+            )
+        return action
+
+
+class ShardFaultPlan:
+    """A seeded schedule of worker-process faults for the shard fleet.
+
+    Three fault shapes, matching the supervisor's failure matrix:
+
+    * **kill** — the worker ``SIGKILL``\\ s itself mid-request (a real
+      ``kill -9``: no flush, no goodbye on the pipe);
+    * **hang** — the worker sleeps ``hang_seconds`` inside its serving
+      loop, so heartbeats stop while the process stays alive;
+    * **slow start** — the worker sleeps before opening its event log,
+      so no heartbeat arrives within the supervisor's start budget.
+
+    Deterministic triggers (``kill_after={shard: request_index}``,
+    ``hang_after``, ``slow_start_seconds``) fire once each; with
+    ``first_incarnation_only=True`` (the default) only incarnation 0
+    is armed, so a restarted worker converges instead of crash-looping.
+    ``kill_rate``/``hang_rate`` add seeded per-request rolls for stress
+    runs.  Instances are picklable: they cross the process boundary in
+    the shard spec.
+    """
+
+    def __init__(
+        self,
+        *,
+        kill_after: "Mapping[int, int] | None" = None,
+        hang_after: "Mapping[int, int] | None" = None,
+        slow_start_seconds: "Mapping[int, float] | None" = None,
+        kill_rate: float = 0.0,
+        hang_rate: float = 0.0,
+        hang_seconds: float = 30.0,
+        first_incarnation_only: bool = True,
+        seed: int = 0,
+    ) -> None:
+        for label, rate in (
+            ("kill_rate", kill_rate),
+            ("hang_rate", hang_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1], got {rate}")
+        if hang_seconds < 0.0:
+            raise ValueError(
+                f"hang_seconds must be >= 0, got {hang_seconds}"
+            )
+        self.kill_after = dict(kill_after or {})
+        self.hang_after = dict(hang_after or {})
+        self.slow_start_seconds = dict(slow_start_seconds or {})
+        self.kill_rate = kill_rate
+        self.hang_rate = hang_rate
+        self.hang_seconds = hang_seconds
+        self.first_incarnation_only = first_incarnation_only
+        self.seed = seed
+
+    def schedule(
+        self, shard_id: int, incarnation: int
+    ) -> ShardFaultSchedule:
+        """The fault stream for one worker incarnation."""
+        armed = incarnation == 0 or not self.first_incarnation_only
+        return ShardFaultSchedule(
+            shard_id,
+            incarnation,
+            kill_at=self.kill_after.get(shard_id) if armed else None,
+            hang_at=self.hang_after.get(shard_id) if armed else None,
+            startup_delay=(
+                self.slow_start_seconds.get(shard_id, 0.0) if armed else 0.0
+            ),
+            kill_rate=self.kill_rate if armed else 0.0,
+            hang_rate=self.hang_rate if armed else 0.0,
+            hang_seconds=self.hang_seconds,
+            seed=self.seed,
+        )

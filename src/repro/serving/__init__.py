@@ -25,6 +25,17 @@ the rest.  Five mechanisms, composed in
   admission, completes in-flight requests within a drain deadline,
   sheds the rest with ``reason="draining"``, and reports what it did.
 
+On top of the single-process server sits the sharded topology
+(``repro.serving.sharding`` / ``supervisor`` / ``router`` /
+``worker``): :class:`~repro.serving.sharding.ShardedServer` partitions
+users across N worker *processes* by consistent hashing, each shard
+owning its own cache and event-log directory; a supervisor thread
+detects crashed/hung workers (including ``kill -9``) and restarts them
+through the recovery-readiness gate — the replacement replays its
+shard's log before re-admitting traffic — while the router rejects with
+retry-after hints or serves parent-local degraded answers so callers
+never hang.  See ``docs/sharding.md``.
+
 Observability: ``repro_requests_total{outcome}``, ``repro_queue_depth``,
 ``repro_shed_total{reason}``, ``repro_inflight``,
 ``repro_serve_seconds{outcome}`` and ``serving.*`` trace events.
@@ -45,6 +56,7 @@ from repro.serving.health import (
     collect_breaker_states,
     derive_status,
 )
+from repro.serving.router import HashRing, ShardRouter
 from repro.serving.server import (
     OUTCOMES,
     DrainReport,
@@ -52,6 +64,26 @@ from repro.serving.server import (
     ServeRequest,
     ServeResult,
     register_serving_metrics,
+)
+from repro.serving.sharding import (
+    STATE_CODES,
+    FleetDrainReport,
+    FleetHealthReport,
+    RebalanceReport,
+    ShardedServer,
+    ShardHealth,
+    register_shard_metrics,
+)
+from repro.serving.supervisor import (
+    TERMINAL_STATES,
+    ShardHandle,
+    ShardSupervisor,
+)
+from repro.serving.worker import (
+    ShardSpec,
+    WireRecommendation,
+    movie_world,
+    shard_main,
 )
 
 __all__ = [
@@ -70,4 +102,20 @@ __all__ = [
     "register_serving_metrics",
     "TrafficReport",
     "run_traffic",
+    "HashRing",
+    "ShardRouter",
+    "ShardedServer",
+    "ShardHealth",
+    "FleetHealthReport",
+    "FleetDrainReport",
+    "RebalanceReport",
+    "STATE_CODES",
+    "register_shard_metrics",
+    "ShardHandle",
+    "ShardSupervisor",
+    "TERMINAL_STATES",
+    "ShardSpec",
+    "WireRecommendation",
+    "movie_world",
+    "shard_main",
 ]

@@ -17,9 +17,13 @@ import threading
 import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import RejectedError
 from repro.serving.server import RecommendationServer
+
+if TYPE_CHECKING:
+    from repro.serving.sharding import ShardedServer
 
 __all__ = ["TrafficReport", "run_traffic"]
 
@@ -86,7 +90,7 @@ class TrafficReport:
 
 
 def run_traffic(
-    server: RecommendationServer,
+    server: RecommendationServer | ShardedServer,
     user_ids: Sequence[str],
     *,
     requests: int = 100,
@@ -97,6 +101,11 @@ def run_traffic(
     seed: int = 0,
 ) -> TrafficReport:
     """Run a closed-loop load test against a live server.
+
+    ``server`` is anything with the blocking ``serve`` surface — the
+    single-process :class:`RecommendationServer` or a whole
+    :class:`~repro.serving.sharding.ShardedServer` fleet (whose routing
+    rejections surface here as shed, exactly like queue backpressure).
 
     Every request resolves to exactly one bucket in ``outcomes``:
     ``served`` / ``degraded`` / ``failed`` / ``shed`` (submit-time

@@ -1,0 +1,156 @@
+"""User→shard routing: a consistent-hash ring and the degrade policy.
+
+The ring answers *where a user lives*; the router answers *what to do
+when that shard cannot take traffic*.  The contract for the second
+question is **never hang**: a request to a dead or recovering shard
+either raises :class:`~repro.errors.RejectedError` with a retry-after
+hint derived from the shard's recovery history, or — when the fleet
+was built with a local fallback pipeline — returns a degraded answer
+computed in the parent process.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from collections.abc import Iterable
+
+from repro import obs
+from repro.errors import RejectedError, ServingError
+from repro.serving.server import ServeRequest, ServeResult
+from repro.serving.worker import WireRecommendation, to_wire
+
+__all__ = ["HashRing", "ShardRouter"]
+
+
+class HashRing:
+    """A consistent-hash ring over shard ids with virtual nodes.
+
+    Hashing is sha1 over stable strings — never the process-salted
+    builtin ``hash`` — so the parent router, every worker, and every
+    future run agree on placement.  ``replicas`` virtual nodes per
+    shard smooth the key distribution, and resizing the fleet moves
+    only the users whose nearest virtual node changed (≈ ``1/N`` of
+    them), which is what keeps the rebalance handoff small.
+    """
+
+    def __init__(self, n_shards: int, *, replicas: int = 64) -> None:
+        if n_shards < 1:
+            raise ServingError(f"n_shards must be >= 1, got {n_shards}")
+        if replicas < 1:
+            raise ServingError(f"replicas must be >= 1, got {replicas}")
+        self.n_shards = n_shards
+        self.replicas = replicas
+        points: list[tuple[int, int]] = []
+        for shard in range(n_shards):
+            for replica in range(replicas):
+                points.append(
+                    (_point(f"shard-{shard}:vnode-{replica}"), shard)
+                )
+        points.sort()
+        self._hashes = [point for point, __ in points]
+        self._shards = [shard for __, shard in points]
+
+    def route(self, user_id: str) -> int:
+        """The shard that owns this user."""
+        index = bisect.bisect_right(self._hashes, _point(f"user:{user_id}"))
+        if index == len(self._hashes):
+            index = 0
+        return self._shards[index]
+
+    def assignments(self, user_ids: Iterable[str]) -> dict[int, list[str]]:
+        """Partition ``user_ids`` by owning shard (all shards present)."""
+        out: dict[int, list[str]] = {
+            shard: [] for shard in range(self.n_shards)
+        }
+        for user_id in user_ids:
+            out[self.route(user_id)].append(user_id)
+        return out
+
+
+def _point(key: str) -> int:
+    return int.from_bytes(
+        hashlib.sha1(key.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class ShardRouter:
+    """The routing policy in front of the shard fleet.
+
+    Owns the ring and the two degraded paths for an unavailable owner
+    shard: reject-with-hint (the default) or a parent-local fallback
+    pipeline (anything with ``recommend(user_id, n=...)``) whose
+    answers are marked degraded — stale-capable but instant, for
+    deployments that prefer a worse answer over an error while a shard
+    replays its log.
+    """
+
+    def __init__(
+        self, ring: HashRing, *, fallback: object | None = None
+    ) -> None:
+        self.ring = ring
+        self.fallback = fallback
+
+    def shard_for(self, user_id: str) -> int:
+        """The owner shard for this user."""
+        return self.ring.route(user_id)
+
+    @staticmethod
+    def retry_after(
+        state: str,
+        *,
+        unavailable_for: float,
+        last_recovery_seconds: float | None,
+    ) -> float:
+        """A retry hint for a shard that cannot take traffic now.
+
+        A recovering shard's best completion estimate is its last
+        recovery duration: the hint is the *remaining* share of that
+        budget.  Without history (first boot) — or once the estimate is
+        exhausted — fall back to half the time already spent
+        unavailable, so hints grow instead of letting clients hot-loop.
+        Clamped to [0.05s, 5s] like every retry hint in the stack.
+        """
+        if state == "starting" and last_recovery_seconds is not None:
+            remaining = last_recovery_seconds - unavailable_for
+            if remaining > 0.0:
+                return min(max(0.05, remaining), 5.0)
+        return min(max(0.05, 0.5 * unavailable_for), 5.0)
+
+    def reject(
+        self, request: ServeRequest, shard_id: int, state: str, hint: float
+    ) -> None:
+        """Refuse a request whose owner shard is down/recovering."""
+        reason = (
+            "shard_recovering" if state == "starting" else "shard_down"
+        )
+        obs.event(
+            "shard.reject",
+            shard=shard_id,
+            state=state,
+            reason=reason,
+            user=request.user_id,
+        )
+        raise RejectedError(reason=reason, retry_after_seconds=hint)
+
+    def degrade(self, request: ServeRequest) -> ServeResult | None:
+        """A parent-local degraded answer, or ``None`` without fallback."""
+        if self.fallback is None:
+            return None
+        recommendations = self.fallback.recommend(
+            request.user_id, n=request.n
+        )
+        wired = tuple(
+            WireRecommendation(
+                item_id=wire.item_id,
+                score=wire.score,
+                degraded=True,
+                render=wire.render,
+            )
+            for wire in to_wire(tuple(recommendations))
+        )
+        return ServeResult(
+            request=request,
+            outcome="degraded",
+            recommendations=wired,
+        )

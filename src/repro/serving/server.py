@@ -326,7 +326,9 @@ class RecommendationServer:
         if recovery is None:
             self._recovered.set()
             self._recovery_done.set()
-        else:
+        self._recovery_started_at: float | None = None
+        if recovery is not None:
+            self._recovery_started_at = self._clock()
             self._recovery_thread = threading.Thread(
                 target=self._run_recovery,
                 args=(recovery,),
@@ -413,6 +415,22 @@ class RecommendationServer:
             return None
         return self.queue_size * estimate / max(1, len(self._workers))
 
+    def _recovery_retry_after(self) -> float:
+        """Backoff hint for requests rejected while replay runs.
+
+        The recovery callable gives no completion estimate, so the hint
+        is derived from elapsed replay time: a recovery that has already
+        run for ``t`` seconds is told to come back in ``t/2`` (clamped
+        to [0.05s, 5s]).  Short recoveries keep clients close; a long
+        replay pushes them out instead of letting them hot-loop against
+        a replica that cannot admit anyone yet.
+        """
+        started = self._recovery_started_at
+        if started is None:
+            return 0.05
+        elapsed = max(0.0, self._clock() - started)
+        return min(max(0.05, 0.5 * elapsed), 5.0)
+
     def submit(self, request: ServeRequest) -> _ResultSlot:
         """Admit one request; returns a slot resolving to a ServeResult.
 
@@ -430,7 +448,7 @@ class RecommendationServer:
             )
         if not self._recovered.is_set():
             # Even a cache hit is pre-crash state until replay finishes.
-            self._reject("recovering", None)
+            self._reject("recovering", self._recovery_retry_after())
         lane = request.lane or next(iter(self.pipelines))
         cache = self._caches.get(lane)
         generation: int | None = None
@@ -762,6 +780,14 @@ class RecommendationServer:
             thread.join(timeout=remaining)
             if thread.is_alive():
                 timed_out += 1
+        # Reclaim the recovery thread within the same budget.  A replay
+        # still running at close keeps the daemon flag as backstop; it
+        # does not count against workers_timed_out — it never held a
+        # request.
+        if self._recovery_thread is not None:
+            self._recovery_thread.join(
+                timeout=max(0.0, deadline - self._clock())
+            )
         duration = self._clock() - started
         report = DrainReport(
             completed_total=self.completed,

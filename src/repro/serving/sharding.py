@@ -1,0 +1,940 @@
+"""Sharded multi-process serving: the fleet facade.
+
+:class:`ShardedServer` partitions users across N worker processes by
+consistent hashing (:class:`~repro.serving.router.HashRing`) and gives
+them one front door.  Each shard is a child process owning its own
+cache, its own event-log directory, and an internal
+:class:`~repro.serving.server.RecommendationServer` whose ``recovery=``
+gate replays that log before the shard re-admits traffic.  The parent
+keeps one :class:`~repro.serving.supervisor.ShardHandle` per shard, a
+:class:`~repro.serving.supervisor.ShardSupervisor` monitor thread, and
+one reader thread per worker incarnation.
+
+The durability contract the fleet inherits from the single-process
+server and extends across the process boundary:
+
+* **journal-before-ack** — a rating is acknowledged to the caller only
+  after the owning shard's worker appended it to that shard's event
+  log; a ``kill -9`` immediately after the ack therefore loses nothing,
+  because the restart replays the log before serving;
+* **never hang** — a request to a dead or recovering shard either gets
+  a :class:`~repro.errors.RejectedError` with a retry-after hint, a
+  parent-local degraded answer (when a ``fallback`` pipeline is
+  configured), or — for requests already in flight at the instant of a
+  crash — a failed :class:`~repro.serving.server.ServeResult`; the
+  reader thread fails every pending slot the moment the event pipe
+  reports EOF;
+* **invalidation bus** — an acked rating broadcasts ``("inval", user)``
+  to every other live shard, so any shard that might answer for that
+  user from cache (e.g. after a resize) drops its stale entries.
+
+Resizing is a stop-the-world handoff: drain the fleet, rewrite each
+shard's log in place keeping only the events the new ring still routes
+there (:meth:`~repro.eventlog.EventLog.rewrite`), append the removed
+events to their new owners' logs (re-stamped, per-user order
+preserved — a user's events live entirely in one source log), then
+respawn under the new ring.
+
+Workers start under the ``spawn`` method: ``fork`` from a process with
+live threads (the supervisor, readers, metric locks) can inherit a
+lock mid-acquisition and deadlock the child before it runs a line.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro import obs
+from repro.errors import (
+    EventLogError,
+    RejectedError,
+    ServerClosedError,
+    ServingError,
+    ShardError,
+)
+from repro.eventlog import EventLog
+from repro.serving.router import HashRing, ShardRouter
+from repro.serving.server import ServeRequest, ServeResult
+from repro.serving.supervisor import (
+    TERMINAL_STATES,
+    ShardHandle,
+    ShardSupervisor,
+    reader_loop,
+)
+from repro.serving.worker import ShardSpec, movie_world, shard_main
+
+if TYPE_CHECKING:
+    from collections.abc import Callable
+    from multiprocessing.connection import Connection
+
+    from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+    from repro.resilience.chaos import ShardFaultPlan
+
+__all__ = [
+    "FleetDrainReport",
+    "FleetHealthReport",
+    "RebalanceReport",
+    "STATE_CODES",
+    "ShardHealth",
+    "ShardedServer",
+    "register_shard_metrics",
+]
+
+#: ``repro_shard_state`` gauge encoding.
+STATE_CODES = {
+    "failed": -1.0,
+    "down": 0.0,
+    "starting": 1.0,
+    "ok": 2.0,
+    "stopping": 3.0,
+    "stopped": 4.0,
+}
+
+
+def register_shard_metrics(
+    registry: MetricsRegistry | None = None,
+) -> dict[str, Counter | Gauge | Histogram]:
+    """Create (or fetch) the fleet's metric family in ``registry``."""
+    if registry is None:
+        registry = obs.get_registry()
+    return {
+        "requests": registry.counter(
+            "repro_shard_requests_total",
+            "Requests completed per shard by outcome.",
+            labelnames=("shard", "outcome"),
+        ),
+        "rejected": registry.counter(
+            "repro_shard_rejected_total",
+            "Requests rejected by the fleet by reason.",
+            labelnames=("reason",),
+        ),
+        "restarts": registry.counter(
+            "repro_shard_restarts_total",
+            "Worker respawns per shard by down reason.",
+            labelnames=("shard", "reason"),
+        ),
+        "invalidations": registry.counter(
+            "repro_shard_invalidations_total",
+            "Cross-shard invalidation bus deliveries per target shard.",
+            labelnames=("shard",),
+        ),
+        "fallbacks": registry.counter(
+            "repro_shard_fallbacks_total",
+            "Parent-local degraded answers for unavailable shards.",
+            labelnames=("shard",),
+        ),
+        "state": registry.gauge(
+            "repro_shard_state",
+            "Shard liveness (-1 failed, 0 down, 1 starting, 2 ok, "
+            "3 stopping, 4 stopped).",
+            labelnames=("shard",),
+        ),
+        "shards": registry.gauge(
+            "repro_shard_count", "Configured shard count."
+        ),
+        "recovery": registry.histogram(
+            "repro_shard_recovery_seconds",
+            "Shard recovery duration, down (or spawn) to ready.",
+        ),
+    }
+
+
+@dataclass(frozen=True)
+class ShardHealth:
+    """One shard's row in the fleet health report."""
+
+    shard_id: int
+    state: str
+    state_reason: str
+    incarnation: int
+    restarts: int
+    pid: int | None
+    heartbeat_age_s: float | None
+    last_recovery_seconds: float | None
+    worker: dict
+
+    @property
+    def ok(self) -> bool:
+        """Live *and* the worker's own server reports ready."""
+        return self.state == "ok" and bool(self.worker.get("ready"))
+
+    def as_dict(self) -> dict:
+        """A JSON-friendly view."""
+        return {
+            "shard_id": self.shard_id,
+            "state": self.state,
+            "state_reason": self.state_reason,
+            "incarnation": self.incarnation,
+            "restarts": self.restarts,
+            "pid": self.pid,
+            "heartbeat_age_s": self.heartbeat_age_s,
+            "last_recovery_seconds": self.last_recovery_seconds,
+            "worker": dict(self.worker),
+        }
+
+
+@dataclass(frozen=True)
+class FleetHealthReport:
+    """Aggregated fleet health: ``ready`` only when every shard is."""
+
+    name: str
+    status: str  # ok | recovering | degraded | rebalancing | draining | closed
+    ready: bool
+    shards: tuple[ShardHealth, ...]
+
+    def as_dict(self) -> dict:
+        """A JSON-friendly view (CLI / ops surface)."""
+        return {
+            "name": self.name,
+            "status": self.status,
+            "ready": self.ready,
+            "shards": [shard.as_dict() for shard in self.shards],
+        }
+
+
+@dataclass(frozen=True)
+class FleetDrainReport:
+    """What happened when the fleet closed."""
+
+    shards: int
+    stopped_clean: int
+    killed: int
+    duration_s: float
+    drains: tuple[dict | None, ...]
+
+    @property
+    def clean(self) -> bool:
+        """True when no worker needed a kill to stop."""
+        return self.killed == 0
+
+
+@dataclass(frozen=True)
+class RebalanceReport:
+    """What a :meth:`ShardedServer.resize` moved."""
+
+    old_shards: int
+    new_shards: int
+    events_moved: int
+    duration_s: float
+
+
+class _ResolvedSlot:
+    """An already-answered future (parent-local degraded fallback)."""
+
+    def __init__(self, result: ServeResult) -> None:
+        self._result = result
+
+    def done(self) -> bool:
+        return True
+
+    def result(self, timeout: float | None = None) -> ServeResult:
+        return self._result
+
+
+class _FleetSlot:
+    """Parent-side future translating a shard payload to a ServeResult.
+
+    Three payload shapes come back over the pipe: a rejected marker
+    (re-raised as :class:`RejectedError`, preserving the backpressure
+    contract end to end), a serve-result dict (rebuilt around the
+    original request), or — when the shard died with this request in
+    flight — a :class:`ShardError` from the failed slot, translated to
+    a failed result rather than an exception: the caller's request
+    genuinely failed, but the *fleet* is still serving.
+    """
+
+    def __init__(
+        self,
+        request: ServeRequest,
+        shard_id: int,
+        slot: object,
+        on_outcome: Callable[[int, str], None],
+        on_reject: Callable[[str], None],
+    ) -> None:
+        self._request = request
+        self._shard_id = shard_id
+        self._slot = slot
+        self._on_outcome = on_outcome
+        self._on_reject = on_reject
+
+    def done(self) -> bool:
+        return self._slot.done()
+
+    def result(self, timeout: float | None = None) -> ServeResult:
+        try:
+            payload = self._slot.result(timeout)
+        except ShardError as error:
+            if error.reason == "timeout":
+                raise  # the caller's own wait budget, not a shard death
+            self._on_outcome(self._shard_id, "failed")
+            return ServeResult(
+                request=self._request,
+                outcome="failed",
+                error=f"ShardError: {error}",
+            )
+        if payload.get("rejected"):
+            self._on_reject(payload["reason"])
+            raise RejectedError(
+                reason=payload["reason"],
+                retry_after_seconds=payload["retry_after"],
+            )
+        result = ServeResult(
+            request=self._request,
+            outcome=payload["outcome"],
+            recommendations=tuple(payload["recommendations"]),
+            shed_reason=payload["shed_reason"],
+            error=payload["error"],
+            queue_wait_s=payload["queue_wait_s"],
+            service_s=payload["service_s"],
+            cached=payload["cached"],
+        )
+        self._on_outcome(self._shard_id, result.outcome)
+        return result
+
+
+def _close_quietly(connection: Connection | None) -> None:
+    if connection is None:
+        return
+    try:
+        connection.close()
+    except OSError:
+        pass
+
+
+class ShardedServer:
+    """N supervised shard workers behind one consistent-hash front door.
+
+    The facade mirrors the single-process server's surface —
+    ``submit``/``serve``/``health``/``ready``/``close`` plus the write
+    path ``rate`` — so :func:`~repro.serving.driver.run_traffic` drives
+    either interchangeably.  ``world_factory`` must be a module-level
+    callable (it crosses the ``spawn`` boundary inside each
+    :class:`ShardSpec`).
+    """
+
+    def __init__(
+        self,
+        world_factory: Callable[
+            [int], tuple[object, dict[str, object]]
+        ] = movie_world,
+        *,
+        log_root: str | Path,
+        shards: int = 2,
+        name: str = "repro-fleet",
+        seed: int = 7,
+        shard_workers: int = 2,
+        queue_size: int = 32,
+        default_deadline_seconds: float | None = None,
+        cache_capacity: int = 512,
+        cache_ttl_seconds: float = 60.0,
+        heartbeat_seconds: float = 0.05,
+        hang_timeout: float = 1.0,
+        start_timeout: float = 30.0,
+        check_interval: float = 0.02,
+        max_restarts: int = 5,
+        restart_backoff: float = 0.05,
+        max_inflight_per_shard: int = 64,
+        replicas: int = 64,
+        fallback: object | None = None,
+        fault_plan: ShardFaultPlan | None = None,
+        drain_seconds: float = 2.0,
+        fsync_policy: str = "always",
+        start_method: str = "spawn",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if shards < 1:
+            raise ServingError(f"shards must be >= 1, got {shards}")
+        self._name = name
+        self._clock = clock
+        self._world_factory = world_factory
+        self._seed = seed
+        self._shard_workers = shard_workers
+        self._queue_size = queue_size
+        self._default_deadline_seconds = default_deadline_seconds
+        self._cache_capacity = cache_capacity
+        self._cache_ttl_seconds = cache_ttl_seconds
+        self._heartbeat_seconds = heartbeat_seconds
+        self._hang_timeout = hang_timeout
+        self._start_timeout = start_timeout
+        self._check_interval = check_interval
+        self._max_restarts = max_restarts
+        self._restart_backoff = restart_backoff
+        self._max_inflight_per_shard = max_inflight_per_shard
+        self._replicas = replicas
+        self._fallback = fallback
+        self._fault_plan = fault_plan
+        self._drain_seconds = drain_seconds
+        self._fsync_policy = fsync_policy
+        self._ctx = multiprocessing.get_context(start_method)
+        self._log_root = Path(log_root)
+        self._log_root.mkdir(parents=True, exist_ok=True)
+        self._fleet_metrics = register_shard_metrics()
+        self._req_ids = itertools.count(1)
+        self._state_lock = threading.Lock()
+        self._closed = False
+        self._draining = False
+        self._rebalancing = False
+        self._drain_report: FleetDrainReport | None = None
+        self.ring = HashRing(shards, replicas=replicas)
+        self._router = ShardRouter(self.ring, fallback=fallback)
+        self._handles: tuple[ShardHandle, ...] = ()
+        self._supervisor: ShardSupervisor | None = None
+        self._boot(shards)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _boot(self, shards: int) -> None:
+        """Spawn every shard and start the supervisor."""
+        self._fleet_metrics["shards"].set(float(shards))
+        handles = []
+        for shard_id in range(shards):
+            handle = ShardHandle(
+                shard_id, self._make_spec(shard_id), clock=self._clock
+            )
+            handle.on_ready = self._fleet_metrics["recovery"].observe
+            handles.append(handle)
+        self._handles = tuple(handles)
+        for handle in self._handles:
+            self._launch(handle)
+        self._supervisor = ShardSupervisor(
+            self._handles,
+            respawn=self._respawn,
+            hang_timeout=self._hang_timeout,
+            start_timeout=self._start_timeout,
+            check_interval=self._check_interval,
+            max_restarts=self._max_restarts,
+            restart_backoff=self._restart_backoff,
+            name=self._name,
+            clock=self._clock,
+        )
+        self._supervisor.start()
+
+    def _make_spec(self, shard_id: int, incarnation: int = 0) -> ShardSpec:
+        log_dir = self._log_root / f"shard-{shard_id:03d}"
+        log_dir.mkdir(parents=True, exist_ok=True)
+        return ShardSpec(
+            shard_id=shard_id,
+            incarnation=incarnation,
+            name=self._name,
+            log_dir=str(log_dir),
+            world_factory=self._world_factory,
+            seed=self._seed,
+            workers=self._shard_workers,
+            queue_size=self._queue_size,
+            default_deadline_seconds=self._default_deadline_seconds,
+            cache_capacity=self._cache_capacity,
+            cache_ttl_seconds=self._cache_ttl_seconds,
+            heartbeat_seconds=self._heartbeat_seconds,
+            drain_seconds=self._drain_seconds,
+            fsync_policy=self._fsync_policy,
+            fault_plan=self._fault_plan,
+        )
+
+    def _launch(self, handle: ShardHandle) -> None:
+        """Spawn one worker incarnation and its reader thread."""
+        with handle.lock:
+            incarnation = handle.incarnation
+        spec = replace(handle.spec, incarnation=incarnation)
+        handle.spec = spec
+        old_cmd, old_evt = handle.cmd, handle.evt
+        cmd_recv, cmd_send = self._ctx.Pipe(duplex=False)
+        evt_recv, evt_send = self._ctx.Pipe(duplex=False)
+        handle.process = self._ctx.Process(
+            target=shard_main,
+            args=(spec, cmd_recv, evt_send),
+            name=f"{spec.shard_name}-{incarnation}",
+            daemon=True,
+        )
+        handle.process.start()
+        # The child owns its pipe ends now; dropping the parent copies is
+        # what turns a dead worker into EOF on the event pipe.
+        cmd_recv.close()
+        evt_send.close()
+        with handle.send_lock:
+            handle.cmd = cmd_send
+        handle.evt = evt_recv
+        handle.reader = threading.Thread(
+            target=reader_loop,
+            args=(handle, incarnation, evt_recv, self._restart_backoff),
+            name=f"{spec.shard_name}-reader-{incarnation}",
+            daemon=True,
+        )
+        handle.reader.start()
+        _close_quietly(old_cmd)
+        _close_quietly(old_evt)
+        self._fleet_metrics["state"].set(
+            STATE_CODES["starting"], shard=str(handle.shard_id)
+        )
+        obs.event(
+            "shard.spawn",
+            shard=handle.shard_id,
+            incarnation=incarnation,
+            pid=handle.process.pid,
+        )
+
+    def _respawn(self, handle: ShardHandle) -> None:
+        """Supervisor callback: replace a down shard's worker."""
+        now = self._clock()
+        with handle.lock:
+            reason = handle.state_reason
+            handle.incarnation += 1
+            handle.state = "starting"
+            handle.state_reason = "respawn"
+            handle.started_at = now
+            handle.last_heartbeat = None
+            handle.down_since = None
+            handle.last_payload = {}
+        self._fleet_metrics["restarts"].inc(
+            shard=str(handle.shard_id), reason=reason
+        )
+        self._launch(handle)
+
+    def close(self, drain_seconds: float = 5.0) -> FleetDrainReport:
+        """Drain and stop the fleet; idempotent after the first close."""
+        with self._state_lock:
+            if self._drain_report is not None:
+                return self._drain_report
+            if self._draining:
+                raise ServingError(
+                    f"fleet {self._name!r} is already draining"
+                )
+            self._draining = True
+        started = self._clock()
+        if self._supervisor is not None:
+            self._supervisor.stop()
+        with obs.span("shard.drain", shards=len(self._handles)):
+            killed, drains = self._stop_fleet(started + drain_seconds)
+        report = FleetDrainReport(
+            shards=len(self._handles),
+            stopped_clean=sum(1 for drain in drains if drain is not None),
+            killed=killed,
+            duration_s=self._clock() - started,
+            drains=tuple(drains),
+        )
+        with self._state_lock:
+            self._closed = True
+            self._drain_report = report
+        obs.event(
+            "shard.fleet_drained",
+            shards=report.shards,
+            killed=report.killed,
+            duration_s=round(report.duration_s, 6),
+        )
+        return report
+
+    def _stop_fleet(self, deadline: float) -> tuple[int, list[dict | None]]:
+        """Stop every worker: graceful first, then kill; reap readers."""
+        for handle in self._handles:
+            with handle.lock:
+                if handle.state not in TERMINAL_STATES:
+                    handle.state = "stopping"
+                    handle.state_reason = "drain"
+            try:
+                handle.send(("stop",))
+            except ShardError:
+                continue  # already dead; the join below reaps it
+        killed = 0
+        drains: list[dict | None] = []
+        for handle in self._handles:
+            if handle.process is not None:
+                handle.process.join(
+                    timeout=max(0.0, deadline - self._clock())
+                )
+                if handle.process.is_alive():
+                    handle.process.kill()
+                    handle.process.join(timeout=1.0)
+                    killed += 1
+            if handle.reader is not None:
+                handle.reader.join(
+                    timeout=max(0.0, deadline - self._clock()) + 0.5
+                )
+            with handle.send_lock:
+                _close_quietly(handle.cmd)
+                handle.cmd = None
+            _close_quietly(handle.evt)
+            handle.evt = None
+            handle.fail_pending(
+                ShardError(handle.shard_id, "draining", "fleet closed")
+            )
+            with handle.lock:
+                if handle.state == "stopping":
+                    handle.state = "stopped"
+                    handle.state_reason = "drained"
+                state = handle.state
+                drains.append(handle.drain_summary)
+            self._fleet_metrics["state"].set(
+                STATE_CODES.get(state, 0.0), shard=str(handle.shard_id)
+            )
+        return killed, drains
+
+    def resize(
+        self, shards: int, *, drain_seconds: float = 5.0
+    ) -> RebalanceReport:
+        """Stop-the-world rebalance to ``shards`` workers.
+
+        Event handoff is a two-phase rewrite: every surviving shard log
+        keeps only what the new ring still routes to it; everything
+        removed is appended (re-stamped) to its new owner's log before
+        the fleet respawns — so each worker's recovery replay sees its
+        complete, gap-free user set.
+        """
+        if shards < 1:
+            raise ServingError(f"shards must be >= 1, got {shards}")
+        with self._state_lock:
+            if self._closed:
+                raise ServerClosedError(self._name)
+            if self._draining or self._rebalancing:
+                raise ServingError(f"fleet {self._name!r} is busy")
+            self._rebalancing = True
+        started = self._clock()
+        old_shards = len(self._handles)
+        try:
+            with obs.span("shard.rebalance", old=old_shards, new=shards):
+                if self._supervisor is not None:
+                    self._supervisor.stop()
+                self._stop_fleet(self._clock() + drain_seconds)
+                new_ring = HashRing(shards, replicas=self._replicas)
+                moved = self._handoff(new_ring, shards)
+                self.ring = new_ring
+                self._router = ShardRouter(
+                    new_ring, fallback=self._fallback
+                )
+                self._boot(shards)
+        finally:
+            with self._state_lock:
+                self._rebalancing = False
+        report = RebalanceReport(
+            old_shards=old_shards,
+            new_shards=shards,
+            events_moved=moved,
+            duration_s=self._clock() - started,
+        )
+        obs.event(
+            "shard.rebalanced",
+            old=old_shards,
+            new=shards,
+            moved=moved,
+            duration_s=round(report.duration_s, 6),
+        )
+        return report
+
+    def _handoff(self, new_ring: HashRing, shards: int) -> int:
+        """Move misplaced events to their new owner shards' logs."""
+        moved: dict[int, list] = {}
+        total = 0
+        for directory in sorted(self._log_root.glob("shard-*")):
+            index = int(directory.name.split("-")[1])
+            log = EventLog(
+                directory,
+                fsync_policy=self._fsync_policy,
+                name=f"{self._name}-handoff-{index}",
+            )
+            if index < shards:
+                removed = log.rewrite(
+                    lambda event, index=index: (
+                        new_ring.route(event.user_id) == index
+                    )
+                )
+            else:
+                removed = log.rewrite(lambda event: False)
+            log.close()
+            # Per-user order survives regrouping: a user's events live
+            # entirely in one source log, in sequence order.
+            for event in removed:
+                moved.setdefault(
+                    new_ring.route(event.user_id), []
+                ).append(event)
+            total += len(removed)
+        for destination in sorted(moved):
+            dest_dir = self._log_root / f"shard-{destination:03d}"
+            dest_dir.mkdir(parents=True, exist_ok=True)
+            dest_log = EventLog(
+                dest_dir,
+                fsync_policy=self._fsync_policy,
+                name=f"{self._name}-handoff-{destination}",
+            )
+            dest_log.append_many(moved[destination])
+            dest_log.close()
+        return total
+
+    def __enter__(self) -> ShardedServer:
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+    # -- request paths -----------------------------------------------------
+
+    def submit(self, request: ServeRequest) -> _FleetSlot | _ResolvedSlot:
+        """Route one request to its owner shard; never hangs.
+
+        Unavailable owner shard: degraded parent-local answer when a
+        fallback pipeline is configured, otherwise RejectedError with a
+        retry-after hint derived from the shard's recovery history.
+        ``shard_saturated`` (per-shard in-flight cap) gets a flat 50 ms
+        hint — saturation clears at service rate, not recovery rate.
+        """
+        with self._state_lock:
+            if self._closed:
+                raise ServerClosedError(self._name)
+            if self._draining:
+                self._reject("draining", None)
+            if self._rebalancing:
+                self._reject("rebalancing", self._drain_seconds)
+        shard_id = self._router.shard_for(request.user_id)
+        handle = self._handles[shard_id]
+        state = handle.current_state()
+        if state != "ok":
+            degraded = self._router.degrade(request)
+            if degraded is not None:
+                self._fleet_metrics["fallbacks"].inc(shard=str(shard_id))
+                self._fleet_metrics["requests"].inc(
+                    shard=str(shard_id), outcome="degraded"
+                )
+                return _ResolvedSlot(degraded)
+            hint = ShardRouter.retry_after(
+                state,
+                unavailable_for=handle.unavailable_for(),
+                last_recovery_seconds=handle.last_recovery_seconds,
+            )
+            reason = (
+                "shard_recovering" if state == "starting" else "shard_down"
+            )
+            self._fleet_metrics["rejected"].inc(reason=reason)
+            self._router.reject(request, shard_id, state, hint)
+        if handle.pending_count() >= self._max_inflight_per_shard:
+            self._reject("shard_saturated", 0.05)
+        req_id = next(self._req_ids)
+        deadline = (
+            request.deadline_seconds
+            if request.deadline_seconds is not None
+            else self._default_deadline_seconds
+        )
+        try:
+            slot = handle.dispatch(
+                req_id,
+                ("req", req_id, request.user_id, request.n, request.lane, deadline),
+            )
+        except ShardError:
+            # The pipe died between the state read and the send — same
+            # answer as finding the shard down up front.
+            self._reject(
+                "shard_down",
+                ShardRouter.retry_after(
+                    "down",
+                    unavailable_for=0.0,
+                    last_recovery_seconds=handle.last_recovery_seconds,
+                ),
+            )
+        return _FleetSlot(
+            request, shard_id, slot, self._count_outcome, self._count_reject
+        )
+
+    def serve(
+        self,
+        user_id: str,
+        n: int = 3,
+        *,
+        lane: str | None = None,
+        deadline_seconds: float | None = None,
+        timeout: float | None = None,
+    ) -> ServeResult:
+        """Submit and wait: the blocking convenience path."""
+        request = ServeRequest(
+            user_id=user_id,
+            n=n,
+            lane=lane,
+            deadline_seconds=deadline_seconds,
+        )
+        return self.submit(request).result(timeout)
+
+    def rate(
+        self,
+        user_id: str,
+        item_id: str,
+        value: float,
+        *,
+        timeout: float = 10.0,
+    ) -> dict:
+        """Journal one rating on the owner shard; ack means durable.
+
+        Writes never degrade and never fall back — an ack that skipped
+        the journal would be a durability lie.  After the owner's ack
+        the parent broadcasts the invalidation to every *other* live
+        shard (the bus), so post-resize stale cache entries die.  A
+        :class:`ShardError` here means the write's fate is unknown
+        (maybe journaled): the caller must treat it as unacknowledged
+        and the next replay is the arbiter.
+        """
+        with self._state_lock:
+            if self._closed:
+                raise ServerClosedError(self._name)
+            if self._draining:
+                self._reject("draining", None)
+            if self._rebalancing:
+                self._reject("rebalancing", self._drain_seconds)
+        shard_id = self._router.shard_for(user_id)
+        handle = self._handles[shard_id]
+        state = handle.current_state()
+        if state != "ok":
+            reason = (
+                "shard_recovering" if state == "starting" else "shard_down"
+            )
+            self._reject(
+                reason,
+                ShardRouter.retry_after(
+                    state,
+                    unavailable_for=handle.unavailable_for(),
+                    last_recovery_seconds=handle.last_recovery_seconds,
+                ),
+            )
+        req_id = next(self._req_ids)
+        slot = handle.dispatch(
+            req_id, ("rate", req_id, user_id, item_id, value)
+        )
+        payload = slot.result(timeout)
+        if not payload.get("acked"):
+            raise EventLogError(payload.get("error") or "append failed")
+        self._broadcast_invalidation(user_id, exclude=shard_id)
+        obs.event(
+            "shard.rate_acked",
+            shard=shard_id,
+            user=user_id,
+            sequence=payload.get("sequence"),
+        )
+        return payload
+
+    def invalidate_user(self, user_id: str) -> int:
+        """Broadcast an invalidation to every live shard (ops surface)."""
+        return self._broadcast_invalidation(user_id, exclude=None)
+
+    def _broadcast_invalidation(
+        self, user_id: str, exclude: int | None
+    ) -> int:
+        delivered = 0
+        for handle in self._handles:
+            if handle.shard_id == exclude:
+                continue
+            if handle.current_state() != "ok":
+                continue  # its replay rebuilds a coherent cache anyway
+            try:
+                handle.send(("inval", user_id))
+            except ShardError:
+                continue  # the supervisor owns the fallout
+            self._fleet_metrics["invalidations"].inc(shard=str(handle.shard_id))
+            delivered += 1
+        return delivered
+
+    def _reject(self, reason: str, retry_after: float | None) -> None:
+        self._fleet_metrics["rejected"].inc(reason=reason)
+        obs.event("shard.reject", reason=reason, stage="fleet")
+        raise RejectedError(reason=reason, retry_after_seconds=retry_after)
+
+    def _count_outcome(self, shard_id: int, outcome: str) -> None:
+        self._fleet_metrics["requests"].inc(shard=str(shard_id), outcome=outcome)
+
+    def _count_reject(self, reason: str) -> None:
+        self._fleet_metrics["rejected"].inc(reason=reason)
+
+    # -- health ------------------------------------------------------------
+
+    def health(self) -> FleetHealthReport:
+        """Aggregate fleet health; also refreshes the state gauges."""
+        with self._state_lock:
+            closed = self._closed
+            draining = self._draining
+            rebalancing = self._rebalancing
+        rows = []
+        for handle in self._handles:
+            snap = handle.snapshot()
+            self._fleet_metrics["state"].set(
+                STATE_CODES.get(snap["state"], 0.0),
+                shard=str(snap["shard_id"]),
+            )
+            rows.append(
+                ShardHealth(
+                    shard_id=snap["shard_id"],
+                    state=snap["state"],
+                    state_reason=snap["state_reason"],
+                    incarnation=snap["incarnation"],
+                    restarts=snap["restarts"],
+                    pid=snap["pid"],
+                    heartbeat_age_s=snap["heartbeat_age_s"],
+                    last_recovery_seconds=snap["last_recovery_seconds"],
+                    worker=snap["payload"],
+                )
+            )
+        shards = tuple(rows)
+        ready = (
+            not closed
+            and not draining
+            and not rebalancing
+            and all(shard.ok for shard in shards)
+        )
+        if closed:
+            status = "closed"
+        elif draining:
+            status = "draining"
+        elif rebalancing:
+            status = "rebalancing"
+        elif any(shard.state == "failed" for shard in shards):
+            status = "degraded"
+        elif any(shard.state in ("starting", "down") for shard in shards):
+            status = "recovering"
+        elif any(
+            shard.worker.get("status") == "degraded" for shard in shards
+        ):
+            status = "degraded"
+        else:
+            status = "ok"
+        return FleetHealthReport(
+            name=self._name, status=status, ready=ready, shards=shards
+        )
+
+    def ready(self) -> bool:
+        """True when every shard is live and recovered."""
+        return self.health().ready
+
+    def await_ready(self, timeout: float = 30.0) -> bool:
+        """Block (poll) until the whole fleet is ready, or time out."""
+        deadline = self._clock() + timeout
+        while True:
+            if self.ready():
+                return True
+            if self._clock() >= deadline:
+                return False
+            time.sleep(0.01)
+
+    # -- introspection (tests / ops) ---------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        """How many shards the fleet currently runs."""
+        return len(self._handles)
+
+    @property
+    def name(self) -> str:
+        """The fleet's display name."""
+        return self._name
+
+    def shard_pids(self) -> dict[int, int | None]:
+        """Current worker pid per shard (chaos tests kill these)."""
+        return {
+            handle.shard_id: (
+                handle.process.pid if handle.process is not None else None
+            )
+            for handle in self._handles
+        }
+
+    def shard_states(self) -> dict[int, str]:
+        """Current liveness state per shard."""
+        return {
+            handle.shard_id: handle.current_state()
+            for handle in self._handles
+        }

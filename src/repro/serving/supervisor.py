@@ -1,0 +1,447 @@
+"""Parent-side shard supervision: handles, liveness, restart policy.
+
+Three pieces:
+
+* :class:`ShardHandle` — the parent's view of one shard: the worker
+  process, both pipe ends, the pending-request table, and the liveness
+  state machine (``starting → ok → down → starting → …``, with ``failed``
+  and ``stopping``/``stopped`` as terminal states);
+* :func:`reader_loop` — one daemon thread per worker *incarnation*
+  draining its event pipe: heartbeats and readiness update the handle,
+  responses resolve pending slots, and EOF — the fastest crash signal —
+  fails every in-flight request immediately so a ``kill -9`` never
+  strands a caller;
+* :class:`ShardSupervisor` — the monitor thread: a dead process
+  (``is_alive()`` false, EOF) is a **crash**; a live process whose
+  heartbeat is older than ``hang_timeout`` is a **hang** (it gets
+  ``SIGKILL``); a worker that never heartbeats within ``start_timeout``
+  is a **slow start**.  All three converge on the same path: fail the
+  shard's in-flight requests, mark it down, and respawn it after a
+  deterministic linear backoff — the replacement re-admits traffic only
+  after replaying the shard's event log (the worker's ``recovery=``
+  gate), so a restart can never answer from pre-crash state.
+
+Locking: each handle has three small leaf locks (state, pending table,
+pipe sends) and no code path holds two at once, so the RR006 lock-order
+graph stays edge-free.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Sequence
+from multiprocessing.connection import Connection
+from multiprocessing.process import BaseProcess
+
+from repro import obs
+from repro.errors import ShardError
+from repro.serving.worker import ShardSpec
+
+__all__ = ["ShardHandle", "ShardSupervisor", "reader_loop"]
+
+#: Handle states that accept no further traffic and no restarts.
+TERMINAL_STATES = ("failed", "stopping", "stopped")
+
+
+class _PendingSlot:
+    """A single-value future for one dispatched shard request."""
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self._event = threading.Event()
+        self._payload: dict | None = None
+        self._error: Exception | None = None
+
+    def deliver(self, payload: dict) -> None:
+        self._payload = payload
+        self._event.set()
+
+    def fail(self, error: Exception) -> None:
+        self._error = error
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> dict:
+        if not self._event.wait(timeout):
+            raise ShardError(
+                self.shard_id, "timeout", "no response within timeout"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._payload is not None
+        return self._payload
+
+
+class ShardHandle:
+    """The parent's mutable view of one shard and its current worker."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        spec: ShardSpec,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.shard_id = shard_id
+        self.spec = spec
+        self._clock = clock
+        #: Guards every liveness/state field below (leaf lock).
+        self.lock = threading.Lock()
+        self.state = "starting"
+        self.state_reason = "spawn"
+        self.incarnation = 0
+        self.restarts = 0
+        self.process: BaseProcess | None = None
+        self.cmd: Connection | None = None
+        self.evt: Connection | None = None
+        self.reader: threading.Thread | None = None
+        self.started_at = clock()
+        self.down_since: float | None = None
+        self.retry_at = 0.0
+        self.last_heartbeat: float | None = None
+        self.last_payload: dict = {}
+        self.last_recovery_seconds: float | None = None
+        self.drain_summary: dict | None = None
+        #: Fleet hook: called with the recovery duration on every
+        #: starting → ok transition (feeds the recovery histogram).
+        self.on_ready: Callable[[float], None] | None = None
+        #: Guards the pending-request table (leaf lock).
+        self.pending_lock = threading.Lock()
+        self.pending: dict[int, _PendingSlot] = {}
+        #: Serialises writes on the command pipe (leaf lock).
+        self.send_lock = threading.Lock()
+
+    # -- state reads ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A consistent copy of the liveness state (for ``health()``)."""
+        now = self._clock()
+        with self.lock:
+            process = self.process
+            return {
+                "shard_id": self.shard_id,
+                "state": self.state,
+                "state_reason": self.state_reason,
+                "incarnation": self.incarnation,
+                "restarts": self.restarts,
+                "pid": process.pid if process is not None else None,
+                "heartbeat_age_s": (
+                    now - self.last_heartbeat
+                    if self.last_heartbeat is not None
+                    else None
+                ),
+                "last_recovery_seconds": self.last_recovery_seconds,
+                "payload": dict(self.last_payload),
+            }
+
+    def pending_count(self) -> int:
+        """How many requests are in flight to this shard."""
+        with self.pending_lock:
+            return len(self.pending)
+
+    def current_state(self) -> str:
+        """The shard's liveness state right now."""
+        with self.lock:
+            return self.state
+
+    def unavailable_for(self) -> float:
+        """Seconds since this shard last accepted traffic (0 when ok)."""
+        now = self._clock()
+        with self.lock:
+            if self.state == "ok":
+                return 0.0
+            since = (
+                self.down_since
+                if self.down_since is not None
+                else self.started_at
+            )
+            return max(0.0, now - since)
+
+    # -- reader-side transitions ------------------------------------------
+
+    def note_heartbeat(self, incarnation: int, payload: dict) -> None:
+        """Record a worker heartbeat (ignored from stale incarnations)."""
+        now = self._clock()
+        with self.lock:
+            if incarnation != self.incarnation:
+                return
+            self.last_heartbeat = now
+            self.last_payload = payload
+
+    def mark_ready(self, incarnation: int, info: dict) -> None:
+        """Recovery finished: the shard re-admits traffic."""
+        now = self._clock()
+        with self.lock:
+            if incarnation != self.incarnation or self.state != "starting":
+                return
+            self.state = "ok"
+            self.state_reason = "recovered"
+            self.last_heartbeat = now
+            recovery_seconds = now - self.started_at
+            self.last_recovery_seconds = recovery_seconds
+            self.down_since = None
+        obs.event(
+            "shard.ready",
+            shard=self.shard_id,
+            incarnation=incarnation,
+            recovery_seconds=round(recovery_seconds, 6),
+            next_sequence=info.get("next_sequence"),
+        )
+        if self.on_ready is not None:
+            self.on_ready(recovery_seconds)
+
+    def mark_failed(self, reason: str, detail: str = "") -> None:
+        """Pin the shard unready (recovery failed / budget exhausted)."""
+        with self.lock:
+            self.state = "failed"
+            self.state_reason = reason
+        obs.event(
+            "shard.failed", shard=self.shard_id, reason=reason, detail=detail
+        )
+        self.fail_pending(ShardError(self.shard_id, reason, detail))
+
+    def note_eof(self, incarnation: int, backoff: float) -> None:
+        """The event pipe closed: fail fast, let the supervisor respawn."""
+        with self.lock:
+            if incarnation != self.incarnation or self.state in (
+                "down",
+                *TERMINAL_STATES,
+            ):
+                stale = True
+            else:
+                stale = False
+                self.state = "down"
+                self.state_reason = "pipe-eof"
+                self.down_since = self._clock()
+                self.retry_at = self.down_since + backoff * self.restarts
+        if not stale:
+            self.fail_pending(
+                ShardError(self.shard_id, "crash", "event pipe closed")
+            )
+
+    def note_stopped(self, summary: dict) -> None:
+        """The worker drained gracefully."""
+        with self.lock:
+            self.drain_summary = summary
+            self.state = "stopped"
+            self.state_reason = "drained"
+
+    # -- request plumbing --------------------------------------------------
+
+    def dispatch(self, req_id: int, message: tuple) -> _PendingSlot:
+        """Register a pending slot and send one request message."""
+        slot = _PendingSlot(self.shard_id)
+        with self.pending_lock:
+            self.pending[req_id] = slot
+        try:
+            self.send(message)
+        except ShardError:
+            with self.pending_lock:
+                self.pending.pop(req_id, None)
+            raise
+        return slot
+
+    def send(self, message: tuple) -> None:
+        """Send one message on the command pipe (raises ShardError)."""
+        with self.send_lock:
+            connection = self.cmd
+            if connection is None:
+                raise ShardError(self.shard_id, "pipe", "no command pipe")
+            try:
+                connection.send(message)
+            except (BrokenPipeError, OSError) as error:
+                raise ShardError(
+                    self.shard_id, "pipe", str(error)
+                ) from error
+
+    def deliver(self, req_id: int, payload: dict) -> None:
+        """Resolve one pending request with the worker's payload."""
+        with self.pending_lock:
+            slot = self.pending.pop(req_id, None)
+        if slot is not None:
+            slot.deliver(payload)
+
+    def fail_pending(self, error: Exception) -> None:
+        """Fail every in-flight request — the never-hang guarantee."""
+        with self.pending_lock:
+            slots = list(self.pending.values())
+            self.pending.clear()
+        for slot in slots:
+            slot.fail(error)
+
+
+def reader_loop(handle: ShardHandle, incarnation: int, evt: Connection, backoff: float) -> None:
+    """Drain one worker incarnation's event pipe until EOF.
+
+    Runs as a daemon thread per spawn; a restarted shard gets a fresh
+    reader on the fresh pipe, and this one exits on EOF of the old one.
+    The fleet's close path joins the *current* reader (RR009's
+    join-path contract); readers for dead incarnations have already
+    exited by construction — EOF is their exit condition.
+    """
+    while True:
+        try:
+            message = evt.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == "hb":
+            handle.note_heartbeat(incarnation, message[1])
+        elif kind == "ready":
+            handle.mark_ready(message[1], message[2])
+        elif kind == "res":
+            handle.deliver(message[1], message[2])
+        elif kind == "recovery-failed":
+            handle.mark_failed("recovery-failed", message[1])
+        elif kind == "stopped":
+            handle.note_stopped(message[1])
+    handle.note_eof(incarnation, backoff)
+
+
+class ShardSupervisor:
+    """The fleet's liveness monitor and restart policy.
+
+    One daemon thread sweeps every handle each ``check_interval``.
+    Detection budgets: a live shard whose heartbeat is older than
+    ``hang_timeout`` is hung (its process gets ``SIGKILL`` — it may be
+    stuck under the GIL and cannot honour anything gentler); a starting
+    shard gets the larger ``start_timeout`` because replaying a log is
+    legitimate silence only up to a point.  Restarts are paced by a
+    deterministic linear backoff (``restart_backoff × restarts`` — no
+    jitter; the fleet is seeded-deterministic end to end) and capped at
+    ``max_restarts``, after which the shard is pinned ``failed`` and
+    the fleet reports unready rather than crash-looping.
+    """
+
+    def __init__(
+        self,
+        handles: Sequence[ShardHandle],
+        *,
+        respawn: Callable[[ShardHandle], None],
+        on_down: Callable[[ShardHandle, str], None] | None = None,
+        hang_timeout: float = 1.0,
+        start_timeout: float = 30.0,
+        check_interval: float = 0.02,
+        max_restarts: int = 5,
+        restart_backoff: float = 0.05,
+        name: str = "repro-fleet",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if hang_timeout <= 0.0:
+            raise ValueError(
+                f"hang_timeout must be > 0, got {hang_timeout}"
+            )
+        if start_timeout <= 0.0:
+            raise ValueError(
+                f"start_timeout must be > 0, got {start_timeout}"
+            )
+        if max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be >= 0, got {max_restarts}"
+            )
+        self._handles = tuple(handles)
+        self._respawn = respawn
+        self._on_down = on_down
+        self.hang_timeout = hang_timeout
+        self.start_timeout = start_timeout
+        self.check_interval = check_interval
+        self.max_restarts = max_restarts
+        self.restart_backoff = restart_backoff
+        self._clock = clock
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._monitor_loop,
+            name=f"{name}-supervisor",
+            daemon=True,
+        )
+
+    def start(self) -> None:
+        """Start the monitor thread."""
+        self._thread.start()
+
+    def stop(self, timeout: float = 2.0) -> None:
+        """Stop monitoring and join the monitor thread."""
+        self._stop.set()
+        self._thread.join(timeout=timeout)
+
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(self.check_interval):
+            now = self._clock()
+            for handle in self._handles:
+                self._check(handle, now)
+
+    def _check(self, handle: ShardHandle, now: float) -> None:
+        with handle.lock:
+            state = handle.state
+            retry_at = handle.retry_at
+            process = handle.process
+            last_heartbeat = handle.last_heartbeat
+            started_at = handle.started_at
+        if state in TERMINAL_STATES:
+            return
+        if state == "down":
+            if now >= retry_at:
+                self._restart(handle)
+            return
+        if process is None:
+            return
+        if not process.is_alive():
+            self._mark_down(
+                handle, "crash", now, detail=f"exitcode={process.exitcode}"
+            )
+            return
+        reference = (
+            last_heartbeat if last_heartbeat is not None else started_at
+        )
+        budget = self.hang_timeout if state == "ok" else self.start_timeout
+        if now - reference > budget:
+            reason = "hang" if state == "ok" else "start-timeout"
+            # A hung worker may be wedged under the GIL; SIGKILL is the
+            # only signal it is guaranteed to honour.
+            process.kill()
+            process.join(timeout=1.0)
+            self._mark_down(handle, reason, now)
+
+    def _mark_down(
+        self, handle: ShardHandle, reason: str, now: float, detail: str = ""
+    ) -> None:
+        obs.event(
+            "shard.down",
+            shard=handle.shard_id,
+            reason=reason,
+            detail=detail,
+            incarnation=handle.incarnation,
+        )
+        handle.fail_pending(ShardError(handle.shard_id, reason, detail))
+        with handle.lock:
+            if handle.state in ("down", *TERMINAL_STATES):
+                return  # the reader's EOF path got here first
+            handle.state = "down"
+            handle.state_reason = reason
+            handle.down_since = now
+            handle.retry_at = now + self.restart_backoff * handle.restarts
+        if self._on_down is not None:
+            self._on_down(handle, reason)
+
+    def _restart(self, handle: ShardHandle) -> None:
+        with handle.lock:
+            if handle.restarts >= self.max_restarts:
+                exhausted = True
+            else:
+                exhausted = False
+                handle.restarts += 1
+        if exhausted:
+            handle.mark_failed(
+                "restart-budget-exhausted",
+                f"max_restarts={self.max_restarts}",
+            )
+            return
+        obs.event(
+            "shard.restart",
+            shard=handle.shard_id,
+            restarts=handle.restarts,
+        )
+        self._respawn(handle)

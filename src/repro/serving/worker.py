@@ -1,0 +1,385 @@
+"""Shard worker process: one shard's serving loop and its wire protocol.
+
+A worker is a child process that owns *one shard*: its own world
+(dataset + pipelines), its own :class:`~repro.cache.ShardedTTLCache`,
+its own :class:`~repro.eventlog.EventLog` directory, and an internal
+:class:`~repro.serving.server.RecommendationServer` gated by the
+existing recovery-readiness machinery (``recovery=`` replays the shard's
+log before the shard admits anyone).  The parent talks to it over two
+unidirectional pipes with plain picklable tuples:
+
+parent → worker (command pipe)::
+
+    ("req",  req_id, user_id, n, lane, deadline_seconds)
+    ("rate", req_id, user_id, item_id, value)
+    ("inval", user_id)          # cross-shard invalidation bus delivery
+    ("stop",)                   # graceful drain
+
+worker → parent (event pipe)::
+
+    ("hb", payload)             # liveness heartbeat + health snapshot
+    ("ready", incarnation, info)
+    ("res", req_id, payload)    # serve / rate response
+    ("recovery-failed", message)
+    ("stopped", drain_summary)
+
+The worker is **crash-only**: it catches taxonomy errors it can answer
+for (a rejected request, a failed append) and lets anything unexpected
+kill the process — the supervisor's restart-and-replay path is the
+recovery story, not in-process heroics.  A genuine ``kill -9`` needs no
+cooperation: the parent sees EOF on the event pipe and a dead process.
+
+Everything here must stay picklable under the ``spawn`` start method:
+:class:`ShardSpec` crosses the process boundary, so ``world_factory``
+must be a module-level callable.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+from multiprocessing.connection import Connection
+
+from repro.cache import ShardedTTLCache
+from repro.errors import (
+    DataError,
+    EventLogError,
+    RejectedError,
+    ServingError,
+)
+from repro.eventlog import EventLog, replay
+from repro.eventlog.events import InteractionEvent
+from repro.interaction import RatingChannel
+from repro.resilience.chaos import ShardFaultPlan, ShardFaultSchedule
+from repro.serving.server import RecommendationServer, ServeResult
+
+__all__ = [
+    "ShardSpec",
+    "WireRecommendation",
+    "movie_world",
+    "result_to_wire",
+    "shard_main",
+    "to_wire",
+]
+
+
+@dataclass(frozen=True)
+class WireRecommendation:
+    """One recommendation flattened for the pipe.
+
+    The explanation is carried as its final render, not the object
+    graph: the byte-identity acceptance check (“a recovered shard
+    answers exactly what it answered before the crash”) compares these
+    strings, and a string survives pickling without depending on every
+    explanation class being stable under it.
+    """
+
+    item_id: str
+    score: float
+    degraded: bool
+    render: str | None
+
+
+def to_wire(recommendations: tuple) -> tuple[WireRecommendation, ...]:
+    """Flatten a pipeline's recommendation batch for the pipe."""
+    wired = []
+    for rec in recommendations:
+        explanation = getattr(rec, "explanation", None)
+        wired.append(
+            WireRecommendation(
+                item_id=rec.item_id,
+                score=float(rec.score),
+                degraded=bool(getattr(rec, "degraded", False)),
+                render=(
+                    explanation.render(include_details=True)
+                    if explanation is not None
+                    else None
+                ),
+            )
+        )
+    return tuple(wired)
+
+
+def result_to_wire(result: ServeResult) -> dict:
+    """A :class:`ServeResult` as a picklable payload dict."""
+    return {
+        "outcome": result.outcome,
+        "recommendations": to_wire(result.recommendations),
+        "shed_reason": result.shed_reason,
+        "error": result.error,
+        "queue_wait_s": result.queue_wait_s,
+        "service_s": result.service_s,
+        "cached": result.cached,
+    }
+
+
+def movie_world(seed: int) -> tuple[object, dict[str, object]]:
+    """The default shard world: a deterministic movie catalog.
+
+    Every shard builds the *same* catalog from the same seed — sharding
+    partitions users, not items — so any shard can compute for any user
+    and two workers that replayed the same log answer byte-identically.
+    Returns ``(dataset, lanes)``.
+    """
+    from repro.core import ExplainedRecommender, NeighborHistogramExplainer
+    from repro.domains import make_movies
+    from repro.recsys import UserBasedCF
+
+    world = make_movies(n_users=40, n_items=80, seed=seed, density=0.25)
+    pipeline = ExplainedRecommender(
+        UserBasedCF(), NeighborHistogramExplainer()
+    ).fit(world.dataset)
+    return world.dataset, {"default": pipeline}
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything a worker process needs to boot one shard (picklable)."""
+
+    shard_id: int
+    incarnation: int
+    name: str
+    log_dir: str
+    world_factory: Callable[[int], tuple[object, dict[str, object]]]
+    seed: int = 7
+    workers: int = 2
+    queue_size: int = 32
+    default_deadline_seconds: float | None = None
+    cache_capacity: int = 512
+    cache_ttl_seconds: float = 60.0
+    heartbeat_seconds: float = 0.05
+    drain_seconds: float = 2.0
+    fsync_policy: str = "always"
+    fault_plan: ShardFaultPlan | None = None
+
+    @property
+    def shard_name(self) -> str:
+        """The worker's display name (``fleet-shard-2``)."""
+        return f"{self.name}-shard-{self.shard_id}"
+
+
+def _absorbing_substrates(lanes: Mapping[str, object]) -> list[object]:
+    """The lane substrates that can absorb rating events incrementally."""
+    substrates = []
+    for pipeline in lanes.values():
+        recommender = getattr(pipeline, "recommender", None)
+        if recommender is not None and hasattr(recommender, "absorb"):
+            substrates.append(recommender)
+    return substrates
+
+
+def _health_payload(server: RecommendationServer, completed: int) -> dict:
+    """The snapshot a heartbeat carries (fleet ``health()`` raw material)."""
+    health = server.health()
+    return {
+        "status": health.status,
+        "ready": health.ready,
+        "queue_depth": health.queue_depth,
+        "inflight": health.inflight,
+        "breaker_states": dict(health.breaker_states),
+        "bulkhead_active": dict(health.bulkhead_active),
+        "completed": completed,
+    }
+
+
+def _send(evt: Connection, message: tuple) -> bool:
+    """Best-effort send to the parent; ``False`` means the parent died."""
+    try:
+        evt.send(message)
+    except (BrokenPipeError, OSError):
+        return False
+    return True
+
+
+def _apply_fault(schedule: ShardFaultSchedule | None) -> None:
+    """Roll and apply the next injected fault, if any."""
+    if schedule is None:
+        return
+    action = schedule.on_request()
+    if action == "kill":
+        # A genuine kill -9 of ourselves: no flush, no goodbye.  The
+        # parent learns about it exactly the way it learns about an OOM
+        # kill — EOF on the event pipe and a dead process.
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif action == "hang":
+        # Stall inside the serving loop: the process stays alive but
+        # heartbeats stop, which is what the supervisor's stale-
+        # heartbeat detection exists for.
+        time.sleep(schedule.hang_seconds)
+
+
+def _serve_payload(
+    server: RecommendationServer,
+    user_id: str,
+    n: int,
+    lane: str | None,
+    deadline_seconds: float | None,
+) -> dict:
+    try:
+        result = server.serve(
+            user_id, n=n, lane=lane, deadline_seconds=deadline_seconds
+        )
+    except RejectedError as error:
+        # Submit-time backpressure inside the shard (queue full, still
+        # recovering): carried distinctly so the parent re-raises it as
+        # RejectedError, keeping the retry-after contract end to end.
+        return {
+            "rejected": True,
+            "reason": error.reason,
+            "retry_after": error.retry_after_seconds,
+        }
+    except ServingError as error:
+        return {
+            "outcome": "failed",
+            "recommendations": (),
+            "shed_reason": None,
+            "error": f"{type(error).__name__}: {error}",
+            "queue_wait_s": 0.0,
+            "service_s": 0.0,
+            "cached": False,
+        }
+    return result_to_wire(result)
+
+
+def _rate_payload(
+    channel: RatingChannel, user_id: str, item_id: str, value: float
+) -> dict:
+    try:
+        event: InteractionEvent = channel.rate(user_id, item_id, value)
+    except (DataError, EventLogError) as error:
+        # Explicitly NOT acked, so the parent must not invalidate other
+        # shards or report durability to the client.  EventLogError:
+        # the append failed before any mutation.  DataError (unknown
+        # item, bad value): a malformed client request must not crash
+        # the shard — and replay skips such events by the same rule.
+        return {
+            "acked": False,
+            "error": f"{type(error).__name__}: {error}",
+        }
+    return {"acked": True, "sequence": event.sequence, "kind": event.kind}
+
+
+def shard_main(spec: ShardSpec, cmd: Connection, evt: Connection) -> None:
+    """Worker process entry point: boot the shard, then serve the pipes.
+
+    Boot order is the durability story: fault schedule (slow-start
+    injection happens *before* any heartbeat), world build, cache, event
+    log, rating channel wired to journal-before-ack, then an internal
+    :class:`RecommendationServer` whose ``recovery=`` hook replays the
+    shard's log — the worker heartbeats *during* replay (so a hung
+    recovery is detectable) and announces ``("ready", ...)`` only once
+    ``await_recovery`` succeeds.
+    """
+    schedule = (
+        spec.fault_plan.schedule(spec.shard_id, spec.incarnation)
+        if spec.fault_plan is not None
+        else None
+    )
+    if schedule is not None and schedule.startup_delay > 0.0:
+        time.sleep(schedule.startup_delay)
+    dataset, lanes = spec.world_factory(spec.seed)
+    cache = ShardedTTLCache(
+        name=f"{spec.shard_name}-cache",
+        capacity=spec.cache_capacity,
+        ttl_seconds=spec.cache_ttl_seconds,
+    )
+    log = EventLog(
+        spec.log_dir,
+        fsync_policy=spec.fsync_policy,
+        name=spec.shard_name,
+    )
+    substrates = _absorbing_substrates(lanes)
+    channel = RatingChannel(dataset, event_log=log)
+    channel.subscribe(lambda event: cache.invalidate_user(event.user_id))
+    for substrate in substrates:
+        channel.subscribe(substrate.absorb)
+
+    def recovery() -> object:
+        return replay(log, dataset, caches=[cache], substrates=substrates)
+
+    server = RecommendationServer(
+        lanes,
+        workers=spec.workers,
+        queue_size=spec.queue_size,
+        default_deadline_seconds=spec.default_deadline_seconds,
+        cache=cache,
+        recovery=recovery,
+        name=spec.shard_name,
+    )
+    completed = 0
+    ready_sent = False
+    last_heartbeat = 0.0
+    alive = True
+    while alive:
+        if not ready_sent:
+            try:
+                if server.await_recovery(timeout=0):
+                    ready_sent = True
+                    alive = _send(
+                        evt,
+                        (
+                            "ready",
+                            spec.incarnation,
+                            {
+                                "recovery": getattr(
+                                    server.recovery_report, "as_dict", dict
+                                )(),
+                                "next_sequence": log.next_sequence,
+                            },
+                        ),
+                    )
+            except ServingError as error:
+                # Failed recovery pins the shard unready; tell the
+                # parent (which marks the shard failed instead of
+                # crash-looping a replay that cannot succeed) and die.
+                _send(evt, ("recovery-failed", str(error)))
+                break
+        now = time.monotonic()
+        if now - last_heartbeat >= spec.heartbeat_seconds:
+            last_heartbeat = now
+            alive = _send(evt, ("hb", _health_payload(server, completed)))
+            if not alive:
+                break
+        if not cmd.poll(spec.heartbeat_seconds):
+            continue
+        try:
+            message = cmd.recv()
+        except (EOFError, OSError):
+            break  # the parent is gone; nothing left to serve
+        kind = message[0]
+        if kind == "req":
+            __, req_id, user_id, n, lane, deadline_seconds = message
+            _apply_fault(schedule)
+            payload = _serve_payload(
+                server, user_id, n, lane, deadline_seconds
+            )
+            completed += 1
+            alive = _send(evt, ("res", req_id, payload))
+        elif kind == "rate":
+            __, req_id, user_id, item_id, value = message
+            _apply_fault(schedule)
+            alive = _send(
+                evt,
+                ("res", req_id, _rate_payload(channel, user_id, item_id, value)),
+            )
+        elif kind == "inval":
+            cache.invalidate_user(message[1])
+        elif kind == "stop":
+            drain = server.close(spec.drain_seconds)
+            log.close()
+            _send(
+                evt,
+                (
+                    "stopped",
+                    {
+                        "completed_total": drain.completed_total,
+                        "shed_queued": drain.shed_queued,
+                        "workers_timed_out": drain.workers_timed_out,
+                        "duration_s": drain.duration_s,
+                    },
+                ),
+            )
+            break

@@ -1,0 +1,200 @@
+"""RR009 orphaned-worker fixtures: spawn without a join/terminate path.
+
+Each positive snippet models a real leak shape the shard fleet code
+could regress into (a worker process created in ``_launch`` that no
+close-route method ever joins); each negative models the idioms the
+production code actually uses (loop-join over a collection, close-route
+fixed point through ``stop`` → ``close``, dotted handle reclaim).
+"""
+
+from __future__ import annotations
+
+from tests.analysis.test_rules import findings_for
+
+PACKAGE = "repro.serving"
+
+
+class TestOrphanedWorkerRR009:
+    def test_anonymous_worker_is_flagged(self):
+        findings = findings_for(
+            """
+            import threading
+
+            class Fleet:
+                def start(self):
+                    threading.Thread(target=self._loop, daemon=True).start()
+
+                def close(self):
+                    pass
+            """,
+            "RR009",
+            package=PACKAGE,
+        )
+        assert len(findings) == 1
+        assert findings[0].slug == "anonymous-worker"
+        assert findings[0].scope == "Fleet.start"
+
+    def test_attribute_worker_without_close_route_join_is_flagged(self):
+        findings = findings_for(
+            """
+            import threading
+
+            class Fleet:
+                def start(self):
+                    self._monitor = threading.Thread(target=self._loop)
+                    self._monitor.start()
+
+                def close(self):
+                    self._closed = True
+            """,
+            "RR009",
+            package=PACKAGE,
+        )
+        assert len(findings) == 1
+        assert "self._monitor" in findings[0].message
+
+    def test_local_worker_without_same_scope_join_is_flagged(self):
+        findings = findings_for(
+            """
+            import multiprocessing
+
+            def launch(spec):
+                process = multiprocessing.Process(target=spec.run)
+                process.start()
+                return process.pid
+            """,
+            "RR009",
+            package=PACKAGE,
+        )
+        assert len(findings) == 1
+        assert "process" in findings[0].message
+
+    def test_attribute_joined_on_close_route_is_clean(self):
+        assert not findings_for(
+            """
+            import threading
+
+            class Fleet:
+                def start(self):
+                    self._monitor = threading.Thread(target=self._loop)
+                    self._monitor.start()
+
+                def close(self):
+                    self._monitor.join(timeout=2.0)
+            """,
+            "RR009",
+            package=PACKAGE,
+        )
+
+    def test_close_route_fixed_point_through_stop_is_clean(self):
+        # close() never names the thread itself, but it calls stop(),
+        # which does: the close-route closure must credit the reclaim.
+        assert not findings_for(
+            """
+            import threading
+
+            class Supervisor:
+                def start(self):
+                    self._thread = threading.Thread(target=self._loop)
+                    self._thread.start()
+
+                def stop(self):
+                    self._thread.join(timeout=2.0)
+
+                def close(self):
+                    self.stop()
+            """,
+            "RR009",
+            package=PACKAGE,
+        )
+
+    def test_append_then_loop_join_over_collection_is_clean(self):
+        # The production server pattern: workers collected into a list,
+        # joined via a bare loop variable over that same collection.
+        assert not findings_for(
+            """
+            import threading
+
+            class Pool:
+                def start(self, n):
+                    self._workers = []
+                    for _ in range(n):
+                        self._workers.append(
+                            threading.Thread(target=self._loop)
+                        )
+
+                def close(self):
+                    for worker in self._workers:
+                        worker.join(timeout=1.0)
+            """,
+            "RR009",
+            package=PACKAGE,
+        )
+
+    def test_listcomp_creation_with_loop_join_is_clean(self):
+        assert not findings_for(
+            """
+            import threading
+
+            class Pool:
+                def start(self, n):
+                    self._workers = [
+                        threading.Thread(target=self._loop)
+                        for _ in range(n)
+                    ]
+
+                def drain(self):
+                    for thread in self._workers:
+                        thread.join()
+            """,
+            "RR009",
+            package=PACKAGE,
+        )
+
+    def test_module_level_spawn_and_join_is_clean(self):
+        assert not findings_for(
+            """
+            import multiprocessing
+
+            def run_once(spec):
+                process = multiprocessing.Process(target=spec.run)
+                process.start()
+                process.join(timeout=5.0)
+            """,
+            "RR009",
+            package=PACKAGE,
+        )
+
+    def test_dotted_handle_reclaim_matches_creation_key(self):
+        # handle.process is created in _launch and reclaimed on the
+        # close route via the same dotted key — the supervisor idiom.
+        assert not findings_for(
+            """
+            import multiprocessing
+
+            class Fleet:
+                def _launch(self, handle):
+                    handle.process = multiprocessing.Process(
+                        target=handle.spec.run
+                    )
+                    handle.process.start()
+
+                def close(self):
+                    for handle in self._handles:
+                        handle.process.terminate()
+            """,
+            "RR009",
+            package=PACKAGE,
+        )
+
+    def test_rule_is_scoped_to_repro_serving(self):
+        leaky = """
+        import threading
+
+        class Runner:
+            def start(self):
+                threading.Thread(target=self._loop).start()
+        """
+        assert findings_for(leaky, "RR009", package="repro.serving.sharding")
+        assert not findings_for(leaky, "RR009", package="repro.evaluation")
+        assert not findings_for(leaky, "RR009", package=None)

@@ -1,0 +1,184 @@
+"""Fleet-level kill -9 acceptance: durability, liveness, byte identity.
+
+The sharded tentpole invariant, end to end with real processes:
+
+* ``kill -9`` on a shard worker loses **zero acknowledged
+  interactions** — proven against the shard's event log on disk, not
+  the survivor's word for it;
+* while the shard recovers, the router **rejects with a retry-after
+  hint or degrades — it never hangs** (every call below carries a
+  bounded timeout, so a hang is a test failure, not a CI stall);
+* the fleet returns to ``ready()`` and the recovered shard answers
+  **byte-identically** (item ids, scores, rendered explanations) to
+  its pre-crash self.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+from repro.errors import RejectedError
+from repro.eventlog import EventLog
+from repro.resilience import ShardFaultPlan
+from repro.serving import ShardedServer, run_traffic
+
+SERVE_TIMEOUT = 30.0
+
+
+def wire_key(result):
+    return [
+        (rec.item_id, rec.score, rec.render)
+        for rec in result.recommendations
+    ]
+
+
+def users_of_shard(fleet, shard_id, count):
+    picked = [
+        f"user_{i:03d}"
+        for i in range(40)
+        if fleet.ring.route(f"user_{i:03d}") == shard_id
+    ]
+    assert len(picked) >= count
+    return picked[:count]
+
+
+class TestKillNineRecovery:
+    def test_no_acked_loss_never_hangs_byte_identical_after_kill(
+        self, tmp_path
+    ):
+        fleet = ShardedServer(
+            log_root=tmp_path / "logs",
+            shards=2,
+            shard_workers=1,
+            name="chaos-fleet",
+            hang_timeout=0.5,
+            restart_backoff=0.05,
+        )
+        try:
+            assert fleet.await_ready(timeout=60.0)
+            victim = 0
+            users = users_of_shard(fleet, victim, 3)
+
+            # acknowledged writes: the durability set the log must hold
+            acked = []
+            for offset, user_id in enumerate(users):
+                item_id = f"movie_{10 + offset:03d}"
+                payload = fleet.rate(user_id, item_id, 5.0)
+                assert payload["acked"]
+                acked.append((user_id, item_id, 5.0))
+
+            before = {
+                user_id: wire_key(
+                    fleet.serve(user_id, timeout=SERVE_TIMEOUT)
+                )
+                for user_id in users
+            }
+
+            pid = fleet.shard_pids()[victim]
+            os.kill(pid, signal.SIGKILL)
+
+            # during recovery: rejected-with-hint, never a hang
+            rejects = 0
+            deadline = time.monotonic() + 60.0
+            recovered = False
+            while time.monotonic() < deadline:
+                try:
+                    result = fleet.serve(
+                        users[0], timeout=SERVE_TIMEOUT
+                    )
+                except RejectedError as error:
+                    rejects += 1
+                    assert error.reason in {
+                        "shard_down",
+                        "shard_recovering",
+                        "shard_saturated",
+                    }
+                    assert error.retry_after_seconds is not None
+                    assert error.retry_after_seconds > 0
+                    time.sleep(
+                        min(error.retry_after_seconds, 0.05)
+                    )
+                    continue
+                if result.outcome == "served":
+                    recovered = True
+                    break
+            assert recovered, "shard never recovered from kill -9"
+            assert rejects > 0, "kill was never even noticed"
+            assert fleet.await_ready(timeout=30.0)
+
+            # the restart is visible in fleet health
+            health = fleet.health()
+            victim_health = next(
+                s for s in health.shards if s.shard_id == victim
+            )
+            assert victim_health.restarts >= 1
+            assert victim_health.ok
+            assert fleet.shard_pids()[victim] != pid
+
+            # byte identity: replayed state answers exactly as before
+            for user_id in users:
+                after = wire_key(
+                    fleet.serve(user_id, timeout=SERVE_TIMEOUT)
+                )
+                assert after == before[user_id]
+
+            # zero acknowledged loss, proven against the bytes on disk
+            fleet.close()
+            log = EventLog(
+                tmp_path / "logs" / f"shard-{victim:03d}",
+                name="proof",
+            )
+            scan = log.scan()
+            log.close()
+            durable = {
+                (event.user_id, event.item_id, event.value)
+                for event in scan.events
+            }
+            for written in acked:
+                assert written in durable
+        finally:
+            fleet.close()
+
+
+class TestFaultPlanUnderTraffic:
+    def test_traffic_survives_an_injected_kill(self, tmp_path):
+        # shard 0 SIGKILLs itself on its 5th request, mid-run; the
+        # driver keeps going (rejections are shed, not hangs) and the
+        # fleet converges back to ready because the restarted
+        # incarnation is disarmed.
+        fleet = ShardedServer(
+            log_root=tmp_path / "logs",
+            shards=2,
+            shard_workers=1,
+            name="traffic-fleet",
+            hang_timeout=0.5,
+            restart_backoff=0.05,
+            fault_plan=ShardFaultPlan(kill_after={0: 5}),
+        )
+        try:
+            assert fleet.await_ready(timeout=60.0)
+            user_ids = [f"user_{i:03d}" for i in range(40)]
+            report = run_traffic(
+                fleet,
+                user_ids,
+                requests=120,
+                clients=4,
+                n=3,
+                seed=3,
+            )
+            outcomes = dict(report.outcomes)
+            assert sum(outcomes.values()) == 120
+            assert outcomes.get("served", 0) > 0
+            assert fleet.await_ready(timeout=60.0)
+            health = fleet.health()
+            shard0 = next(
+                s for s in health.shards if s.shard_id == 0
+            )
+            assert shard0.restarts >= 1
+            assert health.ready
+            drain = fleet.close()
+            assert drain.clean
+        finally:
+            fleet.close()

@@ -1,0 +1,84 @@
+"""ShardFaultPlan: deterministic worker-fault schedules for the fleet."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.resilience import ShardFaultPlan, ShardFaultSchedule
+
+
+class TestShardFaultPlan:
+    def test_deterministic_kill_trigger_fires_once(self):
+        plan = ShardFaultPlan(kill_after={1: 2})
+        schedule = plan.schedule(1, 0)
+        assert [schedule.on_request() for _ in range(5)] == [
+            None,
+            None,
+            "kill",
+            None,
+            None,
+        ]
+
+    def test_other_shards_are_untouched(self):
+        plan = ShardFaultPlan(kill_after={1: 0})
+        schedule = plan.schedule(0, 0)
+        assert all(schedule.on_request() is None for _ in range(10))
+
+    def test_hang_trigger(self):
+        plan = ShardFaultPlan(hang_after={0: 1}, hang_seconds=3.0)
+        schedule = plan.schedule(0, 0)
+        assert schedule.on_request() is None
+        assert schedule.on_request() == "hang"
+        assert schedule.hang_seconds == 3.0
+
+    def test_first_incarnation_only_disarms_restarts(self):
+        # default: the restarted worker converges instead of crash-looping
+        plan = ShardFaultPlan(kill_after={0: 0}, slow_start_seconds={0: 9.0})
+        restarted = plan.schedule(0, 1)
+        assert restarted.kill_at is None
+        assert restarted.startup_delay == 0.0
+        assert all(restarted.on_request() is None for _ in range(5))
+
+    def test_every_incarnation_armed_when_asked(self):
+        plan = ShardFaultPlan(
+            kill_after={0: 0}, first_incarnation_only=False
+        )
+        assert plan.schedule(0, 3).on_request() == "kill"
+
+    def test_seeded_rates_replay_exactly(self):
+        def stream(seed):
+            schedule = ShardFaultPlan(kill_rate=0.3, seed=seed).schedule(2, 0)
+            return [schedule.on_request() for _ in range(50)]
+
+        assert stream(11) == stream(11)
+        assert "kill" in stream(11)
+        assert stream(11) != stream(12)
+
+    def test_streams_differ_across_shards_and_incarnations(self):
+        plan = ShardFaultPlan(
+            kill_rate=0.5, first_incarnation_only=False, seed=4
+        )
+
+        def rolls(shard_id, incarnation):
+            schedule = plan.schedule(shard_id, incarnation)
+            return [schedule.on_request() for _ in range(40)]
+
+        assert rolls(0, 0) != rolls(1, 0)
+        assert rolls(0, 0) != rolls(0, 1)
+
+    def test_plan_is_picklable(self):
+        # the plan crosses the process boundary inside the shard spec
+        plan = ShardFaultPlan(
+            kill_after={0: 3}, hang_rate=0.1, seed=9
+        )
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.kill_after == {0: 3}
+        assert isinstance(clone.schedule(0, 0), ShardFaultSchedule)
+
+    def test_rejects_out_of_range_rates(self):
+        with pytest.raises(ValueError):
+            ShardFaultPlan(kill_rate=1.5)
+        with pytest.raises(ValueError):
+            ShardFaultPlan(hang_seconds=-1.0)

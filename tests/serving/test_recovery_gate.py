@@ -1,0 +1,135 @@
+"""Recovery-gated readiness: await_recovery, health chain, retry-after.
+
+A server booted with ``recovery=`` must not admit anyone until replay
+finishes — these tests pin the whole chain: the blocking/timeout
+semantics of ``await_recovery``, the ``recovering`` → ``ok`` health
+transition, the pinned-unready terminal state after a *failed*
+recovery, and the retry-after hint a recovering replica hands back
+(derived from elapsed replay time, not a constant).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import RejectedError, ReproError, ServingError
+from repro.serving import RecommendationServer, ServeRequest
+from tests.serving.conftest import ScriptedPipeline
+from tests.serving.test_server import FakeClock
+
+
+def make_recovering_server(recovery, **overrides) -> RecommendationServer:
+    options = dict(workers=1, queue_size=4, recovery=recovery)
+    options.update(overrides)
+    return RecommendationServer(ScriptedPipeline(), **options)
+
+
+class TestAwaitRecovery:
+    def test_timeout_returns_false_while_replay_runs(self):
+        gate = threading.Event()
+        server = make_recovering_server(gate.wait)
+        try:
+            assert server.await_recovery(timeout=0.05) is False
+            assert server.recovering
+        finally:
+            gate.set()
+            server.close()
+
+    def test_returns_true_once_replay_finishes(self):
+        gate = threading.Event()
+        server = make_recovering_server(gate.wait)
+        try:
+            gate.set()
+            assert server.await_recovery(timeout=5.0) is True
+            assert not server.recovering
+        finally:
+            server.close()
+
+    def test_no_recovery_hook_means_immediately_recovered(self):
+        with RecommendationServer(ScriptedPipeline(), workers=1) as server:
+            assert server.await_recovery(timeout=0) is True
+
+    def test_failed_recovery_raises_serving_error(self):
+        def failing():
+            raise ReproError("segment 3 truncated mid-record")
+
+        server = make_recovering_server(failing)
+        try:
+            with pytest.raises(ServingError, match="recovery failed"):
+                server.await_recovery(timeout=5.0)
+        finally:
+            server.close()
+
+
+class TestHealthChain:
+    def test_recovering_then_ok(self):
+        gate = threading.Event()
+        server = make_recovering_server(gate.wait)
+        try:
+            health = server.health()
+            assert health.status == "recovering"
+            assert health.live and not health.ready
+            gate.set()
+            assert server.await_recovery(timeout=5.0)
+            health = server.health()
+            assert health.status == "ok"
+            assert health.ready
+            # and the gate actually lifts: requests are admitted
+            assert server.serve("u1").outcome == "served"
+        finally:
+            server.close()
+
+    def test_failed_recovery_pins_the_replica_unready(self):
+        def failing():
+            raise ReproError("log unreadable")
+
+        server = make_recovering_server(failing)
+        try:
+            with pytest.raises(ServingError):
+                server.await_recovery(timeout=5.0)
+            # still "recovering" forever: never flips ready, never
+            # serves from pre-crash state
+            health = server.health()
+            assert health.status == "recovering"
+            assert not health.ready
+            assert server.recovery_error is not None
+            assert "ReproError" in server.recovery_error
+            with pytest.raises(RejectedError):
+                server.submit(ServeRequest(user_id="u1", n=3))
+        finally:
+            server.close()
+
+
+class TestRecoveryRetryAfter:
+    def test_reject_reason_and_hint_scale_with_elapsed_replay(self):
+        clock = FakeClock(now=100.0)
+        gate = threading.Event()
+        server = make_recovering_server(gate.wait, clock=clock)
+        try:
+            clock.now = 102.0  # 2s into replay -> come back in ~1s
+            with pytest.raises(RejectedError) as excinfo:
+                server.submit(ServeRequest(user_id="u1", n=3))
+            assert excinfo.value.reason == "recovering"
+            assert excinfo.value.retry_after_seconds == pytest.approx(1.0)
+        finally:
+            gate.set()
+            server.close()
+
+    def test_hint_is_clamped_to_the_backoff_window(self):
+        clock = FakeClock(now=0.0)
+        gate = threading.Event()
+        server = make_recovering_server(gate.wait, clock=clock)
+        try:
+            # instant reject: floor, never zero (no hot-looping clients)
+            with pytest.raises(RejectedError) as excinfo:
+                server.submit(ServeRequest(user_id="u1", n=3))
+            assert excinfo.value.retry_after_seconds == pytest.approx(0.05)
+            clock.now = 1000.0  # pathological replay: capped at 5s
+            with pytest.raises(RejectedError) as excinfo:
+                server.submit(ServeRequest(user_id="u1", n=3))
+            assert excinfo.value.retry_after_seconds == pytest.approx(5.0)
+        finally:
+            gate.set()
+            server.close()

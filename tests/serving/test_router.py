@@ -1,0 +1,135 @@
+"""HashRing placement and ShardRouter rejection/degrade contracts."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import RejectedError, ServingError
+from repro.serving import HashRing, ServeRequest, ShardRouter
+
+
+class TestHashRing:
+    def test_route_is_deterministic(self):
+        ring = HashRing(4)
+        again = HashRing(4)
+        users = [f"user_{i:03d}" for i in range(200)]
+        assert [ring.route(u) for u in users] == [
+            again.route(u) for u in users
+        ]
+
+    def test_route_stays_in_range(self):
+        ring = HashRing(3)
+        for i in range(500):
+            assert 0 <= ring.route(f"user_{i}") < 3
+
+    def test_every_shard_owns_some_users(self):
+        ring = HashRing(4, replicas=64)
+        owners = {ring.route(f"user_{i:04d}") for i in range(1000)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_assignments_partition_the_keys(self):
+        ring = HashRing(3)
+        users = [f"user_{i:03d}" for i in range(120)]
+        groups = ring.assignments(users)
+        flattened = [user for members in groups.values() for user in members]
+        assert sorted(flattened) == sorted(users)
+        for shard_id, members in groups.items():
+            assert all(ring.route(u) == shard_id for u in members)
+
+    def test_resize_moves_a_bounded_fraction(self):
+        # Consistent hashing's whole point: growing 4 -> 5 shards moves
+        # roughly 1/5 of the keys, not all of them (modulo hashing would
+        # reshuffle ~80%).
+        users = [f"user_{i:04d}" for i in range(2000)]
+        before = HashRing(4)
+        after = HashRing(5)
+        moved = sum(
+            1 for u in users if before.route(u) != after.route(u)
+        )
+        assert 0 < moved / len(users) < 0.45
+
+    def test_rejects_nonpositive_shard_count(self):
+        with pytest.raises(ServingError):
+            HashRing(0)
+        with pytest.raises(ServingError):
+            HashRing(2, replicas=0)
+
+
+class TestRetryAfter:
+    def test_recovering_shard_uses_last_recovery_history(self):
+        # 1s into a replay that historically takes 4s: come back for
+        # the remaining share, not a fixed constant.
+        hint = ShardRouter.retry_after(
+            "starting", unavailable_for=1.0, last_recovery_seconds=4.0
+        )
+        assert hint == pytest.approx(3.0)
+
+    def test_recovery_hint_is_clamped(self):
+        assert (
+            ShardRouter.retry_after(
+                "starting", unavailable_for=0.0, last_recovery_seconds=60.0
+            )
+            == 5.0
+        )
+        assert (
+            ShardRouter.retry_after(
+                "starting", unavailable_for=3.99, last_recovery_seconds=4.0
+            )
+            == pytest.approx(0.05)
+        )
+
+    def test_down_shard_hint_scales_with_outage(self):
+        assert ShardRouter.retry_after(
+            "down", unavailable_for=2.0, last_recovery_seconds=None
+        ) == pytest.approx(1.0)
+        assert (
+            ShardRouter.retry_after(
+                "down", unavailable_for=100.0, last_recovery_seconds=None
+            )
+            == 5.0
+        )
+
+
+class TestShardRouter:
+    def test_shard_for_matches_ring(self):
+        ring = HashRing(3)
+        router = ShardRouter(ring)
+        for i in range(50):
+            user = f"user_{i:03d}"
+            assert router.shard_for(user) == ring.route(user)
+
+    def test_reject_recovering_carries_retry_after(self):
+        router = ShardRouter(HashRing(2))
+        request = ServeRequest(user_id="user_001", n=3)
+        with pytest.raises(RejectedError) as excinfo:
+            router.reject(request, 0, "starting", 0.7)
+        assert excinfo.value.reason == "shard_recovering"
+        assert excinfo.value.retry_after_seconds == 0.7
+
+    def test_reject_down_shard_reason(self):
+        router = ShardRouter(HashRing(2))
+        request = ServeRequest(user_id="user_001", n=3)
+        with pytest.raises(RejectedError) as excinfo:
+            router.reject(request, 1, "down", 0.5)
+        assert excinfo.value.reason == "shard_down"
+
+    def test_degrade_without_fallback_returns_none(self):
+        router = ShardRouter(HashRing(2))
+        assert router.degrade(ServeRequest(user_id="u", n=3)) is None
+
+    def test_degrade_with_fallback_builds_degraded_result(self):
+        class Popularity:
+            def recommend(self, user_id, n=3):
+                return [
+                    SimpleNamespace(item_id=f"movie_{i:03d}", score=1.0 - i / 10)
+                    for i in range(n)
+                ]
+
+        router = ShardRouter(HashRing(2), fallback=Popularity())
+        result = router.degrade(ServeRequest(user_id="user_009", n=2))
+        assert result is not None
+        assert result.outcome == "degraded"
+        assert len(result.recommendations) == 2
+        assert all(rec.degraded for rec in result.recommendations)
