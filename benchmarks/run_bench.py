@@ -83,6 +83,12 @@ The JSON schema (``repro.obs.bench/v2``)::
         ],
         "failover": {"mttr_s": ..., "rejects_during_recovery": ...}
       },
+      "analysis": {
+        "files": ..., "findings": ...,
+        "cold_wall_s": ..., "warm_wall_s": ..., "warm_speedup": ...,
+        "warm_hits": ..., "warm_misses": ...,
+        "cold_rule_ms": {"RR001": ..., ...}
+      },
       "trace_events": 123
     }
 """
@@ -727,6 +733,56 @@ def bench_quality(quick: bool) -> dict:
     return payload
 
 
+def bench_analysis() -> dict:
+    """Static-analysis engine: cold vs warm incremental runs.
+
+    Analyzes ``src/repro`` with the full RR001–RR012 rule set twice
+    against a throwaway cache directory — the first run parses and
+    visits every file (cold), the second replays findings and
+    project-rule facts from the content-hash cache (warm).  Reports
+    both wall times, the speedup (the PR's acceptance bar is >= 5x),
+    and the per-rule cold timings from :attr:`Analyzer.timings`.
+    """
+    import tempfile
+
+    from repro.analysis import AnalysisCache, Analyzer
+
+    target = REPO_ROOT / "src" / "repro"
+    with tempfile.TemporaryDirectory() as scratch:
+        cold_analyzer = Analyzer(cache=AnalysisCache(scratch))
+        start = time.perf_counter()
+        findings = cold_analyzer.run([target])
+        cold_s = time.perf_counter() - start
+
+        warm_cache = AnalysisCache(scratch)
+        warm_analyzer = Analyzer(cache=warm_cache)
+        start = time.perf_counter()
+        warm_findings = warm_analyzer.run([target])
+        warm_s = time.perf_counter() - start
+
+    assert warm_findings == findings, "warm replay diverged from cold run"
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    per_rule = {
+        rule_id: round(seconds * 1000, 3)
+        for rule_id, seconds in sorted(cold_analyzer.timings.items())
+    }
+    print(
+        f"  cold {cold_s * 1000:>8.1f} ms  warm {warm_s * 1000:>8.1f} ms  "
+        f"speedup {speedup:>5.1f}x  findings {len(findings)}  "
+        f"hits {warm_cache.hits}/{warm_cache.hits + warm_cache.misses}"
+    )
+    return {
+        "files": warm_cache.hits + warm_cache.misses,
+        "findings": len(findings),
+        "cold_wall_s": round(cold_s, 4),
+        "warm_wall_s": round(warm_s, 4),
+        "warm_speedup": round(speedup, 2),
+        "warm_hits": warm_cache.hits,
+        "warm_misses": warm_cache.misses,
+        "cold_rule_ms": per_rule,
+    }
+
+
 def bench_studies(quick: bool) -> dict:
     """Wall-clock a couple of representative end-to-end studies."""
     from repro.evaluation.studies import (
@@ -788,6 +844,8 @@ def main(argv: list[str] | None = None) -> int:
     eventlog = bench_eventlog(n_users, n_items, arguments.quick)
     print("sharding:")
     sharding = bench_sharding(arguments.quick)
+    print("analysis:")
+    analysis = bench_analysis()
     print("studies:")
     studies = bench_studies(arguments.quick)
     print("quality:")
@@ -812,6 +870,7 @@ def main(argv: list[str] | None = None) -> int:
         "cache": cache,
         "eventlog": eventlog,
         "sharding": sharding,
+        "analysis": analysis,
         "studies": studies,
         "quality": quality,
         "interaction": {

@@ -9,9 +9,24 @@ serving/resilience layers raise the :mod:`repro.errors` taxonomy rather
 than bare builtins, every :class:`ExplainedRecommendation` says
 whether it is degraded, and every spawned worker thread or process has
 a join/terminate path.  This package checks those invariants as AST
-lints — rules RR001–RR009, including the RR006 cross-module
-lock-ordering analyzer — and gates them in CI via
-``python -m repro analyze``.
+lints — rules RR001–RR012, including three dataflow-backed analyses —
+and gates them in CI via ``python -m repro analyze``.
+
+The analysis pipeline, bottom to top:
+
+* :mod:`~repro.analysis.symbols` — per-module symbol table with
+  name-matched callee extraction;
+* :mod:`~repro.analysis.callgraph` — the project call graph and
+  reachability queries over it (RR010's hot-path set);
+* :mod:`~repro.analysis.cfg` — per-function control-flow graphs and a
+  forward worklist dataflow solver (RR012's release-on-all-paths
+  proof);
+* :mod:`~repro.analysis.incremental` — content-hash cache under
+  ``.analysis-cache/`` plus the ``--changed`` / ``--diff BASE`` file
+  filters;
+* the rules themselves (:mod:`~repro.analysis.rules`,
+  :mod:`~repro.analysis.lockgraph`, :mod:`~repro.analysis.hotpath`,
+  :mod:`~repro.analysis.payloads`, :mod:`~repro.analysis.resources`).
 
 Findings are matched against a committed suppression baseline
 (``analysis-baseline.txt``) so intentional exceptions are explicit and
@@ -24,6 +39,14 @@ True
 """
 
 from repro.analysis.baseline import Baseline, BaselineEntry, partition_findings
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.cfg import (
+    ControlFlowGraph,
+    DataflowProblem,
+    build_cfg,
+    reaching_definitions,
+    solve_forward,
+)
 from repro.analysis.engine import (
     Analyzer,
     Finding,
@@ -31,14 +54,19 @@ from repro.analysis.engine import (
     Rule,
     analyze_source,
 )
+from repro.analysis.hotpath import HotPathVectorizationRule
+from repro.analysis.incremental import AnalysisCache, changed_files
 from repro.analysis.lockgraph import LockOrderingRule
+from repro.analysis.payloads import WirePayloadRule
 from repro.analysis.report import (
     AnalysisResult,
     render_json,
     render_text,
     run_analysis,
 )
+from repro.analysis.resources import ResourceLifecycleRule
 from repro.analysis.rules import (
+    RULE_REGISTRY,
     BlockingCallUnderLockRule,
     ExceptionDisciplineRule,
     MetricInternalsRule,
@@ -47,26 +75,40 @@ from repro.analysis.rules import (
     UnseededRandomnessRule,
     default_rules,
 )
+from repro.analysis.symbols import SymbolTable
 
 __all__ = [
-    "Analyzer",
+    "AnalysisCache",
     "AnalysisResult",
+    "Analyzer",
     "Baseline",
     "BaselineEntry",
     "BlockingCallUnderLockRule",
+    "CallGraph",
+    "ControlFlowGraph",
+    "DataflowProblem",
     "ExceptionDisciplineRule",
     "Finding",
+    "HotPathVectorizationRule",
     "LockOrderingRule",
     "MetricInternalsRule",
     "ModuleInfo",
     "OrphanedWorkerRule",
+    "RULE_REGISTRY",
+    "ResourceLifecycleRule",
     "Rule",
+    "SymbolTable",
     "TypedApiRule",
     "UnseededRandomnessRule",
+    "WirePayloadRule",
     "analyze_source",
+    "build_cfg",
+    "changed_files",
     "default_rules",
     "partition_findings",
+    "reaching_definitions",
     "render_json",
     "render_text",
     "run_analysis",
+    "solve_forward",
 ]

@@ -1,0 +1,409 @@
+"""Per-function control-flow graphs and the iterative dataflow solver.
+
+Third layer of the dataflow pipeline (symbol table → call graph →
+**CFG → solver** → rules).  :func:`build_cfg` lowers one function body
+into basic blocks connected by explicit control-flow edges:
+
+* ``if``/``else`` branch and re-join;
+* ``while``/``for`` loop back-edges, with ``break``/``continue``
+  resolved against the innermost loop;
+* ``return``/``raise`` edges to the exit block — routed *through* the
+  innermost enclosing ``finally`` body when there is one, which is what
+  lets a must-release analysis credit ``finally: handle.close()`` on
+  every early exit;
+* coarse exceptional edges out of every ``try`` body block into each
+  handler and into the ``finally`` body (any statement may raise; the
+  lint does not model *which* exception).
+
+The graph is an approximation, not an interpreter: ``finally`` bodies
+are shared rather than duplicated per exit kind, and implicit
+exceptions outside ``try`` are not modelled.  That is the standard
+lint trade — every pattern the rules promise to catch (leak on an
+early return, release only on one branch, release in ``finally``) maps
+onto real paths in this graph, and the fixture tests pin those shapes.
+
+:func:`solve_forward` is a classic iterative worklist solver over a
+:class:`DataflowProblem` (join + transfer to a fixpoint).
+:class:`ReachingDefinitions` instantiates it for the canonical
+textbook fact; :mod:`repro.analysis.resources` instantiates it for the
+path-sensitive "released on all exits" facts RR012 enforces.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Block",
+    "ControlFlowGraph",
+    "build_cfg",
+    "DataflowProblem",
+    "solve_forward",
+    "ReachingDefinitions",
+    "reaching_definitions",
+    "assigned_names",
+]
+
+
+@dataclass
+class Block:
+    """One basic block: straight-line statements plus successor edges."""
+
+    block_id: int
+    kind: str = "body"
+    statements: list[ast.AST] = field(default_factory=list)
+    successors: set[int] = field(default_factory=set)
+
+
+class ControlFlowGraph:
+    """Blocks, the entry/exit pair, and derived predecessor edges."""
+
+    def __init__(self) -> None:
+        self.blocks: dict[int, Block] = {}
+        self._next_id = 0
+        self.entry = self.new_block("entry").block_id
+        self.exit = self.new_block("exit").block_id
+
+    def new_block(self, kind: str = "body") -> Block:
+        block = Block(block_id=self._next_id, kind=kind)
+        self._next_id += 1
+        self.blocks[block.block_id] = block
+        return block
+
+    def add_edge(self, source: int, target: int) -> None:
+        self.blocks[source].successors.add(target)
+
+    def predecessors(self) -> dict[int, set[int]]:
+        """Predecessor sets derived from the successor edges."""
+        preds: dict[int, set[int]] = {bid: set() for bid in self.blocks}
+        for block in self.blocks.values():
+            for target in block.successors:
+                preds[target].add(block.block_id)
+        return preds
+
+
+class _Builder:
+    """Lower a statement list into blocks, tracking loop/finally context."""
+
+    def __init__(self) -> None:
+        self.cfg = ControlFlowGraph()
+        self.current = self.cfg.blocks[self.cfg.entry]
+        #: (loop-head block id, after-loop block id) innermost last.
+        self._loops: list[tuple[int, int]] = []
+        #: Entry block ids of active ``finally`` bodies, innermost last.
+        self._finallies: list[int] = []
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _start_block(self, kind: str = "body") -> Block:
+        block = self.cfg.new_block(kind)
+        return block
+
+    def _terminate_into(self, target: int) -> None:
+        """Edge from the current block to ``target``; detach current."""
+        self.cfg.add_edge(self.current.block_id, target)
+        # Anything after an unconditional jump is unreachable; give it a
+        # fresh, unconnected block so lowering can continue.
+        self.current = self._start_block("unreachable")
+
+    def _exit_target(self) -> int:
+        """Where an early function exit goes: innermost finally, or exit."""
+        if self._finallies:
+            return self._finallies[-1]
+        return self.cfg.exit
+
+    # -- statement lowering -----------------------------------------------
+
+    def lower(self, body: list[ast.stmt]) -> ControlFlowGraph:
+        self._lower_body(body)
+        self.cfg.add_edge(self.current.block_id, self.cfg.exit)
+        return self.cfg
+
+    def _lower_body(self, body: list[ast.stmt]) -> None:
+        for statement in body:
+            self._lower_statement(statement)
+
+    def _lower_statement(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.If):
+            self._lower_if(node)
+        elif isinstance(node, (ast.While, ast.For, ast.AsyncFor)):
+            self._lower_loop(node)
+        elif isinstance(node, ast.Try) or node.__class__.__name__ == "TryStar":
+            self._lower_try(node)  # type: ignore[arg-type]
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            self._lower_with(node)
+        elif isinstance(node, ast.Return):
+            self.current.statements.append(node)
+            self._terminate_into(self._exit_target())
+        elif isinstance(node, ast.Raise):
+            self.current.statements.append(node)
+            self._terminate_into(self._exit_target())
+        elif isinstance(node, ast.Break):
+            if self._loops:
+                self._terminate_into(self._loops[-1][1])
+        elif isinstance(node, ast.Continue):
+            if self._loops:
+                self._terminate_into(self._loops[-1][0])
+        elif node.__class__.__name__ == "Match":
+            self._lower_match(node)
+        else:
+            # Simple statements — including nested def/class, whose
+            # bodies belong to their *own* CFGs.
+            self.current.statements.append(node)
+
+    def _lower_if(self, node: ast.If) -> None:
+        self.current.statements.append(node.test)
+        condition = self.current
+        after = self._start_block("join")
+        then_entry = self._start_block("then")
+        self.cfg.add_edge(condition.block_id, then_entry.block_id)
+        self.current = then_entry
+        self._lower_body(node.body)
+        self.cfg.add_edge(self.current.block_id, after.block_id)
+        if node.orelse:
+            else_entry = self._start_block("else")
+            self.cfg.add_edge(condition.block_id, else_entry.block_id)
+            self.current = else_entry
+            self._lower_body(node.orelse)
+            self.cfg.add_edge(self.current.block_id, after.block_id)
+        else:
+            self.cfg.add_edge(condition.block_id, after.block_id)
+        self.current = after
+
+    def _lower_loop(self, node: ast.While | ast.For | ast.AsyncFor) -> None:
+        head = self._start_block("loop-head")
+        if isinstance(node, ast.While):
+            head.statements.append(node.test)
+        else:
+            head.statements.append(node.iter)
+            head.statements.append(node.target)
+        self.cfg.add_edge(self.current.block_id, head.block_id)
+        after = self._start_block("loop-after")
+        body_entry = self._start_block("loop-body")
+        self.cfg.add_edge(head.block_id, body_entry.block_id)
+        self.cfg.add_edge(head.block_id, after.block_id)
+        self._loops.append((head.block_id, after.block_id))
+        self.current = body_entry
+        self._lower_body(node.body)
+        self.cfg.add_edge(self.current.block_id, head.block_id)
+        self._loops.pop()
+        if node.orelse:
+            else_entry = self._start_block("loop-else")
+            self.cfg.add_edge(head.block_id, else_entry.block_id)
+            self.current = else_entry
+            self._lower_body(node.orelse)
+            self.cfg.add_edge(self.current.block_id, after.block_id)
+        self.current = after
+
+    def _lower_with(self, node: ast.With | ast.AsyncWith) -> None:
+        # The context expressions evaluate in order in the current
+        # block; the body runs inline.  ``with`` guarantees __exit__, so
+        # resources it manages never need path tracking — the resources
+        # rule recognises withitem-bound names and skips them.
+        for item in node.items:
+            self.current.statements.append(item)
+        self._lower_body(node.body)
+
+    def _lower_try(self, node: ast.Try) -> None:
+        after = self._start_block("join")
+        finally_entry: Block | None = None
+        if node.finalbody:
+            finally_entry = self._start_block("finally")
+        handler_entries: list[Block] = [
+            self._start_block("handler") for _ in node.handlers
+        ]
+
+        body_entry = self._start_block("try")
+        self.cfg.add_edge(self.current.block_id, body_entry.block_id)
+        self.current = body_entry
+        if finally_entry is not None:
+            self._finallies.append(finally_entry.block_id)
+        before = set(self.cfg.blocks)
+        self._lower_body(node.body)
+        try_blocks = [
+            bid
+            for bid in self.cfg.blocks
+            if bid not in before or bid == body_entry.block_id
+        ]
+        # Coarse exceptional edges: any statement in the try body may
+        # raise, transferring control to each handler (and to finally).
+        for bid in try_blocks:
+            if self.cfg.blocks[bid].kind == "unreachable":
+                continue
+            for handler_entry in handler_entries:
+                self.cfg.add_edge(bid, handler_entry.block_id)
+            if finally_entry is not None:
+                # An exception no handler matches still runs finally.
+                self.cfg.add_edge(bid, finally_entry.block_id)
+        try_end = self.current
+
+        if node.orelse:
+            else_entry = self._start_block("try-else")
+            self.cfg.add_edge(try_end.block_id, else_entry.block_id)
+            self.current = else_entry
+            self._lower_body(node.orelse)
+            try_end = self.current
+
+        normal_out = (
+            finally_entry.block_id if finally_entry is not None else after.block_id
+        )
+        self.cfg.add_edge(try_end.block_id, normal_out)
+
+        for handler, handler_entry in zip(node.handlers, handler_entries):
+            self.current = handler_entry
+            if handler.type is not None:
+                handler_entry.statements.append(handler.type)
+            self._lower_body(handler.body)
+            self.cfg.add_edge(self.current.block_id, normal_out)
+            if finally_entry is not None:
+                # An exception raised *inside* the handler still runs
+                # the finally body.
+                self.cfg.add_edge(handler_entry.block_id, finally_entry.block_id)
+
+        if finally_entry is not None:
+            self._finallies.pop()
+            self.current = finally_entry
+            self._lower_body(node.finalbody)
+            self.cfg.add_edge(self.current.block_id, after.block_id)
+            # The finally body also sits on every abrupt-exit path
+            # (return/raise routed here above): it flows on to exit.
+            self.cfg.add_edge(self.current.block_id, self.cfg.exit)
+        self.current = after
+
+    def _lower_match(self, node: ast.AST) -> None:
+        subject = self.current
+        subject.statements.append(node.subject)  # type: ignore[attr-defined]
+        after = self._start_block("join")
+        for case in node.cases:  # type: ignore[attr-defined]
+            case_entry = self._start_block("case")
+            self.cfg.add_edge(subject.block_id, case_entry.block_id)
+            self.current = case_entry
+            self._lower_body(case.body)
+            self.cfg.add_edge(self.current.block_id, after.block_id)
+        # No case may match at all.
+        self.cfg.add_edge(subject.block_id, after.block_id)
+        self.current = after
+
+
+def build_cfg(node: ast.FunctionDef | ast.AsyncFunctionDef) -> ControlFlowGraph:
+    """The control-flow graph of one function's body."""
+    return _Builder().lower(node.body)
+
+
+class DataflowProblem:
+    """A forward dataflow problem: lattice join + block transfer.
+
+    Facts are frozensets (the solver only needs ``|`` semantics via
+    :meth:`join` and equality).  Subclasses define what enters the
+    entry block, how facts merge at joins, and how one block transforms
+    the incoming fact set.
+    """
+
+    def initial(self) -> frozenset:
+        """The fact set entering the CFG's entry block."""
+        return frozenset()
+
+    def join(self, facts: list[frozenset]) -> frozenset:
+        """Merge facts at a control-flow join (default: may-union)."""
+        merged: frozenset = frozenset()
+        for fact in facts:
+            merged = merged | fact
+        return merged
+
+    def transfer(self, block: Block, entering: frozenset) -> frozenset:
+        """The fact set leaving ``block`` given the set entering it."""
+        return entering
+
+
+def solve_forward(
+    cfg: ControlFlowGraph, problem: DataflowProblem
+) -> dict[int, tuple[frozenset, frozenset]]:
+    """Iterate ``problem`` over ``cfg`` to a fixpoint.
+
+    Returns block id → ``(in_facts, out_facts)``.  The worklist is
+    seeded in block-id order and processed deterministically, so two
+    runs over the same function always converge identically.
+    """
+    preds = cfg.predecessors()
+    in_facts: dict[int, frozenset] = {bid: frozenset() for bid in cfg.blocks}
+    out_facts: dict[int, frozenset] = {bid: frozenset() for bid in cfg.blocks}
+    in_facts[cfg.entry] = problem.initial()
+    out_facts[cfg.entry] = problem.transfer(
+        cfg.blocks[cfg.entry], in_facts[cfg.entry]
+    )
+    worklist: deque[int] = deque(sorted(cfg.blocks))
+    queued = set(worklist)
+    while worklist:
+        bid = worklist.popleft()
+        queued.discard(bid)
+        block = cfg.blocks[bid]
+        incoming = [out_facts[p] for p in sorted(preds[bid])]
+        if bid == cfg.entry:
+            entering = problem.initial()
+        else:
+            entering = problem.join(incoming) if incoming else frozenset()
+        leaving = problem.transfer(block, entering)
+        in_facts[bid] = entering
+        if leaving != out_facts[bid]:
+            out_facts[bid] = leaving
+            for successor in sorted(block.successors):
+                if successor not in queued:
+                    worklist.append(successor)
+                    queued.add(successor)
+    return {
+        bid: (in_facts[bid], out_facts[bid]) for bid in sorted(cfg.blocks)
+    }
+
+
+def assigned_names(node: ast.AST) -> list[str]:
+    """Plain names bound by an assignment-like AST node."""
+    names: list[str] = []
+
+    def collect_target(target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            names.append(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                collect_target(element)
+        elif isinstance(target, ast.Starred):
+            collect_target(target.value)
+
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            collect_target(target)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        collect_target(node.target)
+    elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+        names.append(node.id)
+    elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+        collect_target(node.optional_vars)
+    return names
+
+
+class ReachingDefinitions(DataflowProblem):
+    """The textbook fact: which ``(name, block, index)`` definitions
+    reach each block.
+
+    A definition is any name binding the block contains (assignments,
+    loop targets, withitem ``as`` names).  Later definitions of the
+    same name kill earlier ones within a block; at joins the sets
+    union (a definition reaching on *any* path reaches the join).
+    """
+
+    def transfer(self, block: Block, entering: frozenset) -> frozenset:
+        facts = set(entering)
+        for index, statement in enumerate(block.statements):
+            bound = assigned_names(statement)
+            for name in bound:
+                facts = {f for f in facts if f[0] != name}
+                facts.add((name, block.block_id, index))
+        return frozenset(facts)
+
+
+def reaching_definitions(
+    cfg: ControlFlowGraph,
+) -> dict[int, tuple[frozenset, frozenset]]:
+    """Solve :class:`ReachingDefinitions` over ``cfg``."""
+    return solve_forward(cfg, ReachingDefinitions())

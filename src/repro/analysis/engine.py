@@ -20,6 +20,8 @@ findings in every other.
 from __future__ import annotations
 
 import ast
+import hashlib
+import time
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
 from pathlib import Path
@@ -145,6 +147,11 @@ class Rule(ast.NodeVisitor):
     severity: str = "error"
     rationale: str = ""
     fix_hint: str = ""
+    #: Project rules need every module's *facts* before they can emit
+    #: (from :meth:`finish`); the incremental cache stores their
+    #: :meth:`export_facts` output per file instead of findings, and
+    #: replays it through :meth:`import_facts` on a cache hit.
+    project_rule: bool = False
 
     def __init__(self) -> None:
         self._findings: list[Finding] = []
@@ -186,6 +193,18 @@ class Rule(ast.NodeVisitor):
     def finish(self) -> list[Finding]:
         """Findings that need the whole project (cross-module rules)."""
         return []
+
+    # -- incremental-cache protocol (project rules only) ------------------
+
+    def export_facts(self) -> dict | None:
+        """JSON-serializable per-module facts from the last
+        :meth:`check_module` call, for the incremental cache.  ``None``
+        (the default) means nothing to cache for that module."""
+        return None
+
+    def import_facts(self, facts: dict) -> None:
+        """Replay cached per-module facts in place of re-visiting the
+        module (cache-hit path for project rules)."""
 
     # -- scope tracking ---------------------------------------------------
 
@@ -319,14 +338,32 @@ class Analyzer:
     :class:`Analyzer` builds fresh instances and is single-use per
     :meth:`run` family of calls only in the cross-module sense — call
     sites should construct one analyzer per run.
+
+    ``cache`` (an :class:`repro.analysis.incremental.AnalysisCache`, or
+    anything with its lookup/store surface) makes the run incremental:
+    a file whose content hash matches the cache replays its findings —
+    and, for project rules, its facts — without being parsed or
+    visited.  After :meth:`run`:
+
+    * :attr:`timings` maps rule id → seconds spent in that rule
+      (check_module + import_facts + finish);
+    * :attr:`file_map` maps each finding ``rel_path`` to its resolved
+      absolute path, which is what ``--changed`` filtering joins on.
     """
 
-    def __init__(self, rules: Sequence[Rule] | None = None) -> None:
+    def __init__(
+        self,
+        rules: Sequence[Rule] | None = None,
+        cache: object | None = None,
+    ) -> None:
         if rules is None:
             from repro.analysis.rules import default_rules
 
             rules = default_rules()
         self.rules: tuple[Rule, ...] = tuple(rules)
+        self.cache = cache
+        self.timings: dict[str, float] = {}
+        self.file_map: dict[str, Path] = {}
 
     def load_module(
         self,
@@ -365,28 +402,103 @@ class Analyzer:
     def run(self, paths: Iterable[str | Path]) -> list[Finding]:
         """Analyze every Python file under ``paths``; returns findings."""
         findings: list[Finding] = []
-        modules: list[ModuleInfo] = []
+        self.timings = {rule.rule_id: 0.0 for rule in self.rules}
+        self.file_map = {}
+        cache = self.cache
         for file_path, rel_path in iter_python_files(paths):
             try:
-                source = file_path.read_text(encoding="utf-8")
+                raw = file_path.read_bytes()
             except OSError as error:
+                raise AnalysisError(
+                    f"cannot read {file_path}: {error}"
+                ) from error
+            self.file_map[rel_path] = file_path.resolve()
+            digest = None
+            if cache is not None:
+                digest = hashlib.sha256(raw).hexdigest()
+                entry = cache.entry(rel_path, digest)
+                if entry is not None and self._replay(entry, findings):
+                    cache.hits += 1
+                    continue
+                cache.misses += 1
+            try:
+                source = raw.decode("utf-8")
+            except UnicodeDecodeError as error:
                 raise AnalysisError(
                     f"cannot read {file_path}: {error}"
                 ) from error
             loaded = self.load_module(source, file_path, rel_path)
             if isinstance(loaded, Finding):
                 findings.append(loaded)
-            else:
-                modules.append(loaded)
-        for module in modules:
+                if cache is not None:
+                    cache.store_findings(rel_path, digest, "RR000", [loaded])
+                    for rule in self.rules:
+                        if rule.project_rule:
+                            cache.store_facts(
+                                rel_path, digest, rule.rule_id, None
+                            )
+                        else:
+                            cache.store_findings(
+                                rel_path, digest, rule.rule_id, []
+                            )
+                continue
             for rule in self.rules:
-                findings.extend(rule.check_module(module))
+                started = time.perf_counter()
+                rule_findings = rule.check_module(loaded)
+                self.timings[rule.rule_id] += time.perf_counter() - started
+                findings.extend(rule_findings)
+                if cache is not None:
+                    if rule.project_rule:
+                        cache.store_facts(
+                            rel_path, digest, rule.rule_id, rule.export_facts()
+                        )
+                    else:
+                        cache.store_findings(
+                            rel_path, digest, rule.rule_id, rule_findings
+                        )
         for rule in self.rules:
+            started = time.perf_counter()
             findings.extend(rule.finish())
+            self.timings[rule.rule_id] += time.perf_counter() - started
+        if cache is not None:
+            cache.flush()
         findings.sort(
             key=lambda f: (f.path, f.line, f.col, f.rule_id, f.slug)
         )
         return findings
+
+    def _replay(self, entry: dict, findings: list[Finding]) -> bool:
+        """Replay one file's cache entry; ``False`` forces a cold visit.
+
+        The entry only counts as a hit when *every* configured rule has
+        a record in it — a run with a different rule selection, or a
+        record written before a rule existed, degrades to a miss.
+        """
+        cache = self.cache
+        assert cache is not None
+        replayed: list[Finding] = []
+        imports: list[tuple[Rule, dict]] = []
+        for rule in self.rules:
+            if rule.project_rule:
+                facts = cache.facts(entry, rule.rule_id)
+                if facts is None:
+                    return False
+                if facts:
+                    imports.append((rule, facts))
+            else:
+                cached = cache.findings(entry, rule.rule_id)
+                if cached is None:
+                    return False
+                replayed.extend(cached)
+        parse_failure = cache.findings(entry, "RR000")
+        if parse_failure is not None:
+            replayed.extend(parse_failure)
+        for rule, facts in imports:
+            started = time.perf_counter()
+            rule.import_facts(facts)
+            self.timings[rule.rule_id] += time.perf_counter() - started
+        findings.extend(replayed)
+        return True
 
 
 def analyze_source(

@@ -1,0 +1,231 @@
+"""The incremental analysis engine: per-file caching and changed-file modes.
+
+The blocking CI ``analyze`` job re-reads the whole tree on every run;
+as the repo grows, parse + visit cost grows linearly with it.  This
+module keys each file's analysis on the sha256 of its *content*:
+
+* **local rules** (everything except the cross-module analyzers) cache
+  their findings per file — a cache hit skips the parse and every
+  visitor;
+* **project rules** (RR006 lock ordering, RR010 hot-path reachability)
+  cache their per-module *facts* — symbols, candidate sites, lock
+  edges — and re-run only the cheap global solve over the merged
+  facts, so a one-file edit never forces a whole-project re-visit and
+  cross-module findings stay exact.
+
+The cache is one JSON document under ``.analysis-cache/`` guarded by
+:data:`CACHE_GENERATION`; bump the generation whenever rule logic
+changes so stale findings can never be replayed.  A corrupt or
+mismatched cache file degrades to a cold run, never to an error.
+
+:func:`changed_files` backs the CLI's ``--changed`` / ``--diff BASE``
+modes: the full tree is still analyzed (cache-accelerated, so cheap —
+project rules need every module's facts), but only findings in files
+the diff touches can fail the gate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+from pathlib import Path
+
+from repro.analysis.engine import Finding
+from repro.errors import AnalysisError
+
+__all__ = [
+    "AnalysisCache",
+    "CACHE_GENERATION",
+    "DEFAULT_CACHE_DIR",
+    "changed_files",
+    "finding_to_dict",
+    "finding_from_dict",
+]
+
+#: Bump whenever any rule's logic changes: cached findings/facts from
+#: an older generation must never be replayed against new rules.
+CACHE_GENERATION = "2026.08.1"
+
+#: Where the cache lives relative to the invocation directory.
+DEFAULT_CACHE_DIR = ".analysis-cache"
+
+_CACHE_FILE = "cache.json"
+
+
+def finding_to_dict(finding: Finding) -> dict:
+    """Every field of a finding (the cache's unit, unlike the report's)."""
+    return {
+        "rule_id": finding.rule_id,
+        "severity": finding.severity,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "scope": finding.scope,
+        "slug": finding.slug,
+        "message": finding.message,
+        "fix_hint": finding.fix_hint,
+    }
+
+
+def finding_from_dict(data: dict) -> Finding:
+    return Finding(**data)
+
+
+def source_digest(source: bytes) -> str:
+    """The cache key of one file's content."""
+    return hashlib.sha256(source).hexdigest()
+
+
+class AnalysisCache:
+    """Content-hash-keyed per-file findings and facts.
+
+    Layout of the persisted document::
+
+        {
+          "schema": 1,
+          "generation": CACHE_GENERATION,
+          "files": {
+            "<rel_path>": {
+              "digest": "<sha256>",
+              "rules": {
+                "RR001": {"findings": [...]},      # local rule
+                "RR006": {"facts": {...}},         # project rule
+                "RR000": {"findings": [...]}        # parse failure
+              }
+            }
+          }
+        }
+    """
+
+    def __init__(self, directory: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / _CACHE_FILE
+        self.hits = 0
+        self.misses = 0
+        self._files: dict[str, dict] = self._load()
+        self._dirty = False
+
+    def _load(self) -> dict[str, dict]:
+        try:
+            document = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return {}
+        if (
+            not isinstance(document, dict)
+            or document.get("schema") != 1
+            or document.get("generation") != CACHE_GENERATION
+        ):
+            return {}
+        files = document.get("files")
+        return files if isinstance(files, dict) else {}
+
+    # -- lookups ----------------------------------------------------------
+
+    def entry(self, rel_path: str, digest: str) -> dict | None:
+        """The per-rule cache entry for an unchanged file, else ``None``."""
+        cached = self._files.get(rel_path)
+        if cached is None or cached.get("digest") != digest:
+            return None
+        rules = cached.get("rules")
+        return rules if isinstance(rules, dict) else None
+
+    def findings(self, entry: dict, rule_id: str) -> list[Finding] | None:
+        """Cached local-rule findings from an entry, else ``None``."""
+        record = entry.get(rule_id)
+        if not isinstance(record, dict) or "findings" not in record:
+            return None
+        return [finding_from_dict(item) for item in record["findings"]]
+
+    def facts(self, entry: dict, rule_id: str) -> dict | None:
+        """Cached project-rule facts from an entry, else ``None``."""
+        record = entry.get(rule_id)
+        if not isinstance(record, dict) or "facts" not in record:
+            return None
+        return record["facts"]
+
+    # -- stores -----------------------------------------------------------
+
+    def store_findings(
+        self,
+        rel_path: str,
+        digest: str,
+        rule_id: str,
+        findings: list[Finding],
+    ) -> None:
+        rules = self._rules_bucket(rel_path, digest)
+        rules[rule_id] = {
+            "findings": [finding_to_dict(finding) for finding in findings]
+        }
+        self._dirty = True
+
+    def store_facts(
+        self, rel_path: str, digest: str, rule_id: str, facts: dict | None
+    ) -> None:
+        rules = self._rules_bucket(rel_path, digest)
+        rules[rule_id] = {"facts": facts if facts is not None else {}}
+        self._dirty = True
+
+    def _rules_bucket(self, rel_path: str, digest: str) -> dict:
+        cached = self._files.get(rel_path)
+        if cached is None or cached.get("digest") != digest:
+            cached = {"digest": digest, "rules": {}}
+            self._files[rel_path] = cached
+        return cached["rules"]
+
+    def flush(self) -> None:
+        """Persist the cache (atomically: write-then-rename)."""
+        if not self._dirty:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        document = {
+            "schema": 1,
+            "generation": CACHE_GENERATION,
+            "files": self._files,
+        }
+        scratch = self.path.with_suffix(".tmp")
+        scratch.write_text(
+            json.dumps(document, sort_keys=True), encoding="utf-8"
+        )
+        scratch.replace(self.path)
+        self._dirty = False
+
+
+def _git_lines(arguments: list[str], repo_root: Path) -> list[str]:
+    try:
+        completed = subprocess.run(
+            ["git", *arguments],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=30,
+        )
+    except FileNotFoundError as error:
+        raise AnalysisError("git is not available for --changed/--diff") from error
+    except subprocess.SubprocessError as error:
+        detail = getattr(error, "stderr", "") or str(error)
+        raise AnalysisError(f"git diff failed: {detail.strip()}") from error
+    return [line for line in completed.stdout.splitlines() if line.strip()]
+
+
+def changed_files(
+    repo_root: str | Path = ".", base: str | None = None
+) -> set[Path]:
+    """Absolute paths of files changed vs HEAD (or vs merge-base of
+    ``base``), plus uncommitted and untracked changes.
+
+    ``base=None`` is the ``--changed`` mode: the working tree against
+    HEAD.  ``base="origin/main"`` is the ``--diff BASE`` mode: the
+    triple-dot diff (merge base) plus anything uncommitted, which is
+    what a PR check wants.
+    """
+    root = Path(repo_root).resolve()
+    names: set[str] = set()
+    if base is not None:
+        names.update(_git_lines(["diff", "--name-only", f"{base}...HEAD"], root))
+    names.update(_git_lines(["diff", "--name-only", "HEAD"], root))
+    names.update(
+        _git_lines(["ls-files", "--others", "--exclude-standard"], root)
+    )
+    return {(root / name).resolve() for name in names}

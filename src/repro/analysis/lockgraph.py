@@ -30,6 +30,14 @@ method names on objects other than ``self`` (``close``, ``get``,
 (streams, queues, threads) collide with analyzed classes on exactly
 those names and would fabricate edges — e.g. ``self._stream.close()``
 inside a sink must not look like a call to the server's ``close``.
+That policy lives in :func:`repro.analysis.symbols.callee_name`,
+shared with the call-graph builder.
+
+This is a **project rule**: each module contributes serializable facts
+(locks acquired per function, callees per function, direct nesting
+edges, calls made under a held lock) that the incremental cache can
+replay, and :meth:`~LockOrderingRule.finish` solves the global graph
+from the merged facts every run.
 
 Cycles are reported once per strongly connected component with the
 participating locks and the acquisition sites of every edge inside it.
@@ -38,27 +46,17 @@ participating locks and the acquisition sites of every edge inside it.
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.analysis.engine import (
     Finding,
+    ModuleInfo,
     Rule,
-    dotted_name,
     lock_label,
 )
+from repro.analysis.symbols import callee_name
 
 __all__ = ["LockOrderingRule", "EdgeSite"]
-
-#: Method names too generic to follow on a non-``self`` receiver:
-#: streams, queues, threads and events all collide here.
-_GENERIC_CALLEES = frozenset(
-    {
-        "close", "get", "put", "run", "join", "wait", "flush", "write",
-        "read", "open", "acquire", "release", "start", "stop", "next",
-        "send", "set", "pop", "append", "add", "update", "clear", "copy",
-        "items", "keys", "values", "sort",
-    }
-)
 
 
 @dataclass(frozen=True)
@@ -69,21 +67,6 @@ class EdgeSite:
     line: int
     scope: str
     via_call: str | None = None
-
-
-def _callee_name(node: ast.Call) -> str | None:
-    """The call's terminal name when it is safe to name-match, else None."""
-    func = node.func
-    if isinstance(func, ast.Name):
-        return func.id
-    if isinstance(func, ast.Attribute):
-        owner = dotted_name(func.value)
-        if owner is None:
-            return None
-        if owner != "self" and func.attr in _GENERIC_CALLEES:
-            return None
-        return func.attr
-    return None
 
 
 class LockOrderingRule(Rule):
@@ -103,6 +86,8 @@ class LockOrderingRule(Rule):
         "outside the outer hold"
     )
 
+    project_rule = True
+
     def __init__(self) -> None:
         super().__init__()
         self._held: list[str] = []
@@ -115,6 +100,60 @@ class LockOrderingRule(Rule):
         self._edges: dict[tuple[str, str], EdgeSite] = {}
         # calls made while holding: (held, callee terminal, site)
         self._calls_under_lock: list[tuple[str, str, EdgeSite]] = []
+        # the same four, scoped to the module currently being visited
+        self._m_acquired: dict[str, set[str]] = {}
+        self._m_calls: dict[str, set[str]] = {}
+        self._m_edges: dict[tuple[str, str], EdgeSite] = {}
+        self._m_calls_under_lock: list[tuple[str, str, EdgeSite]] = []
+        self._module_facts: dict | None = None
+
+    # -- per-module facts -------------------------------------------------
+
+    def check_module(self, module: ModuleInfo) -> list[Finding]:
+        self._module_facts = None
+        if not self.applies_to(module):
+            return []
+        self._m_acquired = {}
+        self._m_calls = {}
+        self._m_edges = {}
+        self._m_calls_under_lock = []
+        findings = super().check_module(module)
+        self._module_facts = {
+            "acquired_by": {
+                qualname: sorted(locks)
+                for qualname, locks in self._m_acquired.items()
+            },
+            "calls_by": {
+                qualname: sorted(callees)
+                for qualname, callees in self._m_calls.items()
+            },
+            "edges": [
+                [held, acquired, asdict(site)]
+                for (held, acquired), site in sorted(self._m_edges.items())
+            ],
+            "calls_under_lock": [
+                [held, callee, asdict(site)]
+                for held, callee, site in self._m_calls_under_lock
+            ],
+        }
+        self._merge_facts(self._module_facts)
+        return findings
+
+    def export_facts(self) -> dict | None:
+        return self._module_facts
+
+    def import_facts(self, facts: dict) -> None:
+        self._merge_facts(facts)
+
+    def _merge_facts(self, facts: dict) -> None:
+        for qualname, locks in facts["acquired_by"].items():
+            self._acquired_by.setdefault(qualname, set()).update(locks)
+        for qualname, callees in facts["calls_by"].items():
+            self._calls_by.setdefault(qualname, set()).update(callees)
+        for held, acquired, site in facts["edges"]:
+            self._edges.setdefault((held, acquired), EdgeSite(**site))
+        for held, callee, site in facts["calls_under_lock"]:
+            self._calls_under_lock.append((held, callee, EdgeSite(**site)))
 
     # -- collection -------------------------------------------------------
 
@@ -144,12 +183,12 @@ class LockOrderingRule(Rule):
             if label is None:
                 continue
             if self.in_function:
-                self._acquired_by.setdefault(self._qualname, set()).add(
+                self._m_acquired.setdefault(self._qualname, set()).add(
                     label
                 )
             for held in self._held:
                 if held != label:
-                    self._edges.setdefault(
+                    self._m_edges.setdefault(
                         (held, label), self._site(item.context_expr)
                     )
             labels.append(label)
@@ -165,14 +204,14 @@ class LockOrderingRule(Rule):
         self._visit_with(node)
 
     def visit_Call(self, node: ast.Call) -> None:
-        callee = _callee_name(node)
+        callee = callee_name(node)
         if callee is not None:
             if self.in_function:
-                self._calls_by.setdefault(self._qualname, set()).add(callee)
+                self._m_calls.setdefault(self._qualname, set()).add(callee)
             if self._held:
                 site = self._site(node, via_call=callee)
                 for held in self._held:
-                    self._calls_under_lock.append((held, callee, site))
+                    self._m_calls_under_lock.append((held, callee, site))
         self.generic_visit(node)
 
     # -- graph ------------------------------------------------------------
@@ -312,4 +351,9 @@ class LockOrderingRule(Rule):
         self._calls_by = {}
         self._edges = {}
         self._calls_under_lock = []
+        self._m_acquired = {}
+        self._m_calls = {}
+        self._m_edges = {}
+        self._m_calls_under_lock = []
+        self._module_facts = None
         return findings

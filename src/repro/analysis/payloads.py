@@ -1,0 +1,82 @@
+"""RR011: shard-pipe messages go through typed wire constructors.
+
+The shard fleet's parent and workers talk over multiprocessing pipes.
+When each send site invents its own bare tuple (``handle.send(("stop",))``,
+``_send(evt, ("hb", payload))``), the protocol exists only as an
+implicit agreement scattered across three modules — adding a field,
+reordering one, or mistyping a tag is invisible until a worker
+mis-dispatches in production.  :mod:`repro.serving.wire` is the single
+versioned source of truth: constructors validate and build every
+message, parsers validate every receive.  This rule keeps it that way
+by flagging any *tuple literal* passed to a pipe-send call
+(``send`` / ``dispatch`` / ``_send``) inside the fleet modules.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import ModuleInfo, Rule, dotted_name
+
+__all__ = ["WirePayloadRule"]
+
+#: Call terminal names that put a payload on a shard pipe.
+_SEND_CALLS = frozenset({"send", "dispatch", "_send"})
+
+#: The fleet modules whose pipe traffic the rule polices.
+_SCOPED_MODULES = (
+    "repro.serving.sharding",
+    "repro.serving.worker",
+    "repro.serving.router",
+)
+
+
+class WirePayloadRule(Rule):
+    """RR011: no bare tuple literals at shard-pipe send sites."""
+
+    rule_id = "RR011"
+    name = "wire-payload-discipline"
+    severity = "error"
+    rationale = (
+        "A bare tuple invented at the send site is an untyped, "
+        "unversioned wire message: nothing checks its shape matches "
+        "what the other end unpacks, so protocol drift surfaces as a "
+        "mis-dispatch in a worker process instead of a test failure."
+    )
+    fix_hint = (
+        "construct the message with the matching repro.serving.wire "
+        "constructor (req_message, hb_message, ...) so it is validated "
+        "and versioned in one place"
+    )
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return module.package in _SCOPED_MODULES
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        terminal = name.rsplit(".", 1)[-1] if name else None
+        if terminal in _SEND_CALLS:
+            for argument in node.args:
+                if isinstance(argument, ast.Tuple):
+                    kind = self._message_kind(argument)
+                    slug = (
+                        f"bare-{kind}" if kind is not None else "bare-tuple"
+                    )
+                    label = f'("{kind}", ...)' if kind else "a tuple literal"
+                    self.report(
+                        argument,
+                        f"bare wire payload {label} built at the "
+                        f"`{terminal}` site instead of a typed "
+                        "repro.serving.wire constructor",
+                        slug=slug,
+                    )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _message_kind(node: ast.Tuple) -> str | None:
+        """The message tag when the tuple leads with a string literal."""
+        if node.elts and isinstance(node.elts[0], ast.Constant):
+            value = node.elts[0].value
+            if isinstance(value, str):
+                return value
+        return None

@@ -108,7 +108,10 @@ def render_text(result: AnalysisResult) -> str:
         )
     if result.stale:
         stale_lines = "\n".join(
-            f"    {entry.fingerprint}" for entry in result.stale
+            f"    {entry.fingerprint}  # {entry.justification}"
+            if entry.justification
+            else f"    {entry.fingerprint}"
+            for entry in result.stale
         )
         sections.append(
             f"{len(result.stale)} stale baseline entr"
@@ -132,6 +135,7 @@ def run_analysis(
     baseline_path: str | Path | None = None,
     baseline_required: bool = True,
     analyzer: Analyzer | None = None,
+    only_files: set[Path] | None = None,
 ) -> AnalysisResult:
     """Analyze ``paths`` and partition findings against the baseline.
 
@@ -139,6 +143,13 @@ def run_analysis(
     neither, everything found is *new*.  ``baseline_required=False``
     treats a missing ``baseline_path`` as an empty baseline (the CLI
     uses this for its default path, which need not exist).
+
+    ``only_files`` (absolute paths) implements ``--changed``/``--diff``:
+    the whole tree is still analyzed — cross-module rules need every
+    module's facts, and the cache makes the full pass cheap — but only
+    *new* findings located in one of the given files can fail the gate;
+    out-of-scope new findings are reported among the baselined ones.
+    Stale detection still sees the full tree, so it stays accurate.
     """
     if analyzer is None:
         analyzer = Analyzer()
@@ -151,6 +162,15 @@ def run_analysis(
             baseline = Baseline()
     findings = analyzer.run(paths)
     new, baselined = partition_findings(findings, baseline)
+    if only_files is not None:
+        in_scope = []
+        for finding in new:
+            absolute = analyzer.file_map.get(finding.path)
+            if absolute is not None and absolute in only_files:
+                in_scope.append(finding)
+            else:
+                baselined.append(finding)
+        new = in_scope
     return AnalysisResult(
         paths=[str(path) for path in paths],
         findings=findings,

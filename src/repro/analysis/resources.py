@@ -1,0 +1,237 @@
+"""RR012: resources acquired in eventlog/serving must be released on
+every CFG path.
+
+The event log hands out real file descriptors (``SegmentHandle`` wraps
+``os.open``; ``FileStorage.open_append`` returns one per segment) and
+the serving stack takes explicit ``.acquire()``/``.release()`` lock
+pairs in a couple of hot paths.  A handle that leaks only on the
+*error* path is exactly the bug class the disk-fault and kill -9 chaos
+suites hit probabilistically — this rule proves the absence of the
+pattern instead of sampling for it.
+
+The analysis is a forward may-leak dataflow over the per-function CFG
+(:mod:`repro.analysis.cfg`):
+
+* **acquire** — binding a plain local name to an acquiring call
+  (``open(...)``, ``os.open(...)``, ``*.open_append(...)``) adds an
+  open-resource fact; a manual ``<lock>.acquire()`` on a lock-named
+  receiver adds a receiver-keyed fact.
+* **release** — ``name.close()`` / ``name.release()`` /
+  ``os.close(name)`` (or ``<lock>.release()``) kills the fact.
+* **escape** — ownership transfer ends local responsibility: returning
+  or yielding the name, passing it as a call argument, storing it on an
+  attribute/subscript/container, or aliasing it to another name.
+* ``with``-managed resources are never tracked: ``__exit__`` is
+  guaranteed by construction.
+
+At the CFG exit, any surviving fact means *some* path reaches the end
+of the function with the resource still open; the finding points at
+the acquisition site.  Facts merge by union at joins, so a release on
+only one branch still reports the leaking branch.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.cfg import Block, DataflowProblem, build_cfg, solve_forward
+from repro.analysis.engine import ModuleInfo, Rule, dotted_name
+
+__all__ = ["ResourceLifecycleRule"]
+
+#: Terminal call names that hand the caller an open resource.
+_ACQUIRING_CALLS = frozenset({"open", "open_append", "open_segment"})
+
+#: Receiver-name fragments that mark a manual ``.acquire()`` as a lock.
+_LOCKY_FRAGMENTS = ("lock", "mutex", "semaphore")
+
+#: Packages whose resource discipline this rule enforces.
+_SCOPED_PACKAGES = ("repro.eventlog", "repro.serving")
+
+
+def _is_acquiring_call(node: ast.expr) -> str | None:
+    """The acquisition kind when ``node`` is an acquiring call."""
+    if not isinstance(node, ast.Call):
+        return None
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    terminal = name.rsplit(".", 1)[-1]
+    if terminal in _ACQUIRING_CALLS:
+        return terminal
+    return None
+
+
+def _lock_receiver(node: ast.Call) -> str | None:
+    """Dotted receiver of a ``<lock>.acquire()`` call, else ``None``."""
+    func = node.func
+    if not isinstance(func, ast.Attribute) or func.attr != "acquire":
+        return None
+    receiver = dotted_name(func.value)
+    if receiver is None:
+        return None
+    terminal = receiver.rsplit(".", 1)[-1].lower()
+    if any(fragment in terminal for fragment in _LOCKY_FRAGMENTS):
+        return receiver
+    return None
+
+
+class _ResourceProblem(DataflowProblem):
+    """Facts are ``(key, kind, line)`` triples of still-open resources.
+
+    ``key`` is ``name:<local>`` for handle-valued locals and
+    ``attr:<dotted>`` for manual lock receivers.
+    """
+
+    def transfer(self, block: Block, entering: frozenset) -> frozenset:
+        facts = set(entering)
+        for statement in block.statements:
+            self._transfer_statement(statement, facts)
+        return frozenset(facts)
+
+    # -- per-statement semantics ------------------------------------------
+
+    def _transfer_statement(self, node: ast.AST, facts: set) -> None:
+        if isinstance(node, ast.withitem):
+            return  # with-managed: __exit__ is guaranteed
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested definitions get their own CFG
+        if isinstance(node, ast.Assign):
+            self._transfer_assign(node, facts)
+            return
+        if isinstance(node, ast.Return) or isinstance(node, ast.expr) and isinstance(node, (ast.Yield, ast.YieldFrom)):
+            self._escape_names_in(getattr(node, "value", None), facts)
+            return
+        for call in ast.walk(node):
+            if isinstance(call, ast.Call):
+                self._transfer_call(call, facts)
+            elif isinstance(call, (ast.Yield, ast.YieldFrom)):
+                self._escape_names_in(call.value, facts)
+
+    def _transfer_assign(self, node: ast.Assign, facts: set) -> None:
+        # Releases/acquires buried in the RHS still count.
+        for call in ast.walk(node.value):
+            if isinstance(call, ast.Call):
+                self._transfer_call(call, facts)
+        plain_targets = [
+            t for t in node.targets if isinstance(t, ast.Name)
+        ]
+        kind = _is_acquiring_call(node.value)
+        if kind is not None and len(plain_targets) == len(node.targets) == 1:
+            facts.add(
+                (f"name:{plain_targets[0].id}", kind, node.lineno)
+            )
+            return
+        if not plain_targets or len(plain_targets) != len(node.targets):
+            # Attribute/subscript/tuple target: the value escapes into
+            # longer-lived storage; so does any tracked name inside it.
+            self._escape_names_in(node.value, facts)
+            return
+        # Plain-name (re)binding: only a *direct* alias (`g = fh`, or a
+        # tuple/list of names) transfers ownership — `data = fh.read()`
+        # leaves `fh` owned here.
+        for name in self._alias_names(node.value):
+            self._kill(f"name:{name}", facts)
+
+    def _transfer_call(self, node: ast.Call, facts: set) -> None:
+        func = node.func
+        # name.close() / name.release()
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "close",
+            "release",
+        ):
+            receiver = dotted_name(func.value)
+            if receiver is not None:
+                self._kill(f"name:{receiver}", facts)
+                self._kill(f"attr:{receiver}", facts)
+        # os.close(fd)
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "close"
+            and dotted_name(func.value) == "os"
+        ) or dotted_name(func) == "os.close":
+            for argument in node.args:
+                if isinstance(argument, ast.Name):
+                    self._kill(f"name:{argument.id}", facts)
+        # <lock>.acquire()
+        receiver = _lock_receiver(node)
+        if receiver is not None:
+            facts.add((f"attr:{receiver}", "acquire", node.lineno))
+            return
+        # A tracked handle passed as an argument escapes: the callee
+        # (a registry, a constructor) now owns its lifecycle.
+        for argument in list(node.args) + [kw.value for kw in node.keywords]:
+            self._escape_names_in(argument, facts)
+
+    # -- helpers ----------------------------------------------------------
+
+    @staticmethod
+    def _alias_names(node: ast.expr) -> list[str]:
+        """Names the value directly aliases (bare names, containers of)."""
+        if isinstance(node, ast.Name):
+            return [node.id]
+        if isinstance(node, (ast.Tuple, ast.List)):
+            names: list[str] = []
+            for element in node.elts:
+                if isinstance(element, ast.Starred):
+                    element = element.value
+                if isinstance(element, ast.Name):
+                    names.append(element.id)
+            return names
+        return []
+
+    @staticmethod
+    def _kill(key: str, facts: set) -> None:
+        for fact in [f for f in facts if f[0] == key]:
+            facts.discard(fact)
+
+    def _escape_names_in(self, node: ast.AST | None, facts: set) -> None:
+        if node is None:
+            return
+        for child in ast.walk(node):
+            if isinstance(child, ast.Name):
+                self._kill(f"name:{child.id}", facts)
+
+
+class ResourceLifecycleRule(Rule):
+    """RR012: file/segment handles and locks released on every path."""
+
+    rule_id = "RR012"
+    name = "resource-lifecycle"
+    severity = "error"
+    rationale = (
+        "A handle or lock that leaks on even one control-flow path "
+        "holds a descriptor (or blocks every other thread) until the "
+        "GC gets around to it; under the event log's crash-recovery "
+        "and the shard fleet's restart churn that is a resource "
+        "exhaustion bug the chaos suites only hit probabilistically."
+    )
+    fix_hint = (
+        "manage the resource with a `with` statement, release it in a "
+        "`try/finally`, or hand ownership somewhere explicit (return "
+        "it / store it on self)"
+    )
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return module.package.startswith(_SCOPED_PACKAGES)
+
+    def handle_function(self, node: ast.AST) -> None:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        cfg = build_cfg(node)
+        solution = solve_forward(cfg, _ResourceProblem())
+        exit_in, _ = solution[cfg.exit]
+        scope = (
+            f"{self.scope}.{node.name}"
+            if self.scope != "<module>"
+            else node.name
+        )
+        for key, kind, line in sorted(exit_in, key=lambda f: (f[2], f[0])):
+            label = key.split(":", 1)[1]
+            verb = "released" if kind == "acquire" else "closed"
+            self.report(
+                node,
+                f"`{label}` acquired via {kind}() at line {line} is not "
+                f"{verb} on every path to function exit",
+                slug=f"unreleased-{label.replace('.', '-')}",
+                scope=scope,
+            )

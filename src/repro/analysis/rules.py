@@ -38,12 +38,16 @@ Each rule encodes one invariant PRs 1–3 left as tribal knowledge:
   drain can actually account for every worker it claims to stop.
 
 The cross-module lock-ordering analyzer (RR006) lives in
-:mod:`repro.analysis.lockgraph`.
+:mod:`repro.analysis.lockgraph`; the dataflow-backed rules live in
+their own modules — RR010 in :mod:`repro.analysis.hotpath`, RR011 in
+:mod:`repro.analysis.payloads`, RR012 in
+:mod:`repro.analysis.resources` — and are registered here.
 """
 
 from __future__ import annotations
 
 import ast
+from collections.abc import Iterable
 
 from repro.analysis.engine import (
     Finding,
@@ -52,7 +56,11 @@ from repro.analysis.engine import (
     dotted_name,
     lock_label,
 )
+from repro.analysis.hotpath import HotPathVectorizationRule
 from repro.analysis.lockgraph import LockOrderingRule
+from repro.analysis.payloads import WirePayloadRule
+from repro.analysis.resources import ResourceLifecycleRule
+from repro.errors import AnalysisError
 
 __all__ = [
     "BlockingCallUnderLockRule",
@@ -64,6 +72,10 @@ __all__ = [
     "MissingWriteThroughRule",
     "OrphanedWorkerRule",
     "LockOrderingRule",
+    "HotPathVectorizationRule",
+    "WirePayloadRule",
+    "ResourceLifecycleRule",
+    "RULE_REGISTRY",
     "default_rules",
 ]
 
@@ -1039,16 +1051,59 @@ class OrphanedWorkerRule(Rule):
         self._check_scope(node.name, creations, reclaims, set())
 
 
-def default_rules() -> list[Rule]:
-    """Fresh instances of the full project rule set (RR001–RR009)."""
-    return [
-        BlockingCallUnderLockRule(),
-        UnseededRandomnessRule(),
-        MetricInternalsRule(),
-        ExceptionDisciplineRule(),
-        TypedApiRule(),
-        LockOrderingRule(),
-        MissingInvalidationRule(),
-        MissingWriteThroughRule(),
-        OrphanedWorkerRule(),
-    ]
+#: Every registered rule class, keyed by rule id.  ``RR000`` (syntax
+#: failure) is synthesized by the engine and is not selectable.
+RULE_REGISTRY: dict[str, type[Rule]] = {
+    cls.rule_id: cls
+    for cls in (
+        BlockingCallUnderLockRule,
+        UnseededRandomnessRule,
+        MetricInternalsRule,
+        ExceptionDisciplineRule,
+        TypedApiRule,
+        LockOrderingRule,
+        MissingInvalidationRule,
+        MissingWriteThroughRule,
+        OrphanedWorkerRule,
+        HotPathVectorizationRule,
+        WirePayloadRule,
+        ResourceLifecycleRule,
+    )
+}
+
+
+def _validate_ids(ids: Iterable[str] | None, flag: str) -> set[str]:
+    if ids is None:
+        return set()
+    wanted = {rule_id.strip() for rule_id in ids if rule_id.strip()}
+    unknown = sorted(wanted - set(RULE_REGISTRY))
+    if unknown:
+        known = ", ".join(sorted(RULE_REGISTRY))
+        raise AnalysisError(
+            f"unknown rule id(s) for {flag}: {', '.join(unknown)} "
+            f"(known: {known})"
+        )
+    return wanted
+
+
+def default_rules(
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Rule]:
+    """Fresh instances of the project rule set (RR001–RR012).
+
+    ``select`` restricts the run to the given rule ids; ``ignore``
+    drops the given ids from whatever ``select`` produced.  Unknown ids
+    raise :class:`~repro.errors.AnalysisError` — a typo must fail the
+    run, not silently lint with the wrong rule set.
+    """
+    selected = _validate_ids(select, "--select")
+    ignored = _validate_ids(ignore, "--ignore")
+    rules: list[Rule] = []
+    for rule_id, cls in sorted(RULE_REGISTRY.items()):
+        if selected and rule_id not in selected:
+            continue
+        if rule_id in ignored:
+            continue
+        rules.append(cls())
+    return rules

@@ -1,0 +1,175 @@
+"""The project-wide symbol table: every function the analyzer can see.
+
+This is the first layer of the dataflow pipeline (symbol table → call
+graph → CFG → solver → rules).  A :class:`SymbolCollector` walks one
+module and records a :class:`FunctionSymbol` per function or method —
+its qualified name, the class it belongs to, and the *terminal callee
+names* its body mentions.  A :class:`SymbolTable` accumulates those
+per-module records project-wide; :mod:`repro.analysis.callgraph`
+resolves the callee names into edges.
+
+Callee collection reuses the conservative name-matching contract that
+:mod:`repro.analysis.lockgraph` established: calls to ultra-generic
+method names (``close``, ``get``, ``put``, …) on receivers other than
+``self`` are *not* recorded, because stdlib objects collide with
+analyzed classes on exactly those names and would fabricate edges.
+
+Every structure serialises to plain JSON (``as_dict`` /
+``from_dict``), because the incremental engine caches per-module
+symbols by content hash and re-merges them without re-parsing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.engine import ModuleInfo, dotted_name
+
+__all__ = [
+    "FunctionSymbol",
+    "SymbolCollector",
+    "SymbolTable",
+    "callee_name",
+    "GENERIC_CALLEES",
+]
+
+#: Method names too generic to follow on a non-``self`` receiver:
+#: streams, queues, threads and events all collide here.
+GENERIC_CALLEES = frozenset(
+    {
+        "close", "get", "put", "run", "join", "wait", "flush", "write",
+        "read", "open", "acquire", "release", "start", "stop", "next",
+        "send", "set", "pop", "append", "add", "update", "clear", "copy",
+        "items", "keys", "values", "sort",
+    }
+)
+
+
+def callee_name(node: ast.Call) -> str | None:
+    """The call's terminal name when it is safe to name-match, else None."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        owner = dotted_name(func.value)
+        if owner is None:
+            return None
+        if owner != "self" and func.attr in GENERIC_CALLEES:
+            return None
+        return func.attr
+    return None
+
+
+@dataclass
+class FunctionSymbol:
+    """One analyzed function or method."""
+
+    qualname: str  # package.Class.method or package.function
+    name: str  # terminal name (the token calls match on)
+    path: str  # rel_path of the defining module
+    line: int
+    class_name: str | None
+    callees: set[str] = field(default_factory=set)
+
+    def as_dict(self) -> dict:
+        return {
+            "qualname": self.qualname,
+            "name": self.name,
+            "path": self.path,
+            "line": self.line,
+            "class_name": self.class_name,
+            "callees": sorted(self.callees),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> FunctionSymbol:
+        return cls(
+            qualname=data["qualname"],
+            name=data["name"],
+            path=data["path"],
+            line=data["line"],
+            class_name=data["class_name"],
+            callees=set(data["callees"]),
+        )
+
+
+class SymbolCollector(ast.NodeVisitor):
+    """Collect :class:`FunctionSymbol` records from one module."""
+
+    def __init__(self, module: ModuleInfo) -> None:
+        self.module = module
+        self.functions: dict[str, FunctionSymbol] = {}
+        self._class_stack: list[str] = []
+        self._scope_stack: list[str] = []
+        self._function_stack: list[FunctionSymbol] = []
+
+    def collect(self) -> dict[str, FunctionSymbol]:
+        """Walk the module tree; returns qualname → symbol."""
+        self.visit(self.module.tree)
+        return self.functions
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self._scope_stack.append(node.name)
+        self.generic_visit(node)
+        self._scope_stack.pop()
+        self._class_stack.pop()
+
+    def _visit_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        self._scope_stack.append(node.name)
+        qualname = f"{self.module.package}." + ".".join(self._scope_stack)
+        symbol = FunctionSymbol(
+            qualname=qualname,
+            name=node.name,
+            path=self.module.rel_path,
+            line=node.lineno,
+            class_name=(
+                self._class_stack[-1] if self._class_stack else None
+            ),
+        )
+        self.functions[qualname] = symbol
+        self._function_stack.append(symbol)
+        self.generic_visit(node)
+        self._function_stack.pop()
+        self._scope_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._function_stack:
+            callee = callee_name(node)
+            if callee is not None:
+                self._function_stack[-1].callees.add(callee)
+        self.generic_visit(node)
+
+
+class SymbolTable:
+    """Project-wide accumulation of per-module function symbols."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionSymbol] = {}
+        #: terminal name → qualnames of functions carrying that name.
+        self.by_name: dict[str, set[str]] = {}
+
+    def add_module(self, module: ModuleInfo) -> dict[str, FunctionSymbol]:
+        """Collect and merge one module's symbols; returns them."""
+        collected = SymbolCollector(module).collect()
+        self.merge(collected)
+        return collected
+
+    def merge(self, functions: dict[str, FunctionSymbol]) -> None:
+        """Merge symbols (fresh or cache-restored) into the table."""
+        for qualname, symbol in functions.items():
+            self.functions[qualname] = symbol
+            self.by_name.setdefault(symbol.name, set()).add(qualname)
+
+    def named(self, name: str) -> set[str]:
+        """Qualnames of every function with the given terminal name."""
+        return self.by_name.get(name, set())

@@ -603,12 +603,20 @@ _DEFAULT_ANALYZE_PATHS = ("src/repro",)
 _DEFAULT_BASELINE = "analysis-baseline.txt"
 
 
+def _split_rule_ids(raw: str | None) -> list[str] | None:
+    return None if raw is None else [part for part in raw.split(",") if part]
+
+
 def _cmd_analyze(arguments: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.analysis import (
+        AnalysisCache,
+        Analyzer,
         Baseline,
         BaselineEntry,
+        changed_files,
+        default_rules,
         render_json,
         render_text,
         run_analysis,
@@ -618,6 +626,25 @@ def _cmd_analyze(arguments: argparse.Namespace) -> int:
     paths = arguments.paths or list(_DEFAULT_ANALYZE_PATHS)
     baseline_path = arguments.baseline or _DEFAULT_BASELINE
     try:
+        rules = default_rules(
+            select=_split_rule_ids(arguments.select),
+            ignore=_split_rule_ids(arguments.ignore),
+        )
+        cache = (
+            None
+            if arguments.no_cache
+            else AnalysisCache(arguments.cache_dir or ".analysis-cache")
+        )
+        only_files: set[Path] | None = None
+        if arguments.diff is not None:
+            only_files = changed_files(base=arguments.diff)
+        elif arguments.changed:
+            only_files = changed_files()
+        if arguments.update_baseline and only_files is not None:
+            raise AnalysisError(
+                "--update-baseline rewrites the full baseline and "
+                "cannot be combined with --changed/--diff"
+            )
         # The default baseline path may simply not exist yet; a baseline
         # the user *named* must — unless we are about to (re)write it.
         result = run_analysis(
@@ -627,6 +654,8 @@ def _cmd_analyze(arguments: argparse.Namespace) -> int:
                 arguments.baseline is not None
                 and not arguments.update_baseline
             ),
+            analyzer=Analyzer(rules=rules, cache=cache),
+            only_files=only_files,
         )
         if arguments.update_baseline:
             old = Baseline.load(baseline_path, required=False)
@@ -636,10 +665,15 @@ def _cmd_analyze(arguments: argparse.Namespace) -> int:
                 if entry.fingerprint
                 in {f.fingerprint for f in result.findings}
             ]
-            entries.extend(
-                BaselineEntry(f.fingerprint, "TODO: justify")
-                for f in result.new
-            )
+            # Distinct findings can share a fingerprint (same scope and
+            # slug on different lines); one entry suppresses them all.
+            seen = {entry.fingerprint for entry in entries}
+            for finding in result.new:
+                if finding.fingerprint not in seen:
+                    seen.add(finding.fingerprint)
+                    entries.append(
+                        BaselineEntry(finding.fingerprint, "TODO: justify")
+                    )
             entries.sort(key=lambda entry: entry.fingerprint)
             Path(baseline_path).write_text(
                 Baseline(entries).format(
@@ -1012,6 +1046,50 @@ def build_parser() -> argparse.ArgumentParser:
             "(new entries get a 'TODO: justify' comment to fill in), "
             "pruning entries whose finding no longer occurs"
         ),
+    )
+    analyze.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help=(
+            "comma-separated rule ids to run (e.g. RR010,RR012); "
+            "unknown ids exit 2"
+        ),
+    )
+    analyze.add_argument(
+        "--ignore",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to skip; unknown ids exit 2",
+    )
+    analyze.add_argument(
+        "--changed",
+        action="store_true",
+        help=(
+            "gate only findings in files changed vs HEAD (uncommitted "
+            "+ untracked); the full tree is still analyzed so "
+            "cross-module rules stay exact"
+        ),
+    )
+    analyze.add_argument(
+        "--diff",
+        metavar="BASE",
+        default=None,
+        help=(
+            "gate only findings in files changed since merge-base with "
+            "BASE (plus uncommitted changes) — the PR-check mode"
+        ),
+    )
+    analyze.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental cache (force a cold run)",
+    )
+    analyze.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="incremental cache directory (default: .analysis-cache)",
     )
     analyze.set_defaults(handler=_cmd_analyze)
 

@@ -184,6 +184,25 @@ class ShardError(ServingError):
         self.reason = reason
 
 
+class WireProtocolError(ServingError):
+    """Raised for malformed messages on the shard-fleet pipes.
+
+    Every message between the fleet parent and a shard worker is built
+    by a :mod:`repro.serving.wire` constructor and validated by its
+    parser on receipt; this error is the validator's verdict.  In a
+    worker it is deliberately fatal (crash-only: the supervisor's
+    restart-and-replay path handles it); in the parent's reader it
+    marks the shard failed instead of silently mis-dispatching.
+    ``direction`` is ``"command"`` (parent → worker) or ``"event"``
+    (worker → parent).
+    """
+
+    def __init__(self, direction: str, detail: str) -> None:
+        super().__init__(f"malformed {direction} message: {detail}")
+        self.direction = direction
+        self.detail = detail
+
+
 class CacheError(ReproError):
     """Raised for misuse or failure of the :mod:`repro.cache` layer.
 

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.recsys.data import Dataset
 from repro.recsys.similarity import (
+    BATCH_MEASURES,
     SIMILARITY_MEASURES,
     adjusted_cosine,
     significance_weight,
@@ -88,6 +89,7 @@ class UserNeighborhood:
             )
         self.dataset = dataset
         self.measure = SIMILARITY_MEASURES[measure]
+        self.batch_measure = BATCH_MEASURES[measure]
         self.min_overlap = min_overlap
         self.significance_gamma = significance_gamma
         self._cache = _SimilarityCache()
@@ -141,6 +143,13 @@ class UserNeighborhood:
             candidates = list(self.dataset.ratings_for(item_id))
         else:
             candidates = list(self.dataset.users)
+        uncached = [
+            other
+            for other in candidates
+            if other != user_id and self._cache.get(user_id, other) is None
+        ]
+        if uncached:
+            self._batch_similarities(user_id, uncached)
         scored: list[Neighbor] = []
         for other in candidates:
             if other == user_id:
@@ -153,6 +162,47 @@ class UserNeighborhood:
             scored.append(Neighbor(other, value, overlap))
         scored.sort(key=lambda nb: (-nb.similarity, nb.neighbor_id))
         return scored[:k]
+
+    def _batch_similarities(
+        self, user_id: str, others: list[str]
+    ) -> None:
+        """Score ``user_id`` against every candidate in one masked pass.
+
+        The per-pair path gathers the co-rated values, allocates two
+        fresh arrays and runs the measure once *per candidate* — the
+        exact hot-path shape RR010 flags.  Here the target's ratings
+        become one ``(m,)`` vector and the candidates one ``(k, m)``
+        masked matrix, scored by a single :data:`BATCH_MEASURES` call;
+        results land in the pairwise cache with identical semantics
+        (min-overlap zeroing, significance weighting) so
+        :meth:`similarity` and invalidation behave exactly as before.
+        """
+        ratings_a = self.dataset.ratings_by(user_id)
+        item_ids = list(ratings_a)
+        columns = {iid: j for j, iid in enumerate(item_ids)}
+        target = np.array(
+            [ratings_a[iid].value for iid in item_ids], dtype=float
+        )
+        matrix = np.zeros((len(others), len(item_ids)), dtype=float)
+        mask = np.zeros((len(others), len(item_ids)), dtype=bool)
+        for i, other in enumerate(others):
+            for iid, rating in self.dataset.ratings_by(other).items():
+                j = columns.get(iid)
+                if j is not None:
+                    matrix[i, j] = rating.value
+                    mask[i, j] = True
+        similarities, overlaps = self.batch_measure(target, matrix, mask)
+        for i, other in enumerate(others):
+            n_corated = int(overlaps[i])
+            if n_corated < self.min_overlap:
+                value = 0.0
+            else:
+                value = float(similarities[i])
+                if self.significance_gamma > 0:
+                    value *= significance_weight(
+                        n_corated, self.significance_gamma
+                    )
+            self._cache.put(user_id, other, value, n_corated)
 
 
 class ItemNeighborhood:

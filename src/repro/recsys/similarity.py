@@ -26,7 +26,10 @@ __all__ = [
     "significance_weight",
     "attribute_similarity",
     "describe_similarity",
+    "pearson_batch",
+    "cosine_batch",
     "SIMILARITY_MEASURES",
+    "BATCH_MEASURES",
 ]
 
 _EPSILON = 1e-12
@@ -168,8 +171,89 @@ def describe_similarity(value: float) -> str:
     return "tends to disagree with you"
 
 
+def _masked(
+    target: np.ndarray, matrix: np.ndarray, mask: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Validate shapes; returns masked target rows, matrix, and counts."""
+    target = np.asarray(target, dtype=float)
+    matrix = np.asarray(matrix, dtype=float)
+    mask = np.asarray(mask, dtype=bool)
+    if matrix.shape != mask.shape or matrix.ndim != 2:
+        raise ValueError(
+            f"matrix/mask mismatch: {matrix.shape} vs {mask.shape}"
+        )
+    if target.shape != (matrix.shape[1],):
+        raise ValueError(
+            f"target {target.shape} does not align with matrix "
+            f"{matrix.shape}"
+        )
+    counts = mask.sum(axis=1)
+    rows = np.where(mask, target[None, :], 0.0)
+    values = np.where(mask, matrix, 0.0)
+    return rows, values, counts
+
+
+def pearson_batch(
+    target: np.ndarray, matrix: np.ndarray, mask: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise masked Pearson of one target against ``k`` candidates.
+
+    ``target`` is the anchor entity's values over its rated axis
+    (shape ``(m,)``); ``matrix`` holds each candidate's values in the
+    same column order (shape ``(k, m)``), valid only where ``mask`` is
+    true.  Returns ``(similarities, overlaps)`` of shape ``(k,)`` —
+    one vectorized pass in place of ``k`` per-pair gather/allocate/
+    correlate round-trips.  Rows with fewer than two co-rated columns,
+    or zero variance on either side, score 0.0, matching
+    :func:`pearson`'s degenerate cases.
+    """
+    rows, values, counts = _masked(target, matrix, mask)
+    n = np.maximum(counts, 1)
+    row_centered = np.where(
+        mask, rows - (rows.sum(axis=1) / n)[:, None], 0.0
+    )
+    value_centered = np.where(
+        mask, values - (values.sum(axis=1) / n)[:, None], 0.0
+    )
+    numerator = (row_centered * value_centered).sum(axis=1)
+    denominator = np.sqrt((row_centered**2).sum(axis=1)) * np.sqrt(
+        (value_centered**2).sum(axis=1)
+    )
+    valid = (counts >= 2) & (denominator >= _EPSILON)
+    similarities = np.where(
+        valid, numerator / np.where(valid, denominator, 1.0), 0.0
+    )
+    return np.clip(similarities, -1.0, 1.0), counts
+
+
+def cosine_batch(
+    target: np.ndarray, matrix: np.ndarray, mask: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise masked cosine of one target against ``k`` candidates.
+
+    Same layout as :func:`pearson_batch`; zero-norm rows score 0.0,
+    matching :func:`cosine`.
+    """
+    rows, values, counts = _masked(target, matrix, mask)
+    numerator = (rows * values).sum(axis=1)
+    denominator = np.sqrt((rows**2).sum(axis=1)) * np.sqrt(
+        (values**2).sum(axis=1)
+    )
+    valid = denominator >= _EPSILON
+    similarities = np.where(
+        valid, numerator / np.where(valid, denominator, 1.0), 0.0
+    )
+    return np.clip(similarities, -1.0, 1.0), counts
+
+
 SIMILARITY_MEASURES: dict[str, Callable[[np.ndarray, np.ndarray], float]] = {
     "pearson": pearson,
     "cosine": cosine,
 }
 """Named vector measures accepted by the CF recommenders."""
+
+BATCH_MEASURES: dict[str, Callable[..., tuple[np.ndarray, np.ndarray]]] = {
+    "pearson": pearson_batch,
+    "cosine": cosine_batch,
+}
+"""Batched counterparts of :data:`SIMILARITY_MEASURES`, same keys."""

@@ -67,6 +67,7 @@ from repro.serving.supervisor import (
     ShardSupervisor,
     reader_loop,
 )
+from repro.serving import wire
 from repro.serving.worker import ShardSpec, movie_world, shard_main
 
 if TYPE_CHECKING:
@@ -536,7 +537,7 @@ class ShardedServer:
                     handle.state = "stopping"
                     handle.state_reason = "drain"
             try:
-                handle.send(("stop",))
+                handle.send(wire.stop_message())
             except ShardError:
                 continue  # already dead; the join below reaps it
         killed = 0
@@ -719,7 +720,9 @@ class ShardedServer:
         try:
             slot = handle.dispatch(
                 req_id,
-                ("req", req_id, request.user_id, request.n, request.lane, deadline),
+                wire.req_message(
+                    req_id, request.user_id, request.n, request.lane, deadline
+                ),
             )
         except ShardError:
             # The pipe died between the state read and the send — same
@@ -796,7 +799,7 @@ class ShardedServer:
             )
         req_id = next(self._req_ids)
         slot = handle.dispatch(
-            req_id, ("rate", req_id, user_id, item_id, value)
+            req_id, wire.rate_message(req_id, user_id, item_id, value)
         )
         payload = slot.result(timeout)
         if not payload.get("acked"):
@@ -824,7 +827,7 @@ class ShardedServer:
             if handle.current_state() != "ok":
                 continue  # its replay rebuilds a coherent cache anyway
             try:
-                handle.send(("inval", user_id))
+                handle.send(wire.inval_message(user_id))
             except ShardError:
                 continue  # the supervisor owns the fallout
             self._fleet_metrics["invalidations"].inc(shard=str(handle.shard_id))

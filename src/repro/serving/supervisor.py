@@ -35,7 +35,8 @@ from multiprocessing.connection import Connection
 from multiprocessing.process import BaseProcess
 
 from repro import obs
-from repro.errors import ShardError
+from repro.errors import ShardError, WireProtocolError
+from repro.serving import wire
 from repro.serving.worker import ShardSpec
 
 __all__ = ["ShardHandle", "ShardSupervisor", "reader_loop"]
@@ -286,6 +287,13 @@ def reader_loop(handle: ShardHandle, incarnation: int, evt: Connection, backoff:
         try:
             message = evt.recv()
         except (EOFError, OSError):
+            break
+        try:
+            message = wire.parse_event(message)
+        except WireProtocolError as error:
+            # A worker speaking a different protocol cannot be trusted
+            # with traffic: fail the shard instead of mis-dispatching.
+            handle.mark_failed("wire-protocol", str(error))
             break
         kind = message[0]
         if kind == "hb":

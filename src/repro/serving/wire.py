@@ -1,0 +1,198 @@
+"""The shard fleet's wire protocol: typed, versioned pipe messages.
+
+The fleet parent and its shard workers talk over two unidirectional
+pipes (:mod:`repro.serving.worker` documents the traffic).  Before this
+module, every send site built its tuple by hand and every receive site
+unpacked by position — the protocol existed only as an implicit
+agreement scattered across three modules, so adding or reordering a
+field was invisible until a worker mis-dispatched in production.
+
+Now there is exactly one definition.  Constructors validate field
+types and return the (unchanged, still-picklable) tuple shapes;
+:func:`parse_command` / :func:`parse_event` validate on receipt and
+raise :class:`~repro.errors.WireProtocolError` on anything malformed.
+RR011 (:mod:`repro.analysis.payloads`) enforces that no fleet send
+site bypasses the constructors with a bare tuple literal.
+
+``WIRE_VERSION`` rides in the ``ready`` announcement's info dict — the
+one message every incarnation sends exactly once — so a parent can
+detect a version-skewed worker at handshake instead of mid-traffic.
+
+parent → worker (command pipe)::
+
+    ("req",  req_id, user_id, n, lane, deadline_seconds)
+    ("rate", req_id, user_id, item_id, value)
+    ("inval", user_id)
+    ("stop",)
+
+worker → parent (event pipe)::
+
+    ("hb", payload)
+    ("ready", incarnation, info)          # info["wire_version"] stamped
+    ("res", req_id, payload)
+    ("recovery-failed", reason)
+    ("stopped", drain_summary)
+"""
+
+from __future__ import annotations
+
+from repro.errors import WireProtocolError
+
+__all__ = [
+    "WIRE_VERSION",
+    "req_message",
+    "rate_message",
+    "inval_message",
+    "stop_message",
+    "hb_message",
+    "ready_message",
+    "res_message",
+    "recovery_failed_message",
+    "stopped_message",
+    "parse_command",
+    "parse_event",
+]
+
+#: Bump on any change to a message's shape or field meaning.
+WIRE_VERSION = 1
+
+
+def _require(condition: bool, direction: str, detail: str) -> None:
+    if not condition:
+        raise WireProtocolError(direction, detail)
+
+
+# -- command constructors (parent → worker) -------------------------------
+
+
+def req_message(
+    req_id: int,
+    user_id: str,
+    n: int,
+    lane: str | None,
+    deadline_seconds: float | None,
+) -> tuple:
+    """A recommendation request for one shard-local user."""
+    _require(isinstance(req_id, int), "command", f"req_id {req_id!r}")
+    _require(isinstance(user_id, str), "command", f"user_id {user_id!r}")
+    _require(isinstance(n, int) and n > 0, "command", f"n {n!r}")
+    _require(
+        lane is None or isinstance(lane, str), "command", f"lane {lane!r}"
+    )
+    _require(
+        deadline_seconds is None
+        or isinstance(deadline_seconds, (int, float)),
+        "command",
+        f"deadline_seconds {deadline_seconds!r}",
+    )
+    return ("req", req_id, user_id, n, lane, deadline_seconds)
+
+
+def rate_message(
+    req_id: int, user_id: str, item_id: str, value: float
+) -> tuple:
+    """A durable rating write for the user's home shard."""
+    _require(isinstance(req_id, int), "command", f"req_id {req_id!r}")
+    _require(isinstance(user_id, str), "command", f"user_id {user_id!r}")
+    _require(isinstance(item_id, str), "command", f"item_id {item_id!r}")
+    _require(
+        isinstance(value, (int, float)), "command", f"value {value!r}"
+    )
+    return ("rate", req_id, user_id, item_id, value)
+
+
+def inval_message(user_id: str) -> tuple:
+    """A cross-shard invalidation-bus delivery."""
+    _require(isinstance(user_id, str), "command", f"user_id {user_id!r}")
+    return ("inval", user_id)
+
+
+def stop_message() -> tuple:
+    """The graceful-drain command."""
+    return ("stop",)
+
+
+# -- event constructors (worker → parent) ---------------------------------
+
+
+def hb_message(payload: dict) -> tuple:
+    """A liveness heartbeat carrying the shard's health snapshot."""
+    _require(isinstance(payload, dict), "event", f"hb payload {payload!r}")
+    return ("hb", payload)
+
+
+def ready_message(incarnation: int, info: dict) -> tuple:
+    """The post-recovery readiness announcement.
+
+    Stamps ``info["wire_version"]`` so version skew between a parent
+    and a freshly spawned worker is detectable at handshake.
+    """
+    _require(
+        isinstance(incarnation, int), "event", f"incarnation {incarnation!r}"
+    )
+    _require(isinstance(info, dict), "event", f"ready info {info!r}")
+    return ("ready", incarnation, {**info, "wire_version": WIRE_VERSION})
+
+
+def res_message(req_id: int, payload: dict) -> tuple:
+    """A serve / rate response for one pending request."""
+    _require(isinstance(req_id, int), "event", f"req_id {req_id!r}")
+    _require(isinstance(payload, dict), "event", f"res payload {payload!r}")
+    return ("res", req_id, payload)
+
+
+def recovery_failed_message(reason: str) -> tuple:
+    """The worker's last words when log replay cannot succeed."""
+    _require(isinstance(reason, str), "event", f"reason {reason!r}")
+    return ("recovery-failed", reason)
+
+
+def stopped_message(summary: dict) -> tuple:
+    """The drain summary acknowledging a ``stop`` command."""
+    _require(isinstance(summary, dict), "event", f"summary {summary!r}")
+    return ("stopped", summary)
+
+
+# -- receive-side validation ----------------------------------------------
+
+#: kind → expected total tuple length, per direction.
+_COMMAND_ARITY = {"req": 6, "rate": 5, "inval": 2, "stop": 1}
+_EVENT_ARITY = {
+    "hb": 2,
+    "ready": 3,
+    "res": 3,
+    "recovery-failed": 2,
+    "stopped": 2,
+}
+
+
+def _parse(message: object, direction: str, arity: dict[str, int]) -> tuple:
+    _require(
+        isinstance(message, tuple) and len(message) > 0,
+        direction,
+        f"not a tagged tuple: {message!r}",
+    )
+    assert isinstance(message, tuple)
+    kind = message[0]
+    _require(
+        isinstance(kind, str) and kind in arity,
+        direction,
+        f"unknown kind {kind!r}",
+    )
+    _require(
+        len(message) == arity[kind],
+        direction,
+        f"{kind!r} carries {len(message) - 1} field(s), "
+        f"expected {arity[kind] - 1}",
+    )
+    return message
+
+
+def parse_command(message: object) -> tuple:
+    """Validate one parent → worker message; returns it unchanged."""
+    return _parse(message, "command", _COMMAND_ARITY)
+
+
+def parse_event(message: object) -> tuple:
+    """Validate one worker → parent message; returns it unchanged."""
+    return _parse(message, "event", _EVENT_ARITY)

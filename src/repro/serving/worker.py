@@ -6,7 +6,11 @@ its own :class:`~repro.eventlog.EventLog` directory, and an internal
 :class:`~repro.serving.server.RecommendationServer` gated by the
 existing recovery-readiness machinery (``recovery=`` replays the shard's
 log before the shard admits anyone).  The parent talks to it over two
-unidirectional pipes with plain picklable tuples:
+unidirectional pipes with picklable tuples, every one built by a
+:mod:`repro.serving.wire` constructor and validated with
+:func:`~repro.serving.wire.parse_command` on receipt (a malformed
+command kills the worker — crash-only — and the supervisor restarts
+it):
 
 parent → worker (command pipe)::
 
@@ -54,6 +58,7 @@ from repro.eventlog import EventLog, replay
 from repro.eventlog.events import InteractionEvent
 from repro.interaction import RatingChannel
 from repro.resilience.chaos import ShardFaultPlan, ShardFaultSchedule
+from repro.serving import wire
 from repro.serving.server import RecommendationServer, ServeResult
 
 __all__ = [
@@ -320,8 +325,7 @@ def shard_main(spec: ShardSpec, cmd: Connection, evt: Connection) -> None:
                     ready_sent = True
                     alive = _send(
                         evt,
-                        (
-                            "ready",
+                        wire.ready_message(
                             spec.incarnation,
                             {
                                 "recovery": getattr(
@@ -335,12 +339,14 @@ def shard_main(spec: ShardSpec, cmd: Connection, evt: Connection) -> None:
                 # Failed recovery pins the shard unready; tell the
                 # parent (which marks the shard failed instead of
                 # crash-looping a replay that cannot succeed) and die.
-                _send(evt, ("recovery-failed", str(error)))
+                _send(evt, wire.recovery_failed_message(str(error)))
                 break
         now = time.monotonic()
         if now - last_heartbeat >= spec.heartbeat_seconds:
             last_heartbeat = now
-            alive = _send(evt, ("hb", _health_payload(server, completed)))
+            alive = _send(
+                evt, wire.hb_message(_health_payload(server, completed))
+            )
             if not alive:
                 break
         if not cmd.poll(spec.heartbeat_seconds):
@@ -349,6 +355,9 @@ def shard_main(spec: ShardSpec, cmd: Connection, evt: Connection) -> None:
             message = cmd.recv()
         except (EOFError, OSError):
             break  # the parent is gone; nothing left to serve
+        # Crash-only: a malformed command raises WireProtocolError and
+        # kills the worker; the supervisor restarts it from the log.
+        message = wire.parse_command(message)
         kind = message[0]
         if kind == "req":
             __, req_id, user_id, n, lane, deadline_seconds = message
@@ -357,13 +366,15 @@ def shard_main(spec: ShardSpec, cmd: Connection, evt: Connection) -> None:
                 server, user_id, n, lane, deadline_seconds
             )
             completed += 1
-            alive = _send(evt, ("res", req_id, payload))
+            alive = _send(evt, wire.res_message(req_id, payload))
         elif kind == "rate":
             __, req_id, user_id, item_id, value = message
             _apply_fault(schedule)
             alive = _send(
                 evt,
-                ("res", req_id, _rate_payload(channel, user_id, item_id, value)),
+                wire.res_message(
+                    req_id, _rate_payload(channel, user_id, item_id, value)
+                ),
             )
         elif kind == "inval":
             cache.invalidate_user(message[1])
@@ -372,14 +383,13 @@ def shard_main(spec: ShardSpec, cmd: Connection, evt: Connection) -> None:
             log.close()
             _send(
                 evt,
-                (
-                    "stopped",
+                wire.stopped_message(
                     {
                         "completed_total": drain.completed_total,
                         "shed_queued": drain.shed_queued,
                         "workers_timed_out": drain.workers_timed_out,
                         "duration_s": drain.duration_s,
-                    },
+                    }
                 ),
             )
             break

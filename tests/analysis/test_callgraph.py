@@ -1,0 +1,162 @@
+"""Symbol table and call-graph reachability (pipeline layers 1–2)."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.analysis import CallGraph, SymbolTable
+from repro.analysis.engine import ModuleInfo
+from repro.analysis.symbols import FunctionSymbol, callee_name
+
+
+def module(source: str, package: str, rel_path: str = "m.py") -> ModuleInfo:
+    text = textwrap.dedent(source)
+    return ModuleInfo(
+        path=Path(rel_path),
+        rel_path=rel_path,
+        package=package,
+        source=text,
+        tree=ast.parse(text),
+    )
+
+
+class TestSymbolTable:
+    def test_collects_qualnames_classes_and_callees(self):
+        table = SymbolTable()
+        table.add_module(
+            module(
+                """
+                class Model:
+                    def predict(self, user_id):
+                        return self.score(user_id)
+
+                    def score(self, user_id):
+                        return 0.0
+
+                def helper():
+                    return Model()
+                """,
+                package="pkg.model",
+            )
+        )
+        predict = table.functions["pkg.model.Model.predict"]
+        assert predict.class_name == "Model"
+        assert "score" in predict.callees
+        assert table.functions["pkg.model.helper"].class_name is None
+        assert table.named("score") == {"pkg.model.Model.score"}
+
+    def test_generic_callee_on_foreign_receiver_is_not_recorded(self):
+        call = ast.parse("stream.close()").body[0].value
+        assert callee_name(call) is None
+        self_call = ast.parse("self.close()").body[0].value
+        assert callee_name(self_call) == "close"
+
+    def test_symbols_roundtrip_through_json_dicts(self):
+        symbol = FunctionSymbol(
+            qualname="pkg.f",
+            name="f",
+            path="pkg/f.py",
+            line=3,
+            class_name=None,
+            callees={"g", "h"},
+        )
+        assert FunctionSymbol.from_dict(symbol.as_dict()) == symbol
+
+
+class TestCallGraph:
+    def build(self) -> CallGraph:
+        table = SymbolTable()
+        table.add_module(
+            module(
+                """
+                class Recommender:
+                    def recommend(self, user_id):
+                        return self.rank(user_id)
+
+                    def rank(self, user_id):
+                        return score_all(user_id)
+                """,
+                package="pkg.a",
+                rel_path="a.py",
+            )
+        )
+        table.add_module(
+            module(
+                """
+                def score_all(user_id):
+                    return per_pair(user_id)
+
+                def per_pair(user_id):
+                    return 0.0
+
+                def cold_path():
+                    return per_pair(None)
+                """,
+                package="pkg.b",
+                rel_path="b.py",
+            )
+        )
+        return CallGraph(table)
+
+    def test_edges_resolve_terminal_names_across_modules(self):
+        graph = self.build()
+        assert "pkg.b.score_all" in graph.callees_of("pkg.a.Recommender.rank")
+
+    def test_reachability_is_transitive_from_roots(self):
+        graph = self.build()
+        roots = graph.roots(lambda s: s.name == "recommend")
+        hot = graph.reachable_from(roots)
+        assert {
+            "pkg.a.Recommender.recommend",
+            "pkg.a.Recommender.rank",
+            "pkg.b.score_all",
+            "pkg.b.per_pair",
+        } <= hot
+        assert "pkg.b.cold_path" not in hot
+
+    def test_name_matching_over_approximates_to_every_definition(self):
+        table = SymbolTable()
+        table.add_module(
+            module(
+                """
+                def caller():
+                    return target()
+
+                def target():
+                    return 1
+                """,
+                package="pkg.one",
+                rel_path="one.py",
+            )
+        )
+        table.add_module(
+            module(
+                """
+                def target():
+                    return 2
+                """,
+                package="pkg.two",
+                rel_path="two.py",
+            )
+        )
+        graph = CallGraph(table)
+        assert graph.callees_of("pkg.one.caller") == {
+            "pkg.one.target",
+            "pkg.two.target",
+        }
+
+    def test_self_recursion_does_not_create_a_self_edge(self):
+        table = SymbolTable()
+        table.add_module(
+            module(
+                """
+                def walk(node):
+                    return walk(node)
+                """,
+                package="pkg.rec",
+            )
+        )
+        graph = CallGraph(table)
+        assert graph.callees_of("pkg.rec.walk") == set()

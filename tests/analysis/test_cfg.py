@@ -1,0 +1,210 @@
+"""CFG lowering and dataflow-solver shapes the rules depend on."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis import (
+    ControlFlowGraph,
+    DataflowProblem,
+    build_cfg,
+    reaching_definitions,
+    solve_forward,
+)
+
+
+def cfg_of(source: str) -> ControlFlowGraph:
+    tree = ast.parse(textwrap.dedent(source))
+    function = tree.body[0]
+    assert isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(function)
+
+
+def defs_at_exit(cfg: ControlFlowGraph) -> dict[str, int]:
+    """name → number of distinct definitions reaching the exit block."""
+    in_facts, _ = reaching_definitions(cfg)[cfg.exit]
+    counts: dict[str, int] = {}
+    for name, _block, _index in in_facts:
+        counts[name] = counts.get(name, 0) + 1
+    return counts
+
+
+class TestLowering:
+    def test_straight_line_is_entry_body_exit(self):
+        cfg = cfg_of(
+            """
+            def f():
+                x = 1
+                y = 2
+            """
+        )
+        assert defs_at_exit(cfg) == {"x": 1, "y": 1}
+
+    def test_branch_edges_rejoin(self):
+        cfg = cfg_of(
+            """
+            def f(c):
+                if c:
+                    x = 1
+                else:
+                    x = 2
+            """
+        )
+        # Both branch definitions survive the join (may-union).
+        assert defs_at_exit(cfg)["x"] == 2
+
+    def test_branch_kills_the_dominating_definition(self):
+        cfg = cfg_of(
+            """
+            def f(c):
+                x = 0
+                if c:
+                    x = 1
+                else:
+                    x = 2
+            """
+        )
+        # Every path redefines x, so the initial binding cannot reach.
+        assert defs_at_exit(cfg)["x"] == 2
+
+    def test_if_without_else_keeps_the_fallthrough_definition(self):
+        cfg = cfg_of(
+            """
+            def f(c):
+                x = 0
+                if c:
+                    x = 1
+            """
+        )
+        assert defs_at_exit(cfg)["x"] == 2
+
+    def test_early_return_jumps_to_exit(self):
+        cfg = cfg_of(
+            """
+            def f(c):
+                if c:
+                    return None
+                x = 1
+            """
+        )
+        # The return path carries no definition of x; the fall-through
+        # path carries one — union at exit keeps it.
+        assert defs_at_exit(cfg) == {"x": 1}
+        return_blocks = [
+            block
+            for block in cfg.blocks.values()
+            if any(isinstance(s, ast.Return) for s in block.statements)
+        ]
+        assert return_blocks
+        assert all(
+            cfg.exit in block.successors for block in return_blocks
+        )
+
+    def test_loop_has_a_back_edge_and_body_defs_reach_exit(self):
+        cfg = cfg_of(
+            """
+            def f(items):
+                for item in items:
+                    x = item
+            """
+        )
+        heads = [
+            block.block_id
+            for block in cfg.blocks.values()
+            if block.kind == "loop-head"
+        ]
+        assert len(heads) == 1
+        head = heads[0]
+        predecessor_ids = cfg.predecessors()[head]
+        # The loop body flows back into the head: a predecessor with a
+        # higher id than the head itself is the back-edge source.
+        assert any(pid > head for pid in predecessor_ids)
+        assert "x" in defs_at_exit(cfg)
+
+    def test_break_exits_to_the_after_loop_block(self):
+        cfg = cfg_of(
+            """
+            def f(items):
+                for item in items:
+                    if item:
+                        break
+                    x = 1
+                y = 2
+            """
+        )
+        assert "y" in defs_at_exit(cfg)
+
+    def test_return_inside_try_routes_through_finally(self):
+        cfg = cfg_of(
+            """
+            def f(handle):
+                try:
+                    return handle.read()
+                finally:
+                    released = True
+            """
+        )
+        # The finally body sits on the return path, so its definition
+        # reaches the exit even though the try body returns.
+        assert "released" in defs_at_exit(cfg)
+
+    def test_exceptional_edge_reaches_the_handler(self):
+        cfg = cfg_of(
+            """
+            def f():
+                try:
+                    risky = compute()
+                except ValueError:
+                    fallback = 1
+            """
+        )
+        counts = defs_at_exit(cfg)
+        assert "risky" in counts and "fallback" in counts
+
+
+class TestSolver:
+    def test_solution_is_deterministic(self):
+        source = """
+            def f(c, items):
+                x = 0
+                for item in items:
+                    if c:
+                        x = item
+                    else:
+                        continue
+                return x
+            """
+        first = reaching_definitions(cfg_of(source))
+        second = reaching_definitions(cfg_of(source))
+        assert first == second
+
+    def test_custom_gen_problem_accumulates_along_paths(self):
+        class VisitedKinds(DataflowProblem):
+            def transfer(self, block, entering):
+                return entering | {block.kind}
+
+        cfg = cfg_of(
+            """
+            def f(c):
+                if c:
+                    x = 1
+                else:
+                    x = 2
+            """
+        )
+        solution = solve_forward(cfg, VisitedKinds())
+        exit_in, _ = solution[cfg.exit]
+        assert {"entry", "then", "else", "join"} <= set(exit_in)
+
+    def test_loop_fixpoint_terminates_and_unions_iterations(self):
+        cfg = cfg_of(
+            """
+            def f(items):
+                x = 0
+                for item in items:
+                    x = x + 1
+            """
+        )
+        # Zero-iteration and loop-body definitions both reach.
+        assert defs_at_exit(cfg)["x"] == 2

@@ -1,0 +1,176 @@
+"""The incremental engine: content-hash cache, invalidation, git modes."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    AnalysisCache,
+    Analyzer,
+    HotPathVectorizationRule,
+    changed_files,
+)
+from repro.analysis.incremental import (
+    CACHE_GENERATION,
+    finding_from_dict,
+    finding_to_dict,
+)
+from repro.analysis.rules import BlockingCallUnderLockRule
+from repro.errors import AnalysisError
+
+ENTRY = textwrap.dedent(
+    """
+    class Model:
+        def recommend(self, user_id):
+            return walk_neighbors(user_id)
+    """
+)
+
+HELPER = textwrap.dedent(
+    """
+    def walk_neighbors(user_id):
+        for neighbor in load_neighbors(user_id):
+            pass
+    """
+)
+
+LOCKED = textwrap.dedent(
+    """
+    import time
+
+    def hold(self):
+        with self._lock:
+            time.sleep(1.0)
+    """
+)
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    """A tiny repro-shaped tree with one cross-module RR010 finding."""
+    package = tmp_path / "repro" / "recsys"
+    package.mkdir(parents=True)
+    (package / "entry.py").write_text(ENTRY, encoding="utf-8")
+    (package / "helper.py").write_text(HELPER, encoding="utf-8")
+    return tmp_path / "repro"
+
+
+def run(tree, cache_dir, rules=None):
+    cache = AnalysisCache(cache_dir)
+    analyzer = Analyzer(
+        rules=rules or [HotPathVectorizationRule()], cache=cache
+    )
+    findings = analyzer.run([tree])
+    return findings, cache
+
+
+class TestCacheReplay:
+    def test_warm_run_replays_identical_findings(self, tree, tmp_path):
+        cold, cache = run(tree, tmp_path / "cache")
+        assert cache.hits == 0 and cache.misses == 2
+        warm, cache = run(tree, tmp_path / "cache")
+        assert cache.hits == 2 and cache.misses == 0
+        assert warm == cold
+        assert [f.rule_id for f in warm] == ["RR010"]
+
+    def test_local_rule_findings_replay_from_cache(self, tree, tmp_path):
+        (tree / "recsys" / "locked.py").write_text(LOCKED, encoding="utf-8")
+        rules = lambda: [BlockingCallUnderLockRule()]  # noqa: E731
+        cold, _ = run(tree, tmp_path / "cache", rules=rules())
+        warm, cache = run(tree, tmp_path / "cache", rules=rules())
+        assert cache.hits == 3
+        assert warm == cold
+        assert [f.rule_id for f in warm] == ["RR001"]
+
+    def test_editing_one_file_invalidates_only_that_file(
+        self, tree, tmp_path
+    ):
+        run(tree, tmp_path / "cache")
+        # Removing the hot root must kill the *cross-module* finding in
+        # helper.py even though helper.py itself replays from cache.
+        (tree / "recsys" / "entry.py").write_text(
+            ENTRY.replace("recommend", "offline_sweep"), encoding="utf-8"
+        )
+        findings, cache = run(tree, tmp_path / "cache")
+        assert cache.hits == 1 and cache.misses == 1
+        assert findings == []
+
+    def test_rule_selection_change_degrades_to_a_miss(self, tree, tmp_path):
+        run(tree, tmp_path / "cache")
+        findings, cache = run(
+            tree,
+            tmp_path / "cache",
+            rules=[HotPathVectorizationRule(), BlockingCallUnderLockRule()],
+        )
+        # The cached entries lack RR001 records, so nothing replays.
+        assert cache.hits == 0 and cache.misses == 2
+        assert [f.rule_id for f in findings] == ["RR010"]
+
+
+class TestCacheDurability:
+    def test_corrupt_cache_file_degrades_to_a_cold_run(self, tree, tmp_path):
+        _, cache = run(tree, tmp_path / "cache")
+        cache.path.write_text("not json{", encoding="utf-8")
+        findings, cache = run(tree, tmp_path / "cache")
+        assert cache.misses == 2
+        assert [f.rule_id for f in findings] == ["RR010"]
+
+    def test_generation_mismatch_discards_the_cache(self, tree, tmp_path):
+        _, cache = run(tree, tmp_path / "cache")
+        document = json.loads(cache.path.read_text(encoding="utf-8"))
+        assert document["generation"] == CACHE_GENERATION
+        document["generation"] = "1999.01.0"
+        cache.path.write_text(json.dumps(document), encoding="utf-8")
+        _, cache = run(tree, tmp_path / "cache")
+        assert cache.hits == 0 and cache.misses == 2
+
+    def test_findings_roundtrip_through_the_cache_encoding(self, tree, tmp_path):
+        cold, _ = run(tree, tmp_path / "cache")
+        for finding in cold:
+            assert finding_from_dict(finding_to_dict(finding)) == finding
+
+
+class TestChangedFiles:
+    @pytest.fixture()
+    def git_repo(self, tmp_path):
+        def git(*arguments):
+            subprocess.run(
+                ["git", "-c", "user.email=t@t", "-c", "user.name=t",
+                 *arguments],
+                cwd=tmp_path,
+                check=True,
+                capture_output=True,
+            )
+
+        git("init", "-q", "-b", "main")
+        (tmp_path / "tracked.py").write_text("x = 1\n", encoding="utf-8")
+        git("add", "tracked.py")
+        git("commit", "-q", "-m", "seed")
+        return tmp_path, git
+
+    def test_modified_and_untracked_files_are_reported(self, git_repo):
+        root, _git = git_repo
+        (root / "tracked.py").write_text("x = 2\n", encoding="utf-8")
+        (root / "fresh.py").write_text("y = 1\n", encoding="utf-8")
+        changed = changed_files(root)
+        assert changed == {
+            (root / "tracked.py").resolve(),
+            (root / "fresh.py").resolve(),
+        }
+
+    def test_diff_base_mode_includes_commits_since_merge_base(self, git_repo):
+        root, git = git_repo
+        git("checkout", "-q", "-b", "feature")
+        (root / "branched.py").write_text("z = 1\n", encoding="utf-8")
+        git("add", "branched.py")
+        git("commit", "-q", "-m", "branch work")
+        changed = changed_files(root, base="main")
+        assert (root / "branched.py").resolve() in changed
+
+    def test_git_failure_raises_analysis_error(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            changed_files(tmp_path, base="no-such-ref")

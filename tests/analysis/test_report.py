@@ -72,6 +72,18 @@ class TestRunAnalysis:
         assert result.ok
         assert len(result.stale) == 1
 
+    def test_only_files_gates_in_scope_findings_only(self, dirty_tree):
+        dirty_file = (dirty_tree / "mod.py").resolve()
+        gated = run_analysis([dirty_tree], only_files={dirty_file})
+        assert [f.rule_id for f in gated.new] == ["RR001"]
+        # The same finding in a file outside the change set is reported
+        # among the baselined ones instead of failing the gate.
+        elsewhere = run_analysis(
+            [dirty_tree], only_files={Path("/nowhere/else.py")}
+        )
+        assert elsewhere.ok
+        assert [f.rule_id for f in elsewhere.baselined] == ["RR001"]
+
 
 class TestJsonReporter:
     def test_schema_shape(self, dirty_tree):
@@ -103,6 +115,47 @@ class TestJsonReporter:
         assert "1 new finding(s)" in text
         assert result.new[0].fingerprint in text
         assert "FAILED" in text
+
+
+class TestStaleReporting:
+    @pytest.fixture()
+    def stale_result(self, dirty_tree, tmp_path):
+        first = run_analysis([dirty_tree])
+        baseline_path = tmp_path / "baseline.txt"
+        baseline_path.write_text(
+            f"{first.new[0].fingerprint}  # accepted\n"
+            "RR004 pkg/gone.py F.x except-Exception"
+            "  # worker must survive substrate errors\n"
+            "RR002 pkg/gone.py jitter random-random  # seeded upstream\n",
+            encoding="utf-8",
+        )
+        return run_analysis([dirty_tree], baseline_path=baseline_path)
+
+    def test_text_reporter_lists_fingerprint_and_justification(
+        self, stale_result
+    ):
+        text = render_text(stale_result)
+        assert "2 stale baseline entries" in text
+        assert (
+            "RR004 pkg/gone.py F.x except-Exception"
+            "  # worker must survive substrate errors" in text
+        )
+        assert (
+            "RR002 pkg/gone.py jitter random-random  # seeded upstream"
+            in text
+        )
+
+    def test_json_reporter_carries_both_fields(self, stale_result):
+        document = json.loads(render_json(stale_result))
+        stale = {
+            entry["fingerprint"]: entry["justification"]
+            for entry in document["stale"]
+        }
+        assert stale == {
+            "RR004 pkg/gone.py F.x except-Exception":
+                "worker must survive substrate errors",
+            "RR002 pkg/gone.py jitter random-random": "seeded upstream",
+        }
 
 
 class TestSelfCheck:

@@ -1,0 +1,162 @@
+"""RR010 hot-path vectorization lint: fixtures and reachability."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import Analyzer, HotPathVectorizationRule
+from tests.analysis.test_rules import findings_for
+
+
+def rr010(source: str, package: str = "repro.recsys.fake"):
+    return findings_for(source, "RR010", package=package)
+
+
+class TestHotPathCandidates:
+    def test_entity_loop_inside_predict_is_flagged(self):
+        findings = rr010(
+            """
+            class Model:
+                def predict(self, user_id, item_id):
+                    for other in self.dataset.users:
+                        pass
+            """
+        )
+        assert [f.slug for f in findings] == ["loop-users"]
+        assert findings[0].severity == "warning"
+
+    def test_entity_loop_in_helper_reachable_from_recommend(self):
+        findings = rr010(
+            """
+            class Model:
+                def recommend(self, user_id):
+                    return self.score_candidates(user_id)
+
+                def score_candidates(self, user_id):
+                    return [s for s in self.candidates]
+            """
+        )
+        assert [f.slug for f in findings] == ["loop-candidates"]
+        assert findings[0].scope == "Model.score_candidates"
+
+    def test_loop_in_cold_function_is_clean(self):
+        assert not rr010(
+            """
+            class Model:
+                def debug_dump(self):
+                    for user in self.dataset.users:
+                        print(user)
+            """
+        )
+
+    def test_dict_indexed_scoring_under_hot_root_is_flagged(self):
+        findings = rr010(
+            """
+            class Model:
+                def predict(self, user_id):
+                    for iid in self.items:
+                        value = self.ratings[iid]
+            """
+        )
+        slugs = {f.slug for f in findings}
+        assert "subscript-ratings" in slugs
+
+    def test_per_call_numpy_allocation_under_fit_is_flagged(self):
+        findings = rr010(
+            """
+            import numpy as np
+
+            class Model:
+                def fit(self, dataset):
+                    return self.build(dataset)
+
+                def build(self, dataset):
+                    return np.zeros((4, 4))
+            """
+        )
+        assert [f.slug for f in findings] == ["np-alloc-zeros"]
+
+    def test_numpy_allocation_off_the_hot_path_is_clean(self):
+        assert not rr010(
+            """
+            import numpy as np
+
+            def make_report():
+                return np.zeros(3)
+            """
+        )
+
+    def test_non_entity_loop_is_clean_even_when_hot(self):
+        assert not rr010(
+            """
+            class Model:
+                def predict(self, user_id):
+                    for chunk in self.blocks:
+                        pass
+            """
+        )
+
+    def test_modules_outside_recsys_are_out_of_scope(self):
+        assert not rr010(
+            """
+            class Model:
+                def predict(self, user_id):
+                    for other in self.dataset.users:
+                        pass
+            """,
+            package="repro.serving.fake",
+        )
+
+
+class TestCrossModuleReachability:
+    def test_hot_root_in_one_module_reaches_loop_in_another(self):
+        rule = HotPathVectorizationRule()
+        analyzer = Analyzer(rules=[rule])
+        entry = analyzer.load_module(
+            textwrap.dedent(
+                """
+                class Model:
+                    def recommend(self, user_id):
+                        return walk_neighbors(user_id)
+                """
+            ),
+            Path("a.py"),
+            "a.py",
+            package="repro.recsys.a",
+        )
+        helper = analyzer.load_module(
+            textwrap.dedent(
+                """
+                def walk_neighbors(user_id):
+                    for neighbor in load_neighbors(user_id):
+                        pass
+                """
+            ),
+            Path("b.py"),
+            "b.py",
+            package="repro.recsys.b",
+        )
+        rule.check_module(entry)
+        rule.check_module(helper)
+        findings = rule.finish()
+        assert [f.path for f in findings] == ["b.py"]
+        assert findings[0].slug == "loop-load_neighbors"
+
+    def test_without_the_entry_module_the_same_loop_is_cold(self):
+        rule = HotPathVectorizationRule()
+        analyzer = Analyzer(rules=[rule])
+        helper = analyzer.load_module(
+            textwrap.dedent(
+                """
+                def walk_neighbors(user_id):
+                    for neighbor in load_neighbors(user_id):
+                        pass
+                """
+            ),
+            Path("b.py"),
+            "b.py",
+            package="repro.recsys.b",
+        )
+        rule.check_module(helper)
+        assert rule.finish() == []

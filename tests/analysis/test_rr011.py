@@ -1,0 +1,95 @@
+"""RR011 wire-payload discipline: no bare tuples at shard-pipe sends."""
+
+from __future__ import annotations
+
+from tests.analysis.test_rules import findings_for
+
+
+def rr011(source: str, package: str = "repro.serving.sharding"):
+    return findings_for(source, "RR011", package=package)
+
+
+class TestBareTuplePayloads:
+    def test_tuple_literal_at_send_site_is_flagged(self):
+        findings = rr011(
+            """
+            def stop_fleet(handle):
+                handle.send(("stop",))
+            """
+        )
+        assert [f.slug for f in findings] == ["bare-stop"]
+        assert findings[0].severity == "error"
+
+    def test_tuple_literal_at_dispatch_site_is_flagged(self):
+        findings = rr011(
+            """
+            def submit(handle, req_id, user_id, n):
+                handle.dispatch(req_id, ("req", req_id, user_id, n))
+            """
+        )
+        assert [f.slug for f in findings] == ["bare-req"]
+
+    def test_tuple_literal_at_private_send_helper_is_flagged(self):
+        findings = rr011(
+            """
+            def heartbeat(endpoint, payload):
+                _send(endpoint, ("hb", payload))
+            """,
+            package="repro.serving.worker",
+        )
+        assert [f.slug for f in findings] == ["bare-hb"]
+
+    def test_tuple_without_string_tag_gets_the_generic_slug(self):
+        findings = rr011(
+            """
+            def push(handle, a, b):
+                handle.send((a, b))
+            """
+        )
+        assert [f.slug for f in findings] == ["bare-tuple"]
+
+    def test_wire_constructor_call_is_clean(self):
+        assert not rr011(
+            """
+            from repro.serving import wire
+
+            def stop_fleet(handle):
+                handle.send(wire.stop_message())
+            """
+        )
+
+    def test_sending_a_variable_is_clean(self):
+        assert not rr011(
+            """
+            def forward(handle, message):
+                handle.send(message)
+            """
+        )
+
+    def test_tuple_to_a_non_send_call_is_clean(self):
+        assert not rr011(
+            """
+            def build(registry):
+                registry.register(("stop",))
+            """
+        )
+
+    def test_modules_outside_the_fleet_are_out_of_scope(self):
+        assert not rr011(
+            """
+            def stop_fleet(handle):
+                handle.send(("stop",))
+            """,
+            package="repro.eventlog.segments",
+        )
+
+    def test_deep_attribute_send_receivers_are_still_matched(self):
+        findings = rr011(
+            """
+            class Router:
+                def broadcast(self):
+                    self.shard.pipe.send(("inval", "user-1"))
+            """,
+            package="repro.serving.router",
+        )
+        assert [f.slug for f in findings] == ["bare-inval"]

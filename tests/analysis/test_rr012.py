@@ -1,0 +1,168 @@
+"""RR012 resource lifecycle: handles/locks released on every CFG path."""
+
+from __future__ import annotations
+
+from tests.analysis.test_rules import findings_for
+
+
+def rr012(source: str, package: str = "repro.eventlog.fake"):
+    return findings_for(source, "RR012", package=package)
+
+
+class TestHandleLeaks:
+    def test_handle_never_closed_is_flagged(self):
+        findings = rr012(
+            """
+            def read_segment(path):
+                fh = open(path)
+                data = fh.read()
+                return data
+            """
+        )
+        assert [f.slug for f in findings] == ["unreleased-fh"]
+        assert findings[0].severity == "error"
+
+    def test_open_then_close_is_clean(self):
+        assert not rr012(
+            """
+            def read_segment(path):
+                fh = open(path)
+                data = fh.read()
+                fh.close()
+                return data
+            """
+        )
+
+    def test_close_on_only_one_branch_is_flagged(self):
+        findings = rr012(
+            """
+            def read_segment(path, verify):
+                fh = open(path)
+                if verify:
+                    fh.close()
+                return None
+            """
+        )
+        assert [f.slug for f in findings] == ["unreleased-fh"]
+
+    def test_close_in_finally_covers_the_raise_path(self):
+        assert not rr012(
+            """
+            def read_segment(path):
+                fh = open(path)
+                try:
+                    return fh.read()
+                finally:
+                    fh.close()
+            """
+        )
+
+    def test_early_return_before_close_is_flagged(self):
+        findings = rr012(
+            """
+            def read_segment(path, skip):
+                fh = open(path)
+                if skip:
+                    return None
+                fh.close()
+                return True
+            """
+        )
+        assert [f.slug for f in findings] == ["unreleased-fh"]
+
+    def test_with_managed_handle_is_never_tracked(self):
+        assert not rr012(
+            """
+            def read_segment(path):
+                with open(path) as fh:
+                    return fh.read()
+            """
+        )
+
+    def test_returning_the_handle_transfers_ownership(self):
+        assert not rr012(
+            """
+            def open_segment_handle(path):
+                fh = open(path)
+                return fh
+            """
+        )
+
+    def test_storing_the_handle_on_self_transfers_ownership(self):
+        assert not rr012(
+            """
+            class Registry:
+                def adopt(self, path):
+                    fh = open(path)
+                    self._handles["seg"] = fh
+            """
+        )
+
+    def test_os_open_paired_with_os_close_is_clean(self):
+        assert not rr012(
+            """
+            import os
+
+            def probe(path):
+                fd = os.open(path, os.O_RDONLY)
+                os.close(fd)
+            """
+        )
+
+    def test_reading_from_the_handle_is_not_an_escape(self):
+        # `data = fh.read()` must not launder ownership of fh.
+        findings = rr012(
+            """
+            def slurp(path):
+                fh = open(path)
+                data = fh.read()
+                return len(data)
+            """
+        )
+        assert [f.slug for f in findings] == ["unreleased-fh"]
+
+    def test_direct_alias_transfers_ownership(self):
+        assert not rr012(
+            """
+            def handoff(path, registry):
+                fh = open(path)
+                keeper = fh
+                registry.adopt_handle(keeper)
+            """
+        )
+
+
+class TestLockLeaks:
+    def test_manual_acquire_without_release_is_flagged(self):
+        findings = rr012(
+            """
+            class Gate:
+                def enter(self):
+                    self._lock.acquire()
+                    return True
+            """,
+            package="repro.serving.fake",
+        )
+        assert [f.slug for f in findings] == ["unreleased-self-_lock"]
+
+    def test_acquire_release_pair_is_clean(self):
+        assert not rr012(
+            """
+            class Gate:
+                def enter(self):
+                    self._lock.acquire()
+                    self.count += 1
+                    self._lock.release()
+            """,
+            package="repro.serving.fake",
+        )
+
+    def test_modules_outside_scope_are_ignored(self):
+        assert not rr012(
+            """
+            def read_segment(path):
+                fh = open(path)
+                return None
+            """,
+            package="repro.recsys.fake",
+        )

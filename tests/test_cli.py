@@ -339,6 +339,77 @@ class TestAnalyzeCommand:
         assert main(["analyze", str(tmp_path / "nope")]) == 2
         assert "no such analysis target" in capsys.readouterr().err
 
+    def test_select_runs_only_the_named_rules(
+        self, dirty_file, tmp_path, capsys
+    ):
+        assert (
+            main(
+                [
+                    "analyze",
+                    "--select",
+                    "RR002,RR003",
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                    str(dirty_file),
+                ]
+            )
+            == 0
+        )
+        assert "analysis clean" in capsys.readouterr().out
+
+    def test_ignore_skips_the_named_rule(self, dirty_file, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "analyze",
+                    "--ignore",
+                    "RR001",
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                    str(dirty_file),
+                ]
+            )
+            == 0
+        )
+        assert "analysis clean" in capsys.readouterr().out
+
+    def test_unknown_select_id_is_a_usage_error(self, dirty_file, capsys):
+        assert (
+            main(["analyze", "--select", "RR999", str(dirty_file)]) == 2
+        )
+        error = capsys.readouterr().err
+        assert "unknown rule id(s) for --select" in error
+        assert "RR999" in error
+
+    def test_unknown_ignore_id_is_a_usage_error(self, dirty_file, capsys):
+        assert (
+            main(["analyze", "--ignore", "bogus", str(dirty_file)]) == 2
+        )
+        assert "unknown rule id(s) for --ignore" in capsys.readouterr().err
+
+    def test_update_baseline_refuses_changed_mode(self, dirty_file, capsys):
+        assert (
+            main(
+                ["analyze", "--changed", "--update-baseline", str(dirty_file)]
+            )
+            == 2
+        )
+        assert "cannot be combined" in capsys.readouterr().err
+
+    def test_cache_dir_is_created_and_reused(
+        self, dirty_file, tmp_path, capsys
+    ):
+        cache_dir = tmp_path / "cache"
+        main(["analyze", "--cache-dir", str(cache_dir), str(dirty_file)])
+        assert (cache_dir / "cache.json").exists()
+        capsys.readouterr()
+        # The warm run replays the identical report from the cache.
+        assert (
+            main(["analyze", "--cache-dir", str(cache_dir), str(dirty_file)])
+            == 1
+        )
+        assert "RR001" in capsys.readouterr().out
+
     def test_update_baseline_writes_justifiable_entries(
         self, dirty_file, tmp_path, capsys
     ):
