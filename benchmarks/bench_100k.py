@@ -1,0 +1,165 @@
+"""100k-user serving smoke: a hard latency gate on the batch engine.
+
+Builds a 100k-user synthetic movie world and measures warm per-user
+recommendation latency for the substrates that actually scale with the
+user population.  The gate is the vectorization contract at scale:
+once per-user indexes are warm, the median ``recommend`` call must
+stay under 1 ms per user no matter how many users the world holds.
+
+Index construction is measured — and reported — separately: the
+user-CF neighbor index is the one-time O(n_users) cost the serving
+fleet pays at warm-up (or amortises through ``build_neighbor_index``),
+not a per-request cost.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_100k.py             # full gate
+    PYTHONPATH=src python benchmarks/bench_100k.py --users 20000 --sample 200
+
+Exits non-zero when any gated substrate's warm p50 breaches the bound,
+so CI can run it as a smoke job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.domains import make_movies  # noqa: E402
+from repro.recsys import (  # noqa: E402
+    ItemBasedCF,
+    PopularityRecommender,
+    UserBasedCF,
+)
+
+
+def _percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--users", type=int, default=100_000)
+    parser.add_argument("--items", type=int, default=150)
+    parser.add_argument("--density", type=float, default=0.06)
+    parser.add_argument(
+        "--sample",
+        type=int,
+        default=500,
+        help="users measured (and pre-indexed) per substrate",
+    )
+    parser.add_argument(
+        "--gate-ms",
+        type=float,
+        default=1.0,
+        help="warm per-user p50 bound; breach exits non-zero",
+    )
+    parser.add_argument(
+        "--output", default=None, help="optional JSON report path"
+    )
+    arguments = parser.parse_args(argv)
+
+    start = time.perf_counter()
+    world = make_movies(
+        n_users=arguments.users,
+        n_items=arguments.items,
+        seed=1,
+        density=arguments.density,
+    )
+    dataset = world.dataset
+    build_s = time.perf_counter() - start
+    sample = random.Random(0).sample(
+        list(dataset.users), min(arguments.sample, arguments.users)
+    )
+    print(
+        f"world: {arguments.users} users x {arguments.items} items "
+        f"(density {arguments.density}) built in {build_s:.1f} s; "
+        f"measuring {len(sample)} sampled users"
+    )
+
+    substrates = {
+        "PopularityRecommender": PopularityRecommender(),
+        "ItemBasedCF": ItemBasedCF(k=20),
+        "UserBasedCF": UserBasedCF(k=20, neighbor_index_size=40),
+    }
+    report: dict[str, dict] = {}
+    failed = []
+    for name, recommender in substrates.items():
+        start = time.perf_counter()
+        recommender.fit(dataset)
+        fit_ms = (time.perf_counter() - start) * 1000.0
+        index_ms = 0.0
+        if isinstance(recommender, UserBasedCF):
+            start = time.perf_counter()
+            recommender.build_neighbor_index(sample)
+            index_ms = (time.perf_counter() - start) * 1000.0
+        recommender.recommend_many(sample[:10], n=10)  # warm
+        latencies = []
+        for user_id in sample:
+            start = time.perf_counter()
+            recommender.recommend(user_id, n=10)
+            latencies.append((time.perf_counter() - start) * 1000.0)
+        start = time.perf_counter()
+        recommender.recommend_many(sample, n=10)
+        batch_ms = (
+            (time.perf_counter() - start) * 1000.0 / max(len(sample), 1)
+        )
+        p50 = _percentile(latencies, 0.5)
+        p95 = _percentile(latencies, 0.95)
+        report[name] = {
+            "fit_ms": round(fit_ms, 1),
+            "index_ms_per_user": round(index_ms / max(len(sample), 1), 3),
+            "warm_p50_ms": round(p50, 4),
+            "warm_p95_ms": round(p95, 4),
+            "batch_ms_per_user": round(batch_ms, 4),
+        }
+        verdict = "ok" if p50 < arguments.gate_ms else "BREACH"
+        if verdict != "ok":
+            failed.append(name)
+        print(
+            f"  {name:<24} warm p50 {p50:>7.3f} ms  p95 {p95:>7.3f} ms  "
+            f"batch {batch_ms:>7.3f} ms/user  [{verdict}]"
+        )
+
+    if arguments.output:
+        payload = {
+            "schema": "repro.bench.100k/v1",
+            "world": {
+                "n_users": arguments.users,
+                "n_items": arguments.items,
+                "density": arguments.density,
+                "sample": len(sample),
+                "build_s": round(build_s, 2),
+            },
+            "gate_ms": arguments.gate_ms,
+            "substrates": report,
+            "passed": not failed,
+        }
+        pathlib.Path(arguments.output).write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+        print(f"wrote {arguments.output}")
+
+    if failed:
+        print(
+            f"GATE FAILED: {', '.join(failed)} breached "
+            f"p50 < {arguments.gate_ms} ms"
+        )
+        return 1
+    print(f"gate passed: all warm p50 < {arguments.gate_ms} ms")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,16 @@ The JSON schema (``repro.obs.bench/v2``)::
           "predictions": 990
         }, ...
       },
+      "vectorization": {
+        "pre_rebuild_sha": "5a07d88...",
+        "substrates": {
+          "UserBasedCF": {
+            "fit_ms": ..., "batch_ms_per_user": ...,
+            "single_p50_ms": ..., "pre_rebuild_ms": 51.968,
+            "speedup": ...
+          }, ...
+        }
+      },
       "studies": {"E4 critiquing": {"wall_s": ...}, ...},
       "quality": {
         "world": {"n_users": ..., "eval_users": ..., ...},
@@ -222,6 +232,81 @@ def bench_substrates(
         " ms/user"
     )
     return results
+
+
+#: recommend mean ms/call per substrate on the default 120x240 world,
+#: taken from the BENCH_obs.json committed at the last revision before
+#: the contiguous rebuild — the "before" column of the vectorization
+#: section.
+_PRE_REBUILD_SHA = "5a07d88"
+_PRE_REBUILD_MS = {
+    "PopularityRecommender": 4.0076,
+    "UserBasedCF": 51.968,
+    "ItemBasedCF": 88.6479,
+    "ContentBasedRecommender": 16.701,
+    "NaiveBayesRecommender": 90.8873,
+    "SVDRecommender": 26.099,
+}
+_PRE_REBUILD_FIT_MS = {"SVDRecommender": 2568.2409}
+
+
+def bench_vectorization(n_users: int, n_items: int) -> dict:
+    """Before/after table for the contiguous-substrate rebuild.
+
+    Every substrate serves the *whole* user population through its
+    native ``recommend_many`` batch path (the shape the serving layer
+    now uses); per-user cost is the best of three passes so one-off
+    index builds land in the warm-up.  The "before" column replays the
+    per-call means recorded in the committed benchmark snapshot at the
+    last pre-rebuild revision, same world and seed.
+    """
+    world = make_movies(
+        n_users=n_users, n_items=n_items, seed=7, density=0.25
+    )
+    users = list(world.dataset.users)
+    results: dict[str, dict] = {}
+    for substrate_cls in SUBSTRATES:
+        name = substrate_cls.__name__
+        start = time.perf_counter()
+        recommender = substrate_cls().fit(world.dataset)
+        fit_ms = (time.perf_counter() - start) * 1000.0
+        recommender.recommend_many(users[:4], n=10)  # warm lazy indexes
+        passes = []
+        for _ in range(3):
+            start = time.perf_counter()
+            recommender.recommend_many(users, n=10)
+            passes.append(
+                (time.perf_counter() - start) * 1000.0 / len(users)
+            )
+        batch_ms = min(passes)
+        singles = []
+        for user_id in users[:30]:
+            start = time.perf_counter()
+            recommender.recommend(user_id, n=10)
+            singles.append((time.perf_counter() - start) * 1000.0)
+        single_p50 = _percentile(singles, 0.5)
+        before = _PRE_REBUILD_MS[name]
+        entry = {
+            "fit_ms": round(fit_ms, 4),
+            "batch_ms_per_user": round(batch_ms, 4),
+            "single_p50_ms": round(single_p50, 4),
+            "pre_rebuild_ms": before,
+            "speedup": round(before / batch_ms, 1) if batch_ms else 0.0,
+        }
+        before_fit = _PRE_REBUILD_FIT_MS.get(name)
+        if before_fit is not None:
+            entry["pre_rebuild_fit_ms"] = before_fit
+            entry["fit_speedup"] = round(before_fit / fit_ms, 1)
+        results[name] = entry
+        print(
+            f"  {name:<28} batch {batch_ms:>8.3f} ms/user  "
+            f"(was {before:>8.3f} ms/call, {entry['speedup']:>6.1f}x)"
+        )
+    return {
+        "pre_rebuild_sha": _PRE_REBUILD_SHA,
+        "batch_users": len(users),
+        "substrates": results,
+    }
 
 
 def bench_resilience(n_users: int, n_items: int, recommend_users: int) -> dict:
@@ -834,6 +919,8 @@ def main(argv: list[str] | None = None) -> int:
 
     print("substrates:")
     substrates = bench_substrates(sink, n_users, n_items, recommend_users)
+    print("vectorization:")
+    vectorization = bench_vectorization(n_users, n_items)
     print("resilience:")
     resilience = bench_resilience(n_users, n_items, recommend_users)
     print("serving:")
@@ -865,6 +952,7 @@ def main(argv: list[str] | None = None) -> int:
             "recommend_users": recommend_users,
         },
         "substrates": substrates,
+        "vectorization": vectorization,
         "resilience": resilience,
         "serving": serving,
         "cache": cache,

@@ -36,6 +36,47 @@ __all__ = [
 ]
 
 
+def _batched_recommend(
+    cache: ShardedTTLCache,
+    batch_loader: object,
+    user_ids: Sequence[str],
+    n: int,
+    exclude_rated: bool,
+    degraded_when: object = None,
+) -> list:
+    """Serve cached users, batch the misses through one native call.
+
+    Generations are snapshotted per miss *before* the batch computes, so
+    a user who invalidates mid-batch gets their entry stored under the
+    old (unreachable) generation instead of resurrecting stale data.
+    """
+    key = ("recommend", n, exclude_rated, None)
+    results: dict[str, list] = {}
+    misses: list[str] = []
+    for user_id in user_ids:
+        if user_id in results or user_id in misses:
+            continue
+        hit = cache.lookup(user_id, key)
+        if hit is not None:
+            results[user_id] = hit.value
+        else:
+            misses.append(user_id)
+    if misses:
+        generations = [cache.generation(user_id) for user_id in misses]
+        loaded = batch_loader(misses, n=n, exclude_rated=exclude_rated)
+        for user_id, generation, value in zip(misses, generations, loaded):
+            degraded = bool(degraded_when(value)) if degraded_when else False
+            cache.put(
+                user_id,
+                key,
+                value,
+                degraded=degraded,
+                generation=generation,
+            )
+            results[user_id] = value
+    return list(map(results.__getitem__, user_ids))
+
+
 def wire_invalidation(cache: object, *channels: object) -> None:
     """Subscribe the cache's ``invalidate_user`` to interaction channels.
 
@@ -135,18 +176,21 @@ class CachedRecommender(Recommender):
         n: int = 10,
         exclude_rated: bool = True,
     ) -> list[list[Recommendation]]:
-        """Batched ``recommend``: deduplicates users before fan-out.
+        """Batched ``recommend``: one native batch call for all misses.
 
         The result list aligns with ``user_ids``; a user appearing k
-        times costs one computation and is shared k ways.
+        times costs one computation and is shared k ways.  Cache misses
+        are collected and served by the substrate's own
+        ``recommend_many`` — a vectorized substrate scores the whole
+        miss batch in one pass instead of once per user.
         """
-        unique: dict[str, list[Recommendation]] = {}
-        for user_id in user_ids:
-            if user_id not in unique:
-                unique[user_id] = self.recommend(
-                    user_id, n=n, exclude_rated=exclude_rated
-                )
-        return [unique[user_id] for user_id in user_ids]
+        return _batched_recommend(
+            self.cache,
+            self.inner.recommend_many,
+            user_ids,
+            n,
+            exclude_rated,
+        )
 
     def invalidate_user(self, user_id: str) -> None:
         """Bump the user's generation (the interaction-channel hook)."""
@@ -222,14 +266,28 @@ class CachedExplainedRecommender:
         n: int = 10,
         exclude_rated: bool = True,
     ) -> list[list[ExplainedRecommendation]]:
-        """Batched ``recommend``: deduplicates users before fan-out."""
-        unique: dict[str, list[ExplainedRecommendation]] = {}
-        for user_id in user_ids:
-            if user_id not in unique:
-                unique[user_id] = self.recommend(
-                    user_id, n=n, exclude_rated=exclude_rated
-                )
-        return [unique[user_id] for user_id in user_ids]
+        """Batched ``recommend``: one native batch call for all misses.
+
+        Duck-typed pipelines without a native ``recommend_many`` are
+        served by the cached per-user path instead.
+        """
+        batch_loader = getattr(self.pipeline, "recommend_many", None)
+        if batch_loader is None:
+            unique: dict[str, list[ExplainedRecommendation]] = {}
+            for user_id in user_ids:
+                if user_id not in unique:
+                    unique[user_id] = self.recommend(
+                        user_id, n=n, exclude_rated=exclude_rated
+                    )
+            return list(map(unique.__getitem__, user_ids))
+        return _batched_recommend(
+            self.cache,
+            batch_loader,
+            user_ids,
+            n,
+            exclude_rated,
+            degraded_when=self._any_degraded,
+        )
 
     def explain(
         self, user_id: str, recommendation: Recommendation

@@ -191,6 +191,46 @@ class ExplainedRecommender:
                 )
             return explained
 
+    def recommend_many(
+        self,
+        user_ids,
+        n: int = 10,
+        exclude_rated: bool = True,
+    ) -> list[list[ExplainedRecommendation]]:
+        """Batched :meth:`recommend`, aligned with ``user_ids``.
+
+        The substrate scores the whole batch through its own
+        ``recommend_many`` (one vectorized pass for engine-backed
+        substrates); explanations are then attached per user with the
+        same per-item degradation semantics as :meth:`recommend`.
+        """
+        with obs.span(
+            "pipeline.recommend_many",
+            substrate=type(self.recommender).__name__,
+            explainer=type(self.explainer).__name__,
+            n_users=len(user_ids),
+            n=n,
+        ):
+            batches = self.recommender.recommend_many(
+                user_ids, n=n, exclude_rated=exclude_rated
+            )
+            explained_batches = []
+            for user_id, recommendations in zip(user_ids, batches):
+                explained = []
+                for recommendation in recommendations:
+                    explanation, degraded = self.explain_or_degrade(
+                        user_id, recommendation
+                    )
+                    explained.append(
+                        ExplainedRecommendation(
+                            recommendation=recommendation,
+                            explanation=explanation,
+                            degraded=degraded,
+                        )
+                    )
+                explained_batches.append(explained)
+            return explained_batches
+
     def predict_and_explain(
         self, user_id: str, item_id: str
     ) -> ExplainedRecommendation:

@@ -31,11 +31,13 @@ from repro.recsys.data import (
     Dataset,
     Item,
     Rating,
+    RatingMatrix,
     RatingScale,
     User,
     train_test_split,
 )
 from repro.recsys.diversify import diversify
+from repro.recsys.engine import PoolScores, VectorRecommender
 from repro.recsys.knowledge import (
     AttributeSpec,
     Catalog,
@@ -71,8 +73,12 @@ __all__ = [
     "Item",
     "User",
     "Rating",
+    "RatingMatrix",
     "RatingScale",
     "train_test_split",
+    # vectorized engine
+    "VectorRecommender",
+    "PoolScores",
     # protocol & evidence
     "Recommender",
     "Prediction",

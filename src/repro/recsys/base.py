@@ -479,6 +479,49 @@ class Recommender(abc.ABC):
                 value=self.dataset.item_mean(item_id), confidence=0.0
             )
 
+    def predict_many(
+        self, user_id: str, item_ids: Sequence[str]
+    ) -> list[Prediction]:
+        """Batched :meth:`predict_or_default` over one user's item list.
+
+        The base implementation loops; vectorized substrates
+        (:class:`~repro.recsys.engine.VectorRecommender`) override it
+        with a single batch pass.  Unknown users and items raise, as the
+        per-item path would.
+        """
+        self.dataset.user(user_id)
+        wanted = list(item_ids)
+        for item_id in wanted:
+            self.dataset.item(item_id)
+        return [
+            self.predict_or_default(user_id, item_id)
+            for item_id in wanted
+        ]
+
+    def recommend_many(
+        self,
+        user_ids: Sequence[str],
+        n: int = 10,
+        exclude_rated: bool = True,
+        candidates: Iterable[str] | None = None,
+    ) -> list[list[Recommendation]]:
+        """Batched :meth:`recommend`, aligned with ``user_ids``.
+
+        Duplicate users cost one computation.  The base implementation
+        loops per user; vectorized substrates override it with a shared
+        span and one model snapshot for the whole batch.
+        """
+        batch = list(user_ids)
+        wanted = list(candidates) if candidates is not None else None
+        unique: dict[str, list[Recommendation]] = {}
+        for user_id in batch:
+            if user_id not in unique:
+                unique[user_id] = self.recommend(
+                    user_id, n=n, exclude_rated=exclude_rated,
+                    candidates=wanted,
+                )
+        return list(map(unique.__getitem__, batch))
+
     def recommend(
         self,
         user_id: str,

@@ -5,29 +5,49 @@ explanation style ("People like you liked ...") and the Herlocker
 histogram interface (Section 3.4): every prediction carries
 :class:`~repro.recsys.base.NeighborRatingsEvidence` listing which similar
 users rated the item and how.
+
+The implementation runs on the vectorized engine
+(:class:`~repro.recsys.engine.VectorRecommender`): a target user's
+similarities to every overlapping candidate are computed in one masked
+``pearson_batch``/``cosine_batch`` pass against the
+:class:`~repro.recsys.data.RatingMatrix` snapshot and cached as that
+user's *neighbor index*; a whole candidate-item pool is then scored with
+a handful of array passes (gather raters, rank by similarity, segmented
+top-k, ``bincount`` accumulation) that reproduce the per-item scalar
+path bit for bit — the parity suite in
+``tests/recsys/test_vectorized_parity.py`` pins this down.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.errors import PredictionImpossibleError
+import numpy as np
+
 from repro.recsys.base import (
+    Evidence,
     NeighborRating,
     NeighborRatingsEvidence,
-    Prediction,
-    Recommender,
 )
-from repro.recsys.data import Dataset
+from repro.recsys.data import Dataset, RatingMatrix
+from repro.recsys.engine import PoolScores, VectorRecommender, top_k_segments
 from repro.recsys.neighbors import UserNeighborhood
+from repro.recsys.similarity import BATCH_MEASURES
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.eventlog.events import InteractionEvent
 
 __all__ = ["UserBasedCF"]
 
+#: Rating-event kinds that carry a rating write a CF model can absorb.
+_RATING_KINDS = ("rate", "re-rate", "correct-prediction", "undo", "rate-batch")
 
-class UserBasedCF(Recommender):
+#: Neighbor indexes kept before the oldest is evicted (full-length float
+#: rows; bounds memory on 100k-user worlds without changing results).
+_SIM_CACHE_LIMIT = 512
+
+
+class UserBasedCF(VectorRecommender):
     """Resnick-style user-kNN with mean-centred weighted aggregation.
 
     Parameters
@@ -44,6 +64,10 @@ class UserBasedCF(Recommender):
         smaller synthetic worlds in :mod:`repro.domains`.
     confidence_gamma:
         Neighbour count at which prediction confidence saturates at 1.0.
+    neighbor_index_size:
+        When set, each user's neighbor index keeps only this many
+        strongest candidates — an explicit accuracy/speed trade for very
+        large worlds.  ``None`` (default) keeps the index exact.
     """
 
     def __init__(
@@ -53,100 +77,278 @@ class UserBasedCF(Recommender):
         min_overlap: int = 2,
         significance_gamma: int = 10,
         confidence_gamma: int = 10,
+        neighbor_index_size: int | None = None,
     ) -> None:
         super().__init__()
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
+        if measure not in BATCH_MEASURES:
+            raise ValueError(
+                f"unknown similarity measure {measure!r}; "
+                f"choose from {sorted(BATCH_MEASURES)}"
+            )
+        if neighbor_index_size is not None and neighbor_index_size < 1:
+            raise ValueError(
+                f"neighbor_index_size must be >= 1, got {neighbor_index_size}"
+            )
         self.k = k
         self.measure = measure
+        self.batch_measure = BATCH_MEASURES[measure]
         self.min_overlap = min_overlap
         self.significance_gamma = significance_gamma
         self.confidence_gamma = max(1, confidence_gamma)
+        self.neighbor_index_size = neighbor_index_size
         self._neighborhood: UserNeighborhood | None = None
+        self._index: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    # -- lifecycle ---------------------------------------------------------
 
     def _fit(self, dataset: Dataset) -> None:
-        self._neighborhood = UserNeighborhood(
-            dataset,
-            measure=self.measure,
-            min_overlap=self.min_overlap,
-            significance_gamma=self.significance_gamma,
-        )
+        self._neighborhood = None
+        self._index = {}
+
+    def _on_matrix_change(self, matrix: RatingMatrix) -> None:
+        self._index = {}
 
     @property
     def neighborhood(self) -> UserNeighborhood:
-        """The fitted user neighbourhood (for reuse by explainers)."""
-        if self._neighborhood is None:
-            # dataset property raises NotFittedError with a clear message
-            self.dataset  # noqa: B018  (intentional attribute access)
-            raise AssertionError("unreachable")
+        """A lazily built scalar neighbourhood over the fitted dataset.
+
+        Kept for API compatibility with pre-vectorization callers; the
+        scoring path no longer goes through it.
+        """
+        dataset = self.dataset
+        if self._neighborhood is None or (
+            self._neighborhood.dataset is not dataset
+        ):
+            self._neighborhood = UserNeighborhood(
+                dataset,
+                measure=self.measure,
+                min_overlap=self.min_overlap,
+                significance_gamma=self.significance_gamma,
+            )
         return self._neighborhood
 
     def absorb(self, event: "InteractionEvent") -> bool:
         """Consume one rating event incrementally — no full refit.
 
-        Similarities are computed lazily from the live dataset, so
-        absorbing a rating change only requires forgetting the cached
-        pairs involving the event's user; the next prediction is then
+        Scoring always reads the dataset's current
+        :class:`~repro.recsys.data.RatingMatrix` snapshot, which the
+        dataset rebuilds after any mutation — so absorbing a rating
+        event only needs to acknowledge it; the next prediction is
         *exactly* what a freshly fitted model would produce.  Returns
         ``False`` (no-op) when the model is unfitted or the event
         carries no rating write.
         """
-        if self._neighborhood is None:
+        if not self.is_fitted:
             return False
-        if event.kind not in (
-            "rate", "re-rate", "correct-prediction", "undo", "rate-batch"
-        ):
+        if event.kind not in _RATING_KINDS:
             return False
-        self._neighborhood.invalidate_user(event.user_id)
+        if self._neighborhood is not None:
+            self._neighborhood.invalidate_user(event.user_id)
         return True
 
-    def predict(self, user_id: str, item_id: str) -> Prediction:
-        """Weighted deviation-from-mean prediction over the neighbourhood.
+    # -- neighbor index ----------------------------------------------------
+
+    def neighbor_index(
+        self, user_id: str
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The user's ``(weighted_sims, overlaps)`` full-length index.
+
+        Computed in one batched similarity pass over candidates sharing
+        at least one rated item (provably the only users with non-zero
+        similarity) and cached until the rating matrix changes.
+        """
+        matrix = self._matrix()
+        return self._index_row(matrix.row_of[self.dataset.user(user_id).user_id], matrix)
+
+    def build_neighbor_index(self, user_ids: list[str] | None = None) -> int:
+        """Precompute neighbor indexes (all users by default); returns count."""
+        matrix = self._matrix()
+        if user_ids is None:
+            rows = list(range(matrix.n_users))
+        else:
+            rows = list(map(matrix.row_of.__getitem__, user_ids))
+        for row in rows:
+            self._index_row(row, matrix)
+        return len(rows)
+
+    def _index_row(
+        self, row: int, matrix: RatingMatrix
+    ) -> tuple[np.ndarray, np.ndarray]:
+        cached = self._index.get(row)
+        if cached is not None:
+            return cached
+        wsims = np.full(matrix.n_users, 0.0)
+        cnts = np.full(matrix.n_users, 0)
+        ucols = matrix.user_cols(row)
+        if ucols.size:
+            positions, _owner = matrix.gather_ranges(matrix.i_indptr, ucols)
+            corated = np.bincount(
+                matrix.i_rows[positions], minlength=matrix.n_users
+            )
+            floor = max(self.min_overlap, 1)
+            cand = np.flatnonzero(corated >= floor)
+            cand = cand[cand != row]
+            if cand.size:
+                cand_values, cand_mask = matrix.columns_dense(
+                    ucols, rows=cand
+                )
+                sims, overlaps = self.batch_measure(
+                    matrix.user_vals(row), cand_values, cand_mask
+                )
+                weighted = np.where(
+                    overlaps >= self.min_overlap, sims, 0.0
+                )
+                if self.significance_gamma > 0:
+                    weighted = weighted * (
+                        np.minimum(overlaps, self.significance_gamma)
+                        / self.significance_gamma
+                    )
+                limit = self.neighbor_index_size
+                if limit is not None and cand.size > limit:
+                    order = np.lexsort(
+                        (matrix.user_rank[cand], -weighted)
+                    )
+                    weighted[order[limit:]] = 0.0
+                wsims[cand] = weighted
+                cnts[cand] = overlaps
+        result = (wsims, cnts)
+        while len(self._index) >= _SIM_CACHE_LIMIT:
+            self._index.pop(next(iter(self._index)))
+        self._index[row] = result
+        return result
+
+    # -- engine hooks ------------------------------------------------------
+
+    def _score_pool(
+        self, user_id: str, cols: np.ndarray, matrix: RatingMatrix
+    ) -> PoolScores:
+        """Score a candidate-item pool in one pass.
 
         prediction(u, i) = mean(u) + sum_v sim(u,v) * (r(v,i) - mean(v))
                                       / sum_v |sim(u,v)|
 
-        Confidence grows with the number of contributing neighbours and
-        their total similarity mass.
+        over the k most similar raters of each item — accumulated in
+        ``(-similarity, user_id)`` order, exactly like the scalar path,
+        so the floats match bit for bit.
         """
-        dataset = self.dataset
-        dataset.user(user_id)
-        dataset.item(item_id)
-        neighbors = self.neighborhood.neighbors(
-            user_id, k=self.k, item_id=item_id
+        row = matrix.row_of[user_id]
+        wsims, _cnts = self._index_row(row, matrix)
+        neighbors = np.flatnonzero(wsims > 0.0)
+        item_side = int(
+            (matrix.i_indptr[cols + 1] - matrix.i_indptr[cols]).sum()
         )
-        if not neighbors:
-            raise PredictionImpossibleError(
+        neighbor_side = int(
+            (
+                matrix.u_indptr[neighbors + 1] - matrix.u_indptr[neighbors]
+            ).sum()
+        )
+        if neighbor_side < item_side:
+            # Walk the (few) positive-weight neighbors' rating runs and
+            # map their columns back into the pool: identical (owner,
+            # rater, weight, rating) tuples as the item-side gather,
+            # and the lexsort below has no full ties (user_rank is
+            # unique per segment), so the two sides sort — and score —
+            # bit-identically.
+            positions, nbr_idx = matrix.gather_ranges(
+                matrix.u_indptr, neighbors
+            )
+            pool_pos = np.full(matrix.n_items, -1)
+            pool_pos[cols] = np.arange(cols.size)
+            owner = pool_pos[matrix.u_cols[positions]]
+            sel = np.flatnonzero(owner >= 0)
+            owner = owner[sel]
+            raters = neighbors[nbr_idx[sel]]
+            weights = wsims[raters]
+            ratings = matrix.u_vals[positions[sel]]
+        else:
+            positions, owner = matrix.gather_ranges(matrix.i_indptr, cols)
+            raters = matrix.i_rows[positions]
+            weights = wsims[raters]
+            sel = np.flatnonzero((weights > 0.0) & (raters != row))
+            raters = raters[sel]
+            weights = weights[sel]
+            ratings = matrix.i_vals[positions[sel]]
+            owner = owner[sel]
+        order = np.lexsort((matrix.user_rank[raters], -weights, owner))
+        owner = owner[order]
+        keep = top_k_segments(owner, self.k)
+        owner = owner[keep]
+        kept_raters = raters[order][keep]
+        kept_weights = weights[order][keep]
+        kept_ratings = ratings[order][keep]
+        deviations = kept_weights * (
+            kept_ratings - matrix.user_means[kept_raters]
+        )
+        numerator = np.bincount(
+            owner, weights=deviations, minlength=cols.size
+        )
+        denominator = np.bincount(
+            owner, weights=np.abs(kept_weights), minlength=cols.size
+        )
+        support = np.bincount(owner, minlength=cols.size)
+        ok = (support > 0) & (denominator > 0.0)
+        user_mean = matrix.user_means[row]
+        values = matrix.scale.clip_array(
+            user_mean + numerator / np.where(ok, denominator, 1.0)
+        )
+        confidences = np.minimum(
+            1.0, support / self.confidence_gamma
+        ) * np.minimum(1.0, denominator)
+        return PoolScores(
+            cols=cols,
+            values=values,
+            confidences=confidences,
+            ok=ok,
+            context={
+                "owner": owner,
+                "raters": kept_raters,
+                "weights": kept_weights,
+                "ratings": kept_ratings,
+                "support": support,
+            },
+        )
+
+    def _evidence_for(
+        self,
+        user_id: str,
+        scores: PoolScores,
+        idx: int,
+        matrix: RatingMatrix,
+    ) -> tuple[Evidence, ...]:
+        """Neighbor-ratings evidence from the batch intermediates.
+
+        The kept entries are already in ``(-similarity, user_id)``
+        order within each pool segment — the exact neighbour order the
+        scalar path cited.
+        """
+        owner = scores.context["owner"]
+        lo = int(np.searchsorted(owner, idx, side="left"))
+        hi = int(np.searchsorted(owner, idx, side="right"))
+        cited = zip(
+            map(
+                matrix.user_ids.__getitem__,
+                scores.context["raters"][lo:hi].tolist(),
+            ),
+            scores.context["weights"][lo:hi].tolist(),
+            scores.context["ratings"][lo:hi].tolist(),
+        )
+        neighbors = tuple(
+            NeighborRating(user_id=uid, similarity=sim, rating=rating)
+            for uid, sim, rating in cited
+        )
+        return (NeighborRatingsEvidence(neighbors=neighbors),)
+
+    def _impossible_message(
+        self, user_id: str, item_id: str, scores: PoolScores, idx: int
+    ) -> str:
+        if int(scores.context["support"][idx]) == 0:
+            return (
                 f"user {user_id!r} has no usable neighbours who rated "
                 f"item {item_id!r}"
             )
-
-        user_mean = dataset.user_mean(user_id)
-        numerator = 0.0
-        denominator = 0.0
-        neighbor_ratings: list[NeighborRating] = []
-        for neighbor in neighbors:
-            rating = dataset.rating(neighbor.neighbor_id, item_id)
-            if rating is None:
-                continue
-            neighbor_mean = dataset.user_mean(neighbor.neighbor_id)
-            numerator += neighbor.similarity * (rating.value - neighbor_mean)
-            denominator += abs(neighbor.similarity)
-            neighbor_ratings.append(
-                NeighborRating(
-                    user_id=neighbor.neighbor_id,
-                    similarity=neighbor.similarity,
-                    rating=rating.value,
-                )
-            )
-        if denominator <= 0.0 or not neighbor_ratings:
-            raise PredictionImpossibleError(
-                f"no positively-similar raters of item {item_id!r} "
-                f"for user {user_id!r}"
-            )
-
-        value = dataset.scale.clip(user_mean + numerator / denominator)
-        support = len(neighbor_ratings) / self.confidence_gamma
-        confidence = min(1.0, support) * min(1.0, denominator)
-        evidence = NeighborRatingsEvidence(neighbors=tuple(neighbor_ratings))
-        return Prediction(value=value, confidence=confidence, evidence=(evidence,))
+        return (
+            f"no positively-similar raters of item {item_id!r} "
+            f"for user {user_id!r}"
+        )

@@ -30,6 +30,7 @@ __all__ = [
     "Item",
     "User",
     "Rating",
+    "RatingMatrix",
     "Dataset",
     "train_test_split",
 ]
@@ -71,6 +72,18 @@ class RatingScale:
     def clip(self, value: float) -> float:
         """Clamp ``value`` into the scale."""
         return float(min(self.maximum, max(self.minimum, value)))
+
+    def clip_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`clip` — identical per-element results."""
+        return np.clip(values, self.minimum, self.maximum)
+
+    def normalize_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`normalize` — identical per-element results."""
+        return (self.clip_array(values) - self.minimum) / self.span
+
+    def denormalize_array(self, units: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`denormalize` — identical per-element results."""
+        return self.clip_array(self.minimum + units * self.span)
 
     def contains(self, value: float) -> bool:
         """Whether ``value`` lies on the scale."""
@@ -157,12 +170,208 @@ class Rating:
     source: str = "explicit"
 
 
+class RatingMatrix:
+    """Immutable contiguous snapshot of a dataset's rating relation.
+
+    This is the shared substrate layer every vectorized recommender
+    scores against.  Both orientations of the relation are stored as
+    flat CSR-style arrays whose *within-entity order is the dataset's
+    insertion order* — the same order the per-entity dict views
+    (:meth:`Dataset.ratings_by` / :meth:`Dataset.ratings_for`) iterate
+    in — so batched kernels consume exactly the value sequences the
+    per-pair code paths used to gather, and reproduce their floats
+    bit for bit.
+
+    Contents:
+
+    * ``u_indptr`` / ``u_cols`` / ``u_vals`` — user-major: user row
+      ``i`` rated columns ``u_cols[u_indptr[i]:u_indptr[i+1]]``.
+    * ``i_indptr`` / ``i_rows`` / ``i_vals`` — item-major mirror.
+    * ``user_means`` / ``item_means`` / ``global_mean`` — computed with
+      ``np.mean`` over the insertion-order slices, bitwise identical to
+      :meth:`Dataset.user_mean` / :meth:`Dataset.item_mean` /
+      :meth:`Dataset.global_mean` (midpoint where empty).
+    * ``user_rank`` / ``item_rank`` — lexicographic rank of each id,
+      the vectorized form of the ``(-score, id)`` tie-break every
+      ranking in the repo uses.
+    * ``item_recency`` — per-item recency column for the popularity
+      substrate.
+
+    Snapshots are cheap to share: :meth:`Dataset.rating_matrix` caches
+    one per dataset version, so every substrate fitted on the same
+    dataset scores against the same arrays.
+    """
+
+    def __init__(self, dataset: "Dataset") -> None:
+        self.version = dataset.version
+        self.scale = dataset.scale
+        user_ids = list(dataset.users)
+        item_ids = list(dataset.items)
+        self.user_ids = user_ids
+        self.item_ids = item_ids
+        self.n_users = len(user_ids)
+        self.n_items = len(item_ids)
+        self.row_of = {uid: i for i, uid in enumerate(user_ids)}
+        self.col_of = {iid: j for j, iid in enumerate(item_ids)}
+
+        self.u_indptr, self.u_cols, self.u_vals, self.user_means = (
+            self._orient(dataset.ratings_by, self.row_of, self.col_of, True)
+        )
+        self.i_indptr, self.i_rows, self.i_vals, self.item_means = (
+            self._orient(dataset.ratings_for, self.col_of, self.row_of, False)
+        )
+        midpoint = self.scale.midpoint
+        self.global_mean = (
+            float(np.mean(self.u_vals)) if self.u_vals.size else midpoint
+        )
+        self.user_rank = self._rank(user_ids)
+        self.item_rank = self._rank(item_ids)
+        recency = np.empty(self.n_items, dtype=np.float64)
+        recency[:] = [
+            entry.recency for entry in dataset.items.values()
+        ]
+        self.item_recency = recency
+
+    def _orient(self, view, primary, secondary, by_user):
+        """Build one CSR orientation plus its per-entity means."""
+        counts: list[int] = []
+        idx_acc: list[int] = []
+        val_acc: list[float] = []
+        for eid in primary:
+            per = view(eid)
+            counts.append(len(per))
+            for r in per.values():
+                key = r.item_id if by_user else r.user_id
+                idx_acc.append(secondary[key])
+                val_acc.append(r.value)
+        n = len(primary)
+        indptr = np.empty(n + 1, dtype=np.intp)
+        indptr[0] = 0
+        indptr[1:] = np.cumsum(counts) if counts else 0
+        idx = np.empty(len(idx_acc), dtype=np.intp)
+        idx[:] = idx_acc
+        vals = np.empty(len(val_acc), dtype=np.float64)
+        vals[:] = val_acc
+        midpoint = self.scale.midpoint
+        means_acc: list[float] = []
+        bounds = zip(indptr[:-1].tolist(), indptr[1:].tolist())
+        for a, b in bounds:
+            seg = vals[a:b]
+            means_acc.append(float(np.mean(seg)) if b > a else midpoint)
+        means = np.empty(n, dtype=np.float64)
+        means[:] = means_acc
+        return indptr, idx, vals, means
+
+    @staticmethod
+    def _rank(ids: list[str]) -> np.ndarray:
+        order = sorted(range(len(ids)), key=ids.__getitem__)
+        rank = np.empty(len(ids), dtype=np.intp)
+        rank[order] = np.arange(len(ids))
+        return rank
+
+    # -- slice views ------------------------------------------------------
+
+    def user_cols(self, row: int) -> np.ndarray:
+        """Columns user ``row`` rated, in rating insertion order."""
+        return self.u_cols[self.u_indptr[row]:self.u_indptr[row + 1]]
+
+    def user_vals(self, row: int) -> np.ndarray:
+        """Values user ``row`` gave, aligned with :meth:`user_cols`."""
+        return self.u_vals[self.u_indptr[row]:self.u_indptr[row + 1]]
+
+    def item_rows(self, col: int) -> np.ndarray:
+        """User rows who rated item ``col``, in insertion order."""
+        return self.i_rows[self.i_indptr[col]:self.i_indptr[col + 1]]
+
+    def item_vals(self, col: int) -> np.ndarray:
+        """Values item ``col`` received, aligned with :meth:`item_rows`."""
+        return self.i_vals[self.i_indptr[col]:self.i_indptr[col + 1]]
+
+    def rated_flags(self, row: int) -> np.ndarray:
+        """Boolean membership vector over items for one user row."""
+        flags = np.full(self.n_items, False)
+        flags[self.user_cols(row)] = True
+        return flags
+
+    # -- batched gathers --------------------------------------------------
+
+    @staticmethod
+    def gather_ranges(
+        indptr: np.ndarray, sel: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Flat positions of ``sel``'s CSR ranges plus each position's owner.
+
+        ``positions`` indexes the flat arrays so that the ranges of the
+        selected entities appear back to back, each in insertion order;
+        ``owner`` maps every position to its index *within* ``sel``.
+        One vectorized pass — no per-entity Python iteration.
+        """
+        starts = indptr[sel]
+        lengths = indptr[sel + 1] - starts
+        total = int(lengths.sum())
+        owner = np.repeat(np.arange(sel.size), lengths)
+        offsets = np.repeat(starts - (np.cumsum(lengths) - lengths), lengths)
+        positions = np.arange(total) + offsets
+        return positions, owner
+
+    def columns_dense(
+        self, cols: np.ndarray, rows: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Dense ``(n_rows, len(cols))`` value/mask pair for some columns.
+
+        ``rows=None`` spans every user row; otherwise only the given
+        rows (in the given order) are materialised.  Built by
+        scattering each requested column's rater slice, so the dense
+        entries are exactly the dataset's stored values.
+        """
+        if rows is None:
+            height = self.n_users
+            posmap = None
+        else:
+            height = rows.size
+            posmap = np.full(self.n_users, -1, dtype=np.intp)
+            posmap[rows] = np.arange(rows.size)
+        values = np.full((height, cols.size), 0.0)
+        mask = np.full((height, cols.size), False)
+        positions, owner = self.gather_ranges(self.i_indptr, cols)
+        raters = self.i_rows[positions]
+        if posmap is not None:
+            local = posmap[raters]
+            keep = local >= 0
+            values[local[keep], owner[keep]] = self.i_vals[positions[keep]]
+            mask[local[keep], owner[keep]] = True
+        else:
+            values[raters, owner] = self.i_vals[positions]
+            mask[raters, owner] = True
+        return values, mask
+
+    def raters_dense(
+        self, rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Dense ``(n_items, len(rows))`` value/mask pair for some users.
+
+        The transpose orientation of :meth:`columns_dense`: entry
+        ``(j, t)`` is user ``rows[t]``'s rating of item ``j``.  This is
+        the candidate matrix item-item similarity scores against.
+        """
+        values = np.full((self.n_items, rows.size), 0.0)
+        mask = np.full((self.n_items, rows.size), False)
+        positions, owner = self.gather_ranges(self.u_indptr, rows)
+        cols = self.u_cols[positions]
+        values[cols, owner] = self.u_vals[positions]
+        mask[cols, owner] = True
+        return values, mask
+
+
 class Dataset:
     """In-memory collection of users, items and ratings.
 
     The container maintains both orientations of the rating relation
     (by user and by item) so neighbourhood computations are cheap, and
     exposes a dense numpy matrix view for vectorised similarity code.
+    Mutations bump :attr:`version`; :meth:`rating_matrix` caches one
+    contiguous :class:`RatingMatrix` snapshot per version, shared by
+    every substrate fitted on this dataset.
     """
 
     def __init__(
@@ -177,6 +386,8 @@ class Dataset:
         self._users: dict[str, User] = {}
         self._by_user: dict[str, dict[str, Rating]] = {}
         self._by_item: dict[str, dict[str, Rating]] = {}
+        self._version = 0
+        self._matrix: RatingMatrix | None = None
         for item in items:
             self.add_item(item)
         for user in users:
@@ -186,12 +397,21 @@ class Dataset:
 
     # -- construction -----------------------------------------------------
 
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped by every mutating operation."""
+        return self._version
+
     def add_item(self, item: Item) -> None:
         """Register an item (idempotent for identical ids)."""
+        if self._items.get(item.item_id) is not item:
+            self._version += 1
         self._items[item.item_id] = item
 
     def add_user(self, user: User) -> None:
         """Register a user (idempotent for identical ids)."""
+        if self._users.get(user.user_id) is not user:
+            self._version += 1
         self._users[user.user_id] = user
         self._by_user.setdefault(user.user_id, {})
 
@@ -210,13 +430,29 @@ class Dataset:
                 f"rating {rating.value} outside scale "
                 f"[{self.scale.minimum}, {self.scale.maximum}]"
             )
+        self._version += 1
         self._by_user.setdefault(rating.user_id, {})[rating.item_id] = rating
         self._by_item.setdefault(rating.item_id, {})[rating.user_id] = rating
 
     def remove_rating(self, user_id: str, item_id: str) -> None:
         """Delete a rating if present (used by scrutable profile editing)."""
+        self._version += 1
         self._by_user.get(user_id, {}).pop(item_id, None)
         self._by_item.get(item_id, {}).pop(user_id, None)
+
+    def rating_matrix(self) -> RatingMatrix:
+        """The cached contiguous snapshot for the current version.
+
+        Rebuilt lazily after any mutation; every vectorized substrate
+        reads through this accessor, so an absorbed rating event is
+        visible on the next prediction without a refit.
+        """
+        cached = self._matrix
+        if cached is not None and cached.version == self._version:
+            return cached
+        snapshot = RatingMatrix(self)
+        self._matrix = snapshot
+        return snapshot
 
     # -- lookups ----------------------------------------------------------
 

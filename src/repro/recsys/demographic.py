@@ -58,18 +58,26 @@ class DemographicRecommender(Recommender):
 
     def _fit(self, dataset: Dataset) -> None:
         self._group_of = {
-            user_id: user.attributes.get(self.attribute)
-            for user_id, user in dataset.users.items()
+            user.user_id: user.attributes.get(self.attribute)
+            for user in dataset.users.values()
         }
+        matrix = dataset.rating_matrix()
+        owners = np.repeat(
+            np.arange(matrix.n_users), np.diff(matrix.u_indptr)
+        )
         sums: dict[tuple[object, str], list[float]] = {}
-        for rating in dataset.iter_ratings():
-            group = self._group_of.get(rating.user_id)
+        for user_id, item_id, value in zip(
+            map(matrix.user_ids.__getitem__, owners.tolist()),
+            map(matrix.item_ids.__getitem__, matrix.u_cols.tolist()),
+            matrix.u_vals.tolist(),
+        ):
+            group = self._group_of.get(user_id)
             if group is None:
                 continue
-            sums.setdefault((group, rating.item_id), []).append(rating.value)
+            sums.setdefault((group, item_id), []).append(value)
         self._group_item_stats = {
-            key: (float(np.mean(values)), len(values))
-            for key, values in sums.items()
+            key: (float(np.mean(group_values)), len(group_values))
+            for key, group_values in zip(sums, sums.values())
         }
         self._global_mean = dataset.global_mean()
 

@@ -8,20 +8,46 @@ configured weight, and **concatenates their evidence**, so a single
 explanation can honestly draw on every contributing source (the paper's
 Section 6 classifies explanation style "regardless of the underlying
 algorithm" — the hybrid is where that distinction earns its keep).
+
+Vectorized layout: components that run on the
+:class:`~repro.recsys.engine.VectorRecommender` engine score a whole
+candidate pool in one ``_score_pool`` call each; scalar components fall
+back to per-item ``predict``.  The blend itself is a sequential pass of
+array expressions over the component results in configuration order —
+the same float accumulation order as blending each item by hand.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
 
 from repro.errors import PredictionImpossibleError
 from repro.recsys.base import Evidence, Prediction, Recommender
-from repro.recsys.data import Dataset
+from repro.recsys.data import Dataset, RatingMatrix
+from repro.recsys.engine import PoolScores, VectorRecommender
 
 __all__ = ["HybridRecommender"]
 
 
-class HybridRecommender(Recommender):
+@dataclass
+class _ComponentScores:
+    """One component's pool results plus what evidence needs later."""
+
+    component: Recommender
+    weight: float
+    values: np.ndarray
+    confidences: np.ndarray
+    ok: np.ndarray
+    pool: PoolScores | None = None  # engine components
+    predictions: list[Prediction | None] = field(default_factory=list)
+    messages: list[str | None] = field(default_factory=list)
+
+
+class HybridRecommender(VectorRecommender):
     """Confidence-weighted blend of component recommenders.
 
     Parameters
@@ -51,43 +77,151 @@ class HybridRecommender(Recommender):
         for recommender, __ in self.components:
             recommender.fit(dataset)
 
-    def predict(self, user_id: str, item_id: str) -> Prediction:
-        """Blend component predictions, weighting by weight x confidence."""
-        predictions: list[tuple[Prediction, float]] = []
-        for recommender, weight in self.components:
-            try:
-                prediction = recommender.predict(user_id, item_id)
-            except PredictionImpossibleError:
-                if self.require_all:
-                    raise
-                continue
-            predictions.append((prediction, weight))
-        if not predictions:
-            raise PredictionImpossibleError(
-                f"no hybrid component could predict ({user_id!r}, "
-                f"{item_id!r})"
-            )
+    # -- component scoring -------------------------------------------------
 
-        total_mass = 0.0
-        value = 0.0
-        confidence = 0.0
-        evidence: list[Evidence] = []
-        for prediction, weight in predictions:
-            mass = weight * max(prediction.confidence, 0.05)
-            total_mass += mass
-            value += mass * prediction.value
-            confidence = max(confidence, prediction.confidence)
-            evidence.extend(prediction.evidence)
-        value /= total_mass
-        # Agreement between components raises confidence slightly.
-        if len(predictions) > 1:
-            spread = max(p.value for p, __ in predictions) - min(
-                p.value for p, __ in predictions
+    def _score_component(
+        self,
+        component: Recommender,
+        weight: float,
+        user_id: str,
+        cols: np.ndarray,
+        matrix: RatingMatrix,
+    ) -> _ComponentScores:
+        if isinstance(component, VectorRecommender):
+            component._matrix()  # let the component react to dataset changes
+            pool = component._score_pool(user_id, cols, matrix)
+            return _ComponentScores(
+                component=component,
+                weight=weight,
+                values=pool.values,
+                confidences=pool.confidences,
+                ok=pool.ok,
+                pool=pool,
             )
-            agreement = max(0.0, 1.0 - spread / self.dataset.scale.span)
-            confidence = min(1.0, confidence * (0.8 + 0.4 * agreement))
-        return Prediction(
-            value=self.dataset.scale.clip(value),
-            confidence=confidence,
-            evidence=tuple(evidence),
+        size = cols.size
+        values = np.full(size, 0.0)
+        confidences = np.full(size, 0.0)
+        ok = np.full(size, False)
+        predictions: list[Prediction | None] = [None] * size
+        messages: list[str | None] = [None] * size
+        for position, item_id in enumerate(
+            map(matrix.item_ids.__getitem__, cols.tolist())
+        ):
+            try:
+                prediction = component.predict(user_id, item_id)
+            except PredictionImpossibleError as error:
+                messages[position] = str(error)
+                continue
+            predictions[position] = prediction
+            values[position] = prediction.value
+            confidences[position] = prediction.confidence
+            ok[position] = True
+        return _ComponentScores(
+            component=component,
+            weight=weight,
+            values=values,
+            confidences=confidences,
+            ok=ok,
+            predictions=predictions,
+            messages=messages,
+        )
+
+    # -- engine hooks ------------------------------------------------------
+
+    def _score_pool(
+        self, user_id: str, cols: np.ndarray, matrix: RatingMatrix
+    ) -> PoolScores:
+        """Blend component predictions, weighting by weight x confidence."""
+        size = cols.size
+        results = [
+            self._score_component(component, weight, user_id, cols, matrix)
+            for component, weight in self.components
+        ]
+        total_mass = np.full(size, 0.0)
+        value = np.full(size, 0.0)
+        confidence = np.full(size, 0.0)
+        n_ok = np.full(size, 0)
+        v_max = np.full(size, -np.inf)
+        v_min = np.full(size, np.inf)
+        for result in results:
+            mass = result.weight * np.maximum(result.confidences, 0.05)
+            total_mass = total_mass + np.where(result.ok, mass, 0.0)
+            value = value + np.where(
+                result.ok, mass * result.values, 0.0
+            )
+            confidence = np.where(
+                result.ok,
+                np.maximum(confidence, result.confidences),
+                confidence,
+            )
+            n_ok = n_ok + result.ok
+            v_max = np.where(
+                result.ok, np.maximum(v_max, result.values), v_max
+            )
+            v_min = np.where(
+                result.ok, np.minimum(v_min, result.values), v_min
+            )
+        ok = n_ok > 0
+        if self.require_all:
+            ok = n_ok == len(results)
+        value = value / np.where(total_mass > 0.0, total_mass, 1.0)
+        # Agreement between components raises confidence slightly.
+        spread = np.where(n_ok > 1, v_max - v_min, 0.0)
+        agreement = np.maximum(0.0, 1.0 - spread / matrix.scale.span)
+        confidence = np.where(
+            n_ok > 1,
+            np.minimum(1.0, confidence * (0.8 + 0.4 * agreement)),
+            confidence,
+        )
+        return PoolScores(
+            cols=cols,
+            values=matrix.scale.clip_array(value),
+            confidences=np.where(ok, confidence, 0.0),
+            ok=ok,
+            context={"results": results, "n_ok": n_ok},
+        )
+
+    def _evidence_for(
+        self,
+        user_id: str,
+        scores: PoolScores,
+        idx: int,
+        matrix: RatingMatrix,
+    ) -> tuple[Evidence, ...]:
+        """Concatenate evidence from every contributing component, in order."""
+        evidence: list[Evidence] = []
+        for result in scores.context["results"]:
+            if not bool(result.ok[idx]):
+                continue
+            if result.pool is not None:
+                component: Any = result.component
+                evidence.extend(
+                    component._evidence_for(
+                        user_id, result.pool, idx, matrix
+                    )
+                )
+            else:
+                prediction = result.predictions[idx]
+                assert prediction is not None
+                evidence.extend(prediction.evidence)
+        return tuple(evidence)
+
+    def _impossible_message(
+        self, user_id: str, item_id: str, scores: PoolScores, idx: int
+    ) -> str:
+        if self.require_all:
+            for result in scores.context["results"]:
+                if bool(result.ok[idx]):
+                    continue
+                if result.pool is not None:
+                    component: Any = result.component
+                    return component._impossible_message(
+                        user_id, item_id, result.pool, idx
+                    )
+                message = result.messages[idx]
+                if message is not None:
+                    return message
+        return (
+            f"no hybrid component could predict ({user_id!r}, "
+            f"{item_id!r})"
         )

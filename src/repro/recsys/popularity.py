@@ -8,19 +8,25 @@ say exactly that.
 
 It also serves as the control condition in studies comparing personalised
 against non-personalised recommendations.
+
+Vectorized layout: per-item rating counts fall out of the
+:class:`~repro.recsys.data.RatingMatrix` item index pointers, per-item
+rating totals out of one guarded segmented reduction, and a whole
+candidate pool scores in a handful of elementwise array expressions.
 """
 
 from __future__ import annotations
 
-import math
+import numpy as np
 
-from repro.recsys.base import PopularityEvidence, Prediction, Recommender
-from repro.recsys.data import Dataset
+from repro.recsys.base import Evidence, PopularityEvidence
+from repro.recsys.data import Dataset, RatingMatrix
+from repro.recsys.engine import PoolScores, VectorRecommender
 
 __all__ = ["PopularityRecommender"]
 
 
-class PopularityRecommender(Recommender):
+class PopularityRecommender(VectorRecommender):
     """Bayesian-damped popularity with an optional recency bonus.
 
     Parameters
@@ -48,34 +54,73 @@ class PopularityRecommender(Recommender):
 
     def _fit(self, dataset: Dataset) -> None:
         self._global_mean = dataset.global_mean()
-        recencies = [item.recency for item in dataset.items.values()]
-        if recencies:
-            self._recency_low = min(recencies)
-            self._recency_span = max(max(recencies) - self._recency_low, 1e-12)
+        matrix = dataset.rating_matrix()
+        if matrix.n_items:
+            self._recency_low = float(np.min(matrix.item_recency))
+            self._recency_span = max(
+                float(np.max(matrix.item_recency)) - self._recency_low,
+                1e-12,
+            )
 
     def _recency_score(self, recency: float) -> float:
         return (recency - self._recency_low) / self._recency_span
 
-    def predict(self, user_id: str, item_id: str) -> Prediction:
+    def _item_totals(self, matrix: RatingMatrix) -> np.ndarray:
+        """Per-item rating-value totals via one segmented reduction.
+
+        ``reduceat`` runs over the starts of *non-empty* segments only:
+        consecutive non-empty starts are exactly the true segment
+        boundaries (empty segments contribute nothing between them), and
+        every such start is a valid index — no clamping that could eat a
+        neighbouring segment's tail.
+        """
+        totals = np.full(matrix.n_items, 0.0)
+        if matrix.i_vals.size == 0:
+            return totals
+        nonempty = np.flatnonzero(np.diff(matrix.i_indptr) > 0)
+        totals[nonempty] = np.add.reduceat(
+            matrix.i_vals, matrix.i_indptr[:-1][nonempty]
+        )
+        return totals
+
+    # -- engine hooks ------------------------------------------------------
+
+    def _score_pool(
+        self, user_id: str, cols: np.ndarray, matrix: RatingMatrix
+    ) -> PoolScores:
         """Damped item mean blended with recency; identical for all users."""
-        dataset = self.dataset
-        item = dataset.item(item_id)
-        ratings = dataset.ratings_for(item_id)
-        n = len(ratings)
-        total = sum(r.value for r in ratings.values())
-        damped_mean = (total + self.damping * self._global_mean) / (
-            n + self.damping
+        counts = np.diff(matrix.i_indptr)[cols]
+        totals = self._item_totals(matrix)[cols]
+        damped = (totals + self.damping * self._global_mean) / (
+            counts + self.damping
         )
-        base = dataset.scale.normalize(damped_mean)
-        blended = (
-            (1.0 - self.recency_weight) * base
-            + self.recency_weight * self._recency_score(item.recency)
+        scale = matrix.scale
+        base = scale.normalize_array(damped)
+        recency = matrix.item_recency[cols]
+        blended = (1.0 - self.recency_weight) * base + self.recency_weight * (
+            (recency - self._recency_low) / self._recency_span
         )
-        value = dataset.scale.denormalize(blended)
-        confidence = 1.0 - math.exp(-n / 10.0)
-        evidence = PopularityEvidence(
-            n_ratings=n,
-            mean_rating=damped_mean,
-            recency=item.recency,
+        values = scale.denormalize_array(blended)
+        confidences = 1.0 - np.exp(-counts / 10.0)
+        return PoolScores(
+            cols=cols,
+            values=values,
+            confidences=confidences,
+            ok=np.full(cols.size, True),
+            context={"counts": counts, "damped": damped, "recency": recency},
         )
-        return Prediction(value=value, confidence=confidence, evidence=(evidence,))
+
+    def _evidence_for(
+        self,
+        user_id: str,
+        scores: PoolScores,
+        idx: int,
+        matrix: RatingMatrix,
+    ) -> tuple[Evidence, ...]:
+        return (
+            PopularityEvidence(
+                n_ratings=int(scores.context["counts"][idx]),
+                mean_rating=float(scores.context["damped"][idx]),
+                recency=float(scores.context["recency"][idx]),
+            ),
+        )

@@ -28,6 +28,7 @@ __all__ = [
     "describe_similarity",
     "pearson_batch",
     "cosine_batch",
+    "adjusted_cosine_batch",
     "SIMILARITY_MEASURES",
     "BATCH_MEASURES",
 ]
@@ -238,6 +239,44 @@ def cosine_batch(
     numerator = (rows * values).sum(axis=1)
     denominator = np.sqrt((rows**2).sum(axis=1)) * np.sqrt(
         (values**2).sum(axis=1)
+    )
+    valid = denominator >= _EPSILON
+    similarities = np.where(
+        valid, numerator / np.where(valid, denominator, 1.0), 0.0
+    )
+    return np.clip(similarities, -1.0, 1.0), counts
+
+
+def adjusted_cosine_batch(
+    target: np.ndarray,
+    matrix: np.ndarray,
+    mask: np.ndarray,
+    user_means: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise masked adjusted cosine of one item against ``k`` items.
+
+    Item-item layout: columns are *users* and ``user_means`` carries
+    each column-user's mean rating, subtracted from both sides wherever
+    either side is valid (matching :func:`adjusted_cosine`, which
+    centres both items' ratings by the shared rater's mean).  The
+    target's own mask is the non-zero pattern implied by ``mask`` row
+    intersections being handled by the caller: a column only
+    contributes where ``mask`` is true AND the target actually rated it,
+    so callers pass ``mask`` already restricted to the target's raters.
+    Degenerate rows (zero norm on either side) score 0.0.
+    """
+    rows, values, counts = _masked(target, matrix, mask)
+    means = np.asarray(user_means, dtype=float)
+    if means.shape != (matrix.shape[1],):
+        raise ValueError(
+            f"user_means {means.shape} does not align with matrix "
+            f"{np.asarray(matrix).shape}"
+        )
+    row_centered = np.where(mask, rows - means[None, :], 0.0)
+    value_centered = np.where(mask, values - means[None, :], 0.0)
+    numerator = (row_centered * value_centered).sum(axis=1)
+    denominator = np.sqrt((row_centered**2).sum(axis=1)) * np.sqrt(
+        (value_centered**2).sum(axis=1)
     )
     valid = denominator >= _EPSILON
     similarities = np.where(

@@ -137,3 +137,24 @@ class ResilientExplainedRecommender(ExplainedRecommender):
             item if item.degraded else replace(item, degraded=True)
             for item in explained
         ]
+
+    def recommend_many(
+        self,
+        user_ids: Sequence[str],
+        n: int = 10,
+        exclude_rated: bool = True,
+    ) -> list[list[ExplainedRecommendation]]:
+        """Batched :meth:`recommend` with per-user fallback isolation.
+
+        Deliberately per-user rather than one substrate batch call: a
+        fallback firing for one user must mark only that user's batch
+        as degraded, and one user's substrate failure must not drag the
+        rest of the batch down the chain with it.
+        """
+        unique: dict[str, list[ExplainedRecommendation]] = {}
+        for user_id in user_ids:
+            if user_id not in unique:
+                unique[user_id] = self.recommend(
+                    user_id, n=n, exclude_rated=exclude_rated
+                )
+        return list(map(unique.__getitem__, user_ids))

@@ -1,0 +1,194 @@
+"""Contract tests for the batched recommendation surface.
+
+``recommend_many``/``predict_many`` must be observationally equivalent
+to the per-user/per-item calls they replace — same items, same scores,
+same ranks, same evidence renders — across every substrate, including
+scalar substrates riding the base-class fallback, and the caching
+wrapper must delegate misses to the substrate's native batch entry
+point instead of looping ``recommend`` per user.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import CachedExplainedRecommender, CachedRecommender
+from repro.core import ExplainedRecommender
+from repro.core.explainers.base import GenericExplainer
+from repro.domains import make_movies
+from repro.recsys import (
+    ContentBasedRecommender,
+    DemographicRecommender,
+    HybridRecommender,
+    ItemBasedCF,
+    NaiveBayesRecommender,
+    PopularityRecommender,
+    SVDRecommender,
+    User,
+    UserBasedCF,
+)
+
+SUBSTRATES = {
+    "user_cf": lambda: UserBasedCF(k=5, min_overlap=2),
+    "item_cf": lambda: ItemBasedCF(k=5, min_overlap=2),
+    "content": lambda: ContentBasedRecommender(),
+    "naive_bayes": lambda: NaiveBayesRecommender(),
+    "popularity": lambda: PopularityRecommender(),
+    "svd": lambda: SVDRecommender(n_factors=6, seed=3),
+    "demographic": lambda: DemographicRecommender("favorite_genre"),
+    "hybrid": lambda: HybridRecommender(
+        [(ItemBasedCF(k=5, min_overlap=2), 0.7),
+         (PopularityRecommender(), 0.3)]
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def world():
+    dataset = make_movies(
+        n_users=16, n_items=20, seed=9, density=0.35
+    ).dataset
+    dataset.add_user(User("zz_cold_user"))
+    return dataset
+
+
+def flatten(batch):
+    return [
+        (
+            entry.item_id,
+            entry.score,
+            entry.rank,
+            entry.prediction.confidence,
+            repr(entry.prediction.evidence),
+        )
+        for entry in batch
+    ]
+
+
+@pytest.mark.parametrize("name", sorted(SUBSTRATES))
+class TestRecommendManyContract:
+    def test_batch_equals_per_user(self, world, name):
+        model = SUBSTRATES[name]().fit(world)
+        users = sorted(world.users)[:6] + ["zz_cold_user"]
+        batched = model.recommend_many(users, n=5)
+        assert len(batched) == len(users)
+        for user_id, batch in zip(users, batched):
+            assert flatten(batch) == flatten(
+                model.recommend(user_id, n=5)
+            )
+
+    def test_duplicates_align_and_share(self, world, name):
+        model = SUBSTRATES[name]().fit(world)
+        users = sorted(world.users)[:2]
+        batched = model.recommend_many(
+            [users[0], users[1], users[0]], n=4
+        )
+        assert flatten(batched[0]) == flatten(batched[2])
+        assert len(batched) == 3
+
+    def test_empty_batch(self, world, name):
+        model = SUBSTRATES[name]().fit(world)
+        assert model.recommend_many([], n=5) == []
+
+    def test_predict_many_equals_predict_or_default(self, world, name):
+        model = SUBSTRATES[name]().fit(world)
+        user_id = sorted(world.users)[0]
+        items = sorted(world.items)[:8]
+        batched = model.predict_many(user_id, items)
+        for item_id, prediction in zip(items, batched):
+            single = model.predict_or_default(user_id, item_id)
+            assert prediction.value == single.value
+            assert prediction.confidence == single.confidence
+            assert repr(prediction.evidence) == repr(single.evidence)
+
+    def test_cold_user_batch_matches_single(self, world, name):
+        model = SUBSTRATES[name]().fit(world)
+        (batch,) = model.recommend_many(["zz_cold_user"], n=5)
+        assert flatten(batch) == flatten(
+            model.recommend("zz_cold_user", n=5)
+        )
+
+
+class _CountingRecommender(PopularityRecommender):
+    """Counts calls to both recommendation entry points."""
+
+    def __init__(self):
+        super().__init__()
+        self.recommend_calls = 0
+        self.recommend_many_calls = 0
+
+    def recommend(self, *args, **kwargs):
+        self.recommend_calls += 1
+        return super().recommend(*args, **kwargs)
+
+    def recommend_many(self, *args, **kwargs):
+        self.recommend_many_calls += 1
+        return super().recommend_many(*args, **kwargs)
+
+
+class TestCachedRecommenderDelegation:
+    def test_misses_go_through_native_batch(self, world):
+        inner = _CountingRecommender().fit(world)
+        cached = CachedRecommender(inner)
+        users = sorted(world.users)[:4]
+        first = cached.recommend_many(users + [users[0]], n=3)
+        # One native batch call for all misses, zero per-user loops.
+        assert inner.recommend_many_calls == 1
+        assert inner.recommend_calls == 0
+        assert flatten(first[0]) == flatten(first[4])
+
+    def test_hits_skip_the_substrate_entirely(self, world):
+        inner = _CountingRecommender().fit(world)
+        cached = CachedRecommender(inner)
+        users = sorted(world.users)[:3]
+        first = cached.recommend_many(users, n=3)
+        again = cached.recommend_many(users, n=3)
+        assert inner.recommend_many_calls == 1
+        assert [flatten(b) for b in first] == [
+            flatten(b) for b in again
+        ]
+
+    def test_batch_and_single_share_cache_entries(self, world):
+        inner = _CountingRecommender().fit(world)
+        cached = CachedRecommender(inner)
+        user_id = sorted(world.users)[0]
+        single = cached.recommend(user_id, n=3)
+        (batched,) = cached.recommend_many([user_id], n=3)
+        # The single-user entry satisfied the batch: no batch call made.
+        assert inner.recommend_many_calls == 0
+        assert flatten(batched) == flatten(single)
+
+    def test_invalidation_reaches_the_batch_path(self, world):
+        inner = _CountingRecommender().fit(world)
+        cached = CachedRecommender(inner)
+        user_id = sorted(world.users)[0]
+        cached.recommend_many([user_id], n=3)
+        cached.invalidate_user(user_id)
+        cached.recommend_many([user_id], n=3)
+        assert inner.recommend_many_calls == 2
+
+
+class TestCachedExplainedDelegation:
+    def _pipeline(self, world):
+        substrate = _CountingRecommender().fit(world)
+        pipeline = ExplainedRecommender(substrate, GenericExplainer())
+        return substrate, CachedExplainedRecommender(pipeline)
+
+    def test_misses_go_through_native_batch(self, world):
+        substrate, cached = self._pipeline(world)
+        users = sorted(world.users)[:4]
+        batches = cached.recommend_many(users, n=3)
+        assert substrate.recommend_many_calls == 1
+        assert substrate.recommend_calls == 0
+        assert len(batches) == len(users)
+        for user_id, batch in zip(users, batches):
+            assert [e.item_id for e in batch] == [
+                e.item_id for e in cached.recommend(user_id, n=3)
+            ]
+
+    def test_second_batch_is_served_from_cache(self, world):
+        substrate, cached = self._pipeline(world)
+        users = sorted(world.users)[:3]
+        cached.recommend_many(users, n=3)
+        cached.recommend_many(users, n=3)
+        assert substrate.recommend_many_calls == 1

@@ -1,0 +1,176 @@
+"""SVD fold-in correctness and absorb()-then-replay round-trips.
+
+The randomized-SVD substrate never refits for new or changed users: a
+ridge fold-in projects the user's current residual ratings onto the
+fitted item factors.  These tests pin (a) that unchanged users keep
+their exact fitted factors, (b) that fold-in approximates both the
+fitted vector and a full refit, and (c) that absorbing rating events
+live produces bit-identical predictions to rebuilding the dataset from
+the durable event log and predicting fresh.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.domains import make_movies
+from repro.errors import PredictionImpossibleError
+from repro.eventlog import EventLog, replay
+from repro.interaction import RatingChannel
+from repro.recsys import Rating, SVDRecommender, User
+
+
+def fresh_world():
+    return make_movies(n_users=30, n_items=40, seed=13, density=0.4)
+
+
+def predictions_for(model, user_id, items):
+    return [
+        model.predict_or_default(user_id, item_id).value
+        for item_id in items
+    ]
+
+
+class TestFoldIn:
+    def test_unchanged_user_keeps_fitted_factors(self):
+        dataset = fresh_world().dataset
+        model = SVDRecommender(n_factors=8, seed=5).fit(dataset)
+        user_id = sorted(dataset.users)[0]
+        matrix = dataset.rating_matrix()
+        factors, bias = model._user_vector(user_id, matrix)
+        row = matrix.row_of[user_id]
+        assert np.array_equal(factors, model._user_factors[row])
+        assert bias == float(model._user_bias[row])
+
+    def test_fold_in_approximates_fitted_vector(self):
+        dataset = fresh_world().dataset
+        model = SVDRecommender(n_factors=8, seed=5).fit(dataset)
+        items = sorted(dataset.items)[:15]
+        user_id = sorted(dataset.users)[1]
+        fitted = predictions_for(model, user_id, items)
+        folded_vector, folded_bias = model.fold_in_user(user_id)
+        matrix = dataset.rating_matrix()
+        cols = np.array(
+            [matrix.col_of[item_id] for item_id in items]
+        )
+        raw = (
+            model._global_mean
+            + folded_bias
+            + model._item_bias[cols]
+            + (model._item_factors[cols] * folded_vector).sum(axis=1)
+        )
+        folded = matrix.scale.clip_array(raw)
+        errors = np.abs(np.array(fitted) - folded)
+        assert float(errors.mean()) < 0.35
+
+    def test_new_user_is_predictable_without_refit(self):
+        dataset = fresh_world().dataset
+        model = SVDRecommender(n_factors=8, seed=5).fit(dataset)
+        twin = sorted(dataset.users)[2]
+        twin_ratings = dict(dataset.ratings_by(twin))
+        dataset.add_user(User("newcomer"))
+        for item_id, rating in twin_ratings.items():
+            dataset.add_rating(
+                Rating("newcomer", item_id, rating.value)
+            )
+        items = sorted(
+            item for item in dataset.items if item not in twin_ratings
+        )[:12]
+        newcomer = predictions_for(model, "newcomer", items)
+        twin_predictions = predictions_for(model, twin, items)
+        errors = np.abs(np.array(newcomer) - np.array(twin_predictions))
+        # Identical rating histories land on nearby latent vectors.
+        assert float(errors.mean()) < 0.35
+
+    def test_fold_in_tracks_a_full_refit(self):
+        dataset = fresh_world().dataset
+        model = SVDRecommender(n_factors=8, seed=5).fit(dataset)
+        donor = sorted(dataset.users)[3]
+        dataset.add_user(User("late_arrival"))
+        for item_id, rating in list(
+            dataset.ratings_by(donor).items()
+        )[:10]:
+            dataset.add_rating(
+                Rating("late_arrival", item_id, rating.value)
+            )
+        items = sorted(dataset.items)[:15]
+        folded = predictions_for(model, "late_arrival", items)
+        refit = SVDRecommender(n_factors=8, seed=5).fit(dataset)
+        refitted = predictions_for(refit, "late_arrival", items)
+        errors = np.abs(np.array(folded) - np.array(refitted))
+        assert float(errors.mean()) < 0.5
+
+    def test_fold_in_is_deterministic_and_cached(self):
+        dataset = fresh_world().dataset
+        model = SVDRecommender(n_factors=8, seed=5).fit(dataset)
+        user_id = sorted(dataset.users)[4]
+        first_vector, first_bias = model.fold_in_user(user_id)
+        second_vector, second_bias = model.fold_in_user(user_id)
+        assert second_vector is first_vector  # cache hit
+        assert second_bias == first_bias
+
+    def test_cold_user_still_impossible(self):
+        dataset = fresh_world().dataset
+        model = SVDRecommender(n_factors=8, seed=5).fit(dataset)
+        dataset.add_user(User("stranger"))
+        with pytest.raises(
+            PredictionImpossibleError, match="no training ratings"
+        ):
+            model.predict("stranger", sorted(dataset.items)[0])
+
+
+class TestAbsorbReplayRoundTrip:
+    def _drive(self, dataset, model, log):
+        channel = RatingChannel(dataset, event_log=log)
+        channel.subscribe(model.absorb)
+        users = sorted(dataset.users)
+        items = sorted(dataset.items)
+        channel.rate(users[0], items[0], 5.0)
+        channel.rate(users[1], items[1], 1.5)
+        channel.rate(users[0], items[0], 2.0)  # re-rate
+        channel.rate(users[2], items[3], 4.5)
+
+    def test_absorbed_events_change_predictions(self):
+        dataset = fresh_world().dataset
+        model = SVDRecommender(n_factors=8, seed=5).fit(dataset)
+        users = sorted(dataset.users)
+        items = sorted(dataset.items)
+        probe_items = items[:10]
+        before = predictions_for(model, users[0], probe_items)
+        channel = RatingChannel(dataset)
+        channel.subscribe(model.absorb)
+        channel.rate(users[0], items[0], 5.0)
+        after = predictions_for(model, users[0], probe_items)
+        assert after != before
+
+    def test_absorb_matches_replayed_rebuild(self, tmp_path):
+        live = fresh_world().dataset
+        live_model = SVDRecommender(n_factors=8, seed=5).fit(live)
+        with EventLog(tmp_path) as log:
+            self._drive(live, live_model, log)
+
+        rebuilt = fresh_world().dataset
+        rebuilt_model = SVDRecommender(n_factors=8, seed=5).fit(rebuilt)
+        with EventLog(tmp_path) as log:
+            report = replay(log, rebuilt)
+        assert report.events_applied == 4
+
+        items = sorted(live.items)[:12]
+        for user_id in sorted(live.users)[:6]:
+            assert predictions_for(
+                live_model, user_id, items
+            ) == predictions_for(rebuilt_model, user_id, items)
+
+    def test_absorb_rejects_non_rating_events(self):
+        dataset = fresh_world().dataset
+        model = SVDRecommender(n_factors=8, seed=5).fit(dataset)
+        from repro.eventlog import InteractionEvent
+
+        event = InteractionEvent(
+            kind="profile-edit",
+            user_id=sorted(dataset.users)[0],
+            channel="profile",
+            payload={},
+        )
+        assert model.absorb(event) is False

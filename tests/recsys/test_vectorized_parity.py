@@ -1,0 +1,400 @@
+"""Numerical-parity harness: vectorized engine vs loop-shaped reference.
+
+The contract the vectorized substrates ship under (see
+``docs/vectorization.md``):
+
+* **scores** match the per-item reference within 1 ulp (bitwise for
+  most substrates — the references share the engine's leaf primitives,
+  so the accumulation *order* is the only thing vectorization changed);
+* **rankings** and neighbour orderings never flip, including ties
+  (broken ``(-score, item_id)``) and item-mean fallbacks;
+* **evidence renders byte-identically** — batch-built evidence reprs
+  equal both the reference's and the one-column ``predict`` path's.
+
+Worlds are seeded and hypothesis-varied over density/size so the suite
+replays deterministically while still sweeping sparse, dense, cold-user
+and tie-heavy regimes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.domains import make_movies
+from repro.errors import PredictionImpossibleError
+from repro.recsys import (
+    ContentBasedRecommender,
+    Dataset,
+    HybridRecommender,
+    Item,
+    ItemBasedCF,
+    NaiveBayesRecommender,
+    PopularityRecommender,
+    Rating,
+    RatingScale,
+    SVDRecommender,
+    User,
+    UserBasedCF,
+)
+
+from tests.recsys import reference as ref
+
+WORLD_SETTINGS = settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+world_params = st.tuples(
+    st.integers(min_value=0, max_value=10_000),  # seed
+    st.sampled_from([0.08, 0.2, 0.45, 0.8]),  # density
+    st.integers(min_value=8, max_value=22),  # n_users
+    st.integers(min_value=10, max_value=26),  # n_items
+)
+
+
+def build_world(params):
+    seed, density, n_users, n_items = params
+    world = make_movies(
+        n_users=n_users, n_items=n_items, seed=seed, density=density
+    )
+    # A cold user exercises the fallback path in every ranking.
+    world.dataset.add_user(User("zz_cold_user"))
+    return world.dataset
+
+
+def sample_users(dataset, limit=5):
+    users = sorted(dataset.users)[:limit]
+    if "zz_cold_user" not in users:
+        users.append("zz_cold_user")
+    return users
+
+
+def sample_items(dataset, limit=8):
+    return sorted(dataset.items)[:limit]
+
+
+def ulp_distance(a: float, b: float, cap: int = 8) -> int:
+    """Steps of ``math.nextafter`` from ``a`` to ``b`` (capped)."""
+    if a == b:
+        return 0
+    lo, hi = sorted((a, b))
+    steps = 0
+    while lo < hi and steps <= cap:
+        lo = math.nextafter(lo, math.inf)
+        steps += 1
+    return steps if lo >= hi else cap + 1
+
+
+def assert_prediction_parity(model, reference_fn, user_id, item_id):
+    """One (user, item): engine predict vs loop reference, to 1 ulp."""
+    expected = reference_fn(user_id, item_id)
+    if expected is ref.IMPOSSIBLE:
+        with pytest.raises(PredictionImpossibleError):
+            model.predict(user_id, item_id)
+        return None
+    prediction = model.predict(user_id, item_id)
+    value, confidence, extra = expected
+    assert ulp_distance(prediction.value, value) <= 1, (
+        user_id,
+        item_id,
+        prediction.value,
+        value,
+    )
+    if confidence is not None:
+        assert ulp_distance(prediction.confidence, confidence) <= 1
+    return prediction, extra
+
+
+def assert_ranking_parity(model, dataset, predict_one_for, n=10):
+    """Engine recommend vs the reference sort for every sampled user."""
+    matrix = dataset.rating_matrix()
+    for user_id in sample_users(dataset):
+        rated = set(dataset.ratings_by(user_id))
+        pool = [item for item in dataset.items if item not in rated]
+        expected = ref.reference_ranking(
+            predict_one_for(user_id), matrix, pool, n
+        )
+        got = model.recommend(user_id, n=n)
+        assert [r.item_id for r in got] == [e[0] for e in expected]
+        for rec_entry, (_item, value) in zip(got, expected):
+            assert ulp_distance(rec_entry.score, value) <= 1
+
+
+class TestUserCFParity:
+    @WORLD_SETTINGS
+    @given(world_params)
+    def test_scores_rankings_and_evidence(self, params):
+        dataset = build_world(params)
+        model = UserBasedCF(k=5, min_overlap=2).fit(dataset)
+
+        def reference(user_id, item_id):
+            return ref.user_cf_predict(model, user_id, item_id)
+
+        for user_id in sample_users(dataset):
+            for item_id in sample_items(dataset):
+                result = assert_prediction_parity(
+                    model, reference, user_id, item_id
+                )
+                if result is None:
+                    continue
+                prediction, _ = result
+                expected = reference(user_id, item_id)
+                # Byte-identical neighbour citations, in cited order.
+                assert repr(prediction.evidence) == repr(expected[2])
+
+        assert_ranking_parity(
+            model,
+            dataset,
+            lambda user_id: lambda item_id: ref.user_cf_predict(
+                model, user_id, item_id
+            ),
+        )
+
+    def test_neighbor_index_matches_per_candidate_kernel_calls(self):
+        dataset = build_world((3, 0.35, 12, 16))
+        for size in (None, 4):
+            model = UserBasedCF(
+                k=5, min_overlap=2, neighbor_index_size=size
+            ).fit(dataset)
+            for user_id in sample_users(dataset, limit=4):
+                loop_weights, loop_overlaps = ref.user_cf_weights(
+                    model, user_id
+                )
+                index_weights, index_overlaps = model.neighbor_index(
+                    user_id
+                )
+                assert np.array_equal(loop_weights, index_weights)
+                assert np.array_equal(loop_overlaps, index_overlaps)
+
+
+class TestItemCFParity:
+    @WORLD_SETTINGS
+    @given(world_params)
+    def test_scores_rankings_and_evidence(self, params):
+        dataset = build_world(params)
+        model = ItemBasedCF(k=5, min_overlap=2).fit(dataset)
+
+        def reference(user_id, item_id):
+            return ref.item_cf_predict(model, user_id, item_id)
+
+        for user_id in sample_users(dataset):
+            for item_id in sample_items(dataset):
+                result = assert_prediction_parity(
+                    model, reference, user_id, item_id
+                )
+                if result is None:
+                    continue
+                prediction, _ = result
+                expected = reference(user_id, item_id)
+                assert repr(prediction.evidence) == repr(expected[2])
+
+        assert_ranking_parity(
+            model,
+            dataset,
+            lambda user_id: lambda item_id: ref.item_cf_predict(
+                model, user_id, item_id
+            ),
+        )
+
+
+class TestContentParity:
+    @WORLD_SETTINGS
+    @given(world_params)
+    def test_profiles_scores_and_rankings(self, params):
+        dataset = build_world(params)
+        model = ContentBasedRecommender().fit(dataset)
+        for user_id in sample_users(dataset):
+            # Profiles must be bitwise: batch row-sum vs per-rating
+            # accumulation.
+            assert np.array_equal(
+                model.profile(user_id),
+                ref.content_profile(model, user_id),
+            )
+            for item_id in sample_items(dataset):
+                assert_prediction_parity(
+                    model,
+                    lambda u, i: ref.content_predict(model, u, i),
+                    user_id,
+                    item_id,
+                )
+        assert_ranking_parity(
+            model,
+            dataset,
+            lambda user_id: lambda item_id: ref.content_predict(
+                model, user_id, item_id
+            ),
+        )
+
+    def test_empty_profile_message(self):
+        dataset = build_world((1, 0.3, 8, 12))
+        model = ContentBasedRecommender().fit(dataset)
+        with pytest.raises(
+            PredictionImpossibleError, match="empty content profile"
+        ):
+            model.predict("zz_cold_user", sorted(dataset.items)[0])
+
+
+class TestNaiveBayesParity:
+    @WORLD_SETTINGS
+    @given(world_params)
+    def test_scores_and_rankings(self, params):
+        dataset = build_world(params)
+        model = NaiveBayesRecommender().fit(dataset)
+        for user_id in sample_users(dataset):
+            for item_id in sample_items(dataset):
+                result = assert_prediction_parity(
+                    model,
+                    lambda u, i: ref.naive_bayes_predict(model, u, i),
+                    user_id,
+                    item_id,
+                )
+                if result is None:
+                    continue
+                _, log_odds = result
+                # The raw log-odds goes through the same shared terms.
+                assert (
+                    ulp_distance(model.score(user_id, item_id), log_odds)
+                    <= 1
+                )
+        assert_ranking_parity(
+            model,
+            dataset,
+            lambda user_id: lambda item_id: ref.naive_bayes_predict(
+                model, user_id, item_id
+            ),
+        )
+
+
+class TestPopularityParity:
+    @WORLD_SETTINGS
+    @given(world_params)
+    def test_scores_and_rankings(self, params):
+        dataset = build_world(params)
+        model = PopularityRecommender().fit(dataset)
+        for user_id in sample_users(dataset, limit=2):
+            for item_id in sample_items(dataset):
+                result = assert_prediction_parity(
+                    model,
+                    lambda u, i: ref.popularity_predict(model, i),
+                    user_id,
+                    item_id,
+                )
+                assert result is not None  # popularity never fails
+        assert_ranking_parity(
+            model,
+            dataset,
+            lambda user_id: lambda item_id: ref.popularity_predict(
+                model, item_id
+            ),
+        )
+
+
+class TestSVDParity:
+    @WORLD_SETTINGS
+    @given(world_params)
+    def test_scores_and_rankings(self, params):
+        dataset = build_world(params)
+        model = SVDRecommender(n_factors=6, seed=11).fit(dataset)
+        for user_id in sample_users(dataset):
+            for item_id in sample_items(dataset):
+                assert_prediction_parity(
+                    model,
+                    lambda u, i: ref.svd_predict(model, u, i),
+                    user_id,
+                    item_id,
+                )
+        assert_ranking_parity(
+            model,
+            dataset,
+            lambda user_id: lambda item_id: ref.svd_predict(
+                model, user_id, item_id
+            ),
+        )
+
+
+class TestBatchEvidenceMatchesScalarPath:
+    """recommend()'s batch-built evidence == predict()'s, byte for byte."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: UserBasedCF(k=5, min_overlap=2),
+            lambda: ItemBasedCF(k=5, min_overlap=2),
+            lambda: ContentBasedRecommender(),
+            lambda: NaiveBayesRecommender(),
+            lambda: PopularityRecommender(),
+            lambda: SVDRecommender(n_factors=6, seed=3),
+            lambda: HybridRecommender(
+                [(UserBasedCF(k=5, min_overlap=2), 0.6),
+                 (PopularityRecommender(), 0.4)]
+            ),
+        ],
+        ids=[
+            "user_cf",
+            "item_cf",
+            "content",
+            "naive_bayes",
+            "popularity",
+            "svd",
+            "hybrid",
+        ],
+    )
+    def test_recommend_evidence_equals_predict_evidence(self, factory):
+        dataset = build_world((7, 0.4, 14, 18))
+        model = factory().fit(dataset)
+        for user_id in sample_users(dataset, limit=3):
+            for entry in model.recommend(user_id, n=3):
+                if entry.prediction.confidence == 0.0:
+                    continue  # item-mean fallback carries no evidence
+                scalar = model.predict(user_id, entry.item_id)
+                assert entry.score == scalar.value
+                assert (
+                    entry.prediction.confidence == scalar.confidence
+                )
+                assert repr(entry.prediction.evidence) == repr(
+                    scalar.evidence
+                )
+
+
+class TestTieBreaking:
+    def _tied_dataset(self):
+        scale = RatingScale(minimum=1.0, maximum=5.0)
+        dataset = Dataset(scale=scale)
+        for item_id in ("b_item", "a_item", "c_item"):
+            dataset.add_item(
+                Item(
+                    item_id=item_id,
+                    title=item_id,
+                    keywords=frozenset({"same"}),
+                )
+            )
+        for user_id in ("u1", "u2"):
+            dataset.add_user(User(user_id))
+        # Identical rating runs => exactly tied popularity scores.
+        for item_id in ("b_item", "a_item", "c_item"):
+            dataset.add_rating(Rating("u1", item_id, 4.0))
+            dataset.add_rating(Rating("u2", item_id, 4.0))
+        dataset.add_user(User("u3"))
+        return dataset
+
+    def test_exact_ties_rank_by_item_id(self):
+        dataset = self._tied_dataset()
+        model = PopularityRecommender(recency_weight=0.0).fit(dataset)
+        got = [r.item_id for r in model.recommend("u3", n=3)]
+        assert got == ["a_item", "b_item", "c_item"]
+
+    def test_tied_fallbacks_rank_by_item_id(self):
+        dataset = self._tied_dataset()
+        model = UserBasedCF(k=3, min_overlap=2).fit(dataset)
+        # u3 has no neighbours: every candidate falls back to the item
+        # mean (identical here), so order must be pure item-id order.
+        got = [r.item_id for r in model.recommend("u3", n=3)]
+        assert got == ["a_item", "b_item", "c_item"]
+        for entry in model.recommend("u3", n=3):
+            assert entry.prediction.confidence == 0.0
